@@ -1,0 +1,12 @@
+//! Baseline state-vector simulators for the Figure 14 comparison.
+//!
+//! Independent implementations of the generalized simulation schemes of the
+//! frameworks the paper benchmarks against (Qiskit Aer, Cirq's simulator,
+//! TFQ's qsim). All are cross-validated against `svsim-core` for exact
+//! state agreement; the performance gap between them and the specialized
+//! fn-pointer kernels is the measured content of Figure 14.
+
+pub mod dense;
+pub mod sims;
+
+pub use sims::{fused_op_count, BaselineSim, FusionSim, GenericMatrixSim, InterpreterSim};

@@ -1,0 +1,29 @@
+//! Backend comparison on one machine: single device vs peer-access
+//! scale-up vs SHMEM scale-out (functional overhead of the PGAS fabrics).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use svsim_core::{SimConfig, Simulator};
+use svsim_workloads::algos::qft;
+
+fn benches(c: &mut Criterion) {
+    let circuit = qft(14).unwrap();
+    let mut group = c.benchmark_group("qft_n14");
+    group.sample_size(10);
+    for (name, config) in [
+        ("single_device", SimConfig::single_device()),
+        ("scale_up_4", SimConfig::scale_up(4)),
+        ("scale_out_4", SimConfig::scale_out(4)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(14, config).unwrap();
+                sim.run(&circuit).unwrap();
+                std::hint::black_box(sim.state().re()[0]);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(backends, benches);
+criterion_main!(backends);

@@ -1,0 +1,32 @@
+//! Figure 14 as a criterion bench: SV-Sim vs the baseline designs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use svsim_baselines::{BaselineSim, FusionSim, GenericMatrixSim, InterpreterSim};
+use svsim_core::{SimConfig, Simulator};
+use svsim_workloads::algos::qft;
+
+fn benches(c: &mut Criterion) {
+    let circuit = qft(12).unwrap();
+    let mut group = c.benchmark_group("qft_n12_vs_baselines");
+    group.sample_size(10);
+    group.bench_function("svsim_specialized", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(12, SimConfig::single_device()).unwrap();
+            sim.run(&circuit).unwrap();
+            std::hint::black_box(sim.state().re()[0]);
+        });
+    });
+    group.bench_function("aer_style_generic", |b| {
+        b.iter(|| std::hint::black_box(GenericMatrixSim.run(&circuit).unwrap()[0]));
+    });
+    group.bench_function("cirq_style_interpreter", |b| {
+        b.iter(|| std::hint::black_box(InterpreterSim.run(&circuit).unwrap()[0]));
+    });
+    group.bench_function("qsim_style_fusion", |b| {
+        b.iter(|| std::hint::black_box(FusionSim.run(&circuit).unwrap()[0]));
+    });
+    group.finish();
+}
+
+criterion_group!(baselines, benches);
+criterion_main!(baselines);

@@ -1,0 +1,61 @@
+//! Batched-VQA ablation: compile-once parameter patching vs full circuit
+//! re-synthesis per trial (the paper's §7 future-work direction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use svsim_core::{ParamCircuit, ParamValue, SimConfig, Simulator};
+use svsim_ir::GateKind;
+
+/// A hardware-efficient ansatz: L layers of RY/RZ + CX ring on n qubits.
+fn ansatz(n: u32, layers: u32) -> ParamCircuit {
+    let mut t = ParamCircuit::new(n);
+    let mut var = 0usize;
+    for q in 0..n {
+        t.push_fixed(GateKind::H, &[q], &[]).unwrap();
+    }
+    for _ in 0..layers {
+        for q in 0..n {
+            t.push(GateKind::RY, &[q], &[ParamValue::Var(var)]).unwrap();
+            var += 1;
+            t.push(GateKind::RZ, &[q], &[ParamValue::Var(var)]).unwrap();
+            var += 1;
+        }
+        for q in 0..n {
+            t.push_fixed(GateKind::CX, &[q, (q + 1) % n], &[]).unwrap();
+        }
+    }
+    t
+}
+
+fn benches(c: &mut Criterion) {
+    let n = 6u32;
+    let template = ansatz(n, 8);
+    let n_vars = template.n_vars();
+    let trials: Vec<Vec<f64>> = (0..16)
+        .map(|i| (0..n_vars).map(|j| 0.01 * (i * j) as f64).collect())
+        .collect();
+    let mut group = c.benchmark_group("vqa_trials_16x");
+    group.sample_size(10);
+    group.bench_function("compiled_template_patch", |b| {
+        let mut compiled = template.compile().unwrap();
+        b.iter(|| {
+            for v in &trials {
+                let s = compiled.run(v).unwrap();
+                std::hint::black_box(s.re()[0]);
+            }
+        });
+    });
+    group.bench_function("resynthesize_per_trial", |b| {
+        b.iter(|| {
+            for v in &trials {
+                let circuit = template.bind(v).unwrap();
+                let mut sim = Simulator::new(n, SimConfig::single_device()).unwrap();
+                sim.run(&circuit).unwrap();
+                std::hint::black_box(sim.state().re()[0]);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(batch, benches);
+criterion_main!(batch);

@@ -1,0 +1,61 @@
+//! SHMEM substrate microbenchmarks: one-sided put/get (fine vs coarse
+//! granularity) and barrier cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use svsim_shmem::launch;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shmem");
+    group.sample_size(10);
+    group.bench_function("fine_grained_put_get_64k", |b| {
+        b.iter(|| {
+            let out = launch(2, |ctx| {
+                let sym = ctx.malloc_f64(65536);
+                let peer = 1 - ctx.my_pe();
+                for i in 0..65536usize {
+                    ctx.put_f64(&sym, peer, i, i as f64);
+                }
+                ctx.barrier_all();
+                let mut acc = 0.0;
+                for i in 0..65536usize {
+                    acc += ctx.get_f64(&sym, ctx.my_pe(), i);
+                }
+                acc
+            })
+            .unwrap();
+            std::hint::black_box(out.results[0]);
+        });
+    });
+    group.bench_function("coarse_slice_put_get_64k", |b| {
+        b.iter(|| {
+            let out = launch(2, |ctx| {
+                let sym = ctx.malloc_f64(65536);
+                let peer = 1 - ctx.my_pe();
+                let buf: Vec<f64> = (0..65536).map(|i| i as f64).collect();
+                ctx.put_slice_f64(&sym, peer, 0, &buf);
+                ctx.barrier_all();
+                let mut back = vec![0.0f64; 65536];
+                ctx.get_slice_f64(&sym, ctx.my_pe(), 0, &mut back);
+                back[65535]
+            })
+            .unwrap();
+            std::hint::black_box(out.results[0]);
+        });
+    });
+    group.bench_function("barrier_x100_4pe", |b| {
+        b.iter(|| {
+            let out = launch(4, |ctx| {
+                for _ in 0..100 {
+                    ctx.barrier_all();
+                }
+                ctx.my_pe()
+            })
+            .unwrap();
+            std::hint::black_box(out.results[0]);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(comm, benches);
+criterion_main!(comm);

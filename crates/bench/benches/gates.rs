@@ -1,0 +1,54 @@
+//! Per-gate kernel throughput: specialized vs generic dense application
+//! (the paper's "specialized gate implementation" ablation, §3.2.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use svsim_core::compile::compile_gate;
+use svsim_core::dispatch::resolve;
+use svsim_core::view::LocalView;
+use svsim_ir::{Gate, GateKind};
+
+const N: u32 = 16;
+
+fn bench_kernel(c: &mut Criterion, name: &str, kind: GateKind, qubits: &[u32], params: &[f64]) {
+    let dim = 1usize << N;
+    let mut re = vec![0.0f64; dim];
+    let mut im = vec![0.0f64; dim];
+    re[0] = 1.0;
+    let g = Gate::new(kind, qubits, params).unwrap();
+    let mut specialized = Vec::new();
+    compile_gate(&g, N, true, &mut specialized);
+    let mut generic = Vec::new();
+    compile_gate(&g, N, false, &mut generic);
+    let view = LocalView::new(&mut re, &mut im);
+    let mut group = c.benchmark_group(name);
+    group.sample_size(20);
+    group.bench_function("specialized", |b| {
+        b.iter(|| {
+            for cg in &specialized {
+                resolve::<LocalView>(cg.id)(&view, &cg.args, 0..cg.args.work);
+            }
+        });
+    });
+    group.bench_function("generic_dense", |b| {
+        b.iter(|| {
+            for cg in &generic {
+                resolve::<LocalView>(cg.id)(&view, &cg.args, 0..cg.args.work);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_kernel(c, "t_gate", GateKind::T, &[7], &[]);
+    bench_kernel(c, "h_gate", GateKind::H, &[7], &[]);
+    bench_kernel(c, "x_gate", GateKind::X, &[7], &[]);
+    bench_kernel(c, "rz_gate", GateKind::RZ, &[7], &[0.4]);
+    bench_kernel(c, "cx_gate", GateKind::CX, &[3, 11], &[]);
+    bench_kernel(c, "cz_gate", GateKind::CZ, &[3, 11], &[]);
+    bench_kernel(c, "ccx_gate", GateKind::CCX, &[2, 7, 13], &[]);
+    bench_kernel(c, "rzz_gate", GateKind::RZZ, &[3, 11], &[0.4]);
+}
+
+criterion_group!(gates, benches);
+criterion_main!(gates);

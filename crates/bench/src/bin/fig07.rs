@@ -1,0 +1,13 @@
+//! Figure 7: scale-up on the Intel P8276M CPU (AVX-512, unified memory),
+//! 1 to 256 cores. Paper: optimum at 16-32 cores; >128 cores regress on
+//! QPI contention.
+
+fn main() {
+    svsim_bench::scaleup_figure(
+        "Figure 7: Intel P8276M scale-up, relative latency (1.00 = 1 core)",
+        &svsim_perfmodel::devices::INTEL_P8276_AVX512,
+        &svsim_perfmodel::interconnects::QPI,
+        &[1, 2, 4, 8, 16, 32, 64, 128, 256],
+    );
+    println!("\npaper shape: sweet spot at 16-32 cores; heavy regression beyond 128.");
+}

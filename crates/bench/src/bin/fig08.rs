@@ -1,0 +1,12 @@
+//! Figure 8: scale-up on an ALCF Theta Xeon Phi 7230 node (AVX-512),
+//! 1 to 64 cores. Paper: sweet spot at 2-4 cores (constrained 2D mesh).
+
+fn main() {
+    svsim_bench::scaleup_figure(
+        "Figure 8: Xeon Phi 7230 scale-up, relative latency (1.00 = 1 core)",
+        &svsim_perfmodel::devices::PHI_7230_AVX512,
+        &svsim_perfmodel::interconnects::KNL_MESH,
+        &[1, 2, 4, 8, 16, 32, 64],
+    );
+    println!("\npaper shape: optimum at very few cores; the on-die mesh congests early.");
+}

@@ -1,0 +1,13 @@
+//! Figure 9: scale-up on the V100 DGX-2 (GPUDirect peer access over
+//! NVSwitch), 1 to 16 GPUs. Paper: strong scaling for n>=13, slight lag
+//! from 1 to 2 GPUs at n=11-12.
+
+fn main() {
+    svsim_bench::scaleup_figure(
+        "Figure 9: V100 DGX-2 scale-up, relative latency (1.00 = 1 GPU)",
+        &svsim_perfmodel::devices::V100,
+        &svsim_perfmodel::interconnects::NVSWITCH,
+        &[1, 2, 4, 8, 16],
+    );
+    println!("\npaper shape: strong scaling at n>=13; no gain (slight lag) at n=11-12.");
+}

@@ -1,0 +1,11 @@
+//! Figure 10: scale-up on the DGX-A100, 1 to 8 GPUs.
+
+fn main() {
+    svsim_bench::scaleup_figure(
+        "Figure 10: DGX-A100 scale-up, relative latency (1.00 = 1 GPU)",
+        &svsim_perfmodel::devices::A100,
+        &svsim_perfmodel::interconnects::NVSWITCH,
+        &[1, 2, 4, 8],
+    );
+    println!("\npaper shape: similar trend to DGX-2.");
+}

@@ -1,0 +1,13 @@
+//! Figure 11: scale-up on the AMD MI100 workstation (Infinity Fabric),
+//! 1 to 4 GPUs. Paper: linear but modest scaling, no 1->2 lag — the
+//! bottleneck is the in-kernel gate dispatch, not the fabric.
+
+fn main() {
+    svsim_bench::scaleup_figure(
+        "Figure 11: AMD MI100 scale-up, relative latency (1.00 = 1 GPU)",
+        &svsim_perfmodel::devices::MI100,
+        &svsim_perfmodel::interconnects::INFINITY_FABRIC,
+        &[1, 2, 4],
+    );
+    println!("\npaper shape: modest linear scaling; compute (dispatch) bound.");
+}

@@ -1,0 +1,15 @@
+//! Figure 12: scale-out on Summit POWER9 CPUs over OpenSHMEM,
+//! 32 to 1024 PEs (32 per node). Paper: <3x total gain — communication
+//! bound; visible drag when first crossing the node boundary.
+
+fn main() {
+    svsim_bench::scaleout_figure(
+        "Figure 12: Summit P9 + OpenSHMEM scale-out, relative latency (1.00 = 32 PEs)",
+        &svsim_perfmodel::devices::POWER9,
+        &svsim_perfmodel::interconnects::SUMMIT_IB,
+        &[32, 64, 128, 256, 512, 1024],
+        32,
+        60.0,
+    );
+    println!("\npaper shape: limited (<3x) gains from 32 to 1024 cores; all-to-all bound.");
+}

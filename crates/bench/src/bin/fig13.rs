@@ -1,0 +1,14 @@
+//! Figure 13: scale-out on Summit V100 GPUs over NVSHMEM, 4 to 1024 GPUs
+//! (modeled 4 GPUs per IB endpoint). Paper: strong scaling throughout.
+
+fn main() {
+    svsim_bench::scaleout_figure(
+        "Figure 13: Summit V100 + NVSHMEM scale-out, relative latency (1.00 = 4 GPUs)",
+        &svsim_perfmodel::devices::V100,
+        &svsim_perfmodel::interconnects::SUMMIT_IB,
+        &[4, 16, 64, 256, 1024],
+        4,
+        130.0,
+    );
+    println!("\npaper shape: strong scaling with the GPU count; fabric limits the tail.");
+}

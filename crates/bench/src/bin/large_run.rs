@@ -1,0 +1,43 @@
+//! Measured single-device wall times for the Table 4 *large* suite
+//! (n = 16-23) on this machine — the functional-simulation counterpart of
+//! the modeled Figs. 12-13 inputs.
+
+use svsim_bench::{fmt_time, print_table};
+use svsim_core::{SimConfig, Simulator};
+use svsim_workloads::large_suite;
+
+fn main() {
+    let mut rows = Vec::new();
+    for spec in large_suite() {
+        let circuit = {
+            // Unitary part only (timings without collapse).
+            let c = spec.circuit().expect("workload builds");
+            let mut out = svsim_ir::Circuit::new(c.n_qubits());
+            for op in c.ops() {
+                if let svsim_ir::Op::Gate(g) = op {
+                    out.push_gate(*g).unwrap();
+                }
+            }
+            out
+        };
+        let start = std::time::Instant::now();
+        let mut sim = Simulator::new(circuit.n_qubits(), SimConfig::single_device())
+            .expect("fits memory");
+        sim.run(&circuit).expect("unitary circuit");
+        let elapsed = start.elapsed().as_secs_f64();
+        let norm = sim.state().norm_sqr();
+        rows.push(vec![
+            spec.name.to_string(),
+            circuit.n_qubits().to_string(),
+            circuit.stats().gates.to_string(),
+            fmt_time(elapsed),
+            format!("{:.2e}", (norm - 1.0).abs()),
+        ]);
+        drop(sim); // release the 2^n state before the next, larger one
+    }
+    print_table(
+        "Large suite, measured single-core wall time",
+        &["circuit", "qubits", "gates", "time", "norm err"],
+        &rows,
+    );
+}

@@ -1,0 +1,31 @@
+//! §5 use case: QNN for power-grid contingency classification.
+//! Paper: test accuracy 28.11% -> 72.97% after two epochs on 20 cases.
+
+use svsim_bench::print_table;
+use svsim_core::SimConfig;
+use svsim_vqa::{synthetic_grid_cases, QnnModel};
+
+fn main() {
+    let train = synthetic_grid_cases(20, 11);
+    let test = synthetic_grid_cases(37, 12);
+    let mut model = QnnModel::new(2, 5, SimConfig::single_device());
+    let accuracies = model
+        .train(&train, &test, 2, 120, 7)
+        .expect("training runs");
+    let rows: Vec<Vec<String>> = accuracies
+        .iter()
+        .enumerate()
+        .map(|(epoch, acc)| vec![epoch.to_string(), format!("{:.2}%", acc * 100.0)])
+        .collect();
+    print_table(
+        "QNN power-grid use case: test accuracy per epoch",
+        &["epoch", "test accuracy"],
+        &rows,
+    );
+    println!(
+        "\ncircuits synthesized and simulated during training: {}",
+        model.circuit_evals.get()
+    );
+    println!("paper: 28.11% -> 72.97% over 2 epochs (28,641 circuit evaluations/epoch");
+    println!("on the full 30-bus problem); dataset here is the synthetic equivalent.");
+}

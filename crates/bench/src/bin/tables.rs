@@ -1,0 +1,129 @@
+//! Reproduce the paper's Tables 1-4.
+//!
+//! Usage: `cargo run -p svsim-bench --bin tables [-- table1|table2|table3|table4]`
+//! (no argument prints all four).
+
+use svsim_bench::print_table;
+use svsim_ir::{GateClass, GateKind};
+use svsim_perfmodel::table3;
+use svsim_workloads::{large_suite, medium_suite};
+
+fn table1() {
+    let rows: Vec<Vec<String>> = GateKind::ALL
+        .iter()
+        .map(|k| {
+            vec![
+                k.mnemonic().to_uppercase(),
+                format!("{:?}", k.class()),
+                k.n_qubits().to_string(),
+                k.n_params().to_string(),
+                if k.is_diagonal() { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: OpenQASM gate set implemented by the SV-Sim ISA",
+        &["Gate", "Class", "Qubits", "Params", "Diagonal"],
+        &rows,
+    );
+    let basic = GateKind::ALL.iter().filter(|k| k.class() == GateClass::Basic).count();
+    let standard = GateKind::ALL
+        .iter()
+        .filter(|k| k.class() == GateClass::Standard)
+        .count();
+    let compound = GateKind::ALL
+        .iter()
+        .filter(|k| k.class() == GateClass::Compound)
+        .count();
+    println!("totals: {basic} basic + {standard} standard + {compound} compound = 34 gates");
+}
+
+fn table2() {
+    let rows: Vec<Vec<String>> = [
+        ("X", "Pauli X"),
+        ("Y", "Pauli Y"),
+        ("Z", "Pauli Z"),
+        ("H", "Hadamard"),
+        ("S", "sqrt(Z)"),
+        ("T", "sqrt(S)"),
+        ("R", "unified rotation exp(-i theta P / 2)"),
+        ("Exp", "Pauli-string exponential exp(i theta P)"),
+        ("ControlledX", "multi-controlled X"),
+        ("ControlledY", "multi-controlled Y"),
+        ("ControlledZ", "multi-controlled Z"),
+        ("ControlledH", "multi-controlled H"),
+        ("ControlledS", "multi-controlled S"),
+        ("ControlledT", "multi-controlled T"),
+        ("ControlledR", "multi-controlled R"),
+        ("ControlledExp", "multi-controlled Exp"),
+        ("AdjointT", "T dagger"),
+        ("AdjointS", "S dagger"),
+        ("ControlledAdjointS", "multi-controlled S dagger"),
+        ("ControlledAdjointT", "multi-controlled T dagger"),
+    ]
+    .iter()
+    .map(|(name, desc)| vec![(*name).to_string(), (*desc).to_string(), "QirBuilder".into()])
+    .collect();
+    print_table(
+        "Table 2: QIR-runtime gate set (implemented in svsim-ir::qir)",
+        &["Operation", "Meaning", "Entry point"],
+        &rows,
+    );
+}
+
+fn table3_print() {
+    let rows: Vec<Vec<String>> = table3()
+        .iter()
+        .map(|p| {
+            vec![
+                p.system.to_string(),
+                p.cpu.to_string(),
+                p.accelerator.unwrap_or("-").to_string(),
+                p.interconnect.to_string(),
+                p.nodes.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 3: evaluation platforms (modeled; see DESIGN.md substitutions)",
+        &["System", "CPU", "Accelerator", "Interconnect", "Nodes"],
+        &rows,
+    );
+}
+
+fn table4() {
+    let mut rows = Vec::new();
+    for spec in medium_suite().iter().chain(large_suite().iter()) {
+        let c = spec.circuit().expect("workloads build");
+        let s = c.stats();
+        rows.push(vec![
+            spec.name.to_string(),
+            spec.description.to_string(),
+            format!("{} / {}", c.n_qubits(), spec.paper_qubits),
+            format!("{} / {}", s.gates, spec.paper_gates),
+            format!("{} / {}", s.cx, spec.paper_cx),
+            format!("{:?}", spec.category),
+        ]);
+    }
+    print_table(
+        "Table 4: quantum routines (ours / paper)",
+        &["Routine", "Description", "Qubits", "Gates", "CX", "Category"],
+        &rows,
+    );
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    match arg.as_deref() {
+        Some("table1") => table1(),
+        Some("table2") => table2(),
+        Some("table3") => table3_print(),
+        Some("table4") => table4(),
+        _ => {
+            table1();
+            table2();
+            table3_print();
+            table4();
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Gate dispatch: preloaded function pointers vs. runtime parsing.
+//!
+//! The paper's central software trick (Listing 1) achieves polymorphism on
+//! the GPU through device function pointers preloaded at initialization, so
+//! the per-gate execution path is a single indirect call with *no* parsing
+//! or branching — while dynamically generated (VQA) circuits still run in
+//! one kernel with no JIT. The HIP/MI100 fallback must instead parse and
+//! branch per gate at runtime (§3.2.1, §4.1 obs. v).
+//!
+//! Both paths exist here and are benchmarked against each other:
+//! - [`upload`] resolves every compiled gate to a monomorphized kernel
+//!   pointer once ("copy the device symbol into the gate object").
+//! - [`exec_parsed`] re-derives the kernel arguments from the raw [`Gate`]
+//!   and branches on the kind at every execution.
+
+use crate::compile::{compile_gate, CompiledGate, KernelId};
+use crate::kernels::{self, GateArgs};
+use crate::view::StateView;
+use std::ops::Range;
+use svsim_ir::Gate;
+
+/// The unified kernel signature (the paper's `func_t`).
+pub type KernelFn<V> = fn(&V, &GateArgs, Range<u64>);
+
+/// Resolve a kernel id to the monomorphized function pointer — the analog of
+/// the preloaded `cudaMemcpyFromSymbol` table built once per simulation
+/// object.
+#[must_use]
+pub fn resolve<V: StateView>(id: KernelId) -> KernelFn<V> {
+    match id {
+        KernelId::X => kernels::k_x::<V>,
+        KernelId::Y => kernels::k_y::<V>,
+        KernelId::Z => kernels::k_z::<V>,
+        KernelId::H => kernels::k_h::<V>,
+        KernelId::Phase => kernels::k_phase::<V>,
+        KernelId::Rz => kernels::k_rz::<V>,
+        KernelId::OneQ => kernels::k_oneq::<V>,
+        KernelId::Cx => kernels::k_cx::<V>,
+        KernelId::CPhase => kernels::k_cphase::<V>,
+        KernelId::Crz => kernels::k_crz::<V>,
+        KernelId::ControlledOneQ => kernels::k_controlled_oneq::<V>,
+        KernelId::Swap => kernels::k_swap::<V>,
+        KernelId::CSwap => kernels::k_cswap::<V>,
+        KernelId::Rzz => kernels::k_rzz::<V>,
+        KernelId::TwoQ => kernels::k_twoq::<V>,
+    }
+}
+
+/// A gate bound to its kernel pointer: ready for branch-free execution.
+pub struct UploadedGate<V: StateView> {
+    /// Resolved kernel pointer.
+    pub op: KernelFn<V>,
+    /// Argument block.
+    pub args: GateArgs,
+}
+
+impl<V: StateView> UploadedGate<V> {
+    /// Execute this gate over a work-item sub-range (Listing 1's
+    /// `exe_op`).
+    #[inline]
+    pub fn exe_op(&self, view: &V, range: Range<u64>) {
+        (self.op)(view, &self.args, range);
+    }
+}
+
+/// Bind a compiled gate stream to kernel pointers (the "upload").
+#[must_use]
+pub fn upload<V: StateView>(compiled: &[CompiledGate]) -> Vec<UploadedGate<V>> {
+    compiled
+        .iter()
+        .map(|c| UploadedGate {
+            op: resolve::<V>(c.id),
+            args: c.args.clone(),
+        })
+        .collect()
+}
+
+/// Runtime-parse execution: derive the kernel invocation from the raw gate
+/// *now*, then branch to the kernel — the per-gate overhead the paper's
+/// fn-pointer design avoids. `scratch` is reused across calls to keep the
+/// comparison about parsing, not allocation.
+pub fn exec_parsed<V: StateView>(
+    g: &Gate,
+    n_qubits: u32,
+    specialized: bool,
+    view: &V,
+    worker: u64,
+    n_workers: u64,
+    scratch: &mut Vec<CompiledGate>,
+) {
+    scratch.clear();
+    compile_gate(g, n_qubits, specialized, scratch);
+    for c in scratch.iter() {
+        let r = kernels::worker_range(c.args.work, n_workers, worker);
+        resolve::<V>(c.id)(view, &c.args, r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_gates;
+    use crate::view::LocalView;
+    use svsim_ir::{Circuit, GateKind};
+
+    fn ghz_gates() -> Vec<Gate> {
+        let mut c = Circuit::new(3);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.apply(GateKind::CX, &[0, 1], &[]).unwrap();
+        c.apply(GateKind::CX, &[1, 2], &[]).unwrap();
+        c.gates().copied().collect()
+    }
+
+    #[test]
+    fn uploaded_and_parsed_agree() {
+        let gates = ghz_gates();
+        // fn-pointer path
+        let mut re1 = vec![0.0; 8];
+        let mut im1 = vec![0.0; 8];
+        re1[0] = 1.0;
+        {
+            let v = LocalView::new(&mut re1, &mut im1);
+            let compiled = compile_gates(gates.iter(), 3, true);
+            for ug in upload::<LocalView>(&compiled) {
+                ug.exe_op(&v, 0..ug.args.work);
+            }
+        }
+        // runtime-parse path
+        let mut re2 = vec![0.0; 8];
+        let mut im2 = vec![0.0; 8];
+        re2[0] = 1.0;
+        {
+            let v = LocalView::new(&mut re2, &mut im2);
+            let mut scratch = Vec::new();
+            for g in &gates {
+                exec_parsed(g, 3, true, &v, 0, 1, &mut scratch);
+            }
+        }
+        assert_eq!(re1, re2);
+        assert_eq!(im1, im2);
+        // GHZ: only |000> and |111> populated.
+        assert!((re1[0] - svsim_types::S2I).abs() < 1e-12);
+        assert!((re1[7] - svsim_types::S2I).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_kernel_id_resolves() {
+        for id in [
+            KernelId::X,
+            KernelId::Y,
+            KernelId::Z,
+            KernelId::H,
+            KernelId::Phase,
+            KernelId::Rz,
+            KernelId::OneQ,
+            KernelId::Cx,
+            KernelId::CPhase,
+            KernelId::Crz,
+            KernelId::ControlledOneQ,
+            KernelId::Swap,
+            KernelId::CSwap,
+            KernelId::Rzz,
+            KernelId::TwoQ,
+        ] {
+            // Distinct ids map to distinct functions, except where a kernel
+            // is legitimately shared; here just ensure resolution succeeds.
+            let _f = resolve::<LocalView>(id);
+        }
+    }
+}

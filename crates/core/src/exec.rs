@@ -1,0 +1,512 @@
+//! Circuit executors: single-device, scale-up, and scale-out.
+//!
+//! All three walk the same step stream with the same kernels; they differ
+//! only in the memory fabric ([`crate::view`]) and the synchronization
+//! between gates — none for a single device, a shared-memory barrier across
+//! device threads for scale-up (the cooperative multi-grid sync of
+//! Listing 4), and `shmem_barrier_all` across PEs for scale-out
+//! (Listing 5).
+
+use crate::compile::{compile_gate, CompiledGate};
+use crate::dispatch::{resolve, KernelFn};
+use crate::kernels::worker_range;
+use crate::measure;
+use crate::state::StateVector;
+use crate::view::{LocalView, PeerView, ShmemView, StateView};
+use svsim_ir::{Circuit, Gate, GateKind, Op};
+use svsim_shmem::{MetricsTable, SenseBarrier, SharedF64Vec, TrafficSnapshot};
+use svsim_types::{SvError, SvResult, SvRng};
+
+/// How gates are bound to kernels at execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Resolve kernel function pointers once at upload (the paper's CUDA
+    /// device-function-pointer design, Listing 1).
+    #[default]
+    PreloadedFnPointer,
+    /// Parse and branch per gate at every execution (the HIP/MI100
+    /// fallback, §3.2.1).
+    RuntimeParse,
+}
+
+/// One executable step derived from a circuit op. Compiled kernels live in
+/// one flat contiguous queue (the paper's device-resident circuit buffer);
+/// steps reference ranges of it.
+#[derive(Debug, Clone)]
+pub(crate) enum Step {
+    /// Unitary gate (raw form kept for the runtime-parse mode).
+    Gate {
+        raw: Gate,
+        compiled: std::ops::Range<usize>,
+    },
+    /// Projective measurement using pre-drawn random `r_idx`.
+    Measure { qubit: u32, cbit: u32, r_idx: usize },
+    /// Reset using pre-drawn random `r_idx`.
+    Reset { qubit: u32, r_idx: usize },
+    /// Conditioned gate.
+    IfEq {
+        creg_lo: u32,
+        creg_len: u32,
+        value: u64,
+        raw: Gate,
+        compiled: std::ops::Range<usize>,
+    },
+}
+
+/// Lower a circuit into steps plus the flat compiled-kernel queue; returns
+/// the number of random draws measurement/reset will consume.
+pub(crate) fn build_steps(
+    circuit: &Circuit,
+    n_qubits: u32,
+    specialized: bool,
+) -> (Vec<Step>, Vec<CompiledGate>, usize) {
+    let mut steps = Vec::with_capacity(circuit.len());
+    let mut queue: Vec<CompiledGate> = Vec::new();
+    let mut n_rand = 0usize;
+    for op in circuit.ops() {
+        match op {
+            Op::Gate(g) => {
+                let start = queue.len();
+                compile_gate(g, n_qubits, specialized, &mut queue);
+                steps.push(Step::Gate {
+                    raw: *g,
+                    compiled: start..queue.len(),
+                });
+            }
+            Op::Measure { qubit, cbit } => {
+                steps.push(Step::Measure {
+                    qubit: *qubit,
+                    cbit: *cbit,
+                    r_idx: n_rand,
+                });
+                n_rand += 1;
+            }
+            Op::Reset { qubit } => {
+                steps.push(Step::Reset {
+                    qubit: *qubit,
+                    r_idx: n_rand,
+                });
+                n_rand += 1;
+            }
+            Op::Barrier(_) => {} // scheduling hint only
+            Op::IfEq {
+                creg_lo,
+                creg_len,
+                value,
+                gate,
+            } => {
+                let start = queue.len();
+                compile_gate(gate, n_qubits, specialized, &mut queue);
+                steps.push(Step::IfEq {
+                    creg_lo: *creg_lo,
+                    creg_len: *creg_len,
+                    value: *value,
+                    raw: *gate,
+                    compiled: start..queue.len(),
+                });
+            }
+        }
+    }
+    (steps, queue, n_rand)
+}
+
+#[inline]
+fn cond_holds(cbits: u64, lo: u32, len: u32, value: u64) -> bool {
+    let mask = if len >= 64 { u64::MAX } else { (1u64 << len) - 1 };
+    ((cbits >> lo) & mask) == value
+}
+
+/// Run on a single device (sequential, full ranges).
+pub(crate) fn run_single(
+    state: &mut StateVector,
+    circuit: &Circuit,
+    specialized: bool,
+    dispatch: DispatchMode,
+    rng: &mut SvRng,
+) -> SvResult<u64> {
+    let n = state.n_qubits();
+    let half = (1u64 << n) / 2;
+    let (steps, queue, _) = build_steps(circuit, n, specialized);
+    let mut cbits = 0u64;
+    let (re, im) = state.parts_mut();
+    let view = LocalView::new(re, im);
+    // The fn-pointer path binds every kernel pointer once, up front — the
+    // analog of preloading the device-function symbols; one flat pointer
+    // table parallel to the flat compiled queue, nothing copied per gate.
+    let uploaded: Vec<KernelFn<LocalView>> = if dispatch == DispatchMode::PreloadedFnPointer {
+        queue.iter().map(|c| resolve::<LocalView>(c.id)).collect()
+    } else {
+        Vec::new()
+    };
+    let mut scratch: Vec<CompiledGate> = Vec::new();
+    let measure_into = |view: &LocalView, qubit: u32, r: f64| -> SvResult<u8> {
+        let p1 = crate::kernels::prob_one_partial(view, qubit, 0..half);
+        let outcome = u8::from(r < p1);
+        let p = if outcome == 1 { p1 } else { 1.0 - p1 };
+        if p < 1e-300 {
+            return Err(SvError::Numeric(format!(
+                "collapse of qubit {qubit} with probability ~0"
+            )));
+        }
+        crate::kernels::collapse_pairs(view, qubit, outcome, 1.0 / p.sqrt(), 0..half);
+        Ok(outcome)
+    };
+    for step in &steps {
+        match step {
+            Step::Gate { raw, compiled } | Step::IfEq { raw, compiled, .. } => {
+                if let Step::IfEq {
+                    creg_lo,
+                    creg_len,
+                    value,
+                    ..
+                } = step
+                {
+                    if !cond_holds(cbits, *creg_lo, *creg_len, *value) {
+                        continue;
+                    }
+                }
+                match dispatch {
+                    DispatchMode::PreloadedFnPointer => {
+                        for k in compiled.clone() {
+                            let cg = &queue[k];
+                            uploaded[k](&view, &cg.args, 0..cg.args.work);
+                        }
+                    }
+                    DispatchMode::RuntimeParse => {
+                        scratch.clear();
+                        compile_gate(raw, n, specialized, &mut scratch);
+                        for cg in &scratch {
+                            resolve::<LocalView>(cg.id)(&view, &cg.args, 0..cg.args.work);
+                        }
+                    }
+                }
+            }
+            Step::Measure { qubit, cbit, .. } => {
+                let r = rng.next_f64();
+                let outcome = measure_into(&view, *qubit, r)?;
+                cbits = (cbits & !(1u64 << cbit)) | (u64::from(outcome) << cbit);
+            }
+            Step::Reset { qubit, .. } => {
+                let r = rng.next_f64();
+                let outcome = measure_into(&view, *qubit, r)?;
+                if outcome == 1 {
+                    let mut xg = Vec::new();
+                    compile_gate(
+                        &Gate::new(GateKind::X, &[*qubit], &[]).expect("x"),
+                        n,
+                        true,
+                        &mut xg,
+                    );
+                    resolve::<LocalView>(xg[0].id)(&view, &xg[0].args, 0..xg[0].args.work);
+                }
+            }
+        }
+    }
+    Ok(cbits)
+}
+
+/// Validate a worker count for a given register width.
+fn check_workers(n_workers: usize, n_qubits: u32, what: &str) -> SvResult<()> {
+    if n_workers == 0 || !n_workers.is_power_of_two() {
+        return Err(SvError::InvalidConfig(format!(
+            "{what} count {n_workers} must be a nonzero power of two"
+        )));
+    }
+    if (n_workers as u64) > (1u64 << n_qubits) {
+        return Err(SvError::InvalidConfig(format!(
+            "{what} count {n_workers} exceeds the state dimension"
+        )));
+    }
+    Ok(())
+}
+
+/// Shared gate/step walker for the partitioned backends. `sync` is called
+/// between dependent kernels; `reduce` turns a local probability
+/// contribution into the global one.
+#[allow(clippy::too_many_arguments)]
+fn walk_steps<V: StateView>(
+    steps: &[Step],
+    queue: &[CompiledGate],
+    view: &V,
+    n_qubits: u32,
+    specialized: bool,
+    dispatch: DispatchMode,
+    worker: u64,
+    n_workers: u64,
+    randoms: &[f64],
+    my_re: &SharedF64Vec,
+    my_im: &SharedF64Vec,
+    my_base: u64,
+    sync: &dyn Fn(),
+    reduce: &dyn Fn(f64) -> f64,
+) -> SvResult<u64> {
+    let mut cbits = 0u64;
+    let mut scratch: Vec<CompiledGate> = Vec::new();
+    let uploaded: Vec<KernelFn<V>> = if dispatch == DispatchMode::PreloadedFnPointer {
+        queue.iter().map(|c| resolve::<V>(c.id)).collect()
+    } else {
+        Vec::new()
+    };
+    for step in steps {
+        match step {
+            Step::Gate { raw, compiled } | Step::IfEq { raw, compiled, .. } => {
+                if let Step::IfEq {
+                    creg_lo,
+                    creg_len,
+                    value,
+                    ..
+                } = step
+                {
+                    // All workers hold identical cbits, so they branch
+                    // identically — no divergence across the barrier.
+                    if !cond_holds(cbits, *creg_lo, *creg_len, *value) {
+                        continue;
+                    }
+                }
+                match dispatch {
+                    DispatchMode::PreloadedFnPointer => {
+                        for k in compiled.clone() {
+                            let cg = &queue[k];
+                            uploaded[k](view, &cg.args, worker_range(cg.args.work, n_workers, worker));
+                            sync();
+                        }
+                    }
+                    DispatchMode::RuntimeParse => {
+                        scratch.clear();
+                        compile_gate(raw, n_qubits, specialized, &mut scratch);
+                        for cg in &scratch {
+                            resolve::<V>(cg.id)(
+                                view,
+                                &cg.args,
+                                worker_range(cg.args.work, n_workers, worker),
+                            );
+                            sync();
+                        }
+                    }
+                }
+            }
+            Step::Measure { qubit, cbit, r_idx } => {
+                let partial = measure::partial_prob_one_partition(my_re, my_im, my_base, *qubit);
+                let p1 = reduce(partial);
+                let outcome = u8::from(randoms[*r_idx] < p1);
+                let p = if outcome == 1 { p1 } else { 1.0 - p1 };
+                if p < 1e-300 {
+                    return Err(SvError::Numeric(format!(
+                        "collapse of qubit {qubit} with probability ~0"
+                    )));
+                }
+                measure::collapse_partition(my_re, my_im, my_base, *qubit, outcome, 1.0 / p.sqrt());
+                sync();
+                cbits = (cbits & !(1u64 << cbit)) | (u64::from(outcome) << cbit);
+            }
+            Step::Reset { qubit, r_idx } => {
+                let partial = measure::partial_prob_one_partition(my_re, my_im, my_base, *qubit);
+                let p1 = reduce(partial);
+                let outcome = u8::from(randoms[*r_idx] < p1);
+                let p = if outcome == 1 { p1 } else { 1.0 - p1 };
+                if p < 1e-300 {
+                    return Err(SvError::Numeric(format!(
+                        "reset of qubit {qubit} with probability ~0"
+                    )));
+                }
+                measure::collapse_partition(my_re, my_im, my_base, *qubit, outcome, 1.0 / p.sqrt());
+                sync();
+                if outcome == 1 {
+                    // Distributed X to restore |0>.
+                    let mut xg = Vec::new();
+                    compile_gate(
+                        &Gate::new(GateKind::X, &[*qubit], &[]).expect("x"),
+                        n_qubits,
+                        true,
+                        &mut xg,
+                    );
+                    let cg = &xg[0];
+                    resolve::<V>(cg.id)(
+                        view,
+                        &cg.args,
+                        worker_range(cg.args.work, n_workers, worker),
+                    );
+                    sync();
+                }
+            }
+        }
+    }
+    Ok(cbits)
+}
+
+/// Scale-up execution: the state vector partitioned across `n_dev` device
+/// partitions in one process, accessed via the peer pointer table
+/// (§3.2.2). Returns the classical bits and the peer traffic profile.
+pub(crate) fn run_scaleup(
+    state: &mut StateVector,
+    circuit: &Circuit,
+    n_dev: usize,
+    specialized: bool,
+    dispatch: DispatchMode,
+    rng: &mut SvRng,
+) -> SvResult<(u64, Vec<TrafficSnapshot>)> {
+    let n = state.n_qubits();
+    check_workers(n_dev, n, "device")?;
+    let dim = state.dim();
+    let per_dev = dim / n_dev;
+    let (steps, queue, n_rand) = build_steps(circuit, n, specialized);
+    let randoms: Vec<f64> = (0..n_rand).map(|_| rng.next_f64()).collect();
+
+    // Partition the state (the host-to-devices transfer).
+    let re_parts: Vec<SharedF64Vec> = (0..n_dev).map(|_| SharedF64Vec::new(per_dev, 0.0)).collect();
+    let im_parts: Vec<SharedF64Vec> = (0..n_dev).map(|_| SharedF64Vec::new(per_dev, 0.0)).collect();
+    for d in 0..n_dev {
+        re_parts[d].store_slice(0, &state.re()[d * per_dev..(d + 1) * per_dev]);
+        im_parts[d].store_slice(0, &state.im()[d * per_dev..(d + 1) * per_dev]);
+    }
+
+    let metrics = MetricsTable::new(n_dev);
+    let barrier = SenseBarrier::new(n_dev);
+    let coll = SharedF64Vec::new(n_dev, 0.0);
+
+    let mut cbits_out = 0u64;
+    let mut err: Option<SvError> = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_dev)
+            .map(|d| {
+                let steps = &steps;
+                let queue = &queue;
+                let re_parts = &re_parts;
+                let im_parts = &im_parts;
+                let metrics = &metrics;
+                let barrier = &barrier;
+                let coll = &coll;
+                let randoms = &randoms;
+                scope.spawn(move || -> SvResult<u64> {
+                    let view = PeerView::new(re_parts, im_parts, d, Some(metrics.pe(d)));
+                    let token = std::cell::Cell::new(svsim_shmem::BarrierToken::default());
+                    let sync = || {
+                        let mut t = token.take();
+                        barrier.wait(&mut t);
+                        token.set(t);
+                    };
+                    let reduce = |x: f64| {
+                        coll.store(d, x);
+                        sync();
+                        let total: f64 = (0..n_dev).map(|p| coll.load(p)).sum();
+                        sync();
+                        total
+                    };
+                    walk_steps(
+                        steps,
+                        queue,
+                        &view,
+                        n,
+                        specialized,
+                        dispatch,
+                        d as u64,
+                        n_dev as u64,
+                        randoms,
+                        &re_parts[d],
+                        &im_parts[d],
+                        (d * per_dev) as u64,
+                        &sync,
+                        &reduce,
+                    )
+                })
+            })
+            .collect();
+        for (d, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(Ok(cb)) => {
+                    if d == 0 {
+                        cbits_out = cb;
+                    }
+                }
+                Ok(Err(e)) => err = Some(e),
+                Err(_) => err = Some(SvError::Shmem("scale-up worker panicked".into())),
+            }
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+
+    // Devices-to-host readback.
+    {
+        let (re, im) = state.parts_mut();
+        for d in 0..n_dev {
+            let mut buf = vec![0.0f64; per_dev];
+            re_parts[d].load_slice(0, &mut buf);
+            re[d * per_dev..(d + 1) * per_dev].copy_from_slice(&buf);
+            im_parts[d].load_slice(0, &mut buf);
+            im[d * per_dev..(d + 1) * per_dev].copy_from_slice(&buf);
+        }
+    }
+    Ok((cbits_out, metrics.snapshot_all()))
+}
+
+/// Scale-out execution: SPMD over SHMEM PEs, each owning one partition of
+/// the symmetric-heap state vector (§3.2.3).
+pub(crate) fn run_scaleout(
+    state: &mut StateVector,
+    circuit: &Circuit,
+    n_pes: usize,
+    specialized: bool,
+    dispatch: DispatchMode,
+    rng: &mut SvRng,
+) -> SvResult<(u64, Vec<TrafficSnapshot>)> {
+    let n = state.n_qubits();
+    check_workers(n_pes, n, "PE")?;
+    let dim = state.dim();
+    let per_pe = dim / n_pes;
+    let (steps, queue, n_rand) = build_steps(circuit, n, specialized);
+    let randoms: Vec<f64> = (0..n_rand).map(|_| rng.next_f64()).collect();
+    let init_re = state.re().to_vec();
+    let init_im = state.im().to_vec();
+
+    let out = svsim_shmem::launch(n_pes, |ctx| -> SvResult<(u64, Vec<f64>, Vec<f64>)> {
+        let pe = ctx.my_pe();
+        let sym_re = ctx.malloc_f64(per_pe);
+        let sym_im = ctx.malloc_f64(per_pe);
+        // Local initialization of this PE's slice (host scatter).
+        sym_re
+            .partition(pe)
+            .store_slice(0, &init_re[pe * per_pe..(pe + 1) * per_pe]);
+        sym_im
+            .partition(pe)
+            .store_slice(0, &init_im[pe * per_pe..(pe + 1) * per_pe]);
+        ctx.barrier_all();
+
+        let view = ShmemView::new(ctx, &sym_re, &sym_im);
+        let sync = || ctx.barrier_all();
+        let reduce = |x: f64| ctx.sum_reduce_f64(x);
+        let cbits = walk_steps(
+            &steps,
+            &queue,
+            &view,
+            n,
+            specialized,
+            dispatch,
+            pe as u64,
+            n_pes as u64,
+            &randoms,
+            sym_re.partition(pe),
+            sym_im.partition(pe),
+            (pe * per_pe) as u64,
+            &sync,
+            &reduce,
+        )?;
+        ctx.barrier_all();
+        Ok((cbits, sym_re.partition(pe).to_vec(), sym_im.partition(pe).to_vec()))
+    })?;
+
+    let mut cbits_out = 0u64;
+    {
+        let (re, im) = state.parts_mut();
+        for (pe, r) in out.results.into_iter().enumerate() {
+            let (cb, pre, pim) = r?;
+            if pe == 0 {
+                cbits_out = cb;
+            }
+            re[pe * per_pe..(pe + 1) * per_pe].copy_from_slice(&pre);
+            im[pe * per_pe..(pe + 1) * per_pe].copy_from_slice(&pim);
+        }
+    }
+    Ok((cbits_out, out.traffic))
+}

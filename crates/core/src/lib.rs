@@ -1,0 +1,35 @@
+//! The SV-Sim core simulator: specialized state-vector kernels over three
+//! memory fabrics (single device, peer-access scale-up, SHMEM scale-out),
+//! with function-pointer gate dispatch.
+//!
+//! Module map (paper section in parentheses):
+//! - [`state`]: SoA state vector.
+//! - [`view`]: the `StateView` fabric abstraction (§3.2).
+//! - [`kernels`]: specialized gate kernels (§3.2.1).
+//! - [`compile`]: gate → kernel resolution, the "upload" step.
+//! - [`dispatch`]: preloaded fn-pointers vs. runtime parsing (Listing 1).
+//! - [`exec`]: the three backends (Listings 3-5).
+//! - [`measure`]: measurement, collapse, sampling, expectations.
+//! - [`traffic`]: exact analytic communication model.
+//! - [`sim`]: the `Simulator` facade.
+
+pub mod batch;
+pub mod compile;
+pub mod dispatch;
+pub mod exec;
+pub mod kernels;
+pub mod measure;
+pub mod noise;
+pub mod sim;
+pub mod state;
+pub mod traffic;
+pub mod view;
+
+pub use batch::{CompiledTemplate, ParamCircuit, ParamValue};
+pub use compile::{CompiledGate, KernelId};
+pub use exec::DispatchMode;
+pub use noise::{sample_noisy_circuit, trajectory_average, NoiseModel};
+pub use sim::{BackendKind, RunSummary, SimConfig, Simulator};
+pub use state::StateVector;
+pub use traffic::GateTraffic;
+pub use view::{LocalView, PeerView, ShmemView, StateView};

@@ -1,0 +1,366 @@
+//! Measurement, collapse, sampling, and expectation values.
+//!
+//! Projective measurement is the only non-unitary operation the simulator
+//! needs. Probability accumulation and collapse are *embarrassingly local*
+//! under the natural-order partitioning (they are diagonal), so the
+//! distributed backends run them on their own partitions with a single
+//! scalar reduction — no amplitude exchange.
+
+use crate::state::StateVector;
+use rayon::prelude::*;
+use svsim_ir::{Pauli, PauliString};
+use svsim_shmem::SharedF64Vec;
+use svsim_types::bits::{bit, masked_parity};
+use svsim_types::{SvError, SvResult, SvRng};
+
+/// States at or above this size use rayon for the diagonal reductions
+/// (probabilities, expectations); below it the fork/join overhead loses.
+const PAR_THRESHOLD: usize = 1 << 16;
+
+/// Probability that qubit `q` measures 1 (full local state).
+#[must_use]
+pub fn prob_one(state: &StateVector, q: u32) -> f64 {
+    let (re, im) = (state.re(), state.im());
+    if re.len() >= PAR_THRESHOLD {
+        return re
+            .par_iter()
+            .zip(im.par_iter())
+            .enumerate()
+            .map(|(i, (&r, &m))| {
+                if bit(i as u64, q) == 1 {
+                    r * r + m * m
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+    }
+    let mut p = 0.0;
+    for i in 0..re.len() {
+        if bit(i as u64, q) == 1 {
+            p += re[i] * re[i] + im[i] * im[i];
+        }
+    }
+    p
+}
+
+/// Collapse qubit `q` to `outcome` with pre-computed branch probability `p`.
+///
+/// # Errors
+/// [`SvError::Numeric`] when collapsing onto a ~zero-probability branch.
+pub fn collapse(state: &mut StateVector, q: u32, outcome: u8, p: f64) -> SvResult<()> {
+    if p < 1e-300 {
+        return Err(SvError::Numeric(format!(
+            "collapse of qubit {q} onto outcome {outcome} with probability ~0"
+        )));
+    }
+    let scale = 1.0 / p.sqrt();
+    let (re, im) = state.parts_mut();
+    for i in 0..re.len() {
+        if bit(i as u64, q) == u64::from(outcome) {
+            re[i] *= scale;
+            im[i] *= scale;
+        } else {
+            re[i] = 0.0;
+            im[i] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Measure qubit `q`: draw the outcome from `r in [0,1)`, collapse, return
+/// the outcome. (`r` is supplied by the caller so distributed executors can
+/// share one pre-drawn random stream.)
+///
+/// # Errors
+/// Propagates [`collapse`] failures.
+pub fn measure_with(state: &mut StateVector, q: u32, r: f64) -> SvResult<u8> {
+    let p1 = prob_one(state, q);
+    let outcome = u8::from(r < p1);
+    let p = if outcome == 1 { p1 } else { 1.0 - p1 };
+    collapse(state, q, outcome, p)?;
+    Ok(outcome)
+}
+
+/// Reset qubit `q` to `|0>`: measure, then flip if it came out 1.
+///
+/// # Errors
+/// Propagates collapse failures.
+pub fn reset_with(state: &mut StateVector, q: u32, r: f64) -> SvResult<()> {
+    let outcome = measure_with(state, q, r)?;
+    if outcome == 1 {
+        // Deterministic X on the collapsed state.
+        let (re, im) = state.parts_mut();
+        let half = re.len() / 2;
+        for i in 0..half {
+            let i0 = svsim_types::bits::pair_base_1q(i as u64, q) as usize;
+            let i1 = i0 | (1usize << q);
+            re.swap(i0, i1);
+            im.swap(i0, i1);
+        }
+    }
+    Ok(())
+}
+
+/// Partition-local partial probability of qubit `q` being 1, for a
+/// partition whose first global amplitude index is `base`.
+#[must_use]
+pub fn partial_prob_one_partition(re: &SharedF64Vec, im: &SharedF64Vec, base: u64, q: u32) -> f64 {
+    let mut p = 0.0;
+    for off in 0..re.len() {
+        if bit(base + off as u64, q) == 1 {
+            let (r, i) = (re.load(off), im.load(off));
+            p += r * r + i * i;
+        }
+    }
+    p
+}
+
+/// Partition-local collapse (diagonal, no communication).
+pub fn collapse_partition(
+    re: &SharedF64Vec,
+    im: &SharedF64Vec,
+    base: u64,
+    q: u32,
+    outcome: u8,
+    inv_sqrt_p: f64,
+) {
+    for off in 0..re.len() {
+        if bit(base + off as u64, q) == u64::from(outcome) {
+            re.store(off, re.load(off) * inv_sqrt_p);
+            im.store(off, im.load(off) * inv_sqrt_p);
+        } else {
+            re.store(off, 0.0);
+            im.store(off, 0.0);
+        }
+    }
+}
+
+/// Sample `shots` basis states from the final distribution (inverse-CDF per
+/// shot; the repeated sampling of VQA workloads, §1 of the paper).
+#[must_use]
+pub fn sample_shots(probabilities: &[f64], rng: &mut SvRng, shots: usize) -> Vec<u64> {
+    // Cumulative distribution once, binary search per shot.
+    let mut cdf = Vec::with_capacity(probabilities.len());
+    let mut acc = 0.0;
+    for &p in probabilities {
+        acc += p;
+        cdf.push(acc);
+    }
+    let total = acc.max(f64::MIN_POSITIVE);
+    (0..shots)
+        .map(|_| {
+            let r = rng.next_f64() * total;
+            match cdf.binary_search_by(|c| c.partial_cmp(&r).expect("no NaN")) {
+                Ok(i) | Err(i) => (i.min(cdf.len() - 1)) as u64,
+            }
+        })
+        .collect()
+}
+
+/// Histogram of sampled outcomes.
+#[must_use]
+pub fn histogram(samples: &[u64]) -> std::collections::BTreeMap<u64, usize> {
+    let mut h = std::collections::BTreeMap::new();
+    for &s in samples {
+        *h.entry(s).or_insert(0) += 1;
+    }
+    h
+}
+
+/// `<Z-mask>` expectation from probabilities: `sum_i (-1)^{parity(i & mask)} p_i`.
+#[must_use]
+pub fn expval_z_mask(state: &StateVector, mask: u64) -> f64 {
+    let (re, im) = (state.re(), state.im());
+    let term = |i: usize, r: f64, m: f64| {
+        let p = r * r + m * m;
+        if masked_parity(i as u64, mask) == 1 {
+            -p
+        } else {
+            p
+        }
+    };
+    if re.len() >= PAR_THRESHOLD {
+        return re
+            .par_iter()
+            .zip(im.par_iter())
+            .enumerate()
+            .map(|(i, (&r, &m))| term(i, r, m))
+            .sum();
+    }
+    let mut e = 0.0;
+    for i in 0..re.len() {
+        e += term(i, re[i], im[i]);
+    }
+    e
+}
+
+/// `<P>` for an arbitrary Pauli string: basis-change a *copy* of the state
+/// into the Z frame, then take the Z-mask expectation.
+#[must_use]
+pub fn expval_pauli(state: &StateVector, string: &PauliString) -> f64 {
+    if string.is_identity() {
+        return state.norm_sqr();
+    }
+    let needs_rotation = string
+        .factors()
+        .iter()
+        .any(|&(p, _)| p != Pauli::Z);
+    if !needs_rotation {
+        return expval_z_mask(state, string.qubit_mask());
+    }
+    let mut rotated = state.clone();
+    {
+        use crate::compile::compile_gate;
+        use crate::dispatch::resolve;
+        use crate::kernels::worker_range;
+        use crate::view::LocalView;
+        let n = rotated.n_qubits();
+        let (re, im) = rotated.parts_mut();
+        let view = LocalView::new(re, im);
+        let mut compiled = Vec::new();
+        for &(p, q) in string.factors() {
+            match p {
+                Pauli::X => {
+                    let g = svsim_ir::Gate::new(svsim_ir::GateKind::H, &[q], &[]).expect("h");
+                    compile_gate(&g, n, true, &mut compiled);
+                }
+                Pauli::Y => {
+                    // Rotate Y into Z: apply B† = H * S† (circuit: sdg, h).
+                    for kind in [svsim_ir::GateKind::SDG, svsim_ir::GateKind::H] {
+                        let g = svsim_ir::Gate::new(kind, &[q], &[]).expect("1q");
+                        compile_gate(&g, n, true, &mut compiled);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for cg in &compiled {
+            resolve::<LocalView>(cg.id)(&view, &cg.args, worker_range(cg.args.work, 1, 0));
+        }
+    }
+    expval_z_mask(&rotated, string.qubit_mask())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svsim_types::Complex64;
+
+    fn plus_state() -> StateVector {
+        let s2i = svsim_types::S2I;
+        let mut s = StateVector::zero_state(1).unwrap();
+        s.set_complex(&[Complex64::real(s2i), Complex64::real(s2i)])
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn prob_of_basis_states() {
+        let s = StateVector::zero_state(3).unwrap();
+        assert_eq!(prob_one(&s, 0), 0.0);
+        assert!((prob_one(&plus_state(), 0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn measure_collapses_and_normalizes() {
+        let mut s = plus_state();
+        let outcome = measure_with(&mut s, 0, 0.3).unwrap(); // 0.3 < 0.5 -> 1
+        assert_eq!(outcome, 1);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+        assert_eq!(prob_one(&s, 0), 1.0);
+
+        let mut s = plus_state();
+        let outcome = measure_with(&mut s, 0, 0.9).unwrap(); // 0.9 >= 0.5 -> 0
+        assert_eq!(outcome, 0);
+        assert_eq!(prob_one(&s, 0), 0.0);
+    }
+
+    #[test]
+    fn collapse_zero_probability_errors() {
+        let mut s = StateVector::zero_state(1).unwrap();
+        assert!(collapse(&mut s, 0, 1, 0.0).is_err());
+    }
+
+    #[test]
+    fn reset_restores_zero() {
+        let mut s = plus_state();
+        reset_with(&mut s, 0, 0.1).unwrap(); // collapses to 1, then X
+        assert_eq!(prob_one(&s, 0), 0.0);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_statistics() {
+        let mut rng = SvRng::seed_from_u64(17);
+        // 25/75 distribution.
+        let probs = vec![0.25, 0.75];
+        let samples = sample_shots(&probs, &mut rng, 20_000);
+        let h = histogram(&samples);
+        let f1 = h[&1] as f64 / 20_000.0;
+        assert!((f1 - 0.75).abs() < 0.02, "frequency was {f1}");
+    }
+
+    #[test]
+    fn sampling_never_out_of_range() {
+        let mut rng = SvRng::seed_from_u64(3);
+        let probs = vec![0.0, 0.0, 1.0, 0.0];
+        for s in sample_shots(&probs, &mut rng, 1000) {
+            assert_eq!(s, 2);
+        }
+    }
+
+    #[test]
+    fn z_expectations() {
+        let s = StateVector::zero_state(2).unwrap();
+        assert!((expval_z_mask(&s, 0b01) - 1.0).abs() < 1e-15);
+        // |+> has <Z> = 0, <X> = 1.
+        let p = plus_state();
+        assert!(expval_z_mask(&p, 1).abs() < 1e-15);
+        let x = PauliString::parse("X").unwrap();
+        assert!((expval_pauli(&p, &x) - 1.0).abs() < 1e-12);
+        let z = PauliString::parse("Z").unwrap();
+        assert!(expval_pauli(&p, &z).abs() < 1e-12);
+    }
+
+    #[test]
+    fn y_expectation() {
+        // |i> = (|0> + i|1>)/sqrt2 has <Y> = +1.
+        let s2i = svsim_types::S2I;
+        let mut s = StateVector::zero_state(1).unwrap();
+        s.set_complex(&[Complex64::real(s2i), Complex64::new(0.0, s2i)])
+            .unwrap();
+        let y = PauliString::parse("Y").unwrap();
+        assert!((expval_pauli(&s, &y) - 1.0).abs() < 1e-12);
+        // And the original state is untouched (expval works on a copy).
+        assert!((s.amplitude(1).im - s2i).abs() < 1e-15);
+    }
+
+    #[test]
+    fn identity_expectation_is_norm() {
+        let s = plus_state();
+        let id = PauliString::parse("I").unwrap();
+        assert!((expval_pauli(&s, &id) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_prob_and_collapse() {
+        // 2 partitions of a 2-qubit |+> x |0> state: amps (s2i, s2i, 0, 0).
+        let s2i = svsim_types::S2I;
+        let re0 = SharedF64Vec::new(2, 0.0);
+        let im0 = SharedF64Vec::new(2, 0.0);
+        let re1 = SharedF64Vec::new(2, 0.0);
+        let im1 = SharedF64Vec::new(2, 0.0);
+        re0.store(0, s2i);
+        re0.store(1, s2i);
+        let p = partial_prob_one_partition(&re0, &im0, 0, 0)
+            + partial_prob_one_partition(&re1, &im1, 2, 0);
+        assert!((p - 0.5).abs() < 1e-15);
+        // Collapse to outcome 0.
+        let inv = (1.0f64 / 0.5).sqrt();
+        collapse_partition(&re0, &im0, 0, 0, 0, inv);
+        collapse_partition(&re1, &im1, 2, 0, 0, inv);
+        assert!((re0.load(0) - 1.0).abs() < 1e-12);
+        assert_eq!(re0.load(1), 0.0);
+    }
+}

@@ -1,0 +1,504 @@
+//! The unified `Simulator` facade over all backends.
+
+use crate::exec::{run_scaleout, run_scaleup, run_single, DispatchMode};
+use crate::measure;
+use crate::state::StateVector;
+use crate::traffic::{circuit_traffic, GateTraffic};
+use svsim_ir::{Circuit, PauliString};
+use svsim_shmem::TrafficSnapshot;
+use svsim_types::{Complex64, SvError, SvResult, SvRng};
+
+/// Which execution backend runs the circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// One device, sequential kernels (§3.2.1).
+    SingleDevice,
+    /// One process, `n` device partitions over peer access (§3.2.2).
+    ScaleUp {
+        /// Number of device partitions (power of two).
+        n_devices: usize,
+    },
+    /// SPMD SHMEM PEs, one partition each (§3.2.3).
+    ScaleOut {
+        /// Number of PEs (power of two).
+        n_pes: usize,
+    },
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Backend selection.
+    pub backend: BackendKind,
+    /// Gate dispatch strategy.
+    pub dispatch: DispatchMode,
+    /// Specialized per-gate kernels (`true`, the SV-Sim design) or
+    /// generalized dense-matrix application (`false`, the Aer/qsim scheme).
+    pub specialized: bool,
+    /// RNG seed for measurement and sampling.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Single device, fn-pointer dispatch, specialized kernels.
+    #[must_use]
+    pub fn single_device() -> Self {
+        Self {
+            backend: BackendKind::SingleDevice,
+            dispatch: DispatchMode::PreloadedFnPointer,
+            specialized: true,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Scale-up over `n_devices` peer-accessed partitions.
+    #[must_use]
+    pub fn scale_up(n_devices: usize) -> Self {
+        Self {
+            backend: BackendKind::ScaleUp { n_devices },
+            ..Self::single_device()
+        }
+    }
+
+    /// Scale-out over `n_pes` SHMEM PEs.
+    #[must_use]
+    pub fn scale_out(n_pes: usize) -> Self {
+        Self {
+            backend: BackendKind::ScaleOut { n_pes },
+            ..Self::single_device()
+        }
+    }
+
+    /// Override the dispatch mode.
+    #[must_use]
+    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Disable gate specialization (generalized dense kernels).
+    #[must_use]
+    pub fn with_generic_gates(mut self) -> Self {
+        self.specialized = false;
+        self
+    }
+
+    /// Override the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Outcome summary of one circuit execution.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Gates executed (after compound composition).
+    pub gates: usize,
+    /// Classical register contents after the run.
+    pub cbits: u64,
+    /// Measured per-worker communication traffic (empty for single device).
+    pub traffic: Vec<TrafficSnapshot>,
+}
+
+impl RunSummary {
+    /// Aggregate traffic over all workers.
+    #[must_use]
+    pub fn total_traffic(&self) -> TrafficSnapshot {
+        self.traffic
+            .iter()
+            .fold(TrafficSnapshot::default(), |acc, t| acc.merged(t))
+    }
+}
+
+/// The SV-Sim simulator: a state vector plus an execution backend.
+#[derive(Debug)]
+pub struct Simulator {
+    state: StateVector,
+    config: SimConfig,
+    rng: SvRng,
+    cbits: u64,
+}
+
+impl Simulator {
+    /// Fresh simulator in `|0...0>`.
+    ///
+    /// # Errors
+    /// Invalid register width or worker configuration.
+    pub fn new(n_qubits: u32, config: SimConfig) -> SvResult<Self> {
+        let state = StateVector::zero_state(n_qubits)?;
+        match config.backend {
+            BackendKind::ScaleUp { n_devices: w } | BackendKind::ScaleOut { n_pes: w } => {
+                if w == 0 || !w.is_power_of_two() {
+                    return Err(SvError::InvalidConfig(format!(
+                        "worker count {w} must be a nonzero power of two"
+                    )));
+                }
+                if (w as u64) > (1u64 << n_qubits) {
+                    return Err(SvError::InvalidConfig(format!(
+                        "worker count {w} exceeds 2^{n_qubits} amplitudes"
+                    )));
+                }
+            }
+            BackendKind::SingleDevice => {}
+        }
+        Ok(Self {
+            state,
+            rng: SvRng::seed_from_u64(config.seed),
+            config,
+            cbits: 0,
+        })
+    }
+
+    /// Register width.
+    #[must_use]
+    pub fn n_qubits(&self) -> u32 {
+        self.state.n_qubits()
+    }
+
+    /// Active configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Execute a circuit against the current state.
+    ///
+    /// # Errors
+    /// Width mismatch, classical-register overflow, or numeric failures.
+    pub fn run(&mut self, circuit: &Circuit) -> SvResult<RunSummary> {
+        if circuit.n_qubits() > self.state.n_qubits() {
+            return Err(SvError::InvalidConfig(format!(
+                "circuit uses {} qubits, simulator has {}",
+                circuit.n_qubits(),
+                self.state.n_qubits()
+            )));
+        }
+        if circuit.n_cbits() > 64 {
+            return Err(SvError::InvalidConfig(
+                "at most 64 classical bits are supported".into(),
+            ));
+        }
+        let gates = circuit.gates().count();
+        let (cbits, traffic) = match self.config.backend {
+            BackendKind::SingleDevice => {
+                let cb = run_single(
+                    &mut self.state,
+                    circuit,
+                    self.config.specialized,
+                    self.config.dispatch,
+                    &mut self.rng,
+                )?;
+                (cb, Vec::new())
+            }
+            BackendKind::ScaleUp { n_devices } => run_scaleup(
+                &mut self.state,
+                circuit,
+                n_devices,
+                self.config.specialized,
+                self.config.dispatch,
+                &mut self.rng,
+            )?,
+            BackendKind::ScaleOut { n_pes } => run_scaleout(
+                &mut self.state,
+                circuit,
+                n_pes,
+                self.config.specialized,
+                self.config.dispatch,
+                &mut self.rng,
+            )?,
+        };
+        self.cbits = cbits;
+        Ok(RunSummary {
+            gates,
+            cbits,
+            traffic,
+        })
+    }
+
+    /// Predict the communication traffic of a circuit at this backend's
+    /// partitioning without running it.
+    #[must_use]
+    pub fn predict_traffic(&self, circuit: &Circuit) -> GateTraffic {
+        let n_pes = match self.config.backend {
+            BackendKind::SingleDevice => 1,
+            BackendKind::ScaleUp { n_devices } => n_devices as u64,
+            BackendKind::ScaleOut { n_pes } => n_pes as u64,
+        };
+        let gates: Vec<svsim_ir::Gate> = circuit.gates().copied().collect();
+        let compiled = crate::compile::compile_gates(
+            gates.iter(),
+            self.state.n_qubits(),
+            self.config.specialized,
+        );
+        circuit_traffic(&compiled, self.state.n_qubits(), n_pes)
+    }
+
+    /// Reset to `|0...0>` and clear classical bits.
+    pub fn reset_state(&mut self) {
+        self.state = StateVector::zero_state(self.state.n_qubits()).expect("validated width");
+        self.cbits = 0;
+    }
+
+    /// Re-seed the RNG.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = SvRng::seed_from_u64(seed);
+    }
+
+    /// Current state vector.
+    #[must_use]
+    pub fn state(&self) -> &StateVector {
+        &self.state
+    }
+
+    /// Amplitudes as complex numbers.
+    #[must_use]
+    pub fn amplitudes(&self) -> Vec<Complex64> {
+        self.state.to_complex()
+    }
+
+    /// Probability of every basis state.
+    #[must_use]
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.state.probabilities()
+    }
+
+    /// Classical bits from the last run.
+    #[must_use]
+    pub fn cbits(&self) -> u64 {
+        self.cbits
+    }
+
+    /// Sample `shots` basis outcomes from the current state.
+    #[must_use]
+    pub fn sample(&mut self, shots: usize) -> Vec<u64> {
+        let probs = self.state.probabilities();
+        measure::sample_shots(&probs, &mut self.rng, shots)
+    }
+
+    /// Execute a circuit `shots` times from `|0...0>`, histogramming the
+    /// classical register. This is the right entry point for circuits with
+    /// mid-circuit measurement or conditionals, where each shot collapses
+    /// differently; for purely unitary circuits prefer one `run` plus
+    /// [`Self::sample`].
+    ///
+    /// # Errors
+    /// As [`Self::run`].
+    pub fn run_shots(
+        &mut self,
+        circuit: &Circuit,
+        shots: usize,
+    ) -> SvResult<std::collections::BTreeMap<u64, usize>> {
+        let mut hist = std::collections::BTreeMap::new();
+        for _ in 0..shots {
+            self.reset_state();
+            let summary = self.run(circuit)?;
+            *hist.entry(summary.cbits).or_insert(0) += 1;
+        }
+        Ok(hist)
+    }
+
+    /// `<P>` expectation of a Pauli string on the current state.
+    #[must_use]
+    pub fn expval_pauli(&self, string: &PauliString) -> f64 {
+        measure::expval_pauli(&self.state, string)
+    }
+
+    /// Overwrite the state (for workloads that prepare ansätze externally).
+    ///
+    /// # Errors
+    /// Length mismatch.
+    pub fn set_state(&mut self, amps: &[Complex64]) -> SvResult<()> {
+        self.state.set_complex(amps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svsim_ir::GateKind;
+
+    fn ghz(n: u32) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        for q in 0..n - 1 {
+            c.apply(GateKind::CX, &[q, q + 1], &[]).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn ghz_on_all_backends() {
+        for config in [
+            SimConfig::single_device(),
+            SimConfig::scale_up(2),
+            SimConfig::scale_up(4),
+            SimConfig::scale_out(2),
+            SimConfig::scale_out(4),
+        ] {
+            let mut sim = Simulator::new(4, config).unwrap();
+            sim.run(&ghz(4)).unwrap();
+            let p = sim.probabilities();
+            assert!((p[0] - 0.5).abs() < 1e-12, "{config:?}");
+            assert!((p[15] - 0.5).abs() < 1e-12, "{config:?}");
+            assert!((sim.state().norm_sqr() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn backends_agree_exactly() {
+        let c = ghz(5);
+        let mut reference = Simulator::new(5, SimConfig::single_device()).unwrap();
+        reference.run(&c).unwrap();
+        for config in [
+            SimConfig::scale_up(4),
+            SimConfig::scale_out(8),
+            SimConfig::single_device().with_dispatch(DispatchMode::RuntimeParse),
+            SimConfig::single_device().with_generic_gates(),
+        ] {
+            let mut sim = Simulator::new(5, config).unwrap();
+            sim.run(&c).unwrap();
+            assert!(
+                sim.state().max_diff(reference.state()) < 1e-12,
+                "{config:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Simulator::new(4, SimConfig::scale_up(3)).is_err());
+        assert!(Simulator::new(4, SimConfig::scale_out(0)).is_err());
+        assert!(Simulator::new(2, SimConfig::scale_out(8)).is_err());
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut sim = Simulator::new(3, SimConfig::single_device()).unwrap();
+        assert!(sim.run(&ghz(4)).is_err());
+    }
+
+    #[test]
+    fn measurement_collapses_ghz() {
+        let mut c = ghz(3);
+        let mut with_measure = Circuit::with_cbits(3, 3);
+        with_measure.extend(&c).unwrap();
+        for q in 0..3 {
+            with_measure.measure(q, q).unwrap();
+        }
+        c = with_measure;
+        for config in [
+            SimConfig::single_device(),
+            SimConfig::scale_up(2),
+            SimConfig::scale_out(4),
+        ] {
+            let mut sim = Simulator::new(3, config.with_seed(7)).unwrap();
+            let summary = sim.run(&c).unwrap();
+            // GHZ measurement is perfectly correlated: all zeros or all ones.
+            assert!(
+                summary.cbits == 0 || summary.cbits == 0b111,
+                "cbits = {:b}",
+                summary.cbits
+            );
+            let p = sim.probabilities();
+            let idx = summary.cbits as usize;
+            assert!((p[idx] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_outcomes_across_backends() {
+        let mut c = Circuit::with_cbits(2, 2);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.apply(GateKind::H, &[1], &[]).unwrap();
+        c.measure(0, 0).unwrap();
+        c.measure(1, 1).unwrap();
+        let mut outcomes = Vec::new();
+        for config in [
+            SimConfig::single_device(),
+            SimConfig::scale_up(2),
+            SimConfig::scale_out(2),
+        ] {
+            let mut sim = Simulator::new(2, config.with_seed(99)).unwrap();
+            outcomes.push(sim.run(&c).unwrap().cbits);
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(outcomes[1], outcomes[2]);
+    }
+
+    #[test]
+    fn conditional_gate_teleportation_style() {
+        // Prepare |1> on q0, entangle q1,q2, teleport q0 -> q2 with
+        // measurement + classically-controlled corrections.
+        let mut c = Circuit::with_cbits(3, 2);
+        c.apply(GateKind::X, &[0], &[]).unwrap(); // payload |1>
+        c.apply(GateKind::H, &[1], &[]).unwrap();
+        c.apply(GateKind::CX, &[1, 2], &[]).unwrap();
+        c.apply(GateKind::CX, &[0, 1], &[]).unwrap();
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.measure(0, 0).unwrap();
+        c.measure(1, 1).unwrap();
+        // Corrections: X on q2 if c1 == 1; Z on q2 if c0 == 1.
+        c.if_eq(1, 1, 1, svsim_ir::Gate::new(GateKind::X, &[2], &[]).unwrap())
+            .unwrap();
+        c.if_eq(0, 1, 1, svsim_ir::Gate::new(GateKind::Z, &[2], &[]).unwrap())
+            .unwrap();
+        for config in [
+            SimConfig::single_device(),
+            SimConfig::scale_up(2),
+            SimConfig::scale_out(2),
+        ] {
+            for seed in 0..6 {
+                let mut sim = Simulator::new(3, config.with_seed(seed)).unwrap();
+                sim.run(&c).unwrap();
+                // q2 must now be |1> regardless of the measured syndrome.
+                let p1 = crate::measure::prob_one(sim.state(), 2);
+                assert!((p1 - 1.0).abs() < 1e-9, "{config:?} seed {seed}: p1={p1}");
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_reported_for_distributed_backends() {
+        let c = ghz(4);
+        let mut sim = Simulator::new(4, SimConfig::scale_out(4)).unwrap();
+        let summary = sim.run(&c).unwrap();
+        assert_eq!(summary.traffic.len(), 4);
+        let total = summary.total_traffic();
+        assert!(total.remote_ops() > 0, "GHZ chain crosses partitions");
+        // Prediction matches measurement: ShmemView does one get+put of
+        // re and im per amplitude access (2 f64 ops per amplitude op).
+        let predicted = sim.predict_traffic(&c);
+        assert_eq!(
+            total.remote_gets + total.remote_puts,
+            2 * predicted.remote_amp_ops,
+            "analytic model must match measured traffic"
+        );
+    }
+
+    #[test]
+    fn sampling_from_simulator() {
+        let mut sim = Simulator::new(3, SimConfig::single_device().with_seed(5)).unwrap();
+        sim.run(&ghz(3)).unwrap();
+        let samples = sim.sample(4000);
+        let h = measure::histogram(&samples);
+        assert_eq!(h.len(), 2);
+        let f0 = h[&0] as f64 / 4000.0;
+        assert!((f0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn expval_on_ghz() {
+        let mut sim = Simulator::new(3, SimConfig::single_device()).unwrap();
+        sim.run(&ghz(3)).unwrap();
+        // <ZZI> = +1 on GHZ (correlated), <ZII> = 0.
+        let zz = PauliString::parse("ZZI").unwrap();
+        assert!((sim.expval_pauli(&zz) - 1.0).abs() < 1e-12);
+        let z = PauliString::parse("ZII").unwrap();
+        assert!(sim.expval_pauli(&z).abs() < 1e-12);
+        // <XXX> = +1 on GHZ.
+        let xxx = PauliString::parse("XXX").unwrap();
+        assert!((sim.expval_pauli(&xxx) - 1.0).abs() < 1e-12);
+    }
+}

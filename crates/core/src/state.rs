@@ -1,0 +1,206 @@
+//! The state vector in structure-of-arrays layout.
+//!
+//! The paper stores amplitudes as two separate double arrays (`sv_real`,
+//! `sv_imag`); all backends here share that layout. This module owns the
+//! single-device representation plus the conversions and norms used across
+//! the crate.
+
+use svsim_types::{Complex64, SvError, SvResult};
+
+/// A full state vector over `n` qubits, SoA layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n_qubits: u32,
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+impl StateVector {
+    /// |0...0> over `n_qubits`.
+    ///
+    /// # Errors
+    /// [`SvError::InvalidConfig`] above 30 qubits (a 16 GiB single-process
+    /// allocation guard for this reproduction).
+    pub fn zero_state(n_qubits: u32) -> SvResult<Self> {
+        if n_qubits > 30 {
+            return Err(SvError::InvalidConfig(format!(
+                "{n_qubits} qubits exceeds the single-process cap of 30"
+            )));
+        }
+        let dim = 1usize << n_qubits;
+        let mut re = vec![0.0; dim];
+        let im = vec![0.0; dim];
+        re[0] = 1.0;
+        Ok(Self { n_qubits, re, im })
+    }
+
+    /// Build from split real/imaginary arrays.
+    ///
+    /// # Errors
+    /// [`SvError::InvalidConfig`] on length mismatch or non-power-of-two.
+    pub fn from_parts(n_qubits: u32, re: Vec<f64>, im: Vec<f64>) -> SvResult<Self> {
+        let dim = 1usize << n_qubits;
+        if re.len() != dim || im.len() != dim {
+            return Err(SvError::InvalidConfig(format!(
+                "state arrays must have length {dim}"
+            )));
+        }
+        Ok(Self { n_qubits, re, im })
+    }
+
+    /// Register width.
+    #[must_use]
+    pub fn n_qubits(&self) -> u32 {
+        self.n_qubits
+    }
+
+    /// Number of amplitudes.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.re.len()
+    }
+
+    /// Real parts.
+    #[must_use]
+    pub fn re(&self) -> &[f64] {
+        &self.re
+    }
+
+    /// Imaginary parts.
+    #[must_use]
+    pub fn im(&self) -> &[f64] {
+        &self.im
+    }
+
+    /// Mutable split borrows of both arrays.
+    pub fn parts_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.re, &mut self.im)
+    }
+
+    /// Amplitude at `idx`.
+    #[must_use]
+    pub fn amplitude(&self, idx: usize) -> Complex64 {
+        Complex64::new(self.re[idx], self.im[idx])
+    }
+
+    /// All amplitudes as interleaved complex numbers.
+    #[must_use]
+    pub fn to_complex(&self) -> Vec<Complex64> {
+        self.re
+            .iter()
+            .zip(&self.im)
+            .map(|(&r, &i)| Complex64::new(r, i))
+            .collect()
+    }
+
+    /// Overwrite from interleaved complex amplitudes.
+    ///
+    /// # Errors
+    /// [`SvError::InvalidConfig`] on length mismatch.
+    pub fn set_complex(&mut self, amps: &[Complex64]) -> SvResult<()> {
+        if amps.len() != self.dim() {
+            return Err(SvError::InvalidConfig("amplitude count mismatch".into()));
+        }
+        for (i, a) in amps.iter().enumerate() {
+            self.re[i] = a.re;
+            self.im[i] = a.im;
+        }
+        Ok(())
+    }
+
+    /// Squared norm (should stay 1 under unitaries).
+    #[must_use]
+    pub fn norm_sqr(&self) -> f64 {
+        self.re
+            .iter()
+            .zip(&self.im)
+            .map(|(&r, &i)| r * r + i * i)
+            .sum()
+    }
+
+    /// Probability of each basis state.
+    #[must_use]
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.re
+            .iter()
+            .zip(&self.im)
+            .map(|(&r, &i)| r * r + i * i)
+            .collect()
+    }
+
+    /// Max |amplitude difference| against another state.
+    #[must_use]
+    pub fn max_diff(&self, other: &Self) -> f64 {
+        self.re
+            .iter()
+            .zip(&other.re)
+            .map(|(a, b)| (a - b).abs())
+            .chain(self.im.iter().zip(&other.im).map(|(a, b)| (a - b).abs()))
+            .fold(0.0, f64::max)
+    }
+
+    /// Global-phase-insensitive fidelity |<self|other>|^2.
+    #[must_use]
+    pub fn fidelity(&self, other: &Self) -> f64 {
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for i in 0..self.dim() {
+            // conj(self) * other
+            let (ar, ai) = (self.re[i], -self.im[i]);
+            let (br, bi) = (other.re[i], other.im[i]);
+            re += ar * br - ai * bi;
+            im += ar * bi + ai * br;
+        }
+        re * re + im * im
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_state_is_normalized() {
+        let s = StateVector::zero_state(5).unwrap();
+        assert_eq!(s.dim(), 32);
+        assert_eq!(s.amplitude(0), Complex64::ONE);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-15);
+        assert_eq!(s.probabilities()[0], 1.0);
+    }
+
+    #[test]
+    fn qubit_cap_enforced() {
+        assert!(StateVector::zero_state(31).is_err());
+        assert!(StateVector::zero_state(30).is_ok() || cfg!(debug_assertions));
+    }
+
+    #[test]
+    fn complex_roundtrip() {
+        let mut s = StateVector::zero_state(2).unwrap();
+        let amps = vec![
+            Complex64::new(0.5, 0.0),
+            Complex64::new(0.0, 0.5),
+            Complex64::new(-0.5, 0.0),
+            Complex64::new(0.0, -0.5),
+        ];
+        s.set_complex(&amps).unwrap();
+        assert_eq!(s.to_complex(), amps);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(StateVector::from_parts(2, vec![0.0; 4], vec![0.0; 3]).is_err());
+        assert!(StateVector::from_parts(2, vec![0.0; 4], vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn fidelity_phase_insensitive() {
+        let s = StateVector::zero_state(1).unwrap();
+        let mut t = StateVector::zero_state(1).unwrap();
+        // t = e^{i 0.3} |0>
+        t.set_complex(&[Complex64::cis(0.3), Complex64::ZERO]).unwrap();
+        assert!((s.fidelity(&t) - 1.0).abs() < 1e-14);
+        assert!(s.max_diff(&t) > 1e-3, "amplitudes differ even at fidelity 1");
+    }
+}

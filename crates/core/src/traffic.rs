@@ -1,0 +1,278 @@
+//! Analytic communication/traffic model for compiled gates.
+//!
+//! The scale-out backend *measures* traffic through the SHMEM counters; this
+//! module *predicts* it in closed form for any partition count, which is
+//! what lets the performance model price circuits far larger than this
+//! machine can run (Summit-scale figures). The prediction is exact — tests
+//! cross-check it against the measured counters of real SPMD runs.
+//!
+//! Key structural fact: with contiguous work-item partitioning, the
+//! partition that an access lands in depends only on (a) the accessing PE
+//! and (b) the access's offset pattern — not on the individual item — because
+//! the item bits that reach the partition-index range of the address are
+//! exactly the item's top bits, which are constant across one PE's chunk.
+
+use crate::compile::{CompiledGate, KernelId};
+use svsim_types::bits::insert_zero_bits;
+
+/// Predicted traffic of one compiled gate at a given partitioning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateTraffic {
+    /// Work items over the whole state.
+    pub items: u64,
+    /// Amplitude loads+stores resolved in the accessing PE's partition.
+    pub local_amp_ops: u64,
+    /// Amplitude loads+stores that cross partitions.
+    pub remote_amp_ops: u64,
+    /// Bytes crossing the fabric (16 bytes per remote amplitude access).
+    pub remote_bytes: u64,
+    /// Total bytes touched in memory (local + remote, read + write).
+    pub bytes_touched: u64,
+    /// Floating-point operations.
+    pub flops: u64,
+}
+
+impl GateTraffic {
+    /// Merge (sum) with another gate's traffic.
+    #[must_use]
+    pub fn merged(&self, o: &Self) -> Self {
+        Self {
+            items: self.items + o.items,
+            local_amp_ops: self.local_amp_ops + o.local_amp_ops,
+            remote_amp_ops: self.remote_amp_ops + o.remote_amp_ops,
+            remote_bytes: self.remote_bytes + o.remote_bytes,
+            bytes_touched: self.bytes_touched + o.bytes_touched,
+            flops: self.flops + o.flops,
+        }
+    }
+
+    /// Fraction of amplitude accesses that are remote.
+    #[must_use]
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.local_amp_ops + self.remote_amp_ops;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_amp_ops as f64 / total as f64
+        }
+    }
+}
+
+/// Offset patterns (relative to the zero-inserted base index) accessed per
+/// work item, and the per-item flop cost, for each kernel.
+fn access_patterns(cg: &CompiledGate) -> (Vec<u64>, u64) {
+    let a = &cg.args;
+    let t = 1u64 << a.target;
+    let x = 1u64 << a.aux;
+    let cm = a.ctrl_mask;
+    match cg.id {
+        KernelId::X | KernelId::Y => (vec![0, t], 0),
+        KernelId::Z => (vec![t], 2),
+        KernelId::H => (vec![0, t], 8),
+        KernelId::Phase => (vec![t], 6),
+        KernelId::Rz => (vec![0, t], 12),
+        KernelId::OneQ => (vec![0, t], 28),
+        KernelId::Cx => (vec![cm, cm | t], 0),
+        KernelId::CPhase => (vec![cm], 6),
+        KernelId::Crz => (vec![cm, cm | t], 12),
+        KernelId::ControlledOneQ => (vec![cm, cm | t], 28),
+        KernelId::Swap => (vec![t, x], 0),
+        KernelId::CSwap => (vec![cm | t, cm | x], 0),
+        KernelId::Rzz => (vec![0, t, x, t | x], 24),
+        KernelId::TwoQ => (vec![0, t, x, t | x], 112),
+    }
+}
+
+/// Predict the traffic of one compiled gate over `n_qubits`, partitioned
+/// across `n_pes` PEs (must be a power of two).
+///
+/// # Panics
+/// If `n_pes` is not a power of two or exceeds the state dimension.
+#[must_use]
+pub fn gate_traffic(cg: &CompiledGate, n_qubits: u32, n_pes: u64) -> GateTraffic {
+    assert!(n_pes.is_power_of_two(), "PE count must be a power of two");
+    let dim = 1u64 << n_qubits;
+    assert!(n_pes <= dim);
+    let k = n_pes.trailing_zeros();
+    let shift_l = n_qubits - k; // log2(amplitudes per partition)
+    let (patterns, flops_per_item) = access_patterns(cg);
+    let work = cg.args.work;
+    let sorted = cg.args.sorted();
+
+    // Each access pattern per item is one load + one store of a complex
+    // amplitude = 2 amplitude ops, 32 bytes of memory traffic.
+    let amp_ops_total = work * patterns.len() as u64 * 2;
+    let bytes_touched = work * patterns.len() as u64 * 32;
+    let flops = work * flops_per_item;
+
+    let mut remote = 0u64;
+    if n_pes > 1 {
+        if work >= n_pes {
+            // Representative-item argument (see module docs): locality is
+            // constant across a PE's chunk for each pattern.
+            let per_pe = work / n_pes;
+            for p in 0..n_pes {
+                let rep = p * per_pe;
+                for &pat in &patterns {
+                    let idx = insert_zero_bits(rep, sorted) | pat;
+                    if (idx >> shift_l) != p {
+                        remote += per_pe * 2;
+                    }
+                }
+            }
+        } else {
+            // Fewer items than PEs: walk each PE's (at most one-item) range
+            // directly — exact and tiny.
+            for p in 0..n_pes {
+                for i in crate::kernels::worker_range(work, n_pes, p) {
+                    for &pat in &patterns {
+                        let idx = insert_zero_bits(i, sorted) | pat;
+                        if (idx >> shift_l) != p {
+                            remote += 2;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    GateTraffic {
+        items: work,
+        local_amp_ops: amp_ops_total - remote,
+        remote_amp_ops: remote,
+        remote_bytes: remote * 16,
+        bytes_touched,
+        flops,
+    }
+}
+
+/// Aggregate traffic of a compiled gate stream.
+#[must_use]
+pub fn circuit_traffic(compiled: &[CompiledGate], n_qubits: u32, n_pes: u64) -> GateTraffic {
+    compiled
+        .iter()
+        .map(|cg| gate_traffic(cg, n_qubits, n_pes))
+        .fold(GateTraffic::default(), |acc, t| acc.merged(&t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_gates;
+    use svsim_ir::{Gate, GateKind};
+
+    fn compiled_one(kind: GateKind, q: &[u32], p: &[f64], n: u32) -> CompiledGate {
+        let g = Gate::new(kind, q, p).unwrap();
+        let mut out = Vec::new();
+        crate::compile::compile_gate(&g, n, true, &mut out);
+        assert_eq!(out.len(), 1);
+        out.pop().unwrap()
+    }
+
+    #[test]
+    fn single_pe_is_all_local() {
+        let cg = compiled_one(GateKind::H, &[3], &[], 8);
+        let t = gate_traffic(&cg, 8, 1);
+        assert_eq!(t.remote_amp_ops, 0);
+        assert_eq!(t.local_amp_ops, 2 * 2 * 128); // 128 items, 2 patterns, ld+st
+    }
+
+    #[test]
+    fn low_qubit_gate_is_local_high_qubit_is_half_remote() {
+        // n=6, 4 PEs: partition boundary at qubit 4.
+        for q in 0..4u32 {
+            let cg = compiled_one(GateKind::H, &[q], &[], 6);
+            let t = gate_traffic(&cg, 6, 4);
+            assert_eq!(t.remote_amp_ops, 0, "qubit {q} below the boundary");
+        }
+        for q in 4..6u32 {
+            let cg = compiled_one(GateKind::H, &[q], &[], 6);
+            let t = gate_traffic(&cg, 6, 4);
+            assert!(
+                t.remote_fraction() > 0.0,
+                "qubit {q} above the boundary must communicate"
+            );
+        }
+    }
+
+    /// Brute-force checker: walk every item of every PE and classify.
+    fn brute_force_remote(cg: &CompiledGate, n: u32, n_pes: u64) -> u64 {
+        let shift_l = n - n_pes.trailing_zeros();
+        let (patterns, _) = access_patterns(cg);
+        let mut remote = 0;
+        for p in 0..n_pes {
+            let r = crate::kernels::worker_range(cg.args.work, n_pes, p);
+            for i in r {
+                for &pat in &patterns {
+                    let idx = insert_zero_bits(i, cg.args.sorted()) | pat;
+                    if (idx >> shift_l) != p {
+                        remote += 2;
+                    }
+                }
+            }
+        }
+        remote
+    }
+
+    #[test]
+    fn closed_form_matches_brute_force() {
+        let n = 8u32;
+        let cases = [
+            compiled_one(GateKind::H, &[0], &[], n),
+            compiled_one(GateKind::H, &[7], &[], n),
+            compiled_one(GateKind::T, &[6], &[], n),
+            compiled_one(GateKind::CX, &[2, 7], &[], n),
+            compiled_one(GateKind::CX, &[7, 2], &[], n),
+            compiled_one(GateKind::CX, &[6, 7], &[], n),
+            compiled_one(GateKind::CZ, &[3, 6], &[], n),
+            compiled_one(GateKind::SWAP, &[1, 7], &[], n),
+            compiled_one(GateKind::CCX, &[5, 6, 7], &[], n),
+            compiled_one(GateKind::RZZ, &[4, 7], &[0.3], n),
+            compiled_one(GateKind::RXX, &[6, 7], &[0.3], n),
+            compiled_one(GateKind::CSWAP, &[7, 0, 6], &[], n),
+        ];
+        for n_pes in [1u64, 2, 4, 8, 16] {
+            for cg in &cases {
+                let model = gate_traffic(cg, n, n_pes);
+                let brute = brute_force_remote(cg, n, n_pes);
+                assert_eq!(
+                    model.remote_amp_ops, brute,
+                    "{:?} at {} PEs",
+                    cg.id, n_pes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_items_than_pes_not_required() {
+        // C4X on 6 qubits has only 2 items; model must still work at 4 PEs.
+        let cg = compiled_one(GateKind::C4X, &[0, 1, 2, 3, 4], &[], 6);
+        assert_eq!(cg.args.work, 2);
+        let model = gate_traffic(&cg, 6, 4);
+        let brute = brute_force_remote(&cg, 6, 4);
+        assert_eq!(model.remote_amp_ops, brute);
+    }
+
+    #[test]
+    fn diagonal_gates_touch_less() {
+        // T (phase) touches half what H touches; CZ a quarter of a dense 2q.
+        let h = gate_traffic(&compiled_one(GateKind::H, &[3], &[], 10), 10, 1);
+        let t = gate_traffic(&compiled_one(GateKind::T, &[3], &[], 10), 10, 1);
+        assert_eq!(t.bytes_touched * 2, h.bytes_touched);
+        let cz = gate_traffic(&compiled_one(GateKind::CZ, &[3, 5], &[], 10), 10, 1);
+        let rxx = gate_traffic(&compiled_one(GateKind::RXX, &[3, 5], &[0.1], 10), 10, 1);
+        assert_eq!(cz.bytes_touched * 4, rxx.bytes_touched);
+    }
+
+    #[test]
+    fn circuit_aggregation() {
+        let mut c = svsim_ir::Circuit::new(6);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.apply(GateKind::CX, &[0, 5], &[]).unwrap();
+        let gates: Vec<Gate> = c.gates().copied().collect();
+        let compiled = compile_gates(gates.iter(), 6, true);
+        let agg = circuit_traffic(&compiled, 6, 2);
+        assert_eq!(agg.items, 32 + 16);
+        assert!(agg.remote_amp_ops > 0, "CX crossing the boundary");
+    }
+}

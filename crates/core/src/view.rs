@@ -1,0 +1,261 @@
+//! The `StateView` memory-fabric abstraction.
+//!
+//! Every gate kernel in [`crate::kernels`] is written once, generic over a
+//! [`StateView`]. Monomorphization then produces three fused backends, the
+//! exact structure of the paper's unified framework:
+//!
+//! - [`LocalView`]: a plain slice — the single-device path (§3.2.1).
+//! - [`PeerView`]: a partitioned pointer array — the scale-up path over
+//!   GPUDirect-style peer access (§3.2.2, Listing 4): the global index is
+//!   split into `(partition, offset)` and dereferenced through the peer
+//!   table.
+//! - [`ShmemView`]: one-sided `get`/`put` through the SHMEM runtime — the
+//!   scale-out path (§3.2.3, Listing 5), with traffic accounting.
+
+use std::cell::Cell;
+use svsim_shmem::{ShmemCtx, SymF64};
+
+/// Read/write access to the distributed (or local) state vector.
+///
+/// `set` takes `&self` because the scale-up/scale-out fabrics are inherently
+/// shared; data-race freedom is guaranteed by the work partitioning (each
+/// amplitude pair has exactly one owner per gate) plus the inter-gate
+/// barrier, exactly as on real SHMEM hardware.
+pub trait StateView {
+    /// Total number of amplitudes.
+    fn dim(&self) -> u64;
+    /// Load amplitude `idx` as `(re, im)`.
+    fn get(&self, idx: u64) -> (f64, f64);
+    /// Store amplitude `idx`.
+    fn set(&self, idx: u64, re: f64, im: f64);
+}
+
+/// Single-device view over two local slices (SoA).
+///
+/// `Cell` gives shared in-place mutation with zero overhead on a single
+/// thread (plain loads/stores after optimization).
+pub struct LocalView<'a> {
+    re: &'a [Cell<f64>],
+    im: &'a [Cell<f64>],
+}
+
+impl<'a> LocalView<'a> {
+    /// Wrap mutable slices.
+    #[must_use]
+    pub fn new(re: &'a mut [f64], im: &'a mut [f64]) -> Self {
+        assert_eq!(re.len(), im.len());
+        Self {
+            re: Cell::from_mut(re).as_slice_of_cells(),
+            im: Cell::from_mut(im).as_slice_of_cells(),
+        }
+    }
+}
+
+impl StateView for LocalView<'_> {
+    #[inline]
+    fn dim(&self) -> u64 {
+        self.re.len() as u64
+    }
+
+    #[inline]
+    fn get(&self, idx: u64) -> (f64, f64) {
+        (self.re[idx as usize].get(), self.im[idx as usize].get())
+    }
+
+    #[inline]
+    fn set(&self, idx: u64, re: f64, im: f64) {
+        self.re[idx as usize].set(re);
+        self.im[idx as usize].set(im);
+    }
+}
+
+/// Scale-up view: the state vector partitioned evenly across `n_dev`
+/// device partitions, addressed through a shared pointer table.
+///
+/// This is the Rust analog of Listing 4's `sv_real_ptr[pos_gid][pos]`:
+/// `partition = idx >> log2(per_dev)`, `offset = idx & (per_dev - 1)`.
+pub struct PeerView<'a> {
+    re_parts: &'a [svsim_shmem::SharedF64Vec],
+    im_parts: &'a [svsim_shmem::SharedF64Vec],
+    /// log2 of the per-device amplitude count.
+    shift: u32,
+    mask: u64,
+    dim: u64,
+    /// Which partition this executor thread is pinned to (for traffic
+    /// classification); access to any other partition is "remote".
+    my_dev: usize,
+    counters: Option<&'a svsim_shmem::PeCounters>,
+}
+
+impl<'a> PeerView<'a> {
+    /// Build over per-device partitions (all equal power-of-two length).
+    #[must_use]
+    pub fn new(
+        re_parts: &'a [svsim_shmem::SharedF64Vec],
+        im_parts: &'a [svsim_shmem::SharedF64Vec],
+        my_dev: usize,
+        counters: Option<&'a svsim_shmem::PeCounters>,
+    ) -> Self {
+        assert_eq!(re_parts.len(), im_parts.len());
+        assert!(!re_parts.is_empty());
+        let per_dev = re_parts[0].len() as u64;
+        assert!(per_dev.is_power_of_two());
+        assert!(re_parts.iter().all(|p| p.len() as u64 == per_dev));
+        Self {
+            re_parts,
+            im_parts,
+            shift: per_dev.trailing_zeros(),
+            mask: per_dev - 1,
+            dim: per_dev * re_parts.len() as u64,
+            my_dev,
+            counters,
+        }
+    }
+}
+
+impl StateView for PeerView<'_> {
+    #[inline]
+    fn dim(&self) -> u64 {
+        self.dim
+    }
+
+    #[inline]
+    fn get(&self, idx: u64) -> (f64, f64) {
+        let dev = (idx >> self.shift) as usize;
+        let off = (idx & self.mask) as usize;
+        if let Some(c) = self.counters {
+            c.count_get(dev != self.my_dev, 16);
+        }
+        (self.re_parts[dev].load(off), self.im_parts[dev].load(off))
+    }
+
+    #[inline]
+    fn set(&self, idx: u64, re: f64, im: f64) {
+        let dev = (idx >> self.shift) as usize;
+        let off = (idx & self.mask) as usize;
+        if let Some(c) = self.counters {
+            c.count_put(dev != self.my_dev, 16);
+        }
+        self.re_parts[dev].store(off, re);
+        self.im_parts[dev].store(off, im);
+    }
+}
+
+/// Scale-out view: one-sided SHMEM access to a symmetric-heap state vector.
+pub struct ShmemView<'a, 'w> {
+    ctx: &'a ShmemCtx<'w>,
+    re: &'a SymF64,
+    im: &'a SymF64,
+    shift: u32,
+    mask: u64,
+    dim: u64,
+}
+
+impl<'a, 'w> ShmemView<'a, 'w> {
+    /// Build over symmetric arrays (power-of-two words per PE).
+    #[must_use]
+    pub fn new(ctx: &'a ShmemCtx<'w>, re: &'a SymF64, im: &'a SymF64) -> Self {
+        let per_pe = re.len_per_pe() as u64;
+        assert!(per_pe.is_power_of_two());
+        assert_eq!(im.len_per_pe() as u64, per_pe);
+        Self {
+            ctx,
+            re,
+            im,
+            shift: per_pe.trailing_zeros(),
+            mask: per_pe - 1,
+            dim: per_pe * ctx.n_pes() as u64,
+        }
+    }
+}
+
+impl StateView for ShmemView<'_, '_> {
+    #[inline]
+    fn dim(&self) -> u64 {
+        self.dim
+    }
+
+    #[inline]
+    fn get(&self, idx: u64) -> (f64, f64) {
+        let pe = (idx >> self.shift) as usize;
+        let off = (idx & self.mask) as usize;
+        (
+            self.ctx.get_f64(self.re, pe, off),
+            self.ctx.get_f64(self.im, pe, off),
+        )
+    }
+
+    #[inline]
+    fn set(&self, idx: u64, re: f64, im: f64) {
+        let pe = (idx >> self.shift) as usize;
+        let off = (idx & self.mask) as usize;
+        self.ctx.put_f64(self.re, pe, off, re);
+        self.ctx.put_f64(self.im, pe, off, im);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svsim_shmem::SharedF64Vec;
+
+    #[test]
+    fn local_view_roundtrip() {
+        let mut re = vec![0.0; 8];
+        let mut im = vec![0.0; 8];
+        let v = LocalView::new(&mut re, &mut im);
+        assert_eq!(v.dim(), 8);
+        v.set(3, 0.5, -0.5);
+        assert_eq!(v.get(3), (0.5, -0.5));
+        drop(v);
+        assert_eq!(re[3], 0.5);
+        assert_eq!(im[3], -0.5);
+    }
+
+    #[test]
+    fn peer_view_partition_arithmetic() {
+        // 2 partitions of 4 amplitudes: idx 5 lands in partition 1, offset 1.
+        let re: Vec<SharedF64Vec> = (0..2).map(|_| SharedF64Vec::new(4, 0.0)).collect();
+        let im: Vec<SharedF64Vec> = (0..2).map(|_| SharedF64Vec::new(4, 0.0)).collect();
+        let v = PeerView::new(&re, &im, 0, None);
+        assert_eq!(v.dim(), 8);
+        v.set(5, 1.25, 2.5);
+        assert_eq!(re[1].load(1), 1.25);
+        assert_eq!(im[1].load(1), 2.5);
+        assert_eq!(v.get(5), (1.25, 2.5));
+    }
+
+    #[test]
+    fn peer_view_counts_remote_accesses() {
+        let re: Vec<SharedF64Vec> = (0..4).map(|_| SharedF64Vec::new(2, 0.0)).collect();
+        let im: Vec<SharedF64Vec> = (0..4).map(|_| SharedF64Vec::new(2, 0.0)).collect();
+        let counters = svsim_shmem::PeCounters::default();
+        let v = PeerView::new(&re, &im, 1, Some(&counters));
+        v.get(2); // partition 1: local
+        v.get(0); // partition 0: remote
+        v.set(7, 0.0, 0.0); // partition 3: remote
+        let s = counters.snapshot();
+        assert_eq!(s.local_gets, 1);
+        assert_eq!(s.remote_gets, 1);
+        assert_eq!(s.remote_puts, 1);
+    }
+
+    #[test]
+    fn shmem_view_roundtrip() {
+        let out = svsim_shmem::launch(2, |ctx| {
+            let re = ctx.malloc_f64(4);
+            let im = ctx.malloc_f64(4);
+            let v = ShmemView::new(ctx, &re, &im);
+            assert_eq!(v.dim(), 8);
+            if ctx.my_pe() == 0 {
+                v.set(6, 3.0, 4.0); // lands on PE 1, offset 2
+            }
+            ctx.barrier_all();
+            v.get(6)
+        })
+        .unwrap();
+        assert_eq!(out.results, vec![(3.0, 4.0), (3.0, 4.0)]);
+        // PE0's set crossed the fabric: 2 remote puts (re + im).
+        assert_eq!(out.traffic[0].remote_puts, 2);
+    }
+}

@@ -1,0 +1,493 @@
+//! Quantum circuit representation: a flat queue of operations.
+//!
+//! Mirrors the paper's circuit buffer (§3.2.2): gates stream from the
+//! frontend into a queue that is handed to a backend in one piece, so the
+//! whole circuit is simulated "in a single kernel".
+
+use crate::gate::{Gate, GateKind};
+use std::fmt;
+use svsim_types::{SvError, SvResult};
+
+/// One operation in a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// A unitary gate.
+    Gate(Gate),
+    /// Projective measurement of `qubit` into classical bit `cbit`.
+    Measure {
+        /// Measured qubit.
+        qubit: u32,
+        /// Destination classical bit.
+        cbit: u32,
+    },
+    /// Reset `qubit` to |0>.
+    Reset {
+        /// Qubit to reset.
+        qubit: u32,
+    },
+    /// Scheduling barrier over the listed qubits (empty = all). No effect on
+    /// the state; kept for fidelity with OpenQASM inputs.
+    Barrier(Vec<u32>),
+    /// Classically-conditioned gate: apply `gate` iff the classical bits
+    /// `[creg_lo, creg_lo + creg_len)` (little-endian) equal `value`.
+    IfEq {
+        /// First classical bit of the compared register.
+        creg_lo: u32,
+        /// Width of the compared register.
+        creg_len: u32,
+        /// Comparison value.
+        value: u64,
+        /// Conditioned gate.
+        gate: Gate,
+    },
+}
+
+impl Op {
+    /// Highest qubit index referenced, if any.
+    #[must_use]
+    pub fn max_qubit(&self) -> Option<u32> {
+        match self {
+            Op::Gate(g) | Op::IfEq { gate: g, .. } => Some(g.max_qubit()),
+            Op::Measure { qubit, .. } | Op::Reset { qubit } => Some(*qubit),
+            Op::Barrier(qs) => qs.iter().max().copied(),
+        }
+    }
+}
+
+/// A quantum circuit over `n_qubits` qubits and `n_cbits` classical bits.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    n_qubits: u32,
+    n_cbits: u32,
+    ops: Vec<Op>,
+}
+
+/// Aggregate statistics of a circuit (the columns of the paper's Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Register width.
+    pub qubits: u32,
+    /// Total gate count (unitary ops, conditionals included).
+    pub gates: usize,
+    /// Entangling (>= 2-qubit) gate count — Table 4's "CX" column counts the
+    /// two-qubit gates of the circuit.
+    pub cx: usize,
+    /// Measurements.
+    pub measures: usize,
+    /// Circuit depth (longest qubit-dependency chain; barriers synchronize).
+    pub depth: usize,
+}
+
+impl Circuit {
+    /// Empty circuit over `n_qubits` qubits (no classical bits).
+    #[must_use]
+    pub fn new(n_qubits: u32) -> Self {
+        Self {
+            n_qubits,
+            n_cbits: 0,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Empty circuit with a classical register.
+    #[must_use]
+    pub fn with_cbits(n_qubits: u32, n_cbits: u32) -> Self {
+        Self {
+            n_qubits,
+            n_cbits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Register width.
+    #[must_use]
+    pub fn n_qubits(&self) -> u32 {
+        self.n_qubits
+    }
+
+    /// Classical register width.
+    #[must_use]
+    pub fn n_cbits(&self) -> u32 {
+        self.n_cbits
+    }
+
+    /// Operation stream.
+    #[must_use]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    fn check_gate(&self, g: &Gate) -> SvResult<()> {
+        let m = g.max_qubit();
+        if m >= self.n_qubits {
+            return Err(SvError::QubitOutOfRange {
+                qubit: u64::from(m),
+                n_qubits: u64::from(self.n_qubits),
+            });
+        }
+        Ok(())
+    }
+
+    /// Append a validated gate.
+    ///
+    /// # Errors
+    /// [`SvError::QubitOutOfRange`] if an operand exceeds the register.
+    pub fn push_gate(&mut self, g: Gate) -> SvResult<()> {
+        self.check_gate(&g)?;
+        self.ops.push(Op::Gate(g));
+        Ok(())
+    }
+
+    /// Build and append a gate in one call.
+    ///
+    /// # Errors
+    /// Propagates gate-construction and range errors.
+    pub fn apply(&mut self, kind: GateKind, qubits: &[u32], params: &[f64]) -> SvResult<()> {
+        self.push_gate(Gate::new(kind, qubits, params)?)
+    }
+
+    /// Append a measurement.
+    ///
+    /// # Errors
+    /// Range errors on either index.
+    pub fn measure(&mut self, qubit: u32, cbit: u32) -> SvResult<()> {
+        if qubit >= self.n_qubits {
+            return Err(SvError::QubitOutOfRange {
+                qubit: u64::from(qubit),
+                n_qubits: u64::from(self.n_qubits),
+            });
+        }
+        if cbit >= self.n_cbits {
+            return Err(SvError::InvalidConfig(format!(
+                "classical bit {cbit} out of range for {} cbits",
+                self.n_cbits
+            )));
+        }
+        self.ops.push(Op::Measure { qubit, cbit });
+        Ok(())
+    }
+
+    /// Append a reset.
+    ///
+    /// # Errors
+    /// Range error on the qubit.
+    pub fn reset(&mut self, qubit: u32) -> SvResult<()> {
+        if qubit >= self.n_qubits {
+            return Err(SvError::QubitOutOfRange {
+                qubit: u64::from(qubit),
+                n_qubits: u64::from(self.n_qubits),
+            });
+        }
+        self.ops.push(Op::Reset { qubit });
+        Ok(())
+    }
+
+    /// Append a barrier.
+    pub fn barrier(&mut self, qubits: &[u32]) {
+        self.ops.push(Op::Barrier(qubits.to_vec()));
+    }
+
+    /// Append a classically-conditioned gate.
+    ///
+    /// # Errors
+    /// Range errors.
+    pub fn if_eq(&mut self, creg_lo: u32, creg_len: u32, value: u64, gate: Gate) -> SvResult<()> {
+        self.check_gate(&gate)?;
+        if creg_lo + creg_len > self.n_cbits {
+            return Err(SvError::InvalidConfig(format!(
+                "conditional register [{creg_lo}, {}) exceeds {} cbits",
+                creg_lo + creg_len,
+                self.n_cbits
+            )));
+        }
+        self.ops.push(Op::IfEq {
+            creg_lo,
+            creg_len,
+            value,
+            gate,
+        });
+        Ok(())
+    }
+
+    /// Append all ops of `other` (registers must fit).
+    ///
+    /// # Errors
+    /// [`SvError::InvalidConfig`] if `other` uses more qubits/cbits.
+    pub fn extend(&mut self, other: &Circuit) -> SvResult<()> {
+        if other.n_qubits > self.n_qubits || other.n_cbits > self.n_cbits {
+            return Err(SvError::InvalidConfig(
+                "extend: register of appended circuit is wider".into(),
+            ));
+        }
+        self.ops.extend(other.ops.iter().cloned());
+        Ok(())
+    }
+
+    /// The adjoint (inverse) of the unitary part of this circuit.
+    ///
+    /// # Errors
+    /// [`SvError::InvalidConfig`] if the circuit contains measurements or
+    /// resets (not invertible).
+    pub fn inverse(&self) -> SvResult<Circuit> {
+        let mut out = Circuit::with_cbits(self.n_qubits, self.n_cbits);
+        for op in self.ops.iter().rev() {
+            match op {
+                Op::Gate(g) => out.ops.push(Op::Gate(invert_gate(g)?)),
+                Op::Barrier(qs) => out.ops.push(Op::Barrier(qs.clone())),
+                _ => {
+                    return Err(SvError::InvalidConfig(
+                        "cannot invert a circuit with measurement/reset/conditionals".into(),
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Iterate over just the unitary gates (conditionals excluded).
+    pub fn gates(&self) -> impl Iterator<Item = &Gate> {
+        self.ops.iter().filter_map(|op| match op {
+            Op::Gate(g) => Some(g),
+            _ => None,
+        })
+    }
+
+    /// Table 4-style statistics.
+    #[must_use]
+    pub fn stats(&self) -> CircuitStats {
+        let mut gates = 0usize;
+        let mut cx = 0usize;
+        let mut measures = 0usize;
+        let mut level = vec![0usize; self.n_qubits as usize];
+        let mut depth = 0usize;
+        for op in &self.ops {
+            match op {
+                Op::Gate(g) | Op::IfEq { gate: g, .. } => {
+                    gates += 1;
+                    if g.kind().is_entangling() {
+                        cx += 1;
+                    }
+                    let next = g
+                        .qubits()
+                        .iter()
+                        .map(|&q| level[q as usize])
+                        .max()
+                        .unwrap_or(0)
+                        + 1;
+                    for &q in g.qubits() {
+                        level[q as usize] = next;
+                    }
+                    depth = depth.max(next);
+                }
+                Op::Measure { qubit, .. } => {
+                    measures += 1;
+                    level[*qubit as usize] += 1;
+                    depth = depth.max(level[*qubit as usize]);
+                }
+                Op::Reset { qubit } => {
+                    level[*qubit as usize] += 1;
+                    depth = depth.max(level[*qubit as usize]);
+                }
+                Op::Barrier(qs) => {
+                    let involved: Vec<usize> = if qs.is_empty() {
+                        (0..self.n_qubits as usize).collect()
+                    } else {
+                        qs.iter().map(|&q| q as usize).collect()
+                    };
+                    let m = involved.iter().map(|&q| level[q]).max().unwrap_or(0);
+                    for q in involved {
+                        level[q] = m;
+                    }
+                }
+            }
+        }
+        CircuitStats {
+            qubits: self.n_qubits,
+            gates,
+            cx,
+            measures,
+            depth,
+        }
+    }
+
+    /// Lower every compound gate to basic + standard gates
+    /// (see [`crate::decompose`]); basic/standard gates pass through.
+    #[must_use]
+    pub fn decompose_compound(&self) -> Circuit {
+        let mut out = Circuit::with_cbits(self.n_qubits, self.n_cbits);
+        for op in &self.ops {
+            match op {
+                Op::Gate(g) => {
+                    for dg in crate::decompose::lower_gate(g) {
+                        out.ops.push(Op::Gate(dg));
+                    }
+                }
+                other => out.ops.push(other.clone()),
+            }
+        }
+        out
+    }
+}
+
+/// Invert a single gate into an ISA gate (adjoint).
+fn invert_gate(g: &Gate) -> SvResult<Gate> {
+    use GateKind::*;
+    let q = g.qubits();
+    let p = g.params();
+    let mk = |kind: GateKind, params: &[f64]| Gate::new(kind, q, params);
+    match g.kind() {
+        // Self-inverse gates.
+        ID | X | Y | Z | H | CX | CZ | CY | SWAP | CH | CCX | CSWAP | C3X | C4X => {
+            mk(g.kind(), p)
+        }
+        S => mk(SDG, &[]),
+        SDG => mk(S, &[]),
+        T => mk(TDG, &[]),
+        TDG => mk(T, &[]),
+        RX | RY | RZ | CRX | CRY | CRZ | U1 | CU1 | RXX | RZZ => mk(g.kind(), &[-p[0]]),
+        U2 => {
+            // u2(phi, lambda)^-1 = u3(-pi/2, -lambda, -phi)
+            mk(U3, &[-std::f64::consts::FRAC_PI_2, -p[1], -p[0]])
+        }
+        U3 => mk(U3, &[-p[0], -p[2], -p[1]]),
+        CU3 => mk(CU3, &[-p[0], -p[2], -p[1]]),
+        RCCX | RC3X | C3SQRTX => Err(SvError::InvalidConfig(format!(
+            "no ISA adjoint for {}; decompose first",
+            g.kind()
+        ))),
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "// {} qubits, {} cbits", self.n_qubits, self.n_cbits)?;
+        for op in &self.ops {
+            match op {
+                Op::Gate(g) => writeln!(f, "{g};")?,
+                Op::Measure { qubit, cbit } => writeln!(f, "measure q[{qubit}] -> c[{cbit}];")?,
+                Op::Reset { qubit } => writeln!(f, "reset q[{qubit}];")?,
+                Op::Barrier(qs) => {
+                    if qs.is_empty() {
+                        writeln!(f, "barrier;")?;
+                    } else {
+                        let list: Vec<String> =
+                            qs.iter().map(|q| format!("q[{q}]")).collect();
+                        writeln!(f, "barrier {};", list.join(", "))?;
+                    }
+                }
+                Op::IfEq {
+                    creg_lo,
+                    creg_len,
+                    value,
+                    gate,
+                } => writeln!(f, "if (c[{creg_lo}..+{creg_len}] == {value}) {gate};")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::with_cbits(2, 2);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.apply(GateKind::CX, &[0, 1], &[]).unwrap();
+        c.measure(0, 0).unwrap();
+        c.measure(1, 1).unwrap();
+        c
+    }
+
+    #[test]
+    fn build_and_stats() {
+        let c = bell();
+        let s = c.stats();
+        assert_eq!(s.qubits, 2);
+        assert_eq!(s.gates, 2);
+        assert_eq!(s.cx, 1);
+        assert_eq!(s.measures, 2);
+        assert_eq!(s.depth, 3); // H, CX, measure
+    }
+
+    #[test]
+    fn range_validation() {
+        let mut c = Circuit::new(2);
+        assert!(matches!(
+            c.apply(GateKind::H, &[2], &[]),
+            Err(SvError::QubitOutOfRange { qubit: 2, .. })
+        ));
+        assert!(c.measure(0, 0).is_err(), "no cbits allocated");
+    }
+
+    #[test]
+    fn depth_parallel_gates() {
+        let mut c = Circuit::new(4);
+        // Two disjoint CX at the same level.
+        c.apply(GateKind::CX, &[0, 1], &[]).unwrap();
+        c.apply(GateKind::CX, &[2, 3], &[]).unwrap();
+        assert_eq!(c.stats().depth, 1);
+        // A gate bridging both halves raises depth.
+        c.apply(GateKind::CX, &[1, 2], &[]).unwrap();
+        assert_eq!(c.stats().depth, 2);
+    }
+
+    #[test]
+    fn barrier_synchronizes_depth() {
+        let mut c = Circuit::new(2);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.barrier(&[]);
+        c.apply(GateKind::X, &[1], &[]).unwrap();
+        // X is forced after the barrier level of H.
+        assert_eq!(c.stats().depth, 2);
+    }
+
+    #[test]
+    fn inverse_reverses_and_adjoints() {
+        let mut c = Circuit::new(2);
+        c.apply(GateKind::S, &[0], &[]).unwrap();
+        c.apply(GateKind::RX, &[1], &[0.5]).unwrap();
+        c.apply(GateKind::CX, &[0, 1], &[]).unwrap();
+        let inv = c.inverse().unwrap();
+        let kinds: Vec<GateKind> = inv.gates().map(Gate::kind).collect();
+        assert_eq!(kinds, vec![GateKind::CX, GateKind::RX, GateKind::SDG]);
+        let params: Vec<f64> = inv.gates().flat_map(|g| g.params().to_vec()).collect();
+        assert_eq!(params, vec![-0.5]);
+    }
+
+    #[test]
+    fn inverse_rejects_measurement() {
+        assert!(bell().inverse().is_err());
+    }
+
+    #[test]
+    fn extend_checks_width() {
+        let mut a = Circuit::new(3);
+        let b = bell();
+        assert!(a.extend(&b).is_err(), "b has cbits a lacks");
+        let mut a = Circuit::with_cbits(3, 2);
+        assert!(a.extend(&b).is_ok());
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn display_is_qasm_like() {
+        let text = bell().to_string();
+        assert!(text.contains("h q[0];"));
+        assert!(text.contains("cx q[0], q[1];"));
+        assert!(text.contains("measure q[0] -> c[0];"));
+    }
+}

@@ -1,0 +1,565 @@
+//! Lowering of compound ISA gates to basic + standard gates.
+//!
+//! The paper's backend implements the OpenQASM *basic* and *standard* gates
+//! natively and realizes the 18 *compound* gates by composing calls
+//! (§3.3.1). This module provides that composition. It is also where the
+//! generic (multi-)controlled-unitary machinery lives, which the QIR
+//! adapter ([`crate::qir`]) reuses for arbitrary `Controlled` functors.
+//!
+//! All lowerings are **exact** (global phase included), which lets tests
+//! assert matrix equality rather than phase-folded equality.
+
+use crate::gate::{Gate, GateKind};
+use crate::linalg::{eig2_unitary, to_u3_params, Mat};
+use crate::matrices;
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+/// Emit `u1(lambda)` on `q`.
+fn u1(out: &mut Vec<Gate>, lambda: f64, q: u32) {
+    out.push(Gate::new(GateKind::U1, &[q], &[lambda]).expect("valid u1"));
+}
+
+/// Emit `u3(theta, phi, lambda)` on `q`.
+fn u3(out: &mut Vec<Gate>, theta: f64, phi: f64, lambda: f64, q: u32) {
+    out.push(Gate::new(GateKind::U3, &[q], &[theta, phi, lambda]).expect("valid u3"));
+}
+
+fn h(out: &mut Vec<Gate>, q: u32) {
+    out.push(Gate::new(GateKind::H, &[q], &[]).expect("valid h"));
+}
+
+fn x(out: &mut Vec<Gate>, q: u32) {
+    out.push(Gate::new(GateKind::X, &[q], &[]).expect("valid x"));
+}
+
+fn t(out: &mut Vec<Gate>, q: u32) {
+    out.push(Gate::new(GateKind::T, &[q], &[]).expect("valid t"));
+}
+
+fn tdg(out: &mut Vec<Gate>, q: u32) {
+    out.push(Gate::new(GateKind::TDG, &[q], &[]).expect("valid tdg"));
+}
+
+fn rz(out: &mut Vec<Gate>, theta: f64, q: u32) {
+    out.push(Gate::new(GateKind::RZ, &[q], &[theta]).expect("valid rz"));
+}
+
+fn cx(out: &mut Vec<Gate>, a: u32, b: u32) {
+    out.push(Gate::new(GateKind::CX, &[a, b], &[]).expect("valid cx"));
+}
+
+/// Exact controlled-phase: `cu1(lambda)` on `(a, b)` (qelib1 definition).
+pub fn cu1(out: &mut Vec<Gate>, lambda: f64, a: u32, b: u32) {
+    u1(out, lambda / 2.0, a);
+    cx(out, a, b);
+    u1(out, -lambda / 2.0, b);
+    cx(out, a, b);
+    u1(out, lambda / 2.0, b);
+}
+
+/// Exact multi-controlled phase `diag(1, .., 1, e^{i lambda})` over
+/// `controls + [target]` (symmetric in its operands).
+///
+/// Recursive construction: `C^k P(l) = CP(l/2)(c_k, t) · C^{k-1}X(c_k) ·
+/// CP(-l/2)(c_k, t) · C^{k-1}X(c_k) · C^{k-1}P(l/2)(t)`.
+pub fn mcu1(out: &mut Vec<Gate>, lambda: f64, controls: &[u32], target: u32) {
+    match controls {
+        [] => u1(out, lambda, target),
+        [c] => cu1(out, lambda, *c, target),
+        [rest @ .., last] => {
+            cu1(out, lambda / 2.0, *last, target);
+            mcx(out, rest, *last);
+            cu1(out, -lambda / 2.0, *last, target);
+            mcx(out, rest, *last);
+            mcu1(out, lambda / 2.0, rest, target);
+        }
+    }
+}
+
+/// Exact multi-controlled X: `H(t) · C^k P(pi) · H(t)`; 0/1/2 controls use
+/// the direct network.
+pub fn mcx(out: &mut Vec<Gate>, controls: &[u32], target: u32) {
+    match controls {
+        [] => x(out, target),
+        [c] => cx(out, *c, target),
+        [a, b] => ccx_network(out, *a, *b, target),
+        _ => {
+            h(out, target);
+            mcu1(out, PI, controls, target);
+            h(out, target);
+        }
+    }
+}
+
+/// The standard 15-gate Toffoli network (exact, phase included).
+fn ccx_network(out: &mut Vec<Gate>, a: u32, b: u32, c: u32) {
+    h(out, c);
+    cx(out, b, c);
+    tdg(out, c);
+    cx(out, a, c);
+    t(out, c);
+    cx(out, b, c);
+    tdg(out, c);
+    cx(out, a, c);
+    t(out, b);
+    t(out, c);
+    h(out, c);
+    cx(out, a, b);
+    t(out, a);
+    tdg(out, b);
+    cx(out, a, b);
+}
+
+/// Exact lowering of an arbitrary multi-controlled 2×2 unitary.
+///
+/// Uses the eigendecomposition `U = W diag(e^{i p0}, e^{i p1}) W†`:
+/// the controlled diagonal splits into a phase `p0` on the control subspace
+/// plus a controlled `u1(p1 - p0)`, both realized with [`mcu1`]; `W` wraps
+/// the target as `u3` rotations (its global phase cancels between `W` and
+/// `W†`).
+pub fn controlled_unitary(out: &mut Vec<Gate>, u: &Mat, controls: &[u32], target: u32) {
+    assert!(!controls.is_empty(), "use a plain u3 for zero controls");
+    let (p0, p1, w) = eig2_unitary(u);
+    let wd = w.dagger();
+    emit_as_u3(out, &wd, target);
+    if p0.abs() > 1e-15 {
+        // Phase on the all-controls-set subspace, independent of the target.
+        match controls {
+            [] => unreachable!("asserted non-empty above"),
+            [c] => u1(out, p0, *c),
+            [rest @ .., last] => mcu1(out, p0, rest, *last),
+        }
+    }
+    if (p1 - p0).abs() > 1e-15 {
+        mcu1(out, p1 - p0, controls, target);
+    }
+    emit_as_u3(out, &w, target);
+}
+
+/// Emit a 2×2 unitary as a single `u3` (up to global phase — callers must
+/// only use this where the phase cancels, e.g. basis-change conjugations).
+fn emit_as_u3(out: &mut Vec<Gate>, m: &Mat, q: u32) {
+    let (_alpha, theta, phi, lambda) = to_u3_params(m);
+    if theta.abs() < 1e-15 && phi.abs() < 1e-15 && lambda.abs() < 1e-15 {
+        return; // identity
+    }
+    u3(out, theta, phi, lambda, q);
+}
+
+/// Lower one gate to basic + standard gates. Basic and standard gates pass
+/// through unchanged.
+#[must_use]
+pub fn lower_gate(g: &Gate) -> Vec<Gate> {
+    use GateKind::*;
+    let q = g.qubits();
+    let p = g.params();
+    let mut out = Vec::new();
+    match g.kind() {
+        // Basic + standard: pass through.
+        U3 | U2 | U1 | CX | ID | X | Y | Z | H | S | SDG | T | TDG | RX | RY | RZ => {
+            out.push(*g);
+        }
+        CZ => {
+            h(&mut out, q[1]);
+            cx(&mut out, q[0], q[1]);
+            h(&mut out, q[1]);
+        }
+        CY => {
+            // sdg t; cx; s t
+            out.push(Gate::new(SDG, &[q[1]], &[]).expect("sdg"));
+            cx(&mut out, q[0], q[1]);
+            out.push(Gate::new(S, &[q[1]], &[]).expect("s"));
+        }
+        SWAP => {
+            cx(&mut out, q[0], q[1]);
+            cx(&mut out, q[1], q[0]);
+            cx(&mut out, q[0], q[1]);
+        }
+        CH => controlled_unitary(
+            &mut out,
+            &matrices::single_qubit(H, &[]),
+            &[q[0]],
+            q[1],
+        ),
+        CCX => ccx_network(&mut out, q[0], q[1], q[2]),
+        CSWAP => {
+            cx(&mut out, q[2], q[1]);
+            ccx_network(&mut out, q[0], q[1], q[2]);
+            cx(&mut out, q[2], q[1]);
+        }
+        CRX => controlled_unitary(&mut out, &matrices::rx(p[0]), &[q[0]], q[1]),
+        CRY => controlled_unitary(&mut out, &matrices::ry(p[0]), &[q[0]], q[1]),
+        CRZ => {
+            rz(&mut out, p[0] / 2.0, q[1]);
+            cx(&mut out, q[0], q[1]);
+            rz(&mut out, -p[0] / 2.0, q[1]);
+            cx(&mut out, q[0], q[1]);
+        }
+        CU1 => cu1(&mut out, p[0], q[0], q[1]),
+        CU3 => controlled_unitary(&mut out, &matrices::u3(p[0], p[1], p[2]), &[q[0]], q[1]),
+        RZZ => {
+            cx(&mut out, q[0], q[1]);
+            rz(&mut out, p[0], q[1]);
+            cx(&mut out, q[0], q[1]);
+        }
+        RXX => {
+            h(&mut out, q[0]);
+            h(&mut out, q[1]);
+            cx(&mut out, q[0], q[1]);
+            rz(&mut out, p[0], q[1]);
+            cx(&mut out, q[0], q[1]);
+            h(&mut out, q[0]);
+            h(&mut out, q[1]);
+        }
+        RCCX => {
+            // qelib1: relative-phase Toffoli (u2(0,pi) == H).
+            let (a, b, c) = (q[0], q[1], q[2]);
+            h(&mut out, c);
+            u1(&mut out, FRAC_PI_4, c);
+            cx(&mut out, b, c);
+            u1(&mut out, -FRAC_PI_4, c);
+            cx(&mut out, a, c);
+            u1(&mut out, FRAC_PI_4, c);
+            cx(&mut out, b, c);
+            u1(&mut out, -FRAC_PI_4, c);
+            h(&mut out, c);
+        }
+        RC3X => {
+            // qelib1: relative-phase 3-controlled X.
+            let (a, b, c, d) = (q[0], q[1], q[2], q[3]);
+            h(&mut out, d);
+            u1(&mut out, FRAC_PI_4, d);
+            cx(&mut out, c, d);
+            u1(&mut out, -FRAC_PI_4, d);
+            h(&mut out, d);
+            cx(&mut out, a, d);
+            u1(&mut out, FRAC_PI_4, d);
+            cx(&mut out, b, d);
+            u1(&mut out, -FRAC_PI_4, d);
+            cx(&mut out, a, d);
+            u1(&mut out, FRAC_PI_4, d);
+            cx(&mut out, b, d);
+            u1(&mut out, -FRAC_PI_4, d);
+            h(&mut out, d);
+            u1(&mut out, FRAC_PI_4, d);
+            cx(&mut out, c, d);
+            u1(&mut out, -FRAC_PI_4, d);
+            h(&mut out, d);
+        }
+        C3X => mcx(&mut out, &q[..3], q[3]),
+        C4X => mcx(&mut out, &q[..4], q[4]),
+        C3SQRTX => {
+            // sqrt(X) = H S H = H diag(1, i) H: conjugate a C^3 P(pi/2).
+            h(&mut out, q[3]);
+            mcu1(&mut out, FRAC_PI_2, &q[..3], q[3]);
+            h(&mut out, q[3]);
+        }
+    }
+    out
+}
+
+/// Unitary matrix of a gate sequence over `n` qubits (reference
+/// implementation; exponential in `n`, for tests and tiny circuits only).
+#[must_use]
+pub fn gates_unitary(gates: &[Gate], n_qubits: u32) -> Mat {
+    let dim = 1usize << n_qubits;
+    let mut cols: Vec<Vec<svsim_types::Complex64>> = (0..dim)
+        .map(|j| {
+            let mut v = vec![svsim_types::Complex64::ZERO; dim];
+            v[j] = svsim_types::Complex64::ONE;
+            v
+        })
+        .collect();
+    for g in gates {
+        let m = matrices::gate_matrix(g);
+        for col in &mut cols {
+            m.apply_to_state(col, g.qubits());
+        }
+    }
+    let mut out = Mat::zeros(dim);
+    for (j, col) in cols.iter().enumerate() {
+        for (i, &z) in col.iter().enumerate() {
+            out[(i, j)] = z;
+        }
+    }
+    out
+}
+
+/// The matrix *defined by* a gate's qelib1 lowering — the semantic ground
+/// truth for the relative-phase gates (`RCCX`, `RC3X`) whose matrices the
+/// standard only pins down through their definitions.
+#[must_use]
+pub fn defining_matrix(g: &Gate) -> Mat {
+    let k = g.kind().n_qubits() as u32;
+    let canonical = Gate::new(
+        g.kind(),
+        &(0..k).collect::<Vec<_>>(),
+        g.params(),
+    )
+    .expect("canonical relabel");
+    let lowered = lower_gate(&canonical);
+    // The lowering of RCCX/RC3X must not recurse back here.
+    assert!(lowered
+        .iter()
+        .all(|lg| !matches!(lg.kind(), GateKind::RCCX | GateKind::RC3X)));
+    gates_unitary(&lowered, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrices::gate_matrix;
+
+    const EPS: f64 = 1e-10;
+
+    /// Lowered sequence must reproduce the gate matrix exactly (phase
+    /// included) for every compound gate with an independent matrix.
+    #[test]
+    fn exact_lowering_of_all_compounds() {
+        for kind in GateKind::ALL {
+            if matches!(kind, GateKind::RCCX | GateKind::RC3X) {
+                continue; // matrix is defined by the lowering itself
+            }
+            let nq = kind.n_qubits() as u32;
+            let params: Vec<f64> = (0..kind.n_params()).map(|i| 0.4 + 0.3 * i as f64).collect();
+            let qubits: Vec<u32> = (0..nq).collect();
+            let g = Gate::new(kind, &qubits, &params).unwrap();
+            let expect = {
+                // Embed the local matrix over qubits 0..nq.
+                let mut id = gates_unitary(&[], nq);
+                let m = gate_matrix(&g);
+                // Column-wise application.
+                let dim = 1usize << nq;
+                for j in 0..dim {
+                    let mut col: Vec<svsim_types::Complex64> =
+                        (0..dim).map(|i| id[(i, j)]).collect();
+                    m.apply_to_state(&mut col, g.qubits());
+                    for i in 0..dim {
+                        id[(i, j)] = col[i];
+                    }
+                }
+                id
+            };
+            let lowered = lower_gate(&g);
+            // All lowered gates must be basic or standard.
+            for lg in &lowered {
+                assert_ne!(
+                    lg.kind().class(),
+                    crate::gate::GateClass::Compound,
+                    "{kind} lowered to compound {}",
+                    lg.kind()
+                );
+            }
+            let got = gates_unitary(&lowered, nq);
+            assert!(
+                got.approx_eq(&expect, EPS),
+                "{kind}: lowering mismatch, max diff {}",
+                got.max_diff(&expect)
+            );
+        }
+    }
+
+    /// Lowering with scrambled operand order must also match (exercises the
+    /// qubit-relabeling paths).
+    #[test]
+    fn lowering_with_permuted_operands() {
+        let g = Gate::new(GateKind::CCX, &[3, 0, 2], &[]).unwrap();
+        let lowered = lower_gate(&g);
+        let got = gates_unitary(&lowered, 4);
+        let expect = gates_unitary(&[g], 4);
+        assert!(got.approx_eq(&expect, EPS));
+    }
+
+    #[test]
+    fn rccx_is_toffoli_up_to_diagonal_phases() {
+        let g = Gate::new(GateKind::RCCX, &[0, 1, 2], &[]).unwrap();
+        let m = defining_matrix(&g);
+        assert!(m.unitarity_defect() < EPS);
+        let ccx = gate_matrix(&Gate::new(GateKind::CCX, &[0, 1, 2], &[]).unwrap());
+        // D = M * CCX^-1 must be diagonal with unit-modulus entries.
+        let d = m.matmul(&ccx.dagger());
+        for i in 0..8 {
+            for j in 0..8 {
+                if i == j {
+                    assert!((d[(i, j)].norm() - 1.0).abs() < EPS);
+                } else {
+                    assert!(d[(i, j)].norm() < EPS, "off-diagonal at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rc3x_is_c3x_up_to_diagonal_phases() {
+        let g = Gate::new(GateKind::RC3X, &[0, 1, 2, 3], &[]).unwrap();
+        let m = defining_matrix(&g);
+        assert!(m.unitarity_defect() < EPS);
+        let c3x = gate_matrix(&Gate::new(GateKind::C3X, &[0, 1, 2, 3], &[]).unwrap());
+        let d = m.matmul(&c3x.dagger());
+        for i in 0..16 {
+            for j in 0..16 {
+                if i == j {
+                    assert!((d[(i, j)].norm() - 1.0).abs() < EPS);
+                } else {
+                    assert!(d[(i, j)].norm() < EPS, "off-diagonal at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mcu1_matches_diagonal_for_three_controls() {
+        let mut gs = Vec::new();
+        mcu1(&mut gs, 0.9, &[0, 1, 2], 3);
+        let m = gates_unitary(&gs, 4);
+        let mut expect = Mat::identity(16);
+        expect[(15, 15)] = svsim_types::Complex64::cis(0.9);
+        assert!(m.approx_eq(&expect, EPS));
+    }
+
+    #[test]
+    fn mcx_five_controls() {
+        // Beyond the ISA (C4X is 4 controls): the recursion must still hold.
+        let mut gs = Vec::new();
+        mcx(&mut gs, &[0, 1, 2, 3, 4], 5);
+        let m = gates_unitary(&gs, 6);
+        let expect = crate::matrices::multi_controlled(
+            &crate::matrices::single_qubit(GateKind::X, &[]),
+            5,
+        );
+        assert!(m.approx_eq(&expect, EPS), "diff {}", m.max_diff(&expect));
+    }
+
+    #[test]
+    fn controlled_unitary_random_targets() {
+        // Controlled versions of a few awkward unitaries.
+        let us = [
+            matrices::u3(1.1, -0.4, 2.2),
+            matrices::sqrt_x(),
+            matrices::single_qubit(GateKind::Y, &[]),
+            matrices::u1(0.3).matmul(&matrices::ry(0.7)),
+        ];
+        for (i, u) in us.iter().enumerate() {
+            for n_ctrl in 1..=3usize {
+                let controls: Vec<u32> = (0..n_ctrl as u32).collect();
+                let mut gs = Vec::new();
+                controlled_unitary(&mut gs, u, &controls, n_ctrl as u32);
+                let m = gates_unitary(&gs, n_ctrl as u32 + 1);
+                let expect = matrices::multi_controlled(u, n_ctrl);
+                assert!(
+                    m.approx_eq(&expect, EPS),
+                    "case {i} with {n_ctrl} controls: diff {}",
+                    m.max_diff(&expect)
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Compound lowering stays exact for arbitrary rotation angles and
+        /// operand orderings (the fixed-angle version lives in `tests`).
+        #[test]
+        fn lowering_exact_for_random_angles(
+            seed in 0u64..100_000,
+            a0 in -6.3f64..6.3,
+            a1 in -6.3f64..6.3,
+            a2 in -6.3f64..6.3,
+        ) {
+            use svsim_types::SvRng;
+            let mut rng = SvRng::seed_from_u64(seed);
+            let parameterized = [
+                GateKind::CRX,
+                GateKind::CRY,
+                GateKind::CRZ,
+                GateKind::CU1,
+                GateKind::CU3,
+                GateKind::RXX,
+                GateKind::RZZ,
+            ];
+            let kind = parameterized[rng.range_usize(0, parameterized.len())];
+            let n = 3u32;
+            // Random distinct operand order.
+            let mut qs: Vec<u32> = (0..n).collect();
+            rng.shuffle(&mut qs);
+            let qubits = &qs[..kind.n_qubits()];
+            let params: Vec<f64> = [a0, a1, a2][..kind.n_params()].to_vec();
+            let g = Gate::new(kind, qubits, &params).unwrap();
+            let expect = gates_unitary(&[g], n);
+            let lowered = lower_gate(&g);
+            let got = gates_unitary(&lowered, n);
+            prop_assert!(
+                got.approx_eq(&expect, 1e-9),
+                "{kind} at {params:?} on {qubits:?}: diff {}",
+                got.max_diff(&expect)
+            );
+        }
+
+        /// The generic multi-controlled lowering is exact for random 2x2
+        /// unitaries built as U1 * RY * U1 products.
+        #[test]
+        fn controlled_unitary_exact_for_random_unitaries(
+            alpha in -3.2f64..3.2,
+            beta in -3.2f64..3.2,
+            gamma in -3.2f64..3.2,
+            n_ctrl in 1usize..4,
+        ) {
+            let u = crate::matrices::u1(alpha)
+                .matmul(&crate::matrices::ry(beta))
+                .matmul(&crate::matrices::u1(gamma));
+            let controls: Vec<u32> = (0..n_ctrl as u32).collect();
+            let mut gs = Vec::new();
+            controlled_unitary(&mut gs, &u, &controls, n_ctrl as u32);
+            let got = gates_unitary(&gs, n_ctrl as u32 + 1);
+            let expect = crate::matrices::multi_controlled(&u, n_ctrl);
+            prop_assert!(
+                got.approx_eq(&expect, 1e-9),
+                "diff {}",
+                got.max_diff(&expect)
+            );
+        }
+
+        /// Inverting a gate then composing cancels exactly.
+        #[test]
+        fn inverse_cancels(seed in 0u64..100_000, angle in -6.0f64..6.0) {
+            use svsim_types::SvRng;
+            let mut rng = SvRng::seed_from_u64(seed);
+            let invertible: Vec<GateKind> = GateKind::ALL
+                .iter()
+                .copied()
+                .filter(|k| !matches!(k, GateKind::RCCX | GateKind::RC3X | GateKind::C3SQRTX))
+                .collect();
+            let kind = invertible[rng.range_usize(0, invertible.len())];
+            let n = 5u32;
+            let mut qs: Vec<u32> = (0..n).collect();
+            rng.shuffle(&mut qs);
+            let qubits = &qs[..kind.n_qubits()];
+            let params: Vec<f64> = (0..kind.n_params())
+                .map(|i| angle + i as f64 * 0.31)
+                .collect();
+            let g = Gate::new(kind, qubits, &params).unwrap();
+            // Build the inverse through Circuit::inverse.
+            let mut c = crate::Circuit::new(n);
+            c.push_gate(g).unwrap();
+            let inv = c.inverse().unwrap();
+            let gates: Vec<Gate> =
+                c.gates().chain(inv.gates()).copied().collect();
+            let got = gates_unitary(&gates, n);
+            prop_assert!(
+                got.approx_eq(&Mat::identity(1 << n), 1e-9),
+                "{kind} inverse failed: diff {}",
+                got.max_diff(&Mat::identity(1 << n))
+            );
+        }
+    }
+
+    use crate::gate::{Gate, GateKind};
+    use crate::linalg::Mat;
+}

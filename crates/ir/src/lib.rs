@@ -1,0 +1,26 @@
+//! Gate ISA and circuit intermediate representation for the SV-Sim
+//! reproduction.
+//!
+//! This crate defines:
+//! - the 34-gate OpenQASM ISA of the paper's Table 1 ([`gate`], [`matrices`]),
+//! - the flat circuit queue shipped to backends ([`circuit`]),
+//! - exact lowering of compound gates ([`decompose`]),
+//! - Pauli strings and Pauli exponentials ([`pauli`]),
+//! - the QIR-runtime gate set of Table 2 ([`qir`]),
+//! - small dense linear algebra used as ground truth ([`linalg`]).
+
+pub mod circuit;
+pub mod decompose;
+pub mod gate;
+pub mod linalg;
+pub mod matrices;
+pub mod opt;
+pub mod pauli;
+pub mod qir;
+
+pub use circuit::{Circuit, CircuitStats, Op};
+pub use gate::{Gate, GateClass, GateKind};
+pub use linalg::Mat;
+pub use opt::{optimize, OptStats};
+pub use pauli::{Pauli, PauliString};
+pub use qir::QirBuilder;

@@ -1,0 +1,495 @@
+//! Small dense complex linear algebra for gate matrices.
+//!
+//! Gates touch at most [`MAX_GATE_QUBITS`](crate::gate::MAX_GATE_QUBITS)
+//! qubits, so everything here is sized for matrices up to 32×32. This module
+//! also carries the 2×2 eigendecomposition and U3-parameter extraction used
+//! by the generic (multi-)controlled-unitary lowering in
+//! [`decompose`](crate::decompose).
+
+use std::ops::{Index, IndexMut};
+use svsim_types::Complex64;
+
+/// A square, row-major complex matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    dim: usize,
+    data: Vec<Complex64>,
+}
+
+impl Mat {
+    /// Zero matrix of dimension `dim`.
+    #[must_use]
+    pub fn zeros(dim: usize) -> Self {
+        Self {
+            dim,
+            data: vec![Complex64::ZERO; dim * dim],
+        }
+    }
+
+    /// Identity of dimension `dim`.
+    #[must_use]
+    pub fn identity(dim: usize) -> Self {
+        let mut m = Self::zeros(dim);
+        for i in 0..dim {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Build from a row-major slice.
+    ///
+    /// # Panics
+    /// If `data.len()` is not a perfect square.
+    #[must_use]
+    pub fn from_rows(data: &[Complex64]) -> Self {
+        let dim = (data.len() as f64).sqrt() as usize;
+        assert_eq!(dim * dim, data.len(), "matrix data must be square");
+        Self {
+            dim,
+            data: data.to_vec(),
+        }
+    }
+
+    /// 2×2 matrix from four entries `[[a, b], [c, d]]`.
+    #[must_use]
+    pub fn m2(a: Complex64, b: Complex64, c: Complex64, d: Complex64) -> Self {
+        Self {
+            dim: 2,
+            data: vec![a, b, c, d],
+        }
+    }
+
+    /// Dimension (rows == cols).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row-major data.
+    #[must_use]
+    pub fn data(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Matrix product `self * rhs`.
+    #[must_use]
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.dim, rhs.dim);
+        let n = self.dim;
+        let mut out = Self::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self[(i, k)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for j in 0..n {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    #[must_use]
+    pub fn dagger(&self) -> Self {
+        let n = self.dim;
+        let mut out = Self::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Kronecker product `self ⊗ rhs` (`rhs` indexes the low bits).
+    #[must_use]
+    pub fn kron(&self, rhs: &Self) -> Self {
+        let (a, b) = (self.dim, rhs.dim);
+        let mut out = Self::zeros(a * b);
+        for i in 0..a {
+            for j in 0..a {
+                for k in 0..b {
+                    for l in 0..b {
+                        out[(i * b + k, j * b + l)] = self[(i, j)] * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Scale every entry.
+    #[must_use]
+    pub fn scaled(&self, k: Complex64) -> Self {
+        Self {
+            dim: self.dim,
+            data: self.data.iter().map(|&z| z * k).collect(),
+        }
+    }
+
+    /// Max |entry difference| against `other`.
+    #[must_use]
+    pub fn max_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.dim, other.dim);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).norm())
+            .fold(0.0, f64::max)
+    }
+
+    /// Entry-wise approximate equality.
+    #[must_use]
+    pub fn approx_eq(&self, other: &Self, eps: f64) -> bool {
+        self.dim == other.dim && self.max_diff(other) <= eps
+    }
+
+    /// Approximate equality up to a global phase.
+    #[must_use]
+    pub fn approx_eq_up_to_phase(&self, other: &Self, eps: f64) -> bool {
+        if self.dim != other.dim {
+            return false;
+        }
+        // Find the largest entry of `other` to estimate the phase.
+        let (idx, _) = other
+            .data
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.norm_sqr().total_cmp(&b.norm_sqr()))
+            .expect("non-empty");
+        if other.data[idx].norm() < eps {
+            return self.approx_eq(other, eps);
+        }
+        let phase = self.data[idx] / other.data[idx];
+        if (phase.norm() - 1.0).abs() > eps {
+            return false;
+        }
+        self.approx_eq(&other.scaled(phase), eps)
+    }
+
+    /// `||U† U - I||_max` — unitarity defect.
+    #[must_use]
+    pub fn unitarity_defect(&self) -> f64 {
+        self.dagger()
+            .matmul(self)
+            .max_diff(&Self::identity(self.dim))
+    }
+
+    /// Apply this `2^k`-dimensional matrix to a full `2^n` state vector over
+    /// the given qubits (`qubits[0]` is the least-significant local bit).
+    ///
+    /// Reference implementation used by tests and baselines — clarity over
+    /// speed.
+    pub fn apply_to_state(&self, state: &mut [Complex64], qubits: &[u32]) {
+        let k = qubits.len();
+        assert_eq!(self.dim, 1 << k, "matrix/operand mismatch");
+        let n_total = state.len();
+        assert!(n_total.is_power_of_two());
+        // Enumerate base indices where all operand qubits are 0 by inserting
+        // zero bits at the (ascending-sorted) operand positions.
+        let mut sorted: Vec<u32> = qubits.to_vec();
+        sorted.sort_unstable();
+        let free = n_total >> k;
+        let mut local = vec![Complex64::ZERO; 1 << k];
+        for i in 0..free {
+            let base = svsim_types::bits::insert_zero_bits(i as u64, &sorted);
+            // Gather the 2^k involved amplitudes in local (gate) bit order.
+            for (li, slot) in local.iter_mut().enumerate() {
+                let mut idx = base;
+                for (b, &q) in qubits.iter().enumerate() {
+                    if (li >> b) & 1 == 1 {
+                        idx |= 1 << q;
+                    }
+                }
+                *slot = state[idx as usize];
+            }
+            for (row, slot) in (0..self.dim).zip(0..) {
+                let mut acc = Complex64::ZERO;
+                for (col, &amp) in local.iter().enumerate() {
+                    acc += self[(row, col)] * amp;
+                }
+                let mut idx = base;
+                for (b, &q) in qubits.iter().enumerate() {
+                    if (slot >> b) & 1 == 1 {
+                        idx |= 1 << q;
+                    }
+                }
+                state[idx as usize] = acc;
+            }
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = Complex64;
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        &self.data[i * self.dim + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        &mut self.data[i * self.dim + j]
+    }
+}
+
+/// Eigendecomposition of a 2×2 unitary: returns `(phi0, phi1, w)` such that
+/// `U = W · diag(e^{i phi0}, e^{i phi1}) · W†` with `W` unitary.
+///
+/// Used to lower arbitrary (multi-)controlled single-qubit unitaries into
+/// phase networks: `C^k U = (I⊗W) · C^k diag · (I⊗W†)`.
+#[must_use]
+pub fn eig2_unitary(u: &Mat) -> (f64, f64, Mat) {
+    assert_eq!(u.dim(), 2);
+    let (a, b, c, d) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
+    const EPS: f64 = 1e-14;
+    if b.norm() < EPS && c.norm() < EPS {
+        // Already diagonal.
+        return (a.arg(), d.arg(), Mat::identity(2));
+    }
+    // Characteristic polynomial: l^2 - tr l + det = 0.
+    let tr = a + d;
+    let det = a * d - b * c;
+    let disc = (tr * tr - Complex64::real(4.0) * det).sqrt();
+    let l0 = (tr + disc) * 0.5;
+    let l1 = (tr - disc) * 0.5;
+    // Eigenvector for l0: rows of (U - l) are dependent; null vector of
+    // [a-l, b] is (b, l-a) (up to scale), or (l-d, c) — pick the larger.
+    let mut v0 = {
+        let cand1 = (b, l0 - a);
+        let cand2 = (l0 - d, c);
+        if cand1.0.norm_sqr() + cand1.1.norm_sqr() >= cand2.0.norm_sqr() + cand2.1.norm_sqr() {
+            cand1
+        } else {
+            cand2
+        }
+    };
+    let n0 = (v0.0.norm_sqr() + v0.1.norm_sqr()).sqrt();
+    v0 = (v0.0.scale(1.0 / n0), v0.1.scale(1.0 / n0));
+    // A normal matrix has orthogonal eigenvectors: v1 = (-conj(y), conj(x)).
+    let v1 = (-v0.1.conj(), v0.0.conj());
+    // W columns are the eigenvectors.
+    let w = Mat::m2(v0.0, v1.0, v0.1, v1.1);
+    (l0.arg(), l1.arg(), w)
+}
+
+/// Express a 2×2 unitary as `e^{i alpha} · U3(theta, phi, lambda)` and return
+/// `(alpha, theta, phi, lambda)` where `U3` is the OpenQASM matrix
+/// `[[cos(t/2), -e^{il} sin(t/2)], [e^{ip} sin(t/2), e^{i(p+l)} cos(t/2)]]`.
+#[must_use]
+pub fn to_u3_params(u: &Mat) -> (f64, f64, f64, f64) {
+    assert_eq!(u.dim(), 2);
+    let (a, b, c, d) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
+    let cos_half = a.norm().min(1.0);
+    let theta = 2.0 * cos_half.acos().min(std::f64::consts::PI);
+    const EPS: f64 = 1e-12;
+    if a.norm() < EPS {
+        // theta = pi: a = d = 0; U = [[0, -e^{i(alpha+l)}], [e^{i(alpha+p)}, 0]].
+        let alpha_plus_phi = c.arg();
+        let alpha_plus_lambda = (-b).arg();
+        // Split freely: put everything in phi/lambda, alpha from consistency.
+        return (0.0, theta, alpha_plus_phi, alpha_plus_lambda);
+    }
+    if c.norm() < EPS {
+        // theta = 0: diagonal. U = e^{i alpha} diag(1, e^{i(p+l)}).
+        let alpha = a.arg();
+        let lambda = (d / a).arg();
+        return (alpha, 0.0, 0.0, lambda);
+    }
+    // a = e^{i alpha} cos, c = e^{i(alpha+phi)} sin, -b = e^{i(alpha+lambda)} sin.
+    let alpha = a.arg();
+    let phi = (c / a).arg();
+    let lambda = (-b / a).arg();
+    (alpha, theta, phi, lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svsim_types::S2I;
+
+    fn h_mat() -> Mat {
+        Mat::m2(
+            Complex64::real(S2I),
+            Complex64::real(S2I),
+            Complex64::real(S2I),
+            Complex64::real(-S2I),
+        )
+    }
+
+    fn x_mat() -> Mat {
+        Mat::m2(
+            Complex64::ZERO,
+            Complex64::ONE,
+            Complex64::ONE,
+            Complex64::ZERO,
+        )
+    }
+
+    #[test]
+    fn identity_times_anything() {
+        let h = h_mat();
+        assert!(Mat::identity(2).matmul(&h).approx_eq(&h, 1e-15));
+        assert!(h.matmul(&Mat::identity(2)).approx_eq(&h, 1e-15));
+    }
+
+    #[test]
+    fn h_is_unitary_and_self_inverse() {
+        let h = h_mat();
+        assert!(h.unitarity_defect() < 1e-14);
+        assert!(h.matmul(&h).approx_eq(&Mat::identity(2), 1e-14));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = x_mat();
+        let i = Mat::identity(2);
+        let xi = x.kron(&i); // X on high bit, I on low bit
+        assert_eq!(xi.dim(), 4);
+        // |00> -> |10>: column 0 has a 1 at row 2.
+        assert_eq!(xi[(2, 0)], Complex64::ONE);
+        assert_eq!(xi[(0, 0)], Complex64::ZERO);
+    }
+
+    #[test]
+    fn dagger_of_product() {
+        let h = h_mat();
+        let x = x_mat();
+        let hx = h.matmul(&x);
+        assert!(hx
+            .dagger()
+            .approx_eq(&x.dagger().matmul(&h.dagger()), 1e-14));
+    }
+
+    #[test]
+    fn phase_equality() {
+        let h = h_mat();
+        let ph = h.scaled(Complex64::cis(0.37));
+        assert!(!ph.approx_eq(&h, 1e-9));
+        assert!(ph.approx_eq_up_to_phase(&h, 1e-9));
+    }
+
+    #[test]
+    fn eig2_reconstructs_h() {
+        let h = h_mat();
+        let (p0, p1, w) = eig2_unitary(&h);
+        let d = Mat::m2(
+            Complex64::cis(p0),
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::cis(p1),
+        );
+        let rec = w.matmul(&d).matmul(&w.dagger());
+        assert!(rec.approx_eq(&h, 1e-12));
+        assert!(w.unitarity_defect() < 1e-12);
+    }
+
+    #[test]
+    fn eig2_reconstructs_many() {
+        // A spread of unitaries: phases, rotations, and compositions.
+        let mats = [
+            x_mat(),
+            h_mat(),
+            Mat::m2(
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::I,
+            ),
+            h_mat().matmul(&x_mat()),
+            Mat::m2(
+                Complex64::new(0.6, 0.0),
+                Complex64::new(0.0, 0.8),
+                Complex64::new(0.0, 0.8),
+                Complex64::new(0.6, 0.0),
+            ),
+        ];
+        for m in &mats {
+            let (p0, p1, w) = eig2_unitary(m);
+            let d = Mat::m2(
+                Complex64::cis(p0),
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::cis(p1),
+            );
+            let rec = w.matmul(&d).matmul(&w.dagger());
+            assert!(
+                rec.approx_eq(m, 1e-11),
+                "failed to reconstruct, diff={}",
+                rec.max_diff(m)
+            );
+        }
+    }
+
+    #[test]
+    fn u3_params_roundtrip() {
+        use std::f64::consts::PI;
+        let cases = [
+            h_mat(),
+            x_mat(),
+            Mat::m2(
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::cis(0.7),
+            ),
+            h_mat().matmul(&x_mat()).scaled(Complex64::cis(1.1)),
+        ];
+        for m in &cases {
+            let (alpha, theta, phi, lambda) = to_u3_params(m);
+            let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+            let u3 = Mat::m2(
+                Complex64::real(c),
+                -Complex64::cis(lambda) * s,
+                Complex64::cis(phi) * s,
+                Complex64::cis(phi + lambda) * c,
+            )
+            .scaled(Complex64::cis(alpha));
+            assert!(
+                u3.approx_eq_up_to_phase(m, 1e-11),
+                "u3 roundtrip failed: theta={theta} phi={phi} lambda={lambda} PI={PI}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_to_state_x_gate() {
+        let mut state = vec![Complex64::ZERO; 8];
+        state[0] = Complex64::ONE;
+        x_mat().apply_to_state(&mut state, &[1]);
+        assert_eq!(state[0b010], Complex64::ONE);
+        assert_eq!(state[0], Complex64::ZERO);
+    }
+
+    #[test]
+    fn apply_to_state_respects_qubit_order() {
+        // CX with control q2, target q0 on |100> -> |101>.
+        // Control = local bit 0, target = local bit 1: columns 1 <-> 3 swap.
+        let cx = Mat::from_rows(&[
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+        ]);
+        // Local bit 0 = control (q2), local bit 1 = target (q0).
+        let mut state = vec![Complex64::ZERO; 8];
+        state[0b100] = Complex64::ONE;
+        cx.apply_to_state(&mut state, &[2, 0]);
+        assert_eq!(state[0b101], Complex64::ONE);
+    }
+}

@@ -1,0 +1,368 @@
+//! Dense unitary matrices for every ISA gate.
+//!
+//! The local basis convention: for a gate on operands `[q0, q1, ..]`, local
+//! bit 0 is `q0`, local bit 1 is `q1`, etc. For controlled gates the controls
+//! are the *first* operands (OpenQASM order), so e.g. `CX` flips the target
+//! (high local bit) when the control (low local bit) is set.
+//!
+//! These matrices are the ground truth for the whole repository: the
+//! specialized kernels, the SHMEM backends, the decompositions, and the
+//! baselines are all tested against them.
+
+use crate::gate::{Gate, GateKind};
+use crate::linalg::Mat;
+use svsim_types::{Complex64, S2I};
+
+const Z0: Complex64 = Complex64::ZERO;
+const O1: Complex64 = Complex64::ONE;
+const IM: Complex64 = Complex64::I;
+
+/// 2×2 matrix of the OpenQASM `U3(theta, phi, lambda)` gate.
+#[must_use]
+pub fn u3(theta: f64, phi: f64, lambda: f64) -> Mat {
+    let c = (theta / 2.0).cos();
+    let s = (theta / 2.0).sin();
+    Mat::m2(
+        Complex64::real(c),
+        -Complex64::cis(lambda) * s,
+        Complex64::cis(phi) * s,
+        Complex64::cis(phi + lambda) * c,
+    )
+}
+
+/// `U2(phi, lambda) = U3(pi/2, phi, lambda)`.
+#[must_use]
+pub fn u2(phi: f64, lambda: f64) -> Mat {
+    u3(std::f64::consts::FRAC_PI_2, phi, lambda)
+}
+
+/// `U1(lambda) = diag(1, e^{i lambda})`.
+#[must_use]
+pub fn u1(lambda: f64) -> Mat {
+    Mat::m2(O1, Z0, Z0, Complex64::cis(lambda))
+}
+
+/// `RX(theta) = exp(-i theta X / 2)`.
+#[must_use]
+pub fn rx(theta: f64) -> Mat {
+    let c = Complex64::real((theta / 2.0).cos());
+    let s = Complex64::new(0.0, -(theta / 2.0).sin());
+    Mat::m2(c, s, s, c)
+}
+
+/// `RY(theta) = exp(-i theta Y / 2)`.
+#[must_use]
+pub fn ry(theta: f64) -> Mat {
+    let c = (theta / 2.0).cos();
+    let s = (theta / 2.0).sin();
+    Mat::m2(
+        Complex64::real(c),
+        Complex64::real(-s),
+        Complex64::real(s),
+        Complex64::real(c),
+    )
+}
+
+/// `RZ(theta) = diag(e^{-i theta/2}, e^{i theta/2})`.
+#[must_use]
+pub fn rz(theta: f64) -> Mat {
+    Mat::m2(
+        Complex64::cis(-theta / 2.0),
+        Z0,
+        Z0,
+        Complex64::cis(theta / 2.0),
+    )
+}
+
+/// The 2×2 matrix of each single-qubit standard gate.
+#[must_use]
+pub fn single_qubit(kind: GateKind, params: &[f64]) -> Mat {
+    match kind {
+        GateKind::ID => Mat::identity(2),
+        GateKind::X => Mat::m2(Z0, O1, O1, Z0),
+        GateKind::Y => Mat::m2(Z0, -IM, IM, Z0),
+        GateKind::Z => Mat::m2(O1, Z0, Z0, -O1),
+        GateKind::H => Mat::m2(
+            Complex64::real(S2I),
+            Complex64::real(S2I),
+            Complex64::real(S2I),
+            Complex64::real(-S2I),
+        ),
+        GateKind::S => Mat::m2(O1, Z0, Z0, IM),
+        GateKind::SDG => Mat::m2(O1, Z0, Z0, -IM),
+        GateKind::T => Mat::m2(O1, Z0, Z0, Complex64::cis(std::f64::consts::FRAC_PI_4)),
+        GateKind::TDG => Mat::m2(O1, Z0, Z0, Complex64::cis(-std::f64::consts::FRAC_PI_4)),
+        GateKind::U3 => u3(params[0], params[1], params[2]),
+        GateKind::U2 => u2(params[0], params[1]),
+        GateKind::U1 => u1(params[0]),
+        GateKind::RX => rx(params[0]),
+        GateKind::RY => ry(params[0]),
+        GateKind::RZ => rz(params[0]),
+        _ => panic!("{kind} is not a single-qubit gate"),
+    }
+}
+
+/// sqrt(X) — eigenbasis of H applied to S: `H S H`.
+#[must_use]
+pub fn sqrt_x() -> Mat {
+    let h = single_qubit(GateKind::H, &[]);
+    let s = single_qubit(GateKind::S, &[]);
+    h.matmul(&s).matmul(&h)
+}
+
+/// SWAP on two qubits.
+#[must_use]
+pub fn swap() -> Mat {
+    let mut m = Mat::zeros(4);
+    m[(0, 0)] = O1;
+    m[(1, 2)] = O1;
+    m[(2, 1)] = O1;
+    m[(3, 3)] = O1;
+    m
+}
+
+/// `RXX(theta) = exp(-i theta XX / 2)`.
+#[must_use]
+pub fn rxx(theta: f64) -> Mat {
+    let c = Complex64::real((theta / 2.0).cos());
+    let s = Complex64::new(0.0, -(theta / 2.0).sin());
+    let mut m = Mat::zeros(4);
+    for i in 0..4 {
+        m[(i, i)] = c;
+        m[(i, 3 - i)] = s;
+    }
+    m
+}
+
+/// `RZZ(theta) = exp(-i theta ZZ / 2) = diag(e^{-it/2}, e^{it/2}, e^{it/2}, e^{-it/2})`.
+#[must_use]
+pub fn rzz(theta: f64) -> Mat {
+    let lo = Complex64::cis(-theta / 2.0);
+    let hi = Complex64::cis(theta / 2.0);
+    let mut m = Mat::zeros(4);
+    m[(0, 0)] = lo;
+    m[(1, 1)] = hi;
+    m[(2, 2)] = hi;
+    m[(3, 3)] = lo;
+    m
+}
+
+/// Multi-controlled single-qubit unitary: `n_controls` controls on local bits
+/// `0..n_controls`, payload on the top local bit.
+#[must_use]
+pub fn multi_controlled(u: &Mat, n_controls: usize) -> Mat {
+    assert_eq!(u.dim(), 2);
+    let dim = 1usize << (n_controls + 1);
+    let mut m = Mat::identity(dim);
+    let cmask = (1usize << n_controls) - 1;
+    let tbit = 1usize << n_controls;
+    for i in 0..dim {
+        if i & cmask == cmask {
+            let row_t = (i & tbit != 0) as usize;
+            for col_t in 0..2 {
+                let j = (i & !tbit) | (col_t << n_controls);
+                m[(i, j)] = u[(row_t, col_t)];
+            }
+        }
+    }
+    m
+}
+
+/// Dense matrix of a gate instance, in its local operand basis.
+///
+/// For `RCCX`/`RC3X` (defined only up to relative phases by the standard)
+/// the matrix is the product of the qelib1 defining sequence, computed via
+/// [`crate::decompose`]; every other gate has an independent closed form.
+#[must_use]
+pub fn gate_matrix(g: &Gate) -> Mat {
+    let p = g.params();
+    match g.kind() {
+        k if k.n_qubits() == 1 => single_qubit(k, p),
+        GateKind::CX => multi_controlled(&single_qubit(GateKind::X, &[]), 1),
+        GateKind::CY => multi_controlled(&single_qubit(GateKind::Y, &[]), 1),
+        GateKind::CZ => multi_controlled(&single_qubit(GateKind::Z, &[]), 1),
+        GateKind::CH => multi_controlled(&single_qubit(GateKind::H, &[]), 1),
+        GateKind::CRX => multi_controlled(&rx(p[0]), 1),
+        GateKind::CRY => multi_controlled(&ry(p[0]), 1),
+        GateKind::CRZ => multi_controlled(&rz(p[0]), 1),
+        GateKind::CU1 => multi_controlled(&u1(p[0]), 1),
+        GateKind::CU3 => multi_controlled(&u3(p[0], p[1], p[2]), 1),
+        GateKind::SWAP => swap(),
+        GateKind::RXX => rxx(p[0]),
+        GateKind::RZZ => rzz(p[0]),
+        GateKind::CCX => multi_controlled(&single_qubit(GateKind::X, &[]), 2),
+        GateKind::C3X => multi_controlled(&single_qubit(GateKind::X, &[]), 3),
+        GateKind::C4X => multi_controlled(&single_qubit(GateKind::X, &[]), 4),
+        GateKind::C3SQRTX => multi_controlled(&sqrt_x(), 3),
+        GateKind::CSWAP => {
+            // Control = local bit 0; swap local bits 1 and 2.
+            let mut m = Mat::identity(8);
+            // States with control set: indices 1,3,5,7; swap (a,b) bits:
+            // |c=1,a=1,b=0> (0b011=3) <-> |c=1,a=0,b=1> (0b101=5).
+            m[(3, 3)] = Z0;
+            m[(5, 5)] = Z0;
+            m[(3, 5)] = O1;
+            m[(5, 3)] = O1;
+            m
+        }
+        GateKind::RCCX | GateKind::RC3X => crate::decompose::defining_matrix(g),
+        k => panic!("no matrix form for {k}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn all_iso_gates_are_unitary() {
+        for kind in GateKind::ALL {
+            let params: Vec<f64> = (0..kind.n_params()).map(|i| 0.3 + i as f64).collect();
+            let qubits: Vec<u32> = (0..kind.n_qubits() as u32).collect();
+            let g = Gate::new(kind, &qubits, &params).unwrap();
+            let m = gate_matrix(&g);
+            assert_eq!(m.dim(), 1 << kind.n_qubits());
+            assert!(
+                m.unitarity_defect() < EPS,
+                "{kind} defect {}",
+                m.unitarity_defect()
+            );
+        }
+    }
+
+    #[test]
+    fn identities_between_gates() {
+        let h = single_qubit(GateKind::H, &[]);
+        let x = single_qubit(GateKind::X, &[]);
+        let z = single_qubit(GateKind::Z, &[]);
+        let s = single_qubit(GateKind::S, &[]);
+        let t = single_qubit(GateKind::T, &[]);
+        // HZH = X
+        assert!(h.matmul(&z).matmul(&h).approx_eq(&x, EPS));
+        // S = T^2, Z = S^2
+        assert!(t.matmul(&t).approx_eq(&s, EPS));
+        assert!(s.matmul(&s).approx_eq(&z, EPS));
+        // sqrt(X)^2 = X
+        assert!(sqrt_x().matmul(&sqrt_x()).approx_eq(&x, EPS));
+    }
+
+    #[test]
+    fn dagger_pairs() {
+        let s = single_qubit(GateKind::S, &[]);
+        let sdg = single_qubit(GateKind::SDG, &[]);
+        let t = single_qubit(GateKind::T, &[]);
+        let tdg = single_qubit(GateKind::TDG, &[]);
+        assert!(s.matmul(&sdg).approx_eq(&Mat::identity(2), EPS));
+        assert!(t.matmul(&tdg).approx_eq(&Mat::identity(2), EPS));
+    }
+
+    #[test]
+    fn u_family_consistency() {
+        // u1(l) == u3(0,0,l) up to global phase; u2 = u3(pi/2,...)
+        assert!(u1(0.7).approx_eq_up_to_phase(&u3(0.0, 0.0, 0.7), EPS));
+        assert!(u2(0.3, 0.9).approx_eq(&u3(FRAC_PI_2, 0.3, 0.9), EPS));
+        // H == u3(pi/2, 0, pi)
+        assert!(single_qubit(GateKind::H, &[]).approx_eq(&u3(FRAC_PI_2, 0.0, PI), EPS));
+        // X == u3(pi, 0, pi)
+        assert!(single_qubit(GateKind::X, &[]).approx_eq(&u3(PI, 0.0, PI), EPS));
+    }
+
+    #[test]
+    fn rotations_at_special_angles() {
+        // RZ(pi) == Z up to phase; RX(pi) == X up to phase.
+        assert!(rz(PI).approx_eq_up_to_phase(&single_qubit(GateKind::Z, &[]), EPS));
+        assert!(rx(PI).approx_eq_up_to_phase(&single_qubit(GateKind::X, &[]), EPS));
+        assert!(ry(PI).approx_eq_up_to_phase(&single_qubit(GateKind::Y, &[]), EPS));
+        // theta = 0 is identity.
+        assert!(rx(0.0).approx_eq(&Mat::identity(2), EPS));
+        assert!(rz(0.0).approx_eq(&Mat::identity(2), EPS));
+    }
+
+    #[test]
+    fn cx_truth_table() {
+        let g = Gate::new(GateKind::CX, &[0, 1], &[]).unwrap();
+        let m = gate_matrix(&g);
+        // Control = local bit 0. |c=1,t=0> (idx 1) -> |c=1,t=1> (idx 3).
+        assert_eq!(m[(3, 1)], O1);
+        assert_eq!(m[(1, 3)], O1);
+        assert_eq!(m[(0, 0)], O1);
+        assert_eq!(m[(2, 2)], O1);
+        assert_eq!(m[(1, 1)], Z0);
+    }
+
+    #[test]
+    fn swap_symmetry() {
+        let m = swap();
+        assert!(m.matmul(&m).approx_eq(&Mat::identity(4), EPS));
+        // SWAP = CX(0,1) CX(1,0) CX(0,1) in matrix form: build CX both ways.
+        let cx01 = multi_controlled(&single_qubit(GateKind::X, &[]), 1);
+        // CX with control on local bit 1 / target bit 0:
+        let mut cx10 = Mat::identity(4);
+        cx10[(2, 2)] = Z0;
+        cx10[(3, 3)] = Z0;
+        cx10[(2, 3)] = O1;
+        cx10[(3, 2)] = O1;
+        let built = cx01.matmul(&cx10).matmul(&cx01);
+        assert!(built.approx_eq(&m, EPS));
+    }
+
+    #[test]
+    fn ccx_is_toffoli() {
+        let m = multi_controlled(&single_qubit(GateKind::X, &[]), 2);
+        // |c0=1, c1=1, t=0> = idx 0b011 = 3 -> idx 0b111 = 7.
+        assert_eq!(m[(7, 3)], O1);
+        assert_eq!(m[(3, 7)], O1);
+        // Not triggered with only one control.
+        assert_eq!(m[(1, 1)], O1);
+        assert_eq!(m[(2, 2)], O1);
+        assert_eq!(m[(5, 5)], O1);
+    }
+
+    #[test]
+    fn rzz_diagonal_values() {
+        let m = rzz(0.8);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert_eq!(m[(i, j)], Z0);
+                }
+            }
+        }
+        assert!(m[(0, 0)].approx_eq(Complex64::cis(-0.4), EPS));
+        assert!(m[(1, 1)].approx_eq(Complex64::cis(0.4), EPS));
+    }
+
+    #[test]
+    fn rxx_via_conjugation() {
+        // RXX(t) = (H x H) RZZ(t) (H x H)
+        let h = single_qubit(GateKind::H, &[]);
+        let hh = h.kron(&h);
+        let built = hh.matmul(&rzz(0.8)).matmul(&hh);
+        assert!(built.approx_eq(&rxx(0.8), EPS));
+    }
+
+    #[test]
+    fn cswap_truth_table() {
+        let g = Gate::new(GateKind::CSWAP, &[0, 1, 2], &[]).unwrap();
+        let m = gate_matrix(&g);
+        // control set (bit0), a=1 (bit1), b=0 (bit2): 0b011=3 -> 0b101=5.
+        assert_eq!(m[(5, 3)], O1);
+        assert_eq!(m[(3, 5)], O1);
+        // control clear: identity.
+        assert_eq!(m[(2, 2)], O1);
+        assert_eq!(m[(4, 4)], O1);
+        assert_eq!(m[(6, 6)], O1);
+    }
+
+    #[test]
+    fn c3sqrtx_squares_to_c3x_on_triggered_block() {
+        let g3 = Gate::new(GateKind::C3SQRTX, &[0, 1, 2, 3], &[]).unwrap();
+        let m = gate_matrix(&g3);
+        let m2 = m.matmul(&m);
+        let c3x = multi_controlled(&single_qubit(GateKind::X, &[]), 3);
+        assert!(m2.approx_eq(&c3x, EPS));
+    }
+}

@@ -1,0 +1,297 @@
+//! Circuit optimization passes: adjacent-gate cancellation, single-qubit
+//! run fusion, and identity elimination.
+//!
+//! The paper cites gate fusion as qsim's signature optimization and lists
+//! "alternative optimizations" as future work (§5, §7); these passes are
+//! the circuit-level counterpart that composes with SV-Sim's specialized
+//! kernels: fewer, denser gates enter the compiled queue.
+
+use crate::circuit::{Circuit, Op};
+use crate::gate::{Gate, GateKind};
+use crate::linalg::to_u3_params;
+use crate::matrices::gate_matrix;
+
+/// Result summary of an optimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Gates before.
+    pub before: usize,
+    /// Gates after.
+    pub after: usize,
+    /// Inverse pairs cancelled.
+    pub cancelled: usize,
+    /// Single-qubit gates fused away.
+    pub fused: usize,
+    /// Identity(-like) gates dropped.
+    pub dropped: usize,
+}
+
+/// True if `g` acts as the identity (ID, or a zero-angle rotation).
+fn is_identity_gate(g: &Gate) -> bool {
+    const EPS: f64 = 1e-12;
+    match g.kind() {
+        GateKind::ID => true,
+        GateKind::RX
+        | GateKind::RY
+        | GateKind::RZ
+        | GateKind::U1
+        | GateKind::CRX
+        | GateKind::CRY
+        | GateKind::CRZ
+        | GateKind::CU1
+        | GateKind::RXX
+        | GateKind::RZZ => g.params()[0].abs() < EPS,
+        _ => false,
+    }
+}
+
+/// True if `b` is the exact inverse of `a` (structural check: same
+/// operands, inverse kinds/parameters).
+fn is_inverse_pair(a: &Gate, b: &Gate) -> bool {
+    if a.qubits() != b.qubits() {
+        return false;
+    }
+    use GateKind::*;
+    const EPS: f64 = 1e-12;
+    match (a.kind(), b.kind()) {
+        // Self-inverse gates.
+        (x, y) if x == y => match x {
+            ID | X | Y | Z | H | CX | CZ | CY | SWAP | CH | CCX | CSWAP | C3X | C4X => true,
+            RX | RY | RZ | U1 | CRX | CRY | CRZ | CU1 | RXX | RZZ => {
+                (a.params()[0] + b.params()[0]).abs() < EPS
+            }
+            _ => false,
+        },
+        (S, SDG) | (SDG, S) | (T, TDG) | (TDG, T) => true,
+        _ => false,
+    }
+}
+
+/// Fuse two single-qubit gates on the same qubit into one `U3` (plus an
+/// unobservable global phase).
+fn fuse_1q(first: &Gate, second: &Gate) -> Gate {
+    let m = gate_matrix(second).matmul(&gate_matrix(first));
+    let (_alpha, theta, phi, lambda) = to_u3_params(&m);
+    Gate::new(GateKind::U3, first.qubits(), &[theta, phi, lambda]).expect("valid u3")
+}
+
+/// Optimize the unitary gate stream of a circuit. Measurement, reset,
+/// barrier, and conditional ops act as optimization fences (gates never
+/// move across them).
+#[must_use]
+pub fn optimize(circuit: &Circuit) -> (Circuit, OptStats) {
+    let mut stats = OptStats {
+        before: circuit.stats().gates,
+        ..OptStats::default()
+    };
+    let mut out = Circuit::with_cbits(circuit.n_qubits(), circuit.n_cbits());
+    // Pending unitary gates in the current fence-free region.
+    let mut pending: Vec<Gate> = Vec::new();
+
+    let flush =
+        |pending: &mut Vec<Gate>, out: &mut Circuit| {
+            for g in pending.drain(..) {
+                out.push_gate(g).expect("validated upstream");
+            }
+        };
+
+    let push_gate = |pending: &mut Vec<Gate>, g: Gate, stats: &mut OptStats| {
+        if is_identity_gate(&g) {
+            stats.dropped += 1;
+            return;
+        }
+        // Look back past gates on disjoint qubits for a cancellation or
+        // fusion partner (gates on disjoint supports commute).
+        let mut k = pending.len();
+        while k > 0 {
+            let prev = &pending[k - 1];
+            let overlap = prev.qubits().iter().any(|q| g.qubits().contains(q));
+            if !overlap {
+                k -= 1;
+                continue;
+            }
+            if is_inverse_pair(prev, &g) {
+                pending.remove(k - 1);
+                stats.cancelled += 1;
+                return;
+            }
+            // Fuse only exact same-qubit 1q pairs.
+            if prev.kind().n_qubits() == 1 && g.kind().n_qubits() == 1 && prev.qubits() == g.qubits()
+            {
+                let fused = fuse_1q(prev, &g);
+                stats.fused += 1;
+                pending.remove(k - 1);
+                // The fused U3(theta, phi, lambda) is the identity (up to
+                // global phase) iff theta ~ 0 and phi + lambda ~ 0 mod 2pi.
+                let p = fused.params();
+                let tau = std::f64::consts::TAU;
+                let phase = (p[1] + p[2]).rem_euclid(tau);
+                if p[0].abs() < 1e-10 && (phase < 1e-10 || tau - phase < 1e-10) {
+                    stats.dropped += 1;
+                    return;
+                }
+                pending.push(fused);
+                return;
+            }
+            break; // blocked by an overlapping, non-combinable gate
+        }
+        pending.push(g);
+    };
+
+    for op in circuit.ops() {
+        match op {
+            Op::Gate(g) => push_gate(&mut pending, *g, &mut stats),
+            other => {
+                flush(&mut pending, &mut out);
+                match other {
+                    Op::Measure { qubit, cbit } => out.measure(*qubit, *cbit).expect("validated"),
+                    Op::Reset { qubit } => out.reset(*qubit).expect("validated"),
+                    Op::Barrier(qs) => out.barrier(qs),
+                    Op::IfEq {
+                        creg_lo,
+                        creg_len,
+                        value,
+                        gate,
+                    } => out
+                        .if_eq(*creg_lo, *creg_len, *value, *gate)
+                        .expect("validated"),
+                    Op::Gate(_) => unreachable!(),
+                }
+            }
+        }
+    }
+    flush(&mut pending, &mut out);
+    stats.after = out.stats().gates;
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(c: &Circuit) -> Vec<GateKind> {
+        c.gates().map(Gate::kind).collect()
+    }
+
+    #[test]
+    fn cancels_adjacent_inverses() {
+        let mut c = Circuit::new(2);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.apply(GateKind::CX, &[0, 1], &[]).unwrap();
+        c.apply(GateKind::CX, &[0, 1], &[]).unwrap();
+        c.apply(GateKind::S, &[1], &[]).unwrap();
+        c.apply(GateKind::SDG, &[1], &[]).unwrap();
+        let (opt, stats) = optimize(&c);
+        assert_eq!(opt.stats().gates, 0);
+        assert_eq!(stats.cancelled, 3);
+    }
+
+    #[test]
+    fn cancels_through_disjoint_gates() {
+        // H(0), X(1), H(0): the H pair cancels across the disjoint X.
+        let mut c = Circuit::new(2);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.apply(GateKind::X, &[1], &[]).unwrap();
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        let (opt, stats) = optimize(&c);
+        assert_eq!(kinds(&opt), vec![GateKind::X]);
+        assert_eq!(stats.cancelled, 1);
+    }
+
+    #[test]
+    fn fuses_1q_runs() {
+        let mut c = Circuit::new(1);
+        for _ in 0..6 {
+            c.apply(GateKind::T, &[0], &[]).unwrap();
+            c.apply(GateKind::H, &[0], &[]).unwrap();
+        }
+        let (opt, stats) = optimize(&c);
+        assert_eq!(opt.stats().gates, 1, "a 12-gate run fuses to one U3");
+        assert!(stats.fused >= 10);
+    }
+
+    #[test]
+    fn rotation_pairs_with_opposite_angles_cancel() {
+        let mut c = Circuit::new(2);
+        c.apply(GateKind::RZZ, &[0, 1], &[0.7]).unwrap();
+        c.apply(GateKind::RZZ, &[0, 1], &[-0.7]).unwrap();
+        c.apply(GateKind::CRX, &[0, 1], &[0.3]).unwrap();
+        c.apply(GateKind::CRX, &[0, 1], &[-0.3]).unwrap();
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.stats().gates, 0);
+    }
+
+    #[test]
+    fn identities_dropped() {
+        let mut c = Circuit::new(1);
+        c.apply(GateKind::ID, &[0], &[]).unwrap();
+        c.apply(GateKind::RZ, &[0], &[0.0]).unwrap();
+        c.apply(GateKind::X, &[0], &[]).unwrap();
+        let (opt, stats) = optimize(&c);
+        assert_eq!(kinds(&opt), vec![GateKind::X]);
+        assert_eq!(stats.dropped, 2);
+    }
+
+    #[test]
+    fn fences_block_motion() {
+        let mut c = Circuit::with_cbits(1, 1);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.measure(0, 0).unwrap();
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        let (opt, stats) = optimize(&c);
+        assert_eq!(opt.stats().gates, 2, "H pair straddles a measurement");
+        assert_eq!(stats.cancelled, 0);
+    }
+
+    #[test]
+    fn optimized_circuits_are_equivalent() {
+        use svsim_types::SvRng;
+        let mut rng = SvRng::seed_from_u64(31);
+        for trial in 0..10 {
+            // Random 1q+CX circuit with deliberate redundancy.
+            let mut c = Circuit::new(4);
+            for _ in 0..40 {
+                match rng.range_usize(0, 5) {
+                    0 => {
+                        let q = rng.range_usize(0, 4) as u32;
+                        c.apply(GateKind::H, &[q], &[]).unwrap();
+                        if rng.bernoulli(0.5) {
+                            c.apply(GateKind::H, &[q], &[]).unwrap();
+                        }
+                    }
+                    1 => {
+                        let q = rng.range_usize(0, 4) as u32;
+                        c.apply(GateKind::RZ, &[q], &[rng.range_f64(-1.0, 1.0)])
+                            .unwrap();
+                    }
+                    2 => {
+                        let a = rng.range_usize(0, 4) as u32;
+                        let b = (a + 1 + rng.range_usize(0, 3) as u32) % 4;
+                        c.apply(GateKind::CX, &[a, b], &[]).unwrap();
+                    }
+                    3 => {
+                        let q = rng.range_usize(0, 4) as u32;
+                        c.apply(GateKind::T, &[q], &[]).unwrap();
+                    }
+                    _ => {
+                        let q = rng.range_usize(0, 4) as u32;
+                        c.apply(GateKind::U3, &[q], &[0.3, 0.1, -0.4]).unwrap();
+                    }
+                }
+            }
+            let (opt, stats) = optimize(&c);
+            assert!(stats.after <= stats.before);
+            // Equivalence up to global phase via the dense unitaries.
+            let orig_gates: Vec<Gate> = c.gates().copied().collect();
+            let opt_gates: Vec<Gate> = opt.gates().copied().collect();
+            let u1 = crate::decompose::gates_unitary(&orig_gates, 4);
+            let u2 = crate::decompose::gates_unitary(&opt_gates, 4);
+            assert!(
+                u2.approx_eq_up_to_phase(&u1, 1e-9),
+                "trial {trial}: optimization changed the unitary (diff {})",
+                u2.max_diff(&u1)
+            );
+        }
+    }
+}

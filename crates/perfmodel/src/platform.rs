@@ -1,0 +1,377 @@
+//! Platform specifications (paper Table 3) and calibrated device /
+//! interconnect parameters.
+//!
+//! None of the paper's hardware is available here, so each platform is an
+//! analytic model: a roofline device (effective strided-access bandwidth,
+//! DP throughput, per-gate synchronization floor, cache capacity for the
+//! small-`n` boost) plus an interconnect (per-message gap, link bandwidth,
+//! topology contention). The constants are calibrated so the *relative*
+//! behaviour the paper reports (§4.1 observations i-v, the scaling sweet
+//! spots of Figs. 7-13) emerges from the model; absolute numbers are
+//! indicative only. See DESIGN.md for the substitution rationale.
+
+/// A compute device (one CPU core, one GPU, one Phi core).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Effective DRAM/HBM bandwidth for strided state-vector access, GB/s.
+    pub mem_bw_gbps: f64,
+    /// Effective bandwidth when the state fits in cache, GB/s (CPUs; equal
+    /// to `mem_bw_gbps` for GPUs, which have no meaningful LLC boost here).
+    pub cache_bw_gbps: f64,
+    /// Cache capacity for the boost, MiB.
+    pub cache_mib: f64,
+    /// Double-precision throughput, GFLOP/s.
+    pub flops_gflops: f64,
+    /// Per-gate synchronization/launch floor, microseconds (grid sync on
+    /// GPUs, loop startup on CPUs).
+    pub gate_overhead_us: f64,
+    /// Additional per-gate runtime parse-and-branch penalty, microseconds
+    /// (the HIP/MI100 path without device function pointers).
+    pub dispatch_penalty_us: f64,
+}
+
+/// Interconnect topology families of the evaluated systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Multi-socket CPU bus (QPI/UPI): saturates hard beyond a socket.
+    CpuBus,
+    /// KNL on-chip 2D mesh (Omni-Path on die): constrained all-to-all.
+    Mesh2D,
+    /// NVSwitch / Infinity Fabric: near-uniform all-to-all.
+    SwitchAllToAll,
+    /// Multi-node InfiniBand fat tree.
+    FatTree,
+}
+
+/// An interconnect between partitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Per-link (or per-endpoint injection) bandwidth, GB/s.
+    pub link_bw_gbps: f64,
+    /// Effective per-message gap for pipelined fine-grained one-sided
+    /// traffic, microseconds.
+    pub msg_gap_us: f64,
+    /// Per-barrier synchronization cost coefficient, microseconds
+    /// (multiplied by `log2(workers)`).
+    pub barrier_us_per_log: f64,
+    /// Additional per-worker linear barrier/contention coefficient,
+    /// microseconds.
+    pub barrier_us_per_worker: f64,
+    /// Topology.
+    pub topology: Topology,
+}
+
+impl InterconnectSpec {
+    /// Effective aggregate bandwidth available to `workers` partitions
+    /// exchanging all-to-all traffic, GB/s.
+    #[must_use]
+    pub fn aggregate_bw(&self, workers: u64) -> f64 {
+        let w = workers as f64;
+        match self.topology {
+            // Within one socket, cores exchange through the shared LLC;
+            // crossing the socket boundary moves traffic onto QPI, and
+            // oversubscription degrades it (the Fig. 7 cliff beyond 128).
+            Topology::CpuBus => {
+                if workers <= 28 {
+                    60.0
+                } else {
+                    2.0 * self.link_bw_gbps / (1.0 + (w / 128.0).powi(2))
+                }
+            }
+            // 2D mesh: bisection grows ~sqrt(workers) but the all-to-all
+            // pattern congests the links quickly (Fig. 8).
+            Topology::Mesh2D => self.link_bw_gbps * w.sqrt() / (1.0 + w / 8.0),
+            // NVSwitch: every endpoint gets its full link.
+            Topology::SwitchAllToAll => self.link_bw_gbps * w,
+            // Fat tree: one injection link per *node* (callers convert
+            // workers to nodes), with all-to-all efficiency decaying as the
+            // job spreads over more switches.
+            Topology::FatTree => self.link_bw_gbps * w / (1.0 + w / 32.0),
+        }
+    }
+}
+
+/// Table 3: the evaluated platforms, as calibrated models.
+pub mod devices {
+    use super::DeviceSpec;
+
+    /// AMD 2nd-gen EPYC 7742, one core (the Fig. 6 reference).
+    pub const EPYC_7742: DeviceSpec = DeviceSpec {
+        name: "AMD_EPYC7742",
+        mem_bw_gbps: 11.0,
+        cache_bw_gbps: 100.0,
+        cache_mib: 0.125,
+        flops_gflops: 35.0,
+        gate_overhead_us: 0.03,
+        dispatch_penalty_us: 0.0,
+    };
+
+    /// Intel Xeon Platinum 8276M, one core, scalar code.
+    pub const INTEL_P8276: DeviceSpec = DeviceSpec {
+        name: "INTEL_P8276",
+        mem_bw_gbps: 9.0,
+        cache_bw_gbps: 90.0,
+        cache_mib: 0.125,
+        flops_gflops: 30.0,
+        gate_overhead_us: 0.03,
+        dispatch_penalty_us: 0.0,
+    };
+
+    /// Intel Xeon Platinum 8276M with AVX-512 gather/scatter kernels
+    /// (paper observation ii: ~2x).
+    pub const INTEL_P8276_AVX512: DeviceSpec = DeviceSpec {
+        name: "INTEL_P8276_AVX512",
+        mem_bw_gbps: 18.0,
+        cache_bw_gbps: 180.0,
+        cache_mib: 0.125,
+        flops_gflops: 120.0,
+        gate_overhead_us: 0.03,
+        dispatch_penalty_us: 0.0,
+    };
+
+    /// IBM POWER9, one core (Summit host CPU).
+    pub const POWER9: DeviceSpec = DeviceSpec {
+        name: "IBM_POWER9",
+        mem_bw_gbps: 10.0,
+        cache_bw_gbps: 80.0,
+        cache_mib: 0.125,
+        flops_gflops: 28.0,
+        gate_overhead_us: 0.03,
+        dispatch_penalty_us: 0.0,
+    };
+
+    /// Intel Xeon Phi 7230 (KNL), one core, scalar (observation iv: a
+    /// light-weight Atom core, slower than a server core).
+    pub const PHI_7230: DeviceSpec = DeviceSpec {
+        name: "INTEL_PHI7230",
+        mem_bw_gbps: 3.5,
+        cache_bw_gbps: 25.0,
+        cache_mib: 0.125,
+        flops_gflops: 9.0,
+        gate_overhead_us: 0.05,
+        dispatch_penalty_us: 0.0,
+    };
+
+    /// Xeon Phi 7230 with AVX-512.
+    pub const PHI_7230_AVX512: DeviceSpec = DeviceSpec {
+        name: "INTEL_PHI7230_AVX512",
+        mem_bw_gbps: 7.0,
+        cache_bw_gbps: 50.0,
+        cache_mib: 0.125,
+        flops_gflops: 35.0,
+        gate_overhead_us: 0.05,
+        dispatch_penalty_us: 0.0,
+    };
+
+    /// NVIDIA V100 (effective strided HBM bandwidth ~25% of the 900 GB/s
+    /// peak for gather/scatter per-amplitude access).
+    pub const V100: DeviceSpec = DeviceSpec {
+        name: "NVIDIA_V100",
+        mem_bw_gbps: 70.0,
+        cache_bw_gbps: 70.0,
+        cache_mib: 0.0,
+        flops_gflops: 7000.0,
+        gate_overhead_us: 0.5,
+        dispatch_penalty_us: 0.0,
+    };
+
+    /// NVIDIA A100 (observation iii: memory-bound, so barely faster than
+    /// V100 at these sizes despite the bigger HBM2e).
+    pub const A100: DeviceSpec = DeviceSpec {
+        name: "NVIDIA_A100",
+        mem_bw_gbps: 110.0,
+        cache_bw_gbps: 110.0,
+        cache_mib: 0.0,
+        flops_gflops: 9700.0,
+        gate_overhead_us: 0.5,
+        dispatch_penalty_us: 0.0,
+    };
+
+    /// AMD MI100 under HIP: no device function pointers, so every gate
+    /// pays a parse-and-branch penalty inside the kernel, and the fat
+    /// non-inlined kernel thrashes the instruction cache (observation v).
+    pub const MI100: DeviceSpec = DeviceSpec {
+        name: "AMD_MI100",
+        mem_bw_gbps: 85.0,
+        cache_bw_gbps: 85.0,
+        cache_mib: 0.0,
+        flops_gflops: 11500.0,
+        gate_overhead_us: 0.5,
+        dispatch_penalty_us: 14.0,
+    };
+}
+
+/// The interconnects of Table 3's systems.
+pub mod interconnects {
+    use super::{InterconnectSpec, Topology};
+
+    /// Intel server UPI/QPI between sockets (Fig. 7).
+    pub const QPI: InterconnectSpec = InterconnectSpec {
+        name: "QPI",
+        link_bw_gbps: 18.0,
+        msg_gap_us: 0.002,
+        barrier_us_per_log: 0.25,
+        barrier_us_per_worker: 0.05,
+        topology: Topology::CpuBus,
+    };
+
+    /// KNL on-die 2D mesh (Fig. 8) — more constrained all-to-all than QPI.
+    pub const KNL_MESH: InterconnectSpec = InterconnectSpec {
+        name: "KNL-mesh",
+        link_bw_gbps: 6.0,
+        msg_gap_us: 0.005,
+        barrier_us_per_log: 1.2,
+        barrier_us_per_worker: 0.5,
+        topology: Topology::Mesh2D,
+    };
+
+    /// NVSwitch in DGX-2 / DGX-A100 (Figs. 9-10).
+    pub const NVSWITCH: InterconnectSpec = InterconnectSpec {
+        name: "NVSwitch",
+        link_bw_gbps: 110.0,
+        msg_gap_us: 0.0004,
+        barrier_us_per_log: 0.15,
+        barrier_us_per_worker: 0.0,
+        topology: Topology::SwitchAllToAll,
+    };
+
+    /// Infinity Fabric between MI100s (Fig. 11).
+    pub const INFINITY_FABRIC: InterconnectSpec = InterconnectSpec {
+        name: "InfinityFabric",
+        link_bw_gbps: 70.0,
+        msg_gap_us: 0.0001,
+        barrier_us_per_log: 0.6,
+        barrier_us_per_worker: 0.0,
+        topology: Topology::SwitchAllToAll,
+    };
+
+    /// Summit EDR InfiniBand fat tree (Figs. 12-13): per-node injection.
+    pub const SUMMIT_IB: InterconnectSpec = InterconnectSpec {
+        name: "Summit-IB",
+        link_bw_gbps: 23.0,
+        msg_gap_us: 0.004,
+        barrier_us_per_log: 2.0,
+        barrier_us_per_worker: 0.0,
+        topology: Topology::FatTree,
+    };
+}
+
+/// A Table 3 row for the reproduction report.
+#[derive(Debug, Clone, Copy)]
+pub struct PlatformRow {
+    /// System name.
+    pub system: &'static str,
+    /// Host CPU model.
+    pub cpu: &'static str,
+    /// Accelerator (if any).
+    pub accelerator: Option<&'static str>,
+    /// Interconnect.
+    pub interconnect: &'static str,
+    /// Nodes in the evaluated system.
+    pub nodes: u32,
+}
+
+/// The six evaluation platforms of Table 3.
+#[must_use]
+pub fn table3() -> Vec<PlatformRow> {
+    vec![
+        PlatformRow {
+            system: "Intel Server",
+            cpu: "Intel Xeon P-8276M",
+            accelerator: None,
+            interconnect: "QPI/UPI",
+            nodes: 1,
+        },
+        PlatformRow {
+            system: "A100 Server",
+            cpu: "AMD EPYC 7742",
+            accelerator: Some("NVIDIA Ampere A100 x8"),
+            interconnect: "NVLink & NVSwitch",
+            nodes: 1,
+        },
+        PlatformRow {
+            system: "V100-DGX-2",
+            cpu: "Intel Xeon P-8168",
+            accelerator: Some("NVIDIA Volta V100 x16"),
+            interconnect: "NVLink & NVSwitch",
+            nodes: 1,
+        },
+        PlatformRow {
+            system: "OLCF Spock",
+            cpu: "AMD EPYC 7662",
+            accelerator: Some("AMD MI100 x4"),
+            interconnect: "Infinity Fabric",
+            nodes: 36,
+        },
+        PlatformRow {
+            system: "OLCF Summit",
+            cpu: "IBM Power-9",
+            accelerator: Some("NVIDIA Volta V100 x6"),
+            interconnect: "NVLink + EDR InfiniBand",
+            nodes: 4608,
+        },
+        PlatformRow {
+            system: "ALCF Theta",
+            cpu: "Intel Xeon Phi-7230",
+            accelerator: Some("Xeon Phi-7230 (self-hosted)"),
+            interconnect: "Omni-Path",
+            nodes: 4392,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_six_platforms() {
+        assert_eq!(table3().len(), 6);
+    }
+
+    #[test]
+    fn qpi_saturates_beyond_128_workers() {
+        let q = interconnects::QPI;
+        let bw64 = q.aggregate_bw(64);
+        let bw256 = q.aggregate_bw(256);
+        assert!(
+            bw256 < bw64,
+            "QPI contention must degrade aggregate bandwidth at 256 cores"
+        );
+    }
+
+    #[test]
+    fn nvswitch_scales_linearly() {
+        let s = interconnects::NVSWITCH;
+        assert!((s.aggregate_bw(16) / s.aggregate_bw(1) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mesh_is_weaker_than_bus_at_scale() {
+        // Observation from Fig. 8: the KNL mesh is more constrained than
+        // QPI for all-to-all traffic.
+        let per_worker_qpi = interconnects::QPI.aggregate_bw(64) / 64.0;
+        let per_worker_mesh = interconnects::KNL_MESH.aggregate_bw(64) / 64.0;
+        assert!(per_worker_mesh < per_worker_qpi);
+    }
+
+    #[test]
+    fn avx512_doubles_effective_bandwidth() {
+        assert!(
+            devices::INTEL_P8276_AVX512.mem_bw_gbps / devices::INTEL_P8276.mem_bw_gbps >= 1.8
+        );
+        assert!(
+            devices::PHI_7230_AVX512.mem_bw_gbps / devices::PHI_7230.mem_bw_gbps >= 1.8
+        );
+    }
+
+    #[test]
+    fn mi100_pays_dispatch_penalty() {
+        assert!(devices::MI100.dispatch_penalty_us > 5.0);
+        assert_eq!(devices::V100.dispatch_penalty_us, 0.0);
+    }
+}

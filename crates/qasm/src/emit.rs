@@ -1,0 +1,171 @@
+//! OpenQASM 2.0 emission: serialize a [`Circuit`] back to source text.
+//!
+//! Together with [`crate::parse_circuit`] this gives a lossless exchange
+//! path with Qiskit/Cirq/ProjectQ (the paper's frontend interop story,
+//! §3.3): circuits built programmatically can be exported, and exported
+//! text re-parses to an equivalent circuit (tested).
+
+use svsim_ir::{Circuit, Op};
+use svsim_types::{SvError, SvResult};
+
+/// Serialize a circuit as an OpenQASM 2.0 program.
+///
+/// Conventions: one quantum register `q[n]`, one classical register
+/// `c[m]`. Classically conditioned gates can only be expressed when the
+/// condition covers the whole classical register (an OpenQASM 2.0
+/// limitation).
+///
+/// # Errors
+/// [`SvError::InvalidConfig`] for conditions on sub-registers.
+pub fn to_qasm(circuit: &Circuit) -> SvResult<String> {
+    let mut out = String::with_capacity(64 + circuit.len() * 24);
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    out.push_str(&format!("qreg q[{}];\n", circuit.n_qubits()));
+    if circuit.n_cbits() > 0 {
+        out.push_str(&format!("creg c[{}];\n", circuit.n_cbits()));
+    }
+    for op in circuit.ops() {
+        match op {
+            Op::Gate(g) => {
+                emit_gate(&mut out, g);
+            }
+            Op::Measure { qubit, cbit } => {
+                out.push_str(&format!("measure q[{qubit}] -> c[{cbit}];\n"));
+            }
+            Op::Reset { qubit } => {
+                out.push_str(&format!("reset q[{qubit}];\n"));
+            }
+            Op::Barrier(qs) => {
+                if qs.is_empty() {
+                    out.push_str("barrier q;\n");
+                } else {
+                    let list: Vec<String> = qs.iter().map(|q| format!("q[{q}]")).collect();
+                    out.push_str(&format!("barrier {};\n", list.join(", ")));
+                }
+            }
+            Op::IfEq {
+                creg_lo,
+                creg_len,
+                value,
+                gate,
+            } => {
+                if *creg_lo != 0 || *creg_len != circuit.n_cbits() {
+                    return Err(SvError::InvalidConfig(format!(
+                        "OpenQASM 2.0 `if` compares a whole register; condition on \
+                         c[{creg_lo}..+{creg_len}] cannot be emitted"
+                    )));
+                }
+                out.push_str(&format!("if (c == {value}) "));
+                emit_gate(&mut out, gate);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn emit_gate(out: &mut String, g: &svsim_ir::Gate) {
+    out.push_str(g.kind().mnemonic());
+    if !g.params().is_empty() {
+        out.push('(');
+        for (i, p) in g.params().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Full round-trip precision.
+            out.push_str(&format!("{p:?}"));
+        }
+        out.push(')');
+    }
+    out.push(' ');
+    for (i, q) in g.qubits().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("q[{q}]"));
+    }
+    out.push_str(";\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_circuit;
+    use svsim_ir::{Gate, GateKind};
+
+    fn roundtrip(c: &Circuit) -> Circuit {
+        parse_circuit(&to_qasm(c).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn simple_circuit_roundtrips_exactly() {
+        let mut c = Circuit::with_cbits(3, 3);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.apply(GateKind::CX, &[0, 2], &[]).unwrap();
+        c.apply(GateKind::RZ, &[1], &[0.125]).unwrap();
+        c.measure(2, 0).unwrap();
+        c.reset(1).unwrap();
+        c.barrier(&[0, 1]);
+        let back = roundtrip(&c);
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn all_gates_roundtrip() {
+        let mut c = Circuit::new(5);
+        for kind in GateKind::ALL {
+            let qubits: Vec<u32> = (0..kind.n_qubits() as u32).collect();
+            let params: Vec<f64> = (0..kind.n_params())
+                .map(|i| 0.1 + i as f64 * 0.3)
+                .collect();
+            c.apply(kind, &qubits, &params).unwrap();
+        }
+        assert_eq!(roundtrip(&c), c);
+    }
+
+    #[test]
+    fn irrational_parameters_survive() {
+        let mut c = Circuit::new(1);
+        c.apply(GateKind::RZ, &[0], &[std::f64::consts::PI / 3.0])
+            .unwrap();
+        c.apply(GateKind::U3, &[0], &[1e-17, -2.5e8, f64::EPSILON])
+            .unwrap();
+        let back = roundtrip(&c);
+        let a: Vec<f64> = c.gates().flat_map(|g| g.params().to_vec()).collect();
+        let b: Vec<f64> = back.gates().flat_map(|g| g.params().to_vec()).collect();
+        assert_eq!(a, b, "parameters must round-trip bit-exactly");
+    }
+
+    #[test]
+    fn full_register_condition_roundtrips() {
+        let mut c = Circuit::with_cbits(2, 2);
+        c.measure(0, 0).unwrap();
+        c.if_eq(0, 2, 3, Gate::new(GateKind::X, &[1], &[]).unwrap())
+            .unwrap();
+        assert_eq!(roundtrip(&c), c);
+    }
+
+    #[test]
+    fn partial_register_condition_rejected() {
+        let mut c = Circuit::with_cbits(2, 2);
+        c.if_eq(1, 1, 1, Gate::new(GateKind::X, &[1], &[]).unwrap())
+            .unwrap();
+        assert!(to_qasm(&c).is_err());
+    }
+
+    #[test]
+    fn workload_circuits_roundtrip_functionally() {
+        use svsim_core::{SimConfig, Simulator};
+        for c in [
+            svsim_workloads::algos::qft(6).unwrap(),
+            svsim_workloads::algos::ghz(6).unwrap(),
+            svsim_workloads::random::random_circuit(6, 60, 3),
+        ] {
+            let back = roundtrip(&c);
+            let mut a = Simulator::new(6, SimConfig::single_device()).unwrap();
+            a.run(&c).unwrap();
+            let mut b = Simulator::new(6, SimConfig::single_device()).unwrap();
+            b.run(&back).unwrap();
+            assert!(a.state().max_diff(b.state()) < 1e-12);
+        }
+    }
+}

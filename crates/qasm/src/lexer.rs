@@ -1,0 +1,343 @@
+//! OpenQASM 2.0 lexer.
+
+use svsim_types::{SvError, SvResult};
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+/// OpenQASM 2.0 token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(u64),
+    /// Real literal.
+    Real(f64),
+    /// String literal (include paths).
+    Str(String),
+    /// `OPENQASM` keyword.
+    OpenQasm,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `->`
+    Arrow,
+    /// `==`
+    EqEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Real(v) => format!("real `{v}`"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::OpenQasm => "`OPENQASM`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::Semicolon => "`;`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Caret => "`^`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenize OpenQASM source.
+///
+/// # Errors
+/// [`SvError::Parse`] on unrecognized characters or malformed literals.
+pub fn tokenize(src: &str) -> SvResult<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let err = |line: usize, col: usize, msg: String| SvError::Parse { line, col, msg };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tl, tc) = (line, col);
+        let advance = |n: usize, i: &mut usize, col: &mut usize| {
+            *i += n;
+            *col += n;
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => advance(1, &mut i, &mut col),
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | '[' | ']' | '{' | '}' | ';' | ',' | '+' | '*' | '/' | '^' => {
+                let kind = match c {
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    ';' => TokenKind::Semicolon,
+                    ',' => TokenKind::Comma,
+                    '+' => TokenKind::Plus,
+                    '*' => TokenKind::Star,
+                    '/' => TokenKind::Slash,
+                    _ => TokenKind::Caret,
+                };
+                out.push(Token {
+                    kind,
+                    line: tl,
+                    col: tc,
+                });
+                advance(1, &mut i, &mut col);
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '>' {
+                    out.push(Token {
+                        kind: TokenKind::Arrow,
+                        line: tl,
+                        col: tc,
+                    });
+                    advance(2, &mut i, &mut col);
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Minus,
+                        line: tl,
+                        col: tc,
+                    });
+                    advance(1, &mut i, &mut col);
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    out.push(Token {
+                        kind: TokenKind::EqEq,
+                        line: tl,
+                        col: tc,
+                    });
+                    advance(2, &mut i, &mut col);
+                } else {
+                    return Err(err(tl, tc, "expected `==`".into()));
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != '"' {
+                    if bytes[j] == '\n' {
+                        return Err(err(tl, tc, "unterminated string".into()));
+                    }
+                    s.push(bytes[j]);
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(err(tl, tc, "unterminated string".into()));
+                }
+                let n = j + 1 - i;
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    line: tl,
+                    col: tc,
+                });
+                advance(n, &mut i, &mut col);
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let mut j = i;
+                let mut has_dot = false;
+                let mut has_exp = false;
+                while j < bytes.len() {
+                    let d = bytes[j];
+                    if d.is_ascii_digit() {
+                        j += 1;
+                    } else if d == '.' && !has_dot && !has_exp {
+                        has_dot = true;
+                        j += 1;
+                    } else if (d == 'e' || d == 'E') && !has_exp && j > i {
+                        has_exp = true;
+                        j += 1;
+                        if j < bytes.len() && (bytes[j] == '+' || bytes[j] == '-') {
+                            j += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = bytes[i..j].iter().collect();
+                let kind = if has_dot || has_exp {
+                    TokenKind::Real(
+                        text.parse::<f64>()
+                            .map_err(|_| err(tl, tc, format!("bad real literal `{text}`")))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse::<u64>()
+                            .map_err(|_| err(tl, tc, format!("bad integer literal `{text}`")))?,
+                    )
+                };
+                let n = j - i;
+                out.push(Token {
+                    kind,
+                    line: tl,
+                    col: tc,
+                });
+                advance(n, &mut i, &mut col);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let text: String = bytes[i..j].iter().collect();
+                let kind = if text == "OPENQASM" {
+                    TokenKind::OpenQasm
+                } else {
+                    TokenKind::Ident(text)
+                };
+                let n = j - i;
+                out.push(Token {
+                    kind,
+                    line: tl,
+                    col: tc,
+                });
+                advance(n, &mut i, &mut col);
+            }
+            other => {
+                return Err(err(tl, tc, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_program() {
+        let ks = kinds("OPENQASM 2.0;\nqreg q[3];");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::OpenQasm,
+                TokenKind::Real(2.0),
+                TokenKind::Semicolon,
+                TokenKind::Ident("qreg".into()),
+                TokenKind::Ident("q".into()),
+                TokenKind::LBracket,
+                TokenKind::Int(3),
+                TokenKind::RBracket,
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("// a comment\nh q; // trailing");
+        assert_eq!(ks.len(), 4); // h, q, ;, eof
+    }
+
+    #[test]
+    fn operators_and_arrow() {
+        let ks = kinds("a->b == c - 1");
+        assert!(ks.contains(&TokenKind::Arrow));
+        assert!(ks.contains(&TokenKind::EqEq));
+        assert!(ks.contains(&TokenKind::Minus));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("3.25")[0], TokenKind::Real(3.25));
+        assert_eq!(kinds("1e-3")[0], TokenKind::Real(1e-3));
+        assert_eq!(kinds("2.5e2")[0], TokenKind::Real(250.0));
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(
+            kinds("include \"qelib1.inc\";")[1],
+            TokenKind::Str("qelib1.inc".into())
+        );
+    }
+
+    #[test]
+    fn error_locations() {
+        let e = tokenize("qreg q[2];\n  @").unwrap_err();
+        match e {
+            SvError::Parse { line, col, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(col, 3);
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_string() {
+        assert!(tokenize("include \"abc").is_err());
+    }
+}

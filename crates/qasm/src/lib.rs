@@ -1,0 +1,18 @@
+//! OpenQASM 2.0 frontend for the SV-Sim reproduction.
+//!
+//! The paper's frontend stack (§3.3) accepts OpenQASM as the common IR
+//! emitted by Qiskit, Cirq, ProjectQ and friends. This crate provides the
+//! full pipeline: [`lexer`] → [`parser`] → [`elaborate`], producing the flat
+//! [`svsim_ir::Circuit`] the backends execute. `qelib1.inc` resolves to the
+//! natively implemented ISA gates of Table 1.
+
+pub mod ast;
+pub mod elaborate;
+pub mod emit;
+pub mod lexer;
+pub mod parser;
+
+pub use elaborate::parse_circuit;
+pub use elaborate::elaborate as elaborate_program;
+pub use emit::to_qasm;
+pub use parser::parse;

@@ -1,0 +1,152 @@
+//! Sense-reversing spin barrier for SPMD PE synchronization.
+//!
+//! `shmem_barrier_all` is the only collective the hot gate loop touches
+//! (one per gate, exactly as in the paper's Listing 5), so it is built
+//! directly on atomics rather than a mutex/condvar pair. A poison flag lets
+//! a panicking PE release the others instead of deadlocking the barrier.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Sense-reversing barrier over a fixed number of participants.
+#[derive(Debug)]
+pub struct SenseBarrier {
+    n: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+    poisoned: AtomicBool,
+}
+
+/// Per-participant barrier state (each PE keeps its own flipping sense).
+#[derive(Debug, Default)]
+pub struct BarrierToken {
+    sense: bool,
+}
+
+impl SenseBarrier {
+    /// Barrier over `n` participants.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one participant");
+        Self {
+            n,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of participants.
+    #[must_use]
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Block until all `n` participants arrive.
+    ///
+    /// # Panics
+    /// If the barrier was [`poison`](Self::poison)ed (a peer PE panicked).
+    pub fn wait(&self, token: &mut BarrierToken) {
+        token.sense = !token.sense;
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            // Last arriver: reset and release the epoch.
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(token.sense, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != token.sense {
+                if self.poisoned.load(Ordering::Relaxed) {
+                    panic!("shmem barrier poisoned: a peer PE panicked");
+                }
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    // Oversubscribed cores (PEs > hardware threads) must
+                    // yield or the releasing PE never runs.
+                    std::thread::yield_now();
+                }
+            }
+        }
+        if self.poisoned.load(Ordering::Relaxed) {
+            panic!("shmem barrier poisoned: a peer PE panicked");
+        }
+    }
+
+    /// Mark the barrier poisoned, releasing spinning waiters into a panic.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Relaxed);
+    }
+
+    /// True once poisoned.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = SenseBarrier::new(1);
+        let mut t = BarrierToken::default();
+        for _ in 0..10 {
+            b.wait(&mut t);
+        }
+    }
+
+    #[test]
+    fn phases_are_separated() {
+        // Counter increments in phase 1 must all be visible in phase 2.
+        const N: usize = 4;
+        const ROUNDS: usize = 50;
+        let barrier = Arc::new(SenseBarrier::new(N));
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..N {
+                let barrier = Arc::clone(&barrier);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    let mut tok = BarrierToken::default();
+                    for round in 1..=ROUNDS {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait(&mut tok);
+                        assert_eq!(
+                            counter.load(Ordering::Relaxed),
+                            (round * N) as u64,
+                            "phase leak at round {round}"
+                        );
+                        barrier.wait(&mut tok);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn poison_releases_waiters() {
+        let barrier = Arc::new(SenseBarrier::new(2));
+        let b2 = Arc::clone(&barrier);
+        let waiter = std::thread::spawn(move || {
+            let mut tok = BarrierToken::default();
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                b2.wait(&mut tok);
+            }));
+            r.is_err()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        barrier.poison();
+        assert!(waiter.join().unwrap(), "waiter should panic on poison");
+        assert!(barrier.is_poisoned());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_rejected() {
+        let _ = SenseBarrier::new(0);
+    }
+}

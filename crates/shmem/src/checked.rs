@@ -1,0 +1,177 @@
+//! Race-checked symmetric arrays.
+//!
+//! SHMEM's contract is that one-sided accesses between two barriers must
+//! not conflict — the fabric gives no ordering, so a conflicting access is
+//! a silent data race in the application (paper §2.2: "atomic access and
+//! locks are provided for critical regions"; everything else is the
+//! programmer's obligation). [`CheckedSym`] enforces that contract
+//! dynamically: every word carries a shadow cell recording which PE last
+//! touched it in the current barrier epoch, and a conflicting access from
+//! another PE panics with a diagnostic instead of corrupting amplitudes.
+//!
+//! Used by tests (including a deliberate-race test) and available for
+//! debugging user SPMD code; the hot simulation path uses the unchecked
+//! arrays.
+
+use crate::world::{ShmemCtx, SymF64, SymU64};
+
+/// Shadow encoding: `epoch * STRIDE + (pe + 1)`, 0 = untouched.
+const PE_STRIDE: u64 = 1 << 16;
+
+/// A symmetric f64 array with per-word conflict detection.
+#[derive(Debug, Clone)]
+pub struct CheckedSym {
+    data: SymF64,
+    /// One shadow word per data word: last *writer* in the current epoch.
+    writers: SymU64,
+    /// One shadow word per data word: last *reader* in the current epoch
+    /// (single-reader approximation — enough to catch read/write races).
+    readers: SymU64,
+}
+
+/// Collectively allocate a checked symmetric array.
+pub fn malloc_checked(ctx: &ShmemCtx<'_>, len_per_pe: usize) -> CheckedSym {
+    CheckedSym {
+        data: ctx.malloc_f64(len_per_pe),
+        writers: ctx.malloc_u64(len_per_pe),
+        readers: ctx.malloc_u64(len_per_pe),
+    }
+}
+
+impl CheckedSym {
+    /// The underlying unchecked array (e.g. for bulk readback).
+    #[must_use]
+    pub fn raw(&self) -> &SymF64 {
+        &self.data
+    }
+
+    fn stamp(ctx: &ShmemCtx<'_>) -> u64 {
+        // Epochs advance at barriers; PEs in the same epoch share a count.
+        (ctx.barrier_epoch() + 1) * PE_STRIDE + ctx.my_pe() as u64 + 1
+    }
+
+    fn decode(stamp: u64) -> (u64, usize) {
+        (stamp / PE_STRIDE, (stamp % PE_STRIDE) as usize - 1)
+    }
+
+    /// Checked one-sided store.
+    ///
+    /// # Panics
+    /// On a write-write or read-write conflict within the current epoch.
+    pub fn put(&self, ctx: &ShmemCtx<'_>, pe: usize, idx: usize, v: f64) {
+        let me = ctx.my_pe();
+        let my_stamp = Self::stamp(ctx);
+        let epoch = my_stamp / PE_STRIDE;
+        let prev = ctx.atomic_swap_u64(&self.writers, pe, idx, my_stamp);
+        if prev != 0 {
+            let (pepoch, ppe) = Self::decode(prev);
+            assert!(
+                !(pepoch == epoch && ppe != me),
+                "SHMEM race: PE {me} writes word {idx}@PE{pe} already written by \
+                 PE {ppe} in the same barrier epoch"
+            );
+        }
+        let r = ctx.get_u64(&self.readers, pe, idx);
+        if r != 0 {
+            let (repoch, rpe) = Self::decode(r);
+            assert!(
+                !(repoch == epoch && rpe != me),
+                "SHMEM race: PE {me} writes word {idx}@PE{pe} already read by \
+                 PE {rpe} in the same barrier epoch"
+            );
+        }
+        ctx.put_f64(&self.data, pe, idx, v);
+    }
+
+    /// Checked one-sided load.
+    ///
+    /// # Panics
+    /// On a read-write conflict within the current epoch.
+    pub fn get(&self, ctx: &ShmemCtx<'_>, pe: usize, idx: usize) -> f64 {
+        let me = ctx.my_pe();
+        let my_stamp = Self::stamp(ctx);
+        let epoch = my_stamp / PE_STRIDE;
+        let w = ctx.get_u64(&self.writers, pe, idx);
+        if w != 0 {
+            let (wepoch, wpe) = Self::decode(w);
+            assert!(
+                !(wepoch == epoch && wpe != me),
+                "SHMEM race: PE {me} reads word {idx}@PE{pe} written by PE {wpe} \
+                 in the same barrier epoch (missing barrier)"
+            );
+        }
+        ctx.put_u64(&self.readers, pe, idx, my_stamp);
+        ctx.get_f64(&self.data, pe, idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::launch;
+
+    #[test]
+    fn disciplined_protocol_passes() {
+        // Classic exchange: write remote, barrier, read local.
+        let out = launch(4, |ctx| {
+            let sym = malloc_checked(ctx, 4);
+            let right = (ctx.my_pe() + 1) % ctx.n_pes();
+            sym.put(ctx, right, 0, ctx.my_pe() as f64);
+            ctx.barrier_all();
+            sym.get(ctx, ctx.my_pe(), 0)
+        })
+        .unwrap();
+        assert_eq!(out.results, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn write_write_race_is_caught() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = launch(2, |ctx| {
+                let sym = malloc_checked(ctx, 1);
+                // Both PEs write the same word of PE 0 with no barrier.
+                sym.put(ctx, 0, 0, ctx.my_pe() as f64);
+                ctx.barrier_all();
+            });
+        });
+        assert!(caught.is_err(), "the deliberate race must be detected");
+    }
+
+    #[test]
+    fn read_write_race_is_caught() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = launch(2, |ctx| {
+                let sym = malloc_checked(ctx, 1);
+                if ctx.my_pe() == 0 {
+                    sym.put(ctx, 0, 0, 1.0);
+                    // Give PE 1 a chance to read concurrently.
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                } else {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    let _ = sym.get(ctx, 0, 0); // same epoch: race
+                }
+                ctx.barrier_all();
+            });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn epochs_reset_conflicts() {
+        // Writing the same word from different PEs is fine across barriers.
+        let out = launch(2, |ctx| {
+            let sym = malloc_checked(ctx, 1);
+            if ctx.my_pe() == 0 {
+                sym.put(ctx, 0, 0, 10.0);
+            }
+            ctx.barrier_all();
+            if ctx.my_pe() == 1 {
+                sym.put(ctx, 0, 0, 20.0);
+            }
+            ctx.barrier_all();
+            sym.get(ctx, 0, 0)
+        })
+        .unwrap();
+        assert_eq!(out.results, vec![20.0, 20.0]);
+    }
+}

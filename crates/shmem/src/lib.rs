@@ -1,0 +1,36 @@
+//! In-process PGAS/SHMEM runtime — the communication substrate of the
+//! SV-Sim reproduction.
+//!
+//! The paper's scale-out design (§3.2.3) runs one SHMEM process per device,
+//! partitions the state vector across the symmetric heap, and exchanges
+//! amplitudes with fine-grained one-sided `put`/`get` initiated from inside
+//! the compute kernel. No SHMEM fabric (NVSHMEM, OpenSHMEM, ROC_SHMEM) is
+//! available in this environment, so this crate rebuilds the model with
+//! threads as PEs:
+//!
+//! - [`world::launch`] starts an SPMD job; each PE receives a
+//!   [`world::ShmemCtx`].
+//! - [`world::ShmemCtx::malloc_f64`] is the collective symmetric allocation
+//!   (`nvshmem_malloc`).
+//! - `get_f64`/`put_f64` are `nvshmem_double_g`/`nvshmem_double_p`;
+//!   slice variants model `shmem_getmem`/`putmem`; atomics and
+//!   reductions/broadcasts complete the API surface the simulator needs.
+//! - [`world::ShmemCtx::barrier_all`] is `shmem_barrier_all`, built on a
+//!   sense-reversing atomic barrier ([`barrier`]).
+//! - Every access is classified local/remote and counted ([`metrics`]);
+//!   the traffic profile drives the interconnect performance model in
+//!   `svsim-perfmodel`.
+
+pub mod barrier;
+pub mod checked;
+pub mod metrics;
+pub mod signal;
+pub mod shared;
+pub mod world;
+
+pub use barrier::{BarrierToken, SenseBarrier};
+pub use metrics::{MetricsTable, PeCounters, TrafficSnapshot};
+pub use shared::{SharedF64Vec, SharedU64Vec};
+pub use checked::{malloc_checked, CheckedSym};
+pub use signal::{signal, signal_add, wait_until, WaitCmp};
+pub use world::{launch, JobOutput, ShmemCtx, SymF64, SymU64};

@@ -1,0 +1,207 @@
+//! Per-PE communication traffic counters.
+//!
+//! Every one-sided access through a [`crate::ShmemCtx`] is classified as
+//! local (lands in the calling PE's own partition) or remote. The resulting
+//! traffic profile is what drives the interconnect performance model in
+//! `svsim-perfmodel`: the functional run *measures* the message counts and
+//! volumes; the model prices them for a given fabric.
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Mutable per-PE counters (cache-padded to avoid false sharing between PEs).
+#[derive(Debug, Default)]
+pub struct PeCounters {
+    local_gets: AtomicU64,
+    remote_gets: AtomicU64,
+    local_puts: AtomicU64,
+    remote_puts: AtomicU64,
+    remote_get_bytes: AtomicU64,
+    remote_put_bytes: AtomicU64,
+    atomics: AtomicU64,
+    barriers: AtomicU64,
+}
+
+impl PeCounters {
+    #[inline]
+    pub fn count_get(&self, remote: bool, bytes: u64) {
+        if remote {
+            self.remote_gets.fetch_add(1, Ordering::Relaxed);
+            self.remote_get_bytes.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            self.local_gets.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn count_put(&self, remote: bool, bytes: u64) {
+        if remote {
+            self.remote_puts.fetch_add(1, Ordering::Relaxed);
+            self.remote_put_bytes.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            self.local_puts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn count_atomic(&self) {
+        self.atomics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn count_barrier(&self) {
+        self.barriers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Immutable snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            local_gets: self.local_gets.load(Ordering::Relaxed),
+            remote_gets: self.remote_gets.load(Ordering::Relaxed),
+            local_puts: self.local_puts.load(Ordering::Relaxed),
+            remote_puts: self.remote_puts.load(Ordering::Relaxed),
+            remote_get_bytes: self.remote_get_bytes.load(Ordering::Relaxed),
+            remote_put_bytes: self.remote_put_bytes.load(Ordering::Relaxed),
+            atomics: self.atomics.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of one PE's traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    /// One-sided loads resolved within the PE's own partition.
+    pub local_gets: u64,
+    /// One-sided loads that crossed to another PE.
+    pub remote_gets: u64,
+    /// One-sided stores resolved locally.
+    pub local_puts: u64,
+    /// One-sided stores that crossed to another PE.
+    pub remote_puts: u64,
+    /// Bytes moved by remote gets.
+    pub remote_get_bytes: u64,
+    /// Bytes moved by remote puts.
+    pub remote_put_bytes: u64,
+    /// Atomic operations issued.
+    pub atomics: u64,
+    /// `barrier_all` calls.
+    pub barriers: u64,
+}
+
+impl TrafficSnapshot {
+    /// Total one-sided operations.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.local_gets + self.remote_gets + self.local_puts + self.remote_puts
+    }
+
+    /// Total remote operations (messages on the fabric).
+    #[must_use]
+    pub fn remote_ops(&self) -> u64 {
+        self.remote_gets + self.remote_puts
+    }
+
+    /// Total bytes crossing the fabric.
+    #[must_use]
+    pub fn remote_bytes(&self) -> u64 {
+        self.remote_get_bytes + self.remote_put_bytes
+    }
+
+    /// Fraction of operations that were remote (0 when idle).
+    #[must_use]
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.total_ops();
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_ops() as f64 / total as f64
+        }
+    }
+
+    /// Element-wise sum (for aggregating a whole job).
+    #[must_use]
+    pub fn merged(&self, other: &Self) -> Self {
+        Self {
+            local_gets: self.local_gets + other.local_gets,
+            remote_gets: self.remote_gets + other.remote_gets,
+            local_puts: self.local_puts + other.local_puts,
+            remote_puts: self.remote_puts + other.remote_puts,
+            remote_get_bytes: self.remote_get_bytes + other.remote_get_bytes,
+            remote_put_bytes: self.remote_put_bytes + other.remote_put_bytes,
+            atomics: self.atomics + other.atomics,
+            barriers: self.barriers + other.barriers,
+        }
+    }
+}
+
+/// The metrics table for a whole world: one padded counter block per PE.
+#[derive(Debug)]
+pub struct MetricsTable {
+    per_pe: Vec<CachePadded<PeCounters>>,
+}
+
+impl MetricsTable {
+    /// Table for `n_pes` PEs.
+    #[must_use]
+    pub fn new(n_pes: usize) -> Self {
+        Self {
+            per_pe: (0..n_pes).map(|_| CachePadded::new(PeCounters::default())).collect(),
+        }
+    }
+
+    /// Counters of one PE.
+    #[must_use]
+    pub fn pe(&self, pe: usize) -> &PeCounters {
+        &self.per_pe[pe]
+    }
+
+    /// Snapshot of every PE.
+    #[must_use]
+    pub fn snapshot_all(&self) -> Vec<TrafficSnapshot> {
+        self.per_pe.iter().map(|c| c.snapshot()).collect()
+    }
+
+    /// Aggregate over all PEs.
+    #[must_use]
+    pub fn aggregate(&self) -> TrafficSnapshot {
+        self.snapshot_all()
+            .iter()
+            .fold(TrafficSnapshot::default(), |acc, s| acc.merged(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_aggregation() {
+        let t = MetricsTable::new(2);
+        t.pe(0).count_get(false, 8);
+        t.pe(0).count_get(true, 8);
+        t.pe(1).count_put(true, 8);
+        t.pe(1).count_barrier();
+        let s0 = t.pe(0).snapshot();
+        assert_eq!(s0.local_gets, 1);
+        assert_eq!(s0.remote_gets, 1);
+        assert_eq!(s0.remote_get_bytes, 8);
+        let agg = t.aggregate();
+        assert_eq!(agg.total_ops(), 3);
+        assert_eq!(agg.remote_ops(), 2);
+        assert_eq!(agg.remote_bytes(), 16);
+        assert_eq!(agg.barriers, 1);
+    }
+
+    #[test]
+    fn remote_fraction() {
+        let t = MetricsTable::new(1);
+        assert_eq!(t.aggregate().remote_fraction(), 0.0);
+        t.pe(0).count_get(true, 8);
+        t.pe(0).count_get(false, 8);
+        t.pe(0).count_get(false, 8);
+        t.pe(0).count_get(false, 8);
+        assert!((t.aggregate().remote_fraction() - 0.25).abs() < 1e-12);
+    }
+}

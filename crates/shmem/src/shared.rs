@@ -1,0 +1,229 @@
+//! Shared word-addressable buffers backing the symmetric heap.
+//!
+//! Real SHMEM exposes remote memory through plain one-sided loads/stores
+//! with *no* implied synchronization — data races between barriers are the
+//! programmer's responsibility. To model those semantics soundly in Rust,
+//! every word is a relaxed atomic: on mainstream ISAs a relaxed `load`/
+//! `store` compiles to a plain `mov`, so this costs nothing while keeping
+//! the behaviour defined.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-length shared buffer of `f64` words with one-sided access.
+#[derive(Debug)]
+pub struct SharedF64Vec {
+    words: Box<[AtomicU64]>,
+}
+
+impl SharedF64Vec {
+    /// Allocate, initialized to `init`.
+    #[must_use]
+    pub fn new(len: usize, init: f64) -> Self {
+        let bits = init.to_bits();
+        Self {
+            words: (0..len).map(|_| AtomicU64::new(bits)).collect(),
+        }
+    }
+
+    /// Length in words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// One-sided load (relaxed; `shmem_double_g` semantics).
+    #[inline]
+    #[must_use]
+    pub fn load(&self, idx: usize) -> f64 {
+        f64::from_bits(self.words[idx].load(Ordering::Relaxed))
+    }
+
+    /// One-sided store (relaxed; `shmem_double_p` semantics).
+    #[inline]
+    pub fn store(&self, idx: usize, v: f64) {
+        self.words[idx].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomic fetch-add via CAS loop (`shmem_double_atomic_fetch_add`).
+    pub fn fetch_add(&self, idx: usize, delta: f64) -> f64 {
+        let cell = &self.words[idx];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + delta).to_bits();
+            match cell.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return f64::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Copy `dst.len()` words starting at `src_start` into `dst`.
+    pub fn load_slice(&self, src_start: usize, dst: &mut [f64]) {
+        for (i, d) in dst.iter_mut().enumerate() {
+            *d = self.load(src_start + i);
+        }
+    }
+
+    /// Copy `src` into the buffer starting at `dst_start`.
+    pub fn store_slice(&self, dst_start: usize, src: &[f64]) {
+        for (i, &v) in src.iter().enumerate() {
+            self.store(dst_start + i, v);
+        }
+    }
+
+    /// Snapshot the whole buffer into a `Vec`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.load(i)).collect()
+    }
+}
+
+/// A fixed-length shared buffer of `u64` words with one-sided and atomic
+/// access (flags, counters, classical bits).
+#[derive(Debug)]
+pub struct SharedU64Vec {
+    words: Box<[AtomicU64]>,
+}
+
+impl SharedU64Vec {
+    /// Allocate, initialized to `init`.
+    #[must_use]
+    pub fn new(len: usize, init: u64) -> Self {
+        Self {
+            words: (0..len).map(|_| AtomicU64::new(init)).collect(),
+        }
+    }
+
+    /// Length in words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// One-sided load (relaxed).
+    #[inline]
+    #[must_use]
+    pub fn load(&self, idx: usize) -> u64 {
+        self.words[idx].load(Ordering::Relaxed)
+    }
+
+    /// One-sided store (relaxed).
+    #[inline]
+    pub fn store(&self, idx: usize, v: u64) {
+        self.words[idx].store(v, Ordering::Relaxed);
+    }
+
+    /// Atomic fetch-add (`shmem_uint64_atomic_fetch_add`).
+    #[inline]
+    pub fn fetch_add(&self, idx: usize, delta: u64) -> u64 {
+        self.words[idx].fetch_add(delta, Ordering::AcqRel)
+    }
+
+    /// Raw word access for ordering-specific operations (see
+    /// [`crate::signal`]).
+    #[inline]
+    pub(crate) fn words(&self) -> &[AtomicU64] {
+        &self.words
+    }
+
+    /// Atomic unconditional swap; returns the previous value.
+    #[inline]
+    pub fn swap(&self, idx: usize, value: u64) -> u64 {
+        self.words[idx].swap(value, Ordering::AcqRel)
+    }
+
+    /// Atomic compare-and-swap; returns the previous value.
+    #[inline]
+    pub fn compare_swap(&self, idx: usize, expected: u64, desired: u64) -> u64 {
+        match self.words[idx].compare_exchange(
+            expected,
+            desired,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(prev) | Err(prev) => prev,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn f64_roundtrip_and_init() {
+        let v = SharedF64Vec::new(4, 1.5);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.load(2), 1.5);
+        v.store(2, -0.25);
+        assert_eq!(v.load(2), -0.25);
+        assert_eq!(v.load(1), 1.5);
+    }
+
+    #[test]
+    fn f64_slices() {
+        let v = SharedF64Vec::new(8, 0.0);
+        v.store_slice(2, &[1.0, 2.0, 3.0]);
+        let mut out = [0.0; 3];
+        v.load_slice(2, &mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0]);
+        assert_eq!(v.to_vec()[..2], [0.0, 0.0]);
+    }
+
+    #[test]
+    fn f64_fetch_add_concurrent() {
+        let v = Arc::new(SharedF64Vec::new(1, 0.0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let v = Arc::clone(&v);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        v.fetch_add(0, 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(v.load(0), 4000.0);
+    }
+
+    #[test]
+    fn u64_atomics() {
+        let v = SharedU64Vec::new(2, 7);
+        assert_eq!(v.fetch_add(0, 3), 7);
+        assert_eq!(v.load(0), 10);
+        assert_eq!(v.compare_swap(1, 7, 99), 7);
+        assert_eq!(v.load(1), 99);
+        // Failed CAS returns the current value and leaves it unchanged.
+        assert_eq!(v.compare_swap(1, 7, 1), 99);
+        assert_eq!(v.load(1), 99);
+    }
+
+    #[test]
+    fn nan_and_negative_zero_bits_preserved() {
+        let v = SharedF64Vec::new(1, 0.0);
+        v.store(0, -0.0);
+        assert!(v.load(0).is_sign_negative());
+        v.store(0, f64::NAN);
+        assert!(v.load(0).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn out_of_bounds_panics() {
+        let v = SharedF64Vec::new(2, 0.0);
+        let _ = v.load(2);
+    }
+}

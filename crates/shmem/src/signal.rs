@@ -1,0 +1,142 @@
+//! Point-to-point synchronization: `shmem_wait_until` and
+//! put-with-signal, the primitives NVSHMEM adds for producer/consumer
+//! pipelines that don't want a full `barrier_all` (overlapping
+//! communication with computation, §2.2 of the paper).
+
+use crate::shared::SharedU64Vec;
+use std::sync::atomic::Ordering;
+
+/// Comparison operators of `shmem_wait_until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitCmp {
+    /// Wait until the word equals the operand.
+    Eq,
+    /// Wait until the word differs from the operand.
+    Ne,
+    /// Wait until the word is at least the operand.
+    Ge,
+}
+
+impl WaitCmp {
+    #[inline]
+    fn holds(self, value: u64, operand: u64) -> bool {
+        match self {
+            WaitCmp::Eq => value == operand,
+            WaitCmp::Ne => value != operand,
+            WaitCmp::Ge => value >= operand,
+        }
+    }
+}
+
+/// Spin until `flags[idx] cmp operand` holds; returns the satisfying value.
+///
+/// Uses acquire loads so data written before the matching signal (release)
+/// is visible after the wait returns.
+pub fn wait_until(flags: &SharedU64Vec, idx: usize, cmp: WaitCmp, operand: u64) -> u64 {
+    let mut spins = 0u32;
+    loop {
+        let v = flags.load_acquire(idx);
+        if cmp.holds(v, operand) {
+            return v;
+        }
+        spins += 1;
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Signal completion: release-store `value` into `flags[idx]` after the
+/// payload writes (put-with-signal's signal half).
+pub fn signal(flags: &SharedU64Vec, idx: usize, value: u64) {
+    flags.store_release(idx, value);
+}
+
+/// Atomically add to a signal word (for counting arrivals), release order.
+pub fn signal_add(flags: &SharedU64Vec, idx: usize, delta: u64) -> u64 {
+    flags.fetch_add(idx, delta)
+}
+
+impl SharedU64Vec {
+    /// Acquire-ordered load (pairs with [`SharedU64Vec::store_release`]).
+    #[inline]
+    #[must_use]
+    pub fn load_acquire(&self, idx: usize) -> u64 {
+        self.words()[idx].load(Ordering::Acquire)
+    }
+
+    /// Release-ordered store.
+    #[inline]
+    pub fn store_release(&self, idx: usize, v: u64) {
+        self.words()[idx].store(v, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::launch;
+
+    #[test]
+    fn cmp_semantics() {
+        assert!(WaitCmp::Eq.holds(3, 3));
+        assert!(!WaitCmp::Eq.holds(3, 4));
+        assert!(WaitCmp::Ne.holds(3, 4));
+        assert!(WaitCmp::Ge.holds(5, 3));
+        assert!(!WaitCmp::Ge.holds(2, 3));
+    }
+
+    #[test]
+    fn producer_consumer_pipeline() {
+        // PE 0 produces chunks into PE 1's partition and signals each one;
+        // PE 1 consumes them in order with wait_until — no barrier_all.
+        const CHUNKS: u64 = 16;
+        const CHUNK: usize = 64;
+        let out = launch(2, |ctx| {
+            let data = ctx.malloc_f64(CHUNK * CHUNKS as usize);
+            let flags = ctx.malloc_u64(1);
+            if ctx.my_pe() == 0 {
+                for k in 0..CHUNKS {
+                    let payload: Vec<f64> =
+                        (0..CHUNK).map(|i| (k as f64) * 1000.0 + i as f64).collect();
+                    ctx.put_slice_f64(&data, 1, k as usize * CHUNK, &payload);
+                    signal(flags.partition(1), 0, k + 1);
+                }
+                0.0
+            } else {
+                let mut acc = 0.0;
+                for k in 0..CHUNKS {
+                    wait_until(flags.partition(1), 0, WaitCmp::Ge, k + 1);
+                    // The chunk signalled is fully visible (release/acquire).
+                    let mut buf = vec![0.0; CHUNK];
+                    ctx.get_slice_f64(&data, 1, k as usize * CHUNK, &mut buf);
+                    assert_eq!(buf[0], k as f64 * 1000.0, "chunk {k} payload");
+                    acc += buf[CHUNK - 1];
+                }
+                acc
+            }
+        })
+        .unwrap();
+        // Sum over chunks of (k*1000 + 63).
+        let expect: f64 = (0..CHUNKS).map(|k| k as f64 * 1000.0 + 63.0).sum();
+        assert_eq!(out.results[1], expect);
+    }
+
+    #[test]
+    fn signal_add_counts_arrivals() {
+        let out = launch(4, |ctx| {
+            let flags = ctx.malloc_u64(1);
+            // Everyone signals PE 0.
+            signal_add(flags.partition(0), 0, 1);
+            if ctx.my_pe() == 0 {
+                wait_until(flags.partition(0), 0, WaitCmp::Ge, 4)
+            } else {
+                0
+            }
+        })
+        .unwrap();
+        assert_eq!(out.results[0], 4);
+    }
+}

@@ -1,0 +1,548 @@
+//! The SPMD world: PE launch, symmetric heap, one-sided access, collectives.
+//!
+//! This is the in-process stand-in for OpenSHMEM/NVSHMEM (see DESIGN.md):
+//! each processing element (PE) is a thread executing the same program, the
+//! symmetric heap is allocated collectively (same sizes, same order on every
+//! PE), and remote partitions are reached with one-sided `put`/`get` exactly
+//! as in the paper's Listing 5.
+
+use crate::barrier::{BarrierToken, SenseBarrier};
+use crate::metrics::{MetricsTable, PeCounters, TrafficSnapshot};
+use crate::shared::{SharedF64Vec, SharedU64Vec};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::sync::Arc;
+use svsim_types::{SvError, SvResult};
+
+/// Handle to a symmetric `f64` array: every PE owns `len_per_pe` words and
+/// can address any peer's copy.
+#[derive(Debug, Clone)]
+pub struct SymF64 {
+    bufs: Arc<Vec<SharedF64Vec>>,
+    len_per_pe: usize,
+}
+
+impl SymF64 {
+    /// Words per PE.
+    #[must_use]
+    pub fn len_per_pe(&self) -> usize {
+        self.len_per_pe
+    }
+
+    /// Direct reference to one PE's partition (peer-pointer-array analog).
+    #[must_use]
+    pub fn partition(&self, pe: usize) -> &SharedF64Vec {
+        &self.bufs[pe]
+    }
+
+    /// Number of partitions (PEs).
+    #[must_use]
+    pub fn n_partitions(&self) -> usize {
+        self.bufs.len()
+    }
+}
+
+/// Handle to a symmetric `u64` array.
+#[derive(Debug, Clone)]
+pub struct SymU64 {
+    bufs: Arc<Vec<SharedU64Vec>>,
+    len_per_pe: usize,
+}
+
+impl SymU64 {
+    /// Words per PE.
+    #[must_use]
+    pub fn len_per_pe(&self) -> usize {
+        self.len_per_pe
+    }
+
+    /// Direct reference to one PE's partition.
+    #[must_use]
+    pub fn partition(&self, pe: usize) -> &SharedU64Vec {
+        &self.bufs[pe]
+    }
+}
+
+/// Shared world state behind every PE's [`ShmemCtx`].
+#[derive(Debug)]
+pub struct World {
+    n_pes: usize,
+    barrier: SenseBarrier,
+    metrics: MetricsTable,
+    /// Symmetric-heap allocation log: handles published by PE 0, indexed by
+    /// allocation sequence number.
+    heap_f64: Mutex<Vec<SymF64>>,
+    heap_u64: Mutex<Vec<SymU64>>,
+    /// Scratch slots for collectives (one word per PE).
+    coll: SharedF64Vec,
+    coll_u: SharedU64Vec,
+}
+
+impl World {
+    fn new(n_pes: usize) -> Self {
+        Self {
+            n_pes,
+            barrier: SenseBarrier::new(n_pes),
+            metrics: MetricsTable::new(n_pes),
+            heap_f64: Mutex::new(Vec::new()),
+            heap_u64: Mutex::new(Vec::new()),
+            coll: SharedF64Vec::new(n_pes, 0.0),
+            coll_u: SharedU64Vec::new(n_pes, 0),
+        }
+    }
+}
+
+/// Per-PE execution context — the value passed to the SPMD body.
+pub struct ShmemCtx<'w> {
+    pe: usize,
+    world: &'w World,
+    token: Cell<BarrierToken>,
+    epoch: Cell<u64>,
+    /// Count of symmetric allocations this PE has participated in; used to
+    /// pair each PE's `malloc` call with the published handle.
+    alloc_seq_f64: Cell<usize>,
+    alloc_seq_u64: Cell<usize>,
+}
+
+impl<'w> ShmemCtx<'w> {
+    /// This PE's rank (`shmem_my_pe`).
+    #[must_use]
+    pub fn my_pe(&self) -> usize {
+        self.pe
+    }
+
+    /// World size (`shmem_n_pes`).
+    #[must_use]
+    pub fn n_pes(&self) -> usize {
+        self.world.n_pes
+    }
+
+    fn counters(&self) -> &PeCounters {
+        self.world.metrics.pe(self.pe)
+    }
+
+    /// Global barrier (`shmem_barrier_all`).
+    pub fn barrier_all(&self) {
+        self.counters().count_barrier();
+        let mut tok = self.token.take();
+        self.world.barrier.wait(&mut tok);
+        self.token.set(tok);
+        self.epoch.set(self.epoch.get() + 1);
+    }
+
+    /// Number of barriers this PE has passed — the synchronization epoch
+    /// used by [`crate::checked`] for race detection. Identical across PEs
+    /// at any synchronized point.
+    #[must_use]
+    pub fn barrier_epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    /// Atomic unconditional swap on a `u64` word; returns the previous
+    /// value.
+    pub fn atomic_swap_u64(&self, sym: &SymU64, pe: usize, idx: usize, value: u64) -> u64 {
+        self.counters().count_atomic();
+        sym.bufs[pe].swap(idx, value)
+    }
+
+    /// Collective symmetric allocation of `len_per_pe` f64 words per PE
+    /// (`nvshmem_malloc`). Must be called by **all** PEs in the same order.
+    pub fn malloc_f64(&self, len_per_pe: usize) -> SymF64 {
+        let seq = self.alloc_seq_f64.get();
+        self.alloc_seq_f64.set(seq + 1);
+        if self.pe == 0 {
+            let handle = SymF64 {
+                bufs: Arc::new(
+                    (0..self.world.n_pes)
+                        .map(|_| SharedF64Vec::new(len_per_pe, 0.0))
+                        .collect(),
+                ),
+                len_per_pe,
+            };
+            self.world.heap_f64.lock().push(handle);
+        }
+        self.barrier_all();
+        let handle = self.world.heap_f64.lock()[seq].clone();
+        assert_eq!(
+            handle.len_per_pe, len_per_pe,
+            "PE {} called malloc_f64 with a mismatched size (collective call order violated)",
+            self.pe
+        );
+        handle
+    }
+
+    /// Collective symmetric allocation of `u64` words.
+    pub fn malloc_u64(&self, len_per_pe: usize) -> SymU64 {
+        let seq = self.alloc_seq_u64.get();
+        self.alloc_seq_u64.set(seq + 1);
+        if self.pe == 0 {
+            let handle = SymU64 {
+                bufs: Arc::new(
+                    (0..self.world.n_pes)
+                        .map(|_| SharedU64Vec::new(len_per_pe, 0))
+                        .collect(),
+                ),
+                len_per_pe,
+            };
+            self.world.heap_u64.lock().push(handle);
+        }
+        self.barrier_all();
+        let handle = self.world.heap_u64.lock()[seq].clone();
+        assert_eq!(handle.len_per_pe, len_per_pe, "collective call order violated");
+        handle
+    }
+
+    /// One-sided load of one word from `src_pe`'s partition
+    /// (`nvshmem_double_g`).
+    #[inline]
+    #[must_use]
+    pub fn get_f64(&self, sym: &SymF64, src_pe: usize, idx: usize) -> f64 {
+        self.counters().count_get(src_pe != self.pe, 8);
+        sym.bufs[src_pe].load(idx)
+    }
+
+    /// One-sided store of one word into `dst_pe`'s partition
+    /// (`nvshmem_double_p`).
+    #[inline]
+    pub fn put_f64(&self, sym: &SymF64, dst_pe: usize, idx: usize, v: f64) {
+        self.counters().count_put(dst_pe != self.pe, 8);
+        sym.bufs[dst_pe].store(idx, v);
+    }
+
+    /// Contiguous one-sided load (`shmem_getmem`): one message, many words.
+    pub fn get_slice_f64(&self, sym: &SymF64, src_pe: usize, start: usize, dst: &mut [f64]) {
+        self.counters()
+            .count_get(src_pe != self.pe, 8 * dst.len() as u64);
+        sym.bufs[src_pe].load_slice(start, dst);
+    }
+
+    /// Contiguous one-sided store (`shmem_putmem`).
+    pub fn put_slice_f64(&self, sym: &SymF64, dst_pe: usize, start: usize, src: &[f64]) {
+        self.counters()
+            .count_put(dst_pe != self.pe, 8 * src.len() as u64);
+        sym.bufs[dst_pe].store_slice(start, src);
+    }
+
+    /// Atomic fetch-add on a remote f64 word.
+    pub fn atomic_fetch_add_f64(&self, sym: &SymF64, pe: usize, idx: usize, delta: f64) -> f64 {
+        self.counters().count_atomic();
+        sym.bufs[pe].fetch_add(idx, delta)
+    }
+
+    /// One-sided `u64` load.
+    #[inline]
+    #[must_use]
+    pub fn get_u64(&self, sym: &SymU64, src_pe: usize, idx: usize) -> u64 {
+        self.counters().count_get(src_pe != self.pe, 8);
+        sym.bufs[src_pe].load(idx)
+    }
+
+    /// One-sided `u64` store.
+    #[inline]
+    pub fn put_u64(&self, sym: &SymU64, dst_pe: usize, idx: usize, v: u64) {
+        self.counters().count_put(dst_pe != self.pe, 8);
+        sym.bufs[dst_pe].store(idx, v);
+    }
+
+    /// Atomic fetch-add on a `u64` word.
+    pub fn atomic_fetch_add_u64(&self, sym: &SymU64, pe: usize, idx: usize, delta: u64) -> u64 {
+        self.counters().count_atomic();
+        sym.bufs[pe].fetch_add(idx, delta)
+    }
+
+    /// Atomic compare-and-swap on a `u64` word; returns the previous value.
+    pub fn atomic_compare_swap_u64(
+        &self,
+        sym: &SymU64,
+        pe: usize,
+        idx: usize,
+        expected: u64,
+        desired: u64,
+    ) -> u64 {
+        self.counters().count_atomic();
+        sym.bufs[pe].compare_swap(idx, expected, desired)
+    }
+
+    /// All-reduce sum over one f64 contribution per PE
+    /// (`shmem_double_sum_to_all`). Collective.
+    pub fn sum_reduce_f64(&self, x: f64) -> f64 {
+        self.world.coll.store(self.pe, x);
+        self.barrier_all();
+        let total: f64 = (0..self.world.n_pes).map(|p| self.world.coll.load(p)).sum();
+        self.barrier_all(); // protect the scratch slots from the next collective
+        total
+    }
+
+    /// All-reduce max. Collective.
+    pub fn max_reduce_f64(&self, x: f64) -> f64 {
+        self.world.coll.store(self.pe, x);
+        self.barrier_all();
+        let m = (0..self.world.n_pes)
+            .map(|p| self.world.coll.load(p))
+            .fold(f64::NEG_INFINITY, f64::max);
+        self.barrier_all();
+        m
+    }
+
+    /// Broadcast a f64 from `root` to all PEs. Collective.
+    pub fn broadcast_f64(&self, root: usize, x: f64) -> f64 {
+        if self.pe == root {
+            self.world.coll.store(0, x);
+        }
+        self.barrier_all();
+        let v = self.world.coll.load(0);
+        self.barrier_all();
+        v
+    }
+
+    /// Broadcast a u64 from `root`. Collective.
+    pub fn broadcast_u64(&self, root: usize, x: u64) -> u64 {
+        if self.pe == root {
+            self.world.coll_u.store(0, x);
+        }
+        self.barrier_all();
+        let v = self.world.coll_u.load(0);
+        self.barrier_all();
+        v
+    }
+
+    /// This PE's traffic snapshot so far.
+    #[must_use]
+    pub fn my_traffic(&self) -> TrafficSnapshot {
+        self.counters().snapshot()
+    }
+}
+
+/// Result of an SPMD job: per-PE return values plus the traffic profile.
+#[derive(Debug)]
+pub struct JobOutput<T> {
+    /// Per-PE results, indexed by rank.
+    pub results: Vec<T>,
+    /// Per-PE traffic, indexed by rank.
+    pub traffic: Vec<TrafficSnapshot>,
+}
+
+impl<T> JobOutput<T> {
+    /// Aggregate traffic over all PEs.
+    #[must_use]
+    pub fn total_traffic(&self) -> TrafficSnapshot {
+        self.traffic
+            .iter()
+            .fold(TrafficSnapshot::default(), |acc, s| acc.merged(s))
+    }
+}
+
+/// Launch an SPMD job over `n_pes` PEs (the `shmem_init` + fork analog).
+///
+/// Every PE runs `body` with its own [`ShmemCtx`]. If any PE panics, the
+/// barrier is poisoned so peers fail fast, and the panic is propagated.
+///
+/// # Errors
+/// [`SvError::InvalidConfig`] when `n_pes == 0`.
+pub fn launch<T, F>(n_pes: usize, body: F) -> SvResult<JobOutput<T>>
+where
+    T: Send,
+    F: Fn(&ShmemCtx<'_>) -> T + Sync,
+{
+    if n_pes == 0 {
+        return Err(SvError::InvalidConfig("n_pes must be >= 1".into()));
+    }
+    let world = World::new(n_pes);
+    let mut slots: Vec<Option<T>> = (0..n_pes).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let world = &world;
+        let body = &body;
+        let handles: Vec<_> = slots
+            .iter_mut()
+            .enumerate()
+            .map(|(pe, slot)| {
+                scope.spawn(move || {
+                    let ctx = ShmemCtx {
+                        pe,
+                        world,
+                        token: Cell::new(BarrierToken::default()),
+                        epoch: Cell::new(0),
+                        alloc_seq_f64: Cell::new(0),
+                        alloc_seq_u64: Cell::new(0),
+                    };
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
+                    match r {
+                        Ok(v) => {
+                            *slot = Some(v);
+                        }
+                        Err(payload) => {
+                            world.barrier.poison();
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            // Propagate the first panic after all threads finish or poison.
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    let traffic = world.metrics.snapshot_all();
+    Ok(JobOutput {
+        results: slots
+            .into_iter()
+            .map(|s| s.expect("PE completed without result"))
+            .collect(),
+        traffic,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_and_world_size() {
+        let out = launch(4, |ctx| (ctx.my_pe(), ctx.n_pes())).unwrap();
+        for (pe, &(rank, n)) in out.results.iter().enumerate() {
+            assert_eq!(rank, pe);
+            assert_eq!(n, 4);
+        }
+    }
+
+    #[test]
+    fn zero_pes_rejected() {
+        assert!(launch(0, |_| ()).is_err());
+    }
+
+    #[test]
+    fn symmetric_heap_put_get() {
+        // Ring exchange: each PE writes its rank into its right neighbor's
+        // partition, then reads its own slot.
+        let out = launch(4, |ctx| {
+            let sym = ctx.malloc_f64(1);
+            let right = (ctx.my_pe() + 1) % ctx.n_pes();
+            ctx.put_f64(&sym, right, 0, ctx.my_pe() as f64);
+            ctx.barrier_all();
+            ctx.get_f64(&sym, ctx.my_pe(), 0)
+        })
+        .unwrap();
+        assert_eq!(out.results, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn traffic_is_classified() {
+        let out = launch(2, |ctx| {
+            let sym = ctx.malloc_f64(4);
+            // one local put, one remote put, one remote get
+            ctx.put_f64(&sym, ctx.my_pe(), 0, 1.0);
+            ctx.put_f64(&sym, 1 - ctx.my_pe(), 1, 2.0);
+            ctx.barrier_all();
+            ctx.get_f64(&sym, 1 - ctx.my_pe(), 0)
+        })
+        .unwrap();
+        let agg = out.total_traffic();
+        assert_eq!(agg.local_puts, 2);
+        assert_eq!(agg.remote_puts, 2);
+        assert_eq!(agg.remote_gets, 2);
+        assert_eq!(agg.remote_bytes(), 2 * 8 + 2 * 8);
+        assert_eq!(out.results, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn slice_transfers() {
+        let out = launch(2, |ctx| {
+            let sym = ctx.malloc_f64(8);
+            if ctx.my_pe() == 0 {
+                ctx.put_slice_f64(&sym, 1, 2, &[5.0, 6.0, 7.0]);
+            }
+            ctx.barrier_all();
+            let mut buf = [0.0; 3];
+            ctx.get_slice_f64(&sym, 1, 2, &mut buf);
+            buf
+        })
+        .unwrap();
+        assert_eq!(out.results[0], [5.0, 6.0, 7.0]);
+        assert_eq!(out.results[1], [5.0, 6.0, 7.0]);
+        // Slice ops count as one message each.
+        assert_eq!(out.total_traffic().remote_puts, 1);
+    }
+
+    #[test]
+    fn reductions_and_broadcast() {
+        let out = launch(4, |ctx| {
+            let sum = ctx.sum_reduce_f64(ctx.my_pe() as f64 + 1.0);
+            let max = ctx.max_reduce_f64(ctx.my_pe() as f64);
+            let b = ctx.broadcast_f64(2, if ctx.my_pe() == 2 { 42.0 } else { 0.0 });
+            let bu = ctx.broadcast_u64(1, if ctx.my_pe() == 1 { 7 } else { 0 });
+            (sum, max, b, bu)
+        })
+        .unwrap();
+        for &(sum, max, b, bu) in &out.results {
+            assert_eq!(sum, 10.0);
+            assert_eq!(max, 3.0);
+            assert_eq!(b, 42.0);
+            assert_eq!(bu, 7);
+        }
+    }
+
+    #[test]
+    fn back_to_back_collectives_do_not_interfere() {
+        let out = launch(3, |ctx| {
+            let a = ctx.sum_reduce_f64(1.0);
+            let b = ctx.sum_reduce_f64(2.0);
+            let c = ctx.max_reduce_f64(ctx.my_pe() as f64);
+            (a, b, c)
+        })
+        .unwrap();
+        for &(a, b, c) in &out.results {
+            assert_eq!((a, b, c), (3.0, 6.0, 2.0));
+        }
+    }
+
+    #[test]
+    fn multiple_allocations_in_order() {
+        let out = launch(2, |ctx| {
+            let a = ctx.malloc_f64(2);
+            let b = ctx.malloc_f64(3);
+            let f = ctx.malloc_u64(1);
+            ctx.put_f64(&a, ctx.my_pe(), 0, 1.0);
+            ctx.put_f64(&b, ctx.my_pe(), 2, 2.0);
+            ctx.atomic_fetch_add_u64(&f, 0, 0, 1);
+            ctx.barrier_all();
+            (
+                a.len_per_pe(),
+                b.len_per_pe(),
+                ctx.get_u64(&f, 0, 0),
+            )
+        })
+        .unwrap();
+        assert_eq!(out.results[0], (2, 3, 2));
+    }
+
+    #[test]
+    fn atomic_fetch_add_f64_across_pes() {
+        let out = launch(4, |ctx| {
+            let sym = ctx.malloc_f64(1);
+            ctx.barrier_all();
+            // Everyone adds into PE 0's slot.
+            ctx.atomic_fetch_add_f64(&sym, 0, 0, 1.5);
+            ctx.barrier_all();
+            ctx.get_f64(&sym, 0, 0)
+        })
+        .unwrap();
+        assert_eq!(out.results[1], 6.0);
+    }
+
+    #[test]
+    fn panic_in_one_pe_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            let _ = launch(3, |ctx| {
+                if ctx.my_pe() == 1 {
+                    panic!("PE 1 exploded");
+                }
+                // Peers head into a barrier that PE 1 never reaches.
+                ctx.barrier_all();
+            });
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Minimal complex-number arithmetic for state-vector simulation.
+//!
+//! The simulator stores amplitudes in structure-of-arrays form
+//! (`sv_real`, `sv_imag`), so this type is mostly used at API boundaries:
+//! gate matrices, amplitude queries, expectation values.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Zero.
+    pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Self = Self { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Self = Self { re: 0.0, im: 1.0 };
+
+    /// Construct from real and imaginary parts.
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A purely real value.
+    #[must_use]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `r * e^{i theta}`.
+    #[must_use]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{i theta}` — a pure phase.
+    #[must_use]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|^2` — the probability weight of an amplitude.
+    #[must_use]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-pi, pi]`.
+    #[must_use]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Returns NaNs for zero, like `1.0/0.0` semantics.
+    #[must_use]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Scale by a real factor.
+    #[must_use]
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+
+    /// Principal square root (branch cut on the negative real axis).
+    #[must_use]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.norm().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Approximate equality within `eps` on both components.
+    #[must_use]
+    pub fn approx_eq(self, other: Self, eps: f64) -> bool {
+        (self.re - other.re).abs() <= eps && (self.im - other.im).abs() <= eps
+    }
+
+    /// True if either component is NaN.
+    #[must_use]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Self::real(re)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a + b, Complex64::new(4.0, 1.0));
+        assert_eq!(a - b, Complex64::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex64::new(5.0, 5.0));
+        assert!((a / b * b).approx_eq(a, EPS));
+        assert_eq!(-a, Complex64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((Complex64::I * Complex64::I).approx_eq(Complex64::real(-1.0), EPS));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex64::from_polar(2.0, 0.7);
+        assert!((z.norm() - 2.0).abs() < EPS);
+        assert!((z.arg() - 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn cis_special_angles() {
+        assert!(Complex64::cis(0.0).approx_eq(Complex64::ONE, EPS));
+        assert!(Complex64::cis(FRAC_PI_2).approx_eq(Complex64::I, EPS));
+        assert!(Complex64::cis(PI).approx_eq(Complex64::real(-1.0), EPS));
+    }
+
+    #[test]
+    fn conj_and_norms() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex64::new(3.0, -4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.norm(), 5.0);
+        // z * conj(z) = |z|^2
+        assert!((z * z.conj()).approx_eq(Complex64::real(25.0), EPS));
+    }
+
+    #[test]
+    fn inverse() {
+        let z = Complex64::new(0.5, -1.5);
+        assert!((z * z.inv()).approx_eq(Complex64::ONE, EPS));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex64::ONE;
+        z += Complex64::I;
+        z -= Complex64::new(1.0, 0.0);
+        z *= Complex64::I;
+        assert!(z.approx_eq(Complex64::real(-1.0), EPS));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn real_scaling_commutes() {
+        let z = Complex64::new(2.0, -3.0);
+        assert_eq!(z * 2.0, 2.0 * z);
+        assert_eq!(z * 2.0, Complex64::new(4.0, -6.0));
+    }
+}

@@ -1,0 +1,103 @@
+//! Shared error type across the workspace.
+
+use std::fmt;
+
+/// Errors produced anywhere in the SV-Sim reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SvError {
+    /// A qubit index exceeded the register width.
+    QubitOutOfRange {
+        /// Offending qubit.
+        qubit: u64,
+        /// Register width.
+        n_qubits: u64,
+    },
+    /// A gate was given the same qubit twice (e.g. `cx q[0], q[0]`).
+    DuplicateQubit {
+        /// The duplicated qubit index.
+        qubit: u64,
+    },
+    /// Configuration is invalid (e.g. PE count not a power of two, or more
+    /// partitions than amplitudes).
+    InvalidConfig(String),
+    /// OpenQASM parse error with source location.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// Message.
+        msg: String,
+    },
+    /// A named entity (register, gate) was not found during elaboration.
+    Undefined(String),
+    /// Arity mismatch when calling a gate.
+    Arity {
+        /// Gate name.
+        gate: String,
+        /// What the definition requires.
+        expected: usize,
+        /// What the call supplied.
+        got: usize,
+    },
+    /// The SHMEM runtime was misused (bad PE id, out-of-segment access, ...).
+    Shmem(String),
+    /// Numerical failure (e.g. renormalizing a zero-probability branch).
+    Numeric(String),
+}
+
+impl fmt::Display for SvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit register")
+            }
+            Self::DuplicateQubit { qubit } => {
+                write!(f, "gate applied to duplicate qubit {qubit}")
+            }
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            Self::Undefined(name) => write!(f, "undefined symbol: {name}"),
+            Self::Arity {
+                gate,
+                expected,
+                got,
+            } => write!(f, "gate {gate} expects {expected} argument(s), got {got}"),
+            Self::Shmem(msg) => write!(f, "shmem runtime error: {msg}"),
+            Self::Numeric(msg) => write!(f, "numeric error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SvError {}
+
+/// Workspace result alias.
+pub type SvResult<T> = Result<T, SvError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SvError::QubitOutOfRange {
+            qubit: 7,
+            n_qubits: 4,
+        };
+        assert_eq!(e.to_string(), "qubit 7 out of range for 4-qubit register");
+        let p = SvError::Parse {
+            line: 3,
+            col: 14,
+            msg: "unexpected token".into(),
+        };
+        assert!(p.to_string().contains("3:14"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SvError::Undefined("q".into()));
+    }
+}

@@ -1,0 +1,155 @@
+//! Analytic gradients via the parameter-shift rule, plus a plain
+//! gradient-descent optimizer.
+//!
+//! For a parameter `theta` entering the circuit once through a gate
+//! `exp(-i theta/2 P)` with `P^2 = I` (RX, RY, RZ, RXX, RZZ, CRX, CRY,
+//! CRZ-as-written...), the energy derivative is exactly
+//! `(f(theta + pi/2) - f(theta - pi/2)) / 2` — two circuit evaluations per
+//! parameter, no finite-difference error. This is the gradient machinery
+//! real VQA stacks run on hardware, and it composes with the batched
+//! template of `svsim-core::batch` (one compile, `2p` patched executions
+//! per gradient).
+
+use svsim_types::SvResult;
+
+/// Exact parameter-shift gradient of `f` at `x`.
+///
+/// Precondition: each component of `x` parameterizes exactly one
+/// `exp(-i theta/2 P)`-family gate (parameters shared across several gates
+/// need one shift per occurrence, which this helper does not do).
+pub fn parameter_shift_gradient(f: &mut dyn FnMut(&[f64]) -> f64, x: &[f64]) -> Vec<f64> {
+    let shift = std::f64::consts::FRAC_PI_2;
+    let mut grad = Vec::with_capacity(x.len());
+    let mut probe = x.to_vec();
+    for i in 0..x.len() {
+        probe[i] = x[i] + shift;
+        let plus = f(&probe);
+        probe[i] = x[i] - shift;
+        let minus = f(&probe);
+        probe[i] = x[i];
+        grad.push((plus - minus) / 2.0);
+    }
+    grad
+}
+
+/// Result of a gradient-descent run.
+#[derive(Debug, Clone)]
+pub struct GdResult {
+    /// Final parameters.
+    pub params: Vec<f64>,
+    /// Final objective value.
+    pub value: f64,
+    /// Objective value per iteration.
+    pub history: Vec<f64>,
+}
+
+/// Plain gradient descent with parameter-shift gradients.
+///
+/// # Errors
+/// Never in practice; interface uniformity with the other optimizers.
+pub fn gradient_descent(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    learning_rate: f64,
+    iterations: usize,
+) -> SvResult<GdResult> {
+    let mut x = x0.to_vec();
+    let mut history = Vec::with_capacity(iterations + 1);
+    history.push(f(&x));
+    for _ in 0..iterations {
+        let grad = parameter_shift_gradient(f, &x);
+        for (xi, gi) in x.iter_mut().zip(&grad) {
+            *xi -= learning_rate * gi;
+        }
+        history.push(f(&x));
+    }
+    Ok(GdResult {
+        value: *history.last().expect("non-empty"),
+        params: x,
+        history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svsim_core::{ParamCircuit, ParamValue, SimConfig};
+    use svsim_ir::{GateKind, PauliString};
+
+    /// <Z0> of a tiny ansatz where each parameter appears exactly once.
+    fn ansatz_objective() -> (impl FnMut(&[f64]) -> f64, usize) {
+        let mut t = ParamCircuit::new(2);
+        t.push(GateKind::RY, &[0], &[ParamValue::Var(0)]).unwrap();
+        t.push(GateKind::RX, &[1], &[ParamValue::Var(1)]).unwrap();
+        t.push_fixed(GateKind::CX, &[0, 1], &[]).unwrap();
+        t.push(GateKind::RZZ, &[0, 1], &[ParamValue::Var(2)])
+            .unwrap();
+        t.push(GateKind::RY, &[0], &[ParamValue::Var(3)]).unwrap();
+        let mut compiled = t.compile().unwrap();
+        let z0 = PauliString::parse("ZI").unwrap();
+        let n_vars = t.n_vars();
+        (
+            move |x: &[f64]| {
+                let state = compiled.run(x).unwrap();
+                svsim_core::measure::expval_pauli(&state, &z0)
+            },
+            n_vars,
+        )
+    }
+
+    #[test]
+    fn shift_rule_matches_finite_differences() {
+        let (mut f, n) = ansatz_objective();
+        let x: Vec<f64> = (0..n).map(|i| 0.3 + 0.2 * i as f64).collect();
+        let analytic = parameter_shift_gradient(&mut f, &x);
+        // Central differences with a small step.
+        let eps = 1e-5;
+        let mut probe = x.clone();
+        for i in 0..n {
+            probe[i] = x[i] + eps;
+            let plus = f(&probe);
+            probe[i] = x[i] - eps;
+            let minus = f(&probe);
+            probe[i] = x[i];
+            let fd = (plus - minus) / (2.0 * eps);
+            assert!(
+                (analytic[i] - fd).abs() < 1e-6,
+                "param {i}: shift {} vs fd {fd}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_descent_minimizes_z_expectation() {
+        let (mut f, n) = ansatz_objective();
+        let x0 = vec![0.4; n];
+        let result = gradient_descent(&mut f, &x0, 0.3, 60).unwrap();
+        // <Z0> can reach -1 (flip qubit 0).
+        assert!(
+            result.value < -0.98,
+            "gradient descent stalled at {}",
+            result.value
+        );
+        // History should show descent overall.
+        assert!(result.history[0] > result.value);
+    }
+
+    #[test]
+    fn gradient_descent_on_simulator_objective() {
+        // Same thing through the full Simulator (not the template), to pin
+        // the two paths together.
+        let z0 = PauliString::parse("ZI").unwrap();
+        let mut f = |x: &[f64]| {
+            let mut c = svsim_ir::Circuit::new(2);
+            c.apply(GateKind::RY, &[0], &[x[0]]).unwrap();
+            c.apply(GateKind::CX, &[0, 1], &[]).unwrap();
+            let mut sim = svsim_core::Simulator::new(2, SimConfig::single_device()).unwrap();
+            sim.run(&c).unwrap();
+            sim.expval_pauli(&z0)
+        };
+        let g = parameter_shift_gradient(&mut f, &[0.7]);
+        // d<Z>/dtheta for RY is -sin(theta).
+        assert!((g[0] + 0.7f64.sin()).abs() < 1e-10, "gradient {}", g[0]);
+    }
+}

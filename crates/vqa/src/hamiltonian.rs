@@ -1,0 +1,229 @@
+//! Pauli-string Hamiltonians and the H2 molecular Hamiltonian.
+
+use svsim_core::Simulator;
+use svsim_ir::{Mat, PauliString};
+use svsim_types::{SvError, SvResult};
+
+/// One term `coeff * P`.
+#[derive(Debug, Clone)]
+pub struct PauliTerm {
+    /// Real coefficient (Hermitian Hamiltonian).
+    pub coeff: f64,
+    /// The Pauli string.
+    pub string: PauliString,
+}
+
+/// A Hermitian operator as a sum of weighted Pauli strings.
+#[derive(Debug, Clone)]
+pub struct Hamiltonian {
+    n_qubits: u32,
+    terms: Vec<PauliTerm>,
+}
+
+impl Hamiltonian {
+    /// Build from `(coeff, label)` pairs, e.g. `(0.17, "ZIII")`.
+    ///
+    /// # Errors
+    /// Bad labels or width mismatches.
+    pub fn from_labels(n_qubits: u32, terms: &[(f64, &str)]) -> SvResult<Self> {
+        let mut parsed = Vec::with_capacity(terms.len());
+        for &(coeff, label) in terms {
+            if label.len() != n_qubits as usize {
+                return Err(SvError::InvalidConfig(format!(
+                    "label {label} must have {n_qubits} characters"
+                )));
+            }
+            parsed.push(PauliTerm {
+                coeff,
+                string: PauliString::parse(label)?,
+            });
+        }
+        Ok(Self {
+            n_qubits,
+            terms: parsed,
+        })
+    }
+
+    /// Register width.
+    #[must_use]
+    pub fn n_qubits(&self) -> u32 {
+        self.n_qubits
+    }
+
+    /// Terms.
+    #[must_use]
+    pub fn terms(&self) -> &[PauliTerm] {
+        &self.terms
+    }
+
+    /// `<H>` on the simulator's current state.
+    #[must_use]
+    pub fn expectation(&self, sim: &Simulator) -> f64 {
+        self.terms
+            .iter()
+            .map(|t| t.coeff * sim.expval_pauli(&t.string))
+            .sum()
+    }
+
+    /// Dense matrix (tests only; exponential in width).
+    #[must_use]
+    pub fn matrix(&self) -> Mat {
+        let dim = 1usize << self.n_qubits;
+        let mut out = Mat::zeros(dim);
+        for t in &self.terms {
+            let m = t.string.matrix(self.n_qubits);
+            for i in 0..dim {
+                for j in 0..dim {
+                    out[(i, j)] += m[(i, j)] * t.coeff;
+                }
+            }
+        }
+        out
+    }
+
+    /// Exact ground-state energy by dense diagonalization (inverse-free
+    /// power iteration on `shift*I - H`); tests and small-molecule
+    /// reference values only.
+    #[must_use]
+    pub fn ground_energy_dense(&self) -> f64 {
+        let h = self.matrix();
+        let dim = h.dim();
+        // Gershgorin bound for the spectral shift.
+        let mut bound = 0.0f64;
+        for i in 0..dim {
+            let row: f64 = (0..dim).map(|j| h[(i, j)].norm()).sum();
+            bound = bound.max(row);
+        }
+        // Power iteration on (bound*I - H): dominant eigenvector is the
+        // ground state of H.
+        let mut v: Vec<f64> = (0..dim).map(|i| 1.0 + (i as f64 * 0.7).sin()).collect();
+        let mut vi = vec![0.0f64; dim];
+        for _ in 0..4000 {
+            let (mut nv, mut nvi) = (vec![0.0; dim], vec![0.0; dim]);
+            for i in 0..dim {
+                let mut acc_r = bound * v[i];
+                let mut acc_i = bound * vi[i];
+                for j in 0..dim {
+                    let m = h[(i, j)];
+                    acc_r -= m.re * v[j] - m.im * vi[j];
+                    acc_i -= m.re * vi[j] + m.im * v[j];
+                }
+                nv[i] = acc_r;
+                nvi[i] = acc_i;
+            }
+            let norm: f64 = nv
+                .iter()
+                .zip(&nvi)
+                .map(|(r, i)| r * r + i * i)
+                .sum::<f64>()
+                .sqrt();
+            for i in 0..dim {
+                v[i] = nv[i] / norm;
+                vi[i] = nvi[i] / norm;
+            }
+        }
+        // Rayleigh quotient <v|H|v>.
+        let mut e = 0.0;
+        for i in 0..dim {
+            for j in 0..dim {
+                let m = h[(i, j)];
+                // conj(v_i) * H_ij * v_j, real part.
+                e += (v[i] * m.re + vi[i] * m.im) * v[j] + (v[i] * (-m.im) + vi[i] * m.re) * vi[j];
+            }
+        }
+        e
+    }
+}
+
+/// The H2 molecule in the STO-3G basis at the equilibrium bond length
+/// (0.7414 Angstrom), Jordan-Wigner mapped to 4 spin-orbital qubits with
+/// occupied orbitals on qubits 0-1. Coefficients follow the standard
+/// OpenFermion tabulation (electronic part); the nuclear repulsion
+/// 0.71996899 Ha is folded into the identity term so expectations are
+/// total molecular energies.
+///
+/// # Panics
+/// Never (labels are static).
+#[must_use]
+pub fn h2_sto3g() -> Hamiltonian {
+    Hamiltonian::from_labels(
+        4,
+        &[
+            (-0.810_547_98 + 0.719_968_99, "IIII"),
+            (0.172_183_93, "ZIII"),
+            (0.172_183_93, "IZII"),
+            (-0.225_753_49, "IIZI"),
+            (-0.225_753_49, "IIIZ"),
+            (0.168_927_54, "ZZII"),
+            (0.120_912_63, "ZIZI"),
+            (0.166_145_43, "ZIIZ"),
+            (0.166_145_43, "IZZI"),
+            (0.120_912_63, "IZIZ"),
+            (0.174_643_43, "IIZZ"),
+            (-0.045_232_80, "XXYY"),
+            (0.045_232_80, "XYYX"),
+            (0.045_232_80, "YXXY"),
+            (-0.045_232_80, "YYXX"),
+        ],
+    )
+    .expect("static labels are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svsim_core::SimConfig;
+
+    #[test]
+    fn from_labels_validates_width() {
+        assert!(Hamiltonian::from_labels(3, &[(1.0, "ZZ")]).is_err());
+        assert!(Hamiltonian::from_labels(2, &[(1.0, "ZZ")]).is_ok());
+    }
+
+    #[test]
+    fn expectation_on_basis_states() {
+        // H = Z0 + 2 Z1 on |01> (qubit0 = 1): <Z0> = -1, <Z1> = +1 -> 1.
+        let h = Hamiltonian::from_labels(2, &[(1.0, "ZI"), (2.0, "IZ")]).unwrap();
+        let mut sim = Simulator::new(2, SimConfig::single_device()).unwrap();
+        let mut c = svsim_ir::Circuit::new(2);
+        c.apply(svsim_ir::GateKind::X, &[0], &[]).unwrap();
+        sim.run(&c).unwrap();
+        assert!((h.expectation(&sim) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_energy_of_simple_operators() {
+        // H = Z: ground energy -1.
+        let h = Hamiltonian::from_labels(1, &[(1.0, "Z")]).unwrap();
+        assert!((h.ground_energy_dense() + 1.0).abs() < 1e-6);
+        // H = X0 X1: ground -1 (Bell-like).
+        let h = Hamiltonian::from_labels(2, &[(1.0, "XX")]).unwrap();
+        assert!((h.ground_energy_dense() + 1.0).abs() < 1e-6);
+        // H = Z0 + X0: ground -sqrt(2).
+        let h = Hamiltonian::from_labels(1, &[(1.0, "Z"), (1.0, "X")]).unwrap();
+        assert!((h.ground_energy_dense() + 2.0f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn h2_energies_are_chemically_sensible() {
+        let h = h2_sto3g();
+        let e0 = h.ground_energy_dense();
+        // FCI ground energy of H2/STO-3G at 0.7414 A is about -1.137 Ha.
+        assert!(
+            (-1.16..=-1.10).contains(&e0),
+            "H2 ground energy {e0} outside the expected window"
+        );
+        // Hartree-Fock |0011> sits above the ground state but below -1.1.
+        let mut sim = Simulator::new(4, SimConfig::single_device()).unwrap();
+        let mut c = svsim_ir::Circuit::new(4);
+        c.apply(svsim_ir::GateKind::X, &[0], &[]).unwrap();
+        c.apply(svsim_ir::GateKind::X, &[1], &[]).unwrap();
+        sim.run(&c).unwrap();
+        let e_hf = h.expectation(&sim);
+        assert!(e_hf > e0, "HF must be above FCI");
+        assert!(
+            (-1.14..=-1.08).contains(&e_hf),
+            "HF energy {e_hf} outside the expected window"
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Variational quantum algorithms on top of the SV-Sim core (paper §5):
+//! VQE for chemistry (Fig. 16) and the power-grid QNN use case.
+
+pub mod gradient;
+pub mod hamiltonian;
+pub mod optimizer;
+pub mod qaoa;
+pub mod qnn;
+pub mod vqe;
+
+pub use gradient::{gradient_descent, parameter_shift_gradient, GdResult};
+pub use hamiltonian::{h2_sto3g, Hamiltonian, PauliTerm};
+pub use optimizer::{nelder_mead, spsa, OptResult};
+pub use qaoa::{QaoaMaxCut, QaoaResult};
+pub use qnn::{synthetic_grid_cases, Case, QnnModel};
+pub use vqe::{h2_vqe, Vqe, VqeResult};

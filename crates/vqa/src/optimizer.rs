@@ -1,0 +1,212 @@
+//! Classical optimizers for the variational loops: Nelder-Mead (used for
+//! the Fig. 16 VQE run, as in the paper) and SPSA (used for QNN training).
+
+use svsim_types::SvRng;
+
+/// Result of an optimization run.
+#[derive(Debug, Clone)]
+pub struct OptResult {
+    /// Best parameters found.
+    pub params: Vec<f64>,
+    /// Best objective value.
+    pub value: f64,
+    /// Best-so-far objective after each iteration (the Fig. 16 series).
+    pub history: Vec<f64>,
+    /// Total objective evaluations.
+    pub evals: usize,
+}
+
+/// Nelder-Mead downhill simplex minimization.
+///
+/// Standard coefficients (reflection 1, expansion 2, contraction 0.5,
+/// shrink 0.5); the simplex is seeded at `x0` with per-coordinate steps of
+/// `initial_step`.
+pub fn nelder_mead(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    initial_step: f64,
+    max_iters: usize,
+) -> OptResult {
+    let n = x0.len();
+    assert!(n > 0, "need at least one parameter");
+    let mut evals = 0usize;
+    let eval = |f: &mut dyn FnMut(&[f64]) -> f64, x: &[f64], evals: &mut usize| {
+        *evals += 1;
+        f(x)
+    };
+    // Simplex of n+1 vertices.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let v0 = x0.to_vec();
+    let f0 = eval(f, &v0, &mut evals);
+    simplex.push((v0, f0));
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        v[i] += initial_step;
+        let fv = eval(f, &v, &mut evals);
+        simplex.push((v, fv));
+    }
+    let mut history = Vec::with_capacity(max_iters);
+    for _ in 0..max_iters {
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+        history.push(simplex[0].1);
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (v, _) in &simplex[..n] {
+            for (c, x) in centroid.iter_mut().zip(v) {
+                *c += x / n as f64;
+            }
+        }
+        let worst = simplex[n].clone();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&worst.0)
+            .map(|(c, w)| c + (c - w))
+            .collect();
+        let f_r = eval(f, &reflect, &mut evals);
+        if f_r < simplex[0].1 {
+            // Try expansion.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + 2.0 * (c - w))
+                .collect();
+            let f_e = eval(f, &expand, &mut evals);
+            simplex[n] = if f_e < f_r {
+                (expand, f_e)
+            } else {
+                (reflect, f_r)
+            };
+        } else if f_r < simplex[n - 1].1 {
+            simplex[n] = (reflect, f_r);
+        } else {
+            // Contraction (outside if the reflection improved the worst).
+            let toward = if f_r < worst.1 { &reflect } else { &worst.0 };
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(toward)
+                .map(|(c, t)| c + 0.5 * (t - c))
+                .collect();
+            let f_c = eval(f, &contract, &mut evals);
+            if f_c < worst.1.min(f_r) {
+                simplex[n] = (contract, f_c);
+            } else {
+                // Shrink toward the best vertex.
+                let best = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let v: Vec<f64> = best
+                        .iter()
+                        .zip(&entry.0)
+                        .map(|(b, x)| b + 0.5 * (x - b))
+                        .collect();
+                    let fv = eval(f, &v, &mut evals);
+                    *entry = (v, fv);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+    history.push(simplex[0].1);
+    OptResult {
+        params: simplex[0].0.clone(),
+        value: simplex[0].1,
+        history,
+        evals,
+    }
+}
+
+/// Simultaneous Perturbation Stochastic Approximation.
+///
+/// Two objective evaluations per iteration regardless of dimension — the
+/// practical choice for QNN training where every evaluation is a circuit
+/// batch.
+pub fn spsa(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    iterations: usize,
+    a0: f64,
+    c0: f64,
+    rng: &mut SvRng,
+) -> OptResult {
+    let n = x0.len();
+    let mut x = x0.to_vec();
+    let mut best = x.clone();
+    let mut best_f = f(&x);
+    let mut history = Vec::with_capacity(iterations);
+    let mut evals = 1usize;
+    for k in 0..iterations {
+        let ak = a0 / (k as f64 + 10.0).powf(0.602);
+        let ck = c0 / (k as f64 + 1.0).powf(0.101);
+        let delta: Vec<f64> = (0..n)
+            .map(|_| if rng.bernoulli(0.5) { 1.0 } else { -1.0 })
+            .collect();
+        let xp: Vec<f64> = x.iter().zip(&delta).map(|(x, d)| x + ck * d).collect();
+        let xm: Vec<f64> = x.iter().zip(&delta).map(|(x, d)| x - ck * d).collect();
+        let fp = f(&xp);
+        let fm = f(&xm);
+        evals += 2;
+        for i in 0..n {
+            let g = (fp - fm) / (2.0 * ck * delta[i]);
+            x[i] -= ak * g;
+        }
+        let fx = f(&x);
+        evals += 1;
+        if fx < best_f {
+            best_f = fx;
+            best = x.clone();
+        }
+        history.push(best_f);
+    }
+    OptResult {
+        params: best,
+        value: best_f,
+        history,
+        evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic(x: &[f64]) -> f64 {
+        // Minimum 3.0 at (1, -2).
+        (x[0] - 1.0).powi(2) + 2.0 * (x[1] + 2.0).powi(2) + 3.0
+    }
+
+    #[test]
+    fn nelder_mead_minimizes_quadratic() {
+        let mut f = |x: &[f64]| quadratic(x);
+        let r = nelder_mead(&mut f, &[0.0, 0.0], 0.5, 200);
+        assert!((r.value - 3.0).abs() < 1e-6, "value {}", r.value);
+        assert!((r.params[0] - 1.0).abs() < 1e-3);
+        assert!((r.params[1] + 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn nelder_mead_history_is_monotone() {
+        let mut f = |x: &[f64]| quadratic(x);
+        let r = nelder_mead(&mut f, &[4.0, 4.0], 1.0, 100);
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "best-so-far must not regress");
+        }
+        assert_eq!(r.history.len(), 101);
+    }
+
+    #[test]
+    fn nelder_mead_rosenbrock() {
+        let mut f = |x: &[f64]| {
+            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+        };
+        let r = nelder_mead(&mut f, &[-1.0, 1.0], 0.5, 2000);
+        assert!(r.value < 1e-6, "rosenbrock value {}", r.value);
+    }
+
+    #[test]
+    fn spsa_minimizes_noisy_quadratic() {
+        let mut rng = SvRng::seed_from_u64(5);
+        let mut noise = SvRng::seed_from_u64(6);
+        let mut f = |x: &[f64]| quadratic(x) + 0.01 * noise.next_gaussian();
+        let r = spsa(&mut f, &[3.0, 3.0], 400, 0.5, 0.2, &mut rng);
+        assert!(r.value < 3.6, "spsa value {}", r.value);
+    }
+}

@@ -1,0 +1,20 @@
+//! Benchmark workloads for the SV-Sim reproduction.
+//!
+//! From-scratch implementations of every quantum routine in the paper's
+//! Table 4 (QASMBench instances), plus the variational workloads of §5:
+//! the UCCSD-VQE ansatz (Figures 16-17) and the power-grid QNN, and random
+//! circuits for differential testing.
+
+pub mod algos;
+pub mod arith;
+pub mod grover;
+pub mod qaoa;
+pub mod qnn;
+pub mod random;
+pub mod seca;
+pub mod states;
+pub mod suite;
+pub mod uccsd;
+
+pub use suite::{large_suite, medium_suite, Category, WorkloadSpec};
+pub use uccsd::{uccsd_gate_count, UccsdAnsatz};

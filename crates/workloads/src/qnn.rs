@@ -1,0 +1,161 @@
+//! Variational quantum neural network circuits.
+//!
+//! Two generators live here:
+//! - [`qnn_classifier`] — the 4-feature binary classifier of the paper's
+//!   power-grid use case (§5, Figure 1 shape): angle-encoded data qubits,
+//!   weight-parameterized controlled rotations, and a readout qubit whose
+//!   `P(1)` is the predicted violation probability.
+//! - [`dnn_layers`] — the Table 4 `dnn_n16` benchmark shape: alternating
+//!   rotation layers and CX entangler rings.
+
+use svsim_ir::{Circuit, GateKind};
+use svsim_types::SvResult;
+
+/// Number of trainable weights of [`qnn_classifier`] for `n_data` features
+/// and `layers` variational layers.
+#[must_use]
+pub fn qnn_n_weights(n_data: u32, layers: u32) -> usize {
+    // Per layer: RY + RZ per data qubit, one CRY per data qubit into the
+    // readout, and one readout bias RY.
+    (layers * (3 * n_data + 1)) as usize
+}
+
+/// Build the power-grid QNN classifier.
+///
+/// Layout: `n_data` feature qubits + 1 readout qubit (total `n_data + 1`).
+/// Features are angle-encoded with `RY(pi * x_i)`; each variational layer
+/// applies `RY(w) RZ(w')` per data qubit, entangles the data ring with CX,
+/// and rotates the readout with a `CRY(w'')` from every data qubit — the
+/// "dozens of controlled rotational gates" of the paper's trial circuits.
+///
+/// # Errors
+/// Width errors or weight-count mismatch.
+pub fn qnn_classifier(features: &[f64], weights: &[f64], layers: u32) -> SvResult<Circuit> {
+    let n_data = features.len() as u32;
+    assert!(n_data >= 2, "need at least two features");
+    if weights.len() != qnn_n_weights(n_data, layers) {
+        return Err(svsim_types::SvError::InvalidConfig(format!(
+            "expected {} weights, got {}",
+            qnn_n_weights(n_data, layers),
+            weights.len()
+        )));
+    }
+    let readout = n_data;
+    let mut c = Circuit::with_cbits(n_data + 1, 1);
+    // Angle encoding.
+    for (q, &x) in features.iter().enumerate() {
+        c.apply(GateKind::RY, &[q as u32], &[std::f64::consts::PI * x])?;
+    }
+    let mut w = weights.iter();
+    let mut next = || *w.next().expect("length checked");
+    for _ in 0..layers {
+        for q in 0..n_data {
+            c.apply(GateKind::RY, &[q], &[next()])?;
+            c.apply(GateKind::RZ, &[q], &[next()])?;
+        }
+        for q in 0..n_data {
+            c.apply(GateKind::CX, &[q, (q + 1) % n_data], &[])?;
+        }
+        for q in 0..n_data {
+            c.apply(GateKind::CRY, &[q, readout], &[next()])?;
+        }
+        // Trainable readout bias.
+        c.apply(GateKind::RY, &[readout], &[next()])?;
+    }
+    c.measure(readout, 0)?;
+    Ok(c)
+}
+
+/// The Table 4 `dnn` benchmark shape over `n` qubits: `layers` blocks of
+/// per-qubit `RY`+`RZ` rotations followed by a CX entangler ring.
+///
+/// `dnn_n16` in the registry uses `n = 16`, `layers = 24` to match the
+/// paper's 384 CX gates.
+///
+/// # Errors
+/// Width errors.
+pub fn dnn_layers(n: u32, layers: u32, seed: u64) -> SvResult<Circuit> {
+    let mut rng = svsim_types::SvRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.apply(GateKind::H, &[q], &[])?;
+    }
+    for _ in 0..layers {
+        for q in 0..n {
+            c.apply(GateKind::RY, &[q], &[rng.range_f64(-1.0, 1.0)])?;
+            c.apply(GateKind::RZ, &[q], &[rng.range_f64(-1.0, 1.0)])?;
+        }
+        for q in 0..n {
+            c.apply(GateKind::CX, &[q, (q + 1) % n], &[])?;
+        }
+    }
+    for q in 0..n {
+        c.apply(GateKind::U3, &[q], &[rng.range_f64(0.0, 1.0), 0.0, 0.0])?;
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svsim_core::{measure, SimConfig, Simulator};
+
+    #[test]
+    fn qnn_readout_probability_responds_to_weights() {
+        let features = [0.2, 0.8, 0.5, 0.1];
+        let zeros = vec![0.0; qnn_n_weights(4, 2)];
+        let c0 = qnn_classifier(&features, &zeros, 2).unwrap();
+        let mut sim = Simulator::new(5, SimConfig::single_device()).unwrap();
+        // Drop the measurement to read the probability directly.
+        let mut unmeasured = Circuit::new(5);
+        for op in c0.ops() {
+            if let svsim_ir::Op::Gate(g) = op {
+                unmeasured.push_gate(*g).unwrap();
+            }
+        }
+        sim.run(&unmeasured).unwrap();
+        let p_zero_weights = measure::prob_one(sim.state(), 4);
+        assert!(p_zero_weights.abs() < 1e-12, "no rotation into the readout");
+        assert_eq!(qnn_n_weights(4, 2), 26);
+
+        let mut ones = zeros;
+        for w in &mut ones {
+            *w = 1.0;
+        }
+        let c1 = qnn_classifier(&features, &ones, 2).unwrap();
+        let mut unmeasured = Circuit::new(5);
+        for op in c1.ops() {
+            if let svsim_ir::Op::Gate(g) = op {
+                unmeasured.push_gate(*g).unwrap();
+            }
+        }
+        let mut sim = Simulator::new(5, SimConfig::single_device()).unwrap();
+        sim.run(&unmeasured).unwrap();
+        let p = measure::prob_one(sim.state(), 4);
+        assert!(p > 1e-3, "weights must steer the readout, got {p}");
+    }
+
+    #[test]
+    fn qnn_weight_count_validated() {
+        assert!(qnn_classifier(&[0.1, 0.2], &[0.0; 6], 1).is_err());
+        assert!(qnn_classifier(&[0.1, 0.2], &[0.0; 7], 1).is_ok());
+    }
+
+    #[test]
+    fn dnn_n16_matches_paper_cx_count() {
+        let c = dnn_layers(16, 24, 7).unwrap();
+        let s = c.stats();
+        assert_eq!(s.qubits, 16);
+        assert_eq!(s.cx, 384, "Table 4 lists 384 CX for dnn_n16");
+        assert!(s.gates > 1000);
+    }
+
+    #[test]
+    fn dnn_is_deterministic_per_seed() {
+        let a = dnn_layers(6, 3, 42).unwrap();
+        let b = dnn_layers(6, 3, 42).unwrap();
+        assert_eq!(a, b);
+        let c = dnn_layers(6, 3, 43).unwrap();
+        assert_ne!(a, c);
+    }
+}

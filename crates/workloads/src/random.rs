@@ -1,0 +1,109 @@
+//! Random circuit generation for cross-backend differential testing and
+//! microbenchmarks.
+
+use svsim_ir::{Circuit, GateKind};
+use svsim_types::SvRng;
+
+/// Generate a random circuit of `n_gates` gates drawn from the full ISA
+/// (unitary gates only, so runs are deterministic and comparable).
+///
+/// # Panics
+/// Never for `n_qubits >= 5` (every ISA gate fits); narrower registers
+/// restrict the draw to gates that fit.
+#[must_use]
+pub fn random_circuit(n_qubits: u32, n_gates: usize, seed: u64) -> Circuit {
+    let mut rng = SvRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n_qubits);
+    let pool: Vec<GateKind> = GateKind::ALL
+        .iter()
+        .copied()
+        .filter(|k| k.n_qubits() as u32 <= n_qubits)
+        .collect();
+    assert!(!pool.is_empty());
+    while c.len() < n_gates {
+        let kind = pool[rng.range_usize(0, pool.len())];
+        let mut qubits: Vec<u32> = Vec::with_capacity(kind.n_qubits());
+        while qubits.len() < kind.n_qubits() {
+            let q = rng.range_usize(0, n_qubits as usize) as u32;
+            if !qubits.contains(&q) {
+                qubits.push(q);
+            }
+        }
+        let params: Vec<f64> = (0..kind.n_params())
+            .map(|_| rng.range_f64(-std::f64::consts::PI, std::f64::consts::PI))
+            .collect();
+        c.apply(kind, &qubits, &params).expect("validated draw");
+    }
+    c
+}
+
+/// Random circuit restricted to 1-qubit gates + CX (the basic/standard
+/// subset) — handy for baseline comparisons.
+#[must_use]
+pub fn random_basic_circuit(n_qubits: u32, n_gates: usize, seed: u64) -> Circuit {
+    let mut rng = SvRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n_qubits);
+    let pool = [
+        GateKind::H,
+        GateKind::X,
+        GateKind::T,
+        GateKind::S,
+        GateKind::RZ,
+        GateKind::RX,
+        GateKind::U3,
+        GateKind::CX,
+        GateKind::CX, // weight CX up to mimic entangling-heavy workloads
+    ];
+    while c.len() < n_gates {
+        let kind = pool[rng.range_usize(0, pool.len())];
+        if kind == GateKind::CX && n_qubits >= 2 {
+            let a = rng.range_usize(0, n_qubits as usize) as u32;
+            let mut b = rng.range_usize(0, n_qubits as usize) as u32;
+            while b == a {
+                b = rng.range_usize(0, n_qubits as usize) as u32;
+            }
+            c.apply(kind, &[a, b], &[]).expect("cx");
+        } else if kind != GateKind::CX {
+            let q = rng.range_usize(0, n_qubits as usize) as u32;
+            let params: Vec<f64> = (0..kind.n_params())
+                .map(|_| rng.range_f64(-1.0, 1.0))
+                .collect();
+            c.apply(kind, &[q], &params).expect("1q");
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svsim_core::{SimConfig, Simulator};
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(random_circuit(6, 50, 1), random_circuit(6, 50, 1));
+        assert_ne!(random_circuit(6, 50, 1), random_circuit(6, 50, 2));
+    }
+
+    #[test]
+    fn runs_and_stays_normalized() {
+        let c = random_circuit(6, 120, 3);
+        let mut sim = Simulator::new(6, SimConfig::single_device()).unwrap();
+        sim.run(&c).unwrap();
+        assert!((sim.state().norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn narrow_register_restricts_pool() {
+        let c = random_circuit(2, 30, 5);
+        assert!(c.gates().all(|g| g.kind().n_qubits() <= 2));
+    }
+
+    #[test]
+    fn basic_pool_is_basic() {
+        let c = random_basic_circuit(5, 80, 9);
+        assert!(c
+            .gates()
+            .all(|g| g.kind().n_qubits() == 1 || g.kind() == GateKind::CX));
+    }
+}

@@ -1,0 +1,133 @@
+//! Additional QASMBench-family state-preparation and dynamics circuits:
+//! W states and trotterized transverse-field Ising evolution.
+
+use svsim_ir::{Circuit, GateKind};
+use svsim_types::SvResult;
+
+/// Prepare the `n`-qubit W state `(|10..0> + |010..0> + ... + |0..01>)/sqrt(n)`
+/// with the cascade of controlled-RY rotations.
+///
+/// # Errors
+/// Width errors.
+pub fn w_state(n: u32) -> SvResult<Circuit> {
+    assert!(n >= 1);
+    let mut c = Circuit::new(n);
+    c.apply(GateKind::X, &[0], &[])?;
+    for i in 0..n - 1 {
+        // Move amplitude sqrt(1/(n-i)) of the remaining excitation onward.
+        let remaining = f64::from(n - i);
+        let theta = 2.0 * (1.0 / remaining.sqrt()).acos();
+        c.apply(GateKind::CRY, &[i, i + 1], &[theta])?;
+        c.apply(GateKind::CX, &[i + 1, i], &[])?;
+    }
+    Ok(c)
+}
+
+/// Trotterized transverse-field Ising evolution
+/// `exp(-i t (J sum Z_i Z_{i+1} + h sum X_i))` over a chain, first-order
+/// Trotter with `steps` slices (the QASMBench `ising` circuit family).
+///
+/// # Errors
+/// Width errors.
+pub fn ising_trotter(n: u32, j_coupling: f64, h_field: f64, t: f64, steps: u32) -> SvResult<Circuit> {
+    assert!(n >= 2 && steps >= 1);
+    let dt = t / f64::from(steps);
+    let mut c = Circuit::new(n);
+    for _ in 0..steps {
+        for q in 0..n - 1 {
+            // exp(-i J dt Z Z) = RZZ(2 J dt).
+            c.apply(GateKind::RZZ, &[q, q + 1], &[2.0 * j_coupling * dt])?;
+        }
+        for q in 0..n {
+            // exp(-i h dt X) = RX(2 h dt).
+            c.apply(GateKind::RX, &[q], &[2.0 * h_field * dt])?;
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svsim_core::{SimConfig, Simulator};
+    use svsim_ir::PauliString;
+
+    #[test]
+    fn w_state_is_uniform_over_one_hot() {
+        for n in [2u32, 3, 5, 8] {
+            let c = w_state(n).unwrap();
+            let mut sim = Simulator::new(n, SimConfig::single_device()).unwrap();
+            sim.run(&c).unwrap();
+            let probs = sim.probabilities();
+            for (idx, p) in probs.iter().enumerate() {
+                if (idx as u64).count_ones() == 1 {
+                    assert!(
+                        (p - 1.0 / f64::from(n)).abs() < 1e-10,
+                        "n={n}: one-hot state {idx:#b} has p={p}"
+                    );
+                } else {
+                    assert!(*p < 1e-12, "n={n}: non-one-hot state {idx:#b} populated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn w_state_matches_on_distributed_backend() {
+        let c = w_state(5).unwrap();
+        let mut a = Simulator::new(5, SimConfig::single_device()).unwrap();
+        a.run(&c).unwrap();
+        let mut b = Simulator::new(5, SimConfig::scale_out(4)).unwrap();
+        b.run(&c).unwrap();
+        assert!(a.state().max_diff(b.state()) < 1e-12);
+    }
+
+    #[test]
+    fn ising_conserves_energy_in_field_free_limit() {
+        // With h = 0 the Hamiltonian is diagonal: <Z_i Z_{i+1}> is exactly
+        // conserved from the initial |0...0> state.
+        let c = ising_trotter(5, 1.0, 0.0, 1.3, 4).unwrap();
+        let mut sim = Simulator::new(5, SimConfig::single_device()).unwrap();
+        sim.run(&c).unwrap();
+        let zz = PauliString::parse("ZZIII").unwrap();
+        assert!((sim.expval_pauli(&zz) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ising_trotter_converges_with_step_count() {
+        // Magnetization after evolution must converge as steps increase:
+        // |m(64 steps) - m(32 steps)| << |m(2 steps) - m(32 steps)|.
+        let n = 4u32;
+        let magnetization = |steps: u32| {
+            let c = ising_trotter(n, 1.0, 0.7, 0.8, steps).unwrap();
+            let mut sim = Simulator::new(n, SimConfig::single_device()).unwrap();
+            sim.run(&c).unwrap();
+            (0..n)
+                .map(|q| {
+                    let mut label = vec!['I'; n as usize];
+                    label[q as usize] = 'Z';
+                    let s: String = label.into_iter().collect();
+                    sim.expval_pauli(&PauliString::parse(&s).unwrap())
+                })
+                .sum::<f64>()
+        };
+        let coarse = magnetization(2);
+        let mid = magnetization(32);
+        let fine = magnetization(64);
+        assert!(
+            (fine - mid).abs() < 0.25 * (coarse - mid).abs().max(1e-3),
+            "Trotter error must shrink: coarse {coarse}, mid {mid}, fine {fine}"
+        );
+        // The field actually rotates spins away from |0>.
+        assert!(fine < f64::from(n) - 0.05);
+    }
+
+    #[test]
+    fn ising_norm_preserved_at_depth() {
+        let c = ising_trotter(6, 0.9, 1.1, 2.0, 20).unwrap();
+        assert!(c.stats().gates > 200);
+        let mut sim = Simulator::new(6, SimConfig::single_device()).unwrap();
+        sim.run(&c).unwrap();
+        assert!((sim.state().norm_sqr() - 1.0).abs() < 1e-9);
+    }
+}

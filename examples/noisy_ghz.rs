@@ -1,0 +1,43 @@
+//! Validating an algorithm under NISQ-style noise (the paper's §1
+//! motivation for fast simulation): GHZ parity correlations decay with the
+//! depolarizing rate, averaged over Monte-Carlo trajectories.
+//!
+//! ```text
+//! cargo run --release --example noisy_ghz
+//! ```
+
+use sv_sim::core::{trajectory_average, NoiseModel, SimConfig};
+use sv_sim::ir::PauliString;
+use sv_sim::workloads::algos::ghz;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 6u32;
+    let circuit = ghz(n)?;
+    let zz = PauliString::parse("ZZIIII")?;
+    let xxxxxx = PauliString::parse("XXXXXX")?;
+    println!("GHZ-{n} under depolarizing noise, 300 trajectories each:");
+    println!("{:>8}  {:>10}  {:>10}", "p1", "<Z0Z1>", "<X^n>");
+    for p in [0.0, 0.002, 0.005, 0.01, 0.02, 0.05] {
+        let model = NoiseModel::depolarizing(p);
+        let corr_zz = trajectory_average(
+            &circuit,
+            &model,
+            SimConfig::single_device(),
+            300,
+            42,
+            |sim| sim.expval_pauli(&zz),
+        )?;
+        let corr_x = trajectory_average(
+            &circuit,
+            &model,
+            SimConfig::single_device(),
+            300,
+            43,
+            |sim| sim.expval_pauli(&xxxxxx),
+        )?;
+        println!("{p:>8.3}  {corr_zz:>10.4}  {corr_x:>10.4}");
+    }
+    println!("\nboth correlators decay toward 0 as the error rate rises —");
+    println!("the kind of validation sweep the paper argues needs a fast simulator.");
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! QAOA for MaxCut — the third variational-algorithm family the paper's
+//! introduction motivates. Optimizes a 2-layer QAOA on a ring and a random
+//! graph, reporting approximation ratios.
+//!
+//! ```text
+//! cargo run --release --example qaoa_maxcut
+//! ```
+
+use sv_sim::core::SimConfig;
+use sv_sim::vqa::QaoaMaxCut;
+use sv_sim::workloads::qaoa::Graph;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (name, graph, layers) in [
+        ("6-cycle", Graph::cycle(6), 2),
+        ("random G(8, 0.4)", Graph::random(8, 0.4, 17), 2),
+    ] {
+        let problem = QaoaMaxCut::new(graph, layers, SimConfig::single_device());
+        let result = problem.run(150)?;
+        println!(
+            "{name}: expected cut {:.3} / optimum {} -> ratio {:.3} \
+             (gammas {:?}, betas {:?})",
+            result.expected_cut,
+            result.optimum,
+            result.ratio,
+            result
+                .gammas
+                .iter()
+                .map(|g| (g * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
+            result
+                .betas
+                .iter()
+                .map(|b| (b * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
+        );
+        println!(
+            "  trial circuits synthesized: {}",
+            problem.circuit_evals.get()
+        );
+    }
+    println!("\nnote: depth-p QAOA on a ring is bounded by (2p+1)/(2p+2); p=2 -> 5/6.");
+    Ok(())
+}

@@ -1,0 +1,246 @@
+//! `sv-sim` — command-line front door to the simulator.
+//!
+//! ```text
+//! sv-sim run <file.qasm> [--backend single|up:N|out:N] [--shots N]
+//!                        [--seed S] [--generic] [--runtime-parse]
+//!                        [--optimize] [--amplitudes K] [--traffic]
+//! sv-sim stats <file.qasm>
+//! sv-sim estimate <file.qasm> --platform <name> [--workers N]
+//! sv-sim platforms
+//! ```
+
+use std::process::ExitCode;
+use sv_sim::core::{measure, BackendKind, DispatchMode, SimConfig, Simulator};
+use sv_sim::perfmodel::{compile_for_estimate, devices, interconnects, scale_up, single_device};
+use sv_sim::qasm::parse_circuit;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sv-sim run <file.qasm> [--backend single|up:N|out:N] [--shots N] \
+         [--seed S] [--generic] [--runtime-parse] [--optimize] [--amplitudes K] [--traffic]\n  \
+         sv-sim stats <file.qasm>\n  \
+         sv-sim estimate <file.qasm> --platform <name> [--workers N]\n  \
+         sv-sim platforms"
+    );
+    ExitCode::from(2)
+}
+
+fn platform_by_name(name: &str) -> Option<&'static sv_sim::perfmodel::DeviceSpec> {
+    match name.to_ascii_lowercase().as_str() {
+        "epyc" | "epyc7742" => Some(&devices::EPYC_7742),
+        "p8276" | "intel" => Some(&devices::INTEL_P8276),
+        "p8276-avx512" | "intel-avx512" => Some(&devices::INTEL_P8276_AVX512),
+        "power9" | "p9" => Some(&devices::POWER9),
+        "phi" | "phi7230" => Some(&devices::PHI_7230),
+        "phi-avx512" => Some(&devices::PHI_7230_AVX512),
+        "v100" => Some(&devices::V100),
+        "a100" => Some(&devices::A100),
+        "mi100" => Some(&devices::MI100),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "estimate" => cmd_estimate(&args[1..]),
+        "platforms" => {
+            println!("modeled platforms (see svsim-perfmodel):");
+            for d in [
+                &devices::EPYC_7742,
+                &devices::INTEL_P8276,
+                &devices::INTEL_P8276_AVX512,
+                &devices::POWER9,
+                &devices::PHI_7230,
+                &devices::PHI_7230_AVX512,
+                &devices::V100,
+                &devices::A100,
+                &devices::MI100,
+            ] {
+                println!(
+                    "  {:<22} {:>6.1} GB/s effective, {:>7.0} GF/s, {:.2} us/gate floor",
+                    d.name, d.mem_bw_gbps, d.flops_gflops, d.gate_overhead_us
+                );
+            }
+            Ok(())
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str) -> Result<sv_sim::ir::Circuit, Box<dyn std::error::Error>> {
+    let src = std::fs::read_to_string(path)?;
+    Ok(parse_circuit(&src)?)
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("missing <file.qasm>")?;
+    let circuit = load(path)?;
+    let backend = match flag_value(args, "--backend") {
+        None | Some("single") => BackendKind::SingleDevice,
+        Some(spec) => {
+            let (kind, count) = spec
+                .split_once(':')
+                .ok_or("backend must be single, up:N, or out:N")?;
+            let n: usize = count.parse()?;
+            match kind {
+                "up" => BackendKind::ScaleUp { n_devices: n },
+                "out" => BackendKind::ScaleOut { n_pes: n },
+                other => return Err(format!("unknown backend `{other}`").into()),
+            }
+        }
+    };
+    let mut config = SimConfig::single_device();
+    config.backend = backend;
+    if args.iter().any(|a| a == "--generic") {
+        config.specialized = false;
+    }
+    if args.iter().any(|a| a == "--runtime-parse") {
+        config.dispatch = DispatchMode::RuntimeParse;
+    }
+    if let Some(seed) = flag_value(args, "--seed") {
+        config.seed = seed.parse()?;
+    }
+    let shots: usize = flag_value(args, "--shots").map_or(Ok(1024), str::parse)?;
+
+    let circuit = if args.iter().any(|a| a == "--optimize") {
+        let (optimized, stats) = sv_sim::ir::optimize(&circuit);
+        println!(
+            "optimizer: {} -> {} gates ({} cancelled, {} fused, {} dropped)",
+            stats.before, stats.after, stats.cancelled, stats.fused, stats.dropped
+        );
+        optimized
+    } else {
+        circuit
+    };
+
+    let start = std::time::Instant::now();
+    let mut sim = Simulator::new(circuit.n_qubits(), config)?;
+    let summary = sim.run(&circuit)?;
+    let elapsed = start.elapsed();
+    println!(
+        "ran {} gates on {} qubits in {:.3} ms ({:?})",
+        summary.gates,
+        circuit.n_qubits(),
+        elapsed.as_secs_f64() * 1e3,
+        config.backend,
+    );
+    if circuit.n_cbits() > 0 {
+        println!(
+            "classical register: {:0width$b}",
+            summary.cbits,
+            width = circuit.n_cbits() as usize
+        );
+    }
+    if args.iter().any(|a| a == "--traffic") {
+        let t = summary.total_traffic();
+        println!(
+            "traffic: {} one-sided ops ({} remote, {} bytes over the fabric), {} barriers",
+            t.total_ops(),
+            t.remote_ops(),
+            t.remote_bytes(),
+            t.barriers
+        );
+    }
+    if let Some(k) = flag_value(args, "--amplitudes") {
+        let k: usize = k.parse()?;
+        let amps = sim.amplitudes();
+        let mut indexed: Vec<(usize, f64)> = amps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (i, a.norm_sqr()))
+            .collect();
+        indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
+        println!("top {k} amplitudes:");
+        for (idx, p) in indexed.into_iter().take(k) {
+            println!(
+                "  |{:0width$b}>  p={:.6}  amp={}",
+                idx,
+                p,
+                amps[idx],
+                width = circuit.n_qubits() as usize
+            );
+        }
+    }
+    if shots > 0 {
+        let samples = sim.sample(shots);
+        let hist = measure::histogram(&samples);
+        println!("sampled {shots} shots:");
+        for (state, count) in hist.iter().take(16) {
+            println!(
+                "  |{:0width$b}> x{count}",
+                state,
+                width = circuit.n_qubits() as usize
+            );
+        }
+        if hist.len() > 16 {
+            println!("  ... {} more outcomes", hist.len() - 16);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("missing <file.qasm>")?;
+    let circuit = load(path)?;
+    let s = circuit.stats();
+    println!("qubits:     {}", s.qubits);
+    println!("cbits:      {}", circuit.n_cbits());
+    println!("gates:      {}", s.gates);
+    println!("entangling: {}", s.cx);
+    println!("measures:   {}", s.measures);
+    println!("depth:      {}", s.depth);
+    println!(
+        "state size: {} bytes",
+        sv_sim::types::state_bytes(s.qubits as usize)
+    );
+    Ok(())
+}
+
+fn cmd_estimate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("missing <file.qasm>")?;
+    let circuit = load(path)?;
+    let name = flag_value(args, "--platform").ok_or("missing --platform")?;
+    let dev = platform_by_name(name).ok_or_else(|| format!("unknown platform `{name}`"))?;
+    let compiled = compile_for_estimate(&circuit);
+    let workers: u64 = flag_value(args, "--workers").map_or(Ok(1), str::parse)?;
+    let breakdown = if workers <= 1 {
+        single_device(dev, &compiled, circuit.n_qubits())
+    } else {
+        // Pick a plausible fabric for the device family.
+        let ic = if dev.cache_mib > 0.0 {
+            &interconnects::QPI
+        } else {
+            &interconnects::NVSWITCH
+        };
+        scale_up(dev, ic, &compiled, circuit.n_qubits(), workers)
+    };
+    println!(
+        "modeled latency on {} x{workers}: {:.3} ms (compute {:.3} ms, comm {:.3} ms, sync {:.3} ms)",
+        dev.name,
+        breakdown.total() * 1e3,
+        breakdown.compute_s * 1e3,
+        breakdown.comm_s * 1e3,
+        breakdown.sync_s * 1e3,
+    );
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! Workload-suite integration: every Table 4 routine runs on the
+//! distributed backends, and the analytic traffic model matches the
+//! measured SHMEM counters exactly.
+
+use sv_sim::core::{SimConfig, Simulator};
+use sv_sim::ir::Circuit;
+use sv_sim::workloads::{medium_suite, Category};
+
+fn unitary_part(c: &Circuit) -> Circuit {
+    let mut out = Circuit::new(c.n_qubits());
+    for op in c.ops() {
+        if let sv_sim::ir::Op::Gate(g) = op {
+            out.push_gate(*g).unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn medium_suite_agrees_between_single_and_scaleout() {
+    for spec in medium_suite() {
+        assert_eq!(spec.category, Category::Medium);
+        let circuit = unitary_part(&spec.circuit().unwrap());
+        let n = circuit.n_qubits();
+        let mut single = Simulator::new(n, SimConfig::single_device()).unwrap();
+        single.run(&circuit).unwrap();
+        let mut shmem = Simulator::new(n, SimConfig::scale_out(4)).unwrap();
+        shmem.run(&circuit).unwrap();
+        assert!(
+            shmem.state().max_diff(single.state()) < 1e-9,
+            "{} diverged between backends",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn traffic_prediction_matches_measurement_on_suite() {
+    // The closed-form communication model must agree with the measured
+    // one-sided SHMEM traffic for every medium circuit at several PE
+    // counts. (ShmemView moves re and im separately: 2 measured f64 ops
+    // per modeled amplitude op.)
+    for spec in medium_suite().iter().take(5) {
+        let circuit = unitary_part(&spec.circuit().unwrap());
+        let n = circuit.n_qubits();
+        for n_pes in [2usize, 4, 8] {
+            let mut sim = Simulator::new(n, SimConfig::scale_out(n_pes)).unwrap();
+            let predicted = sim.predict_traffic(&circuit);
+            let summary = sim.run(&circuit).unwrap();
+            let measured = summary.total_traffic();
+            assert_eq!(
+                measured.remote_gets + measured.remote_puts,
+                2 * predicted.remote_amp_ops,
+                "{} at {n_pes} PEs: model vs measured mismatch",
+                spec.name
+            );
+            // Bytes match exactly: the model's 16 bytes per amplitude op
+            // equal the fabric's two 8-byte word transfers.
+            assert_eq!(
+                measured.remote_bytes(),
+                predicted.remote_bytes,
+                "{} at {n_pes} PEs: byte mismatch",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn remote_fraction_grows_with_partition_count() {
+    // The structural reason scale-out saturates (Fig. 12): more partitions
+    // put more qubits above the boundary, so remote volume grows.
+    let circuit = sv_sim::workloads::algos::qft(12).unwrap();
+    let mut previous = 0u64;
+    for n_pes in [2usize, 4, 8, 16] {
+        let sim = Simulator::new(12, SimConfig::scale_out(n_pes)).unwrap();
+        let t = sim.predict_traffic(&circuit);
+        assert!(
+            t.remote_amp_ops >= previous,
+            "remote volume should not shrink with more PEs"
+        );
+        previous = t.remote_amp_ops;
+    }
+    assert!(previous > 0);
+}
+
+#[test]
+fn scaleup_peer_traffic_is_also_counted() {
+    let circuit = sv_sim::workloads::algos::ghz(10).unwrap();
+    let mut sim = Simulator::new(10, SimConfig::scale_up(4)).unwrap();
+    let summary = sim.run(&circuit).unwrap();
+    let total = summary.total_traffic();
+    assert!(total.total_ops() > 0);
+    assert!(
+        total.remote_ops() > 0,
+        "the CX chain must cross partition boundaries"
+    );
+    // PeerView counts complex accesses (16 bytes), one op per amplitude:
+    // measured ops equal the model's amplitude ops exactly.
+    let predicted = sim.predict_traffic(&circuit);
+    assert_eq!(total.remote_ops(), predicted.remote_amp_ops);
+}
+
+#[test]
+fn large_suite_structural_stats() {
+    // Don't run the 2^23 states in CI-style tests; validate structure.
+    for spec in sv_sim::workloads::large_suite() {
+        let c = spec.circuit().unwrap();
+        let s = c.stats();
+        assert!(s.gates > 0, "{}", spec.name);
+        assert!(
+            s.cx <= s.gates,
+            "{}: CX count cannot exceed gate count",
+            spec.name
+        );
+        assert_eq!(spec.category, Category::Large);
+    }
+}
