@@ -312,9 +312,6 @@ mod tests {
         let reference = reference_state(&c);
         let got = FusionSim.run(&c).unwrap();
         assert!(max_diff(&got, &reference) < 1e-9);
-        assert!(
-            fused_op_count(&c) < c.stats().gates,
-            "QFT has fusable runs"
-        );
+        assert!(fused_op_count(&c) < c.stats().gates, "QFT has fusable runs");
     }
 }

@@ -1,7 +1,7 @@
 //! Backend comparison on one machine: single device vs peer-access
 //! scale-up vs SHMEM scale-out (functional overhead of the PGAS fabrics).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use svsim_bench::{criterion_group, criterion_main, Criterion};
 use svsim_core::{SimConfig, Simulator};
 use svsim_workloads::algos::qft;
 

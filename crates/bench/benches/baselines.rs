@@ -1,7 +1,7 @@
 //! Figure 14 as a criterion bench: SV-Sim vs the baseline designs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use svsim_baselines::{BaselineSim, FusionSim, GenericMatrixSim, InterpreterSim};
+use svsim_bench::{criterion_group, criterion_main, Criterion};
 use svsim_core::{SimConfig, Simulator};
 use svsim_workloads::algos::qft;
 

@@ -1,7 +1,7 @@
 //! Batched-VQA ablation: compile-once parameter patching vs full circuit
 //! re-synthesis per trial (the paper's §7 future-work direction).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use svsim_bench::{criterion_group, criterion_main, Criterion};
 use svsim_core::{ParamCircuit, ParamValue, SimConfig, Simulator};
 use svsim_ir::GateKind;
 

@@ -1,7 +1,7 @@
 //! SHMEM substrate microbenchmarks: one-sided put/get (fine vs coarse
 //! granularity) and barrier cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use svsim_bench::{criterion_group, criterion_main, Criterion};
 use svsim_shmem::launch;
 
 fn benches(c: &mut Criterion) {

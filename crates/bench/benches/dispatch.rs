@@ -1,7 +1,7 @@
 //! The fn-pointer polymorphism ablation (paper Listing 1 vs the HIP
 //! fallback): preloaded kernel pointers vs per-execution parse-and-branch.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use svsim_bench::{criterion_group, criterion_main, Criterion};
 use svsim_core::{DispatchMode, SimConfig, Simulator};
 use svsim_workloads::random::random_basic_circuit;
 

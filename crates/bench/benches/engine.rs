@@ -1,0 +1,220 @@
+//! Serving-engine throughput: the same sweep trial set executed three ways
+//! — naive sequential re-synthesis (a library client), direct
+//! compile-once/patch batching (a careful single-threaded client), and the
+//! full engine (queue + workers + instance pool + micro-batch coalescing).
+//!
+//! The engine's win over the naive client is the amortization the crate
+//! exists for: template compilation, circuit synthesis, and state-vector
+//! allocation are paid once per template instead of once per trial. On a
+//! multi-core host the worker pool multiplies the gap further; the numbers
+//! below are the floor (single worker).
+
+use std::sync::Arc;
+use svsim_bench::{criterion_group, criterion_main, Criterion};
+use svsim_core::{measure, ParamCircuit, ParamValue, SimConfig, Simulator};
+use svsim_engine::{Engine, EngineConfig, JobOutput, JobRequest, JobSpec, SweepReturn};
+use svsim_ir::GateKind;
+use svsim_types::SvRng;
+
+/// Hardware-efficient ansatz: `layers` blocks of per-qubit RY/RZ plus a CX
+/// entangler ring — the trial-circuit shape VQA optimizers emit.
+fn ansatz(n: u32, layers: u32) -> ParamCircuit {
+    let mut t = ParamCircuit::new(n);
+    let mut var = 0usize;
+    for q in 0..n {
+        t.push_fixed(GateKind::H, &[q], &[]).unwrap();
+    }
+    for _ in 0..layers {
+        for q in 0..n {
+            t.push(GateKind::RY, &[q], &[ParamValue::Var(var)]).unwrap();
+            var += 1;
+            t.push(GateKind::RZ, &[q], &[ParamValue::Var(var)]).unwrap();
+            var += 1;
+        }
+        for q in 0..n {
+            t.push_fixed(GateKind::CX, &[q, (q + 1) % n], &[]).unwrap();
+        }
+    }
+    t
+}
+
+fn trial_set(n_vars: usize, trials: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = SvRng::seed_from_u64(seed);
+    (0..trials)
+        .map(|_| (0..n_vars).map(|_| rng.range_f64(-2.0, 2.0)).collect())
+        .collect()
+}
+
+fn benches(c: &mut Criterion) {
+    let n = 6u32;
+    let layers = 8u32;
+    let trials = 64usize;
+    let mask = (1u64 << n) - 1;
+    let template = ansatz(n, layers);
+    let points = trial_set(template.n_vars(), trials, 0xE7617E);
+
+    // Cross-check once before timing: all three paths must agree.
+    let reference: f64 = {
+        let mut compiled = template.compile().unwrap();
+        points
+            .iter()
+            .map(|p| measure::expval_z_mask(&compiled.run(p).unwrap(), mask))
+            .sum()
+    };
+    {
+        let naive: f64 = points
+            .iter()
+            .map(|p| {
+                let circuit = template.bind(p).unwrap();
+                let mut sim = Simulator::new(n, SimConfig::single_device()).unwrap();
+                sim.run(&circuit).unwrap();
+                measure::expval_z_mask(sim.state(), mask)
+            })
+            .sum();
+        assert!(
+            (naive - reference).abs() < 1e-9,
+            "paths disagree: {naive} vs {reference}"
+        );
+    }
+
+    let engine = Engine::start(
+        EngineConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(4 * trials)
+            .with_max_batch(32),
+    );
+    let template_id = engine.register_template("bench_ansatz", &template).unwrap();
+    {
+        let engine_sum: f64 = points
+            .iter()
+            .map(|p| {
+                let h = engine
+                    .submit(JobRequest::new(JobSpec::Sweep {
+                        template: template_id,
+                        params: p.clone(),
+                        returning: SweepReturn::ExpZ(mask),
+                    }))
+                    .unwrap();
+                match h.wait().unwrap() {
+                    JobOutput::Sweep { value, .. } => value.unwrap(),
+                    JobOutput::OneShot { .. } => unreachable!(),
+                }
+            })
+            .sum();
+        assert!(
+            (engine_sum - reference).abs() < 1e-9,
+            "engine path disagrees: {engine_sum} vs {reference}"
+        );
+    }
+
+    let mut group = c.benchmark_group("serving_64_trials_n6");
+    group.sample_size(10);
+    group.bench_function("naive_sequential", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for p in &points {
+                let circuit = template.bind(p).unwrap();
+                let mut sim = Simulator::new(n, SimConfig::single_device()).unwrap();
+                sim.run(&circuit).unwrap();
+                acc += measure::expval_z_mask(sim.state(), mask);
+            }
+            std::hint::black_box(acc);
+        });
+    });
+    group.bench_function("compiled_template_direct", |b| {
+        let mut compiled = template.compile().unwrap();
+        let mut buf = svsim_core::StateVector::zero_state(n).unwrap();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for p in &points {
+                compiled.run_into(p, &mut buf).unwrap();
+                acc += measure::expval_z_mask(&buf, mask);
+            }
+            std::hint::black_box(acc);
+        });
+    });
+    group.bench_function("engine_batched", |b| {
+        b.iter(|| {
+            let handles: Vec<_> = points
+                .iter()
+                .map(|p| {
+                    engine
+                        .submit(JobRequest::new(JobSpec::Sweep {
+                            template: template_id,
+                            params: p.clone(),
+                            returning: SweepReturn::ExpZ(mask),
+                        }))
+                        .unwrap()
+                })
+                .collect();
+            // Wait newest-first: one blocking wait covers the whole set, the
+            // rest of the results are already published when we reach them.
+            let mut acc = 0.0f64;
+            for h in handles.iter().rev() {
+                match h.wait().unwrap() {
+                    JobOutput::Sweep { value, .. } => acc += value.unwrap(),
+                    JobOutput::OneShot { .. } => unreachable!(),
+                }
+            }
+            std::hint::black_box(acc);
+        });
+    });
+    group.finish();
+
+    // One-shot serving throughput: pooled simulator reuse vs fresh
+    // construction, for shallow wide circuits (state-prep / sampling
+    // requests) where the `2^n` allocation is a large share of the job.
+    let mut group = c.benchmark_group("oneshot_serving_8x_n16");
+    group.sample_size(10);
+    let circuit = {
+        let mut c = svsim_ir::Circuit::new(16);
+        for q in 0..16 {
+            c.apply(GateKind::H, &[q], &[]).unwrap();
+        }
+        Arc::new(c)
+    };
+    let config = SimConfig::single_device();
+    group.bench_function("fresh_simulator", |b| {
+        b.iter(|| {
+            for _ in 0..8 {
+                let mut sim = Simulator::new(16, config).unwrap();
+                let s = sim.run(&circuit).unwrap();
+                std::hint::black_box(s.gates);
+            }
+        });
+    });
+    group.bench_function("engine_pooled", |b| {
+        b.iter(|| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    engine
+                        .submit(JobRequest::new(JobSpec::OneShot {
+                            circuit: Arc::clone(&circuit),
+                            config,
+                            shots: 0,
+                            return_state: false,
+                        }))
+                        .unwrap()
+                })
+                .collect();
+            for h in handles.iter().rev() {
+                match h.wait().unwrap() {
+                    JobOutput::OneShot { summary, .. } => std::hint::black_box(summary.gates),
+                    JobOutput::Sweep { .. } => unreachable!(),
+                };
+            }
+        });
+    });
+    group.finish();
+
+    let metrics = engine.shutdown();
+    println!(
+        "\nengine totals: {} jobs, mean batch {:.1}, pool hit rate {:.0}%",
+        metrics.completed,
+        metrics.mean_batch_size(),
+        100.0 * metrics.pool_hit_rate()
+    );
+}
+
+criterion_group!(engine, benches);
+criterion_main!(engine);

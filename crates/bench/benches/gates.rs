@@ -1,7 +1,7 @@
 //! Per-gate kernel throughput: specialized vs generic dense application
 //! (the paper's "specialized gate implementation" ablation, §3.2.1).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use svsim_bench::{criterion_group, criterion_main, Criterion};
 use svsim_core::compile::compile_gate;
 use svsim_core::dispatch::resolve;
 use svsim_core::view::LocalView;

@@ -5,9 +5,7 @@
 //! adds the pack/stage/coarse-message/relaunch costs of §1-§2.
 
 use svsim_bench::print_table;
-use svsim_perfmodel::{
-    compile_for_estimate, devices, interconnects, mpi_latency, scale_up,
-};
+use svsim_perfmodel::{compile_for_estimate, devices, interconnects, mpi_latency, scale_up};
 use svsim_workloads::medium_suite;
 
 fn main() {
@@ -44,7 +42,13 @@ fn main() {
         }
         print_table(
             &format!("Communication ablation: SHMEM vs MPI — {label}"),
-            &["circuit", "SHMEM", "MPI", "MPI/SHMEM", "comm share (SHMEM/MPI)"],
+            &[
+                "circuit",
+                "SHMEM",
+                "MPI",
+                "MPI/SHMEM",
+                "comm share (SHMEM/MPI)",
+            ],
             &rows,
         );
     }

@@ -28,7 +28,7 @@ fn strip_measurements(c: &Circuit) -> Circuit {
 fn main() {
     let reps = 5;
     let mut rows = Vec::new();
-    let mut geo_means = vec![0.0f64; 4];
+    let mut geo_means = [0.0f64; 4];
     let mut count = 0usize;
     for spec in medium_suite() {
         let c = strip_measurements(&spec.circuit().expect("workload builds"));

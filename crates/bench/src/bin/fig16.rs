@@ -14,7 +14,13 @@ fn main() {
         .iter()
         .enumerate()
         .step_by(2)
-        .map(|(i, e)| vec![i.to_string(), format!("{e:.6}"), format!("{:+.2e}", e - exact)])
+        .map(|(i, e)| {
+            vec![
+                i.to_string(),
+                format!("{e:.6}"),
+                format!("{:+.2e}", e - exact),
+            ]
+        })
         .collect();
     print_table(
         "Figure 16: VQE H2 energy vs iteration (Hartree)",

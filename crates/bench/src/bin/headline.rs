@@ -10,7 +10,10 @@ fn main() {
     let n = 24u32;
     let ansatz = UccsdAnsatz::new(n, n / 2);
     let gates = uccsd_gate_count(n, n / 2);
-    println!("24-qubit half-filling UCCSD: {} parameters, {gates} gates per iteration", ansatz.n_params());
+    println!(
+        "24-qubit half-filling UCCSD: {} parameters, {gates} gates per iteration",
+        ansatz.n_params()
+    );
 
     // Pricing uses a representative compiled gate mix. Materializing 1M+
     // gates is wasteful; instead compile one single and one double
@@ -19,10 +22,9 @@ fn main() {
     let doubles = ansatz.doubles().len() as f64;
     let probe_s = {
         let mut a = svsim_ir::Circuit::new(n);
-        let s = svsim_ir::pauli::PauliString::parse(
-            &("YZZZZZZZZZZZX".to_owned() + &"I".repeat(11)),
-        )
-        .unwrap();
+        let s =
+            svsim_ir::pauli::PauliString::parse(&("YZZZZZZZZZZZX".to_owned() + &"I".repeat(11)))
+                .unwrap();
         for g in svsim_ir::pauli::exp_pauli_gates(0.1, &s) {
             a.push_gate(g).unwrap();
         }
@@ -30,10 +32,9 @@ fn main() {
     };
     let probe_d = {
         let mut a = svsim_ir::Circuit::new(n);
-        let s = svsim_ir::pauli::PauliString::parse(
-            &("XXZZZZZZZZZZYX".to_owned() + &"I".repeat(10)),
-        )
-        .unwrap();
+        let s =
+            svsim_ir::pauli::PauliString::parse(&("XXZZZZZZZZZZYX".to_owned() + &"I".repeat(10)))
+                .unwrap();
         for g in svsim_ir::pauli::exp_pauli_gates(0.1, &s) {
             a.push_gate(g).unwrap();
         }
@@ -42,10 +43,22 @@ fn main() {
     let compiled_s = svsim_perfmodel::compile_for_estimate(&probe_s);
     let compiled_d = svsim_perfmodel::compile_for_estimate(&probe_d);
     for gpus in [1u64, 4, 16] {
-        let t_single =
-            scale_up(&devices::V100, &interconnects::NVSWITCH, &compiled_s, n, gpus).total();
-        let t_double =
-            scale_up(&devices::V100, &interconnects::NVSWITCH, &compiled_d, n, gpus).total();
+        let t_single = scale_up(
+            &devices::V100,
+            &interconnects::NVSWITCH,
+            &compiled_s,
+            n,
+            gpus,
+        )
+        .total();
+        let t_double = scale_up(
+            &devices::V100,
+            &interconnects::NVSWITCH,
+            &compiled_d,
+            n,
+            gpus,
+        )
+        .total();
         // 2 Pauli terms per single, 8 per double; probes hold 2 and 8 resp.
         let total = singles * t_single + doubles * t_double;
         println!(

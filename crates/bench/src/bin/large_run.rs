@@ -21,8 +21,8 @@ fn main() {
             out
         };
         let start = std::time::Instant::now();
-        let mut sim = Simulator::new(circuit.n_qubits(), SimConfig::single_device())
-            .expect("fits memory");
+        let mut sim =
+            Simulator::new(circuit.n_qubits(), SimConfig::single_device()).expect("fits memory");
         sim.run(&circuit).expect("unitary circuit");
         let elapsed = start.elapsed().as_secs_f64();
         let norm = sim.state().norm_sqr();

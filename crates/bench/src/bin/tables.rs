@@ -26,7 +26,10 @@ fn table1() {
         &["Gate", "Class", "Qubits", "Params", "Diagonal"],
         &rows,
     );
-    let basic = GateKind::ALL.iter().filter(|k| k.class() == GateClass::Basic).count();
+    let basic = GateKind::ALL
+        .iter()
+        .filter(|k| k.class() == GateClass::Basic)
+        .count();
     let standard = GateKind::ALL
         .iter()
         .filter(|k| k.class() == GateClass::Standard)
@@ -62,7 +65,13 @@ fn table2() {
         ("ControlledAdjointT", "multi-controlled T dagger"),
     ]
     .iter()
-    .map(|(name, desc)| vec![(*name).to_string(), (*desc).to_string(), "QirBuilder".into()])
+    .map(|(name, desc)| {
+        vec![
+            (*name).to_string(),
+            (*desc).to_string(),
+            "QirBuilder".into(),
+        ]
+    })
     .collect();
     print_table(
         "Table 2: QIR-runtime gate set (implemented in svsim-ir::qir)",
@@ -107,7 +116,14 @@ fn table4() {
     }
     print_table(
         "Table 4: quantum routines (ours / paper)",
-        &["Routine", "Description", "Qubits", "Gates", "CX", "Category"],
+        &[
+            "Routine",
+            "Description",
+            "Qubits",
+            "Gates",
+            "CX",
+            "Category",
+        ],
         &rows,
     );
 }

@@ -72,12 +72,7 @@ impl ParamCircuit {
     ///
     /// # Errors
     /// Arity/range errors, or a `Var` on a non-parameterized gate.
-    pub fn push(
-        &mut self,
-        kind: GateKind,
-        qubits: &[u32],
-        params: &[ParamValue],
-    ) -> SvResult<()> {
+    pub fn push(&mut self, kind: GateKind, qubits: &[u32], params: &[ParamValue]) -> SvResult<()> {
         if params.len() != kind.n_params() {
             return Err(SvError::Arity {
                 gate: format!("{kind}(params)"),
@@ -201,7 +196,9 @@ struct Patch {
 }
 
 /// A structure-compiled template: execute many parameter sets without
-/// recompiling.
+/// recompiling. `Clone` is cheap relative to compilation and lets a
+/// serving engine hand each worker its own patchable copy.
+#[derive(Debug, Clone)]
 pub struct CompiledTemplate {
     n_qubits: u32,
     n_vars: usize,
@@ -214,6 +211,12 @@ impl CompiledTemplate {
     #[must_use]
     pub fn n_vars(&self) -> usize {
         self.n_vars
+    }
+
+    /// Register width.
+    #[must_use]
+    pub fn n_qubits(&self) -> u32 {
+        self.n_qubits
     }
 
     /// Patch the queue payloads for `values`.
@@ -268,6 +271,19 @@ impl CompiledTemplate {
     /// # Errors
     /// Parameter-count mismatch or width failures.
     pub fn run(&mut self, values: &[f64]) -> SvResult<StateVector> {
+        let mut state = StateVector::zero_state(self.n_qubits)?;
+        self.run_into(values, &mut state)?;
+        Ok(state)
+    }
+
+    /// Run one trial into a caller-provided state buffer, which is reset to
+    /// `|0...0>` in place first. The allocation-reuse hook for pooled
+    /// serving: a batch of trials can cycle one buffer instead of
+    /// allocating `2^n` doubles per trial.
+    ///
+    /// # Errors
+    /// Parameter-count or width mismatch.
+    pub fn run_into(&mut self, values: &[f64], state: &mut StateVector) -> SvResult<()> {
         if values.len() < self.n_vars {
             return Err(SvError::InvalidConfig(format!(
                 "need {} parameters, got {}",
@@ -275,8 +291,15 @@ impl CompiledTemplate {
                 values.len()
             )));
         }
+        if state.n_qubits() != self.n_qubits {
+            return Err(SvError::InvalidConfig(format!(
+                "template is over {} qubits, buffer has {}",
+                self.n_qubits,
+                state.n_qubits()
+            )));
+        }
         self.apply_patches(values);
-        let mut state = StateVector::zero_state(self.n_qubits)?;
+        state.reset_zero();
         {
             let (re, im) = state.parts_mut();
             let view = LocalView::new(re, im);
@@ -284,7 +307,7 @@ impl CompiledTemplate {
                 resolve::<LocalView>(cg.id)(&view, &cg.args, 0..cg.args.work);
             }
         }
-        Ok(state)
+        Ok(())
     }
 
     /// Run a whole batch, returning one state per parameter set.
@@ -309,14 +332,22 @@ mod tests {
         t.push(GateKind::RY, &[0], &[ParamValue::Var(0)]).unwrap();
         t.push(GateKind::RZ, &[1], &[ParamValue::Var(1)]).unwrap();
         t.push_fixed(GateKind::CX, &[0, 1], &[]).unwrap();
-        t.push(GateKind::CRY, &[1, 2], &[ParamValue::Var(2)]).unwrap();
-        t.push(GateKind::CU1, &[2, 3], &[ParamValue::Var(3)]).unwrap();
-        t.push(GateKind::RZZ, &[0, 3], &[ParamValue::Var(4)]).unwrap();
-        t.push(GateKind::RXX, &[1, 2], &[ParamValue::Var(5)]).unwrap();
+        t.push(GateKind::CRY, &[1, 2], &[ParamValue::Var(2)])
+            .unwrap();
+        t.push(GateKind::CU1, &[2, 3], &[ParamValue::Var(3)])
+            .unwrap();
+        t.push(GateKind::RZZ, &[0, 3], &[ParamValue::Var(4)])
+            .unwrap();
+        t.push(GateKind::RXX, &[1, 2], &[ParamValue::Var(5)])
+            .unwrap();
         t.push(
             GateKind::U3,
             &[3],
-            &[ParamValue::Var(6), ParamValue::Fixed(0.2), ParamValue::Var(7)],
+            &[
+                ParamValue::Var(6),
+                ParamValue::Fixed(0.2),
+                ParamValue::Var(7),
+            ],
         )
         .unwrap();
         t
@@ -352,6 +383,22 @@ mod tests {
     }
 
     #[test]
+    fn run_into_reuses_buffer_exactly() {
+        let t = template();
+        let mut compiled = t.compile().unwrap();
+        let v = vec![0.4; t.n_vars()];
+        let fresh = compiled.run(&v).unwrap();
+        let mut buf = StateVector::zero_state(4).unwrap();
+        // Dirty the buffer with another trial, then rerun the target one.
+        compiled.run_into(&vec![1.1; t.n_vars()], &mut buf).unwrap();
+        compiled.run_into(&v, &mut buf).unwrap();
+        assert_eq!(buf.re(), fresh.re(), "reused buffer must be bit-identical");
+        assert_eq!(buf.im(), fresh.im());
+        let mut wrong_width = StateVector::zero_state(3).unwrap();
+        assert!(compiled.run_into(&v, &mut wrong_width).is_err());
+    }
+
+    #[test]
     fn batch_api() {
         let t = template();
         let mut compiled = t.compile().unwrap();
@@ -369,9 +416,7 @@ mod tests {
         // Var on a parameterless gate is an arity error.
         assert!(t.push(GateKind::H, &[0], &[ParamValue::Var(0)]).is_err());
         // Out-of-range qubit.
-        assert!(t
-            .push(GateKind::RZ, &[5], &[ParamValue::Var(0)])
-            .is_err());
+        assert!(t.push(GateKind::RZ, &[5], &[ParamValue::Var(0)]).is_err());
         // Missing values at bind time.
         t.push(GateKind::RZ, &[0], &[ParamValue::Var(3)]).unwrap();
         assert_eq!(t.n_vars(), 4);

@@ -110,8 +110,8 @@ pub fn compile_gate(g: &Gate, n_qubits: u32, specialized: bool, out: &mut Vec<Co
         }
         return;
     }
-    use GateKind::*;
     use std::f64::consts::{FRAC_PI_4, PI};
+    use GateKind::*;
     let q = g.qubits();
     let p = g.params();
     let push = |out: &mut Vec<CompiledGate>, (id, args): (KernelId, GateArgs)| {
@@ -295,7 +295,10 @@ mod tests {
             (g(GateKind::CX, &[0, 1], &[]), KernelId::Cx),
             (g(GateKind::CZ, &[0, 1], &[]), KernelId::CPhase),
             (g(GateKind::CCX, &[0, 1, 2], &[]), KernelId::ControlledOneQ),
-            (g(GateKind::C4X, &[0, 1, 2, 3, 4], &[]), KernelId::ControlledOneQ),
+            (
+                g(GateKind::C4X, &[0, 1, 2, 3, 4], &[]),
+                KernelId::ControlledOneQ,
+            ),
             (g(GateKind::SWAP, &[0, 1], &[]), KernelId::Swap),
             (g(GateKind::RZZ, &[0, 1], &[0.5]), KernelId::Rzz),
             (g(GateKind::RXX, &[0, 1], &[0.5]), KernelId::TwoQ),
@@ -338,10 +341,9 @@ mod tests {
         let mut out = Vec::new();
         compile_gate(&g(GateKind::RCCX, &[0, 1, 2], &[]), 5, true, &mut out);
         assert!(out.len() > 5, "rccx lowers to a sequence");
-        assert!(out.iter().all(|c| matches!(
-            c.id,
-            KernelId::H | KernelId::Phase | KernelId::Cx
-        )));
+        assert!(out
+            .iter()
+            .all(|c| matches!(c.id, KernelId::H | KernelId::Phase | KernelId::Cx)));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use svsim_shmem::{MetricsTable, SenseBarrier, SharedF64Vec, TrafficSnapshot};
 use svsim_types::{SvError, SvResult, SvRng};
 
 /// How gates are bound to kernels at execution time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DispatchMode {
     /// Resolve kernel function pointers once at upload (the paper's CUDA
     /// device-function-pointer design, Listing 1).
@@ -112,7 +112,11 @@ pub(crate) fn build_steps(
 
 #[inline]
 fn cond_holds(cbits: u64, lo: u32, len: u32, value: u64) -> bool {
-    let mask = if len >= 64 { u64::MAX } else { (1u64 << len) - 1 };
+    let mask = if len >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << len) - 1
+    };
     ((cbits >> lo) & mask) == value
 }
 
@@ -267,7 +271,11 @@ fn walk_steps<V: StateView>(
                     DispatchMode::PreloadedFnPointer => {
                         for k in compiled.clone() {
                             let cg = &queue[k];
-                            uploaded[k](view, &cg.args, worker_range(cg.args.work, n_workers, worker));
+                            uploaded[k](
+                                view,
+                                &cg.args,
+                                worker_range(cg.args.work, n_workers, worker),
+                            );
                             sync();
                         }
                     }
@@ -353,8 +361,12 @@ pub(crate) fn run_scaleup(
     let randoms: Vec<f64> = (0..n_rand).map(|_| rng.next_f64()).collect();
 
     // Partition the state (the host-to-devices transfer).
-    let re_parts: Vec<SharedF64Vec> = (0..n_dev).map(|_| SharedF64Vec::new(per_dev, 0.0)).collect();
-    let im_parts: Vec<SharedF64Vec> = (0..n_dev).map(|_| SharedF64Vec::new(per_dev, 0.0)).collect();
+    let re_parts: Vec<SharedF64Vec> = (0..n_dev)
+        .map(|_| SharedF64Vec::new(per_dev, 0.0))
+        .collect();
+    let im_parts: Vec<SharedF64Vec> = (0..n_dev)
+        .map(|_| SharedF64Vec::new(per_dev, 0.0))
+        .collect();
     for d in 0..n_dev {
         re_parts[d].store_slice(0, &state.re()[d * per_dev..(d + 1) * per_dev]);
         im_parts[d].store_slice(0, &state.im()[d * per_dev..(d + 1) * per_dev]);
@@ -493,7 +505,11 @@ pub(crate) fn run_scaleout(
             &reduce,
         )?;
         ctx.barrier_all();
-        Ok((cbits, sym_re.partition(pe).to_vec(), sym_im.partition(pe).to_vec()))
+        Ok((
+            cbits,
+            sym_re.partition(pe).to_vec(),
+            sym_im.partition(pe).to_vec(),
+        ))
     })?;
 
     let mut cbits_out = 0u64;

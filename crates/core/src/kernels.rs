@@ -400,7 +400,6 @@ mod tests {
         let v = LocalView::new(&mut re, &mut im);
         let a = args_1q(1, 8);
         k_x(&v, &a, 0..4);
-        drop(v);
         assert_eq!(re[0b010], 1.0);
         assert_eq!(re[0], 0.0);
     }
@@ -429,7 +428,11 @@ mod tests {
             k_z(&v, &a, 0..4);
         }
         for (i, &r) in re.iter().enumerate() {
-            let expect = if i & 0b100 != 0 { -(i as f64) } else { i as f64 };
+            let expect = if i & 0b100 != 0 {
+                -(i as f64)
+            } else {
+                i as f64
+            };
             assert_eq!(r, expect);
         }
     }

@@ -20,6 +20,7 @@ pub mod exec;
 pub mod kernels;
 pub mod measure;
 pub mod noise;
+pub mod par;
 pub mod sim;
 pub mod state;
 pub mod traffic;

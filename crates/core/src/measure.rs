@@ -6,15 +6,16 @@
 //! distributed backends run them on their own partitions with a single
 //! scalar reduction — no amplitude exchange.
 
+use crate::par::parallel_sum;
 use crate::state::StateVector;
-use rayon::prelude::*;
 use svsim_ir::{Pauli, PauliString};
 use svsim_shmem::SharedF64Vec;
 use svsim_types::bits::{bit, masked_parity};
 use svsim_types::{SvError, SvResult, SvRng};
 
-/// States at or above this size use rayon for the diagonal reductions
-/// (probabilities, expectations); below it the fork/join overhead loses.
+/// States at or above this size use fork-join threads for the diagonal
+/// reductions (probabilities, expectations); below it the spawn overhead
+/// loses.
 const PAR_THRESHOLD: usize = 1 << 16;
 
 /// Probability that qubit `q` measures 1 (full local state).
@@ -22,18 +23,15 @@ const PAR_THRESHOLD: usize = 1 << 16;
 pub fn prob_one(state: &StateVector, q: u32) -> f64 {
     let (re, im) = (state.re(), state.im());
     if re.len() >= PAR_THRESHOLD {
-        return re
-            .par_iter()
-            .zip(im.par_iter())
-            .enumerate()
-            .map(|(i, (&r, &m))| {
+        return parallel_sum(re.len(), |range| {
+            let mut p = 0.0;
+            for i in range {
                 if bit(i as u64, q) == 1 {
-                    r * r + m * m
-                } else {
-                    0.0
+                    p += re[i] * re[i] + im[i] * im[i];
                 }
-            })
-            .sum();
+            }
+            p
+        });
     }
     let mut p = 0.0;
     for i in 0..re.len() {
@@ -181,12 +179,13 @@ pub fn expval_z_mask(state: &StateVector, mask: u64) -> f64 {
         }
     };
     if re.len() >= PAR_THRESHOLD {
-        return re
-            .par_iter()
-            .zip(im.par_iter())
-            .enumerate()
-            .map(|(i, (&r, &m))| term(i, r, m))
-            .sum();
+        return parallel_sum(re.len(), |range| {
+            let mut e = 0.0;
+            for i in range {
+                e += term(i, re[i], im[i]);
+            }
+            e
+        });
     }
     let mut e = 0.0;
     for i in 0..re.len() {
@@ -202,10 +201,7 @@ pub fn expval_pauli(state: &StateVector, string: &PauliString) -> f64 {
     if string.is_identity() {
         return state.norm_sqr();
     }
-    let needs_rotation = string
-        .factors()
-        .iter()
-        .any(|&(p, _)| p != Pauli::Z);
+    let needs_rotation = string.factors().iter().any(|&(p, _)| p != Pauli::Z);
     if !needs_rotation {
         return expval_z_mask(state, string.qubit_mask());
     }

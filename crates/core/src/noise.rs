@@ -178,8 +178,7 @@ mod tests {
         let mut rng = SvRng::seed_from_u64(5);
         let noisy = sample_noisy_circuit(&c, &NoiseModel { p1: 1.0, p2: 1.0 }, &mut rng).unwrap();
         // Every gate injects one error per operand at p = 1.
-        let expected = c.stats().gates
-            + c.gates().map(|g| g.qubits().len()).sum::<usize>();
+        let expected = c.stats().gates + c.gates().map(|g| g.qubits().len()).sum::<usize>();
         assert_eq!(noisy.stats().gates, expected);
     }
 

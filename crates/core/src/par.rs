@@ -1,0 +1,81 @@
+//! Minimal fork-join parallelism for the diagonal reductions.
+//!
+//! The only data-parallel shapes the simulator needs outside the SPMD
+//! backends are index-space sum reductions (probabilities, expectations).
+//! This module provides exactly that over `std::thread::scope`, keeping the
+//! workspace free of external dependencies. Chunking is deterministic, and
+//! f64 partials are combined in chunk order, so results do not vary from
+//! run to run on a fixed thread count — and the *chunk count* is fixed
+//! (`MAX_CHUNKS`) regardless of how many worker threads the machine offers,
+//! so results are identical across machines too.
+
+use std::ops::Range;
+
+/// Upper bound on reduction chunks. Fixing the split (rather than deriving
+/// it from `available_parallelism`) keeps floating-point sums bit-stable
+/// across machines; 32 chunks saturate the memory bandwidth these
+/// reductions are bound by.
+const MAX_CHUNKS: usize = 32;
+
+/// Sum `f` over `0..len` split into deterministic chunks evaluated in
+/// parallel. `f` receives a subrange and returns its partial sum; partials
+/// are added in chunk order.
+pub fn parallel_sum<F>(len: usize, f: F) -> f64
+where
+    F: Fn(Range<usize>) -> f64 + Sync,
+{
+    if len < 2 {
+        return f(0..len);
+    }
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // The chunk split never depends on the worker count, only the summation
+    // schedule does — so the reduced value is bit-identical everywhere.
+    let n_chunks = MAX_CHUNKS.min(len);
+    let chunk = len.div_ceil(n_chunks);
+    let mut partials = vec![0.0f64; n_chunks];
+    if workers <= 1 {
+        for (c, slot) in partials.iter_mut().enumerate() {
+            let start = c * chunk;
+            let end = ((c + 1) * chunk).min(len);
+            if start < end {
+                *slot = f(start..end);
+            }
+        }
+    } else {
+        std::thread::scope(|scope| {
+            let f = &f;
+            for (c, slot) in partials.iter_mut().enumerate() {
+                let start = c * chunk;
+                let end = ((c + 1) * chunk).min(len);
+                if start >= end {
+                    continue;
+                }
+                scope.spawn(move || {
+                    *slot = f(start..end);
+                });
+            }
+        });
+    }
+    partials.into_iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential() {
+        for len in [0usize, 1, 5, 1000, 65_537] {
+            let par = parallel_sum(len, |r| r.map(|i| i as f64).sum());
+            let seq: f64 = (0..len).map(|i| i as f64).sum();
+            assert_eq!(par, seq, "len {len}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = parallel_sum(100_000, |r| r.map(|i| 1.0 / (i as f64 + 1.0)).sum());
+        let b = parallel_sum(100_000, |r| r.map(|i| 1.0 / (i as f64 + 1.0)).sum());
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

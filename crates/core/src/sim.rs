@@ -9,7 +9,7 @@ use svsim_shmem::TrafficSnapshot;
 use svsim_types::{Complex64, SvError, SvResult, SvRng};
 
 /// Which execution backend runs the circuit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BackendKind {
     /// One device, sequential kernels (§3.2.1).
     SingleDevice,
@@ -235,14 +235,34 @@ impl Simulator {
         circuit_traffic(&compiled, self.state.n_qubits(), n_pes)
     }
 
-    /// Reset to `|0...0>` and clear classical bits.
+    /// Reset to `|0...0>` and clear classical bits. Reinitializes the
+    /// existing state vector in place — no reallocation.
     pub fn reset_state(&mut self) {
-        self.state = StateVector::zero_state(self.state.n_qubits()).expect("validated width");
+        self.state.reset_zero();
         self.cbits = 0;
+    }
+
+    /// Full reinit-in-place: `|0...0>`, cleared classical register, and the
+    /// RNG rewound to the configured seed. A reset simulator is
+    /// indistinguishable from `Simulator::new` with the same config — the
+    /// reuse contract the engine's instance pool depends on — but keeps its
+    /// state-vector allocation.
+    pub fn reset(&mut self) {
+        self.state.reset_zero();
+        self.cbits = 0;
+        self.rng = SvRng::seed_from_u64(self.config.seed);
     }
 
     /// Re-seed the RNG.
     pub fn reseed(&mut self, seed: u64) {
+        self.rng = SvRng::seed_from_u64(seed);
+    }
+
+    /// Adopt `seed` into the configuration and rewind the RNG to it, so a
+    /// later [`Self::reset`] replays the same stream. Used by pooled
+    /// instances that serve jobs with per-job seeds.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.config.seed = seed;
         self.rng = SvRng::seed_from_u64(seed);
     }
 
@@ -440,10 +460,20 @@ mod tests {
         c.measure(0, 0).unwrap();
         c.measure(1, 1).unwrap();
         // Corrections: X on q2 if c1 == 1; Z on q2 if c0 == 1.
-        c.if_eq(1, 1, 1, svsim_ir::Gate::new(GateKind::X, &[2], &[]).unwrap())
-            .unwrap();
-        c.if_eq(0, 1, 1, svsim_ir::Gate::new(GateKind::Z, &[2], &[]).unwrap())
-            .unwrap();
+        c.if_eq(
+            1,
+            1,
+            1,
+            svsim_ir::Gate::new(GateKind::X, &[2], &[]).unwrap(),
+        )
+        .unwrap();
+        c.if_eq(
+            0,
+            1,
+            1,
+            svsim_ir::Gate::new(GateKind::Z, &[2], &[]).unwrap(),
+        )
+        .unwrap();
         for config in [
             SimConfig::single_device(),
             SimConfig::scale_up(2),
@@ -456,6 +486,44 @@ mod tests {
                 let p1 = crate::measure::prob_one(sim.state(), 2);
                 assert!((p1 - 1.0).abs() < 1e-9, "{config:?} seed {seed}: p1={p1}");
             }
+        }
+    }
+
+    #[test]
+    fn reset_simulator_is_bit_identical_to_fresh() {
+        // A circuit with measurement exercises the RNG stream, so this
+        // proves reset() rewinds state, cbits, AND randomness.
+        let mut c = Circuit::with_cbits(4, 4);
+        c.extend(&ghz(4)).unwrap();
+        for q in 0..4 {
+            c.measure(q, q).unwrap();
+        }
+        for config in [
+            SimConfig::single_device().with_seed(11),
+            SimConfig::scale_up(2).with_seed(11),
+            SimConfig::scale_out(4).with_seed(11),
+        ] {
+            let mut fresh = Simulator::new(4, config).unwrap();
+            let fresh_summary = fresh.run(&c).unwrap();
+
+            let mut reused = Simulator::new(4, config).unwrap();
+            // Dirty every piece of per-run state first.
+            reused.run(&ghz(4)).unwrap();
+            reused.run(&c).unwrap();
+            reused.reset();
+            let summary = reused.run(&c).unwrap();
+
+            assert_eq!(summary.cbits, fresh_summary.cbits, "{config:?}");
+            assert_eq!(
+                reused.state().re(),
+                fresh.state().re(),
+                "{config:?} re parts must be bit-identical"
+            );
+            assert_eq!(
+                reused.state().im(),
+                fresh.state().im(),
+                "{config:?} im parts must be bit-identical"
+            );
         }
     }
 

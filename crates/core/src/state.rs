@@ -77,6 +77,16 @@ impl StateVector {
         (&mut self.re, &mut self.im)
     }
 
+    /// Reinitialize to `|0...0>` in place, keeping the allocation. This is
+    /// the reuse hook for pooled simulators: a served engine resets a
+    /// checked-in state vector instead of paying a fresh multi-MB
+    /// allocation per job.
+    pub fn reset_zero(&mut self) {
+        self.re.fill(0.0);
+        self.im.fill(0.0);
+        self.re[0] = 1.0;
+    }
+
     /// Amplitude at `idx`.
     #[must_use]
     pub fn amplitude(&self, idx: usize) -> Complex64 {
@@ -199,8 +209,12 @@ mod tests {
         let s = StateVector::zero_state(1).unwrap();
         let mut t = StateVector::zero_state(1).unwrap();
         // t = e^{i 0.3} |0>
-        t.set_complex(&[Complex64::cis(0.3), Complex64::ZERO]).unwrap();
+        t.set_complex(&[Complex64::cis(0.3), Complex64::ZERO])
+            .unwrap();
         assert!((s.fidelity(&t) - 1.0).abs() < 1e-14);
-        assert!(s.max_diff(&t) > 1e-3, "amplitudes differ even at fidelity 1");
+        assert!(
+            s.max_diff(&t) > 1e-3,
+            "amplitudes differ even at fidelity 1"
+        );
     }
 }

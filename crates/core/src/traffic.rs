@@ -234,11 +234,7 @@ mod tests {
             for cg in &cases {
                 let model = gate_traffic(cg, n, n_pes);
                 let brute = brute_force_remote(cg, n, n_pes);
-                assert_eq!(
-                    model.remote_amp_ops, brute,
-                    "{:?} at {} PEs",
-                    cg.id, n_pes
-                );
+                assert_eq!(model.remote_amp_ops, brute, "{:?} at {} PEs", cg.id, n_pes);
             }
         }
     }

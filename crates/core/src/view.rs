@@ -207,7 +207,6 @@ mod tests {
         assert_eq!(v.dim(), 8);
         v.set(3, 0.5, -0.5);
         assert_eq!(v.get(3), (0.5, -0.5));
-        drop(v);
         assert_eq!(re[3], 0.5);
         assert_eq!(im[3], -0.5);
     }

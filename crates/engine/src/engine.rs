@@ -1,0 +1,391 @@
+//! The engine itself: a persistent worker pool executing jobs from the
+//! bounded queue, with template-aware micro-batching and pooled simulator
+//! instances.
+
+use crate::job::{
+    JobCell, JobError, JobHandle, JobId, JobOutput, JobRequest, JobSpec, SweepReturn,
+};
+use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use crate::pool::InstancePool;
+use crate::queue::{JobQueue, QueuedJob, SubmitError};
+use crate::templates::{TemplateId, TemplateInfo, TemplateRegistry, WorkerTemplates};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use svsim_core::{measure, ParamCircuit};
+use svsim_types::{SvError, SvResult};
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Queue capacity; submissions beyond it are rejected, not blocked.
+    pub queue_capacity: usize,
+    /// Most sweep jobs coalesced into one batched execution.
+    pub max_batch: usize,
+    /// Idle instances retained per pool key.
+    pub pool_max_per_key: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map_or(2, std::num::NonZeroUsize::get)
+            .min(8);
+        Self {
+            workers,
+            queue_capacity: 1024,
+            max_batch: 16,
+            pool_max_per_key: workers,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Override the worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Override the queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Override the micro-batch ceiling.
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+}
+
+/// State shared between the engine handle and its workers.
+#[derive(Debug)]
+struct Shared {
+    queue: JobQueue,
+    metrics: EngineMetrics,
+    registry: TemplateRegistry,
+    pool: InstancePool,
+}
+
+/// A running engine. Submit jobs with [`Engine::submit`]; stop it with
+/// [`Engine::shutdown`] (drains) or [`Engine::shutdown_now`] (drops queued
+/// jobs). Dropping a running engine behaves like `shutdown_now`.
+#[derive(Debug)]
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Engine {
+    /// Start the worker pool.
+    #[must_use]
+    pub fn start(config: EngineConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_capacity),
+            metrics: EngineMetrics::default(),
+            registry: TemplateRegistry::default(),
+            pool: InstancePool::new(config.pool_max_per_key),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let max_batch = config.max_batch.max(1);
+                std::thread::Builder::new()
+                    .name(format!("svsim-engine-{i}"))
+                    .spawn(move || worker_loop(&shared, max_batch))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Compile and register a parameterized template for sweep jobs.
+    ///
+    /// # Errors
+    /// Propagates template compilation errors.
+    pub fn register_template(&self, name: &str, circuit: &ParamCircuit) -> SvResult<TemplateId> {
+        self.shared.registry.register(name, circuit)
+    }
+
+    /// Metadata for a registered template.
+    #[must_use]
+    pub fn template_info(&self, id: TemplateId) -> Option<TemplateInfo> {
+        self.shared.registry.info(id)
+    }
+
+    /// Submit a job. Never blocks: a full queue or a malformed sweep is
+    /// refused immediately.
+    ///
+    /// # Errors
+    /// [`SubmitError`] describing why admission failed.
+    pub fn submit(&self, request: JobRequest) -> Result<JobHandle, SubmitError> {
+        if let JobSpec::Sweep {
+            template, params, ..
+        } = &request.spec
+        {
+            let info = self
+                .shared
+                .registry
+                .info(*template)
+                .ok_or(SubmitError::UnknownTemplate(*template))?;
+            if params.len() < info.n_vars {
+                return Err(SubmitError::BadParamCount {
+                    expected: info.n_vars,
+                    got: params.len(),
+                });
+            }
+        }
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let cell = Arc::new(JobCell::default());
+        let queued = QueuedJob {
+            request,
+            cell: Arc::clone(&cell),
+            enqueued_at: Instant::now(),
+        };
+        match self.shared.queue.push(queued) {
+            Ok(()) => {
+                self.shared
+                    .metrics
+                    .submitted
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(JobHandle { id, cell })
+            }
+            Err((e, _dropped)) => {
+                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Jobs waiting in the queue right now.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Point-in-time metrics.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut s = self.shared.metrics.snapshot();
+        s.pool_created = self.shared.pool.created.load(Ordering::Relaxed);
+        s.pool_reused = self.shared.pool.reused.load(Ordering::Relaxed);
+        s
+    }
+
+    /// Stop accepting work, run every queued job to completion, join the
+    /// workers, and return the final metrics.
+    #[must_use = "final metrics summarize the engine's whole life"]
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        let _ = self.shared.queue.close(true);
+        self.join_workers();
+        self.metrics()
+    }
+
+    /// Stop immediately: queued jobs fail with [`JobError::Shutdown`];
+    /// jobs already executing run to completion.
+    #[must_use = "final metrics summarize the engine's whole life"]
+    pub fn shutdown_now(mut self) -> MetricsSnapshot {
+        self.abort_queue();
+        self.join_workers();
+        self.metrics()
+    }
+
+    fn abort_queue(&self) {
+        for job in self.shared.queue.close(false) {
+            self.shared
+                .metrics
+                .shutdown_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            job.cell.finish(Err(JobError::Shutdown));
+        }
+    }
+
+    fn join_workers(&mut self) {
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.abort_queue();
+            self.join_workers();
+        }
+    }
+}
+
+/// One worker: pop (possibly coalesced) work until the queue closes.
+fn worker_loop(shared: &Shared, max_batch: usize) {
+    let mut templates = WorkerTemplates::default();
+    while let Some(batch) = shared.queue.pop_batch(max_batch) {
+        let dequeued = Instant::now();
+        let mut live = Vec::with_capacity(batch.len());
+        for job in batch {
+            shared
+                .metrics
+                .queue_wait
+                .record(dequeued.saturating_duration_since(job.enqueued_at));
+            if job.cell.cancelled.load(Ordering::Acquire) {
+                shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                job.cell.finish(Err(JobError::Cancelled));
+            } else if job.request.deadline.is_some_and(|d| dequeued > d) {
+                shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
+                job.cell.finish(Err(JobError::Expired));
+            } else {
+                live.push(job);
+            }
+        }
+        let Some(head) = live.first() else { continue };
+        match head.request.spec {
+            // One-shots never coalesce, so `live` holds at most one.
+            JobSpec::OneShot { .. } => {
+                for job in live {
+                    run_one_shot(shared, job);
+                }
+            }
+            JobSpec::Sweep { .. } => run_sweep_batch(shared, &mut templates, live),
+        }
+    }
+}
+
+fn panic_error() -> JobError {
+    JobError::Failed(SvError::InvalidConfig(
+        "engine worker panicked while executing the job".into(),
+    ))
+}
+
+fn publish(
+    shared: &Shared,
+    job: &QueuedJob,
+    started: Instant,
+    result: Result<JobOutput, JobError>,
+) {
+    match &result {
+        Ok(_) => shared.metrics.completed.fetch_add(1, Ordering::Relaxed),
+        Err(_) => shared.metrics.failed.fetch_add(1, Ordering::Relaxed),
+    };
+    shared.metrics.execution.record(started.elapsed());
+    job.cell.finish(result);
+}
+
+fn run_one_shot(shared: &Shared, job: QueuedJob) {
+    let started = Instant::now();
+    let JobSpec::OneShot {
+        ref circuit,
+        ref config,
+        shots,
+        return_state,
+    } = job.request.spec
+    else {
+        unreachable!("dispatched as one-shot");
+    };
+    let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<JobOutput, JobError> {
+        let mut sim = shared
+            .pool
+            .checkout_sim(circuit.n_qubits(), config)
+            .map_err(JobError::Failed)?;
+        match sim.run(circuit) {
+            Err(e) => {
+                shared.pool.checkin_sim(sim);
+                Err(JobError::Failed(e))
+            }
+            Ok(summary) => {
+                shared.metrics.add_traffic(&summary.total_traffic());
+                let samples = (shots > 0).then(|| {
+                    let mut hist = BTreeMap::new();
+                    for outcome in sim.sample(shots) {
+                        *hist.entry(outcome).or_insert(0) += 1;
+                    }
+                    hist
+                });
+                let state = return_state.then(|| sim.state().clone());
+                shared.pool.checkin_sim(sim);
+                Ok(JobOutput::OneShot {
+                    summary,
+                    state,
+                    samples,
+                })
+            }
+        }
+    }));
+    let result = attempt.unwrap_or_else(|_| Err(panic_error()));
+    publish(shared, &job, started, result);
+}
+
+/// Execute a coalesced group of sweep jobs — all for the same template —
+/// against one worker-local template clone and one pooled state buffer.
+fn run_sweep_batch(shared: &Shared, templates: &mut WorkerTemplates, jobs: Vec<QueuedJob>) {
+    shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .metrics
+        .batched_jobs
+        .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    let JobSpec::Sweep { template, .. } = jobs[0].request.spec else {
+        unreachable!("dispatched as sweep");
+    };
+
+    let fail_all = |e: SvError| {
+        let started = Instant::now();
+        for job in &jobs {
+            publish(shared, job, started, Err(JobError::Failed(e.clone())));
+        }
+    };
+    let Some(tpl) = templates.get_mut(template, &shared.registry) else {
+        fail_all(SvError::Undefined(format!(
+            "template {template} is not registered"
+        )));
+        return;
+    };
+    let mut buf = match shared.pool.checkout_buffer(tpl.n_qubits()) {
+        Ok(buf) => buf,
+        Err(e) => {
+            fail_all(e);
+            return;
+        }
+    };
+
+    for job in &jobs {
+        let started = Instant::now();
+        let JobSpec::Sweep {
+            ref params,
+            returning,
+            ..
+        } = job.request.spec
+        else {
+            unreachable!("coalesced batches are sweep-only");
+        };
+        let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<JobOutput, JobError> {
+            tpl.run_into(params, &mut buf).map_err(JobError::Failed)?;
+            Ok(match returning {
+                SweepReturn::State => JobOutput::Sweep {
+                    state: Some(buf.clone()),
+                    value: None,
+                },
+                SweepReturn::ExpZ(mask) => JobOutput::Sweep {
+                    state: None,
+                    value: Some(measure::expval_z_mask(&buf, mask)),
+                },
+            })
+        }));
+        let result = attempt.unwrap_or_else(|_| Err(panic_error()));
+        publish(shared, job, started, result);
+    }
+    shared.pool.checkin_buffer(buf);
+}

@@ -1,0 +1,60 @@
+//! svsim-engine — a persistent job-scheduling and batching service layer
+//! over the SV-Sim simulator.
+//!
+//! The paper's simulator is a library: construct, run one circuit, drop.
+//! Real deployments (the paper's QAOA/QNN case studies, §6) instead issue
+//! *streams* of mostly-similar circuits — parameter sweeps from an
+//! optimizer, plus interactive one-shot requests. This crate adds the
+//! serving layer that makes those streams cheap:
+//!
+//! - a **bounded, priority-aware queue** with reject-on-full admission
+//!   (backpressure is explicit, never a silent stall);
+//! - a **worker pool** of persistent threads so simulator setup cost is
+//!   paid once, not per request;
+//! - an **instance pool** reusing `2^n`-amplitude state vectors across
+//!   jobs, keyed by (width, backend, dispatch, specialization), built on
+//!   [`svsim_core::Simulator::reset`]'s bit-identical reinit contract;
+//! - **micro-batching**: queued sweep jobs sharing a compiled
+//!   [`svsim_core::CompiledTemplate`] are coalesced into one
+//!   patch-and-execute loop over a single reused buffer;
+//! - **per-job deadlines and cancellation**, honored at dequeue;
+//! - **drain or hard shutdown**, and a [`MetricsSnapshot`] aggregating
+//!   counts, latency histograms, and SHMEM traffic across all jobs.
+//!
+//! ```
+//! use svsim_engine::{Engine, EngineConfig, JobRequest, JobSpec};
+//! use svsim_core::SimConfig;
+//! use svsim_ir::{Circuit, GateKind};
+//! use std::sync::Arc;
+//!
+//! let engine = Engine::start(EngineConfig::default().with_workers(2));
+//! let mut bell = Circuit::new(2);
+//! bell.apply(GateKind::H, &[0], &[]).unwrap();
+//! bell.apply(GateKind::CX, &[0, 1], &[]).unwrap();
+//! let handle = engine
+//!     .submit(JobRequest::new(JobSpec::OneShot {
+//!         circuit: Arc::new(bell),
+//!         config: SimConfig::single_device(),
+//!         shots: 100,
+//!         return_state: false,
+//!     }))
+//!     .unwrap();
+//! let output = handle.wait().unwrap();
+//! # let _ = output;
+//! let _final = engine.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod job;
+mod metrics;
+mod pool;
+mod queue;
+mod templates;
+
+pub use engine::{Engine, EngineConfig};
+pub use job::{JobError, JobHandle, JobId, JobOutput, JobRequest, JobSpec, Priority, SweepReturn};
+pub use metrics::{EngineMetrics, LatencyHistogram, LatencySnapshot, MetricsSnapshot};
+pub use queue::SubmitError;
+pub use templates::{TemplateId, TemplateInfo, TemplateRegistry};

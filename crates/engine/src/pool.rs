@@ -1,0 +1,194 @@
+//! Instance pool: pre-allocated simulators and state buffers reused across
+//! jobs.
+//!
+//! Allocating a `2^n`-amplitude state vector dominates the cost of small
+//! jobs, so the engine keeps finished instances keyed by everything that
+//! affects their construction — width, backend, dispatch mode, kernel
+//! specialization — and hands them back out after an in-place
+//! [`Simulator::reset`]. The reset contract (bit-identical to a fresh
+//! simulator, verified in `crates/core/src/sim.rs` tests) is what makes
+//! reuse invisible to clients.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use svsim_core::{BackendKind, DispatchMode, SimConfig, Simulator, StateVector};
+use svsim_types::SvResult;
+
+/// Everything that distinguishes one pooled simulator from another.
+/// The seed is deliberately absent: pooled instances are re-seeded per job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PoolKey {
+    n_qubits: u32,
+    backend: BackendKind,
+    dispatch: DispatchMode,
+    specialized: bool,
+}
+
+impl PoolKey {
+    fn of(n_qubits: u32, config: &SimConfig) -> Self {
+        Self {
+            n_qubits,
+            backend: config.backend,
+            dispatch: config.dispatch,
+            specialized: config.specialized,
+        }
+    }
+}
+
+/// Shared pool of reusable simulators and sweep state buffers.
+#[derive(Debug)]
+pub(crate) struct InstancePool {
+    sims: Mutex<HashMap<PoolKey, Vec<Simulator>>>,
+    buffers: Mutex<HashMap<u32, Vec<StateVector>>>,
+    /// Retained instances per key; excess check-ins are dropped.
+    max_per_key: usize,
+    pub(crate) created: AtomicU64,
+    pub(crate) reused: AtomicU64,
+}
+
+impl InstancePool {
+    pub(crate) fn new(max_per_key: usize) -> Self {
+        Self {
+            sims: Mutex::new(HashMap::new()),
+            buffers: Mutex::new(HashMap::new()),
+            max_per_key: max_per_key.max(1),
+            created: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+        }
+    }
+
+    /// A simulator matching `config` at `n_qubits`, reset and re-seeded to
+    /// `config.seed`. Pulled from the pool when possible, constructed
+    /// otherwise.
+    pub(crate) fn checkout_sim(&self, n_qubits: u32, config: &SimConfig) -> SvResult<Simulator> {
+        let key = PoolKey::of(n_qubits, config);
+        let pooled = self
+            .sims
+            .lock()
+            .expect("sim pool lock")
+            .get_mut(&key)
+            .and_then(Vec::pop);
+        if let Some(mut sim) = pooled {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            sim.set_seed(config.seed);
+            sim.reset();
+            return Ok(sim);
+        }
+        self.created.fetch_add(1, Ordering::Relaxed);
+        Simulator::new(n_qubits, *config)
+    }
+
+    /// Return a simulator for future reuse. Dropped if the key's shelf is
+    /// already full.
+    pub(crate) fn checkin_sim(&self, sim: Simulator) {
+        let key = PoolKey::of(sim.n_qubits(), sim.config());
+        let mut sims = self.sims.lock().expect("sim pool lock");
+        let shelf = sims.entry(key).or_default();
+        if shelf.len() < self.max_per_key {
+            shelf.push(sim);
+        }
+    }
+
+    /// A `|0...0>`-initialized state buffer of the requested width for
+    /// template sweeps.
+    pub(crate) fn checkout_buffer(&self, n_qubits: u32) -> SvResult<StateVector> {
+        let pooled = self
+            .buffers
+            .lock()
+            .expect("buffer pool lock")
+            .get_mut(&n_qubits)
+            .and_then(Vec::pop);
+        if let Some(mut buf) = pooled {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            buf.reset_zero();
+            return Ok(buf);
+        }
+        self.created.fetch_add(1, Ordering::Relaxed);
+        StateVector::zero_state(n_qubits)
+    }
+
+    /// Return a sweep buffer for future reuse.
+    pub(crate) fn checkin_buffer(&self, buf: StateVector) {
+        let mut buffers = self.buffers.lock().expect("buffer pool lock");
+        let shelf = buffers.entry(buf.n_qubits()).or_default();
+        if shelf.len() < self.max_per_key {
+            shelf.push(buf);
+        }
+    }
+
+    /// Idle instances currently shelved (simulators + buffers).
+    #[cfg(test)]
+    pub(crate) fn idle(&self) -> usize {
+        let sims: usize = self
+            .sims
+            .lock()
+            .expect("sim pool lock")
+            .values()
+            .map(Vec::len)
+            .sum();
+        let bufs: usize = self
+            .buffers
+            .lock()
+            .expect("buffer pool lock")
+            .values()
+            .map(Vec::len)
+            .sum();
+        sims + bufs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svsim_ir::{Circuit, GateKind};
+
+    #[test]
+    fn checkout_reuses_and_resets() {
+        let pool = InstancePool::new(4);
+        let config = SimConfig::single_device().with_seed(7);
+        let mut sim = pool.checkout_sim(3, &config).unwrap();
+        // Dirty it.
+        let mut c = Circuit::new(3);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.apply(GateKind::CX, &[0, 1], &[]).unwrap();
+        sim.run(&c).unwrap();
+        pool.checkin_sim(sim);
+        assert_eq!(pool.idle(), 1);
+
+        // Same key: must reuse, and must come back pristine.
+        let sim2 = pool.checkout_sim(3, &config).unwrap();
+        assert_eq!(pool.reused.load(Ordering::Relaxed), 1);
+        assert_eq!(sim2.state().re()[0], 1.0);
+        assert!(sim2.state().re()[1..].iter().all(|&x| x == 0.0));
+        assert!(sim2.state().im().iter().all(|&x| x == 0.0));
+
+        // Different width: a miss.
+        let _sim3 = pool.checkout_sim(4, &config).unwrap();
+        assert_eq!(pool.created.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn shelf_is_bounded() {
+        let pool = InstancePool::new(2);
+        let config = SimConfig::single_device();
+        let sims: Vec<_> = (0..4)
+            .map(|_| pool.checkout_sim(2, &config).unwrap())
+            .collect();
+        for s in sims {
+            pool.checkin_sim(s);
+        }
+        assert_eq!(pool.idle(), 2, "excess check-ins must be dropped");
+    }
+
+    #[test]
+    fn buffers_round_trip() {
+        let pool = InstancePool::new(2);
+        let mut b = pool.checkout_buffer(5).unwrap();
+        b.reset_zero();
+        pool.checkin_buffer(b);
+        let b2 = pool.checkout_buffer(5).unwrap();
+        assert_eq!(b2.n_qubits(), 5);
+        assert_eq!(pool.reused.load(Ordering::Relaxed), 1);
+    }
+}

@@ -349,9 +349,7 @@ fn invert_gate(g: &Gate) -> SvResult<Gate> {
     let mk = |kind: GateKind, params: &[f64]| Gate::new(kind, q, params);
     match g.kind() {
         // Self-inverse gates.
-        ID | X | Y | Z | H | CX | CZ | CY | SWAP | CH | CCX | CSWAP | C3X | C4X => {
-            mk(g.kind(), p)
-        }
+        ID | X | Y | Z | H | CX | CZ | CY | SWAP | CH | CCX | CSWAP | C3X | C4X => mk(g.kind(), p),
         S => mk(SDG, &[]),
         SDG => mk(S, &[]),
         T => mk(TDG, &[]),
@@ -382,8 +380,7 @@ impl fmt::Display for Circuit {
                     if qs.is_empty() {
                         writeln!(f, "barrier;")?;
                     } else {
-                        let list: Vec<String> =
-                            qs.iter().map(|q| format!("q[{q}]")).collect();
+                        let list: Vec<String> = qs.iter().map(|q| format!("q[{q}]")).collect();
                         writeln!(f, "barrier {};", list.join(", "))?;
                     }
                 }

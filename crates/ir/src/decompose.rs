@@ -175,12 +175,7 @@ pub fn lower_gate(g: &Gate) -> Vec<Gate> {
             cx(&mut out, q[1], q[0]);
             cx(&mut out, q[0], q[1]);
         }
-        CH => controlled_unitary(
-            &mut out,
-            &matrices::single_qubit(H, &[]),
-            &[q[0]],
-            q[1],
-        ),
+        CH => controlled_unitary(&mut out, &matrices::single_qubit(H, &[]), &[q[0]], q[1]),
         CCX => ccx_network(&mut out, q[0], q[1], q[2]),
         CSWAP => {
             cx(&mut out, q[2], q[1]);
@@ -291,12 +286,8 @@ pub fn gates_unitary(gates: &[Gate], n_qubits: u32) -> Mat {
 #[must_use]
 pub fn defining_matrix(g: &Gate) -> Mat {
     let k = g.kind().n_qubits() as u32;
-    let canonical = Gate::new(
-        g.kind(),
-        &(0..k).collect::<Vec<_>>(),
-        g.params(),
-    )
-    .expect("canonical relabel");
+    let canonical =
+        Gate::new(g.kind(), &(0..k).collect::<Vec<_>>(), g.params()).expect("canonical relabel");
     let lowered = lower_gate(&canonical);
     // The lowering of RCCX/RC3X must not recurse back here.
     assert!(lowered
@@ -423,10 +414,8 @@ mod tests {
         let mut gs = Vec::new();
         mcx(&mut gs, &[0, 1, 2, 3, 4], 5);
         let m = gates_unitary(&gs, 6);
-        let expect = crate::matrices::multi_controlled(
-            &crate::matrices::single_qubit(GateKind::X, &[]),
-            5,
-        );
+        let expect =
+            crate::matrices::multi_controlled(&crate::matrices::single_qubit(GateKind::X, &[]), 5);
         assert!(m.approx_eq(&expect, EPS), "diff {}", m.max_diff(&expect));
     }
 
@@ -459,22 +448,19 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::gate::{Gate, GateKind};
+    use crate::linalg::Mat;
+    use svsim_types::SvRng;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
+    const CASES: u64 = 48;
 
-        /// Compound lowering stays exact for arbitrary rotation angles and
-        /// operand orderings (the fixed-angle version lives in `tests`).
-        #[test]
-        fn lowering_exact_for_random_angles(
-            seed in 0u64..100_000,
-            a0 in -6.3f64..6.3,
-            a1 in -6.3f64..6.3,
-            a2 in -6.3f64..6.3,
-        ) {
-            use svsim_types::SvRng;
-            let mut rng = SvRng::seed_from_u64(seed);
+    /// Compound lowering stays exact for arbitrary rotation angles and
+    /// operand orderings (the fixed-angle version lives in `tests`).
+    #[test]
+    fn lowering_exact_for_random_angles() {
+        for seed in 0..CASES {
+            let mut rng = SvRng::seed_from_u64(0xDEC0_0001 ^ seed);
+            let angles: Vec<f64> = (0..3).map(|_| rng.range_f64(-6.3, 6.3)).collect();
             let parameterized = [
                 GateKind::CRX,
                 GateKind::CRY,
@@ -490,27 +476,29 @@ mod proptests {
             let mut qs: Vec<u32> = (0..n).collect();
             rng.shuffle(&mut qs);
             let qubits = &qs[..kind.n_qubits()];
-            let params: Vec<f64> = [a0, a1, a2][..kind.n_params()].to_vec();
+            let params: Vec<f64> = angles[..kind.n_params()].to_vec();
             let g = Gate::new(kind, qubits, &params).unwrap();
             let expect = gates_unitary(&[g], n);
             let lowered = lower_gate(&g);
             let got = gates_unitary(&lowered, n);
-            prop_assert!(
+            assert!(
                 got.approx_eq(&expect, 1e-9),
                 "{kind} at {params:?} on {qubits:?}: diff {}",
                 got.max_diff(&expect)
             );
         }
+    }
 
-        /// The generic multi-controlled lowering is exact for random 2x2
-        /// unitaries built as U1 * RY * U1 products.
-        #[test]
-        fn controlled_unitary_exact_for_random_unitaries(
-            alpha in -3.2f64..3.2,
-            beta in -3.2f64..3.2,
-            gamma in -3.2f64..3.2,
-            n_ctrl in 1usize..4,
-        ) {
+    /// The generic multi-controlled lowering is exact for random 2x2
+    /// unitaries built as U1 * RY * U1 products.
+    #[test]
+    fn controlled_unitary_exact_for_random_unitaries() {
+        for seed in 0..CASES {
+            let mut rng = SvRng::seed_from_u64(0xDEC0_0002 ^ seed);
+            let alpha = rng.range_f64(-3.2, 3.2);
+            let beta = rng.range_f64(-3.2, 3.2);
+            let gamma = rng.range_f64(-3.2, 3.2);
+            let n_ctrl = rng.range_usize(1, 4);
             let u = crate::matrices::u1(alpha)
                 .matmul(&crate::matrices::ry(beta))
                 .matmul(&crate::matrices::u1(gamma));
@@ -519,18 +507,20 @@ mod proptests {
             controlled_unitary(&mut gs, &u, &controls, n_ctrl as u32);
             let got = gates_unitary(&gs, n_ctrl as u32 + 1);
             let expect = crate::matrices::multi_controlled(&u, n_ctrl);
-            prop_assert!(
+            assert!(
                 got.approx_eq(&expect, 1e-9),
                 "diff {}",
                 got.max_diff(&expect)
             );
         }
+    }
 
-        /// Inverting a gate then composing cancels exactly.
-        #[test]
-        fn inverse_cancels(seed in 0u64..100_000, angle in -6.0f64..6.0) {
-            use svsim_types::SvRng;
-            let mut rng = SvRng::seed_from_u64(seed);
+    /// Inverting a gate then composing cancels exactly.
+    #[test]
+    fn inverse_cancels() {
+        for seed in 0..CASES {
+            let mut rng = SvRng::seed_from_u64(0xDEC0_0003 ^ seed);
+            let angle = rng.range_f64(-6.0, 6.0);
             let invertible: Vec<GateKind> = GateKind::ALL
                 .iter()
                 .copied()
@@ -549,17 +539,13 @@ mod proptests {
             let mut c = crate::Circuit::new(n);
             c.push_gate(g).unwrap();
             let inv = c.inverse().unwrap();
-            let gates: Vec<Gate> =
-                c.gates().chain(inv.gates()).copied().collect();
+            let gates: Vec<Gate> = c.gates().chain(inv.gates()).copied().collect();
             let got = gates_unitary(&gates, n);
-            prop_assert!(
+            assert!(
                 got.approx_eq(&Mat::identity(1 << n), 1e-9),
                 "{kind} inverse failed: diff {}",
                 got.max_diff(&Mat::identity(1 << n))
             );
         }
     }
-
-    use crate::gate::{Gate, GateKind};
-    use crate::linalg::Mat;
 }

@@ -336,7 +336,9 @@ impl Gate {
         }
         for (i, &q) in qubits.iter().enumerate() {
             if qubits[..i].contains(&q) {
-                return Err(SvError::DuplicateQubit { qubit: u64::from(q) });
+                return Err(SvError::DuplicateQubit {
+                    qubit: u64::from(q),
+                });
             }
         }
         let mut qs = [0u32; MAX_GATE_QUBITS];
@@ -504,7 +506,9 @@ mod tests {
 
     #[test]
     fn map_qubits_offsets() {
-        let g = Gate::new(GateKind::CX, &[0, 1], &[]).unwrap().map_qubits(|q| q + 5);
+        let g = Gate::new(GateKind::CX, &[0, 1], &[])
+            .unwrap()
+            .map_qubits(|q| q + 5);
         assert_eq!(g.qubits(), &[5, 6]);
     }
 }

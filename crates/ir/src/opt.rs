@@ -88,12 +88,11 @@ pub fn optimize(circuit: &Circuit) -> (Circuit, OptStats) {
     // Pending unitary gates in the current fence-free region.
     let mut pending: Vec<Gate> = Vec::new();
 
-    let flush =
-        |pending: &mut Vec<Gate>, out: &mut Circuit| {
-            for g in pending.drain(..) {
-                out.push_gate(g).expect("validated upstream");
-            }
-        };
+    let flush = |pending: &mut Vec<Gate>, out: &mut Circuit| {
+        for g in pending.drain(..) {
+            out.push_gate(g).expect("validated upstream");
+        }
+    };
 
     let push_gate = |pending: &mut Vec<Gate>, g: Gate, stats: &mut OptStats| {
         if is_identity_gate(&g) {
@@ -116,7 +115,9 @@ pub fn optimize(circuit: &Circuit) -> (Circuit, OptStats) {
                 return;
             }
             // Fuse only exact same-qubit 1q pairs.
-            if prev.kind().n_qubits() == 1 && g.kind().n_qubits() == 1 && prev.qubits() == g.qubits()
+            if prev.kind().n_qubits() == 1
+                && g.kind().n_qubits() == 1
+                && prev.qubits() == g.qubits()
             {
                 let fused = fuse_1q(prev, &g);
                 stats.fused += 1;

@@ -67,7 +67,9 @@ impl PauliString {
                 continue;
             }
             if kept.iter().any(|&(_, q2)| q2 == q) {
-                return Err(svsim_types::SvError::DuplicateQubit { qubit: u64::from(q) });
+                return Err(svsim_types::SvError::DuplicateQubit {
+                    qubit: u64::from(q),
+                });
             }
             kept.push((p, q));
         }
@@ -211,7 +213,11 @@ pub fn exp_pauli_matrix(theta: f64, string: &PauliString, n_qubits: u32) -> Mat 
     let mut m = Mat::zeros(dim);
     for i in 0..dim {
         for j in 0..dim {
-            let id = if i == j { Complex64::ONE } else { Complex64::ZERO };
+            let id = if i == j {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            };
             m[(i, j)] = c * id + s * p[(i, j)];
         }
     }
@@ -229,10 +235,7 @@ mod tests {
     fn parse_and_weight() {
         let s = PauliString::parse("XIYZ").unwrap();
         assert_eq!(s.weight(), 3);
-        assert_eq!(
-            s.factors(),
-            &[(Pauli::X, 0), (Pauli::Y, 2), (Pauli::Z, 3)]
-        );
+        assert_eq!(s.factors(), &[(Pauli::X, 0), (Pauli::Y, 2), (Pauli::Z, 3)]);
         assert!(PauliString::parse("II").unwrap().is_identity());
         assert!(PauliString::parse("XQ").is_err());
     }
@@ -257,7 +260,11 @@ mod tests {
 
     #[test]
     fn exp_single_paulis_match_rotations() {
-        for (label, kind) in [("X", GateKind::RX), ("Y", GateKind::RY), ("Z", GateKind::RZ)] {
+        for (label, kind) in [
+            ("X", GateKind::RX),
+            ("Y", GateKind::RY),
+            ("Z", GateKind::RZ),
+        ] {
             let s = PauliString::parse(label).unwrap();
             let gates = exp_pauli_gates(0.83, &s);
             let got = gates_unitary(&gates, 1);
@@ -300,7 +307,7 @@ mod tests {
         let mut c = Circuit::new(4);
         let s = PauliString::parse("XIYZ").unwrap();
         append_exp_pauli(&mut c, 0.5, &s).unwrap();
-        assert!(c.len() > 0);
+        assert!(!c.is_empty());
         // Identity string appends nothing.
         let before = c.len();
         append_exp_pauli(&mut c, 0.5, &PauliString::parse("IIII").unwrap()).unwrap();

@@ -209,7 +209,8 @@ impl QirBuilder {
             Pauli::Y => self.generic_controlled(&matrices::ry(theta), controls, q),
             Pauli::Z => {
                 if controls.len() == 1 {
-                    self.circuit.apply(GateKind::CRZ, &[controls[0], q], &[theta])
+                    self.circuit
+                        .apply(GateKind::CRZ, &[controls[0], q], &[theta])
                 } else {
                     self.generic_controlled(&matrices::rz(theta), controls, q)
                 }
@@ -237,7 +238,9 @@ impl QirBuilder {
         }
         for &(_, q) in s.factors() {
             if controls.contains(&q) {
-                return Err(SvError::DuplicateQubit { qubit: u64::from(q) });
+                return Err(SvError::DuplicateQubit {
+                    qubit: u64::from(q),
+                });
             }
         }
         // Basis change is uncontrolled; only the RZ in the parity ladder is
@@ -334,10 +337,7 @@ mod tests {
                 let controls: Vec<u32> = (0..n_ctrl).collect();
                 f(&mut b, &controls, n_ctrl).unwrap();
                 let got = unitary_of(b, n_ctrl + 1);
-                let expect = multi_controlled(
-                    &matrices::single_qubit(kind, &[]),
-                    n_ctrl as usize,
-                );
+                let expect = multi_controlled(&matrices::single_qubit(kind, &[]), n_ctrl as usize);
                 assert!(
                     got.approx_eq(&expect, EPS),
                     "{kind} with {n_ctrl} controls: diff {}",
@@ -354,9 +354,15 @@ mod tests {
                 std::f64::consts::FRAC_PI_2,
                 QirBuilder::controlled_s as fn(&mut QirBuilder, &[u32], u32) -> SvResult<()>,
             ),
-            (-std::f64::consts::FRAC_PI_2, QirBuilder::controlled_adjoint_s),
+            (
+                -std::f64::consts::FRAC_PI_2,
+                QirBuilder::controlled_adjoint_s,
+            ),
             (std::f64::consts::FRAC_PI_4, QirBuilder::controlled_t),
-            (-std::f64::consts::FRAC_PI_4, QirBuilder::controlled_adjoint_t),
+            (
+                -std::f64::consts::FRAC_PI_4,
+                QirBuilder::controlled_adjoint_t,
+            ),
         ] {
             let mut b = QirBuilder::new(3);
             f(&mut b, &[0, 1], 2).unwrap();
@@ -407,9 +413,7 @@ mod tests {
     #[test]
     fn controlled_exp_rejects_overlap() {
         let mut b = QirBuilder::new(3);
-        assert!(b
-            .controlled_exp(&[(Pauli::X, 0)], 0.2, &[0, 1])
-            .is_err());
+        assert!(b.controlled_exp(&[(Pauli::X, 0)], 0.2, &[0, 1]).is_err());
     }
 
     #[test]

@@ -45,7 +45,11 @@ pub fn compile_for_estimate(circuit: &Circuit) -> Vec<CompiledGate> {
 
 /// Single-device latency (Fig. 6).
 #[must_use]
-pub fn single_device(dev: &DeviceSpec, compiled: &[CompiledGate], n_qubits: u32) -> LatencyBreakdown {
+pub fn single_device(
+    dev: &DeviceSpec,
+    compiled: &[CompiledGate],
+    n_qubits: u32,
+) -> LatencyBreakdown {
     let state_bytes = 16.0 * (1u64 << n_qubits) as f64;
     let in_cache = state_bytes < dev.cache_mib * 1024.0 * 1024.0 && dev.cache_mib > 0.0;
     let bw = if in_cache {
@@ -97,10 +101,8 @@ pub fn scale_up(
         // Remote traffic shares the fabric; fine-grained messages pipeline
         // with per-message gap paid by the issuing worker.
         let msgs_per_worker = t.remote_amp_ops as f64 / w;
-        out.comm_s +=
-            t.remote_bytes as f64 / fabric_bw + msgs_per_worker * ic.msg_gap_us * 1e-6;
-        out.sync_s +=
-            (dev.gate_overhead_us + dev.dispatch_penalty_us) * 1e-6 + barrier_s;
+        out.comm_s += t.remote_bytes as f64 / fabric_bw + msgs_per_worker * ic.msg_gap_us * 1e-6;
+        out.sync_s += (dev.gate_overhead_us + dev.dispatch_penalty_us) * 1e-6 + barrier_s;
     }
     out
 }
@@ -138,9 +140,8 @@ pub fn scale_out(
         out.compute_s += (local_bytes / bw).max(total.flops as f64 / flops_rate / w);
         let intra_bytes = total.remote_bytes.saturating_sub(inter) as f64;
         let msgs_per_pe = total.remote_amp_ops as f64 / w;
-        out.comm_s += intra_bytes / intra_bw
-            + inter as f64 / inter_bw
-            + msgs_per_pe * ic.msg_gap_us * 1e-6;
+        out.comm_s +=
+            intra_bytes / intra_bw + inter as f64 / inter_bw + msgs_per_pe * ic.msg_gap_us * 1e-6;
         out.sync_s += (dev.gate_overhead_us + dev.dispatch_penalty_us) * 1e-6 + barrier_s;
     }
     out
@@ -287,11 +288,7 @@ mod tests {
                 )
             })
             .collect();
-        let best = times
-            .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap()
-            .0;
+        let best = times.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
         assert!(
             (8..=64).contains(&best),
             "sweet spot at {best} cores, expected mid-spectrum; times: {times:?}"
@@ -328,11 +325,7 @@ mod tests {
                 )
             })
             .collect();
-        let best = times
-            .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap()
-            .0;
+        let best = times.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
         assert!(
             best <= 8,
             "KNL optimum should be at few cores, got {best}; {times:?}"
@@ -365,11 +358,7 @@ mod tests {
                     spec.name
                 );
             } else {
-                assert!(
-                    t(16) < t(1),
-                    "{}: 16 GPUs must beat 1 at n>=13",
-                    spec.name
-                );
+                assert!(t(16) < t(1), "{}: 16 GPUs must beat 1 at n>=13", spec.name);
             }
         }
         // Aggregate speedup at 16 GPUs over the suite, in the strong-scaling

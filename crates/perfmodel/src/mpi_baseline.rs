@@ -154,14 +154,7 @@ mod tests {
         let shallow = compile_for_estimate(&svsim_workloads::algos::ghz(14).unwrap());
         let deep = compile_for_estimate(&svsim_workloads::algos::qft(14).unwrap());
         let ratio = |compiled: &[CompiledGate]| {
-            let shmem = scale_up(
-                &devices::V100,
-                &interconnects::NVSWITCH,
-                compiled,
-                14,
-                8,
-            )
-            .total();
+            let shmem = scale_up(&devices::V100, &interconnects::NVSWITCH, compiled, 14, 8).total();
             let mpi =
                 mpi_latency(&devices::V100, &interconnects::NVSWITCH, compiled, 14, 8).total();
             mpi / shmem
@@ -183,13 +176,7 @@ mod tests {
             14,
             8,
         );
-        let gpu_mpi = mpi_latency(
-            &devices::V100,
-            &interconnects::NVSWITCH,
-            &compiled,
-            14,
-            8,
-        );
+        let gpu_mpi = mpi_latency(&devices::V100, &interconnects::NVSWITCH, &compiled, 14, 8);
         // GPU pipeline pays relaunch costs in sync_s.
         assert!(gpu_mpi.sync_s > cpu_mpi.sync_s);
     }

@@ -360,16 +360,14 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // guards the calibration constants
     fn avx512_doubles_effective_bandwidth() {
-        assert!(
-            devices::INTEL_P8276_AVX512.mem_bw_gbps / devices::INTEL_P8276.mem_bw_gbps >= 1.8
-        );
-        assert!(
-            devices::PHI_7230_AVX512.mem_bw_gbps / devices::PHI_7230.mem_bw_gbps >= 1.8
-        );
+        assert!(devices::INTEL_P8276_AVX512.mem_bw_gbps / devices::INTEL_P8276.mem_bw_gbps >= 1.8);
+        assert!(devices::PHI_7230_AVX512.mem_bw_gbps / devices::PHI_7230.mem_bw_gbps >= 1.8);
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // guards the calibration constants
     fn mi100_pays_dispatch_penalty() {
         assert!(devices::MI100.dispatch_penalty_us > 5.0);
         assert_eq!(devices::V100.dispatch_penalty_us, 0.0);

@@ -232,10 +232,7 @@ mod tests {
     #[test]
     fn expr_bindings_and_unbound() {
         let e = Expr::Neg(Box::new(Expr::Ident("theta".into())));
-        assert_eq!(
-            e.eval(&|n| (n == "theta").then_some(0.5)).unwrap(),
-            -0.5
-        );
+        assert_eq!(e.eval(&|n| (n == "theta").then_some(0.5)).unwrap(), -0.5);
         assert!(e.eval(&|_| None).is_err());
     }
 

@@ -171,9 +171,9 @@ impl Elaborator {
                             msg: "indexed arguments are not allowed inside gate bodies".into(),
                         })
                     } else {
-                        qmap.get(a.name.as_str()).copied().ok_or_else(|| {
-                            SvError::Undefined(format!("gate argument {}", a.name))
-                        })
+                        qmap.get(a.name.as_str())
+                            .copied()
+                            .ok_or_else(|| SvError::Undefined(format!("gate argument {}", a.name)))
                     }
                 })
                 .collect::<SvResult<_>>()?;
@@ -296,7 +296,17 @@ pub fn elaborate(program: &Program) -> SvResult<Circuit> {
             Statement::QReg { name, size } => {
                 let base = el.n_qubits;
                 el.n_qubits += *size as u32;
-                if el.qregs.insert(name.clone(), Reg { base, size: *size as u32 }).is_some() {
+                if el
+                    .qregs
+                    .insert(
+                        name.clone(),
+                        Reg {
+                            base,
+                            size: *size as u32,
+                        },
+                    )
+                    .is_some()
+                {
                     return Err(SvError::InvalidConfig(format!(
                         "quantum register {name} redeclared"
                     )));
@@ -305,7 +315,17 @@ pub fn elaborate(program: &Program) -> SvResult<Circuit> {
             Statement::CReg { name, size } => {
                 let base = el.n_cbits;
                 el.n_cbits += *size as u32;
-                if el.cregs.insert(name.clone(), Reg { base, size: *size as u32 }).is_some() {
+                if el
+                    .cregs
+                    .insert(
+                        name.clone(),
+                        Reg {
+                            base,
+                            size: *size as u32,
+                        },
+                    )
+                    .is_some()
+                {
                     return Err(SvError::InvalidConfig(format!(
                         "classical register {name} redeclared"
                     )));
@@ -364,10 +384,7 @@ mod tests {
 
     #[test]
     fn multiple_registers_are_packed() {
-        let c = parse_circuit(&format!(
-            "{HEADER}qreg a[2];\nqreg b[3];\nx b[0];"
-        ))
-        .unwrap();
+        let c = parse_circuit(&format!("{HEADER}qreg a[2];\nqreg b[3];\nx b[0];")).unwrap();
         assert_eq!(c.n_qubits(), 5);
         // b[0] is global qubit 2.
         match &c.ops()[0] {
@@ -399,10 +416,7 @@ mod tests {
 
     #[test]
     fn broadcast_width_mismatch_rejected() {
-        assert!(parse_circuit(&format!(
-            "{HEADER}qreg q[2];\nqreg r[3];\ncx q, r;"
-        ))
-        .is_err());
+        assert!(parse_circuit(&format!("{HEADER}qreg q[2];\nqreg r[3];\ncx q, r;")).is_err());
     }
 
     #[test]
@@ -450,9 +464,8 @@ mod tests {
 
     #[test]
     fn conditionals() {
-        let src = format!(
-            "{HEADER}qreg q[2];\ncreg c[2];\nmeasure q[0] -> c[0];\nif (c == 1) x q[1];"
-        );
+        let src =
+            format!("{HEADER}qreg q[2];\ncreg c[2];\nmeasure q[0] -> c[0];\nif (c == 1) x q[1];");
         let c = parse_circuit(&src).unwrap();
         match &c.ops()[1] {
             Op::IfEq {

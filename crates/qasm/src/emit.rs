@@ -114,9 +114,7 @@ mod tests {
         let mut c = Circuit::new(5);
         for kind in GateKind::ALL {
             let qubits: Vec<u32> = (0..kind.n_qubits() as u32).collect();
-            let params: Vec<f64> = (0..kind.n_params())
-                .map(|i| 0.1 + i as f64 * 0.3)
-                .collect();
+            let params: Vec<f64> = (0..kind.n_params()).map(|i| 0.1 + i as f64 * 0.3).collect();
             c.apply(kind, &qubits, &params).unwrap();
         }
         assert_eq!(roundtrip(&c), c);

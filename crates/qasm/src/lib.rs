@@ -12,7 +12,7 @@ pub mod emit;
 pub mod lexer;
 pub mod parser;
 
-pub use elaborate::parse_circuit;
 pub use elaborate::elaborate as elaborate_program;
+pub use elaborate::parse_circuit;
 pub use emit::to_qasm;
 pub use parser::parse;

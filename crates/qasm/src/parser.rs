@@ -189,14 +189,12 @@ impl Parser {
 
     fn gate_call(&mut self, name: String, line: usize) -> SvResult<GateCall> {
         let mut params = Vec::new();
-        if self.eat(&TokenKind::LParen) {
-            if !self.eat(&TokenKind::RParen) {
+        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+            params.push(self.expr()?);
+            while self.eat(&TokenKind::Comma) {
                 params.push(self.expr()?);
-                while self.eat(&TokenKind::Comma) {
-                    params.push(self.expr()?);
-                }
-                self.expect(&TokenKind::RParen)?;
             }
+            self.expect(&TokenKind::RParen)?;
         }
         let args = self.argument_list()?;
         self.expect(&TokenKind::Semicolon)?;
@@ -231,14 +229,12 @@ impl Parser {
     fn gate_def(&mut self) -> SvResult<GateDef> {
         let name = self.expect_ident()?;
         let mut params = Vec::new();
-        if self.eat(&TokenKind::LParen) {
-            if !self.eat(&TokenKind::RParen) {
+        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+            params.push(self.expect_ident()?);
+            while self.eat(&TokenKind::Comma) {
                 params.push(self.expect_ident()?);
-                while self.eat(&TokenKind::Comma) {
-                    params.push(self.expect_ident()?);
-                }
-                self.expect(&TokenKind::RParen)?;
             }
+            self.expect(&TokenKind::RParen)?;
         }
         let mut qargs = vec![self.expect_ident()?];
         while self.eat(&TokenKind::Comma) {

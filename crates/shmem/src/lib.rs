@@ -24,13 +24,13 @@
 pub mod barrier;
 pub mod checked;
 pub mod metrics;
-pub mod signal;
 pub mod shared;
+pub mod signal;
 pub mod world;
 
 pub use barrier::{BarrierToken, SenseBarrier};
+pub use checked::{malloc_checked, CheckedSym};
 pub use metrics::{MetricsTable, PeCounters, TrafficSnapshot};
 pub use shared::{SharedF64Vec, SharedU64Vec};
-pub use checked::{malloc_checked, CheckedSym};
 pub use signal::{signal, signal_add, wait_until, WaitCmp};
 pub use world::{launch, JobOutput, ShmemCtx, SymF64, SymU64};

@@ -6,8 +6,38 @@
 //! `svsim-perfmodel`: the functional run *measures* the message counts and
 //! volumes; the model prices them for a given fabric.
 
-use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Pads and aligns a value to 128 bytes so adjacent per-PE counter blocks
+/// never share a cache line (the `crossbeam` `CachePadded` idea, inlined
+/// here to keep the workspace dependency-free). 128 covers the spatial
+/// prefetcher pairing on x86 and the 128-byte lines on POWER/apple-silicon.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in its own cache line.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
 
 /// Mutable per-PE counters (cache-padded to avoid false sharing between PEs).
 #[derive(Debug, Default)]
@@ -147,7 +177,9 @@ impl MetricsTable {
     #[must_use]
     pub fn new(n_pes: usize) -> Self {
         Self {
-            per_pe: (0..n_pes).map(|_| CachePadded::new(PeCounters::default())).collect(),
+            per_pe: (0..n_pes)
+                .map(|_| CachePadded::new(PeCounters::default()))
+                .collect(),
         }
     }
 

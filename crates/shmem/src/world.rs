@@ -9,9 +9,8 @@
 use crate::barrier::{BarrierToken, SenseBarrier};
 use crate::metrics::{MetricsTable, PeCounters, TrafficSnapshot};
 use crate::shared::{SharedF64Vec, SharedU64Vec};
-use parking_lot::Mutex;
 use std::cell::Cell;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use svsim_types::{SvError, SvResult};
 
 /// Handle to a symmetric `f64` array: every PE owns `len_per_pe` words and
@@ -159,10 +158,10 @@ impl<'w> ShmemCtx<'w> {
                 ),
                 len_per_pe,
             };
-            self.world.heap_f64.lock().push(handle);
+            self.world.heap_f64.lock().expect("heap lock").push(handle);
         }
         self.barrier_all();
-        let handle = self.world.heap_f64.lock()[seq].clone();
+        let handle = self.world.heap_f64.lock().expect("heap lock")[seq].clone();
         assert_eq!(
             handle.len_per_pe, len_per_pe,
             "PE {} called malloc_f64 with a mismatched size (collective call order violated)",
@@ -184,11 +183,14 @@ impl<'w> ShmemCtx<'w> {
                 ),
                 len_per_pe,
             };
-            self.world.heap_u64.lock().push(handle);
+            self.world.heap_u64.lock().expect("heap lock").push(handle);
         }
         self.barrier_all();
-        let handle = self.world.heap_u64.lock()[seq].clone();
-        assert_eq!(handle.len_per_pe, len_per_pe, "collective call order violated");
+        let handle = self.world.heap_u64.lock().expect("heap lock")[seq].clone();
+        assert_eq!(
+            handle.len_per_pe, len_per_pe,
+            "collective call order violated"
+        );
         handle
     }
 
@@ -508,11 +510,7 @@ mod tests {
             ctx.put_f64(&b, ctx.my_pe(), 2, 2.0);
             ctx.atomic_fetch_add_u64(&f, 0, 0, 1);
             ctx.barrier_all();
-            (
-                a.len_per_pe(),
-                b.len_per_pe(),
-                ctx.get_u64(&f, 0, 0),
-            )
+            (a.len_per_pe(), b.len_per_pe(), ctx.get_u64(&f, 0, 0))
         })
         .unwrap();
         assert_eq!(out.results[0], (2, 3, 2));

@@ -116,7 +116,7 @@ pub fn ceil_log2(x: u64) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::SvRng;
 
     /// Reference implementation of Eq. 1 exactly as printed in the paper.
     fn pair_base_reference(i: u64, q: u32) -> u64 {
@@ -210,28 +210,60 @@ mod tests {
         assert_eq!(x.count_ones(), 2);
     }
 
-    proptest! {
-        #[test]
-        fn pair_base_matches_reference(i in 0u64..(1 << 20), q in 0u32..40) {
-            prop_assert_eq!(pair_base_1q(i, q), pair_base_reference(i, q));
-        }
+    // Randomized property checks over a fixed seeded stream (the offline
+    // stand-in for the original proptest cases).
 
-        #[test]
-        fn quad_base_matches_reference(i in 0u64..(1 << 20), p in 0u32..20, d in 1u32..20) {
-            let q = p + d;
-            prop_assert_eq!(quad_base_2q(i, p, q), quad_base_reference(i, p, q));
+    #[test]
+    fn pair_base_matches_reference() {
+        let mut rng = SvRng::seed_from_u64(0xB175_0001);
+        for _ in 0..2000 {
+            let i = rng.next_below(1 << 20);
+            let q = rng.range_usize(0, 40) as u32;
+            assert_eq!(pair_base_1q(i, q), pair_base_reference(i, q), "i={i} q={q}");
         }
+    }
 
-        #[test]
-        fn insert_zero_is_monotone(a in 0u64..(1<<30), b in 0u64..(1<<30), pos in 0u32..30) {
-            // Order-preserving: a < b implies insert(a) < insert(b).
-            prop_assume!(a < b);
-            prop_assert!(insert_zero_bit(a, pos) < insert_zero_bit(b, pos));
+    #[test]
+    fn quad_base_matches_reference() {
+        let mut rng = SvRng::seed_from_u64(0xB175_0002);
+        for _ in 0..2000 {
+            let i = rng.next_below(1 << 20);
+            let p = rng.range_usize(0, 20) as u32;
+            let q = p + rng.range_usize(1, 20) as u32;
+            assert_eq!(
+                quad_base_2q(i, p, q),
+                quad_base_reference(i, p, q),
+                "i={i} p={p} q={q}"
+            );
         }
+    }
 
-        #[test]
-        fn flip_is_involution(x in any::<u64>(), q in 0u32..63) {
-            prop_assert_eq!(flip_bit(flip_bit(x, q), q), x);
+    #[test]
+    fn insert_zero_is_monotone() {
+        // Order-preserving: a < b implies insert(a) < insert(b).
+        let mut rng = SvRng::seed_from_u64(0xB175_0003);
+        for _ in 0..2000 {
+            let a = rng.next_below(1 << 30);
+            let b = rng.next_below(1 << 30);
+            let pos = rng.range_usize(0, 30) as u32;
+            if a == b {
+                continue;
+            }
+            let (lo, hi) = (a.min(b), a.max(b));
+            assert!(
+                insert_zero_bit(lo, pos) < insert_zero_bit(hi, pos),
+                "a={lo} b={hi} pos={pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        let mut rng = SvRng::seed_from_u64(0xB175_0004);
+        for _ in 0..2000 {
+            let x = rng.next_u64();
+            let q = rng.range_usize(0, 63) as u32;
+            assert_eq!(flip_bit(flip_bit(x, q), q), x, "x={x} q={q}");
         }
     }
 }

@@ -130,6 +130,7 @@ impl Mul for Complex64 {
 
 impl Div for Complex64 {
     type Output = Self;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division as multiply-by-inverse
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }

@@ -50,7 +50,10 @@ impl fmt::Display for SvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::QubitOutOfRange { qubit, n_qubits } => {
-                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit register")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {n_qubits}-qubit register"
+                )
             }
             Self::DuplicateQubit { qubit } => {
                 write!(f, "gate applied to duplicate qubit {qubit}")

@@ -6,6 +6,7 @@ pub mod hamiltonian;
 pub mod optimizer;
 pub mod qaoa;
 pub mod qnn;
+pub mod templates;
 pub mod vqe;
 
 pub use gradient::{gradient_descent, parameter_shift_gradient, GdResult};
@@ -13,4 +14,5 @@ pub use hamiltonian::{h2_sto3g, Hamiltonian, PauliTerm};
 pub use optimizer::{nelder_mead, spsa, OptResult};
 pub use qaoa::{QaoaMaxCut, QaoaResult};
 pub use qnn::{synthetic_grid_cases, Case, QnnModel};
+pub use templates::{qaoa_params, qaoa_template, qnn_params, qnn_template};
 pub use vqe::{h2_vqe, Vqe, VqeResult};

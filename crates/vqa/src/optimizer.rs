@@ -194,9 +194,7 @@ mod tests {
 
     #[test]
     fn nelder_mead_rosenbrock() {
-        let mut f = |x: &[f64]| {
-            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
-        };
+        let mut f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let r = nelder_mead(&mut f, &[-1.0, 1.0], 0.5, 2000);
         assert!(r.value < 1e-6, "rosenbrock value {}", r.value);
     }

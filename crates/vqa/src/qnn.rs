@@ -37,8 +37,7 @@ pub fn synthetic_grid_cases(n: usize, seed: u64) -> Vec<Case> {
             ];
             // Planted rule: violation when load outstrips generation with
             // a reactive-power interaction, plus label noise.
-            let margin =
-                0.9 * f[2] + 0.6 * f[3] + 0.35 * f[1] * f[2] - 0.8 * f[0] - 0.45 * f[1];
+            let margin = 0.9 * f[2] + 0.6 * f[3] + 0.35 * f[1] * f[2] - 0.8 * f[0] - 0.45 * f[1];
             let noisy = margin + 0.05 * rng.next_gaussian();
             Case {
                 features: f,
@@ -115,7 +114,9 @@ impl QnnModel {
         cases
             .iter()
             .map(|c| {
-                let p = self.predict_with(weights, &c.features).clamp(eps, 1.0 - eps);
+                let p = self
+                    .predict_with(weights, &c.features)
+                    .clamp(eps, 1.0 - eps);
                 if c.violation {
                     -p.ln()
                 } else {
@@ -209,6 +210,9 @@ mod tests {
             final_acc > initial - 0.05,
             "training should not regress: {acc:?}"
         );
-        assert!(model.circuit_evals.get() > 1000, "every trial synthesizes circuits");
+        assert!(
+            model.circuit_evals.get() > 1000,
+            "every trial synthesizes circuits"
+        );
     }
 }

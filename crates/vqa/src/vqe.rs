@@ -40,11 +40,7 @@ impl Vqe {
     ///
     /// # Errors
     /// Width mismatch.
-    pub fn new(
-        hamiltonian: Hamiltonian,
-        ansatz: UccsdAnsatz,
-        config: SimConfig,
-    ) -> SvResult<Self> {
+    pub fn new(hamiltonian: Hamiltonian, ansatz: UccsdAnsatz, config: SimConfig) -> SvResult<Self> {
         if hamiltonian.n_qubits() != ansatz.n_qubits() {
             return Err(SvError::InvalidConfig(format!(
                 "hamiltonian on {} qubits, ansatz on {}",
@@ -68,8 +64,7 @@ impl Vqe {
     pub fn energy(&self, params: &[f64]) -> f64 {
         self.circuit_evals.set(self.circuit_evals.get() + 1);
         let circuit = self.ansatz.build(params).expect("validated arity");
-        let mut sim =
-            Simulator::new(self.ansatz.n_qubits(), self.config).expect("validated width");
+        let mut sim = Simulator::new(self.ansatz.n_qubits(), self.config).expect("validated width");
         sim.run(&circuit).expect("unitary ansatz");
         self.hamiltonian.expectation(&sim)
     }

@@ -385,7 +385,7 @@ mod factor_tests {
         let mut sim = Simulator::new(11, SimConfig::single_device().with_seed(21)).unwrap();
         let hist = sim.run_shots(&c, 24).unwrap();
         let mut factored = false;
-        for (&k, _) in &hist {
+        for &k in hist.keys() {
             if let Some(r) = order_from_phase(k, 10, 20) {
                 // The prepared eigenstate has phase 1/6; accept any r that
                 // divides into a working factor pair (r = 6 or a multiple

@@ -217,11 +217,9 @@ mod tests {
     use svsim_core::{measure, SimConfig, Simulator};
 
     fn satisfying(_n_vars: u32, clauses: &[Clause], x: u64) -> bool {
-        clauses.iter().all(|clause| {
-            clause
-                .iter()
-                .any(|&(v, neg)| ((x >> v) & 1 == 1) != neg)
-        })
+        clauses
+            .iter()
+            .all(|clause| clause.iter().any(|&(v, neg)| ((x >> v) & 1 == 1) != neg))
     }
 
     #[test]
@@ -242,7 +240,7 @@ mod tests {
         sim.run(&unmeasured).unwrap();
         let probs = sim.probabilities();
         // Marginal over the variable register.
-        let mut marg = vec![0.0; 8];
+        let mut marg = [0.0; 8];
         for (idx, p) in probs.iter().enumerate() {
             marg[idx & 7] += p;
         }

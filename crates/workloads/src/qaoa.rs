@@ -44,22 +44,14 @@ impl Graph {
                 }
             }
         }
-        Self {
-            n_vertices,
-            edges,
-        }
+        Self { n_vertices, edges }
     }
 
     /// A cycle graph (ring) — MaxCut is `n` for even `n`.
     #[must_use]
     pub fn cycle(n_vertices: u32) -> Self {
-        let edges: Vec<(u32, u32)> = (0..n_vertices)
-            .map(|v| (v, (v + 1) % n_vertices))
-            .collect();
-        Self {
-            n_vertices,
-            edges,
-        }
+        let edges: Vec<(u32, u32)> = (0..n_vertices).map(|v| (v, (v + 1) % n_vertices)).collect();
+        Self { n_vertices, edges }
     }
 
     /// Vertex count.

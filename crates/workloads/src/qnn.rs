@@ -119,9 +119,7 @@ mod tests {
         assert_eq!(qnn_n_weights(4, 2), 26);
 
         let mut ones = zeros;
-        for w in &mut ones {
-            *w = 1.0;
-        }
+        ones.fill(1.0);
         let c1 = qnn_classifier(&features, &ones, 2).unwrap();
         let mut unmeasured = Circuit::new(5);
         for op in c1.ops() {

@@ -29,7 +29,13 @@ pub fn w_state(n: u32) -> SvResult<Circuit> {
 ///
 /// # Errors
 /// Width errors.
-pub fn ising_trotter(n: u32, j_coupling: f64, h_field: f64, t: f64, steps: u32) -> SvResult<Circuit> {
+pub fn ising_trotter(
+    n: u32,
+    j_coupling: f64,
+    h_field: f64,
+    t: f64,
+    steps: u32,
+) -> SvResult<Circuit> {
     assert!(n >= 2 && steps >= 1);
     let dt = t / f64::from(steps);
     let mut c = Circuit::new(n);

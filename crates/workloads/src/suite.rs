@@ -80,7 +80,7 @@ fn square_root_n18() -> SvResult<Circuit> {
     crate::grover::square_root_n18()
 }
 fn bv_n19() -> SvResult<Circuit> {
-    crate::algos::bv(19, 0b10_1101_1001_0110_11)
+    crate::algos::bv(19, 0b1011_0110_0101_1011)
 }
 fn qft_n20() -> SvResult<Circuit> {
     crate::algos::qft(20)
@@ -257,7 +257,9 @@ mod tests {
     #[test]
     fn all_workloads_build() {
         for spec in medium_suite().into_iter().chain(large_suite()) {
-            let c = spec.circuit().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let c = spec
+                .circuit()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             assert!(c.stats().gates > 0, "{}", spec.name);
         }
     }

@@ -133,13 +133,7 @@ fn single_terms(i: u32, a: u32, theta: f64) -> SvResult<Vec<(PauliString, f64)>>
 
 /// The eight Pauli exponentials of a double excitation
 /// `exp(theta (a†_a a†_b a_i a_j - h.c.))` for `i < j < a < b`.
-fn double_terms(
-    i: u32,
-    j: u32,
-    a: u32,
-    b: u32,
-    theta: f64,
-) -> SvResult<Vec<(PauliString, f64)>> {
+fn double_terms(i: u32, j: u32, a: u32, b: u32, theta: f64) -> SvResult<Vec<(PauliString, f64)>> {
     debug_assert!(i < j && j < a && a < b);
     // (y_a, y_b, y_i, y_j) selections with odd total Y count; the sign of
     // the rotation follows i^{y_i + y_j - y_a - y_b} (see crate docs):

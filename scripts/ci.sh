@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full CI gate: tier-1 verify (ROADMAP.md) + formatting + lints.
+# Everything runs offline against the vendored-free, zero-dependency workspace.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: test suite (workspace) =="
+cargo test --workspace -q
+
+echo "== rustfmt =="
+cargo fmt --all --check
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all gates passed"

@@ -16,6 +16,7 @@
 //! | [`workloads`] | `svsim-workloads` | QASMBench-style circuits (Table 4), UCCSD, QNN |
 //! | [`baselines`] | `svsim-baselines` | Aer/qsim/Q#-style comparison simulators (Fig. 14) |
 //! | [`vqa`] | `svsim-vqa` | VQE and QNN training loops (Figs. 16-17, §5) |
+//! | [`engine`] | `svsim-engine` | persistent job-scheduling + batching service layer |
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,7 @@
 
 pub use svsim_baselines as baselines;
 pub use svsim_core as core;
+pub use svsim_engine as engine;
 pub use svsim_ir as ir;
 pub use svsim_perfmodel as perfmodel;
 pub use svsim_qasm as qasm;
