@@ -10,7 +10,7 @@ fn benches(c: &mut Criterion) {
     group.bench_function("fine_grained_put_get_64k", |b| {
         b.iter(|| {
             let out = launch(2, |ctx| {
-                let sym = ctx.malloc_f64(65536);
+                let sym = ctx.malloc_f64(65536).expect("alloc");
                 let peer = 1 - ctx.my_pe();
                 for i in 0..65536usize {
                     ctx.put_f64(&sym, peer, i, i as f64);
@@ -29,7 +29,7 @@ fn benches(c: &mut Criterion) {
     group.bench_function("coarse_slice_put_get_64k", |b| {
         b.iter(|| {
             let out = launch(2, |ctx| {
-                let sym = ctx.malloc_f64(65536);
+                let sym = ctx.malloc_f64(65536).expect("alloc");
                 let peer = 1 - ctx.my_pe();
                 let buf: Vec<f64> = (0..65536).map(|i| i as f64).collect();
                 ctx.put_slice_f64(&sym, peer, 0, &buf);

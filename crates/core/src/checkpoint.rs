@@ -1,0 +1,262 @@
+//! Amplitude checkpointing for fault-tolerant long runs.
+//!
+//! The paper's target machines run state-vector jobs for hours across many
+//! PEs; a single failed rank must not lose the whole run. A [`Checkpoint`]
+//! captures everything needed to resume a circuit bit-identically from an
+//! op boundary: the amplitudes, the classical register, the op index, and
+//! a *clone of the RNG* (measurement randomness is part of the state — a
+//! resumed run must draw the same stream it would have drawn uninterrupted).
+//!
+//! Integrity is guarded by an FNV-1a checksum over the amplitude bits and
+//! metadata, verified on [`Checkpoint::verify`] before a restore — a
+//! checkpoint corrupted in flight fails loudly instead of resuming into a
+//! silently wrong state.
+
+use crate::state::StateVector;
+use svsim_types::{SvError, SvResult, SvRng};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a-64 hasher over 64-bit words.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// Fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb one 64-bit word (byte-at-a-time, little-endian).
+    pub fn write_u64(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb an `f64` by its raw bit pattern (bit-identity, not numeric
+    /// equality: `-0.0` and `0.0` hash differently, NaNs hash stably).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Final digest.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a digest of a state vector's amplitude bits — the "final state
+/// checksum" that fault-bench compares between faulted and fault-free
+/// runs. Bit-identical states ⇔ equal checksums.
+#[must_use]
+pub fn state_checksum(state: &StateVector) -> u64 {
+    let mut h = Fnv1a::new();
+    for &v in state.re() {
+        h.write_f64(v);
+    }
+    for &v in state.im() {
+        h.write_f64(v);
+    }
+    h.finish()
+}
+
+/// A resumable snapshot of a simulation at an op boundary.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    op_index: usize,
+    cbits: u64,
+    rng: SvRng,
+    re: Vec<f64>,
+    im: Vec<f64>,
+    checksum: u64,
+}
+
+impl Checkpoint {
+    /// Capture the simulation state after `op_index` circuit ops.
+    #[must_use]
+    pub fn capture(op_index: usize, cbits: u64, rng: &SvRng, state: &StateVector) -> Self {
+        let re = state.re().to_vec();
+        let im = state.im().to_vec();
+        let checksum = Self::digest(op_index, cbits, &re, &im);
+        Self {
+            op_index,
+            cbits,
+            rng: rng.clone(),
+            re,
+            im,
+            checksum,
+        }
+    }
+
+    fn digest(op_index: usize, cbits: u64, re: &[f64], im: &[f64]) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(op_index as u64);
+        h.write_u64(cbits);
+        for &v in re {
+            h.write_f64(v);
+        }
+        for &v in im {
+            h.write_f64(v);
+        }
+        h.finish()
+    }
+
+    /// Ops of the circuit already executed when this checkpoint was taken.
+    #[must_use]
+    pub fn op_index(&self) -> usize {
+        self.op_index
+    }
+
+    /// Classical register at the checkpoint.
+    #[must_use]
+    pub fn cbits(&self) -> u64 {
+        self.cbits
+    }
+
+    /// Stored FNV-1a checksum.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Serialized footprint in bytes (amplitudes + metadata) — what a real
+    /// deployment would write to stable storage; reported to the engine's
+    /// `checkpoint_bytes` metric.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        (self.re.len() + self.im.len()) as u64 * 8 + 3 * 8
+    }
+
+    /// Recompute the checksum and compare with the stored one.
+    ///
+    /// # Errors
+    /// [`SvError::Numeric`] on mismatch (the checkpoint is corrupt and
+    /// must not be restored).
+    pub fn verify(&self) -> SvResult<()> {
+        let got = Self::digest(self.op_index, self.cbits, &self.re, &self.im);
+        if got != self.checksum {
+            return Err(SvError::Numeric(format!(
+                "checkpoint checksum mismatch at op {}: stored {:#018x}, computed {got:#018x}",
+                self.op_index, self.checksum
+            )));
+        }
+        Ok(())
+    }
+
+    /// Restore amplitudes, classical bits and RNG into the simulator's
+    /// parts. The caller must [`verify`](Self::verify) first.
+    ///
+    /// # Errors
+    /// [`SvError::InvalidConfig`] when the state dimensions disagree.
+    pub(crate) fn restore_into(
+        &self,
+        state: &mut StateVector,
+        cbits: &mut u64,
+        rng: &mut SvRng,
+    ) -> SvResult<()> {
+        if state.re().len() != self.re.len() {
+            return Err(SvError::InvalidConfig(format!(
+                "checkpoint holds {} amplitudes, simulator has {}",
+                self.re.len(),
+                state.re().len()
+            )));
+        }
+        let (re, im) = state.parts_mut();
+        re.copy_from_slice(&self.re);
+        im.copy_from_slice(&self.im);
+        *cbits = self.cbits;
+        *rng = self.rng.clone();
+        Ok(())
+    }
+
+    /// Corrupt one amplitude in place — test-only hook for exercising the
+    /// checksum-mismatch path.
+    #[cfg(test)]
+    pub(crate) fn corrupt_for_test(&mut self) {
+        if let Some(v) = self.re.first_mut() {
+            *v += 1.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c; one byte 0x61 then 7 zero
+        // bytes via write_u64 would differ, so check the primitive
+        // directly against a hand-rolled loop.
+        let mut h = Fnv1a::new();
+        h.write_u64(0x61);
+        let mut expect = FNV_OFFSET;
+        for b in 0x61u64.to_le_bytes() {
+            expect ^= u64::from(b);
+            expect = expect.wrapping_mul(FNV_PRIME);
+        }
+        assert_eq!(h.finish(), expect);
+        // First byte alone matches the classic "a" vector prefix step.
+        let mut one = FNV_OFFSET;
+        one ^= 0x61;
+        one = one.wrapping_mul(FNV_PRIME);
+        assert_eq!(one, 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn capture_verify_restore_roundtrip() {
+        let mut state = StateVector::zero_state(3).unwrap();
+        {
+            let (re, im) = state.parts_mut();
+            re[3] = 0.25;
+            im[5] = -0.5;
+        }
+        let rng = SvRng::seed_from_u64(7);
+        let cp = Checkpoint::capture(4, 0b101, &rng, &state);
+        cp.verify().unwrap();
+        assert_eq!(cp.op_index(), 4);
+        assert_eq!(cp.cbits(), 0b101);
+        assert_eq!(cp.bytes(), 16 * 8 + 24);
+
+        let mut other = StateVector::zero_state(3).unwrap();
+        let mut cbits = 0u64;
+        let mut rng2 = SvRng::seed_from_u64(999);
+        cp.restore_into(&mut other, &mut cbits, &mut rng2).unwrap();
+        assert_eq!(other.re(), state.re());
+        assert_eq!(other.im(), state.im());
+        assert_eq!(cbits, 0b101);
+        assert_eq!(state_checksum(&other), state_checksum(&state));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let state = StateVector::zero_state(2).unwrap();
+        let rng = SvRng::seed_from_u64(1);
+        let mut cp = Checkpoint::capture(0, 0, &rng, &state);
+        cp.corrupt_for_test();
+        let err = cp.verify().unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let state = StateVector::zero_state(2).unwrap();
+        let rng = SvRng::seed_from_u64(1);
+        let cp = Checkpoint::capture(0, 0, &rng, &state);
+        let mut small = StateVector::zero_state(1).unwrap();
+        let mut cbits = 0;
+        let mut r = SvRng::seed_from_u64(2);
+        assert!(cp.restore_into(&mut small, &mut cbits, &mut r).is_err());
+    }
+}

@@ -13,8 +13,9 @@ use crate::kernels::worker_range;
 use crate::measure;
 use crate::state::StateVector;
 use crate::view::{LocalView, PeerView, ShmemView, StateView};
-use svsim_ir::{Circuit, Gate, GateKind, Op};
-use svsim_shmem::{MetricsTable, SenseBarrier, SharedF64Vec, TrafficSnapshot};
+use std::sync::Arc;
+use svsim_ir::{Gate, GateKind, Op};
+use svsim_shmem::{FaultPlan, MetricsTable, SenseBarrier, SharedF64Vec, TrafficSnapshot};
 use svsim_types::{SvError, SvResult, SvRng};
 
 /// How gates are bound to kernels at execution time.
@@ -53,17 +54,18 @@ pub(crate) enum Step {
     },
 }
 
-/// Lower a circuit into steps plus the flat compiled-kernel queue; returns
-/// the number of random draws measurement/reset will consume.
+/// Lower an op slice (a whole circuit or one checkpoint segment of it)
+/// into steps plus the flat compiled-kernel queue; returns the number of
+/// random draws measurement/reset will consume.
 pub(crate) fn build_steps(
-    circuit: &Circuit,
+    ops: &[Op],
     n_qubits: u32,
     specialized: bool,
 ) -> (Vec<Step>, Vec<CompiledGate>, usize) {
-    let mut steps = Vec::with_capacity(circuit.len());
+    let mut steps = Vec::with_capacity(ops.len());
     let mut queue: Vec<CompiledGate> = Vec::new();
     let mut n_rand = 0usize;
-    for op in circuit.ops() {
+    for op in ops {
         match op {
             Op::Gate(g) => {
                 let start = queue.len();
@@ -120,18 +122,21 @@ fn cond_holds(cbits: u64, lo: u32, len: u32, value: u64) -> bool {
     ((cbits >> lo) & mask) == value
 }
 
-/// Run on a single device (sequential, full ranges).
+/// Run on a single device (sequential, full ranges). `initial_cbits`
+/// carries the classical register across checkpoint segments (0 for a
+/// whole-circuit run).
 pub(crate) fn run_single(
     state: &mut StateVector,
-    circuit: &Circuit,
+    ops: &[Op],
     specialized: bool,
     dispatch: DispatchMode,
     rng: &mut SvRng,
+    initial_cbits: u64,
 ) -> SvResult<u64> {
     let n = state.n_qubits();
     let half = (1u64 << n) / 2;
-    let (steps, queue, _) = build_steps(circuit, n, specialized);
-    let mut cbits = 0u64;
+    let (steps, queue, _) = build_steps(ops, n, specialized);
+    let mut cbits = initial_cbits;
     let (re, im) = state.parts_mut();
     let view = LocalView::new(re, im);
     // The fn-pointer path binds every kernel pointer once, up front — the
@@ -241,10 +246,11 @@ fn walk_steps<V: StateView>(
     my_re: &SharedF64Vec,
     my_im: &SharedF64Vec,
     my_base: u64,
+    initial_cbits: u64,
     sync: &dyn Fn(),
     reduce: &dyn Fn(f64) -> f64,
 ) -> SvResult<u64> {
-    let mut cbits = 0u64;
+    let mut cbits = initial_cbits;
     let mut scratch: Vec<CompiledGate> = Vec::new();
     let uploaded: Vec<KernelFn<V>> = if dispatch == DispatchMode::PreloadedFnPointer {
         queue.iter().map(|c| resolve::<V>(c.id)).collect()
@@ -347,17 +353,18 @@ fn walk_steps<V: StateView>(
 /// (§3.2.2). Returns the classical bits and the peer traffic profile.
 pub(crate) fn run_scaleup(
     state: &mut StateVector,
-    circuit: &Circuit,
+    ops: &[Op],
     n_dev: usize,
     specialized: bool,
     dispatch: DispatchMode,
     rng: &mut SvRng,
+    initial_cbits: u64,
 ) -> SvResult<(u64, Vec<TrafficSnapshot>)> {
     let n = state.n_qubits();
     check_workers(n_dev, n, "device")?;
     let dim = state.dim();
     let per_dev = dim / n_dev;
-    let (steps, queue, n_rand) = build_steps(circuit, n, specialized);
+    let (steps, queue, n_rand) = build_steps(ops, n, specialized);
     let randoms: Vec<f64> = (0..n_rand).map(|_| rng.next_f64()).collect();
 
     // Partition the state (the host-to-devices transfer).
@@ -417,6 +424,7 @@ pub(crate) fn run_scaleup(
                         &re_parts[d],
                         &im_parts[d],
                         (d * per_dev) as u64,
+                        initial_cbits,
                         &sync,
                         &reduce,
                     )
@@ -454,69 +462,102 @@ pub(crate) fn run_scaleup(
 }
 
 /// Scale-out execution: SPMD over SHMEM PEs, each owning one partition of
-/// the symmetric-heap state vector (§3.2.3).
+/// the symmetric-heap state vector (§3.2.3). An optional [`FaultPlan`] is
+/// threaded into the SHMEM world; if any PE dies (injected or real), the
+/// whole segment fails with a typed error and `state` is left untouched at
+/// its pre-segment contents — exactly what checkpoint/restart needs.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_scaleout(
     state: &mut StateVector,
-    circuit: &Circuit,
+    ops: &[Op],
     n_pes: usize,
     specialized: bool,
     dispatch: DispatchMode,
     rng: &mut SvRng,
+    initial_cbits: u64,
+    faults: Option<Arc<FaultPlan>>,
 ) -> SvResult<(u64, Vec<TrafficSnapshot>)> {
     let n = state.n_qubits();
     check_workers(n_pes, n, "PE")?;
     let dim = state.dim();
     let per_pe = dim / n_pes;
-    let (steps, queue, n_rand) = build_steps(circuit, n, specialized);
+    let (steps, queue, n_rand) = build_steps(ops, n, specialized);
     let randoms: Vec<f64> = (0..n_rand).map(|_| rng.next_f64()).collect();
     let init_re = state.re().to_vec();
     let init_im = state.im().to_vec();
 
-    let out = svsim_shmem::launch(n_pes, |ctx| -> SvResult<(u64, Vec<f64>, Vec<f64>)> {
-        let pe = ctx.my_pe();
-        let sym_re = ctx.malloc_f64(per_pe);
-        let sym_im = ctx.malloc_f64(per_pe);
-        // Local initialization of this PE's slice (host scatter).
-        sym_re
-            .partition(pe)
-            .store_slice(0, &init_re[pe * per_pe..(pe + 1) * per_pe]);
-        sym_im
-            .partition(pe)
-            .store_slice(0, &init_im[pe * per_pe..(pe + 1) * per_pe]);
-        ctx.barrier_all();
+    let out = svsim_shmem::launch_with_faults(
+        n_pes,
+        faults,
+        |ctx| -> SvResult<(u64, Vec<f64>, Vec<f64>)> {
+            let pe = ctx.my_pe();
+            let sym_re = ctx.malloc_f64(per_pe)?;
+            let sym_im = ctx.malloc_f64(per_pe)?;
+            // Local initialization of this PE's slice (host scatter).
+            sym_re
+                .partition(pe)
+                .store_slice(0, &init_re[pe * per_pe..(pe + 1) * per_pe]);
+            sym_im
+                .partition(pe)
+                .store_slice(0, &init_im[pe * per_pe..(pe + 1) * per_pe]);
+            ctx.try_barrier_all()?;
 
-        let view = ShmemView::new(ctx, &sym_re, &sym_im);
-        let sync = || ctx.barrier_all();
-        let reduce = |x: f64| ctx.sum_reduce_f64(x);
-        let cbits = walk_steps(
-            &steps,
-            &queue,
-            &view,
-            n,
-            specialized,
-            dispatch,
-            pe as u64,
-            n_pes as u64,
-            &randoms,
-            sym_re.partition(pe),
-            sym_im.partition(pe),
-            (pe * per_pe) as u64,
-            &sync,
-            &reduce,
-        )?;
-        ctx.barrier_all();
-        Ok((
-            cbits,
-            sym_re.partition(pe).to_vec(),
-            sym_im.partition(pe).to_vec(),
-        ))
-    })?;
+            let view = ShmemView::new(ctx, &sym_re, &sym_im);
+            let sync = || ctx.barrier_all();
+            let reduce = |x: f64| ctx.sum_reduce_f64(x);
+            let cbits = walk_steps(
+                &steps,
+                &queue,
+                &view,
+                n,
+                specialized,
+                dispatch,
+                pe as u64,
+                n_pes as u64,
+                &randoms,
+                sym_re.partition(pe),
+                sym_im.partition(pe),
+                (pe * per_pe) as u64,
+                initial_cbits,
+                &sync,
+                &reduce,
+            )?;
+            ctx.try_barrier_all()?;
+            Ok((
+                cbits,
+                sym_re.partition(pe).to_vec(),
+                sym_im.partition(pe).to_vec(),
+            ))
+        },
+    )?;
 
+    // A PE death aborts the segment before any readback: the caller's
+    // state vector still holds the pre-segment amplitudes. Failures can be
+    // outer (the PE panicked / was killed) or inner (the body returned an
+    // error, e.g. a fault during a collective allocation); prefer the
+    // typed root cause over secondary "peer poisoned the barrier" reports.
+    let root = out
+        .results
+        .iter()
+        .filter_map(|r| match r {
+            Err(e) | Ok(Err(e)) => Some(e),
+            Ok(Ok(_)) => None,
+        })
+        .min_by_key(|e| match e {
+            SvError::PeFailed { .. } => 0u8,
+            SvError::Shmem(msg) if msg.contains("poisoned") => 2,
+            _ => 1,
+        });
+    if let Some(e) = root {
+        return Err(e.clone());
+    }
     let mut cbits_out = 0u64;
     {
         let (re, im) = state.parts_mut();
         for (pe, r) in out.results.into_iter().enumerate() {
-            let (cb, pre, pim) = r?;
+            let (cb, pre, pim) = r
+                .expect("failures handled above")
+                .expect("failures handled above");
             if pe == 0 {
                 cbits_out = cb;
             }

@@ -14,6 +14,7 @@
 //! - [`sim`]: the `Simulator` facade.
 
 pub mod batch;
+pub mod checkpoint;
 pub mod compile;
 pub mod dispatch;
 pub mod exec;
@@ -27,6 +28,7 @@ pub mod traffic;
 pub mod view;
 
 pub use batch::{CompiledTemplate, ParamCircuit, ParamValue};
+pub use checkpoint::{state_checksum, Checkpoint, Fnv1a};
 pub use compile::{CompiledGate, KernelId};
 pub use exec::DispatchMode;
 pub use noise::{sample_noisy_circuit, trajectory_average, NoiseModel};

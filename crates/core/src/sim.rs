@@ -1,11 +1,13 @@
 //! The unified `Simulator` facade over all backends.
 
+use crate::checkpoint::Checkpoint;
 use crate::exec::{run_scaleout, run_scaleup, run_single, DispatchMode};
 use crate::measure;
 use crate::state::StateVector;
 use crate::traffic::{circuit_traffic, GateTraffic};
-use svsim_ir::{Circuit, PauliString};
-use svsim_shmem::TrafficSnapshot;
+use std::sync::Arc;
+use svsim_ir::{Circuit, Op, PauliString};
+use svsim_shmem::{FaultPlan, TrafficSnapshot};
 use svsim_types::{Complex64, SvError, SvResult, SvRng};
 
 /// Which execution backend runs the circuit.
@@ -37,6 +39,10 @@ pub struct SimConfig {
     pub specialized: bool,
     /// RNG seed for measurement and sampling.
     pub seed: u64,
+    /// Checkpoint the amplitudes every this many circuit ops (0 disables
+    /// checkpointing). A checkpointed run executes in segments and keeps
+    /// the last good [`Checkpoint`] for [`Simulator::restore`].
+    pub checkpoint_every: u32,
 }
 
 impl SimConfig {
@@ -48,6 +54,7 @@ impl SimConfig {
             dispatch: DispatchMode::PreloadedFnPointer,
             specialized: true,
             seed: 0xC0FFEE,
+            checkpoint_every: 0,
         }
     }
 
@@ -89,6 +96,13 @@ impl SimConfig {
         self.seed = seed;
         self
     }
+
+    /// Checkpoint every `k` circuit ops (0 disables checkpointing).
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, k: u32) -> Self {
+        self.checkpoint_every = k;
+        self
+    }
 }
 
 /// Outcome summary of one circuit execution.
@@ -100,6 +114,9 @@ pub struct RunSummary {
     pub cbits: u64,
     /// Measured per-worker communication traffic (empty for single device).
     pub traffic: Vec<TrafficSnapshot>,
+    /// Bytes captured into checkpoints during this run (0 when
+    /// checkpointing is disabled).
+    pub checkpoint_bytes: u64,
 }
 
 impl RunSummary {
@@ -119,6 +136,10 @@ pub struct Simulator {
     config: SimConfig,
     rng: SvRng,
     cbits: u64,
+    /// Injected-fault schedule threaded into scale-out launches.
+    fault_plan: Option<Arc<FaultPlan>>,
+    /// Last good checkpoint of the current/most recent run.
+    checkpoint: Option<Checkpoint>,
 }
 
 impl Simulator {
@@ -148,6 +169,8 @@ impl Simulator {
             rng: SvRng::seed_from_u64(config.seed),
             config,
             cbits: 0,
+            fault_plan: None,
+            checkpoint: None,
         })
     }
 
@@ -163,11 +186,7 @@ impl Simulator {
         &self.config
     }
 
-    /// Execute a circuit against the current state.
-    ///
-    /// # Errors
-    /// Width mismatch, classical-register overflow, or numeric failures.
-    pub fn run(&mut self, circuit: &Circuit) -> SvResult<RunSummary> {
+    fn validate(&self, circuit: &Circuit) -> SvResult<()> {
         if circuit.n_qubits() > self.state.n_qubits() {
             return Err(SvError::InvalidConfig(format!(
                 "circuit uses {} qubits, simulator has {}",
@@ -180,41 +199,158 @@ impl Simulator {
                 "at most 64 classical bits are supported".into(),
             ));
         }
-        let gates = circuit.gates().count();
-        let (cbits, traffic) = match self.config.backend {
+        Ok(())
+    }
+
+    /// Execute a circuit against the current state.
+    ///
+    /// With `checkpoint_every > 0` the circuit runs in segments of that
+    /// many ops, capturing a [`Checkpoint`] after each; a failed segment
+    /// (e.g. an injected PE death) leaves the state untouched at its
+    /// pre-segment contents so [`Self::resume`] can pick up bit-identically
+    /// from the last good checkpoint.
+    ///
+    /// # Errors
+    /// Width mismatch, classical-register overflow, numeric failures, or a
+    /// PE failure on the scale-out backend.
+    pub fn run(&mut self, circuit: &Circuit) -> SvResult<RunSummary> {
+        self.validate(circuit)?;
+        self.run_segments(circuit, 0, 0)
+    }
+
+    /// One backend dispatch over an op slice.
+    fn exec_ops(
+        &mut self,
+        ops: &[Op],
+        initial_cbits: u64,
+    ) -> SvResult<(u64, Vec<TrafficSnapshot>)> {
+        match self.config.backend {
             BackendKind::SingleDevice => {
                 let cb = run_single(
                     &mut self.state,
-                    circuit,
+                    ops,
                     self.config.specialized,
                     self.config.dispatch,
                     &mut self.rng,
+                    initial_cbits,
                 )?;
-                (cb, Vec::new())
+                Ok((cb, Vec::new()))
             }
             BackendKind::ScaleUp { n_devices } => run_scaleup(
                 &mut self.state,
-                circuit,
+                ops,
                 n_devices,
                 self.config.specialized,
                 self.config.dispatch,
                 &mut self.rng,
-            )?,
+                initial_cbits,
+            ),
             BackendKind::ScaleOut { n_pes } => run_scaleout(
                 &mut self.state,
-                circuit,
+                ops,
                 n_pes,
                 self.config.specialized,
                 self.config.dispatch,
                 &mut self.rng,
-            )?,
-        };
+                initial_cbits,
+                self.fault_plan.clone(),
+            ),
+        }
+    }
+
+    /// Execute `circuit.ops()[start_op..]`, segmenting at checkpoint
+    /// boundaries when enabled. Segment boundaries are fixed multiples of
+    /// `checkpoint_every` from op 0, so a resumed run re-executes exactly
+    /// the segments the uninterrupted run would have — the basis of the
+    /// bit-identical recovery guarantee.
+    fn run_segments(
+        &mut self,
+        circuit: &Circuit,
+        start_op: usize,
+        initial_cbits: u64,
+    ) -> SvResult<RunSummary> {
+        let gates = circuit.gates().count();
+        let ops = circuit.ops();
+        let k = self.config.checkpoint_every as usize;
+        if k == 0 {
+            self.checkpoint = None;
+            let (cbits, traffic) = self.exec_ops(&ops[start_op..], initial_cbits)?;
+            self.cbits = cbits;
+            return Ok(RunSummary {
+                gates,
+                cbits,
+                traffic,
+                checkpoint_bytes: 0,
+            });
+        }
+        let mut cbits = initial_cbits;
+        let mut traffic: Vec<TrafficSnapshot> = Vec::new();
+        let mut checkpoint_bytes = 0u64;
+        let cp = Checkpoint::capture(start_op, cbits, &self.rng, &self.state);
+        checkpoint_bytes += cp.bytes();
+        self.checkpoint = Some(cp);
+        let mut pos = start_op;
+        while pos < ops.len() {
+            // Align the segment end to the global checkpoint grid so resume
+            // and uninterrupted runs segment identically.
+            let end = usize::min(ops.len(), (pos / k + 1) * k);
+            let (cb, seg_traffic) = self.exec_ops(&ops[pos..end], cbits)?;
+            cbits = cb;
+            merge_worker_traffic(&mut traffic, seg_traffic);
+            let cp = Checkpoint::capture(end, cbits, &self.rng, &self.state);
+            checkpoint_bytes += cp.bytes();
+            self.checkpoint = Some(cp);
+            pos = end;
+        }
         self.cbits = cbits;
         Ok(RunSummary {
             gates,
             cbits,
             traffic,
+            checkpoint_bytes,
         })
+    }
+
+    /// Rewind state, classical bits and RNG to the last good checkpoint
+    /// after verifying its checksum; returns the op index to resume from.
+    ///
+    /// # Errors
+    /// No checkpoint exists, the checksum does not match (corruption), or
+    /// the dimensions disagree.
+    pub fn restore(&mut self) -> SvResult<usize> {
+        let cp = self.checkpoint.take().ok_or_else(|| {
+            SvError::InvalidConfig(
+                "no checkpoint to restore from (run with checkpoint_every > 0 first)".into(),
+            )
+        })?;
+        let outcome = cp
+            .verify()
+            .and_then(|()| cp.restore_into(&mut self.state, &mut self.cbits, &mut self.rng));
+        let op_index = cp.op_index();
+        self.checkpoint = Some(cp);
+        outcome.map(|()| op_index)
+    }
+
+    /// Restore from the last good checkpoint and finish executing
+    /// `circuit` from there. The caller must pass the same circuit the
+    /// interrupted [`Self::run`] was given; the completed run is
+    /// bit-identical to an uninterrupted one.
+    ///
+    /// # Errors
+    /// As [`Self::restore`] and [`Self::run`]; also when the checkpoint
+    /// lies beyond the circuit's end (it belongs to a different circuit).
+    pub fn resume(&mut self, circuit: &Circuit) -> SvResult<RunSummary> {
+        self.validate(circuit)?;
+        let start_op = self.restore()?;
+        if start_op > circuit.ops().len() {
+            return Err(SvError::InvalidConfig(format!(
+                "checkpoint at op {} lies beyond the {}-op circuit",
+                start_op,
+                circuit.ops().len()
+            )));
+        }
+        let cbits = self.cbits;
+        self.run_segments(circuit, start_op, cbits)
     }
 
     /// Predict the communication traffic of a circuit at this backend's
@@ -236,10 +372,12 @@ impl Simulator {
     }
 
     /// Reset to `|0...0>` and clear classical bits. Reinitializes the
-    /// existing state vector in place — no reallocation.
+    /// existing state vector in place — no reallocation. Drops any
+    /// checkpoint (it no longer describes the state).
     pub fn reset_state(&mut self) {
         self.state.reset_zero();
         self.cbits = 0;
+        self.checkpoint = None;
     }
 
     /// Full reinit-in-place: `|0...0>`, cleared classical register, and the
@@ -251,6 +389,38 @@ impl Simulator {
         self.state.reset_zero();
         self.cbits = 0;
         self.rng = SvRng::seed_from_u64(self.config.seed);
+        self.checkpoint = None;
+        self.fault_plan = None;
+    }
+
+    /// Attach (or clear) an injected-fault schedule; threaded into every
+    /// scale-out launch this simulator performs.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.fault_plan = plan;
+    }
+
+    /// The attached fault schedule, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Adjust the checkpoint cadence (0 disables). Pooled instances keep
+    /// their creation-time config, so the engine sets this per job.
+    pub fn set_checkpoint_every(&mut self, k: u32) {
+        self.config.checkpoint_every = k;
+    }
+
+    /// The last good checkpoint, if one exists.
+    #[must_use]
+    pub fn checkpoint(&self) -> Option<&Checkpoint> {
+        self.checkpoint.as_ref()
+    }
+
+    /// FNV-1a digest of the current amplitudes (bit-identity fingerprint).
+    #[must_use]
+    pub fn state_checksum(&self) -> u64 {
+        crate::checkpoint::state_checksum(&self.state)
     }
 
     /// Re-seed the RNG.
@@ -331,6 +501,19 @@ impl Simulator {
     /// Length mismatch.
     pub fn set_state(&mut self, amps: &[Complex64]) -> SvResult<()> {
         self.state.set_complex(amps)
+    }
+}
+
+/// Merge one segment's per-worker traffic into the run accumulator
+/// (element-wise by worker rank; distributed backends report the same
+/// worker count every segment).
+fn merge_worker_traffic(acc: &mut Vec<TrafficSnapshot>, segment: Vec<TrafficSnapshot>) {
+    if acc.is_empty() {
+        *acc = segment;
+    } else {
+        for (a, s) in acc.iter_mut().zip(segment) {
+            *a = a.merged(&s);
+        }
     }
 }
 
@@ -525,6 +708,153 @@ mod tests {
                 "{config:?} im parts must be bit-identical"
             );
         }
+    }
+
+    #[test]
+    fn checkpointed_run_is_bit_identical_to_plain_run() {
+        // Measurement exercises the RNG stream across segment boundaries,
+        // so this proves the checkpoint carries cbits AND randomness.
+        let mut c = Circuit::with_cbits(4, 4);
+        c.extend(&ghz(4)).unwrap();
+        for q in 0..4 {
+            c.measure(q, q).unwrap();
+        }
+        for base in [
+            SimConfig::single_device().with_seed(23),
+            SimConfig::scale_up(2).with_seed(23),
+            SimConfig::scale_out(2).with_seed(23),
+        ] {
+            let mut plain = Simulator::new(4, base).unwrap();
+            let plain_summary = plain.run(&c).unwrap();
+            assert_eq!(plain_summary.checkpoint_bytes, 0);
+            assert!(plain.checkpoint().is_none());
+            for k in [1, 2, 3, 64] {
+                let mut seg = Simulator::new(4, base.with_checkpoint_every(k)).unwrap();
+                let summary = seg.run(&c).unwrap();
+                assert_eq!(summary.cbits, plain_summary.cbits, "{base:?} k={k}");
+                assert_eq!(seg.state().re(), plain.state().re(), "{base:?} k={k}");
+                assert_eq!(seg.state().im(), plain.state().im(), "{base:?} k={k}");
+                assert_eq!(
+                    summary.total_traffic().remote_ops(),
+                    plain_summary.total_traffic().remote_ops(),
+                    "{base:?} k={k}: segment traffic must merge losslessly"
+                );
+                assert!(summary.checkpoint_bytes > 0);
+                let cp = seg.checkpoint().expect("final checkpoint kept");
+                assert_eq!(cp.op_index(), c.ops().len());
+                cp.verify().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rewinds_to_last_checkpoint() {
+        let c = ghz(3);
+        let config = SimConfig::single_device().with_checkpoint_every(2);
+        let mut sim = Simulator::new(3, config).unwrap();
+        sim.run(&c).unwrap();
+        let want_re = sim.state().re().to_vec();
+        let want_im = sim.state().im().to_vec();
+        let checksum = sim.state_checksum();
+
+        // Clobber the live state, then restore.
+        let garbage: Vec<Complex64> = (0..8)
+            .map(|i| {
+                if i == 0 {
+                    Complex64::new(1.0, 0.0)
+                } else {
+                    Complex64::new(0.0, 0.0)
+                }
+            })
+            .collect();
+        sim.set_state(&garbage).unwrap();
+        assert_ne!(sim.state_checksum(), checksum);
+        let op_index = sim.restore().unwrap();
+        assert_eq!(op_index, c.ops().len());
+        assert_eq!(sim.state().re(), &want_re[..]);
+        assert_eq!(sim.state().im(), &want_im[..]);
+        assert_eq!(sim.state_checksum(), checksum);
+        // Resuming from the end is a no-op run.
+        let summary = sim.resume(&c).unwrap();
+        assert_eq!(sim.state_checksum(), checksum);
+        assert_eq!(summary.gates, c.gates().count());
+    }
+
+    #[test]
+    fn restore_without_checkpoint_fails() {
+        let mut sim = Simulator::new(2, SimConfig::single_device()).unwrap();
+        assert!(sim.restore().is_err());
+        sim.run(&ghz(2)).unwrap(); // checkpointing disabled
+        assert!(sim.restore().is_err());
+    }
+
+    #[test]
+    fn scaleout_fault_recovery_is_bit_identical() {
+        use svsim_shmem::{FaultAction, FaultPlan};
+        use svsim_types::PeOp;
+
+        // Mid-circuit measurements make recovery correctness visible in
+        // the RNG stream, not just the amplitudes.
+        let mut c = Circuit::with_cbits(4, 4);
+        c.extend(&ghz(4)).unwrap();
+        for q in 0..4 {
+            c.measure(q, q).unwrap();
+        }
+        let config = SimConfig::scale_out(2)
+            .with_seed(11)
+            .with_checkpoint_every(2);
+
+        let mut reference = Simulator::new(4, config).unwrap();
+        let ref_summary = reference.run(&c).unwrap();
+        let ref_checksum = reference.state_checksum();
+
+        // Barrier faults are guaranteed to fire regardless of the gate
+        // mix; `at` large enough to strike after the first segment. A
+        // dropped put is detected at the next barrier.
+        for plan in [
+            FaultPlan::new().with(1, PeOp::Barrier, 9, FaultAction::Kill),
+            FaultPlan::new().with(0, PeOp::Barrier, 7, FaultAction::Poison),
+            FaultPlan::new().with(None, PeOp::Put, 3, FaultAction::Drop),
+        ] {
+            let armed = plan.armed_remaining();
+            assert_eq!(armed, 1);
+            let plan = Arc::new(plan);
+            let mut sim = Simulator::new(4, config).unwrap();
+            sim.set_fault_plan(Some(plan.clone()));
+            let err = sim.run(&c).unwrap_err();
+            assert!(
+                matches!(err, SvError::PeFailed { .. }),
+                "fault must surface typed, got: {err}"
+            );
+            assert_eq!(plan.armed_remaining(), 0, "fault fired exactly once");
+            // One-shot faults: resume with the same plan attached.
+            let summary = sim.resume(&c).unwrap();
+            assert_eq!(summary.cbits, ref_summary.cbits);
+            assert_eq!(
+                sim.state_checksum(),
+                ref_checksum,
+                "recovered state must be bit-identical to the fault-free run"
+            );
+            assert_eq!(sim.state().re(), reference.state().re());
+            assert_eq!(sim.state().im(), reference.state().im());
+        }
+    }
+
+    #[test]
+    fn delay_fault_perturbs_timing_not_results() {
+        use svsim_shmem::{FaultAction, FaultPlan};
+        use svsim_types::PeOp;
+
+        let c = ghz(4);
+        let config = SimConfig::scale_out(2).with_seed(3);
+        let mut reference = Simulator::new(4, config).unwrap();
+        reference.run(&c).unwrap();
+
+        let plan = Arc::new(FaultPlan::new().with(0, PeOp::Get, 2, FaultAction::Delay(1000)));
+        let mut sim = Simulator::new(4, config).unwrap();
+        sim.set_fault_plan(Some(plan));
+        sim.run(&c).unwrap();
+        assert_eq!(sim.state_checksum(), reference.state_checksum());
     }
 
     #[test]

@@ -242,8 +242,8 @@ mod tests {
     #[test]
     fn shmem_view_roundtrip() {
         let out = svsim_shmem::launch(2, |ctx| {
-            let re = ctx.malloc_f64(4);
-            let im = ctx.malloc_f64(4);
+            let re = ctx.malloc_f64(4).expect("alloc");
+            let im = ctx.malloc_f64(4).expect("alloc");
             let v = ShmemView::new(ctx, &re, &im);
             assert_eq!(v.dim(), 8);
             if ctx.my_pe() == 0 {

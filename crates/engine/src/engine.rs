@@ -8,15 +8,17 @@ use crate::job::{
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::pool::InstancePool;
 use crate::queue::{JobQueue, QueuedJob, SubmitError};
+use crate::retry::retryable;
 use crate::templates::{TemplateId, TemplateInfo, TemplateRegistry, WorkerTemplates};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
-use svsim_core::{measure, ParamCircuit};
-use svsim_types::{SvError, SvResult};
+use svsim_core::{measure, Fnv1a, ParamCircuit};
+use svsim_shmem::FaultAction;
+use svsim_types::{PeOp, SvError, SvResult};
 
 /// Engine sizing knobs.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +31,10 @@ pub struct EngineConfig {
     pub max_batch: usize,
     /// Idle instances retained per pool key.
     pub pool_max_per_key: usize,
+    /// Consecutive final failures of one job shape before further
+    /// submissions of it are refused with [`SubmitError::Quarantined`]
+    /// (0 disables quarantining).
+    pub quarantine_threshold: u32,
 }
 
 impl Default for EngineConfig {
@@ -41,6 +47,7 @@ impl Default for EngineConfig {
             queue_capacity: 1024,
             max_batch: 16,
             pool_max_per_key: workers,
+            quarantine_threshold: 3,
         }
     }
 }
@@ -66,6 +73,13 @@ impl EngineConfig {
         self.max_batch = max_batch.max(1);
         self
     }
+
+    /// Override the quarantine threshold (0 disables quarantining).
+    #[must_use]
+    pub fn with_quarantine_threshold(mut self, threshold: u32) -> Self {
+        self.quarantine_threshold = threshold;
+        self
+    }
 }
 
 /// State shared between the engine handle and its workers.
@@ -75,6 +89,81 @@ struct Shared {
     metrics: EngineMetrics,
     registry: TemplateRegistry,
     pool: InstancePool,
+    /// Consecutive final-failure counts keyed by job fingerprint; entries
+    /// at or above `quarantine_threshold` block further submissions.
+    quarantine: Mutex<HashMap<u64, u32>>,
+    quarantine_threshold: u32,
+}
+
+impl Shared {
+    /// Record a final (post-retry) failure of this job shape.
+    fn quarantine_mark_failure(&self, fingerprint: u64) {
+        if self.quarantine_threshold == 0 {
+            return;
+        }
+        let mut q = self.quarantine.lock().expect("quarantine lock");
+        *q.entry(fingerprint).or_insert(0) += 1;
+    }
+
+    /// A success clears the shape's failure streak (quarantine is for
+    /// *consecutively* failing jobs, not jobs that ever failed).
+    fn quarantine_clear(&self, fingerprint: u64) {
+        if self.quarantine_threshold == 0 {
+            return;
+        }
+        self.quarantine
+            .lock()
+            .expect("quarantine lock")
+            .remove(&fingerprint);
+    }
+
+    /// Failure streak recorded for a fingerprint, if any.
+    fn quarantine_failures(&self, fingerprint: u64) -> Option<u32> {
+        self.quarantine
+            .lock()
+            .expect("quarantine lock")
+            .get(&fingerprint)
+            .copied()
+    }
+}
+
+/// Structural digest of a job's work, used as the quarantine key: two
+/// submissions of the same circuit/config (or template/params) collide,
+/// while any difference in the work separates them.
+fn fingerprint(spec: &JobSpec) -> u64 {
+    fn absorb(h: &mut Fnv1a, text: &str) {
+        for b in text.bytes() {
+            h.write_u64(u64::from(b));
+        }
+    }
+    let mut h = Fnv1a::new();
+    match spec {
+        JobSpec::OneShot {
+            circuit,
+            config,
+            shots,
+            return_state,
+        } => {
+            absorb(&mut h, "oneshot");
+            absorb(&mut h, &format!("{circuit:?}"));
+            absorb(&mut h, &format!("{config:?}"));
+            h.write_u64(*shots as u64);
+            h.write_u64(u64::from(*return_state));
+        }
+        JobSpec::Sweep {
+            template,
+            params,
+            returning,
+        } => {
+            absorb(&mut h, "sweep");
+            h.write_u64(template.0);
+            for p in params {
+                h.write_u64(p.to_bits());
+            }
+            absorb(&mut h, &format!("{returning:?}"));
+        }
+    }
+    h.finish()
 }
 
 /// A running engine. Submit jobs with [`Engine::submit`]; stop it with
@@ -96,6 +185,8 @@ impl Engine {
             metrics: EngineMetrics::default(),
             registry: TemplateRegistry::default(),
             pool: InstancePool::new(config.pool_max_per_key),
+            quarantine: Mutex::new(HashMap::new()),
+            quarantine_threshold: config.quarantine_threshold,
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -103,7 +194,7 @@ impl Engine {
                 let max_batch = config.max_batch.max(1);
                 std::thread::Builder::new()
                     .name(format!("svsim-engine-{i}"))
-                    .spawn(move || worker_loop(&shared, max_batch))
+                    .spawn(move || worker_loop(&shared, max_batch, i))
                     .expect("spawn engine worker")
             })
             .collect();
@@ -134,6 +225,18 @@ impl Engine {
     /// # Errors
     /// [`SubmitError`] describing why admission failed.
     pub fn submit(&self, request: JobRequest) -> Result<JobHandle, SubmitError> {
+        if self.shared.quarantine_threshold > 0 {
+            let fp = fingerprint(&request.spec);
+            if let Some(failures) = self.shared.quarantine_failures(fp) {
+                if failures >= self.shared.quarantine_threshold {
+                    self.shared
+                        .metrics
+                        .quarantined
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::Quarantined { failures });
+                }
+            }
+        }
         if let JobSpec::Sweep {
             template, params, ..
         } = &request.spec
@@ -176,6 +279,22 @@ impl Engine {
     #[must_use]
     pub fn queued(&self) -> usize {
         self.shared.queue.len()
+    }
+
+    /// Job shapes currently quarantined (failure streak at or above the
+    /// threshold).
+    #[must_use]
+    pub fn quarantined_shapes(&self) -> usize {
+        if self.shared.quarantine_threshold == 0 {
+            return 0;
+        }
+        self.shared
+            .quarantine
+            .lock()
+            .expect("quarantine lock")
+            .values()
+            .filter(|&&n| n >= self.shared.quarantine_threshold)
+            .count()
     }
 
     /// Point-in-time metrics.
@@ -232,7 +351,9 @@ impl Drop for Engine {
 }
 
 /// One worker: pop (possibly coalesced) work until the queue closes.
-fn worker_loop(shared: &Shared, max_batch: usize) {
+/// `worker` is this thread's index — the "PE" rank that `Exec`-level
+/// injected faults key off.
+fn worker_loop(shared: &Shared, max_batch: usize, worker: usize) {
     let mut templates = WorkerTemplates::default();
     while let Some(batch) = shared.queue.pop_batch(max_batch) {
         let dequeued = Instant::now();
@@ -257,10 +378,10 @@ fn worker_loop(shared: &Shared, max_batch: usize) {
             // One-shots never coalesce, so `live` holds at most one.
             JobSpec::OneShot { .. } => {
                 for job in live {
-                    run_one_shot(shared, job);
+                    run_one_shot(shared, job, worker);
                 }
             }
-            JobSpec::Sweep { .. } => run_sweep_batch(shared, &mut templates, live),
+            JobSpec::Sweep { .. } => run_sweep_batch(shared, &mut templates, live, worker),
         }
     }
 }
@@ -269,6 +390,33 @@ fn panic_error() -> JobError {
     JobError::Failed(SvError::InvalidConfig(
         "engine worker panicked while executing the job".into(),
     ))
+}
+
+/// Consult a job's fault plan for an `Exec`-level fault against this
+/// worker (modeling a scheduler-visible executor failure, as opposed to
+/// the SHMEM-level faults injected inside scale-out launches).
+///
+/// # Errors
+/// [`SvError::PeFailed`] for `Kill`/`Drop`/`Poison` actions.
+fn exec_fault_point(job: &QueuedJob, worker: usize) -> SvResult<()> {
+    let Some(plan) = &job.request.fault_plan else {
+        return Ok(());
+    };
+    match plan.check(worker, PeOp::Exec) {
+        None => Ok(()),
+        Some(FaultAction::Delay(iters)) => {
+            for _ in 0..iters {
+                std::hint::spin_loop();
+            }
+            Ok(())
+        }
+        Some(FaultAction::Kill | FaultAction::Drop | FaultAction::Poison) => {
+            Err(SvError::PeFailed {
+                pe: worker,
+                op: PeOp::Exec,
+            })
+        }
+    }
 }
 
 fn publish(
@@ -285,7 +433,11 @@ fn publish(
     job.cell.finish(result);
 }
 
-fn run_one_shot(shared: &Shared, job: QueuedJob) {
+/// Execute a one-shot job with retry-in-place: a transient failure
+/// (PE death, SHMEM breakdown, worker panic) backs off deterministically
+/// and re-attempts on the same simulator — resuming from its last good
+/// checkpoint when one exists, rerunning from scratch otherwise.
+fn run_one_shot(shared: &Shared, job: QueuedJob, worker: usize) {
     let started = Instant::now();
     let JobSpec::OneShot {
         ref circuit,
@@ -296,42 +448,105 @@ fn run_one_shot(shared: &Shared, job: QueuedJob) {
     else {
         unreachable!("dispatched as one-shot");
     };
-    let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<JobOutput, JobError> {
-        let mut sim = shared
-            .pool
-            .checkout_sim(circuit.n_qubits(), config)
-            .map_err(JobError::Failed)?;
-        match sim.run(circuit) {
-            Err(e) => {
-                shared.pool.checkin_sim(sim);
-                Err(JobError::Failed(e))
+    let fp = fingerprint(&job.request.spec);
+    let policy = job.request.retry;
+    let mut attempt: u32 = 1;
+    let mut first_failure: Option<Instant> = None;
+    let mut sim = None;
+    let result = loop {
+        if sim.is_none() {
+            match shared.pool.checkout_sim(circuit.n_qubits(), config) {
+                Ok(s) => sim = Some(s),
+                Err(e) => break Err(JobError::Failed(e)),
             }
+        }
+        let s = sim.as_mut().expect("checked out above");
+        // Rewind a retry that has nothing to resume from; a verified
+        // checkpoint instead resumes mid-circuit.
+        let resumable = attempt > 1 && s.checkpoint().is_some_and(|cp| cp.verify().is_ok());
+        if attempt > 1 && !resumable {
+            s.reset();
+        }
+        s.set_fault_plan(job.request.fault_plan.clone());
+        let ran = catch_unwind(AssertUnwindSafe(|| {
+            exec_fault_point(&job, worker)?;
+            if resumable {
+                s.resume(circuit)
+            } else {
+                s.run(circuit)
+            }
+        }));
+        let outcome = match ran {
+            Ok(r) => r.map_err(|e| (retryable(&e), JobError::Failed(e))),
+            Err(_) => {
+                // The simulator may be mid-mutation; never reuse it.
+                sim = None;
+                Err((true, panic_error()))
+            }
+        };
+        match outcome {
             Ok(summary) => {
+                if let Some(t) = first_failure {
+                    shared.metrics.recovery.record(t.elapsed());
+                }
+                shared
+                    .metrics
+                    .checkpoint_bytes
+                    .fetch_add(summary.checkpoint_bytes, Ordering::Relaxed);
                 shared.metrics.add_traffic(&summary.total_traffic());
+                let mut s = sim.take().expect("simulator ran");
                 let samples = (shots > 0).then(|| {
                     let mut hist = BTreeMap::new();
-                    for outcome in sim.sample(shots) {
+                    for outcome in s.sample(shots) {
                         *hist.entry(outcome).or_insert(0) += 1;
                     }
                     hist
                 });
-                let state = return_state.then(|| sim.state().clone());
-                shared.pool.checkin_sim(sim);
-                Ok(JobOutput::OneShot {
+                let state = return_state.then(|| s.state().clone());
+                s.set_fault_plan(None);
+                shared.pool.checkin_sim(s);
+                break Ok(JobOutput::OneShot {
                     summary,
                     state,
                     samples,
-                })
+                });
+            }
+            Err((transient, err)) => {
+                if transient && attempt < policy.max_attempts {
+                    first_failure.get_or_insert_with(Instant::now);
+                    shared.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                    continue;
+                }
+                // Final failure: drop the simulator (its state reflects
+                // the failed run) and extend the shape's failure streak.
+                sim = None;
+                shared.quarantine_mark_failure(fp);
+                break Err(err);
             }
         }
-    }));
-    let result = attempt.unwrap_or_else(|_| Err(panic_error()));
+    };
+    if result.is_ok() {
+        shared.quarantine_clear(fp);
+    }
+    drop(sim);
     publish(shared, &job, started, result);
 }
 
 /// Execute a coalesced group of sweep jobs — all for the same template —
 /// against one worker-local template clone and one pooled state buffer.
-fn run_sweep_batch(shared: &Shared, templates: &mut WorkerTemplates, jobs: Vec<QueuedJob>) {
+///
+/// Deadlines and cancellation are re-checked *per member* right before its
+/// execution, so a long batch cannot carry an already-dead job to a result
+/// nobody wants. Transient per-job failures retry under the job's policy
+/// (`run_into` resets the buffer, so re-running a trial is idempotent).
+fn run_sweep_batch(
+    shared: &Shared,
+    templates: &mut WorkerTemplates,
+    jobs: Vec<QueuedJob>,
+    worker: usize,
+) {
     shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
     shared
         .metrics
@@ -363,6 +578,19 @@ fn run_sweep_batch(shared: &Shared, templates: &mut WorkerTemplates, jobs: Vec<Q
 
     for job in &jobs {
         let started = Instant::now();
+        // Mid-sweep admission re-check: earlier members of this batch may
+        // have run for a while — a job cancelled or expired since dequeue
+        // must not execute.
+        if job.cell.cancelled.load(Ordering::Acquire) {
+            shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+            job.cell.finish(Err(JobError::Cancelled));
+            continue;
+        }
+        if job.request.deadline.is_some_and(|d| started > d) {
+            shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
+            job.cell.finish(Err(JobError::Expired));
+            continue;
+        }
         let JobSpec::Sweep {
             ref params,
             returning,
@@ -371,20 +599,50 @@ fn run_sweep_batch(shared: &Shared, templates: &mut WorkerTemplates, jobs: Vec<Q
         else {
             unreachable!("coalesced batches are sweep-only");
         };
-        let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<JobOutput, JobError> {
-            tpl.run_into(params, &mut buf).map_err(JobError::Failed)?;
-            Ok(match returning {
-                SweepReturn::State => JobOutput::Sweep {
-                    state: Some(buf.clone()),
-                    value: None,
-                },
-                SweepReturn::ExpZ(mask) => JobOutput::Sweep {
-                    state: None,
-                    value: Some(measure::expval_z_mask(&buf, mask)),
-                },
-            })
-        }));
-        let result = attempt.unwrap_or_else(|_| Err(panic_error()));
+        let fp = fingerprint(&job.request.spec);
+        let policy = job.request.retry;
+        let mut attempt: u32 = 1;
+        let mut first_failure: Option<Instant> = None;
+        let result = loop {
+            let ran = catch_unwind(AssertUnwindSafe(|| -> SvResult<JobOutput> {
+                exec_fault_point(job, worker)?;
+                tpl.run_into(params, &mut buf)?;
+                Ok(match returning {
+                    SweepReturn::State => JobOutput::Sweep {
+                        state: Some(buf.clone()),
+                        value: None,
+                    },
+                    SweepReturn::ExpZ(mask) => JobOutput::Sweep {
+                        state: None,
+                        value: Some(measure::expval_z_mask(&buf, mask)),
+                    },
+                })
+            }));
+            let outcome = match ran {
+                Ok(r) => r.map_err(|e| (retryable(&e), JobError::Failed(e))),
+                Err(_) => Err((true, panic_error())),
+            };
+            match outcome {
+                Ok(output) => {
+                    if let Some(t) = first_failure {
+                        shared.metrics.recovery.record(t.elapsed());
+                    }
+                    shared.quarantine_clear(fp);
+                    break Ok(output);
+                }
+                Err((transient, err)) => {
+                    if transient && attempt < policy.max_attempts {
+                        first_failure.get_or_insert_with(Instant::now);
+                        shared.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(policy.backoff(attempt));
+                        attempt += 1;
+                        continue;
+                    }
+                    shared.quarantine_mark_failure(fp);
+                    break Err(err);
+                }
+            }
+        };
         publish(shared, job, started, result);
     }
     shared.pool.checkin_buffer(buf);

@@ -1,6 +1,7 @@
 //! Job model: what clients submit, what they get back, and the handle that
 //! connects the two across threads.
 
+use crate::retry::RetryPolicy;
 use crate::templates::TemplateId;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -8,6 +9,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use svsim_core::{RunSummary, SimConfig, StateVector};
 use svsim_ir::Circuit;
+use svsim_shmem::FaultPlan;
 use svsim_types::SvError;
 
 /// Scheduling class. Within a class the queue is FIFO; across classes
@@ -82,18 +84,27 @@ pub struct JobRequest {
     /// Scheduling class.
     pub priority: Priority,
     /// Drop the job (with [`JobError::Expired`]) if it has not *started*
-    /// by this instant.
+    /// by this instant. Also honored *mid-sweep*: a coalesced batch checks
+    /// each member's deadline again right before its execution.
     pub deadline: Option<Instant>,
+    /// How transient failures (PE deaths, SHMEM breakdowns) are retried.
+    pub retry: RetryPolicy,
+    /// Injected-fault schedule for this job: threaded into scale-out
+    /// launches and consulted for `Exec`-level faults. `None` in
+    /// production; set by fault-injection tests and `sv-sim fault-bench`.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl JobRequest {
-    /// A normal-priority request with no deadline.
+    /// A normal-priority request with no deadline and no retries.
     #[must_use]
     pub fn new(spec: JobSpec) -> Self {
         Self {
             spec,
             priority: Priority::Normal,
             deadline: None,
+            retry: RetryPolicy::default(),
+            fault_plan: None,
         }
     }
 
@@ -108,6 +119,20 @@ impl JobRequest {
     #[must_use]
     pub fn with_deadline_in(mut self, d: Duration) -> Self {
         self.deadline = Some(Instant::now() + d);
+        self
+    }
+
+    /// Retry transient failures under `policy`.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Attach an injected-fault schedule.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }

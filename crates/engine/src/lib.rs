@@ -17,9 +17,16 @@
 //! - **micro-batching**: queued sweep jobs sharing a compiled
 //!   [`svsim_core::CompiledTemplate`] are coalesced into one
 //!   patch-and-execute loop over a single reused buffer;
-//! - **per-job deadlines and cancellation**, honored at dequeue;
+//! - **per-job deadlines and cancellation**, honored at dequeue *and*
+//!   re-checked mid-sweep before each batched execution;
+//! - **retry and degradation**: per-job [`RetryPolicy`] with exponential
+//!   backoff and deterministic jitter, checkpoint-resuming re-execution of
+//!   jobs killed by injected or real PE faults, and a quarantine list that
+//!   refuses job shapes which keep failing;
 //! - **drain or hard shutdown**, and a [`MetricsSnapshot`] aggregating
-//!   counts, latency histograms, and SHMEM traffic across all jobs.
+//!   counts, latency histograms, SHMEM traffic, and robustness counters
+//!   (retries, quarantined submissions, checkpoint bytes, recovery
+//!   latency) across all jobs.
 //!
 //! ```
 //! use svsim_engine::{Engine, EngineConfig, JobRequest, JobSpec};
@@ -51,10 +58,12 @@ mod job;
 mod metrics;
 mod pool;
 mod queue;
+mod retry;
 mod templates;
 
 pub use engine::{Engine, EngineConfig};
 pub use job::{JobError, JobHandle, JobId, JobOutput, JobRequest, JobSpec, Priority, SweepReturn};
 pub use metrics::{EngineMetrics, LatencyHistogram, LatencySnapshot, MetricsSnapshot};
 pub use queue::SubmitError;
+pub use retry::{retryable, RetryPolicy};
 pub use templates::{TemplateId, TemplateInfo, TemplateRegistry};

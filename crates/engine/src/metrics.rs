@@ -141,10 +141,19 @@ pub struct EngineMetrics {
     pub(crate) pool_created: AtomicU64,
     /// Checkouts satisfied by reuse instead of construction.
     pub(crate) pool_reused: AtomicU64,
+    /// Execution attempts re-run after a transient failure.
+    pub(crate) retries: AtomicU64,
+    /// Submissions refused because the job shape is quarantined.
+    pub(crate) quarantined: AtomicU64,
+    /// Bytes captured into state-vector checkpoints across all jobs.
+    pub(crate) checkpoint_bytes: AtomicU64,
     /// Time from submit to dequeue.
     pub(crate) queue_wait: LatencyHistogram,
     /// Time from dequeue to result publication.
     pub(crate) execution: LatencyHistogram,
+    /// Time from first failure of a job to its successful retried
+    /// completion — the end-to-end recovery latency.
+    pub(crate) recovery: LatencyHistogram,
     /// SHMEM traffic summed over every distributed job.
     pub(crate) traffic: Mutex<TrafficSnapshot>,
 }
@@ -170,8 +179,12 @@ impl EngineMetrics {
             batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
             pool_created: self.pool_created.load(Ordering::Relaxed),
             pool_reused: self.pool_reused.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
             queue_wait: self.queue_wait.snapshot(),
             execution: self.execution.snapshot(),
+            recovery: self.recovery.snapshot(),
             traffic: *self.traffic.lock().expect("traffic lock"),
         }
     }
@@ -202,10 +215,18 @@ pub struct MetricsSnapshot {
     pub pool_created: u64,
     /// Checkouts satisfied from the pool.
     pub pool_reused: u64,
+    /// Execution attempts re-run after a transient failure.
+    pub retries: u64,
+    /// Submissions refused because the job shape is quarantined.
+    pub quarantined: u64,
+    /// Bytes captured into state-vector checkpoints across all jobs.
+    pub checkpoint_bytes: u64,
     /// Submit-to-dequeue latency distribution.
     pub queue_wait: LatencySnapshot,
     /// Dequeue-to-result latency distribution.
     pub execution: LatencySnapshot,
+    /// First-failure-to-recovered-completion latency distribution.
+    pub recovery: LatencySnapshot,
     /// Aggregated SHMEM traffic over all distributed jobs.
     pub traffic: TrafficSnapshot,
 }
@@ -272,8 +293,14 @@ impl std::fmt::Display for MetricsSnapshot {
             self.pool_reused,
             100.0 * self.pool_hit_rate()
         )?;
+        writeln!(
+            f,
+            "robustness: retries={} quarantined={} checkpoint_bytes={}",
+            self.retries, self.quarantined, self.checkpoint_bytes
+        )?;
         writeln!(f, "queue wait: {}", self.queue_wait)?;
         writeln!(f, "execution:  {}", self.execution)?;
+        writeln!(f, "recovery:   {}", self.recovery)?;
         write!(
             f,
             "shmem traffic: remote_ops={} remote_bytes={} barriers={}",

@@ -72,6 +72,9 @@ impl InstancePool {
         if let Some(mut sim) = pooled {
             self.reused.fetch_add(1, Ordering::Relaxed);
             sim.set_seed(config.seed);
+            // Cadence is not part of the pool key, so a pooled instance
+            // still carries its previous job's setting — adopt this job's.
+            sim.set_checkpoint_every(config.checkpoint_every);
             sim.reset();
             return Ok(sim);
         }

@@ -27,6 +27,13 @@ pub enum SubmitError {
         /// Parameters the job supplied.
         got: usize,
     },
+    /// An identical job has already failed repeatedly; the engine refuses
+    /// it until the quarantine is lifted (degradation instead of burning
+    /// workers on a poison job).
+    Quarantined {
+        /// Consecutive final failures recorded for this job shape.
+        failures: u32,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -40,6 +47,9 @@ impl std::fmt::Display for SubmitError {
                     f,
                     "template needs {expected} parameters, job supplied {got}"
                 )
+            }
+            Self::Quarantined { failures } => {
+                write!(f, "job quarantined after {failures} repeated failures")
             }
         }
     }

@@ -22,6 +22,19 @@ pub struct BarrierToken {
     sense: bool,
 }
 
+/// The barrier was poisoned by a failed peer (error of
+/// [`SenseBarrier::try_wait`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierPoisoned;
+
+impl std::fmt::Display for BarrierPoisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shmem barrier poisoned: a peer PE failed")
+    }
+}
+
+impl std::error::Error for BarrierPoisoned {}
+
 impl SenseBarrier {
     /// Barrier over `n` participants.
     #[must_use]
@@ -46,16 +59,44 @@ impl SenseBarrier {
     /// # Panics
     /// If the barrier was [`poison`](Self::poison)ed (a peer PE panicked).
     pub fn wait(&self, token: &mut BarrierToken) {
-        token.sense = !token.sense;
+        if self.try_wait(token).is_err() {
+            panic!("shmem barrier poisoned: a peer PE panicked");
+        }
+    }
+
+    /// Block until all `n` participants arrive, or until the barrier is
+    /// poisoned — the graceful-shutdown variant of [`wait`](Self::wait).
+    ///
+    /// # Errors
+    /// [`BarrierPoisoned`] once a peer poisons the barrier. The caller's
+    /// token is left un-flipped on error, so the epoch at which poisoning
+    /// was observed is well defined. An epoch that fully released before
+    /// the poison still returns `Ok` — poisoning a barrier never fails an
+    /// epoch retroactively, so *every* participant (waiter or late arriver)
+    /// observes the poison in the same epoch: the first one that can no
+    /// longer complete.
+    pub fn try_wait(&self, token: &mut BarrierToken) -> Result<(), BarrierPoisoned> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(BarrierPoisoned);
+        }
+        let next = !token.sense;
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
             // Last arriver: reset and release the epoch.
             self.count.store(0, Ordering::Relaxed);
-            self.sense.store(token.sense, Ordering::Release);
+            self.sense.store(next, Ordering::Release);
         } else {
             let mut spins = 0u32;
-            while self.sense.load(Ordering::Acquire) != token.sense {
-                if self.poisoned.load(Ordering::Relaxed) {
-                    panic!("shmem barrier poisoned: a peer PE panicked");
+            while self.sense.load(Ordering::Acquire) != next {
+                if self.poisoned.load(Ordering::Acquire) {
+                    // The poison may have landed after this epoch released
+                    // (a peer raced ahead and failed at the *next* barrier):
+                    // re-check the sense so a completed epoch stays
+                    // completed and the failure is charged to the epoch
+                    // that actually cannot finish.
+                    if self.sense.load(Ordering::Acquire) == next {
+                        break;
+                    }
+                    return Err(BarrierPoisoned);
                 }
                 spins += 1;
                 if spins < 64 {
@@ -67,20 +108,19 @@ impl SenseBarrier {
                 }
             }
         }
-        if self.poisoned.load(Ordering::Relaxed) {
-            panic!("shmem barrier poisoned: a peer PE panicked");
-        }
+        token.sense = next;
+        Ok(())
     }
 
     /// Mark the barrier poisoned, releasing spinning waiters into a panic.
     pub fn poison(&self) {
-        self.poisoned.store(true, Ordering::Relaxed);
+        self.poisoned.store(true, Ordering::Release);
     }
 
     /// True once poisoned.
     #[must_use]
     pub fn is_poisoned(&self) -> bool {
-        self.poisoned.load(Ordering::Relaxed)
+        self.poisoned.load(Ordering::Acquire)
     }
 }
 

@@ -14,6 +14,7 @@
 //! arrays.
 
 use crate::world::{ShmemCtx, SymF64, SymU64};
+use svsim_types::SvResult;
 
 /// Shadow encoding: `epoch * STRIDE + (pe + 1)`, 0 = untouched.
 const PE_STRIDE: u64 = 1 << 16;
@@ -30,12 +31,16 @@ pub struct CheckedSym {
 }
 
 /// Collectively allocate a checked symmetric array.
-pub fn malloc_checked(ctx: &ShmemCtx<'_>, len_per_pe: usize) -> CheckedSym {
-    CheckedSym {
-        data: ctx.malloc_f64(len_per_pe),
-        writers: ctx.malloc_u64(len_per_pe),
-        readers: ctx.malloc_u64(len_per_pe),
-    }
+///
+/// # Errors
+/// Propagates [`ShmemCtx::malloc_f64`] failures (poisoned heap/barrier or
+/// violated collective call order).
+pub fn malloc_checked(ctx: &ShmemCtx<'_>, len_per_pe: usize) -> SvResult<CheckedSym> {
+    Ok(CheckedSym {
+        data: ctx.malloc_f64(len_per_pe)?,
+        writers: ctx.malloc_u64(len_per_pe)?,
+        readers: ctx.malloc_u64(len_per_pe)?,
+    })
 }
 
 impl CheckedSym {
@@ -114,7 +119,7 @@ mod tests {
     fn disciplined_protocol_passes() {
         // Classic exchange: write remote, barrier, read local.
         let out = launch(4, |ctx| {
-            let sym = malloc_checked(ctx, 4);
+            let sym = malloc_checked(ctx, 4).expect("alloc");
             let right = (ctx.my_pe() + 1) % ctx.n_pes();
             sym.put(ctx, right, 0, ctx.my_pe() as f64);
             ctx.barrier_all();
@@ -126,41 +131,44 @@ mod tests {
 
     #[test]
     fn write_write_race_is_caught() {
-        let caught = std::panic::catch_unwind(|| {
-            let _ = launch(2, |ctx| {
-                let sym = malloc_checked(ctx, 1);
-                // Both PEs write the same word of PE 0 with no barrier.
-                sym.put(ctx, 0, 0, ctx.my_pe() as f64);
-                ctx.barrier_all();
-            });
-        });
-        assert!(caught.is_err(), "the deliberate race must be detected");
+        // `launch` no longer propagates the detector's panic: it surfaces
+        // as a typed error naming the race.
+        let err = launch(2, |ctx| {
+            let sym = malloc_checked(ctx, 1).expect("alloc");
+            // Both PEs write the same word of PE 0 with no barrier.
+            sym.put(ctx, 0, 0, ctx.my_pe() as f64);
+            ctx.barrier_all();
+        })
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("SHMEM race"),
+            "the deliberate race must be detected, got: {err}"
+        );
     }
 
     #[test]
     fn read_write_race_is_caught() {
-        let caught = std::panic::catch_unwind(|| {
-            let _ = launch(2, |ctx| {
-                let sym = malloc_checked(ctx, 1);
-                if ctx.my_pe() == 0 {
-                    sym.put(ctx, 0, 0, 1.0);
-                    // Give PE 1 a chance to read concurrently.
-                    std::thread::sleep(std::time::Duration::from_millis(10));
-                } else {
-                    std::thread::sleep(std::time::Duration::from_millis(5));
-                    let _ = sym.get(ctx, 0, 0); // same epoch: race
-                }
-                ctx.barrier_all();
-            });
-        });
-        assert!(caught.is_err());
+        let err = launch(2, |ctx| {
+            let sym = malloc_checked(ctx, 1).expect("alloc");
+            if ctx.my_pe() == 0 {
+                sym.put(ctx, 0, 0, 1.0);
+                // Give PE 1 a chance to read concurrently.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                let _ = sym.get(ctx, 0, 0); // same epoch: race
+            }
+            ctx.barrier_all();
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("SHMEM race"), "got: {err}");
     }
 
     #[test]
     fn epochs_reset_conflicts() {
         // Writing the same word from different PEs is fine across barriers.
         let out = launch(2, |ctx| {
-            let sym = malloc_checked(ctx, 1);
+            let sym = malloc_checked(ctx, 1).expect("alloc");
             if ctx.my_pe() == 0 {
                 sym.put(ctx, 0, 0, 10.0);
             }

@@ -1,0 +1,262 @@
+//! Deterministic fault injection for the in-process SHMEM runtime.
+//!
+//! HPC state-vector runs (the paper targets Summit/Theta/DGX scale) live
+//! with PE failures and flaky transports; this module makes those failure
+//! paths *testable*. A [`FaultPlan`] is a seeded, replayable schedule of
+//! faults that [`crate::world::launch_with_faults`] threads through every
+//! PE's [`crate::world::ShmemCtx`]. Each spec counts the matching
+//! `put`/`get`/`barrier` operations it observes in the target PE's program
+//! order, so "kill PE 2 at its 7th put" is exactly reproducible run over
+//! run — the property the engine's recovery tests and `sv-sim fault-bench`
+//! rely on. The count lives in the spec (not the launch), so it keeps
+//! accumulating across successive `launch` calls that share one plan:
+//! a checkpointed run executed segment by segment still hits "the Nth put
+//! of the whole run", even when that put happens in a later segment.
+//!
+//! Faults are **one-shot**: a spec disarms after it fires, so a retried job
+//! (same plan, new launch) does not deterministically re-hit the same fault
+//! and can make progress — modeling "the node crashed once", not "the node
+//! is cursed".
+//!
+//! Fault semantics:
+//! - [`FaultAction::Kill`] — the PE dies at the operation (panics with a
+//!   typed payload that `launch` converts into
+//!   [`SvError::PeFailed`](svsim_types::SvError::PeFailed)).
+//! - [`FaultAction::Drop`] — a one-sided transfer is silently lost at the
+//!   fabric. Loss is *detected at the PE's next barrier* (modeling
+//!   transport-level delivery acknowledgment at the synchronization point),
+//!   where the PE fails with `PeFailed{op: Put}` so the corrupted epoch is
+//!   discarded rather than committed.
+//! - [`FaultAction::Delay`] — the operation is stalled (bounded spin); the
+//!   run stays correct, only slower. Used to exercise timing robustness.
+//! - [`FaultAction::Poison`] — the barrier is poisoned directly and the PE
+//!   dies, releasing all spinning peers into their own clean failures.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use svsim_types::{PeOp, SvRng};
+
+/// What an armed fault does when its trigger point is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Kill the PE at this operation.
+    Kill,
+    /// Drop the transfer (puts/gets); detected at the next barrier.
+    Drop,
+    /// Stall the operation for roughly this many spin iterations.
+    Delay(u32),
+    /// Poison the barrier and kill the PE.
+    Poison,
+}
+
+/// One scheduled fault: fires at the `at`-th matching operation of kind
+/// `op` (1-based). With `pe: Some(p)` only PE `p`'s operations match, so
+/// the trigger is a point in that PE's program order; with `pe: None`
+/// every PE's operations match and the globally `at`-th one fires
+/// (whichever PE happens to issue it).
+#[derive(Debug)]
+pub struct FaultSpec {
+    /// Target PE rank; `None` matches any PE.
+    pub pe: Option<usize>,
+    /// Operation kind that triggers the fault.
+    pub op: PeOp,
+    /// 1-based count of matching operations at which the fault fires.
+    pub at: u64,
+    /// What happens at the trigger point.
+    pub action: FaultAction,
+    /// Matching operations observed so far (accumulates across launches).
+    seen: AtomicU64,
+    /// One-shot arming: cleared when the fault fires.
+    armed: AtomicBool,
+}
+
+impl FaultSpec {
+    /// Count one operation against this spec; fires (once) when the
+    /// trigger count is reached.
+    fn observe(&self, pe: usize, op: PeOp) -> Option<FaultAction> {
+        if self.op != op || self.pe.is_some_and(|p| p != pe) {
+            return None;
+        }
+        if !self.armed.load(Ordering::Acquire) {
+            return None;
+        }
+        let n = self.seen.fetch_add(1, Ordering::AcqRel) + 1;
+        if n >= self.at
+            && self
+                .armed
+                .compare_exchange(true, false, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            return Some(self.action);
+        }
+        None
+    }
+
+    /// Matching operations observed so far.
+    #[must_use]
+    pub fn progress(&self) -> u64 {
+        self.seen.load(Ordering::Relaxed)
+    }
+}
+
+/// A deterministic, replayable schedule of injected faults.
+///
+/// Shareable (`Arc<FaultPlan>`) across the launcher and the engine; the
+/// only interior mutability is the per-spec one-shot arming bit.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a fault: `pe`'s `at`-th `op` performs `action`. Pass `None` as
+    /// `pe` to match whichever PE reaches the count first.
+    #[must_use]
+    pub fn with(
+        mut self,
+        pe: impl Into<Option<usize>>,
+        op: PeOp,
+        at: u64,
+        action: FaultAction,
+    ) -> Self {
+        self.specs.push(FaultSpec {
+            pe: pe.into(),
+            op,
+            at,
+            action,
+            seen: AtomicU64::new(0),
+            armed: AtomicBool::new(true),
+        });
+        self
+    }
+
+    /// Seeded single-fault plan for smoke matrices: derives the victim PE
+    /// and trigger count from `seed`, with the action chosen by the caller.
+    #[must_use]
+    pub fn seeded(seed: u64, n_pes: usize, op: PeOp, action: FaultAction) -> Self {
+        let mut rng = SvRng::seed_from_u64(seed ^ 0xfa17_fa17_fa17_fa17);
+        let pe = (rng.next_f64() * n_pes as f64) as usize % n_pes.max(1);
+        // Early enough to hit even short circuits, late enough to let some
+        // work happen first.
+        let at = 1 + (rng.next_f64() * 8.0) as u64;
+        Self::new().with(pe, op, at, action)
+    }
+
+    /// Number of faults scheduled (armed or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when no faults are scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Number of faults still armed (not yet fired).
+    #[must_use]
+    pub fn armed_remaining(&self) -> usize {
+        self.specs
+            .iter()
+            .filter(|s| s.armed.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Re-arm every spec and rewind its operation count (e.g. to replay
+    /// the same schedule in a new run).
+    pub fn rearm(&self) {
+        for s in &self.specs {
+            s.seen.store(0, Ordering::Relaxed);
+            s.armed.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Consult the plan at a trigger point: `pe` is executing one
+    /// operation of kind `op`. Every matching armed spec counts the
+    /// operation; returns the action of the first spec whose trigger count
+    /// is reached, disarming it (one-shot).
+    #[must_use]
+    pub fn check(&self, pe: usize, op: PeOp) -> Option<FaultAction> {
+        let mut fired = None;
+        for s in &self.specs {
+            if let Some(action) = s.observe(pe, op) {
+                fired.get_or_insert(action);
+            }
+        }
+        fired
+    }
+}
+
+/// Typed panic payload for an injected (or detected) PE death. `launch`
+/// downcasts it back into [`SvError::PeFailed`](svsim_types::SvError).
+#[derive(Debug, Clone, Copy)]
+pub struct PeFailure {
+    /// Rank of the PE that died.
+    pub pe: usize,
+    /// Operation during which it died.
+    pub op: PeOp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_disarms_after_firing() {
+        let plan = FaultPlan::new().with(1, PeOp::Put, 3, FaultAction::Kill);
+        assert_eq!(plan.armed_remaining(), 1);
+        assert_eq!(plan.check(1, PeOp::Put), None, "1st put");
+        assert_eq!(plan.check(0, PeOp::Put), None, "wrong PE does not count");
+        assert_eq!(plan.check(1, PeOp::Get), None, "wrong op does not count");
+        assert_eq!(plan.check(1, PeOp::Put), None, "2nd put");
+        assert_eq!(plan.check(1, PeOp::Put), Some(FaultAction::Kill), "3rd put");
+        assert_eq!(plan.armed_remaining(), 0);
+        // One-shot: further matching operations no longer fire or count.
+        assert_eq!(plan.check(1, PeOp::Put), None);
+        plan.rearm();
+        assert_eq!(plan.check(1, PeOp::Put), None);
+        assert_eq!(plan.check(1, PeOp::Put), None);
+        assert_eq!(plan.check(1, PeOp::Put), Some(FaultAction::Kill));
+    }
+
+    #[test]
+    fn counts_accumulate_across_launch_boundaries() {
+        // The spec owns its counter, so two "launches" (two counting
+        // sequences against the same plan) accumulate — a checkpointed
+        // run's later segment can hit the trigger.
+        let plan = FaultPlan::new().with(0, PeOp::Barrier, 5, FaultAction::Kill);
+        for _ in 0..3 {
+            assert_eq!(plan.check(0, PeOp::Barrier), None); // segment 1
+        }
+        assert_eq!(plan.specs[0].progress(), 3);
+        assert_eq!(plan.check(0, PeOp::Barrier), None); // segment 2
+        assert_eq!(plan.check(0, PeOp::Barrier), Some(FaultAction::Kill));
+    }
+
+    #[test]
+    fn wildcard_pe_matches_first_arrival() {
+        let plan = FaultPlan::new().with(None, PeOp::Barrier, 2, FaultAction::Poison);
+        assert_eq!(plan.check(3, PeOp::Barrier), None);
+        assert_eq!(plan.check(0, PeOp::Barrier), Some(FaultAction::Poison));
+        // Fired once; later operations see nothing.
+        assert_eq!(plan.check(1, PeOp::Barrier), None);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(42, 4, PeOp::Put, FaultAction::Kill);
+        let b = FaultPlan::seeded(42, 4, PeOp::Put, FaultAction::Kill);
+        assert_eq!(a.specs[0].pe, b.specs[0].pe);
+        assert_eq!(a.specs[0].at, b.specs[0].at);
+        assert!(a.specs[0].at >= 1);
+        let c = FaultPlan::seeded(43, 4, PeOp::Put, FaultAction::Kill);
+        // Different seed: almost surely a different trigger point.
+        assert!(a.specs[0].pe != c.specs[0].pe || a.specs[0].at != c.specs[0].at);
+    }
+}

@@ -20,17 +20,25 @@
 //! - Every access is classified local/remote and counted ([`metrics`]);
 //!   the traffic profile drives the interconnect performance model in
 //!   `svsim-perfmodel`.
+//! - Failure is a first-class code path: [`fault::FaultPlan`] injects
+//!   deterministic PE kills, dropped/delayed transfers and poisoned
+//!   barriers; [`world::launch_with_faults`] reports per-PE `Result`s (no
+//!   resume-unwinding), and every PE death surfaces as a typed
+//!   `SvError::PeFailed` while peers observe the poisoned barrier and shut
+//!   down cleanly.
 
 pub mod barrier;
 pub mod checked;
+pub mod fault;
 pub mod metrics;
 pub mod shared;
 pub mod signal;
 pub mod world;
 
-pub use barrier::{BarrierToken, SenseBarrier};
+pub use barrier::{BarrierPoisoned, BarrierToken, SenseBarrier};
 pub use checked::{malloc_checked, CheckedSym};
+pub use fault::{FaultAction, FaultPlan, FaultSpec, PeFailure};
 pub use metrics::{MetricsTable, PeCounters, TrafficSnapshot};
 pub use shared::{SharedF64Vec, SharedU64Vec};
 pub use signal::{signal, signal_add, wait_until, WaitCmp};
-pub use world::{launch, JobOutput, ShmemCtx, SymF64, SymU64};
+pub use world::{launch, launch_with_faults, JobOutput, ShmemCtx, SpmdOutput, SymF64, SymU64};

@@ -95,8 +95,8 @@ mod tests {
         const CHUNKS: u64 = 16;
         const CHUNK: usize = 64;
         let out = launch(2, |ctx| {
-            let data = ctx.malloc_f64(CHUNK * CHUNKS as usize);
-            let flags = ctx.malloc_u64(1);
+            let data = ctx.malloc_f64(CHUNK * CHUNKS as usize).expect("alloc");
+            let flags = ctx.malloc_u64(1).expect("alloc");
             if ctx.my_pe() == 0 {
                 for k in 0..CHUNKS {
                     let payload: Vec<f64> =
@@ -127,7 +127,7 @@ mod tests {
     #[test]
     fn signal_add_counts_arrivals() {
         let out = launch(4, |ctx| {
-            let flags = ctx.malloc_u64(1);
+            let flags = ctx.malloc_u64(1).expect("alloc");
             // Everyone signals PE 0.
             signal_add(flags.partition(0), 0, 1);
             if ctx.my_pe() == 0 {

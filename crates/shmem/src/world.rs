@@ -7,11 +7,12 @@
 //! as in the paper's Listing 5.
 
 use crate::barrier::{BarrierToken, SenseBarrier};
+use crate::fault::{FaultAction, FaultPlan, PeFailure};
 use crate::metrics::{MetricsTable, PeCounters, TrafficSnapshot};
 use crate::shared::{SharedF64Vec, SharedU64Vec};
 use std::cell::Cell;
 use std::sync::{Arc, Mutex};
-use svsim_types::{SvError, SvResult};
+use svsim_types::{PeOp, SvError, SvResult};
 
 /// Handle to a symmetric `f64` array: every PE owns `len_per_pe` words and
 /// can address any peer's copy.
@@ -75,10 +76,12 @@ pub struct World {
     /// Scratch slots for collectives (one word per PE).
     coll: SharedF64Vec,
     coll_u: SharedU64Vec,
+    /// Injected-fault schedule, if this world runs under fault injection.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl World {
-    fn new(n_pes: usize) -> Self {
+    fn new(n_pes: usize, faults: Option<Arc<FaultPlan>>) -> Self {
         Self {
             n_pes,
             barrier: SenseBarrier::new(n_pes),
@@ -87,7 +90,15 @@ impl World {
             heap_u64: Mutex::new(Vec::new()),
             coll: SharedF64Vec::new(n_pes, 0.0),
             coll_u: SharedU64Vec::new(n_pes, 0),
+            faults,
         }
+    }
+}
+
+/// Bounded deterministic stall used by [`FaultAction::Delay`].
+fn stall(iters: u32) {
+    for _ in 0..iters {
+        std::hint::spin_loop();
     }
 }
 
@@ -101,6 +112,10 @@ pub struct ShmemCtx<'w> {
     /// pair each PE's `malloc` call with the published handle.
     alloc_seq_f64: Cell<usize>,
     alloc_seq_u64: Cell<usize>,
+    /// An injected [`FaultAction::Drop`] lost a transfer; detection is
+    /// deferred to this PE's next barrier (the synchronization point where
+    /// a real fabric's delivery acknowledgment would surface it).
+    pending_drop: Cell<bool>,
 }
 
 impl<'w> ShmemCtx<'w> {
@@ -121,12 +136,118 @@ impl<'w> ShmemCtx<'w> {
     }
 
     /// Global barrier (`shmem_barrier_all`).
+    ///
+    /// # Panics
+    /// When the barrier is poisoned by a failed peer, or an injected fault
+    /// kills this PE at the barrier. [`launch`] converts the panic into a
+    /// typed per-PE error; use [`try_barrier_all`](Self::try_barrier_all)
+    /// for in-band error handling instead.
     pub fn barrier_all(&self) {
+        if let Err(e) = self.try_barrier_all() {
+            match e {
+                SvError::PeFailed { pe, op } => std::panic::panic_any(PeFailure { pe, op }),
+                _ => panic!("shmem barrier poisoned: a peer PE panicked"),
+            }
+        }
+    }
+
+    /// Poison-aware barrier: like [`barrier_all`](Self::barrier_all) but a
+    /// failed peer (or an injected fault on this PE) surfaces as an error
+    /// instead of a panic, so SPMD bodies can shut down gracefully.
+    ///
+    /// On error the barrier is guaranteed poisoned and this PE's epoch is
+    /// **not** advanced — every peer stuck in the same barrier reports the
+    /// same [`barrier_epoch`](Self::barrier_epoch).
+    ///
+    /// # Errors
+    /// [`SvError::PeFailed`] when an injected fault fires on this PE here
+    /// (the barrier is poisoned first so peers cannot deadlock);
+    /// [`SvError::Shmem`] when a peer poisoned the barrier.
+    pub fn try_barrier_all(&self) -> SvResult<()> {
         self.counters().count_barrier();
+        if self.world.faults.is_some() {
+            self.barrier_fault_points()?;
+        }
         let mut tok = self.token.take();
-        self.world.barrier.wait(&mut tok);
+        let r = self.world.barrier.try_wait(&mut tok);
         self.token.set(tok);
-        self.epoch.set(self.epoch.get() + 1);
+        match r {
+            Ok(()) => {
+                self.epoch.set(self.epoch.get() + 1);
+                Ok(())
+            }
+            Err(_) => Err(SvError::Shmem(format!(
+                "PE {}: barrier poisoned by a failed peer",
+                self.pe
+            ))),
+        }
+    }
+
+    /// Injection hooks that run at barrier entry: surface a previously
+    /// dropped transfer, then consult the plan for barrier-triggered faults.
+    #[cold]
+    fn barrier_fault_points(&self) -> SvResult<()> {
+        let plan = self.world.faults.as_deref().expect("checked by caller");
+        if self.pending_drop.get() {
+            // A lost transfer is detected when delivery is acknowledged at
+            // the synchronization point: fail the PE so the epoch whose
+            // data is incomplete is discarded, never committed.
+            self.pending_drop.set(false);
+            self.world.barrier.poison();
+            return Err(SvError::PeFailed {
+                pe: self.pe,
+                op: PeOp::Put,
+            });
+        }
+        match plan.check(self.pe, PeOp::Barrier) {
+            None | Some(FaultAction::Drop) => Ok(()),
+            Some(FaultAction::Delay(iters)) => {
+                stall(iters);
+                Ok(())
+            }
+            // A PE killed at a barrier never arrives, so it must poison on
+            // the way out or its peers would spin forever.
+            Some(FaultAction::Kill | FaultAction::Poison) => {
+                self.world.barrier.poison();
+                Err(SvError::PeFailed {
+                    pe: self.pe,
+                    op: PeOp::Barrier,
+                })
+            }
+        }
+    }
+
+    /// Injection hook for one-sided transfers. Returns `true` when the
+    /// transfer must be skipped (dropped by the fault plan).
+    #[inline]
+    fn transfer_fault(&self, op: PeOp) -> bool {
+        match &self.world.faults {
+            None => false,
+            Some(plan) => self.transfer_fault_slow(plan, op),
+        }
+    }
+
+    #[cold]
+    fn transfer_fault_slow(&self, plan: &FaultPlan, op: PeOp) -> bool {
+        match plan.check(self.pe, op) {
+            None => false,
+            Some(FaultAction::Delay(iters)) => {
+                stall(iters);
+                false
+            }
+            Some(FaultAction::Drop) => {
+                self.pending_drop.set(true);
+                true
+            }
+            Some(FaultAction::Kill) => {
+                // `launch` poisons the barrier when it catches the panic.
+                std::panic::panic_any(PeFailure { pe: self.pe, op });
+            }
+            Some(FaultAction::Poison) => {
+                self.world.barrier.poison();
+                std::panic::panic_any(PeFailure { pe: self.pe, op });
+            }
+        }
     }
 
     /// Number of barriers this PE has passed — the synchronization epoch
@@ -144,9 +265,24 @@ impl<'w> ShmemCtx<'w> {
         sym.bufs[pe].swap(idx, value)
     }
 
+    /// A symmetric-heap mutex was poisoned: a peer PE panicked while
+    /// publishing an allocation. Healthy PEs get an error, not a panic, so
+    /// one failed PE cannot cascade a lock-poison abort through the world.
+    fn heap_poisoned(&self) -> SvError {
+        SvError::Shmem(format!(
+            "PE {}: symmetric heap lock poisoned by a failed peer",
+            self.pe
+        ))
+    }
+
     /// Collective symmetric allocation of `len_per_pe` f64 words per PE
     /// (`nvshmem_malloc`). Must be called by **all** PEs in the same order.
-    pub fn malloc_f64(&self, len_per_pe: usize) -> SymF64 {
+    ///
+    /// # Errors
+    /// [`SvError::Shmem`] when the heap lock or barrier was poisoned by a
+    /// failed peer, or when PEs disagree on size/order (collective call
+    /// order violated).
+    pub fn malloc_f64(&self, len_per_pe: usize) -> SvResult<SymF64> {
         let seq = self.alloc_seq_f64.get();
         self.alloc_seq_f64.set(seq + 1);
         if self.pe == 0 {
@@ -158,20 +294,40 @@ impl<'w> ShmemCtx<'w> {
                 ),
                 len_per_pe,
             };
-            self.world.heap_f64.lock().expect("heap lock").push(handle);
+            self.world
+                .heap_f64
+                .lock()
+                .map_err(|_| self.heap_poisoned())?
+                .push(handle);
         }
-        self.barrier_all();
-        let handle = self.world.heap_f64.lock().expect("heap lock")[seq].clone();
-        assert_eq!(
-            handle.len_per_pe, len_per_pe,
-            "PE {} called malloc_f64 with a mismatched size (collective call order violated)",
-            self.pe
-        );
-        handle
+        self.try_barrier_all()?;
+        let handle = self
+            .world
+            .heap_f64
+            .lock()
+            .map_err(|_| self.heap_poisoned())?
+            .get(seq)
+            .cloned()
+            .ok_or_else(|| {
+                SvError::Shmem(format!(
+                    "PE {}: allocation #{seq} was never published (collective call order violated)",
+                    self.pe
+                ))
+            })?;
+        if handle.len_per_pe != len_per_pe {
+            return Err(SvError::Shmem(format!(
+                "PE {} called malloc_f64 with a mismatched size (collective call order violated)",
+                self.pe
+            )));
+        }
+        Ok(handle)
     }
 
     /// Collective symmetric allocation of `u64` words.
-    pub fn malloc_u64(&self, len_per_pe: usize) -> SymU64 {
+    ///
+    /// # Errors
+    /// Same contract as [`malloc_f64`](Self::malloc_f64).
+    pub fn malloc_u64(&self, len_per_pe: usize) -> SvResult<SymU64> {
         let seq = self.alloc_seq_u64.get();
         self.alloc_seq_u64.set(seq + 1);
         if self.pe == 0 {
@@ -183,36 +339,65 @@ impl<'w> ShmemCtx<'w> {
                 ),
                 len_per_pe,
             };
-            self.world.heap_u64.lock().expect("heap lock").push(handle);
+            self.world
+                .heap_u64
+                .lock()
+                .map_err(|_| self.heap_poisoned())?
+                .push(handle);
         }
-        self.barrier_all();
-        let handle = self.world.heap_u64.lock().expect("heap lock")[seq].clone();
-        assert_eq!(
-            handle.len_per_pe, len_per_pe,
-            "collective call order violated"
-        );
-        handle
+        self.try_barrier_all()?;
+        let handle = self
+            .world
+            .heap_u64
+            .lock()
+            .map_err(|_| self.heap_poisoned())?
+            .get(seq)
+            .cloned()
+            .ok_or_else(|| {
+                SvError::Shmem(format!(
+                    "PE {}: allocation #{seq} was never published (collective call order violated)",
+                    self.pe
+                ))
+            })?;
+        if handle.len_per_pe != len_per_pe {
+            return Err(SvError::Shmem(format!(
+                "PE {}: collective call order violated",
+                self.pe
+            )));
+        }
+        Ok(handle)
     }
 
     /// One-sided load of one word from `src_pe`'s partition
-    /// (`nvshmem_double_g`).
+    /// (`nvshmem_double_g`). A dropped (injected) load returns `0.0`; the
+    /// loss is detected at this PE's next barrier.
     #[inline]
     #[must_use]
     pub fn get_f64(&self, sym: &SymF64, src_pe: usize, idx: usize) -> f64 {
+        if self.transfer_fault(PeOp::Get) {
+            return 0.0;
+        }
         self.counters().count_get(src_pe != self.pe, 8);
         sym.bufs[src_pe].load(idx)
     }
 
     /// One-sided store of one word into `dst_pe`'s partition
-    /// (`nvshmem_double_p`).
+    /// (`nvshmem_double_p`). A dropped (injected) store is lost at the
+    /// fabric; the loss is detected at this PE's next barrier.
     #[inline]
     pub fn put_f64(&self, sym: &SymF64, dst_pe: usize, idx: usize, v: f64) {
+        if self.transfer_fault(PeOp::Put) {
+            return;
+        }
         self.counters().count_put(dst_pe != self.pe, 8);
         sym.bufs[dst_pe].store(idx, v);
     }
 
     /// Contiguous one-sided load (`shmem_getmem`): one message, many words.
     pub fn get_slice_f64(&self, sym: &SymF64, src_pe: usize, start: usize, dst: &mut [f64]) {
+        if self.transfer_fault(PeOp::Get) {
+            return;
+        }
         self.counters()
             .count_get(src_pe != self.pe, 8 * dst.len() as u64);
         sym.bufs[src_pe].load_slice(start, dst);
@@ -220,6 +405,9 @@ impl<'w> ShmemCtx<'w> {
 
     /// Contiguous one-sided store (`shmem_putmem`).
     pub fn put_slice_f64(&self, sym: &SymF64, dst_pe: usize, start: usize, src: &[f64]) {
+        if self.transfer_fault(PeOp::Put) {
+            return;
+        }
         self.counters()
             .count_put(dst_pe != self.pe, 8 * src.len() as u64);
         sym.bufs[dst_pe].store_slice(start, src);
@@ -235,6 +423,9 @@ impl<'w> ShmemCtx<'w> {
     #[inline]
     #[must_use]
     pub fn get_u64(&self, sym: &SymU64, src_pe: usize, idx: usize) -> u64 {
+        if self.transfer_fault(PeOp::Get) {
+            return 0;
+        }
         self.counters().count_get(src_pe != self.pe, 8);
         sym.bufs[src_pe].load(idx)
     }
@@ -242,6 +433,9 @@ impl<'w> ShmemCtx<'w> {
     /// One-sided `u64` store.
     #[inline]
     pub fn put_u64(&self, sym: &SymU64, dst_pe: usize, idx: usize, v: u64) {
+        if self.transfer_fault(PeOp::Put) {
+            return;
+        }
         self.counters().count_put(dst_pe != self.pe, 8);
         sym.bufs[dst_pe].store(idx, v);
     }
@@ -334,14 +528,122 @@ impl<T> JobOutput<T> {
     }
 }
 
+/// Per-PE results of a fault-aware SPMD job: every PE yields an
+/// `Ok(value)` or a typed error describing how it failed. Peers of a
+/// failed PE shut down cleanly (no resume-unwinding) and report their own
+/// view of the failure.
+#[derive(Debug)]
+pub struct SpmdOutput<T> {
+    /// Per-PE outcome, indexed by rank.
+    pub results: Vec<SvResult<T>>,
+    /// Per-PE traffic, indexed by rank.
+    pub traffic: Vec<TrafficSnapshot>,
+}
+
+/// How informative an error is when picking the root cause of a job
+/// failure: an injected/typed PE death beats a primary panic message,
+/// which beats a secondary "my peer poisoned the barrier" report.
+fn error_rank(e: &SvError) -> u8 {
+    match e {
+        SvError::PeFailed { .. } => 0,
+        SvError::Shmem(msg) if msg.contains("poisoned") => 2,
+        _ => 1,
+    }
+}
+
+impl<T> SpmdOutput<T> {
+    /// The root-cause failure, if any PE failed. Prefers typed
+    /// [`SvError::PeFailed`] over panic messages over secondary
+    /// poison-observation reports.
+    #[must_use]
+    pub fn first_failure(&self) -> Option<&SvError> {
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .min_by_key(|e| error_rank(e))
+    }
+
+    /// Collapse into an all-or-nothing [`JobOutput`]: `Ok` when every PE
+    /// succeeded, otherwise the root-cause error.
+    ///
+    /// # Errors
+    /// The most informative per-PE failure (see
+    /// [`first_failure`](Self::first_failure)).
+    pub fn into_result(self) -> SvResult<JobOutput<T>> {
+        if let Some(e) = self.first_failure() {
+            return Err(e.clone());
+        }
+        Ok(JobOutput {
+            results: self
+                .results
+                .into_iter()
+                .map(|r| r.expect("checked above"))
+                .collect(),
+            traffic: self.traffic,
+        })
+    }
+
+    /// Aggregate traffic over all PEs.
+    #[must_use]
+    pub fn total_traffic(&self) -> TrafficSnapshot {
+        self.traffic
+            .iter()
+            .fold(TrafficSnapshot::default(), |acc, s| acc.merged(s))
+    }
+}
+
+/// Convert a caught PE panic payload into a typed error.
+fn classify_panic(pe: usize, payload: &(dyn std::any::Any + Send)) -> SvError {
+    fn from_msg(pe: usize, msg: &str) -> SvError {
+        if msg.contains("barrier poisoned") {
+            SvError::Shmem(format!("PE {pe}: barrier poisoned by a failed peer"))
+        } else {
+            SvError::Shmem(format!("PE {pe} panicked: {msg}"))
+        }
+    }
+    if let Some(f) = payload.downcast_ref::<PeFailure>() {
+        SvError::PeFailed { pe: f.pe, op: f.op }
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        from_msg(pe, s)
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        from_msg(pe, s)
+    } else {
+        SvError::Shmem(format!("PE {pe} panicked"))
+    }
+}
+
 /// Launch an SPMD job over `n_pes` PEs (the `shmem_init` + fork analog).
 ///
 /// Every PE runs `body` with its own [`ShmemCtx`]. If any PE panics, the
-/// barrier is poisoned so peers fail fast, and the panic is propagated.
+/// barrier is poisoned so peers fail fast, every PE's panic is caught and
+/// converted into a typed error, and the root cause is returned as `Err` —
+/// callers never see a resumed unwind.
 ///
 /// # Errors
-/// [`SvError::InvalidConfig`] when `n_pes == 0`.
+/// [`SvError::InvalidConfig`] when `n_pes == 0`; [`SvError::PeFailed`] or
+/// [`SvError::Shmem`] when a PE fails.
 pub fn launch<T, F>(n_pes: usize, body: F) -> SvResult<JobOutput<T>>
+where
+    T: Send,
+    F: Fn(&ShmemCtx<'_>) -> T + Sync,
+{
+    launch_with_faults(n_pes, None, body)?.into_result()
+}
+
+/// [`launch`] under a deterministic [`FaultPlan`], reporting per-PE
+/// outcomes instead of collapsing to the first failure. This is the entry
+/// point for fault-tolerance tests and the engine's recovery path: healthy
+/// PEs still return `Ok`, failed PEs return the typed fault that killed
+/// them, and nobody deadlocks (every injected death poisons the barrier).
+///
+/// # Errors
+/// [`SvError::InvalidConfig`] when `n_pes == 0`. Per-PE failures are
+/// reported in [`SpmdOutput::results`], not as a top-level error.
+pub fn launch_with_faults<T, F>(
+    n_pes: usize,
+    faults: Option<Arc<FaultPlan>>,
+    body: F,
+) -> SvResult<SpmdOutput<T>>
 where
     T: Send,
     F: Fn(&ShmemCtx<'_>) -> T + Sync,
@@ -349,8 +651,8 @@ where
     if n_pes == 0 {
         return Err(SvError::InvalidConfig("n_pes must be >= 1".into()));
     }
-    let world = World::new(n_pes);
-    let mut slots: Vec<Option<T>> = (0..n_pes).map(|_| None).collect();
+    let world = World::new(n_pes, faults);
+    let mut slots: Vec<Option<SvResult<T>>> = (0..n_pes).map(|_| None).collect();
     std::thread::scope(|scope| {
         let world = &world;
         let body = &body;
@@ -366,29 +668,28 @@ where
                         epoch: Cell::new(0),
                         alloc_seq_f64: Cell::new(0),
                         alloc_seq_u64: Cell::new(0),
+                        pending_drop: Cell::new(false),
                     };
                     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
-                    match r {
-                        Ok(v) => {
-                            *slot = Some(v);
-                        }
+                    *slot = Some(match r {
+                        Ok(v) => Ok(v),
                         Err(payload) => {
+                            // Poison first so peers spinning in a barrier
+                            // fail fast instead of deadlocking.
                             world.barrier.poison();
-                            std::panic::resume_unwind(payload);
+                            Err(classify_panic(pe, payload.as_ref()))
                         }
-                    }
+                    });
                 })
             })
             .collect();
         for h in handles {
-            // Propagate the first panic after all threads finish or poison.
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
-            }
+            // Threads no longer unwind: every panic is caught in the body.
+            h.join().expect("PE thread cannot unwind");
         }
     });
     let traffic = world.metrics.snapshot_all();
-    Ok(JobOutput {
+    Ok(SpmdOutput {
         results: slots
             .into_iter()
             .map(|s| s.expect("PE completed without result"))
@@ -420,7 +721,7 @@ mod tests {
         // Ring exchange: each PE writes its rank into its right neighbor's
         // partition, then reads its own slot.
         let out = launch(4, |ctx| {
-            let sym = ctx.malloc_f64(1);
+            let sym = ctx.malloc_f64(1).expect("alloc");
             let right = (ctx.my_pe() + 1) % ctx.n_pes();
             ctx.put_f64(&sym, right, 0, ctx.my_pe() as f64);
             ctx.barrier_all();
@@ -433,7 +734,7 @@ mod tests {
     #[test]
     fn traffic_is_classified() {
         let out = launch(2, |ctx| {
-            let sym = ctx.malloc_f64(4);
+            let sym = ctx.malloc_f64(4).expect("alloc");
             // one local put, one remote put, one remote get
             ctx.put_f64(&sym, ctx.my_pe(), 0, 1.0);
             ctx.put_f64(&sym, 1 - ctx.my_pe(), 1, 2.0);
@@ -452,7 +753,7 @@ mod tests {
     #[test]
     fn slice_transfers() {
         let out = launch(2, |ctx| {
-            let sym = ctx.malloc_f64(8);
+            let sym = ctx.malloc_f64(8).expect("alloc");
             if ctx.my_pe() == 0 {
                 ctx.put_slice_f64(&sym, 1, 2, &[5.0, 6.0, 7.0]);
             }
@@ -503,9 +804,9 @@ mod tests {
     #[test]
     fn multiple_allocations_in_order() {
         let out = launch(2, |ctx| {
-            let a = ctx.malloc_f64(2);
-            let b = ctx.malloc_f64(3);
-            let f = ctx.malloc_u64(1);
+            let a = ctx.malloc_f64(2).expect("alloc");
+            let b = ctx.malloc_f64(3).expect("alloc");
+            let f = ctx.malloc_u64(1).expect("alloc");
             ctx.put_f64(&a, ctx.my_pe(), 0, 1.0);
             ctx.put_f64(&b, ctx.my_pe(), 2, 2.0);
             ctx.atomic_fetch_add_u64(&f, 0, 0, 1);
@@ -519,7 +820,7 @@ mod tests {
     #[test]
     fn atomic_fetch_add_f64_across_pes() {
         let out = launch(4, |ctx| {
-            let sym = ctx.malloc_f64(1);
+            let sym = ctx.malloc_f64(1).expect("alloc");
             ctx.barrier_all();
             // Everyone adds into PE 0's slot.
             ctx.atomic_fetch_add_f64(&sym, 0, 0, 1.5);
@@ -531,16 +832,173 @@ mod tests {
     }
 
     #[test]
-    fn panic_in_one_pe_propagates() {
-        let r = std::panic::catch_unwind(|| {
-            let _ = launch(3, |ctx| {
-                if ctx.my_pe() == 1 {
-                    panic!("PE 1 exploded");
+    fn panic_in_one_pe_becomes_typed_error() {
+        // A PE panic no longer unwinds out of `launch`: the job returns a
+        // typed error naming the failed PE, and peers stuck in the barrier
+        // shut down cleanly instead of deadlocking.
+        let err = launch(3, |ctx| {
+            if ctx.my_pe() == 1 {
+                panic!("PE 1 exploded");
+            }
+            // Peers head into a barrier that PE 1 never reaches.
+            ctx.barrier_all();
+        })
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("PE 1 exploded"),
+            "root cause should win over poison observations, got: {err}"
+        );
+    }
+
+    #[test]
+    fn per_pe_results_separate_victim_from_witnesses() {
+        use crate::fault::{FaultAction, FaultPlan};
+        use svsim_types::PeOp;
+        // Kill PE 2 at its 3rd put; every other PE must report the
+        // poisoned barrier as an error, not hang or panic.
+        let plan = Arc::new(FaultPlan::new().with(2, PeOp::Put, 3, FaultAction::Kill));
+        let out = launch_with_faults(4, Some(plan), |ctx| {
+            let sym = ctx.malloc_f64(4)?;
+            for i in 0..4 {
+                ctx.put_f64(&sym, (ctx.my_pe() + 1) % ctx.n_pes(), i, 1.0);
+            }
+            ctx.try_barrier_all()?;
+            Ok::<_, SvError>(ctx.my_pe())
+        })
+        .unwrap();
+        // The victim carries the typed fault (possibly nested in its own
+        // Ok(Err(..)) body result — here the kill panics, so outer Err).
+        assert_eq!(
+            out.results[2].as_ref().unwrap_err(),
+            &SvError::PeFailed {
+                pe: 2,
+                op: PeOp::Put
+            }
+        );
+        for pe in [0usize, 1, 3] {
+            match &out.results[pe] {
+                Ok(Err(SvError::Shmem(msg))) => assert!(msg.contains("poisoned"), "{msg}"),
+                other => panic!("PE {pe}: expected clean poison report, got {other:?}"),
+            }
+        }
+    }
+
+    /// All peers must observe a barrier poisoning in the *same* barrier
+    /// epoch: a fault at the victim's Nth barrier fires at barrier entry
+    /// (the victim never arrives), so nobody passes that barrier and every
+    /// PE — victim included — still holds epoch N-1 when it sees the error.
+    #[test]
+    fn poisoning_is_observed_in_the_same_epoch_by_all_pes() {
+        use crate::fault::{FaultAction, FaultPlan};
+        use svsim_types::PeOp;
+        const N: usize = 4;
+        const AT: u64 = 10;
+        for action in [FaultAction::Kill, FaultAction::Poison] {
+            let plan = Arc::new(FaultPlan::new().with(2, PeOp::Barrier, AT, action));
+            let out = launch_with_faults(N, Some(plan), |ctx| {
+                for _ in 0..32 {
+                    if ctx.try_barrier_all().is_err() {
+                        return ctx.barrier_epoch();
+                    }
                 }
-                // Peers head into a barrier that PE 1 never reaches.
+                u64::MAX // fault never observed — fails the assertion below
+            })
+            .unwrap();
+            let epochs: Vec<u64> = out
+                .results
+                .iter()
+                .map(|r| *r.as_ref().expect("try_barrier_all keeps PEs alive"))
+                .collect();
+            assert_eq!(
+                epochs,
+                vec![AT - 1; N],
+                "{action:?}: every PE must stop at the epoch before the poisoned barrier"
+            );
+        }
+    }
+
+    /// Same epoch agreement when the victim uses the panicking
+    /// `barrier_all`: the victim dies with a typed error while peers on the
+    /// poison-aware path shut down cleanly — all in the same epoch, with no
+    /// deadlock even though the victim never reaches its own poison report.
+    #[test]
+    fn killed_pe_and_survivors_agree_on_the_poisoned_epoch() {
+        use crate::fault::{FaultAction, FaultPlan};
+        use svsim_types::PeOp;
+        const AT: u64 = 5;
+        let plan = Arc::new(FaultPlan::new().with(1, PeOp::Barrier, AT, FaultAction::Kill));
+        let out = launch_with_faults(3, Some(plan), |ctx| {
+            for _ in 0..16 {
+                if ctx.my_pe() == 1 {
+                    ctx.barrier_all(); // panics at the injected fault
+                } else if ctx.try_barrier_all().is_err() {
+                    return ctx.barrier_epoch();
+                }
+            }
+            u64::MAX
+        })
+        .unwrap();
+        assert_eq!(
+            out.results[1].as_ref().unwrap_err(),
+            &SvError::PeFailed {
+                pe: 1,
+                op: PeOp::Barrier
+            }
+        );
+        for pe in [0usize, 2] {
+            assert_eq!(
+                *out.results[pe].as_ref().unwrap(),
+                AT - 1,
+                "PE {pe} must observe the poisoning in the failed barrier's epoch"
+            );
+        }
+    }
+
+    /// Repeated launches under barrier poisoning must neither deadlock nor
+    /// leak poisoned state into later worlds (each launch builds a fresh
+    /// barrier).
+    #[test]
+    fn poisoned_worlds_do_not_contaminate_later_launches() {
+        use crate::fault::{FaultAction, FaultPlan};
+        use svsim_types::PeOp;
+        for round in 0..8u64 {
+            let plan = Arc::new(FaultPlan::new().with(
+                (round % 3) as usize,
+                PeOp::Barrier,
+                1 + round % 4,
+                FaultAction::Poison,
+            ));
+            let out = launch_with_faults(3, Some(plan), |ctx| {
+                for _ in 0..8 {
+                    if ctx.try_barrier_all().is_err() {
+                        return Err(ctx.barrier_epoch());
+                    }
+                }
+                Ok(ctx.barrier_epoch())
+            })
+            .unwrap();
+            // Exactly one consistent observation epoch across survivors.
+            let epochs: Vec<u64> = out
+                .results
+                .iter()
+                .filter_map(|r| r.as_ref().ok())
+                .map(|body| match body {
+                    Ok(e) | Err(e) => *e,
+                })
+                .collect();
+            assert!(!epochs.is_empty(), "round {round}: survivors must report");
+            assert!(
+                epochs.windows(2).all(|w| w[0] == w[1]),
+                "round {round}: epoch disagreement {epochs:?}"
+            );
+            // A clean follow-up launch must work: no poison leaks across
+            // worlds.
+            let clean = launch(3, |ctx| {
                 ctx.barrier_all();
-            });
-        });
-        assert!(r.is_err());
+                ctx.my_pe()
+            })
+            .unwrap();
+            assert_eq!(clean.results, vec![0, 1, 2]);
+        }
     }
 }

@@ -2,6 +2,36 @@
 
 use std::fmt;
 
+/// The SHMEM-level operation a failed PE was executing when it died.
+///
+/// Carried by [`SvError::PeFailed`] so recovery layers (engine retry,
+/// fault-bench reporting) can attribute a failure to the access protocol
+/// step that triggered it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeOp {
+    /// One-sided store (`put`) — single word or slice.
+    Put,
+    /// One-sided load (`get`) — single word or slice.
+    Get,
+    /// `barrier_all` (includes faults *detected* at the barrier, e.g. a
+    /// dropped transfer surfacing at the next synchronization epoch).
+    Barrier,
+    /// Engine-level job execution step (worker running a batched template),
+    /// outside the SHMEM runtime proper.
+    Exec,
+}
+
+impl fmt::Display for PeOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Put => write!(f, "put"),
+            Self::Get => write!(f, "get"),
+            Self::Barrier => write!(f, "barrier"),
+            Self::Exec => write!(f, "exec"),
+        }
+    }
+}
+
 /// Errors produced anywhere in the SV-Sim reproduction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SvError {
@@ -42,6 +72,15 @@ pub enum SvError {
     },
     /// The SHMEM runtime was misused (bad PE id, out-of-segment access, ...).
     Shmem(String),
+    /// A processing element failed (panicked or was killed by an injected
+    /// fault) during the given operation. Peers observe the poisoned barrier
+    /// and shut down cleanly; this variant identifies the origin.
+    PeFailed {
+        /// Rank of the failed PE.
+        pe: usize,
+        /// Operation during which it failed.
+        op: PeOp,
+    },
     /// Numerical failure (e.g. renormalizing a zero-probability branch).
     Numeric(String),
 }
@@ -69,6 +108,9 @@ impl fmt::Display for SvError {
                 got,
             } => write!(f, "gate {gate} expects {expected} argument(s), got {got}"),
             Self::Shmem(msg) => write!(f, "shmem runtime error: {msg}"),
+            Self::PeFailed { pe, op } => {
+                write!(f, "PE {pe} failed during {op}")
+            }
             Self::Numeric(msg) => write!(f, "numeric error: {msg}"),
         }
     }
@@ -96,6 +138,16 @@ mod tests {
             msg: "unexpected token".into(),
         };
         assert!(p.to_string().contains("3:14"));
+    }
+
+    #[test]
+    fn pe_failed_display() {
+        let e = SvError::PeFailed {
+            pe: 2,
+            op: PeOp::Put,
+        };
+        assert_eq!(e.to_string(), "PE 2 failed during put");
+        assert_eq!(PeOp::Barrier.to_string(), "barrier");
     }
 
     #[test]

@@ -12,7 +12,7 @@ pub mod error;
 pub mod rng;
 
 pub use complex::Complex64;
-pub use error::{SvError, SvResult};
+pub use error::{PeOp, SvError, SvResult};
 pub use rng::SvRng;
 
 /// Index type for amplitudes and qubits, matching the paper's `IdxType`.

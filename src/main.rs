@@ -9,6 +9,9 @@
 //! sv-sim platforms
 //! sv-sim serve-bench [--workers N] [--sweeps N] [--one-shots N]
 //!                    [--batch N] [--seed S] [--reps N]
+//! sv-sim fault-bench [--fault kill-pe|drop-put|poison-barrier|exec]
+//!                    [--pes N] [--every K] [--seed S] [--one-shots N]
+//!                    [--sweeps N] [--attempts N]
 //! ```
 
 use std::process::ExitCode;
@@ -23,7 +26,9 @@ fn usage() -> ExitCode {
          sv-sim stats <file.qasm>\n  \
          sv-sim estimate <file.qasm> --platform <name> [--workers N]\n  \
          sv-sim platforms\n  \
-         sv-sim serve-bench [--workers N] [--sweeps N] [--one-shots N] [--batch N] [--seed S] [--reps N]"
+         sv-sim serve-bench [--workers N] [--sweeps N] [--one-shots N] [--batch N] [--seed S] [--reps N]\n  \
+         sv-sim fault-bench [--fault kill-pe|drop-put|poison-barrier|exec] [--pes N] [--every K] \
+         [--seed S] [--one-shots N] [--sweeps N] [--attempts N]"
     );
     ExitCode::from(2)
 }
@@ -53,6 +58,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&args[1..]),
         "estimate" => cmd_estimate(&args[1..]),
         "serve-bench" => cmd_serve_bench(&args[1..]),
+        "fault-bench" => cmd_fault_bench(&args[1..]),
         "platforms" => {
             println!("modeled platforms (see svsim-perfmodel):");
             for d in [
@@ -456,5 +462,202 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         )
         .into());
     }
+    Ok(())
+}
+
+/// Run a serve-bench-style mix under a seeded fault schedule and prove
+/// recovery: every job killed by an injected fault must be retried (from
+/// its last checkpoint where one exists) and finish **bit-identical** to a
+/// fault-free reference run. Exits nonzero on any checksum mismatch.
+fn cmd_fault_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use sv_sim::core::state_checksum;
+    use sv_sim::engine::{
+        Engine, EngineConfig, JobOutput, JobRequest, JobSpec, RetryPolicy, SweepReturn,
+    };
+    use sv_sim::shmem::{FaultAction, FaultPlan};
+    use sv_sim::types::{PeOp, SvRng};
+    use sv_sim::vqa::{qaoa_params, qaoa_template};
+    use sv_sim::workloads::{algos::cat_state, states::w_state};
+
+    let fault_kind = flag_value(args, "--fault").unwrap_or("kill-pe");
+    let pes: usize = flag_value(args, "--pes").map_or(Ok(4), str::parse)?;
+    let every: u32 = flag_value(args, "--every").map_or(Ok(2), str::parse)?;
+    let seed: u64 = flag_value(args, "--seed").map_or(Ok(0xFA17), str::parse)?;
+    let one_shots: usize = flag_value(args, "--one-shots").map_or(Ok(4), str::parse)?;
+    let sweeps: usize = flag_value(args, "--sweeps").map_or(Ok(8), str::parse)?;
+    let attempts: u32 = flag_value(args, "--attempts").map_or(Ok(4), str::parse)?;
+
+    // The fault schedule: `exec` targets the engine worker itself (rank 0,
+    // since the bench pins one worker); the SHMEM kinds target whichever PE
+    // reaches a seeded trigger count first inside the scale-out launch, so
+    // short circuits still hit the fault.
+    let (op, action) = match fault_kind {
+        "kill-pe" => (PeOp::Put, FaultAction::Kill),
+        "drop-put" => (PeOp::Put, FaultAction::Drop),
+        "poison-barrier" => (PeOp::Barrier, FaultAction::Poison),
+        "exec" => (PeOp::Exec, FaultAction::Kill),
+        other => return Err(format!("unknown fault kind `{other}`").into()),
+    };
+    let make_plan = |job_seed: u64| -> Arc<FaultPlan> {
+        if op == PeOp::Exec {
+            return Arc::new(FaultPlan::new().with(0, PeOp::Exec, 1, action));
+        }
+        let mut rng = SvRng::seed_from_u64(job_seed);
+        let at = 1 + (rng.next_f64() * 8.0) as u64;
+        Arc::new(FaultPlan::new().with(None, op, at, action))
+    };
+    let retry = RetryPolicy::attempts(attempts.max(2))
+        .with_base_backoff(Duration::from_millis(1))
+        .with_max_backoff(Duration::from_millis(8))
+        .with_jitter_seed(seed);
+
+    // --- The mix ------------------------------------------------------------
+    // One-shots arrive as OpenQASM text and execute scale-out with periodic
+    // checkpoints; sweeps are QAOA points on a registered template.
+    let qasm_sources = [
+        sv_sim::qasm::to_qasm(&cat_state(8)?)?,
+        sv_sim::qasm::to_qasm(&w_state(8)?)?,
+    ];
+    let one_shot_jobs: Vec<(sv_sim::ir::Circuit, sv_sim::core::SimConfig)> = (0..one_shots)
+        .map(|i| {
+            let circuit = parse_circuit(&qasm_sources[i % qasm_sources.len()])?;
+            let config = sv_sim::core::SimConfig::scale_out(pes)
+                .with_seed(seed ^ i as u64)
+                .with_checkpoint_every(every);
+            Ok::<_, Box<dyn std::error::Error>>((circuit, config))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let graph = sv_sim::workloads::qaoa::Graph::random(8, 0.4, seed);
+    let qaoa = qaoa_template(&graph, 2)?;
+    let qaoa_mask = (1u64 << 8) - 1;
+    let mut rng = SvRng::seed_from_u64(seed ^ 0x0051_eeb5);
+    let sweep_points: Vec<Vec<f64>> = (0..sweeps)
+        .map(|_| {
+            let gammas = [rng.range_f64(-2.0, 2.0), rng.range_f64(-2.0, 2.0)];
+            let betas = [rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)];
+            qaoa_params(&gammas, &betas)
+        })
+        .collect();
+
+    // --- Fault-free reference ----------------------------------------------
+    let mut ref_checksums = Vec::with_capacity(one_shots);
+    for (circuit, config) in &one_shot_jobs {
+        let mut sim = Simulator::new(circuit.n_qubits(), *config)?;
+        sim.run(circuit)?;
+        ref_checksums.push(state_checksum(sim.state()));
+    }
+    let mut compiled = qaoa.compile()?;
+    let ref_values: Vec<f64> = sweep_points
+        .iter()
+        .map(|p| {
+            let state = compiled.run(p)?;
+            Ok::<_, Box<dyn std::error::Error>>(measure::expval_z_mask(&state, qaoa_mask))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // --- Faulted run --------------------------------------------------------
+    // Injected PE deaths are panics by design (the launcher converts them
+    // into typed per-PE errors); silence their default backtrace spew so
+    // the bench output stays readable. Real panics still print.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info
+            .payload()
+            .downcast_ref::<sv_sim::shmem::PeFailure>()
+            .is_none()
+        {
+            default_hook(info);
+        }
+    }));
+    // One worker: execution order (and the Exec fault's PE rank) is fixed.
+    let engine = Engine::start(EngineConfig::default().with_workers(1));
+    let qaoa_id = engine.register_template("qaoa_maxcut_n8", &qaoa)?;
+    let mut plans = Vec::new();
+
+    let one_shot_handles: Vec<_> = one_shot_jobs
+        .iter()
+        .enumerate()
+        .map(|(i, (circuit, config))| {
+            let plan = make_plan(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            plans.push(Arc::clone(&plan));
+            engine
+                .submit(
+                    JobRequest::new(JobSpec::OneShot {
+                        circuit: Arc::new(circuit.clone()),
+                        config: *config,
+                        shots: 0,
+                        return_state: true,
+                    })
+                    .with_retry(retry)
+                    .with_fault_plan(plan),
+                )
+                .map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    let sweep_handles: Vec<_> = sweep_points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut request = JobRequest::new(JobSpec::Sweep {
+                template: qaoa_id,
+                params: p.clone(),
+                returning: SweepReturn::ExpZ(qaoa_mask),
+            })
+            .with_retry(retry);
+            // SHMEM-level faults have no trigger inside a single-device
+            // template sweep; Exec faults target every other sweep point.
+            if op == PeOp::Exec && i % 2 == 0 {
+                let plan = make_plan(seed ^ (i as u64) << 7);
+                plans.push(Arc::clone(&plan));
+                request = request.with_fault_plan(plan);
+            }
+            engine.submit(request).map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut mismatches = 0usize;
+    for (i, h) in one_shot_handles.iter().enumerate() {
+        let JobOutput::OneShot { state, .. } = h.wait().map_err(|e| e.to_string())? else {
+            unreachable!("one-shot job");
+        };
+        let got = state_checksum(&state.expect("state requested"));
+        if got != ref_checksums[i] {
+            eprintln!(
+                "one-shot {i}: checksum {got:#018x} != reference {:#018x}",
+                ref_checksums[i]
+            );
+            mismatches += 1;
+        }
+    }
+    for (i, h) in sweep_handles.iter().enumerate() {
+        let JobOutput::Sweep { value, .. } = h.wait().map_err(|e| e.to_string())? else {
+            unreachable!("sweep job");
+        };
+        let got = value.expect("ExpZ requested");
+        if got.to_bits() != ref_values[i].to_bits() {
+            eprintln!("sweep {i}: value {got:?} != reference {:?}", ref_values[i]);
+            mismatches += 1;
+        }
+    }
+    let metrics = engine.shutdown();
+
+    let scheduled = plans.len();
+    let fired: usize = plans.iter().map(|p| p.len() - p.armed_remaining()).sum();
+    println!(
+        "fault-bench: fault={fault_kind} pes={pes} every={every} seed={seed:#x} \
+         ({one_shots} one-shots, {sweeps} sweep points)"
+    );
+    println!("faults: {fired}/{scheduled} scheduled faults fired");
+    println!("{metrics}");
+    let total = one_shots + sweeps;
+    if mismatches > 0 {
+        return Err(
+            format!("{mismatches}/{total} jobs diverged from the fault-free reference").into(),
+        );
+    }
+    println!("OK: all {total} job checksums match the fault-free reference");
     Ok(())
 }
