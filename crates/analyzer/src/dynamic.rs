@@ -1,0 +1,137 @@
+//! Dynamic cross-validation of the static checker.
+//!
+//! The static side *proves* a plan conflict-free symbolically; the dynamic
+//! side *observes* an actual SPMD execution under the vector-clock race
+//! detector (`svsim_shmem::RaceDetector`) and checks the two agree: a
+//! proven-safe plan must produce zero dynamic race reports, at every PE
+//! count, on every workload. One direction only — the detector sees just
+//! the remote accesses of one seeded run, so a clean dynamic run does not
+//! prove a plan safe; a dynamic race under a proven-safe verdict, however,
+//! falsifies the checker (or the executor) and fails loudly.
+
+use crate::check::Verdict;
+use svsim_core::{SimConfig, Simulator};
+use svsim_ir::Circuit;
+use svsim_shmem::RaceReport;
+use svsim_types::SvResult;
+use svsim_workloads::{large_suite, medium_suite};
+
+/// One workload × PE-count agreement check.
+#[derive(Debug)]
+pub struct CrossValidation {
+    /// Workload (or ad-hoc circuit) name.
+    pub name: String,
+    /// Circuit width.
+    pub n_qubits: u32,
+    /// PEs the run executed on.
+    pub n_pes: usize,
+    /// The static checker's verdict for the schedule.
+    pub static_verdict: Verdict,
+    /// Every race the dynamic detector observed.
+    pub races: Vec<RaceReport>,
+}
+
+impl CrossValidation {
+    /// The agreement invariant: proven-safe implies zero observed races.
+    #[must_use]
+    pub fn agrees(&self) -> bool {
+        self.static_verdict != Verdict::ProvenSafe || self.races.is_empty()
+    }
+}
+
+/// Statically analyze `circuit` at `n_pes`, then execute it on the
+/// scale-out backend with the race detector on, and return both outcomes.
+///
+/// # Errors
+/// Analysis errors (bad PE count) or simulation errors.
+pub fn cross_validate(
+    name: &str,
+    circuit: &Circuit,
+    n_pes: usize,
+    seed: u64,
+) -> SvResult<CrossValidation> {
+    let report = crate::analyze_circuit(circuit, n_pes as u64)?;
+    let config = SimConfig::scale_out(n_pes)
+        .with_seed(seed)
+        .with_race_detection();
+    let mut sim = Simulator::new(circuit.n_qubits(), config)?;
+    let summary = sim.run(circuit)?;
+    Ok(CrossValidation {
+        name: name.to_string(),
+        n_qubits: circuit.n_qubits(),
+        n_pes,
+        static_verdict: report.verdict(),
+        races: summary.races,
+    })
+}
+
+/// Cross-validate every Table 4 workload of width at most `max_qubits` at
+/// each PE count in `pe_counts`.
+///
+/// # Errors
+/// Propagates workload-generator, analysis, and simulation errors.
+pub fn cross_validate_suite(
+    max_qubits: u32,
+    pe_counts: &[usize],
+    seed: u64,
+) -> SvResult<Vec<CrossValidation>> {
+    let mut out = Vec::new();
+    for spec in medium_suite().into_iter().chain(large_suite()) {
+        let circuit = spec.circuit()?;
+        if circuit.n_qubits() > max_qubits {
+            continue;
+        }
+        for &p in pe_counts {
+            out.push(cross_validate(spec.name, &circuit, p, seed)?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_small_workload_agrees_with_the_static_verdict() {
+        // Debug-build budget: the ≤13-qubit Table 4 workloads at 2/4/8
+        // PEs. Release-mode CI covers the larger ones.
+        let results = cross_validate_suite(13, &[2, 4, 8], 0xC0FFEE).unwrap();
+        assert!(!results.is_empty());
+        for r in &results {
+            assert_eq!(
+                r.static_verdict,
+                Verdict::ProvenSafe,
+                "{} at {} PEs must be statically safe",
+                r.name,
+                r.n_pes
+            );
+            assert!(
+                r.races.is_empty(),
+                "{} at {} PEs raced dynamically: {:?}",
+                r.name,
+                r.n_pes,
+                r.races
+            );
+            assert!(r.agrees());
+        }
+    }
+
+    #[test]
+    fn measurement_and_conditionals_cross_validate_too() {
+        // Exercise collapse epochs and classically conditioned gates (the
+        // teleportation-style pattern) under both analyses at once.
+        use svsim_ir::{Gate, GateKind};
+        let mut c = Circuit::with_cbits(5, 2);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.apply(GateKind::CX, &[0, 4], &[]).unwrap();
+        c.measure(0, 0).unwrap();
+        c.if_eq(0, 1, 1, Gate::new(GateKind::X, &[4], &[]).unwrap())
+            .unwrap();
+        c.reset(2).unwrap();
+        c.apply(GateKind::H, &[4], &[]).unwrap();
+        let r = cross_validate("teleport-ish", &c, 4, 7).unwrap();
+        assert_eq!(r.static_verdict, Verdict::ProvenSafe);
+        assert!(r.races.is_empty() && r.agrees());
+    }
+}

@@ -1,0 +1,227 @@
+//! Communication plans: the barrier-epoch structure of a compiled circuit.
+//!
+//! The scale-out executor (`svsim_core::exec::walk_steps`) interleaves
+//! compiled kernels with barriers in a fixed, data-independent order: every
+//! compiled kernel is followed by a `sync()`, and measurement/reset collapse
+//! is likewise fenced before classical bits update. A [`CommPlan`] is the
+//! static image of that schedule — one [`Epoch`] per barrier-to-barrier
+//! window, each holding the gate kernels that run inside it.
+//!
+//! The plan is what the static checker ([`crate::check`]) consumes: it never
+//! looks at amplitudes, only at which kernels share an epoch. Because the
+//! real executor emits exactly one kernel per epoch, a freshly built plan is
+//! conflict-free by construction; [`CommPlan::merge_epochs`] deliberately
+//! removes a barrier so tests (and the CLI's `--merge-epochs` flag) can
+//! exercise the checker against a mis-scheduled plan.
+
+use svsim_core::compile::{compile_gate, CompiledGate, KernelId};
+use svsim_ir::{Circuit, Gate, GateKind, Op};
+use svsim_types::{SvError, SvResult};
+
+/// Why an epoch exists — which kind of synchronized step it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochKind {
+    /// One gate kernel between barriers (or several, after a deliberate
+    /// [`CommPlan::merge_epochs`]).
+    Kernel,
+    /// Measurement/reset collapse: each PE rescales only its own partition,
+    /// and the probability reduction is internally synchronized.
+    Collapse,
+}
+
+/// One gate kernel as scheduled: the compiled kernel plus its provenance in
+/// the source circuit.
+#[derive(Debug, Clone)]
+pub struct PlanGate {
+    /// Index of the originating op in [`Circuit::ops`].
+    pub source_op: usize,
+    /// Which specialized kernel runs.
+    pub kernel: KernelId,
+    /// Involved qubits, ascending.
+    pub qubits: Vec<u32>,
+    /// True when execution depends on classical bits (an `IfEq` gate, or
+    /// the outcome-dependent X that restores `|0>` after a reset).
+    pub conditional: bool,
+    /// The compiled argument block (work size, masks, sorted qubits).
+    pub cg: CompiledGate,
+}
+
+/// One barrier epoch: the plan gates running between two barriers.
+#[derive(Debug, Clone)]
+pub struct Epoch {
+    /// What closes this epoch.
+    pub kind: EpochKind,
+    /// Indices into [`CommPlan::gates`]; empty for collapse epochs.
+    pub gates: Vec<usize>,
+}
+
+/// The barrier-epoch schedule of a whole circuit.
+#[derive(Debug, Clone)]
+pub struct CommPlan {
+    /// Circuit width.
+    pub n_qubits: u32,
+    /// Every scheduled gate kernel, in execution order.
+    pub gates: Vec<PlanGate>,
+    /// The epochs, in execution order.
+    pub epochs: Vec<Epoch>,
+}
+
+fn push_gate_epochs(
+    gates: &mut Vec<PlanGate>,
+    epochs: &mut Vec<Epoch>,
+    g: &Gate,
+    n_qubits: u32,
+    source_op: usize,
+    conditional: bool,
+) {
+    let mut compiled = Vec::new();
+    compile_gate(g, n_qubits, true, &mut compiled);
+    for cg in compiled {
+        let gi = gates.len();
+        gates.push(PlanGate {
+            source_op,
+            kernel: cg.id,
+            qubits: cg.args.sorted().to_vec(),
+            conditional,
+            cg,
+        });
+        epochs.push(Epoch {
+            kind: EpochKind::Kernel,
+            gates: vec![gi],
+        });
+    }
+}
+
+impl CommPlan {
+    /// Derive the plan the scale-out executor would follow for `c`,
+    /// mirroring its step lowering: one epoch per compiled kernel (the
+    /// executor syncs after every kernel), one collapse epoch per
+    /// measurement or reset, plus the conditional distributed X a reset may
+    /// issue. Conditional gates are planned as if they execute — the
+    /// conservative choice for safety analysis.
+    #[must_use]
+    pub fn from_circuit(c: &Circuit) -> Self {
+        let n = c.n_qubits();
+        let mut gates = Vec::new();
+        let mut epochs = Vec::new();
+        for (i, op) in c.ops().iter().enumerate() {
+            match op {
+                Op::Gate(g) => push_gate_epochs(&mut gates, &mut epochs, g, n, i, false),
+                Op::IfEq { gate, .. } => {
+                    push_gate_epochs(&mut gates, &mut epochs, gate, n, i, true);
+                }
+                Op::Measure { .. } => epochs.push(Epoch {
+                    kind: EpochKind::Collapse,
+                    gates: vec![],
+                }),
+                Op::Reset { qubit } => {
+                    epochs.push(Epoch {
+                        kind: EpochKind::Collapse,
+                        gates: vec![],
+                    });
+                    let x = Gate::new(GateKind::X, &[*qubit], &[]).expect("X gate is valid");
+                    push_gate_epochs(&mut gates, &mut epochs, &x, n, i, true);
+                }
+                Op::Barrier(_) => {} // scheduling hint; epochs already fence every kernel
+            }
+        }
+        Self {
+            n_qubits: n,
+            gates,
+            epochs,
+        }
+    }
+
+    /// Merge epoch `i + 1` into epoch `i`, modelling a schedule that omits
+    /// the barrier between two kernels. Both epochs must be kernel epochs.
+    ///
+    /// # Errors
+    /// If `i + 1` is out of range or either epoch is a collapse epoch.
+    pub fn merge_epochs(&mut self, i: usize) -> SvResult<()> {
+        if i + 1 >= self.epochs.len() {
+            return Err(SvError::InvalidConfig(format!(
+                "cannot merge epochs {i} and {}: plan has {} epochs",
+                i + 1,
+                self.epochs.len()
+            )));
+        }
+        if self.epochs[i].kind != EpochKind::Kernel || self.epochs[i + 1].kind != EpochKind::Kernel
+        {
+            return Err(SvError::InvalidConfig(format!(
+                "cannot merge epochs {i} and {}: only kernel epochs can merge",
+                i + 1
+            )));
+        }
+        let moved = self.epochs.remove(i + 1);
+        self.epochs[i].gates.extend(moved.gates);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_epoch_per_compiled_kernel() {
+        let mut c = Circuit::new(3);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.apply(GateKind::CX, &[0, 1], &[]).unwrap();
+        c.apply(GateKind::CX, &[1, 2], &[]).unwrap();
+        let plan = CommPlan::from_circuit(&c);
+        assert_eq!(plan.gates.len(), 3);
+        assert_eq!(plan.epochs.len(), 3);
+        assert!(plan
+            .epochs
+            .iter()
+            .all(|e| e.kind == EpochKind::Kernel && e.gates.len() == 1));
+    }
+
+    #[test]
+    fn compound_gates_expand_to_their_own_epochs() {
+        let mut c = Circuit::new(3);
+        c.apply(GateKind::RCCX, &[0, 1, 2], &[]).unwrap();
+        let plan = CommPlan::from_circuit(&c);
+        assert!(plan.epochs.len() > 5, "RCCX lowers to a kernel sequence");
+        assert!(plan.gates.iter().all(|g| g.source_op == 0));
+    }
+
+    #[test]
+    fn measure_and_reset_produce_collapse_epochs() {
+        let mut c = Circuit::with_cbits(2, 1);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.measure(0, 0).unwrap();
+        c.reset(1).unwrap();
+        let plan = CommPlan::from_circuit(&c);
+        let kinds: Vec<EpochKind> = plan.epochs.iter().map(|e| e.kind).collect();
+        // H kernel, measure collapse, reset collapse, conditional X kernel.
+        assert_eq!(
+            kinds,
+            vec![
+                EpochKind::Kernel,
+                EpochKind::Collapse,
+                EpochKind::Collapse,
+                EpochKind::Kernel
+            ]
+        );
+        assert!(plan.gates[1].conditional, "reset X is outcome-dependent");
+    }
+
+    #[test]
+    fn merge_validates_its_arguments() {
+        let mut c = Circuit::with_cbits(2, 1);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.measure(0, 0).unwrap();
+        let mut plan = CommPlan::from_circuit(&c);
+        assert!(plan.merge_epochs(5).is_err(), "out of range");
+        assert!(plan.merge_epochs(0).is_err(), "kernel + collapse");
+
+        let mut c2 = Circuit::new(2);
+        c2.apply(GateKind::H, &[0], &[]).unwrap();
+        c2.apply(GateKind::H, &[1], &[]).unwrap();
+        let mut plan2 = CommPlan::from_circuit(&c2);
+        plan2.merge_epochs(0).unwrap();
+        assert_eq!(plan2.epochs.len(), 1);
+        assert_eq!(plan2.epochs[0].gates, vec![0, 1]);
+    }
+}

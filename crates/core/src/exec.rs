@@ -15,7 +15,9 @@ use crate::state::StateVector;
 use crate::view::{LocalView, PeerView, ShmemView, StateView};
 use std::sync::Arc;
 use svsim_ir::{Gate, GateKind, Op};
-use svsim_shmem::{FaultPlan, MetricsTable, SenseBarrier, SharedF64Vec, TrafficSnapshot};
+use svsim_shmem::{
+    FaultPlan, MetricsTable, RaceDetector, RaceReport, SenseBarrier, SharedF64Vec, TrafficSnapshot,
+};
 use svsim_types::{SvError, SvResult, SvRng};
 
 /// How gates are bound to kernels at execution time.
@@ -466,6 +468,11 @@ pub(crate) fn run_scaleup(
 /// threaded into the SHMEM world; if any PE dies (injected or real), the
 /// whole segment fails with a typed error and `state` is left untouched at
 /// its pre-segment contents — exactly what checkpoint/restart needs.
+///
+/// With `detect` set, the launch runs under a fresh [`RaceDetector`]: every
+/// one-sided access is recorded against epoch-scoped shadow state, and any
+/// access-protocol violations come back as the third tuple element without
+/// failing the run.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_scaleout(
     state: &mut StateVector,
@@ -476,7 +483,8 @@ pub(crate) fn run_scaleout(
     rng: &mut SvRng,
     initial_cbits: u64,
     faults: Option<Arc<FaultPlan>>,
-) -> SvResult<(u64, Vec<TrafficSnapshot>)> {
+    detect: bool,
+) -> SvResult<(u64, Vec<TrafficSnapshot>, Vec<RaceReport>)> {
     let n = state.n_qubits();
     check_workers(n_pes, n, "PE")?;
     let dim = state.dim();
@@ -486,50 +494,55 @@ pub(crate) fn run_scaleout(
     let init_re = state.re().to_vec();
     let init_im = state.im().to_vec();
 
-    let out = svsim_shmem::launch_with_faults(
-        n_pes,
-        faults,
-        |ctx| -> SvResult<(u64, Vec<f64>, Vec<f64>)> {
-            let pe = ctx.my_pe();
-            let sym_re = ctx.malloc_f64(per_pe)?;
-            let sym_im = ctx.malloc_f64(per_pe)?;
-            // Local initialization of this PE's slice (host scatter).
-            sym_re
-                .partition(pe)
-                .store_slice(0, &init_re[pe * per_pe..(pe + 1) * per_pe]);
-            sym_im
-                .partition(pe)
-                .store_slice(0, &init_im[pe * per_pe..(pe + 1) * per_pe]);
-            ctx.try_barrier_all()?;
+    let detector = if detect {
+        Some(RaceDetector::new(n_pes)?)
+    } else {
+        None
+    };
+    let body = |ctx: &svsim_shmem::ShmemCtx<'_>| -> SvResult<(u64, Vec<f64>, Vec<f64>)> {
+        let pe = ctx.my_pe();
+        let sym_re = ctx.malloc_f64(per_pe)?;
+        let sym_im = ctx.malloc_f64(per_pe)?;
+        // Local initialization of this PE's slice (host scatter).
+        sym_re
+            .partition(pe)
+            .store_slice(0, &init_re[pe * per_pe..(pe + 1) * per_pe]);
+        sym_im
+            .partition(pe)
+            .store_slice(0, &init_im[pe * per_pe..(pe + 1) * per_pe]);
+        ctx.try_barrier_all()?;
 
-            let view = ShmemView::new(ctx, &sym_re, &sym_im);
-            let sync = || ctx.barrier_all();
-            let reduce = |x: f64| ctx.sum_reduce_f64(x);
-            let cbits = walk_steps(
-                &steps,
-                &queue,
-                &view,
-                n,
-                specialized,
-                dispatch,
-                pe as u64,
-                n_pes as u64,
-                &randoms,
-                sym_re.partition(pe),
-                sym_im.partition(pe),
-                (pe * per_pe) as u64,
-                initial_cbits,
-                &sync,
-                &reduce,
-            )?;
-            ctx.try_barrier_all()?;
-            Ok((
-                cbits,
-                sym_re.partition(pe).to_vec(),
-                sym_im.partition(pe).to_vec(),
-            ))
-        },
-    )?;
+        let view = ShmemView::new(ctx, &sym_re, &sym_im);
+        let sync = || ctx.barrier_all();
+        let reduce = |x: f64| ctx.sum_reduce_f64(x);
+        let cbits = walk_steps(
+            &steps,
+            &queue,
+            &view,
+            n,
+            specialized,
+            dispatch,
+            pe as u64,
+            n_pes as u64,
+            &randoms,
+            sym_re.partition(pe),
+            sym_im.partition(pe),
+            (pe * per_pe) as u64,
+            initial_cbits,
+            &sync,
+            &reduce,
+        )?;
+        ctx.try_barrier_all()?;
+        Ok((
+            cbits,
+            sym_re.partition(pe).to_vec(),
+            sym_im.partition(pe).to_vec(),
+        ))
+    };
+    let out = match &detector {
+        Some(det) => svsim_shmem::launch_detected(n_pes, faults, Arc::clone(det), body)?,
+        None => svsim_shmem::launch_with_faults(n_pes, faults, body)?,
+    };
 
     // A PE death aborts the segment before any readback: the caller's
     // state vector still holds the pre-segment amplitudes. Failures can be
@@ -565,5 +578,6 @@ pub(crate) fn run_scaleout(
             im[pe * per_pe..(pe + 1) * per_pe].copy_from_slice(&pim);
         }
     }
-    Ok((cbits_out, out.traffic))
+    let races = detector.map_or_else(Vec::new, |d| d.take_reports());
+    Ok((cbits_out, out.traffic, races))
 }

@@ -7,7 +7,7 @@ use crate::state::StateVector;
 use crate::traffic::{circuit_traffic, GateTraffic};
 use std::sync::Arc;
 use svsim_ir::{Circuit, Op, PauliString};
-use svsim_shmem::{FaultPlan, TrafficSnapshot};
+use svsim_shmem::{FaultPlan, RaceReport, TrafficSnapshot};
 use svsim_types::{Complex64, SvError, SvResult, SvRng};
 
 /// Which execution backend runs the circuit.
@@ -43,6 +43,11 @@ pub struct SimConfig {
     /// checkpointing). A checkpointed run executes in segments and keeps
     /// the last good [`Checkpoint`] for [`Simulator::restore`].
     pub checkpoint_every: u32,
+    /// Run scale-out launches under the dynamic race detector: every
+    /// one-sided access is recorded against epoch-scoped shadow state and
+    /// protocol violations surface as [`RunSummary::races`] instead of
+    /// silent corruption. No effect on the other backends.
+    pub detect_races: bool,
 }
 
 impl SimConfig {
@@ -55,6 +60,7 @@ impl SimConfig {
             specialized: true,
             seed: 0xC0FFEE,
             checkpoint_every: 0,
+            detect_races: false,
         }
     }
 
@@ -103,6 +109,14 @@ impl SimConfig {
         self.checkpoint_every = k;
         self
     }
+
+    /// Arm the dynamic race detector for scale-out launches (see
+    /// [`SimConfig::detect_races`]).
+    #[must_use]
+    pub fn with_race_detection(mut self) -> Self {
+        self.detect_races = true;
+        self
+    }
 }
 
 /// Outcome summary of one circuit execution.
@@ -117,6 +131,10 @@ pub struct RunSummary {
     /// Bytes captured into checkpoints during this run (0 when
     /// checkpointing is disabled).
     pub checkpoint_bytes: u64,
+    /// Access-protocol violations recorded by the dynamic race detector
+    /// (always empty unless [`SimConfig::detect_races`] is set; a
+    /// conflict-free protocol keeps it empty even then).
+    pub races: Vec<RaceReport>,
 }
 
 impl RunSummary {
@@ -218,12 +236,13 @@ impl Simulator {
         self.run_segments(circuit, 0, 0)
     }
 
-    /// One backend dispatch over an op slice.
+    /// One backend dispatch over an op slice. The third tuple element is
+    /// the dynamic race reports (scale-out with detection armed only).
     fn exec_ops(
         &mut self,
         ops: &[Op],
         initial_cbits: u64,
-    ) -> SvResult<(u64, Vec<TrafficSnapshot>)> {
+    ) -> SvResult<(u64, Vec<TrafficSnapshot>, Vec<RaceReport>)> {
         match self.config.backend {
             BackendKind::SingleDevice => {
                 let cb = run_single(
@@ -234,17 +253,20 @@ impl Simulator {
                     &mut self.rng,
                     initial_cbits,
                 )?;
-                Ok((cb, Vec::new()))
+                Ok((cb, Vec::new(), Vec::new()))
             }
-            BackendKind::ScaleUp { n_devices } => run_scaleup(
-                &mut self.state,
-                ops,
-                n_devices,
-                self.config.specialized,
-                self.config.dispatch,
-                &mut self.rng,
-                initial_cbits,
-            ),
+            BackendKind::ScaleUp { n_devices } => {
+                let (cb, traffic) = run_scaleup(
+                    &mut self.state,
+                    ops,
+                    n_devices,
+                    self.config.specialized,
+                    self.config.dispatch,
+                    &mut self.rng,
+                    initial_cbits,
+                )?;
+                Ok((cb, traffic, Vec::new()))
+            }
             BackendKind::ScaleOut { n_pes } => run_scaleout(
                 &mut self.state,
                 ops,
@@ -254,6 +276,7 @@ impl Simulator {
                 &mut self.rng,
                 initial_cbits,
                 self.fault_plan.clone(),
+                self.config.detect_races,
             ),
         }
     }
@@ -274,17 +297,19 @@ impl Simulator {
         let k = self.config.checkpoint_every as usize;
         if k == 0 {
             self.checkpoint = None;
-            let (cbits, traffic) = self.exec_ops(&ops[start_op..], initial_cbits)?;
+            let (cbits, traffic, races) = self.exec_ops(&ops[start_op..], initial_cbits)?;
             self.cbits = cbits;
             return Ok(RunSummary {
                 gates,
                 cbits,
                 traffic,
                 checkpoint_bytes: 0,
+                races,
             });
         }
         let mut cbits = initial_cbits;
         let mut traffic: Vec<TrafficSnapshot> = Vec::new();
+        let mut races: Vec<RaceReport> = Vec::new();
         let mut checkpoint_bytes = 0u64;
         let cp = Checkpoint::capture(start_op, cbits, &self.rng, &self.state);
         checkpoint_bytes += cp.bytes();
@@ -294,9 +319,10 @@ impl Simulator {
             // Align the segment end to the global checkpoint grid so resume
             // and uninterrupted runs segment identically.
             let end = usize::min(ops.len(), (pos / k + 1) * k);
-            let (cb, seg_traffic) = self.exec_ops(&ops[pos..end], cbits)?;
+            let (cb, seg_traffic, seg_races) = self.exec_ops(&ops[pos..end], cbits)?;
             cbits = cb;
             merge_worker_traffic(&mut traffic, seg_traffic);
+            races.extend(seg_races);
             let cp = Checkpoint::capture(end, cbits, &self.rng, &self.state);
             checkpoint_bytes += cp.bytes();
             self.checkpoint = Some(cp);
@@ -308,6 +334,7 @@ impl Simulator {
             cbits,
             traffic,
             checkpoint_bytes,
+            races,
         })
     }
 
@@ -873,6 +900,38 @@ mod tests {
             2 * predicted.remote_amp_ops,
             "analytic model must match measured traffic"
         );
+    }
+
+    #[test]
+    fn race_detection_on_scaleout_is_clean_and_bit_identical() {
+        // The compiled access protocol must be conflict-free, and the
+        // detector must be observation-only: amplitudes bit-identical to a
+        // detector-off run.
+        let mut c = Circuit::with_cbits(4, 2);
+        c.extend(&ghz(4)).unwrap();
+        c.apply(GateKind::RZZ, &[0, 3], &[0.3]).unwrap();
+        c.measure(0, 0).unwrap();
+        let reference = {
+            let mut sim = Simulator::new(4, SimConfig::scale_out(4).with_seed(9)).unwrap();
+            sim.run(&c).unwrap();
+            sim.state_checksum()
+        };
+        for n_pes in [2usize, 4] {
+            let config = SimConfig::scale_out(n_pes)
+                .with_seed(9)
+                .with_race_detection();
+            let mut sim = Simulator::new(4, config).unwrap();
+            let summary = sim.run(&c).unwrap();
+            assert!(
+                summary.races.is_empty(),
+                "{n_pes} PEs: protocol must be conflict-free, got {:?}",
+                summary.races
+            );
+            assert_eq!(sim.state_checksum(), reference, "{n_pes} PEs");
+        }
+        // Detection off keeps the field empty by construction.
+        let mut sim = Simulator::new(4, SimConfig::scale_out(2).with_seed(9)).unwrap();
+        assert!(sim.run(&c).unwrap().races.is_empty());
     }
 
     #[test]

@@ -60,7 +60,14 @@ impl GateTraffic {
 
 /// Offset patterns (relative to the zero-inserted base index) accessed per
 /// work item, and the per-item flop cost, for each kernel.
-fn access_patterns(cg: &CompiledGate) -> (Vec<u64>, u64) {
+///
+/// This is the single source of truth for which amplitudes a kernel
+/// touches: the traffic model consumes it here, and `svsim-analyzer`'s
+/// static plan checker consumes it to derive per-PE index sets
+/// symbolically. A pattern places bits only at the kernel's sorted qubit
+/// positions; item bits land injectively at the remaining positions.
+#[must_use]
+pub fn kernel_access_patterns(cg: &CompiledGate) -> (Vec<u64>, u64) {
     let a = &cg.args;
     let t = 1u64 << a.target;
     let x = 1u64 << a.aux;
@@ -95,7 +102,7 @@ pub fn gate_traffic(cg: &CompiledGate, n_qubits: u32, n_pes: u64) -> GateTraffic
     assert!(n_pes <= dim);
     let k = n_pes.trailing_zeros();
     let shift_l = n_qubits - k; // log2(amplitudes per partition)
-    let (patterns, flops_per_item) = access_patterns(cg);
+    let (patterns, flops_per_item) = kernel_access_patterns(cg);
     let work = cg.args.work;
     let sorted = cg.args.sorted();
 
@@ -197,7 +204,7 @@ mod tests {
     /// Brute-force checker: walk every item of every PE and classify.
     fn brute_force_remote(cg: &CompiledGate, n: u32, n_pes: u64) -> u64 {
         let shift_l = n - n_pes.trailing_zeros();
-        let (patterns, _) = access_patterns(cg);
+        let (patterns, _) = kernel_access_patterns(cg);
         let mut remote = 0;
         for p in 0..n_pes {
             let r = crate::kernels::worker_range(cg.args.work, n_pes, p);

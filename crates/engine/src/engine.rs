@@ -494,6 +494,10 @@ fn run_one_shot(shared: &Shared, job: QueuedJob, worker: usize) {
                     .checkpoint_bytes
                     .fetch_add(summary.checkpoint_bytes, Ordering::Relaxed);
                 shared.metrics.add_traffic(&summary.total_traffic());
+                shared
+                    .metrics
+                    .races_detected
+                    .fetch_add(summary.races.len() as u64, Ordering::Relaxed);
                 let mut s = sim.take().expect("simulator ran");
                 let samples = (shots > 0).then(|| {
                     let mut hist = BTreeMap::new();

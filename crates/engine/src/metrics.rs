@@ -147,6 +147,10 @@ pub struct EngineMetrics {
     pub(crate) quarantined: AtomicU64,
     /// Bytes captured into state-vector checkpoints across all jobs.
     pub(crate) checkpoint_bytes: AtomicU64,
+    /// SHMEM protocol races observed by the dynamic detector across all
+    /// jobs that ran with race detection on. Nonzero means a correctness
+    /// bug — benches fail loudly on it.
+    pub(crate) races_detected: AtomicU64,
     /// Time from submit to dequeue.
     pub(crate) queue_wait: LatencyHistogram,
     /// Time from dequeue to result publication.
@@ -182,6 +186,7 @@ impl EngineMetrics {
             retries: self.retries.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
             checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            races_detected: self.races_detected.load(Ordering::Relaxed),
             queue_wait: self.queue_wait.snapshot(),
             execution: self.execution.snapshot(),
             recovery: self.recovery.snapshot(),
@@ -221,6 +226,8 @@ pub struct MetricsSnapshot {
     pub quarantined: u64,
     /// Bytes captured into state-vector checkpoints across all jobs.
     pub checkpoint_bytes: u64,
+    /// SHMEM protocol races observed across all detector-on jobs.
+    pub races_detected: u64,
     /// Submit-to-dequeue latency distribution.
     pub queue_wait: LatencySnapshot,
     /// Dequeue-to-result latency distribution.
@@ -295,8 +302,8 @@ impl std::fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "robustness: retries={} quarantined={} checkpoint_bytes={}",
-            self.retries, self.quarantined, self.checkpoint_bytes
+            "robustness: retries={} quarantined={} checkpoint_bytes={} races_detected={}",
+            self.retries, self.quarantined, self.checkpoint_bytes, self.races_detected
         )?;
         writeln!(f, "queue wait: {}", self.queue_wait)?;
         writeln!(f, "execution:  {}", self.execution)?;
@@ -350,7 +357,9 @@ mod tests {
         m.batched_jobs.store(6, Ordering::Relaxed);
         m.pool_created.store(1, Ordering::Relaxed);
         m.pool_reused.store(3, Ordering::Relaxed);
+        m.races_detected.store(2, Ordering::Relaxed);
         let s = m.snapshot();
+        assert_eq!(s.races_detected, 2);
         assert_eq!(s.finished(), 7);
         assert_eq!(s.in_flight(), 3);
         assert!((s.mean_batch_size() - 3.0).abs() < 1e-12);
@@ -358,5 +367,6 @@ mod tests {
         // Display must not panic and should mention the headline counters.
         let text = s.to_string();
         assert!(text.contains("submitted=10"));
+        assert!(text.contains("races_detected=2"));
     }
 }

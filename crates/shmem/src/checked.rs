@@ -5,42 +5,85 @@
 //! a silent data race in the application (paper §2.2: "atomic access and
 //! locks are provided for critical regions"; everything else is the
 //! programmer's obligation). [`CheckedSym`] enforces that contract
-//! dynamically: every word carries a shadow cell recording which PE last
-//! touched it in the current barrier epoch, and a conflicting access from
-//! another PE panics with a diagnostic instead of corrupting amplitudes.
+//! dynamically, word by word, on an opt-in array.
 //!
-//! Used by tests (including a deliberate-race test) and available for
-//! debugging user SPMD code; the hot simulation path uses the unchecked
-//! arrays.
+//! The shadow state is the epoch-scoped detector from [`crate::race`]:
+//! every word carries a last-writer stamp *and the full set of readers* in
+//! the current barrier epoch (the original prototype tracked only a single
+//! reader and could miss a read/write race once a second reader overwrote
+//! the cell). Two modes:
+//!
+//! - [`malloc_checked`] — compatibility mode: the first conflicting access
+//!   panics with a `SHMEM race: ...` diagnostic, which [`crate::world::launch`]
+//!   converts into a typed error. Used by the deliberate-race tests.
+//! - [`malloc_checked_reporting`] — accumulate mode: conflicts are recorded
+//!   as [`RaceReport`]s and execution continues; read them with
+//!   [`CheckedSym::races`] after the job. This is what fault-injection runs
+//!   want, so an injected fault (typed `PeFailed`) is distinguishable from
+//!   a genuine protocol bug (non-empty race reports).
+//!
+//! For whole-world detection across *all* arrays and access kinds, use
+//! [`crate::world::launch_detected`] instead.
 
-use crate::world::{ShmemCtx, SymF64, SymU64};
+use crate::race::{RaceDetector, RaceReport, ShadowArray};
+use crate::world::{ShmemCtx, SymF64};
+use std::sync::Arc;
 use svsim_types::SvResult;
 
-/// Shadow encoding: `epoch * STRIDE + (pe + 1)`, 0 = untouched.
-const PE_STRIDE: u64 = 1 << 16;
+/// Shared detector + shadow pair published collectively by PE 0.
+#[derive(Debug)]
+struct CheckedState {
+    det: Arc<RaceDetector>,
+    shadow: Arc<ShadowArray>,
+}
 
 /// A symmetric f64 array with per-word conflict detection.
 #[derive(Debug, Clone)]
 pub struct CheckedSym {
     data: SymF64,
-    /// One shadow word per data word: last *writer* in the current epoch.
-    writers: SymU64,
-    /// One shadow word per data word: last *reader* in the current epoch
-    /// (single-reader approximation — enough to catch read/write races).
-    readers: SymU64,
+    state: Arc<CheckedState>,
+    /// Compatibility mode: panic on the first conflict (historic
+    /// `CheckedSym` behaviour) instead of accumulating reports.
+    panic_on_race: bool,
 }
 
-/// Collectively allocate a checked symmetric array.
-///
-/// # Errors
-/// Propagates [`ShmemCtx::malloc_f64`] failures (poisoned heap/barrier or
-/// violated collective call order).
-pub fn malloc_checked(ctx: &ShmemCtx<'_>, len_per_pe: usize) -> SvResult<CheckedSym> {
+fn malloc_with_mode(
+    ctx: &ShmemCtx<'_>,
+    len_per_pe: usize,
+    panic_on_race: bool,
+) -> SvResult<CheckedSym> {
+    let n_pes = ctx.n_pes();
+    let state = ctx.collective_publish(|| {
+        let det = RaceDetector::new(n_pes)?;
+        let shadow = det.shadow(len_per_pe);
+        Ok(Arc::new(CheckedState { det, shadow }))
+    })?;
     Ok(CheckedSym {
         data: ctx.malloc_f64(len_per_pe)?,
-        writers: ctx.malloc_u64(len_per_pe)?,
-        readers: ctx.malloc_u64(len_per_pe)?,
+        state,
+        panic_on_race,
     })
+}
+
+/// Collectively allocate a checked symmetric array in compatibility mode:
+/// a conflicting access panics with a `SHMEM race: ...` diagnostic.
+///
+/// # Errors
+/// Propagates [`ShmemCtx::malloc_f64`] / [`ShmemCtx::collective_publish`]
+/// failures (poisoned heap/barrier or violated collective call order), and
+/// detector creation failures (more PEs than the shadow cells can track).
+pub fn malloc_checked(ctx: &ShmemCtx<'_>, len_per_pe: usize) -> SvResult<CheckedSym> {
+    malloc_with_mode(ctx, len_per_pe, true)
+}
+
+/// Collectively allocate a checked symmetric array in accumulate mode:
+/// conflicts are recorded (see [`CheckedSym::races`]) and execution
+/// continues.
+///
+/// # Errors
+/// Same contract as [`malloc_checked`].
+pub fn malloc_checked_reporting(ctx: &ShmemCtx<'_>, len_per_pe: usize) -> SvResult<CheckedSym> {
+    malloc_with_mode(ctx, len_per_pe, false)
 }
 
 impl CheckedSym {
@@ -50,40 +93,26 @@ impl CheckedSym {
         &self.data
     }
 
-    fn stamp(ctx: &ShmemCtx<'_>) -> u64 {
-        // Epochs advance at barriers; PEs in the same epoch share a count.
-        (ctx.barrier_epoch() + 1) * PE_STRIDE + ctx.my_pe() as u64 + 1
-    }
-
-    fn decode(stamp: u64) -> (u64, usize) {
-        (stamp / PE_STRIDE, (stamp % PE_STRIDE) as usize - 1)
+    #[cold]
+    fn racy(report: RaceReport) {
+        panic!("SHMEM race: {report}");
     }
 
     /// Checked one-sided store.
     ///
     /// # Panics
-    /// On a write-write or read-write conflict within the current epoch.
+    /// In compatibility mode ([`malloc_checked`]), on a write-write or
+    /// read-write conflict within the current epoch — *before* the store
+    /// lands, so the amplitude data is never corrupted silently.
     pub fn put(&self, ctx: &ShmemCtx<'_>, pe: usize, idx: usize, v: f64) {
-        let me = ctx.my_pe();
-        let my_stamp = Self::stamp(ctx);
-        let epoch = my_stamp / PE_STRIDE;
-        let prev = ctx.atomic_swap_u64(&self.writers, pe, idx, my_stamp);
-        if prev != 0 {
-            let (pepoch, ppe) = Self::decode(prev);
-            assert!(
-                !(pepoch == epoch && ppe != me),
-                "SHMEM race: PE {me} writes word {idx}@PE{pe} already written by \
-                 PE {ppe} in the same barrier epoch"
-            );
-        }
-        let r = ctx.get_u64(&self.readers, pe, idx);
-        if r != 0 {
-            let (repoch, rpe) = Self::decode(r);
-            assert!(
-                !(repoch == epoch && rpe != me),
-                "SHMEM race: PE {me} writes word {idx}@PE{pe} already read by \
-                 PE {rpe} in the same barrier epoch"
-            );
+        let hit = self
+            .state
+            .shadow
+            .record_write(ctx.my_pe(), ctx.barrier_epoch(), pe, idx, false);
+        if let Some(report) = hit {
+            if self.panic_on_race {
+                Self::racy(report);
+            }
         }
         ctx.put_f64(&self.data, pe, idx, v);
     }
@@ -91,28 +120,39 @@ impl CheckedSym {
     /// Checked one-sided load.
     ///
     /// # Panics
-    /// On a read-write conflict within the current epoch.
+    /// In compatibility mode, on a read-write conflict within the current
+    /// epoch.
     pub fn get(&self, ctx: &ShmemCtx<'_>, pe: usize, idx: usize) -> f64 {
-        let me = ctx.my_pe();
-        let my_stamp = Self::stamp(ctx);
-        let epoch = my_stamp / PE_STRIDE;
-        let w = ctx.get_u64(&self.writers, pe, idx);
-        if w != 0 {
-            let (wepoch, wpe) = Self::decode(w);
-            assert!(
-                !(wepoch == epoch && wpe != me),
-                "SHMEM race: PE {me} reads word {idx}@PE{pe} written by PE {wpe} \
-                 in the same barrier epoch (missing barrier)"
-            );
+        let hit = self
+            .state
+            .shadow
+            .record_read(ctx.my_pe(), ctx.barrier_epoch(), pe, idx, false);
+        if let Some(report) = hit {
+            if self.panic_on_race {
+                Self::racy(report);
+            }
         }
-        ctx.put_u64(&self.readers, pe, idx, my_stamp);
         ctx.get_f64(&self.data, pe, idx)
+    }
+
+    /// Total conflicts recorded on this array so far (any mode).
+    #[must_use]
+    pub fn race_count(&self) -> u64 {
+        self.state.det.race_count()
+    }
+
+    /// Snapshot of the accumulated [`RaceReport`]s (capped; see
+    /// [`RaceDetector::reports`]).
+    #[must_use]
+    pub fn races(&self) -> Vec<RaceReport> {
+        self.state.det.reports()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::race::ConflictKind;
     use crate::world::launch;
 
     #[test]
@@ -144,6 +184,33 @@ mod tests {
             err.to_string().contains("SHMEM race"),
             "the deliberate race must be detected, got: {err}"
         );
+        assert!(
+            err.to_string().contains("write/write"),
+            "must classify as W/W, got: {err}"
+        );
+    }
+
+    #[test]
+    fn reporting_mode_accumulates_instead_of_panicking() {
+        // The same deliberate race, in accumulate mode: the job completes
+        // and the report names the exact word, PEs and epoch.
+        let out = launch(2, |ctx| {
+            let sym = malloc_checked_reporting(ctx, 1).expect("alloc");
+            sym.put(ctx, 0, 0, ctx.my_pe() as f64);
+            ctx.barrier_all();
+            (sym.race_count(), sym.races())
+        })
+        .unwrap();
+        let (count, races) = &out.results[0];
+        assert_eq!(*count, 1, "{races:?}");
+        let r = races[0];
+        assert_eq!(r.kind, ConflictKind::WriteWrite);
+        assert_eq!((r.owner_pe, r.index), (0, 0));
+        // malloc_checked performs two collective barriers (state
+        // publication + data malloc), so the racy put runs in epoch 2.
+        assert_eq!(r.epoch, 2);
+        let pes = [r.first.pe, r.second.pe];
+        assert!(pes.contains(&0) && pes.contains(&1), "{r:?}");
     }
 
     #[test]
@@ -162,6 +229,34 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("SHMEM race"), "got: {err}");
+    }
+
+    #[test]
+    fn second_reader_no_longer_hides_the_first() {
+        // Regression for the single-reader approximation: reader A's mark
+        // used to be lost when reader B overwrote the shadow cell, so B's
+        // own later write looked clean. The set-based shadow keeps both.
+        let out = launch(2, |ctx| {
+            let sym = malloc_checked_reporting(ctx, 1).expect("alloc");
+            if ctx.my_pe() == 0 {
+                let _ = sym.get(ctx, 0, 0); // reader A
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                let _ = sym.get(ctx, 0, 0); // reader B...
+                sym.put(ctx, 0, 0, 2.0); // ...then B writes: races with A
+            }
+            ctx.barrier_all();
+            sym.races()
+        })
+        .unwrap();
+        let races = &out.results[0];
+        assert!(
+            races
+                .iter()
+                .any(|r| r.kind == ConflictKind::ReadWrite && r.first.pe == 0 && r.second.pe == 1),
+            "reader A (PE 0) vs writer B (PE 1) must be reported: {races:?}"
+        );
     }
 
     #[test]

@@ -31,14 +31,18 @@ pub mod barrier;
 pub mod checked;
 pub mod fault;
 pub mod metrics;
+pub mod race;
 pub mod shared;
 pub mod signal;
 pub mod world;
 
 pub use barrier::{BarrierPoisoned, BarrierToken, SenseBarrier};
-pub use checked::{malloc_checked, CheckedSym};
+pub use checked::{malloc_checked, malloc_checked_reporting, CheckedSym};
 pub use fault::{FaultAction, FaultPlan, FaultSpec, PeFailure};
 pub use metrics::{MetricsTable, PeCounters, TrafficSnapshot};
+pub use race::{ConflictKind, RaceAccess, RaceDetector, RaceReport, MAX_TRACKED_PES};
 pub use shared::{SharedF64Vec, SharedU64Vec};
 pub use signal::{signal, signal_add, wait_until, WaitCmp};
-pub use world::{launch, launch_with_faults, JobOutput, ShmemCtx, SpmdOutput, SymF64, SymU64};
+pub use world::{
+    launch, launch_detected, launch_with_faults, JobOutput, ShmemCtx, SpmdOutput, SymF64, SymU64,
+};

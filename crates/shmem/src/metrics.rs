@@ -53,6 +53,7 @@ pub struct PeCounters {
 }
 
 impl PeCounters {
+    /// Count one get; remote gets also accumulate transferred bytes.
     #[inline]
     pub fn count_get(&self, remote: bool, bytes: u64) {
         if remote {
@@ -63,6 +64,7 @@ impl PeCounters {
         }
     }
 
+    /// Count one put; remote puts also accumulate transferred bytes.
     #[inline]
     pub fn count_put(&self, remote: bool, bytes: u64) {
         if remote {
@@ -73,11 +75,13 @@ impl PeCounters {
         }
     }
 
+    /// Count one remote atomic operation.
     #[inline]
     pub fn count_atomic(&self) {
         self.atomics.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one barrier crossing.
     #[inline]
     pub fn count_barrier(&self) {
         self.barriers.fetch_add(1, Ordering::Relaxed);

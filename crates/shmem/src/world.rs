@@ -9,7 +9,9 @@
 use crate::barrier::{BarrierToken, SenseBarrier};
 use crate::fault::{FaultAction, FaultPlan, PeFailure};
 use crate::metrics::{MetricsTable, PeCounters, TrafficSnapshot};
+use crate::race::{RaceDetector, ShadowArray};
 use crate::shared::{SharedF64Vec, SharedU64Vec};
+use std::any::Any;
 use std::cell::Cell;
 use std::sync::{Arc, Mutex};
 use svsim_types::{PeOp, SvError, SvResult};
@@ -20,6 +22,10 @@ use svsim_types::{PeOp, SvError, SvResult};
 pub struct SymF64 {
     bufs: Arc<Vec<SharedF64Vec>>,
     len_per_pe: usize,
+    /// Shadow state when this array was allocated in a race-detected world
+    /// ([`launch_detected`]); `None` otherwise, keeping every accessor's
+    /// fast path a single branch on an option the allocator decided once.
+    shadow: Option<Arc<ShadowArray>>,
 }
 
 impl SymF64 {
@@ -47,6 +53,8 @@ impl SymF64 {
 pub struct SymU64 {
     bufs: Arc<Vec<SharedU64Vec>>,
     len_per_pe: usize,
+    /// Shadow state in a race-detected world; see [`SymF64`].
+    shadow: Option<Arc<ShadowArray>>,
 }
 
 impl SymU64 {
@@ -73,24 +81,36 @@ pub struct World {
     /// allocation sequence number.
     heap_f64: Mutex<Vec<SymF64>>,
     heap_u64: Mutex<Vec<SymU64>>,
+    /// Published shared objects of arbitrary type (see
+    /// [`ShmemCtx::collective_publish`]).
+    heap_misc: Mutex<Vec<Arc<dyn Any + Send + Sync>>>,
     /// Scratch slots for collectives (one word per PE).
     coll: SharedF64Vec,
     coll_u: SharedU64Vec,
     /// Injected-fault schedule, if this world runs under fault injection.
     faults: Option<Arc<FaultPlan>>,
+    /// Dynamic race detector: when present, every symmetric allocation gets
+    /// shadow state and every one-sided access is recorded against it.
+    detector: Option<Arc<RaceDetector>>,
 }
 
 impl World {
-    fn new(n_pes: usize, faults: Option<Arc<FaultPlan>>) -> Self {
+    fn new(
+        n_pes: usize,
+        faults: Option<Arc<FaultPlan>>,
+        detector: Option<Arc<RaceDetector>>,
+    ) -> Self {
         Self {
             n_pes,
             barrier: SenseBarrier::new(n_pes),
             metrics: MetricsTable::new(n_pes),
             heap_f64: Mutex::new(Vec::new()),
             heap_u64: Mutex::new(Vec::new()),
+            heap_misc: Mutex::new(Vec::new()),
             coll: SharedF64Vec::new(n_pes, 0.0),
             coll_u: SharedU64Vec::new(n_pes, 0),
             faults,
+            detector,
         }
     }
 }
@@ -112,6 +132,7 @@ pub struct ShmemCtx<'w> {
     /// pair each PE's `malloc` call with the published handle.
     alloc_seq_f64: Cell<usize>,
     alloc_seq_u64: Cell<usize>,
+    alloc_seq_misc: Cell<usize>,
     /// An injected [`FaultAction::Drop`] lost a transfer; detection is
     /// deferred to this PE's next barrier (the synchronization point where
     /// a real fabric's delivery acknowledgment would surface it).
@@ -250,6 +271,53 @@ impl<'w> ShmemCtx<'w> {
         }
     }
 
+    /// Race-detection hook for a one-sided read that landed. The fast path
+    /// (detection off) is a single branch on a `None` the allocator stored
+    /// in the handle; the recording path is outlined and cold.
+    #[inline]
+    fn trace_read(&self, shadow: &Option<Arc<ShadowArray>>, owner_pe: usize, idx: usize) {
+        if let Some(sh) = shadow {
+            self.trace_read_slow(sh, owner_pe, idx, 1);
+        }
+    }
+
+    #[cold]
+    fn trace_read_slow(&self, sh: &ShadowArray, owner_pe: usize, start: usize, n: usize) {
+        let epoch = self.epoch.get();
+        for idx in start..start + n {
+            let _ = sh.record_read(self.pe, epoch, owner_pe, idx, false);
+        }
+    }
+
+    /// Race-detection hook for a one-sided write that landed.
+    #[inline]
+    fn trace_write(&self, shadow: &Option<Arc<ShadowArray>>, owner_pe: usize, idx: usize) {
+        if let Some(sh) = shadow {
+            self.trace_write_slow(sh, owner_pe, idx, 1);
+        }
+    }
+
+    #[cold]
+    fn trace_write_slow(&self, sh: &ShadowArray, owner_pe: usize, start: usize, n: usize) {
+        let epoch = self.epoch.get();
+        for idx in start..start + n {
+            let _ = sh.record_write(self.pe, epoch, owner_pe, idx, false);
+        }
+    }
+
+    /// Race-detection hook for an atomic read-modify-write.
+    #[inline]
+    fn trace_atomic(&self, shadow: &Option<Arc<ShadowArray>>, owner_pe: usize, idx: usize) {
+        if let Some(sh) = shadow {
+            self.trace_atomic_slow(sh, owner_pe, idx);
+        }
+    }
+
+    #[cold]
+    fn trace_atomic_slow(&self, sh: &ShadowArray, owner_pe: usize, idx: usize) {
+        let _ = sh.record_atomic(self.pe, self.epoch.get(), owner_pe, idx);
+    }
+
     /// Number of barriers this PE has passed — the synchronization epoch
     /// used by [`crate::checked`] for race detection. Identical across PEs
     /// at any synchronized point.
@@ -261,6 +329,7 @@ impl<'w> ShmemCtx<'w> {
     /// Atomic unconditional swap on a `u64` word; returns the previous
     /// value.
     pub fn atomic_swap_u64(&self, sym: &SymU64, pe: usize, idx: usize, value: u64) -> u64 {
+        self.trace_atomic(&sym.shadow, pe, idx);
         self.counters().count_atomic();
         sym.bufs[pe].swap(idx, value)
     }
@@ -293,6 +362,7 @@ impl<'w> ShmemCtx<'w> {
                         .collect(),
                 ),
                 len_per_pe,
+                shadow: self.world.detector.as_ref().map(|d| d.shadow(len_per_pe)),
             };
             self.world
                 .heap_f64
@@ -338,6 +408,7 @@ impl<'w> ShmemCtx<'w> {
                         .collect(),
                 ),
                 len_per_pe,
+                shadow: self.world.detector.as_ref().map(|d| d.shadow(len_per_pe)),
             };
             self.world
                 .heap_u64
@@ -368,6 +439,60 @@ impl<'w> ShmemCtx<'w> {
         Ok(handle)
     }
 
+    /// Collectively publish a shared object: PE 0 builds it with `make`,
+    /// every PE (PE 0 included) receives the same `Arc`. Like
+    /// [`malloc_f64`](Self::malloc_f64) this is a collective call — all PEs
+    /// must call it in the same order with the same type `T`. Used by
+    /// [`crate::checked`] to share per-array race-detection state.
+    ///
+    /// # Errors
+    /// [`SvError::Shmem`] when the heap lock or barrier was poisoned, when
+    /// the publication order was violated (missing slot or type mismatch),
+    /// or when `make` failed on PE 0 (peers then see a missing slot).
+    pub fn collective_publish<T, F>(&self, make: F) -> SvResult<Arc<T>>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> SvResult<Arc<T>>,
+    {
+        let seq = self.alloc_seq_misc.get();
+        self.alloc_seq_misc.set(seq + 1);
+        let mut made = Ok(());
+        if self.pe == 0 {
+            match make() {
+                Ok(obj) => self
+                    .world
+                    .heap_misc
+                    .lock()
+                    .map_err(|_| self.heap_poisoned())?
+                    .push(obj),
+                // Still reach the barrier so peers do not deadlock; they
+                // fail on the missing slot below.
+                Err(e) => made = Err(e),
+            }
+        }
+        self.try_barrier_all()?;
+        made?;
+        let obj = self
+            .world
+            .heap_misc
+            .lock()
+            .map_err(|_| self.heap_poisoned())?
+            .get(seq)
+            .cloned()
+            .ok_or_else(|| {
+                SvError::Shmem(format!(
+                    "PE {}: publication #{seq} was never published (collective call order violated)",
+                    self.pe
+                ))
+            })?;
+        obj.downcast::<T>().map_err(|_| {
+            SvError::Shmem(format!(
+                "PE {}: publication #{seq} has a mismatched type (collective call order violated)",
+                self.pe
+            ))
+        })
+    }
+
     /// One-sided load of one word from `src_pe`'s partition
     /// (`nvshmem_double_g`). A dropped (injected) load returns `0.0`; the
     /// loss is detected at this PE's next barrier.
@@ -377,6 +502,7 @@ impl<'w> ShmemCtx<'w> {
         if self.transfer_fault(PeOp::Get) {
             return 0.0;
         }
+        self.trace_read(&sym.shadow, src_pe, idx);
         self.counters().count_get(src_pe != self.pe, 8);
         sym.bufs[src_pe].load(idx)
     }
@@ -389,6 +515,7 @@ impl<'w> ShmemCtx<'w> {
         if self.transfer_fault(PeOp::Put) {
             return;
         }
+        self.trace_write(&sym.shadow, dst_pe, idx);
         self.counters().count_put(dst_pe != self.pe, 8);
         sym.bufs[dst_pe].store(idx, v);
     }
@@ -397,6 +524,9 @@ impl<'w> ShmemCtx<'w> {
     pub fn get_slice_f64(&self, sym: &SymF64, src_pe: usize, start: usize, dst: &mut [f64]) {
         if self.transfer_fault(PeOp::Get) {
             return;
+        }
+        if let Some(sh) = &sym.shadow {
+            self.trace_read_slow(sh, src_pe, start, dst.len());
         }
         self.counters()
             .count_get(src_pe != self.pe, 8 * dst.len() as u64);
@@ -408,6 +538,9 @@ impl<'w> ShmemCtx<'w> {
         if self.transfer_fault(PeOp::Put) {
             return;
         }
+        if let Some(sh) = &sym.shadow {
+            self.trace_write_slow(sh, dst_pe, start, src.len());
+        }
         self.counters()
             .count_put(dst_pe != self.pe, 8 * src.len() as u64);
         sym.bufs[dst_pe].store_slice(start, src);
@@ -415,6 +548,7 @@ impl<'w> ShmemCtx<'w> {
 
     /// Atomic fetch-add on a remote f64 word.
     pub fn atomic_fetch_add_f64(&self, sym: &SymF64, pe: usize, idx: usize, delta: f64) -> f64 {
+        self.trace_atomic(&sym.shadow, pe, idx);
         self.counters().count_atomic();
         sym.bufs[pe].fetch_add(idx, delta)
     }
@@ -426,6 +560,7 @@ impl<'w> ShmemCtx<'w> {
         if self.transfer_fault(PeOp::Get) {
             return 0;
         }
+        self.trace_read(&sym.shadow, src_pe, idx);
         self.counters().count_get(src_pe != self.pe, 8);
         sym.bufs[src_pe].load(idx)
     }
@@ -436,12 +571,14 @@ impl<'w> ShmemCtx<'w> {
         if self.transfer_fault(PeOp::Put) {
             return;
         }
+        self.trace_write(&sym.shadow, dst_pe, idx);
         self.counters().count_put(dst_pe != self.pe, 8);
         sym.bufs[dst_pe].store(idx, v);
     }
 
     /// Atomic fetch-add on a `u64` word.
     pub fn atomic_fetch_add_u64(&self, sym: &SymU64, pe: usize, idx: usize, delta: u64) -> u64 {
+        self.trace_atomic(&sym.shadow, pe, idx);
         self.counters().count_atomic();
         sym.bufs[pe].fetch_add(idx, delta)
     }
@@ -455,6 +592,7 @@ impl<'w> ShmemCtx<'w> {
         expected: u64,
         desired: u64,
     ) -> u64 {
+        self.trace_atomic(&sym.shadow, pe, idx);
         self.counters().count_atomic();
         sym.bufs[pe].compare_swap(idx, expected, desired)
     }
@@ -648,10 +786,54 @@ where
     T: Send,
     F: Fn(&ShmemCtx<'_>) -> T + Sync,
 {
+    launch_inner(n_pes, faults, None, body)
+}
+
+/// [`launch_with_faults`] with the dynamic race detector armed: every
+/// symmetric allocation in this world gets shadow state, every one-sided
+/// access (put/get/slice/atomics) is recorded, and protocol violations
+/// accumulate in `detector` as [`crate::race::RaceReport`]s instead of
+/// failing the job — read them with [`RaceDetector::take_reports`] after
+/// the launch returns. Composes with fault injection, which is the point:
+/// an injected fault surfaces as a typed per-PE error while a genuine
+/// protocol bug surfaces as a race report.
+///
+/// # Errors
+/// [`SvError::InvalidConfig`] when `n_pes == 0` or the detector was
+/// created for a different world size.
+pub fn launch_detected<T, F>(
+    n_pes: usize,
+    faults: Option<Arc<FaultPlan>>,
+    detector: Arc<RaceDetector>,
+    body: F,
+) -> SvResult<SpmdOutput<T>>
+where
+    T: Send,
+    F: Fn(&ShmemCtx<'_>) -> T + Sync,
+{
+    if detector.n_pes() != n_pes {
+        return Err(SvError::InvalidConfig(format!(
+            "race detector was created for {} PEs, world has {n_pes}",
+            detector.n_pes()
+        )));
+    }
+    launch_inner(n_pes, faults, Some(detector), body)
+}
+
+fn launch_inner<T, F>(
+    n_pes: usize,
+    faults: Option<Arc<FaultPlan>>,
+    detector: Option<Arc<RaceDetector>>,
+    body: F,
+) -> SvResult<SpmdOutput<T>>
+where
+    T: Send,
+    F: Fn(&ShmemCtx<'_>) -> T + Sync,
+{
     if n_pes == 0 {
         return Err(SvError::InvalidConfig("n_pes must be >= 1".into()));
     }
-    let world = World::new(n_pes, faults);
+    let world = World::new(n_pes, faults, detector);
     let mut slots: Vec<Option<SvResult<T>>> = (0..n_pes).map(|_| None).collect();
     std::thread::scope(|scope| {
         let world = &world;
@@ -668,6 +850,7 @@ where
                         epoch: Cell::new(0),
                         alloc_seq_f64: Cell::new(0),
                         alloc_seq_u64: Cell::new(0),
+                        alloc_seq_misc: Cell::new(0),
                         pending_drop: Cell::new(false),
                     };
                     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
@@ -1000,5 +1183,215 @@ mod tests {
             .unwrap();
             assert_eq!(clean.results, vec![0, 1, 2]);
         }
+    }
+
+    #[test]
+    fn detected_launch_clean_protocol_reports_nothing() {
+        use crate::race::RaceDetector;
+        let det = RaceDetector::new(4).unwrap();
+        // The ring exchange from `symmetric_heap_put_get` is disciplined:
+        // disjoint writes, then a barrier, then reads.
+        let out = launch_detected(4, None, Arc::clone(&det), |ctx| {
+            let sym = ctx.malloc_f64(1).expect("alloc");
+            let right = (ctx.my_pe() + 1) % ctx.n_pes();
+            ctx.put_f64(&sym, right, 0, ctx.my_pe() as f64);
+            ctx.barrier_all();
+            ctx.get_f64(&sym, ctx.my_pe(), 0)
+        })
+        .unwrap()
+        .into_result()
+        .unwrap();
+        assert_eq!(out.results, vec![3.0, 0.0, 1.0, 2.0]);
+        assert_eq!(det.race_count(), 0, "{:?}", det.reports());
+    }
+
+    #[test]
+    fn detected_launch_flags_unsynchronized_slice_overlap() {
+        use crate::race::{ConflictKind, RaceDetector};
+        let det = RaceDetector::new(2).unwrap();
+        launch_detected(2, None, Arc::clone(&det), |ctx| {
+            let sym = ctx.malloc_f64(8).expect("alloc");
+            // Both PEs store an overlapping slice into PE 0 with no barrier
+            // in between: words 0..3 and 2..5 collide on word 2.
+            let start = 2 * ctx.my_pe();
+            ctx.put_slice_f64(&sym, 0, start, &[1.0; 3]);
+            ctx.barrier_all();
+        })
+        .unwrap()
+        .into_result()
+        .unwrap();
+        let reports = det.take_reports();
+        assert!(!reports.is_empty(), "overlap must be detected");
+        for r in &reports {
+            assert_eq!(r.kind, ConflictKind::WriteWrite);
+            assert_eq!(r.owner_pe, 0);
+            assert_eq!(r.index, 2, "the overlap is exactly word 2");
+        }
+    }
+
+    #[test]
+    fn detected_launch_is_epoch_aware_across_allocations() {
+        use crate::race::RaceDetector;
+        let det = RaceDetector::new(2).unwrap();
+        launch_detected(2, None, Arc::clone(&det), |ctx| {
+            let a = ctx.malloc_f64(2).expect("alloc");
+            let b = ctx.malloc_u64(2).expect("alloc");
+            // Same word of *different* arrays in the same epoch: no race.
+            ctx.put_f64(&a, 0, ctx.my_pe(), 1.0);
+            ctx.put_u64(&b, 0, ctx.my_pe(), 1);
+            ctx.barrier_all();
+            // Same word of the same array in *different* epochs: no race.
+            ctx.put_f64(&a, 0, 0, f64::from(ctx.my_pe() as u32));
+            ctx.barrier_all();
+        })
+        .unwrap()
+        .into_result()
+        .unwrap();
+        // The second phase writes word 0@PE0 from both PEs in the same
+        // epoch — that IS a race; everything else is clean.
+        let reports = det.take_reports();
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert_eq!(reports[0].index, 0);
+    }
+
+    /// Satellite coverage: every atomic op racing a plain `put`/`get` in
+    /// the same epoch is an atomic-mixed conflict; atomic-vs-atomic is
+    /// allowed. Sleeps order the accesses deterministically enough for the
+    /// shadow cells (same-word atomics are coherent).
+    #[test]
+    fn atomics_vs_plain_accesses_under_the_detector() {
+        use crate::race::{ConflictKind, RaceDetector};
+        type AtomicOp = fn(&ShmemCtx<'_>, &SymU64);
+        let u64_ops: [(&str, AtomicOp); 3] = [
+            ("fetch_add_u64", |ctx, sym| {
+                ctx.atomic_fetch_add_u64(sym, 0, 0, 1);
+            }),
+            ("swap_u64", |ctx, sym| {
+                ctx.atomic_swap_u64(sym, 0, 0, 7);
+            }),
+            ("compare_swap_u64", |ctx, sym| {
+                ctx.atomic_compare_swap_u64(sym, 0, 0, 0, 9);
+            }),
+        ];
+        for (name, op) in u64_ops {
+            for plain_is_write in [true, false] {
+                let det = RaceDetector::new(2).unwrap();
+                launch_detected(2, None, Arc::clone(&det), |ctx| {
+                    let sym = ctx.malloc_u64(1).expect("alloc");
+                    if ctx.my_pe() == 0 {
+                        op(ctx, &sym);
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        if plain_is_write {
+                            ctx.put_u64(&sym, 0, 0, 3);
+                        } else {
+                            let _ = ctx.get_u64(&sym, 0, 0);
+                        }
+                    }
+                    ctx.barrier_all();
+                })
+                .unwrap()
+                .into_result()
+                .unwrap();
+                let reports = det.take_reports();
+                assert!(
+                    !reports.is_empty(),
+                    "{name} vs plain {} must conflict",
+                    if plain_is_write { "put" } else { "get" }
+                );
+                assert!(
+                    reports.iter().all(|r| r.kind == ConflictKind::AtomicMixed),
+                    "{name}: expected atomic-mixed, got {reports:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_fetch_add_f64_vs_plain_put_is_atomic_mixed() {
+        use crate::race::{ConflictKind, RaceDetector};
+        let det = RaceDetector::new(2).unwrap();
+        launch_detected(2, None, Arc::clone(&det), |ctx| {
+            let sym = ctx.malloc_f64(1).expect("alloc");
+            if ctx.my_pe() == 0 {
+                ctx.atomic_fetch_add_f64(&sym, 0, 0, 1.0);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                ctx.put_f64(&sym, 0, 0, 3.0);
+            }
+            ctx.barrier_all();
+        })
+        .unwrap()
+        .into_result()
+        .unwrap();
+        let reports = det.take_reports();
+        assert!(!reports.is_empty());
+        assert!(reports.iter().all(|r| r.kind == ConflictKind::AtomicMixed));
+    }
+
+    #[test]
+    fn concurrent_atomics_are_not_races() {
+        use crate::race::RaceDetector;
+        let det = RaceDetector::new(4).unwrap();
+        let out = launch_detected(4, None, Arc::clone(&det), |ctx| {
+            let acc = ctx.malloc_f64(1).expect("alloc");
+            let cnt = ctx.malloc_u64(1).expect("alloc");
+            // All four PEs hammer the same words with atomics, same epoch.
+            ctx.atomic_fetch_add_f64(&acc, 0, 0, 0.5);
+            ctx.atomic_fetch_add_u64(&cnt, 0, 0, 1);
+            ctx.barrier_all();
+            (ctx.get_f64(&acc, 0, 0), ctx.get_u64(&cnt, 0, 0))
+        })
+        .unwrap()
+        .into_result()
+        .unwrap();
+        assert_eq!(out.results[0], (2.0, 4));
+        assert_eq!(det.race_count(), 0, "{:?}", det.reports());
+    }
+
+    #[test]
+    fn detector_world_size_mismatch_is_rejected() {
+        use crate::race::RaceDetector;
+        let det = RaceDetector::new(2).unwrap();
+        assert!(launch_detected(4, None, det, |_| ()).is_err());
+    }
+
+    #[test]
+    fn collective_publish_shares_one_object() {
+        let out = launch(4, |ctx| {
+            let shared: Arc<Vec<u64>> = ctx
+                .collective_publish(|| Ok(Arc::new(vec![ctx.my_pe() as u64 * 10 + 7])))
+                .expect("publish");
+            shared[0]
+        })
+        .unwrap();
+        // Every PE sees PE 0's object, not its own closure's value.
+        assert_eq!(out.results, vec![7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn collective_publish_type_mismatch_is_an_error() {
+        let out = launch_with_faults(2, None, |ctx| {
+            if ctx.my_pe() == 0 {
+                let r: SvResult<Arc<Vec<u64>>> =
+                    ctx.collective_publish(|| Ok(Arc::new(vec![1u64])));
+                r.map(|_| ())
+            } else {
+                // Wrong type for publication #0: must error, not alias.
+                let r: SvResult<Arc<String>> =
+                    ctx.collective_publish(|| Ok(Arc::new(String::new())));
+                match r {
+                    Err(SvError::Shmem(msg)) => {
+                        assert!(msg.contains("mismatched type"), "{msg}");
+                        Ok(())
+                    }
+                    other => panic!("expected type-mismatch error, got {other:?}"),
+                }
+            }
+        })
+        .unwrap();
+        assert!(out.results.iter().all(|r| matches!(r, Ok(Ok(())))));
     }
 }

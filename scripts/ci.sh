@@ -16,6 +16,17 @@ cargo fmt --all --check
 echo "== clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== access-protocol analysis (static, full suite) =="
+# Prove every Table 4 schedule conflict-free symbolically — including the
+# 20- and 23-qubit plans, which must analyze without touching amplitudes.
+cargo run --release --quiet -- analyze --suite --pes 8
+
+echo "== access-protocol analysis (dynamic cross-validation) =="
+# Execute the smaller workloads under the runtime race detector and check
+# the observed behaviour agrees with the static proof (nonzero exit if not).
+cargo run --release --quiet -- analyze --suite --pes 2 --detect --max-qubits 14
+cargo run --release --quiet -- analyze --suite --pes 8 --detect --max-qubits 12
+
 echo "== fault-injection smoke matrix =="
 # Seeded end-to-end recovery: every job checksum under injected faults
 # must match the fault-free reference bit for bit (nonzero exit if not).

@@ -17,6 +17,7 @@
 //! | [`baselines`] | `svsim-baselines` | Aer/qsim/Q#-style comparison simulators (Fig. 14) |
 //! | [`vqa`] | `svsim-vqa` | VQE and QNN training loops (Figs. 16-17, §5) |
 //! | [`engine`] | `svsim-engine` | persistent job-scheduling + batching service layer |
+//! | [`analyzer`] | `svsim-analyzer` | static + dynamic race analysis of the SHMEM protocol |
 //!
 //! ## Quickstart
 //!
@@ -36,6 +37,7 @@
 //! assert!((p[0] - 0.5).abs() < 1e-12 && (p[7] - 0.5).abs() < 1e-12);
 //! ```
 
+pub use svsim_analyzer as analyzer;
 pub use svsim_baselines as baselines;
 pub use svsim_core as core;
 pub use svsim_engine as engine;

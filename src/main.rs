@@ -12,6 +12,8 @@
 //! sv-sim fault-bench [--fault kill-pe|drop-put|poison-barrier|exec]
 //!                    [--pes N] [--every K] [--seed S] [--one-shots N]
 //!                    [--sweeps N] [--attempts N]
+//! sv-sim analyze <file.qasm>|--suite [--pes N] [--detect]
+//!                [--merge-epochs I] [--max-qubits M] [--seed S]
 //! ```
 
 use std::process::ExitCode;
@@ -28,7 +30,9 @@ fn usage() -> ExitCode {
          sv-sim platforms\n  \
          sv-sim serve-bench [--workers N] [--sweeps N] [--one-shots N] [--batch N] [--seed S] [--reps N]\n  \
          sv-sim fault-bench [--fault kill-pe|drop-put|poison-barrier|exec] [--pes N] [--every K] \
-         [--seed S] [--one-shots N] [--sweeps N] [--attempts N]"
+         [--seed S] [--one-shots N] [--sweeps N] [--attempts N]\n  \
+         sv-sim analyze <file.qasm>|--suite [--pes N] [--detect] [--merge-epochs I] \
+         [--max-qubits M] [--seed S]"
     );
     ExitCode::from(2)
 }
@@ -59,6 +63,7 @@ fn main() -> ExitCode {
         "estimate" => cmd_estimate(&args[1..]),
         "serve-bench" => cmd_serve_bench(&args[1..]),
         "fault-bench" => cmd_fault_bench(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
         "platforms" => {
             println!("modeled platforms (see svsim-perfmodel):");
             for d in [
@@ -456,6 +461,9 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "speedup: {:.2}x",
         naive_elapsed.as_secs_f64() / engine_elapsed.as_secs_f64()
     );
+    if metrics.races_detected > 0 {
+        return Err(format!("{} SHMEM protocol races detected", metrics.races_detected).into());
+    }
     if (engine_checksum - naive_checksum).abs() > 1e-6 {
         return Err(format!(
             "checksum mismatch: engine {engine_checksum} vs naive {naive_checksum}"
@@ -523,9 +531,12 @@ fn cmd_fault_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let one_shot_jobs: Vec<(sv_sim::ir::Circuit, sv_sim::core::SimConfig)> = (0..one_shots)
         .map(|i| {
             let circuit = parse_circuit(&qasm_sources[i % qasm_sources.len()])?;
+            // Detector on: recovery must be both bit-identical AND
+            // protocol-clean (races_detected fails the bench below).
             let config = sv_sim::core::SimConfig::scale_out(pes)
                 .with_seed(seed ^ i as u64)
-                .with_checkpoint_every(every);
+                .with_checkpoint_every(every)
+                .with_race_detection();
             Ok::<_, Box<dyn std::error::Error>>((circuit, config))
         })
         .collect::<Result<_, _>>()?;
@@ -653,11 +664,103 @@ fn cmd_fault_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     println!("faults: {fired}/{scheduled} scheduled faults fired");
     println!("{metrics}");
     let total = one_shots + sweeps;
+    if metrics.races_detected > 0 {
+        return Err(format!(
+            "{} SHMEM protocol races detected during recovery",
+            metrics.races_detected
+        )
+        .into());
+    }
     if mismatches > 0 {
         return Err(
             format!("{mismatches}/{total} jobs diverged from the fault-free reference").into(),
         );
     }
     println!("OK: all {total} job checksums match the fault-free reference");
+    Ok(())
+}
+
+/// Static (and optionally dynamic) race analysis of the one-sided SHMEM
+/// access protocol. `--suite` analyzes every Table 4 workload instead of a
+/// QASM file; `--detect` additionally executes each plan under the runtime
+/// race detector and cross-checks the verdicts; `--merge-epochs I`
+/// deliberately removes the barrier after epoch `I` to demonstrate conflict
+/// detection. Exits nonzero on any conflict, dynamic race, or disagreement.
+fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use sv_sim::analyzer::{analyze_circuit, check_plan, cross_validate, CommPlan, Verdict};
+
+    let pes: u64 = flag_value(args, "--pes").map_or(Ok(8), str::parse)?;
+    let detect = args.iter().any(|a| a == "--detect");
+    let seed: u64 = flag_value(args, "--seed").map_or(Ok(0xACE5), str::parse)?;
+    let merge: Option<usize> = flag_value(args, "--merge-epochs")
+        .map(str::parse)
+        .transpose()?;
+    let max_qubits: u32 = flag_value(args, "--max-qubits").map_or(Ok(u32::MAX), str::parse)?;
+
+    let mut targets: Vec<(String, sv_sim::ir::Circuit)> = Vec::new();
+    if args.iter().any(|a| a == "--suite") {
+        for spec in sv_sim::workloads::medium_suite()
+            .into_iter()
+            .chain(sv_sim::workloads::large_suite())
+        {
+            let c = spec.circuit()?;
+            if c.n_qubits() <= max_qubits {
+                targets.push((spec.name.to_string(), c));
+            }
+        }
+    } else {
+        let path = args
+            .first()
+            .filter(|a| !a.starts_with("--"))
+            .ok_or("analyze needs <file.qasm> or --suite")?;
+        targets.push((path.clone(), load(path)?));
+    }
+
+    let mut bad = 0usize;
+    for (name, circuit) in &targets {
+        let report = if let Some(i) = merge {
+            let mut plan = CommPlan::from_circuit(circuit);
+            plan.merge_epochs(i)?;
+            check_plan(&plan, pes)?
+        } else {
+            analyze_circuit(circuit, pes)?
+        };
+        print!("{name}: {report}");
+        if report.verdict() != Verdict::ProvenSafe {
+            bad += 1;
+        }
+        if detect {
+            if merge.is_some() {
+                return Err("--detect cross-validates the executor's own schedule; \
+                            it cannot execute a --merge-epochs plan"
+                    .into());
+            }
+            let cv = cross_validate(name, circuit, usize::try_from(pes)?, seed)?;
+            println!(
+                "  dynamic: {} races at {} PEs, verdicts {}",
+                cv.races.len(),
+                cv.n_pes,
+                if cv.agrees() { "agree" } else { "DISAGREE" }
+            );
+            for r in &cv.races {
+                println!("    {r}");
+            }
+            if !cv.agrees() || !cv.races.is_empty() {
+                bad += 1;
+            }
+        }
+    }
+    if bad > 0 {
+        return Err(format!("{bad}/{} analyses failed the protocol check", targets.len()).into());
+    }
+    println!(
+        "OK: {} plan(s) proven conflict-free at {pes} PEs{}",
+        targets.len(),
+        if detect {
+            ", dynamic detector agrees"
+        } else {
+            ""
+        }
+    );
     Ok(())
 }
