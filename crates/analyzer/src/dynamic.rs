@@ -65,6 +65,35 @@ pub fn cross_validate(
     })
 }
 
+/// Like [`cross_validate`], but for the communication-avoiding *remapped*
+/// executor: statically check the remapped epoch schedule (relabeling
+/// exchanges included), then execute with remapping and the race detector
+/// both armed.
+///
+/// # Errors
+/// Analysis errors (bad PE count) or simulation errors.
+pub fn cross_validate_remapped(
+    name: &str,
+    circuit: &Circuit,
+    n_pes: usize,
+    seed: u64,
+) -> SvResult<CrossValidation> {
+    let report = crate::analyze_circuit_remapped(circuit, n_pes as u64)?;
+    let config = SimConfig::scale_out(n_pes)
+        .with_seed(seed)
+        .with_race_detection()
+        .with_remap();
+    let mut sim = Simulator::new(circuit.n_qubits(), config)?;
+    let summary = sim.run(circuit)?;
+    Ok(CrossValidation {
+        name: name.to_string(),
+        n_qubits: circuit.n_qubits(),
+        n_pes,
+        static_verdict: report.verdict(),
+        races: summary.races,
+    })
+}
+
 /// Cross-validate every Table 4 workload of width at most `max_qubits` at
 /// each PE count in `pe_counts`.
 ///
@@ -114,6 +143,64 @@ mod tests {
                 r.races
             );
             assert!(r.agrees());
+        }
+    }
+
+    #[test]
+    fn remapped_suite_is_bit_identical_statically_safe_and_race_free() {
+        // The cross-backend property behind the remap feature: for every
+        // Table 4 workload, scale-out execution WITH qubit relabeling at
+        // 2/4/8 PEs must (a) check out statically ProvenSafe including its
+        // exchange epochs, (b) record zero dynamic races, and (c) finish
+        // bit-identical to the single-device reference — checksum, raw
+        // amplitude words, and classical bits. Debug-build budget: the
+        // ≤13-qubit workloads; the release-mode remap-bench CI gate runs
+        // the identity check over the full suite.
+        use svsim_core::Simulator;
+        let seed = 0xC0FFEE;
+        for spec in medium_suite().into_iter().chain(large_suite()) {
+            let circuit = spec.circuit().unwrap();
+            if circuit.n_qubits() > 13 {
+                continue;
+            }
+            let mut reference = Simulator::new(
+                circuit.n_qubits(),
+                SimConfig::single_device().with_seed(seed),
+            )
+            .unwrap();
+            let ref_summary = reference.run(&circuit).unwrap();
+            for n_pes in [2usize, 4, 8] {
+                let report = crate::analyze_circuit_remapped(&circuit, n_pes as u64).unwrap();
+                assert_eq!(
+                    report.verdict(),
+                    Verdict::ProvenSafe,
+                    "{} remapped at {n_pes} PEs must be statically safe",
+                    spec.name
+                );
+                let config = SimConfig::scale_out(n_pes)
+                    .with_seed(seed)
+                    .with_race_detection()
+                    .with_remap();
+                let mut sim = Simulator::new(circuit.n_qubits(), config).unwrap();
+                let summary = sim.run(&circuit).unwrap();
+                assert!(
+                    summary.races.is_empty(),
+                    "{} remapped at {n_pes} PEs raced: {:?}",
+                    spec.name,
+                    summary.races
+                );
+                assert_eq!(
+                    summary.cbits, ref_summary.cbits,
+                    "{} at {n_pes} PEs: classical bits diverged",
+                    spec.name
+                );
+                assert_eq!(
+                    sim.state_checksum(),
+                    reference.state_checksum(),
+                    "{} at {n_pes} PEs: remapped amplitudes must be bit-identical",
+                    spec.name
+                );
+            }
         }
     }
 

@@ -25,7 +25,7 @@ pub mod plan;
 pub use check::{
     check_plan, check_plan_with_budget, AnalysisReport, Conflict, EpochSummary, Verdict,
 };
-pub use dynamic::{cross_validate, cross_validate_suite, CrossValidation};
+pub use dynamic::{cross_validate, cross_validate_remapped, cross_validate_suite, CrossValidation};
 pub use plan::{CommPlan, Epoch, EpochKind, PlanGate};
 
 use svsim_core::{BackendKind, RunSummary, SimConfig, Simulator};
@@ -39,6 +39,23 @@ use svsim_types::{SvError, SvResult};
 /// [`SvError::InvalidConfig`] on an invalid PE count.
 pub fn analyze_circuit(circuit: &Circuit, n_pes: u64) -> SvResult<AnalysisReport> {
     let plan = CommPlan::from_circuit(circuit);
+    check_plan(&plan, n_pes)
+}
+
+/// Build the *remapped* communication plan of `circuit` (the schedule the
+/// communication-avoiding executor follows, including relabeling exchange
+/// epochs) and statically check it at `n_pes` partitions.
+///
+/// # Errors
+/// [`SvError::InvalidConfig`] on an invalid PE count.
+pub fn analyze_circuit_remapped(circuit: &Circuit, n_pes: u64) -> SvResult<AnalysisReport> {
+    if n_pes == 0 || !n_pes.is_power_of_two() || n_pes > (1u64 << circuit.n_qubits().min(63)) {
+        return Err(SvError::InvalidConfig(format!(
+            "PE count {n_pes} cannot partition a {}-qubit state",
+            circuit.n_qubits()
+        )));
+    }
+    let plan = CommPlan::from_circuit_remapped(circuit, n_pes);
     check_plan(&plan, n_pes)
 }
 

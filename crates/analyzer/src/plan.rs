@@ -27,6 +27,14 @@ pub enum EpochKind {
     /// Measurement/reset collapse: each PE rescales only its own partition,
     /// and the probability reduction is internally synchronized.
     Collapse,
+    /// One barrier-fenced stage of a relabeling slab exchange
+    /// (`ShmemView::exchange_pair`). Each swap contributes two of these:
+    /// the pack stage (each PE reads its own partition and puts into its
+    /// unique partner's exchange buffer — one writer per exchange word by
+    /// the pairing `partner = pe ^ (1 << (b - shift))`), then the unpack
+    /// stage (purely PE-local moves from own exchange buffer into own
+    /// partition). Conflict-free by construction in both stages.
+    Exchange,
 }
 
 /// One gate kernel as scheduled: the compiled kernel plus its provenance in
@@ -132,6 +140,64 @@ impl CommPlan {
         }
     }
 
+    /// Derive the plan the *remapped* scale-out executor would follow for
+    /// `c` at `n_pes` partitions. The schedule comes from the same planner
+    /// the executor and the traffic model use
+    /// ([`svsim_core::remap::plan_remap`]) — `CommPlan` stays the single
+    /// source of truth for the epoch structure, and the planner stays the
+    /// single source of truth for the relabeling policy. Each relabeling
+    /// swap contributes two [`EpochKind::Exchange`] epochs (pack, unpack)
+    /// mirroring the two barriers of `ShmemView::exchange_pair`; gates are
+    /// planned at their *physical* positions, which is exactly what the
+    /// executor's kernels index with.
+    ///
+    /// # Panics
+    /// If `n_pes` is not a power of two or exceeds the state dimension
+    /// (propagated from the planner).
+    #[must_use]
+    pub fn from_circuit_remapped(c: &Circuit, n_pes: u64) -> Self {
+        let n = c.n_qubits();
+        let plan = svsim_core::remap::plan_remap(c.ops(), n, n_pes);
+        let mut gates = Vec::new();
+        let mut epochs = Vec::new();
+        for (i, (op, swaps)) in plan.ops.iter().zip(&plan.pre_swaps).enumerate() {
+            for _ in swaps {
+                epochs.push(Epoch {
+                    kind: EpochKind::Exchange,
+                    gates: vec![],
+                });
+                epochs.push(Epoch {
+                    kind: EpochKind::Exchange,
+                    gates: vec![],
+                });
+            }
+            match op {
+                Op::Gate(g) => push_gate_epochs(&mut gates, &mut epochs, g, n, i, false),
+                Op::IfEq { gate, .. } => {
+                    push_gate_epochs(&mut gates, &mut epochs, gate, n, i, true);
+                }
+                Op::Measure { .. } => epochs.push(Epoch {
+                    kind: EpochKind::Collapse,
+                    gates: vec![],
+                }),
+                Op::Reset { qubit } => {
+                    epochs.push(Epoch {
+                        kind: EpochKind::Collapse,
+                        gates: vec![],
+                    });
+                    let x = Gate::new(GateKind::X, &[*qubit], &[]).expect("X gate is valid");
+                    push_gate_epochs(&mut gates, &mut epochs, &x, n, i, true);
+                }
+                Op::Barrier(_) => unreachable!("the remap planner drops barriers"),
+            }
+        }
+        Self {
+            n_qubits: n,
+            gates,
+            epochs,
+        }
+    }
+
     /// Merge epoch `i + 1` into epoch `i`, modelling a schedule that omits
     /// the barrier between two kernels. Both epochs must be kernel epochs.
     ///
@@ -205,6 +271,41 @@ mod tests {
             ]
         );
         assert!(plan.gates[1].conditional, "reset X is outcome-dependent");
+    }
+
+    #[test]
+    fn remapped_plans_mirror_the_executor_schedule() {
+        // n=4 at 4 PEs: boundary = 2, so H(3) triggers one relabeling swap
+        // = two Exchange epochs before its kernel epoch, and the kernel is
+        // planned at the swapped-in LOW physical position.
+        let mut c = Circuit::new(4);
+        c.apply(GateKind::H, &[3], &[]).unwrap();
+        let plan = CommPlan::from_circuit_remapped(&c, 4);
+        let kinds: Vec<EpochKind> = plan.epochs.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EpochKind::Exchange, EpochKind::Exchange, EpochKind::Kernel]
+        );
+        assert!(plan.gates[0].qubits[0] < 2, "gate localized below boundary");
+    }
+
+    #[test]
+    fn remapped_exchange_epochs_cannot_merge() {
+        let mut c = Circuit::new(4);
+        c.apply(GateKind::H, &[3], &[]).unwrap();
+        let mut plan = CommPlan::from_circuit_remapped(&c, 4);
+        assert!(plan.merge_epochs(0).is_err(), "exchange epochs never merge");
+    }
+
+    #[test]
+    fn remapped_plan_at_one_pe_is_the_plain_plan() {
+        let mut c = Circuit::new(3);
+        c.apply(GateKind::H, &[2], &[]).unwrap();
+        c.apply(GateKind::CX, &[0, 2], &[]).unwrap();
+        let plain = CommPlan::from_circuit(&c);
+        let remapped = CommPlan::from_circuit_remapped(&c, 1);
+        assert_eq!(remapped.epochs.len(), plain.epochs.len());
+        assert!(remapped.epochs.iter().all(|e| e.kind == EpochKind::Kernel));
     }
 
     #[test]

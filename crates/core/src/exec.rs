@@ -151,7 +151,9 @@ pub(crate) fn run_single(
     };
     let mut scratch: Vec<CompiledGate> = Vec::new();
     let measure_into = |view: &LocalView, qubit: u32, r: f64| -> SvResult<u8> {
-        let p1 = crate::kernels::prob_one_partial(view, qubit, 0..half);
+        // Canonical-tree sum (svsim_types::numeric): bit-identical to the
+        // partitioned backends' partial + pairwise reduce at any PE count.
+        let p1 = measure::prob_one_view(view, qubit, 1u64 << n);
         let outcome = u8::from(r < p1);
         let p = if outcome == 1 { p1 } else { 1.0 - p1 };
         if p < 1e-300 {
@@ -231,9 +233,58 @@ fn check_workers(n_workers: usize, n_qubits: u32, what: &str) -> SvResult<()> {
     Ok(())
 }
 
+/// Per-partition measurement partial plus the reduce slot and physical
+/// qubit for the collapse. Under a block-preserving snapshot layout
+/// (`lay`) the partition holds the logical subcube whose top value indexes
+/// the reduce slot, and the partial walks it in logical order so the
+/// probability tree is the single-device logical tree bit-for-bit; without
+/// a snapshot the layout is identity and the slot is the worker rank.
+#[allow(clippy::too_many_arguments)]
+fn measure_partial(
+    lay: Option<&crate::remap::QubitLayout>,
+    my_re: &SharedF64Vec,
+    my_im: &SharedF64Vec,
+    my_base: u64,
+    worker: u64,
+    n_workers: u64,
+    n_qubits: u32,
+    qubit: u32,
+) -> (f64, usize, u32) {
+    match lay {
+        Some(lay) => {
+            let boundary = n_qubits - n_workers.trailing_zeros();
+            let mut slot = 0usize;
+            for j in 0..(n_qubits - boundary) {
+                slot |= (((worker >> (lay.phys(boundary + j) - boundary)) & 1) as usize) << j;
+            }
+            let logical_base = (slot as u64) << boundary;
+            let low_pos: Vec<u32> = (0..boundary).map(|k| lay.phys(k)).collect();
+            let partial =
+                measure::partial_prob_one_mapped(my_re, my_im, logical_base, &low_pos, qubit);
+            (partial, slot, lay.phys(qubit))
+        }
+        None => (
+            measure::partial_prob_one_partition(my_re, my_im, my_base, qubit),
+            worker as usize,
+            qubit,
+        ),
+    }
+}
+
 /// Shared gate/step walker for the partitioned backends. `sync` is called
 /// between dependent kernels; `reduce` turns a local probability
-/// contribution into the global one.
+/// contribution (deposited at a caller-chosen scratch slot) into the
+/// global one.
+///
+/// `pre_swaps` (aligned 1:1 with `steps`; empty for a naive schedule)
+/// lists the relabeling slab exchanges to run *before* each step, realized
+/// collectively through `exchange`. Relabeling is unconditional even for
+/// conditional steps — it is pure data movement, and all workers must
+/// reach the exchange barriers together.
+///
+/// `measure_layouts` (aligned 1:1 with `steps` when non-empty) carries the
+/// planner's block-preserving layout snapshot at each Measure/Reset, whose
+/// `qubit` is then LOGICAL; collapse targets its physical position.
 #[allow(clippy::too_many_arguments)]
 fn walk_steps<V: StateView>(
     steps: &[Step],
@@ -249,8 +300,11 @@ fn walk_steps<V: StateView>(
     my_im: &SharedF64Vec,
     my_base: u64,
     initial_cbits: u64,
+    pre_swaps: &[Vec<(u32, u32)>],
+    measure_layouts: &[Option<crate::remap::QubitLayout>],
+    exchange: &dyn Fn(u32, u32),
     sync: &dyn Fn(),
-    reduce: &dyn Fn(f64) -> f64,
+    reduce: &dyn Fn(usize, f64) -> f64,
 ) -> SvResult<u64> {
     let mut cbits = initial_cbits;
     let mut scratch: Vec<CompiledGate> = Vec::new();
@@ -259,7 +313,12 @@ fn walk_steps<V: StateView>(
     } else {
         Vec::new()
     };
-    for step in steps {
+    for (si, step) in steps.iter().enumerate() {
+        if let Some(swaps) = pre_swaps.get(si) {
+            for &(a, b) in swaps {
+                exchange(a, b);
+            }
+        }
         match step {
             Step::Gate { raw, compiled } | Step::IfEq { raw, compiled, .. } => {
                 if let Step::IfEq {
@@ -302,8 +361,11 @@ fn walk_steps<V: StateView>(
                 }
             }
             Step::Measure { qubit, cbit, r_idx } => {
-                let partial = measure::partial_prob_one_partition(my_re, my_im, my_base, *qubit);
-                let p1 = reduce(partial);
+                let lay = measure_layouts.get(si).and_then(|o| o.as_ref());
+                let (partial, slot, phys_q) = measure_partial(
+                    lay, my_re, my_im, my_base, worker, n_workers, n_qubits, *qubit,
+                );
+                let p1 = reduce(slot, partial);
                 let outcome = u8::from(randoms[*r_idx] < p1);
                 let p = if outcome == 1 { p1 } else { 1.0 - p1 };
                 if p < 1e-300 {
@@ -311,13 +373,16 @@ fn walk_steps<V: StateView>(
                         "collapse of qubit {qubit} with probability ~0"
                     )));
                 }
-                measure::collapse_partition(my_re, my_im, my_base, *qubit, outcome, 1.0 / p.sqrt());
+                measure::collapse_partition(my_re, my_im, my_base, phys_q, outcome, 1.0 / p.sqrt());
                 sync();
                 cbits = (cbits & !(1u64 << cbit)) | (u64::from(outcome) << cbit);
             }
             Step::Reset { qubit, r_idx } => {
-                let partial = measure::partial_prob_one_partition(my_re, my_im, my_base, *qubit);
-                let p1 = reduce(partial);
+                let lay = measure_layouts.get(si).and_then(|o| o.as_ref());
+                let (partial, slot, phys_q) = measure_partial(
+                    lay, my_re, my_im, my_base, worker, n_workers, n_qubits, *qubit,
+                );
+                let p1 = reduce(slot, partial);
                 let outcome = u8::from(randoms[*r_idx] < p1);
                 let p = if outcome == 1 { p1 } else { 1.0 - p1 };
                 if p < 1e-300 {
@@ -325,13 +390,13 @@ fn walk_steps<V: StateView>(
                         "reset of qubit {qubit} with probability ~0"
                     )));
                 }
-                measure::collapse_partition(my_re, my_im, my_base, *qubit, outcome, 1.0 / p.sqrt());
+                measure::collapse_partition(my_re, my_im, my_base, phys_q, outcome, 1.0 / p.sqrt());
                 sync();
                 if outcome == 1 {
                     // Distributed X to restore |0>.
                     let mut xg = Vec::new();
                     compile_gate(
-                        &Gate::new(GateKind::X, &[*qubit], &[]).expect("x"),
+                        &Gate::new(GateKind::X, &[phys_q], &[]).expect("x"),
                         n_qubits,
                         true,
                         &mut xg,
@@ -406,10 +471,14 @@ pub(crate) fn run_scaleup(
                         barrier.wait(&mut t);
                         token.set(t);
                     };
-                    let reduce = |x: f64| {
-                        coll.store(d, x);
+                    let reduce = |slot: usize, x: f64| {
+                        coll.store(slot, x);
                         sync();
-                        let total: f64 = (0..n_dev).map(|p| coll.load(p)).sum();
+                        let partials: Vec<f64> = (0..n_dev).map(|p| coll.load(p)).collect();
+                        // Pairwise combine: each partial is a subtree node of
+                        // the canonical probability tree (see svsim_types::
+                        // numeric), so this matches prob_one bit-for-bit.
+                        let total = svsim_types::numeric::pairwise_sum(&partials);
                         sync();
                         total
                     };
@@ -427,6 +496,9 @@ pub(crate) fn run_scaleup(
                         &im_parts[d],
                         (d * per_dev) as u64,
                         initial_cbits,
+                        &[],
+                        &[],
+                        &|_, _| unreachable!("no relabeling on the scale-up path"),
                         &sync,
                         &reduce,
                     )
@@ -473,6 +545,14 @@ pub(crate) fn run_scaleup(
 /// one-sided access is recorded against epoch-scoped shadow state, and any
 /// access-protocol violations come back as the third tuple element without
 /// failing the run.
+///
+/// With `remap` set, the op stream first passes through the
+/// communication-avoiding planner ([`crate::remap::plan_remap`]): gates
+/// touching partition-index qubit positions are preceded by bulk slab
+/// exchanges that relabel those positions below the boundary, so the gates
+/// themselves run entirely PE-local. Readback un-permutes the state, so
+/// results are indistinguishable from the naive schedule. The fourth tuple
+/// element counts the relabeling swaps executed (0 when off).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_scaleout(
     state: &mut StateVector,
@@ -484,12 +564,25 @@ pub(crate) fn run_scaleout(
     initial_cbits: u64,
     faults: Option<Arc<FaultPlan>>,
     detect: bool,
-) -> SvResult<(u64, Vec<TrafficSnapshot>, Vec<RaceReport>)> {
+    remap: bool,
+) -> SvResult<(u64, Vec<TrafficSnapshot>, Vec<RaceReport>, usize)> {
     let n = state.n_qubits();
     check_workers(n_pes, n, "PE")?;
     let dim = state.dim();
     let per_pe = dim / n_pes;
-    let (steps, queue, n_rand) = build_steps(ops, n, specialized);
+    let plan = if remap && n_pes > 1 {
+        Some(crate::remap::plan_remap(ops, n, n_pes as u64))
+    } else {
+        None
+    };
+    let (steps, queue, n_rand) = match &plan {
+        Some(p) => build_steps(&p.ops, n, specialized),
+        None => build_steps(ops, n, specialized),
+    };
+    let pre_swaps: &[Vec<(u32, u32)>] = plan.as_ref().map_or(&[], |p| &p.pre_swaps);
+    let measure_layouts: &[Option<crate::remap::QubitLayout>] =
+        plan.as_ref().map_or(&[], |p| &p.measure_layouts);
+    let n_swaps = plan.as_ref().map_or(0, |p| p.n_swaps);
     let randoms: Vec<f64> = (0..n_rand).map(|_| rng.next_f64()).collect();
     let init_re = state.re().to_vec();
     let init_im = state.im().to_vec();
@@ -503,6 +596,13 @@ pub(crate) fn run_scaleout(
         let pe = ctx.my_pe();
         let sym_re = ctx.malloc_f64(per_pe)?;
         let sym_im = ctx.malloc_f64(per_pe)?;
+        // Exchange staging buffers, only if the plan has relabeling swaps
+        // (collective allocation: the plan is identical on every PE).
+        let xch = if n_swaps > 0 {
+            Some((ctx.malloc_f64(per_pe / 2)?, ctx.malloc_f64(per_pe / 2)?))
+        } else {
+            None
+        };
         // Local initialization of this PE's slice (host scatter).
         sym_re
             .partition(pe)
@@ -513,8 +613,12 @@ pub(crate) fn run_scaleout(
         ctx.try_barrier_all()?;
 
         let view = ShmemView::new(ctx, &sym_re, &sym_im);
+        let exchange = |a: u32, b: u32| {
+            let (xr, xi) = xch.as_ref().expect("staging buffers allocated");
+            view.exchange_pair(a, b, xr, xi);
+        };
         let sync = || ctx.barrier_all();
-        let reduce = |x: f64| ctx.sum_reduce_f64(x);
+        let reduce = |slot: usize, x: f64| ctx.sum_reduce_f64_at(slot, x);
         let cbits = walk_steps(
             &steps,
             &queue,
@@ -529,6 +633,9 @@ pub(crate) fn run_scaleout(
             sym_im.partition(pe),
             (pe * per_pe) as u64,
             initial_cbits,
+            pre_swaps,
+            measure_layouts,
+            &exchange,
             &sync,
             &reduce,
         )?;
@@ -577,7 +684,12 @@ pub(crate) fn run_scaleout(
             re[pe * per_pe..(pe + 1) * per_pe].copy_from_slice(&pre);
             im[pe * per_pe..(pe + 1) * per_pe].copy_from_slice(&pim);
         }
+        // The remapped run left the state in the final physical layout;
+        // restore logical order host-side (no fabric traffic).
+        if let Some(p) = &plan {
+            crate::remap::unpermute_state(&p.final_layout, re, im);
+        }
     }
     let races = detector.map_or_else(Vec::new, |d| d.take_reports());
-    Ok((cbits_out, out.traffic, races))
+    Ok((cbits_out, out.traffic, races, n_swaps))
 }

@@ -57,12 +57,16 @@ impl GateArgs {
 }
 
 /// Contiguous work split: item range owned by `worker` of `n_workers`.
+///
+/// The intermediate product is widened to `u128`: the traffic model calls
+/// this with Summit-scale `work` (up to `2^63` items), where
+/// `work * worker` overflows `u64` long before the division brings the
+/// quotient back in range.
 #[inline]
 #[must_use]
 pub fn worker_range(work: u64, n_workers: u64, worker: u64) -> Range<u64> {
-    let start = work * worker / n_workers;
-    let end = work * (worker + 1) / n_workers;
-    start..end
+    let split = |w: u64| (u128::from(work) * u128::from(w) / u128::from(n_workers)) as u64;
+    split(worker)..split(worker + 1)
 }
 
 /// Pauli-X: swap the amplitude pair.
@@ -325,7 +329,10 @@ pub fn k_twoq<V: StateView>(v: &V, a: &GateArgs, r: Range<u64>) {
 }
 
 /// Partial sum of `|amp|^2` over amplitudes in `r` with bit `q` set
-/// (work-item space: `dim/2`). Used by measurement.
+/// (work-item space: `dim/2`), accumulated sequentially. The executors'
+/// measurement paths use the canonical-tree sums in `crate::measure`
+/// instead — a sequential association is not reproducible across
+/// partition counts; this kernel remains for range-sliced diagnostics.
 #[must_use]
 pub fn prob_one_partial<V: StateView>(v: &V, q: u32, r: Range<u64>) -> f64 {
     let mut p = 0.0;
@@ -392,6 +399,34 @@ mod tests {
             assert_eq!(total, 100);
             assert_eq!(prev_end, 100);
         }
+    }
+
+    #[test]
+    fn worker_range_survives_summit_scale_work() {
+        // 2^63 items over 1024 PEs: `work * worker` overflows u64 for every
+        // worker past the first — the u128 intermediate must keep the split
+        // exact, contiguous, and covering.
+        let work = 1u64 << 63;
+        let n_workers = 1024u64;
+        let mut prev_end = 0u64;
+        for w in 0..n_workers {
+            let r = worker_range(work, n_workers, w);
+            assert_eq!(r.start, prev_end, "worker {w} must start where {w}-1 ended");
+            assert_eq!(r.end - r.start, work / n_workers);
+            prev_end = r.end;
+        }
+        assert_eq!(prev_end, work);
+        // Uneven split at scale: ranges still partition the work exactly.
+        let work = (1u64 << 63) + 12_345;
+        let mut total = 0u64;
+        let mut prev_end = 0u64;
+        for w in 0..7 {
+            let r = worker_range(work, 7, w);
+            assert_eq!(r.start, prev_end);
+            total += r.end - r.start;
+            prev_end = r.end;
+        }
+        assert_eq!(total, work);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! - [`exec`]: the three backends (Listings 3-5).
 //! - [`measure`]: measurement, collapse, sampling, expectations.
 //! - [`traffic`]: exact analytic communication model.
+//! - [`remap`]: communication-avoiding qubit relabeling for scale-out.
 //! - [`sim`]: the `Simulator` facade.
 
 pub mod batch;
@@ -22,6 +23,7 @@ pub mod kernels;
 pub mod measure;
 pub mod noise;
 pub mod par;
+pub mod remap;
 pub mod sim;
 pub mod state;
 pub mod traffic;
@@ -32,6 +34,7 @@ pub use checkpoint::{state_checksum, Checkpoint, Fnv1a};
 pub use compile::{CompiledGate, KernelId};
 pub use exec::DispatchMode;
 pub use noise::{sample_noisy_circuit, trajectory_average, NoiseModel};
+pub use remap::{plan_remap, QubitLayout, RemapPlan};
 pub use sim::{BackendKind, RunSummary, SimConfig, Simulator};
 pub use state::StateVector;
 pub use traffic::GateTraffic;

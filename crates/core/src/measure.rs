@@ -5,6 +5,15 @@
 //! under the natural-order partitioning (they are diagonal), so the
 //! distributed backends run them on their own partitions with a single
 //! scalar reduction — no amplitude exchange.
+//!
+//! Probability mass is summed with the canonical pairwise-tree association
+//! of [`svsim_types::numeric`]: every backend evaluates nodes of the same
+//! perfect binary tree over the amplitude index space, so a partition's
+//! partial is exactly one subtree value and the cross-PE combine
+//! ([`svsim_types::numeric::pairwise_sum`]) reproduces the single-device
+//! sum bit-for-bit at any PE count. A sequential accumulation here would
+//! differ in the last ULPs, and the `1/sqrt(p)` collapse rescale would leak
+//! that ULP into every amplitude, breaking cross-backend bit-identity.
 
 use crate::par::parallel_sum;
 use crate::state::StateVector;
@@ -18,28 +27,86 @@ use svsim_types::{SvError, SvResult, SvRng};
 /// loses.
 const PAR_THRESHOLD: usize = 1 << 16;
 
+/// Number of aligned subtrees evaluated in parallel by [`prob_one`] on
+/// large states. Must be a power of two so each chunk is a node of the
+/// canonical tree; 32 matches `par::MAX_CHUNKS`.
+const PROB_CHUNKS: usize = 32;
+
+/// Value of the canonical probability tree node covering the aligned block
+/// `[base + start, base + start + len)` (global indices; `len` and the
+/// block alignment are powers of two). `term(off)` yields `|amp|^2` at
+/// local offset `off`. Blocks where bit `q` is constant-zero contribute an
+/// exact `0.0` and are pruned without touching the amplitudes.
+fn prob_tree<F: Fn(usize) -> f64>(term: &F, base: u64, start: usize, len: usize, q: u32) -> f64 {
+    debug_assert!(len.is_power_of_two());
+    if len as u64 <= 1u64 << q && bit(base + start as u64, q) == 0 {
+        return 0.0;
+    }
+    if len <= 64 {
+        // Iterative fold of the same perfect tree (leaf pairs, then their
+        // parents, ...) — identical association to the recursion, without
+        // the per-leaf call overhead.
+        let mut buf = [0.0f64; 64];
+        for (k, slot) in buf.iter_mut().take(len).enumerate() {
+            *slot = if bit(base + (start + k) as u64, q) == 1 {
+                term(start + k)
+            } else {
+                0.0
+            };
+        }
+        let mut m = len;
+        while m > 1 {
+            m /= 2;
+            for k in 0..m {
+                buf[k] = buf[2 * k] + buf[2 * k + 1];
+            }
+        }
+        return buf[0];
+    }
+    let half = len / 2;
+    prob_tree(term, base, start, half, q) + prob_tree(term, base, start + half, half, q)
+}
+
+/// Canonical-tree probability that qubit `q` measures 1, over a full
+/// [`crate::view::StateView`] of dimension `dim` — the single-device
+/// executor's measurement path. Same association as [`prob_one`] and as
+/// the partitioned partials, so every backend agrees bit-for-bit.
+#[must_use]
+pub(crate) fn prob_one_view<V: crate::view::StateView>(v: &V, q: u32, dim: u64) -> f64 {
+    let term = |i: usize| {
+        let (re, im) = v.get(i as u64);
+        re * re + im * im
+    };
+    prob_tree(&term, 0, 0, dim as usize, q)
+}
+
 /// Probability that qubit `q` measures 1 (full local state).
+///
+/// Uses the canonical tree association (see module docs), so the result is
+/// bit-identical to a partitioned evaluation combined with
+/// [`svsim_types::numeric::pairwise_sum`].
 #[must_use]
 pub fn prob_one(state: &StateVector, q: u32) -> f64 {
     let (re, im) = (state.re(), state.im());
-    if re.len() >= PAR_THRESHOLD {
-        return parallel_sum(re.len(), |range| {
-            let mut p = 0.0;
-            for i in range {
-                if bit(i as u64, q) == 1 {
-                    p += re[i] * re[i] + im[i] * im[i];
-                }
+    let len = re.len();
+    let term = |i: usize| re[i] * re[i] + im[i] * im[i];
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if len >= PAR_THRESHOLD && workers > 1 {
+        // Evaluate aligned subtrees in parallel and combine them pairwise:
+        // identical association to the sequential tree below.
+        let chunk = len / PROB_CHUNKS;
+        let mut partials = vec![0.0f64; PROB_CHUNKS];
+        std::thread::scope(|scope| {
+            for (c, slot) in partials.iter_mut().enumerate() {
+                let term = &term;
+                scope.spawn(move || {
+                    *slot = prob_tree(term, 0, c * chunk, chunk, q);
+                });
             }
-            p
         });
+        return svsim_types::numeric::pairwise_sum(&partials);
     }
-    let mut p = 0.0;
-    for i in 0..re.len() {
-        if bit(i as u64, q) == 1 {
-            p += re[i] * re[i] + im[i] * im[i];
-        }
-    }
-    p
+    prob_tree(&term, 0, 0, len, q)
 }
 
 /// Collapse qubit `q` to `outcome` with pre-computed branch probability `p`.
@@ -102,16 +169,44 @@ pub fn reset_with(state: &mut StateVector, q: u32, r: f64) -> SvResult<()> {
 
 /// Partition-local partial probability of qubit `q` being 1, for a
 /// partition whose first global amplitude index is `base`.
+///
+/// The partial is the canonical tree node for this partition's aligned
+/// block, so combining the per-PE partials with
+/// [`svsim_types::numeric::pairwise_sum`] equals [`prob_one`] on the whole
+/// state bit-for-bit.
 #[must_use]
 pub fn partial_prob_one_partition(re: &SharedF64Vec, im: &SharedF64Vec, base: u64, q: u32) -> f64 {
-    let mut p = 0.0;
-    for off in 0..re.len() {
-        if bit(base + off as u64, q) == 1 {
-            let (r, i) = (re.load(off), im.load(off));
-            p += r * r + i * i;
+    let term = |off: usize| {
+        let (r, i) = (re.load(off), im.load(off));
+        r * r + i * i
+    };
+    prob_tree(&term, base, 0, re.len(), q)
+}
+
+/// Partition partial of P(q=1) under a block-preserving qubit layout.
+///
+/// The partition holds one logical subcube starting at `logical_base`; the
+/// walk enumerates it in logical order, translating each logical offset `o`
+/// to the local physical offset through `low_pos` (`low_pos[k]` = physical
+/// position of logical qubit `k`, all below the boundary). The tree shape is
+/// therefore the single-device logical tree, bit-identical regardless of the
+/// within-partition scramble. `q` is the LOGICAL measured qubit.
+pub fn partial_prob_one_mapped(
+    re: &SharedF64Vec,
+    im: &SharedF64Vec,
+    logical_base: u64,
+    low_pos: &[u32],
+    q: u32,
+) -> f64 {
+    let term = |o: usize| {
+        let mut off = 0usize;
+        for (k, &pos) in low_pos.iter().enumerate() {
+            off |= ((o >> k) & 1) << (pos as usize);
         }
-    }
-    p
+        let (r, i) = (re.load(off), im.load(off));
+        r * r + i * i
+    };
+    prob_tree(&term, logical_base, 0, re.len(), q)
 }
 
 /// Partition-local collapse (diagonal, no communication).
@@ -337,6 +432,47 @@ mod tests {
         let s = plus_state();
         let id = PauliString::parse("I").unwrap();
         assert!((expval_pauli(&s, &id) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_partials_match_prob_one_bitwise() {
+        // Irrational amplitudes (the qf21 kickback regime) where sequential
+        // and chunked summation differ in ULPs: the canonical tree must make
+        // per-partition partials combine to exactly the single-device value
+        // for every power-of-two partitioning.
+        let n = 10u32;
+        let dim = 1usize << n;
+        let mut s = StateVector::zero_state(n).unwrap();
+        let amps: Vec<Complex64> = (0..dim)
+            .map(|i| {
+                let t = f64::from(i as u32) * 0.737_123;
+                Complex64::new(t.sin(), t.cos() * 0.5)
+            })
+            .collect();
+        s.set_complex(&amps).unwrap();
+        for q in [0, 3, n - 1] {
+            let whole = prob_one(&s, q);
+            for n_pes in [2usize, 4, 8] {
+                let per = dim / n_pes;
+                let partials: Vec<f64> = (0..n_pes)
+                    .map(|pe| {
+                        let re = SharedF64Vec::new(per, 0.0);
+                        let im = SharedF64Vec::new(per, 0.0);
+                        for off in 0..per {
+                            re.store(off, s.re()[pe * per + off]);
+                            im.store(off, s.im()[pe * per + off]);
+                        }
+                        partial_prob_one_partition(&re, &im, (pe * per) as u64, q)
+                    })
+                    .collect();
+                let combined = svsim_types::numeric::pairwise_sum(&partials);
+                assert_eq!(
+                    whole.to_bits(),
+                    combined.to_bits(),
+                    "q={q} n_pes={n_pes}: partitioned sum must be bit-identical"
+                );
+            }
+        }
     }
 
     #[test]

@@ -34,15 +34,19 @@ pub struct GateTraffic {
 
 impl GateTraffic {
     /// Merge (sum) with another gate's traffic.
+    ///
+    /// Sums saturate: aggregating a Summit-scale circuit (each gate already
+    /// near `2^63` bytes touched) must clamp at `u64::MAX` rather than wrap
+    /// into a silently-too-small estimate.
     #[must_use]
     pub fn merged(&self, o: &Self) -> Self {
         Self {
-            items: self.items + o.items,
-            local_amp_ops: self.local_amp_ops + o.local_amp_ops,
-            remote_amp_ops: self.remote_amp_ops + o.remote_amp_ops,
-            remote_bytes: self.remote_bytes + o.remote_bytes,
-            bytes_touched: self.bytes_touched + o.bytes_touched,
-            flops: self.flops + o.flops,
+            items: self.items.saturating_add(o.items),
+            local_amp_ops: self.local_amp_ops.saturating_add(o.local_amp_ops),
+            remote_amp_ops: self.remote_amp_ops.saturating_add(o.remote_amp_ops),
+            remote_bytes: self.remote_bytes.saturating_add(o.remote_bytes),
+            bytes_touched: self.bytes_touched.saturating_add(o.bytes_touched),
+            flops: self.flops.saturating_add(o.flops),
         }
     }
 
@@ -107,10 +111,12 @@ pub fn gate_traffic(cg: &CompiledGate, n_qubits: u32, n_pes: u64) -> GateTraffic
     let sorted = cg.args.sorted();
 
     // Each access pattern per item is one load + one store of a complex
-    // amplitude = 2 amplitude ops, 32 bytes of memory traffic.
-    let amp_ops_total = work * patterns.len() as u64 * 2;
-    let bytes_touched = work * patterns.len() as u64 * 32;
-    let flops = work * flops_per_item;
+    // amplitude = 2 amplitude ops, 32 bytes of memory traffic. Products
+    // saturate: at Summit-scale work counts (`2^58+` items) the byte
+    // products exceed u64 and must clamp, not wrap.
+    let amp_ops_total = work.saturating_mul(patterns.len() as u64 * 2);
+    let bytes_touched = work.saturating_mul(patterns.len() as u64 * 32);
+    let flops = work.saturating_mul(flops_per_item);
 
     let mut remote = 0u64;
     if n_pes > 1 {
@@ -123,7 +129,7 @@ pub fn gate_traffic(cg: &CompiledGate, n_qubits: u32, n_pes: u64) -> GateTraffic
                 for &pat in &patterns {
                     let idx = insert_zero_bits(rep, sorted) | pat;
                     if (idx >> shift_l) != p {
-                        remote += per_pe * 2;
+                        remote = remote.saturating_add(per_pe * 2);
                     }
                 }
             }
@@ -146,7 +152,7 @@ pub fn gate_traffic(cg: &CompiledGate, n_qubits: u32, n_pes: u64) -> GateTraffic
         items: work,
         local_amp_ops: amp_ops_total - remote,
         remote_amp_ops: remote,
-        remote_bytes: remote * 16,
+        remote_bytes: remote.saturating_mul(16),
         bytes_touched,
         flops,
     }
@@ -159,6 +165,65 @@ pub fn circuit_traffic(compiled: &[CompiledGate], n_qubits: u32, n_pes: u64) -> 
         .iter()
         .map(|cg| gate_traffic(cg, n_qubits, n_pes))
         .fold(GateTraffic::default(), |acc, t| acc.merged(&t))
+}
+
+/// Predicted traffic of one relabeling slab exchange
+/// ([`crate::view::ShmemView::exchange_pair`]): half the state moves
+/// across the fabric once (each PE ships `per_pe / 2` amplitudes to its
+/// partner as bulk slabs), plus three local touches per moved amplitude
+/// (state read, staging read, state write).
+///
+/// `remote_amp_ops` counts word-level amplitude stores as everywhere else
+/// in this model (so `remote_bytes == 16 * remote_amp_ops` holds); the
+/// *message* count is far lower — that is the whole point of the bulk
+/// path — and is deliberately not modeled here.
+#[must_use]
+pub fn exchange_traffic(n_qubits: u32, n_pes: u64) -> GateTraffic {
+    assert!(n_pes.is_power_of_two(), "PE count must be a power of two");
+    let dim = 1u64 << n_qubits;
+    let moved = dim / 2;
+    GateTraffic {
+        items: moved,
+        local_amp_ops: moved.saturating_mul(3),
+        remote_amp_ops: moved,
+        remote_bytes: moved.saturating_mul(16),
+        bytes_touched: moved.saturating_mul(64),
+        flops: 0,
+    }
+}
+
+/// Exact traffic prediction for the *remapped* scale-out schedule of an op
+/// stream: plan the relabeling with [`crate::remap::plan_remap`] (the same
+/// planner the executor runs), then price every exchange epoch plus every
+/// remapped compiled gate. Localized gates contribute zero remote traffic;
+/// gates too wide to fit below the partition boundary keep their
+/// word-at-a-time remote cost.
+///
+/// Exact for unitary streams; conditional gates are priced as-if executed
+/// (same convention as the naive predictor).
+#[must_use]
+pub fn remapped_circuit_traffic(
+    ops: &[svsim_ir::Op],
+    n_qubits: u32,
+    n_pes: u64,
+    specialized: bool,
+) -> GateTraffic {
+    let plan = crate::remap::plan_remap(ops, n_qubits, n_pes);
+    let mut total = GateTraffic::default();
+    let mut queue: Vec<CompiledGate> = Vec::new();
+    for (op, swaps) in plan.ops.iter().zip(&plan.pre_swaps) {
+        for _ in swaps {
+            total = total.merged(&exchange_traffic(n_qubits, n_pes));
+        }
+        if let svsim_ir::Op::Gate(g) | svsim_ir::Op::IfEq { gate: g, .. } = op {
+            queue.clear();
+            crate::compile::compile_gate(g, n_qubits, specialized, &mut queue);
+            for cg in &queue {
+                total = total.merged(&gate_traffic(cg, n_qubits, n_pes));
+            }
+        }
+    }
+    total
 }
 
 #[cfg(test)]
@@ -265,6 +330,24 @@ mod tests {
         let cz = gate_traffic(&compiled_one(GateKind::CZ, &[3, 5], &[], 10), 10, 1);
         let rxx = gate_traffic(&compiled_one(GateKind::RXX, &[3, 5], &[0.1], 10), 10, 1);
         assert_eq!(cz.bytes_touched * 4, rxx.bytes_touched);
+    }
+
+    #[test]
+    fn summit_scale_products_saturate_instead_of_wrapping() {
+        // H on the top qubit of a 63-qubit state: 2^62 work items. The
+        // amp-op and byte products exceed u64 and must clamp at MAX (they
+        // previously wrapped — a debug-build panic, a silently tiny
+        // estimate in release).
+        let cg = compiled_one(GateKind::H, &[62], &[], 63);
+        assert_eq!(cg.args.work, 1u64 << 62);
+        let t = gate_traffic(&cg, 63, 1024);
+        assert_eq!(t.items, 1u64 << 62);
+        assert_eq!(t.bytes_touched, u64::MAX, "2^62 * 64 must saturate");
+        assert!(t.remote_amp_ops > 0, "top qubit crosses every boundary");
+        // Aggregating two such gates must also clamp, not wrap.
+        let sum = t.merged(&t);
+        assert_eq!(sum.bytes_touched, u64::MAX);
+        assert_eq!(sum.items, 1u64 << 63);
     }
 
     #[test]

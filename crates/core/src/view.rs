@@ -169,6 +169,64 @@ impl<'a, 'w> ShmemView<'a, 'w> {
     }
 }
 
+impl ShmemView<'_, '_> {
+    /// Bulk slab exchange realizing a relabeling SWAP of physical qubit
+    /// positions `a` (below the partition boundary) and `b` (at/above it).
+    ///
+    /// Every PE is paired with `partner = pe ^ (1 << (b - shift))`; the
+    /// amplitude pairs to exchange sit in runs of `2^a` contiguous words
+    /// (bit `a` of the local offset selects the outgoing half: hi-side PEs
+    /// send their `bit_a = 0` runs, lo-side PEs their `bit_a = 1` runs).
+    /// Two barrier epochs stage the move through the symmetric exchange
+    /// buffers `xch_re`/`xch_im` (each `per_pe / 2` words):
+    ///
+    /// 1. each PE packs its outgoing runs into its *partner's* exchange
+    ///    buffer — one `put_slice` message per run per component (the only
+    ///    remote traffic of the whole swap); barrier;
+    /// 2. each PE unpacks its own exchange buffer into the slots it just
+    ///    sent away — purely local; barrier.
+    ///
+    /// Both epochs are race-free by construction: in epoch 1 every
+    /// exchange-buffer word has exactly one writer (the owner's unique
+    /// partner) and every state word one reader (its owner); epoch 2 is
+    /// PE-local.
+    ///
+    /// All PEs must call this collectively with identical arguments.
+    ///
+    /// # Panics
+    /// If `a` is not below the per-PE boundary or `b` not at/above it.
+    pub fn exchange_pair(&self, a: u32, b: u32, xch_re: &SymF64, xch_im: &SymF64) {
+        let per_pe = (self.mask + 1) as usize;
+        assert!(a < self.shift, "low position must be intra-partition");
+        assert!(b >= self.shift, "high position must be partition-indexing");
+        let pe = self.ctx.my_pe();
+        let pe_bit = b - self.shift;
+        let partner = pe ^ (1usize << pe_bit);
+        let my_hi = (pe >> pe_bit) & 1 == 1;
+        let run = 1usize << a;
+        let n_runs = per_pe / (2 * run);
+        let mut buf = vec![0.0f64; run];
+        for r in 0..n_runs {
+            let src = 2 * r * run + if my_hi { 0 } else { run };
+            for (sym, xch) in [(self.re, xch_re), (self.im, xch_im)] {
+                self.ctx.get_slice_f64(sym, pe, src, &mut buf);
+                self.ctx.put_slice_f64(xch, partner, r * run, &buf);
+            }
+        }
+        self.ctx.barrier_all();
+        for r in 0..n_runs {
+            // Incoming data lands exactly where the outgoing data left:
+            // the partner's run r is this PE's run r with bit `a` flipped.
+            let dst = 2 * r * run + if my_hi { 0 } else { run };
+            for (sym, xch) in [(self.re, xch_re), (self.im, xch_im)] {
+                self.ctx.get_slice_f64(xch, pe, r * run, &mut buf);
+                self.ctx.put_slice_f64(sym, pe, dst, &buf);
+            }
+        }
+        self.ctx.barrier_all();
+    }
+}
+
 impl StateView for ShmemView<'_, '_> {
     #[inline]
     fn dim(&self) -> u64 {
@@ -237,6 +295,47 @@ mod tests {
         assert_eq!(s.local_gets, 1);
         assert_eq!(s.remote_gets, 1);
         assert_eq!(s.remote_puts, 1);
+    }
+
+    #[test]
+    fn exchange_pair_realizes_a_physical_swap() {
+        // 4 qubits over 4 PEs (per_pe = 4, boundary at position 2):
+        // exchanging positions (0, 3) must permute amplitudes exactly like
+        // a SWAP(0, 3) gate, using only bulk slab messages.
+        let out = svsim_shmem::launch(4, |ctx| {
+            let pe = ctx.my_pe();
+            let re = ctx.malloc_f64(4).expect("alloc");
+            let im = ctx.malloc_f64(4).expect("alloc");
+            let xr = ctx.malloc_f64(2).expect("alloc");
+            let xi = ctx.malloc_f64(2).expect("alloc");
+            for off in 0..4 {
+                let g = (pe * 4 + off) as f64;
+                re.partition(pe).store(off, g);
+                im.partition(pe).store(off, -g);
+            }
+            ctx.barrier_all();
+            let v = ShmemView::new(ctx, &re, &im);
+            v.exchange_pair(0, 3, &xr, &xi);
+            (re.partition(pe).to_vec(), im.partition(pe).to_vec())
+        })
+        .unwrap();
+        for i in 0u64..16 {
+            let j = if (i & 1) != ((i >> 3) & 1) {
+                i ^ 0b1001
+            } else {
+                i
+            };
+            let (pe, off) = ((i >> 2) as usize, (i & 3) as usize);
+            assert_eq!(out.results[pe].0[off], j as f64, "re at {i}");
+            assert_eq!(out.results[pe].1[off], -(j as f64), "im at {i}");
+        }
+        // Remote traffic is the phase-1 puts only: 2 runs x 2 components
+        // per PE, 8 bytes each (run length 2^0 = 1 word).
+        for t in &out.traffic {
+            assert_eq!(t.remote_puts, 4);
+            assert_eq!(t.remote_put_bytes, 32);
+            assert_eq!(t.remote_gets, 0);
+        }
     }
 
     #[test]

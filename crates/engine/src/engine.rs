@@ -498,6 +498,31 @@ fn run_one_shot(shared: &Shared, job: QueuedJob, worker: usize) {
                     .metrics
                     .races_detected
                     .fetch_add(summary.races.len() as u64, Ordering::Relaxed);
+                // Credit the communication the remap avoided: the analytic
+                // naive-plan cost minus what the remapped run measured.
+                if config.remap {
+                    if let svsim_core::BackendKind::ScaleOut { n_pes } = config.backend {
+                        if n_pes > 1 {
+                            let gates: Vec<svsim_ir::Gate> = circuit.gates().copied().collect();
+                            let compiled = svsim_core::compile::compile_gates(
+                                gates.iter(),
+                                circuit.n_qubits(),
+                                config.specialized,
+                            );
+                            let naive = svsim_core::traffic::circuit_traffic(
+                                &compiled,
+                                circuit.n_qubits(),
+                                n_pes as u64,
+                            );
+                            let t = summary.total_traffic();
+                            let measured = t.remote_get_bytes + t.remote_put_bytes;
+                            shared.metrics.remote_bytes_saved.fetch_add(
+                                naive.remote_bytes.saturating_sub(measured),
+                                Ordering::Relaxed,
+                            );
+                        }
+                    }
+                }
                 let mut s = sim.take().expect("simulator ran");
                 let samples = (shots > 0).then(|| {
                     let mut hist = BTreeMap::new();

@@ -75,6 +75,10 @@ impl InstancePool {
             // Cadence is not part of the pool key, so a pooled instance
             // still carries its previous job's setting — adopt this job's.
             sim.set_checkpoint_every(config.checkpoint_every);
+            // Remapping is likewise per-job, not part of the key: the same
+            // shelved instance serves remapped and naive jobs in turn, and
+            // must not leak the previous job's setting into this one.
+            sim.set_remap(config.remap);
             sim.reset();
             return Ok(sim);
         }
@@ -169,6 +173,55 @@ mod tests {
         // Different width: a miss.
         let _sim3 = pool.checkout_sim(4, &config).unwrap();
         assert_eq!(pool.created.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn pooled_instance_alternates_remapped_and_naive_jobs_cleanly() {
+        // The satellite audit: remap is adopted at checkout (not part of
+        // the pool key), so ONE shelved instance must serve remapped and
+        // naive jobs in strict alternation with no stale permutation,
+        // exchange buffer, or counter leaking across jobs.
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.apply(GateKind::H, &[q], &[]).unwrap();
+        }
+        c.apply(GateKind::CX, &[3, 2], &[]).unwrap();
+        c.apply(GateKind::T, &[3], &[]).unwrap();
+        let mut reference = Simulator::new(4, SimConfig::single_device()).unwrap();
+        reference.run(&c).unwrap();
+
+        let pool = InstancePool::new(1);
+        for round in 0..4 {
+            let remap = round % 2 == 0;
+            let mut config = SimConfig::scale_out(4).with_seed(7);
+            if remap {
+                config = config.with_remap();
+            }
+            let mut sim = pool.checkout_sim(4, &config).unwrap();
+            let summary = sim.run(&c).unwrap();
+            assert_eq!(
+                summary.remap_swaps > 0,
+                remap,
+                "round {round}: swaps iff the job asked for remapping"
+            );
+            assert_eq!(
+                sim.state().re(),
+                reference.state().re(),
+                "round {round} (remap={remap})"
+            );
+            assert_eq!(
+                sim.state().im(),
+                reference.state().im(),
+                "round {round} (remap={remap})"
+            );
+            pool.checkin_sim(sim);
+        }
+        assert_eq!(
+            pool.created.load(Ordering::Relaxed),
+            1,
+            "one instance must have served every job"
+        );
+        assert_eq!(pool.reused.load(Ordering::Relaxed), 3);
     }
 
     #[test]

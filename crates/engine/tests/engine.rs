@@ -476,3 +476,58 @@ fn distributed_jobs_aggregate_traffic() {
         "scale-out GHZ must move amplitudes across PEs"
     );
 }
+
+/// Remapped and naive scale-out jobs alternating on ONE pooled instance:
+/// every result must be bit-identical to a direct simulator with the same
+/// config, and the engine must credit the communication the remap avoided.
+#[test]
+fn remapped_jobs_share_pooled_instances_and_credit_savings() {
+    let engine = Engine::start(EngineConfig::default().with_workers(1));
+    // Deep enough on the partition-index qubits that one relabeling (plus
+    // the identity restore before the measure) beats word-level traffic.
+    let circuit = {
+        let mut c = Circuit::with_cbits(5, 1);
+        for q in 0..5 {
+            c.apply(GateKind::H, &[q], &[]).unwrap();
+        }
+        for layer in 0..4 {
+            c.apply(GateKind::RX, &[4], &[0.2 + 0.1 * f64::from(layer)])
+                .unwrap();
+            c.apply(GateKind::T, &[4], &[]).unwrap();
+        }
+        c.measure(0, 0).unwrap();
+        Arc::new(c)
+    };
+    let naive = SimConfig::scale_out(4).with_seed(9);
+    let remapped = naive.with_remap();
+    for (round, config) in [naive, remapped, naive, remapped].into_iter().enumerate() {
+        let handle = engine
+            .submit(JobRequest::new(JobSpec::OneShot {
+                circuit: Arc::clone(&circuit),
+                config,
+                shots: 0,
+                return_state: true,
+            }))
+            .unwrap();
+        let JobOutput::OneShot { summary, state, .. } = handle.wait().unwrap() else {
+            panic!("one-shot output expected");
+        };
+        let mut direct = Simulator::new(5, config).unwrap();
+        let direct_summary = direct.run(&circuit).unwrap();
+        assert_eq!(summary.cbits, direct_summary.cbits, "round {round}");
+        assert_eq!(
+            summary.remap_swaps, direct_summary.remap_swaps,
+            "round {round}: pooled reuse must not leak the remap setting"
+        );
+        let state = state.expect("state requested");
+        assert_eq!(state.re(), direct.state().re(), "round {round}: re");
+        assert_eq!(state.im(), direct.state().im(), "round {round}: im");
+    }
+    let metrics = engine.shutdown();
+    assert_eq!(metrics.completed, 4);
+    assert_eq!(metrics.pool_created, 1, "one instance serves all four jobs");
+    assert!(
+        metrics.remote_bytes_saved > 0,
+        "remapped jobs must record avoided communication"
+    );
+}

@@ -26,21 +26,35 @@ pub struct OptStats {
     pub dropped: usize,
 }
 
-/// True if `g` acts as the identity (ID, or a zero-angle rotation).
-fn is_identity_gate(g: &Gate) -> bool {
+/// True if `theta` is within `EPS` of an integer multiple of `period`.
+fn angle_is_multiple_of(theta: f64, period: f64) -> bool {
     const EPS: f64 = 1e-12;
+    let r = theta.rem_euclid(period);
+    r < EPS || period - r < EPS
+}
+
+/// True if `g` acts as the identity up to a global phase (ID, or a
+/// rotation by a multiple of its full period).
+///
+/// Periods differ by family: `RX/RY/RZ/RXX/RZZ(2πk)` equal `±I` (the sign
+/// is a global phase, unobservable), and `U1/CU1(2πk)` are exactly `I`.
+/// But `CRX/CRY/CRZ(2πk)` for odd `k` apply `−I` only on the controlled
+/// subspace — a relative phase, NOT the identity — so the controlled
+/// rotations need a full `4π` period.
+fn is_identity_gate(g: &Gate) -> bool {
+    use std::f64::consts::TAU;
     match g.kind() {
         GateKind::ID => true,
         GateKind::RX
         | GateKind::RY
         | GateKind::RZ
         | GateKind::U1
-        | GateKind::CRX
-        | GateKind::CRY
-        | GateKind::CRZ
         | GateKind::CU1
         | GateKind::RXX
-        | GateKind::RZZ => g.params()[0].abs() < EPS,
+        | GateKind::RZZ => angle_is_multiple_of(g.params()[0], TAU),
+        GateKind::CRX | GateKind::CRY | GateKind::CRZ => {
+            angle_is_multiple_of(g.params()[0], 2.0 * TAU)
+        }
         _ => false,
     }
 }
@@ -232,6 +246,52 @@ mod tests {
         let (opt, stats) = optimize(&c);
         assert_eq!(kinds(&opt), vec![GateKind::X]);
         assert_eq!(stats.dropped, 2);
+    }
+
+    #[test]
+    fn full_period_rotations_dropped() {
+        use std::f64::consts::TAU;
+        // RZ(4π), RX(2π), RZZ(−2π), U1(2π) are all identity up to global
+        // phase; CRZ needs the doubled 4π period (CRZ(2π) = controlled(−I)
+        // imprints a relative phase and must survive).
+        let mut c = Circuit::new(2);
+        c.apply(GateKind::RZ, &[0], &[2.0 * TAU]).unwrap();
+        c.apply(GateKind::RX, &[1], &[TAU]).unwrap();
+        c.apply(GateKind::RZZ, &[0, 1], &[-TAU]).unwrap();
+        c.apply(GateKind::U1, &[0], &[TAU]).unwrap();
+        c.apply(GateKind::CRZ, &[0, 1], &[2.0 * TAU]).unwrap();
+        c.apply(GateKind::CRZ, &[0, 1], &[TAU]).unwrap();
+        let (opt, stats) = optimize(&c);
+        assert_eq!(stats.dropped, 5);
+        assert_eq!(kinds(&opt), vec![GateKind::CRZ]);
+        assert_eq!(opt.gates().next().unwrap().params()[0], TAU);
+    }
+
+    #[test]
+    fn full_period_drops_preserve_the_unitary() {
+        use std::f64::consts::TAU;
+        // Optimize a circuit mixing full-period rotations into real work
+        // and check the dense unitary is unchanged up to global phase —
+        // including the CRZ(2π) case that must NOT be treated as identity.
+        let mut c = Circuit::new(3);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.apply(GateKind::RZ, &[1], &[2.0 * TAU]).unwrap();
+        c.apply(GateKind::CX, &[0, 2], &[]).unwrap();
+        c.apply(GateKind::CRZ, &[0, 1], &[TAU]).unwrap();
+        c.apply(GateKind::RXX, &[1, 2], &[-TAU]).unwrap();
+        c.apply(GateKind::T, &[2], &[]).unwrap();
+        c.apply(GateKind::CRY, &[2, 0], &[2.0 * TAU]).unwrap();
+        let (opt, stats) = optimize(&c);
+        assert_eq!(stats.dropped, 3, "RZ(4π), RXX(−2π), CRY(4π)");
+        let orig: Vec<Gate> = c.gates().copied().collect();
+        let kept: Vec<Gate> = opt.gates().copied().collect();
+        let u1 = crate::decompose::gates_unitary(&orig, 3);
+        let u2 = crate::decompose::gates_unitary(&kept, 3);
+        assert!(
+            u2.approx_eq_up_to_phase(&u1, 1e-9),
+            "full-period drops changed the unitary (diff {})",
+            u2.max_diff(&u1)
+        );
     }
 
     #[test]

@@ -599,10 +599,27 @@ impl<'w> ShmemCtx<'w> {
 
     /// All-reduce sum over one f64 contribution per PE
     /// (`shmem_double_sum_to_all`). Collective.
+    ///
+    /// Partials combine with the canonical pairwise-tree association of
+    /// [`svsim_types::numeric::pairwise_sum`], so a sum over per-partition
+    /// contributions is bit-identical to the same sum evaluated on one PE.
     pub fn sum_reduce_f64(&self, x: f64) -> f64 {
-        self.world.coll.store(self.pe, x);
+        self.sum_reduce_f64_at(self.pe, x)
+    }
+
+    /// [`Self::sum_reduce_f64`] with an explicit scratch slot per PE.
+    ///
+    /// Under a remapped layout a PE's partial belongs at the slot of the
+    /// logical subcube it holds, not at its own rank; callers must supply a
+    /// permutation of `0..n_pes` (one distinct slot per PE) so the pairwise
+    /// combine runs over logically ordered partials. Collective.
+    pub fn sum_reduce_f64_at(&self, slot: usize, x: f64) -> f64 {
+        self.world.coll.store(slot, x);
         self.barrier_all();
-        let total: f64 = (0..self.world.n_pes).map(|p| self.world.coll.load(p)).sum();
+        let partials: Vec<f64> = (0..self.world.n_pes)
+            .map(|p| self.world.coll.load(p))
+            .collect();
+        let total = svsim_types::numeric::pairwise_sum(&partials);
         self.barrier_all(); // protect the scratch slots from the next collective
         total
     }

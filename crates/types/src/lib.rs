@@ -9,6 +9,7 @@
 pub mod bits;
 pub mod complex;
 pub mod error;
+pub mod numeric;
 pub mod rng;
 
 pub use complex::Complex64;

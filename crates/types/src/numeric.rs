@@ -1,0 +1,88 @@
+//! Deterministic floating-point reduction with a canonical association.
+//!
+//! Floating-point addition is not associative, so the *shape* of a sum is
+//! part of its value: a sequential accumulation over a state vector and a
+//! per-partition accumulation followed by a cross-PE combine can differ in
+//! the last ULPs even though every term is identical. Once a measurement
+//! rescales the state by `1/sqrt(p)`, that ULP leaks into every amplitude
+//! and bit-identity across backends is gone.
+//!
+//! The canonical association used throughout the workspace is the perfect
+//! binary tree over the (power-of-two) index space: a node's value is the
+//! sum of its two half-range children, down to single-element leaves. The
+//! tree composes across any aligned power-of-two partitioning — each PE's
+//! partial is exactly one subtree node — so combining partials with
+//! [`pairwise_sum`] reproduces the single-device sum bit-for-bit at any
+//! PE count.
+
+/// Sum `xs` with the canonical pairwise-tree association.
+///
+/// For power-of-two lengths the split is an exact halving at every level,
+/// matching the subtree decomposition of a partitioned state vector. For
+/// other lengths the left child takes the largest power-of-two prefix, so
+/// the result is still a pure function of the values and their order.
+#[must_use]
+pub fn pairwise_sum(xs: &[f64]) -> f64 {
+    match xs.len() {
+        0 => 0.0,
+        1 => xs[0],
+        2 => xs[0] + xs[1],
+        n => {
+            // Largest power of two strictly below n: exact halving for
+            // power-of-two lengths, power-of-two prefix otherwise.
+            let half = 1usize << (n - 1).ilog2();
+            pairwise_sum(&xs[..half]) + pairwise_sum(&xs[half..])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sums() {
+        assert_eq!(pairwise_sum(&[]), 0.0);
+        assert_eq!(pairwise_sum(&[3.5]), 3.5);
+        assert_eq!(pairwise_sum(&[1.0, 2.0]), 3.0);
+        assert_eq!(
+            pairwise_sum(&[1.0, 2.0, 3.0, 4.0]),
+            (1.0 + 2.0) + (3.0 + 4.0)
+        );
+    }
+
+    #[test]
+    fn composes_over_aligned_halves() {
+        // Partials computed per aligned half then combined pairwise must
+        // equal the whole-array tree — the property the distributed
+        // measurement reduction relies on.
+        let xs: Vec<f64> = (0..64).map(|i| 1.0 / f64::from(i + 1)).collect();
+        let whole = pairwise_sum(&xs);
+        let halves = [pairwise_sum(&xs[..32]), pairwise_sum(&xs[32..])];
+        assert_eq!(whole.to_bits(), pairwise_sum(&halves).to_bits());
+        let quarters: Vec<f64> = xs.chunks(16).map(pairwise_sum).collect();
+        assert_eq!(whole.to_bits(), pairwise_sum(&quarters).to_bits());
+    }
+
+    #[test]
+    fn differs_from_sequential_where_rounding_bites() {
+        // Sanity check that the association actually matters for the kinds
+        // of irrational values quantum amplitudes take: if tree and
+        // sequential always agreed this module would be pointless.
+        let xs: Vec<f64> = (0..4096)
+            .map(|i| (f64::from(i) * 0.737_123).sin().powi(2) / 4096.0)
+            .collect();
+        let seq: f64 = xs.iter().sum();
+        let tree = pairwise_sum(&xs);
+        assert!((seq - tree).abs() < 1e-12);
+        assert_ne!(seq.to_bits(), tree.to_bits());
+    }
+
+    #[test]
+    fn non_power_of_two_lengths_are_deterministic() {
+        let xs: Vec<f64> = (0..7).map(|i| 0.1 * f64::from(i + 1)).collect();
+        // Left child takes the largest power-of-two prefix: split 4 | 3.
+        let expect = pairwise_sum(&xs[..4]) + pairwise_sum(&xs[4..]);
+        assert_eq!(pairwise_sum(&xs).to_bits(), expect.to_bits());
+    }
+}

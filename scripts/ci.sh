@@ -19,13 +19,24 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== access-protocol analysis (static, full suite) =="
 # Prove every Table 4 schedule conflict-free symbolically — including the
 # 20- and 23-qubit plans, which must analyze without touching amplitudes.
+# The remapped schedules (relabeling exchange epochs included) must prove
+# just as clean as the naive ones.
 cargo run --release --quiet -- analyze --suite --pes 8
+cargo run --release --quiet -- analyze --suite --pes 8 --remap
 
 echo "== access-protocol analysis (dynamic cross-validation) =="
 # Execute the smaller workloads under the runtime race detector and check
 # the observed behaviour agrees with the static proof (nonzero exit if not).
 cargo run --release --quiet -- analyze --suite --pes 2 --detect --max-qubits 14
 cargo run --release --quiet -- analyze --suite --pes 8 --detect --max-qubits 12
+cargo run --release --quiet -- analyze --suite --pes 8 --detect --max-qubits 12 --remap
+
+echo "== communication-avoiding remap gate =="
+# Every Table 4 workload must stay bit-identical to the single-device
+# reference under both the naive and remapped scale-out schedules, and the
+# remapped schedule must cut measured remote traffic to <= 0.5x naive on
+# every deep circuit (>= 100 gates). Writes BENCH_5.json.
+cargo run --release --quiet -- remap-bench --pes 8 --assert-max-ratio 0.5
 
 echo "== fault-injection smoke matrix =="
 # Seeded end-to-end recovery: every job checksum under injected faults

@@ -3,7 +3,7 @@
 //! ```text
 //! sv-sim run <file.qasm> [--backend single|up:N|out:N] [--shots N]
 //!                        [--seed S] [--generic] [--runtime-parse]
-//!                        [--optimize] [--amplitudes K] [--traffic]
+//!                        [--optimize] [--remap] [--amplitudes K] [--traffic]
 //! sv-sim stats <file.qasm>
 //! sv-sim estimate <file.qasm> --platform <name> [--workers N]
 //! sv-sim platforms
@@ -24,15 +24,18 @@ use sv_sim::qasm::parse_circuit;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sv-sim run <file.qasm> [--backend single|up:N|out:N] [--shots N] \
-         [--seed S] [--generic] [--runtime-parse] [--optimize] [--amplitudes K] [--traffic]\n  \
+         [--seed S] [--generic] [--runtime-parse] [--optimize] [--remap] [--amplitudes K] \
+         [--traffic]\n  \
          sv-sim stats <file.qasm>\n  \
          sv-sim estimate <file.qasm> --platform <name> [--workers N]\n  \
          sv-sim platforms\n  \
          sv-sim serve-bench [--workers N] [--sweeps N] [--one-shots N] [--batch N] [--seed S] [--reps N]\n  \
          sv-sim fault-bench [--fault kill-pe|drop-put|poison-barrier|exec] [--pes N] [--every K] \
          [--seed S] [--one-shots N] [--sweeps N] [--attempts N]\n  \
-         sv-sim analyze <file.qasm>|--suite [--pes N] [--detect] [--merge-epochs I] \
-         [--max-qubits M] [--seed S]"
+         sv-sim analyze <file.qasm>|--suite [--pes N] [--detect] [--remap] [--merge-epochs I] \
+         [--max-qubits M] [--seed S]\n  \
+         sv-sim remap-bench [--pes N] [--seed S] [--max-qubits M] [--min-gates G] \
+         [--out FILE] [--assert-max-ratio R]"
     );
     ExitCode::from(2)
 }
@@ -64,6 +67,7 @@ fn main() -> ExitCode {
         "serve-bench" => cmd_serve_bench(&args[1..]),
         "fault-bench" => cmd_fault_bench(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
+        "remap-bench" => cmd_remap_bench(&args[1..]),
         "platforms" => {
             println!("modeled platforms (see svsim-perfmodel):");
             for d in [
@@ -132,6 +136,12 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if args.iter().any(|a| a == "--runtime-parse") {
         config.dispatch = DispatchMode::RuntimeParse;
     }
+    if args.iter().any(|a| a == "--remap") {
+        if !matches!(backend, BackendKind::ScaleOut { .. }) {
+            return Err("--remap applies to the scale-out backend (--backend out:N)".into());
+        }
+        config.remap = true;
+    }
     if let Some(seed) = flag_value(args, "--seed") {
         config.seed = seed.parse()?;
     }
@@ -175,6 +185,9 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             t.remote_bytes(),
             t.barriers
         );
+        if summary.remap_swaps > 0 {
+            println!("remap: {} relabeling slab exchanges", summary.remap_swaps);
+        }
     }
     if let Some(k) = flag_value(args, "--amplitudes") {
         let k: usize = k.parse()?;
@@ -686,11 +699,217 @@ fn cmd_fault_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 /// race detector and cross-checks the verdicts; `--merge-epochs I`
 /// deliberately removes the barrier after epoch `I` to demonstrate conflict
 /// detection. Exits nonzero on any conflict, dynamic race, or disagreement.
+/// Benchmark naive vs remapped scale-out over the Table 4 suite: per
+/// workload, run both paths, verify each is bit-identical to the
+/// single-device reference, and emit machine-readable results (predicted
+/// remote amplitude ops, measured remote bytes, wall time) as JSON.
+/// `--assert-max-ratio R` turns the report into a CI gate: every deep
+/// circuit (>= `--min-gates` gates, default 100) whose naive plan moves
+/// remote data must see its remapped remote bytes at most `R` times naive.
+fn cmd_remap_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use std::fmt::Write as _;
+    use std::time::Instant;
+
+    let pes: usize = flag_value(args, "--pes").map_or(Ok(8), str::parse)?;
+    let seed: u64 = flag_value(args, "--seed").map_or(Ok(0xC0FFEE), str::parse)?;
+    let max_qubits: u32 = flag_value(args, "--max-qubits").map_or(Ok(u32::MAX), str::parse)?;
+    let min_gates: usize = flag_value(args, "--min-gates").map_or(Ok(100), str::parse)?;
+    let out_path = flag_value(args, "--out").unwrap_or("BENCH_5.json");
+    let assert_ratio: Option<f64> = flag_value(args, "--assert-max-ratio")
+        .map(str::parse)
+        .transpose()?;
+
+    struct PathResult {
+        remote_amp_ops: u64,
+        remote_bytes: u64,
+        wall_ms: f64,
+    }
+    struct Row {
+        name: String,
+        n_qubits: u32,
+        gates: usize,
+        swaps: usize,
+        bit_identical: bool,
+        naive: PathResult,
+        remapped: PathResult,
+    }
+    struct PathRun {
+        result: PathResult,
+        checksum: u64,
+        cbits: u64,
+        gates: usize,
+        swaps: usize,
+    }
+
+    let run_path = |circuit: &sv_sim::ir::Circuit,
+                    config: SimConfig|
+     -> Result<PathRun, Box<dyn std::error::Error>> {
+        let mut sim = Simulator::new(circuit.n_qubits(), config)?;
+        let predicted = sim.predict_traffic(circuit);
+        let t0 = Instant::now();
+        let summary = sim.run(circuit)?;
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let total = summary.total_traffic();
+        Ok(PathRun {
+            result: PathResult {
+                remote_amp_ops: predicted.remote_amp_ops,
+                remote_bytes: total.remote_get_bytes + total.remote_put_bytes,
+                wall_ms,
+            },
+            checksum: sim.state_checksum(),
+            cbits: summary.cbits,
+            gates: summary.gates,
+            swaps: summary.remap_swaps,
+        })
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for spec in sv_sim::workloads::medium_suite()
+        .into_iter()
+        .chain(sv_sim::workloads::large_suite())
+    {
+        let circuit = spec.circuit()?;
+        if circuit.n_qubits() > max_qubits {
+            continue;
+        }
+        let mut reference = Simulator::new(
+            circuit.n_qubits(),
+            SimConfig::single_device().with_seed(seed),
+        )?;
+        let ref_summary = reference.run(&circuit)?;
+        let ref_checksum = reference.state_checksum();
+
+        let base = SimConfig::scale_out(pes).with_seed(seed);
+        let nv = run_path(&circuit, base)?;
+        let rm = run_path(&circuit, base.with_remap())?;
+        let (naive, naive_sum, naive_cbits, gates) = (nv.result, nv.checksum, nv.cbits, nv.gates);
+        let (remapped, remap_sum, remap_cbits, swaps) =
+            (rm.result, rm.checksum, rm.cbits, rm.swaps);
+        let bit_identical = naive_sum == ref_checksum
+            && remap_sum == ref_checksum
+            && naive_cbits == ref_summary.cbits
+            && remap_cbits == ref_summary.cbits;
+        let verdict = if bit_identical {
+            "ok".to_string()
+        } else {
+            // Name the failing comparisons so a divergence is actionable.
+            let mut parts = Vec::new();
+            if naive_sum != ref_checksum {
+                parts.push("naive-state");
+            }
+            if remap_sum != ref_checksum {
+                parts.push("remap-state");
+            }
+            if naive_cbits != ref_summary.cbits {
+                parts.push("naive-cbits");
+            }
+            if remap_cbits != ref_summary.cbits {
+                parts.push("remap-cbits");
+            }
+            format!("DIVERGED [{}]", parts.join(" "))
+        };
+        println!(
+            "{:<16} n={:<2} gates={:<5} swaps={:<4} remote_bytes {:>12} -> {:>10} ({:})  {}",
+            spec.name,
+            circuit.n_qubits(),
+            gates,
+            swaps,
+            naive.remote_bytes,
+            remapped.remote_bytes,
+            if naive.remote_bytes > 0 {
+                format!(
+                    "{:.1}%",
+                    100.0 * remapped.remote_bytes as f64 / naive.remote_bytes as f64
+                )
+            } else {
+                "all-local".to_string()
+            },
+            verdict,
+        );
+        rows.push(Row {
+            name: spec.name.to_string(),
+            n_qubits: circuit.n_qubits(),
+            gates,
+            swaps,
+            bit_identical,
+            naive,
+            remapped,
+        });
+    }
+
+    let mut json = String::new();
+    writeln!(json, "{{")?;
+    writeln!(json, "  \"bench\": \"remap\",")?;
+    writeln!(json, "  \"pes\": {pes},")?;
+    writeln!(json, "  \"seed\": {seed},")?;
+    writeln!(json, "  \"min_gates_deep\": {min_gates},")?;
+    writeln!(json, "  \"workloads\": [")?;
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"n_qubits\": {}, \"gates\": {}, \"deep\": {}, \
+             \"bit_identical\": {}, \"remap_swaps\": {}, \
+             \"naive\": {{\"remote_amp_ops\": {}, \"remote_bytes\": {}, \"wall_ms\": {:.3}}}, \
+             \"remapped\": {{\"remote_amp_ops\": {}, \"remote_bytes\": {}, \"wall_ms\": {:.3}}}}}{comma}",
+            r.name,
+            r.n_qubits,
+            r.gates,
+            r.gates >= min_gates,
+            r.bit_identical,
+            r.swaps,
+            r.naive.remote_amp_ops,
+            r.naive.remote_bytes,
+            r.naive.wall_ms,
+            r.remapped.remote_amp_ops,
+            r.remapped.remote_bytes,
+            r.remapped.wall_ms,
+        )?;
+    }
+    writeln!(json, "  ]")?;
+    writeln!(json, "}}")?;
+    std::fs::write(out_path, &json)?;
+    println!("wrote {out_path} ({} workloads at {pes} PEs)", rows.len());
+
+    if let Some(diverged) = rows.iter().find(|r| !r.bit_identical) {
+        return Err(format!(
+            "{} diverged from the single-device reference",
+            diverged.name
+        )
+        .into());
+    }
+    if let Some(max_ratio) = assert_ratio {
+        let mut offenders = Vec::new();
+        for r in &rows {
+            if r.gates < min_gates || r.naive.remote_bytes == 0 {
+                continue;
+            }
+            let ratio = r.remapped.remote_bytes as f64 / r.naive.remote_bytes as f64;
+            if ratio > max_ratio {
+                offenders.push(format!("{} ({ratio:.2} > {max_ratio})", r.name));
+            }
+        }
+        if !offenders.is_empty() {
+            return Err(format!(
+                "remapped remote traffic exceeds {max_ratio}x naive on deep circuits: {}",
+                offenders.join(", ")
+            )
+            .into());
+        }
+        println!("OK: remapped remote traffic <= {max_ratio}x naive on every deep circuit");
+    }
+    Ok(())
+}
+
 fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    use sv_sim::analyzer::{analyze_circuit, check_plan, cross_validate, CommPlan, Verdict};
+    use sv_sim::analyzer::{
+        analyze_circuit, analyze_circuit_remapped, check_plan, cross_validate,
+        cross_validate_remapped, CommPlan, Verdict,
+    };
 
     let pes: u64 = flag_value(args, "--pes").map_or(Ok(8), str::parse)?;
     let detect = args.iter().any(|a| a == "--detect");
+    let remap = args.iter().any(|a| a == "--remap");
     let seed: u64 = flag_value(args, "--seed").map_or(Ok(0xACE5), str::parse)?;
     let merge: Option<usize> = flag_value(args, "--merge-epochs")
         .map(str::parse)
@@ -719,9 +938,14 @@ fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut bad = 0usize;
     for (name, circuit) in &targets {
         let report = if let Some(i) = merge {
+            if remap {
+                return Err("--merge-epochs and --remap are mutually exclusive".into());
+            }
             let mut plan = CommPlan::from_circuit(circuit);
             plan.merge_epochs(i)?;
             check_plan(&plan, pes)?
+        } else if remap {
+            analyze_circuit_remapped(circuit, pes)?
         } else {
             analyze_circuit(circuit, pes)?
         };
@@ -735,7 +959,11 @@ fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                             it cannot execute a --merge-epochs plan"
                     .into());
             }
-            let cv = cross_validate(name, circuit, usize::try_from(pes)?, seed)?;
+            let cv = if remap {
+                cross_validate_remapped(name, circuit, usize::try_from(pes)?, seed)?
+            } else {
+                cross_validate(name, circuit, usize::try_from(pes)?, seed)?
+            };
             println!(
                 "  dynamic: {} races at {} PEs, verdicts {}",
                 cv.races.len(),
