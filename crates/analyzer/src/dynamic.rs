@@ -8,6 +8,14 @@
 //! the remote accesses of one seeded run, so a clean dynamic run does not
 //! prove a plan safe; a dynamic race under a proven-safe verdict, however,
 //! falsifies the checker (or the executor) and fails loudly.
+//!
+//! Cross-validation is pinned to the **thread-backed** SHMEM world
+//! ([`svsim_shmem::ShmemBackend::Thread`], the `SimConfig` default): the
+//! detector's epoch-scoped shadow state lives in in-process `Arc`s and
+//! cannot observe forked PEs. Arming the detector on the process backend
+//! is a typed `InvalidConfig` error, never a silently-empty report — the
+//! access protocol it validates is backend-independent, so the thread-world
+//! verdict covers the `memfd`-arena world too.
 
 use crate::check::Verdict;
 use svsim_core::{SimConfig, Simulator};
@@ -120,6 +128,30 @@ pub fn cross_validate_suite(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cross_validation_is_pinned_to_the_thread_backend() {
+        // The detector's shadow state cannot cross a fork: the configs this
+        // module builds stay thread-backed, and arming the detector on the
+        // process backend is refused typed instead of yielding a silently
+        // empty race report (which `agrees()` would misread as clean).
+        assert_eq!(
+            SimConfig::scale_out(2).shmem_backend,
+            svsim_shmem::ShmemBackend::Thread,
+            "scale_out defaults to the thread world"
+        );
+        let circuit = svsim_workloads::algos::cat_state(4).unwrap();
+        let config = SimConfig::scale_out(2)
+            .with_race_detection()
+            .with_process_backend();
+        let mut sim = Simulator::new(4, config).unwrap();
+        match sim.run(&circuit) {
+            Err(svsim_types::SvError::InvalidConfig(msg)) => {
+                assert!(msg.contains("thread backend"), "actionable: {msg}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
 
     #[test]
     fn every_small_workload_agrees_with_the_static_verdict() {

@@ -16,7 +16,8 @@ use crate::view::{LocalView, PeerView, ShmemView, StateView};
 use std::sync::Arc;
 use svsim_ir::{Gate, GateKind, Op};
 use svsim_shmem::{
-    FaultPlan, MetricsTable, RaceDetector, RaceReport, SenseBarrier, SharedF64Vec, TrafficSnapshot,
+    FaultPlan, MetricsTable, ProcOptions, RaceDetector, RaceReport, SenseBarrier, SharedF64Vec,
+    ShmemBackend, TrafficSnapshot,
 };
 use svsim_types::{SvError, SvResult, SvRng};
 
@@ -553,6 +554,12 @@ pub(crate) fn run_scaleup(
 /// themselves run entirely PE-local. Readback un-permutes the state, so
 /// results are indistinguishable from the naive schedule. The fourth tuple
 /// element counts the relabeling swaps executed (0 when off).
+///
+/// `backend` chooses the SHMEM substrate: thread-backed PEs (default) or
+/// process-backed PEs forked over a shared `memfd` symmetric heap. The
+/// same SPMD body runs on both; results are bit-identical. The dynamic
+/// race detector records accesses through in-process `Arc` shadow state,
+/// so `detect` requires the thread backend.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_scaleout(
     state: &mut StateVector,
@@ -565,9 +572,17 @@ pub(crate) fn run_scaleout(
     faults: Option<Arc<FaultPlan>>,
     detect: bool,
     remap: bool,
+    backend: ShmemBackend,
 ) -> SvResult<(u64, Vec<TrafficSnapshot>, Vec<RaceReport>, usize)> {
     let n = state.n_qubits();
     check_workers(n_pes, n, "PE")?;
+    if detect && backend == ShmemBackend::Process {
+        return Err(SvError::InvalidConfig(
+            "race detection requires the thread backend: the detector's shadow \
+             state is in-process and cannot observe forked PEs"
+                .into(),
+        ));
+    }
     let dim = state.dim();
     let per_pe = dim / n_pes;
     let plan = if remap && n_pes > 1 {
@@ -646,9 +661,18 @@ pub(crate) fn run_scaleout(
             sym_im.partition(pe).to_vec(),
         ))
     };
-    let out = match &detector {
-        Some(det) => svsim_shmem::launch_detected(n_pes, faults, Arc::clone(det), body)?,
-        None => svsim_shmem::launch_with_faults(n_pes, faults, body)?,
+    let out = match backend {
+        ShmemBackend::Process => {
+            // Symmetric heap: re + im (per_pe each) plus the optional pair
+            // of half-partition exchange staging buffers; result slot: the
+            // two returned partition vectors plus cbits/tag overhead.
+            let opts = ProcOptions::sized_for(3 * per_pe + 64, 2 * per_pe + 64);
+            svsim_shmem::launch_process(n_pes, &opts, faults, body)?
+        }
+        ShmemBackend::Thread => match &detector {
+            Some(det) => svsim_shmem::launch_detected(n_pes, faults, Arc::clone(det), body)?,
+            None => svsim_shmem::launch_with_faults(n_pes, faults, body)?,
+        },
     };
 
     // A PE death aborts the segment before any readback: the caller's

@@ -37,5 +37,6 @@ pub use noise::{sample_noisy_circuit, trajectory_average, NoiseModel};
 pub use remap::{plan_remap, QubitLayout, RemapPlan};
 pub use sim::{BackendKind, RunSummary, SimConfig, Simulator};
 pub use state::StateVector;
+pub use svsim_shmem::ShmemBackend;
 pub use traffic::GateTraffic;
 pub use view::{LocalView, PeerView, ShmemView, StateView};

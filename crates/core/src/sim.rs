@@ -7,7 +7,7 @@ use crate::state::StateVector;
 use crate::traffic::{circuit_traffic, GateTraffic};
 use std::sync::Arc;
 use svsim_ir::{Circuit, Op, PauliString};
-use svsim_shmem::{FaultPlan, RaceReport, TrafficSnapshot};
+use svsim_shmem::{FaultPlan, RaceReport, ShmemBackend, TrafficSnapshot};
 use svsim_types::{Complex64, SvError, SvResult, SvRng};
 
 /// Which execution backend runs the circuit.
@@ -55,6 +55,12 @@ pub struct SimConfig {
     /// naive path; remote word traffic drops by orders of magnitude on
     /// deep circuits. No effect on the other backends.
     pub remap: bool,
+    /// SHMEM world substrate for scale-out: thread-backed PEs (the
+    /// default) or process-backed PEs forked over a `memfd` symmetric heap
+    /// ([`ShmemBackend::Process`]) with true crash isolation. Results are
+    /// bit-identical across the two; the race detector requires the thread
+    /// backend. No effect on the other backends.
+    pub shmem_backend: ShmemBackend,
 }
 
 impl SimConfig {
@@ -69,6 +75,7 @@ impl SimConfig {
             checkpoint_every: 0,
             detect_races: false,
             remap: false,
+            shmem_backend: ShmemBackend::Thread,
         }
     }
 
@@ -131,6 +138,23 @@ impl SimConfig {
     #[must_use]
     pub fn with_remap(mut self) -> Self {
         self.remap = true;
+        self
+    }
+
+    /// Select the SHMEM world substrate for scale-out (see
+    /// [`SimConfig::shmem_backend`]).
+    #[must_use]
+    pub fn with_shmem_backend(mut self, backend: ShmemBackend) -> Self {
+        self.shmem_backend = backend;
+        self
+    }
+
+    /// Run scale-out PEs as forked OS processes over a shared `memfd`
+    /// symmetric heap (shorthand for
+    /// `with_shmem_backend(ShmemBackend::Process)`).
+    #[must_use]
+    pub fn with_process_backend(mut self) -> Self {
+        self.shmem_backend = ShmemBackend::Process;
         self
     }
 }
@@ -298,6 +322,7 @@ impl Simulator {
                 self.fault_plan.clone(),
                 self.config.detect_races,
                 self.config.remap,
+                self.config.shmem_backend,
             ),
         }
     }

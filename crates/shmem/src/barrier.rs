@@ -22,6 +22,20 @@ pub struct BarrierToken {
     sense: bool,
 }
 
+impl BarrierToken {
+    /// Current sense — shared with the process-backed barrier
+    /// ([`crate::proc`]), which reproduces the same sense-reversing
+    /// protocol over arena words.
+    pub(crate) fn sense(&self) -> bool {
+        self.sense
+    }
+
+    /// Flip to `next` after completing an epoch.
+    pub(crate) fn set_sense(&mut self, next: bool) {
+        self.sense = next;
+    }
+}
+
 /// The barrier was poisoned by a failed peer (error of
 /// [`SenseBarrier::try_wait`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -96,6 +96,24 @@ impl FaultSpec {
     pub fn progress(&self) -> u64 {
         self.seen.load(Ordering::Relaxed)
     }
+
+    /// Snapshot `(seen, armed)` — used by the process backend to seed the
+    /// shared-arena mirror of this spec before forking the PEs.
+    pub(crate) fn state(&self) -> (u64, bool) {
+        (
+            self.seen.load(Ordering::Acquire),
+            self.armed.load(Ordering::Acquire),
+        )
+    }
+
+    /// Overwrite `(seen, armed)` — used by the process backend to absorb
+    /// the arena mirror back into the plan after the PEs are reaped, so
+    /// counts keep accumulating across launches (checkpoint segments) and
+    /// one-shot disarming survives exactly as in the thread-backed world.
+    pub(crate) fn set_state(&self, seen: u64, armed: bool) {
+        self.seen.store(seen, Ordering::Release);
+        self.armed.store(armed, Ordering::Release);
+    }
 }
 
 /// A deterministic, replayable schedule of injected faults.
@@ -175,6 +193,12 @@ impl FaultPlan {
             s.seen.store(0, Ordering::Relaxed);
             s.armed.store(true, Ordering::Relaxed);
         }
+    }
+
+    /// The scheduled specs, in insertion order (stable indices — the
+    /// process backend mirrors spec `i` into arena slot `i`).
+    pub(crate) fn specs(&self) -> &[FaultSpec] {
+        &self.specs
     }
 
     /// Consult the plan at a trigger point: `pe` is executing one

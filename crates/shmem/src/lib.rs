@@ -26,11 +26,24 @@
 //!   resume-unwinding), and every PE death surfaces as a typed
 //!   `SvError::PeFailed` while peers observe the poisoned barrier and shut
 //!   down cleanly.
+//!
+//! Two interchangeable backends run the same SPMD body:
+//!
+//! - **Thread-backed** (the default, [`world::launch`] family): PEs are
+//!   threads of this process. Supports the dynamic race detector and
+//!   `collective_publish`.
+//! - **Process-backed** ([`proc::launch_process`]): PEs are forked OS
+//!   processes over a `memfd_create` + `mmap(MAP_SHARED)` symmetric heap.
+//!   True crash isolation — a PE can be `kill -9`-ed mid-epoch and the
+//!   launcher reaps it into a typed `SvError::PeFailed` with a
+//!   [`svsim_types::PeOp::Term`] record (signal, exit code, barrier epoch
+//!   at death) while surviving PEs release through the poisoned barrier.
 
 pub mod barrier;
 pub mod checked;
 pub mod fault;
 pub mod metrics;
+pub mod proc;
 pub mod race;
 pub mod shared;
 pub mod signal;
@@ -40,6 +53,7 @@ pub use barrier::{BarrierPoisoned, BarrierToken, SenseBarrier};
 pub use checked::{malloc_checked, malloc_checked_reporting, CheckedSym};
 pub use fault::{FaultAction, FaultPlan, FaultSpec, PeFailure};
 pub use metrics::{MetricsTable, PeCounters, TrafficSnapshot};
+pub use proc::{launch_process, ProcOptions, ShmemBackend, Wire};
 pub use race::{ConflictKind, RaceAccess, RaceDetector, RaceReport, MAX_TRACKED_PES};
 pub use shared::{SharedF64Vec, SharedU64Vec};
 pub use signal::{signal, signal_add, wait_until, WaitCmp};

@@ -40,7 +40,13 @@ impl<T> std::ops::DerefMut for CachePadded<T> {
 }
 
 /// Mutable per-PE counters (cache-padded to avoid false sharing between PEs).
+///
+/// `repr(C)` with a fixed field order so a zero-initialized block of a
+/// `MAP_SHARED` arena can host a counter block directly (the process-backed
+/// world of [`crate::proc`] places one per PE in the shared mapping; an
+/// all-zero byte pattern is exactly the `Default` state).
 #[derive(Debug, Default)]
+#[repr(C)]
 pub struct PeCounters {
     local_gets: AtomicU64,
     remote_gets: AtomicU64,
@@ -170,10 +176,30 @@ impl TrafficSnapshot {
     }
 }
 
+/// Where a [`MetricsTable`]'s counter blocks live: process-private (the
+/// thread-backed world) or inside an OS-shared mapping (the process-backed
+/// world, where every PE process and the launcher must see one table).
+#[derive(Debug)]
+enum TableStore {
+    Owned(Vec<CachePadded<PeCounters>>),
+    Mapped {
+        base: *const u8,
+        n: usize,
+        stride: usize,
+    },
+}
+
+// SAFETY: Owned blocks are atomics; Mapped points into a MAP_SHARED arena
+// the owning `World` keeps alive, and every access is atomic.
+#[allow(unsafe_code)]
+unsafe impl Send for TableStore {}
+#[allow(unsafe_code)]
+unsafe impl Sync for TableStore {}
+
 /// The metrics table for a whole world: one padded counter block per PE.
 #[derive(Debug)]
 pub struct MetricsTable {
-    per_pe: Vec<CachePadded<PeCounters>>,
+    store: TableStore,
 }
 
 impl MetricsTable {
@@ -181,22 +207,62 @@ impl MetricsTable {
     #[must_use]
     pub fn new(n_pes: usize) -> Self {
         Self {
-            per_pe: (0..n_pes)
-                .map(|_| CachePadded::new(PeCounters::default()))
-                .collect(),
+            store: TableStore::Owned(
+                (0..n_pes)
+                    .map(|_| CachePadded::new(PeCounters::default()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// View `n` counter blocks of `stride` bytes each inside an OS-shared
+    /// mapping starting at `base`.
+    ///
+    /// # Safety
+    /// `base` must point at `n * stride` zero-initialized, readable and
+    /// writable bytes that stay mapped for the lifetime of the owning
+    /// `World`; `stride` must be at least `size_of::<PeCounters>()` and a
+    /// multiple of the counter alignment.
+    #[allow(unsafe_code)]
+    pub(crate) unsafe fn from_raw(base: *const u8, n: usize, stride: usize) -> Self {
+        debug_assert!(stride >= std::mem::size_of::<PeCounters>());
+        debug_assert_eq!(base.align_offset(std::mem::align_of::<PeCounters>()), 0);
+        Self {
+            store: TableStore::Mapped { base, n, stride },
+        }
+    }
+
+    /// Number of PEs covered.
+    #[must_use]
+    pub fn n_pes(&self) -> usize {
+        match &self.store {
+            TableStore::Owned(v) => v.len(),
+            TableStore::Mapped { n, .. } => *n,
         }
     }
 
     /// Counters of one PE.
     #[must_use]
     pub fn pe(&self, pe: usize) -> &PeCounters {
-        &self.per_pe[pe]
+        match &self.store {
+            TableStore::Owned(v) => &v[pe],
+            TableStore::Mapped { base, n, stride } => {
+                assert!(pe < *n, "PE {pe} out of range for {n} counter blocks");
+                // SAFETY: in-bounds per the assert; the block is a
+                // zero-initialized repr(C) PeCounters in a live mapping
+                // (see from_raw's contract), and all-zero is a valid state.
+                #[allow(unsafe_code)]
+                unsafe {
+                    &*base.add(pe * stride).cast::<PeCounters>()
+                }
+            }
+        }
     }
 
     /// Snapshot of every PE.
     #[must_use]
     pub fn snapshot_all(&self) -> Vec<TrafficSnapshot> {
-        self.per_pe.iter().map(|c| c.snapshot()).collect()
+        (0..self.n_pes()).map(|p| self.pe(p).snapshot()).collect()
     }
 
     /// Aggregate over all PEs.
@@ -228,6 +294,26 @@ mod tests {
         assert_eq!(agg.remote_ops(), 2);
         assert_eq!(agg.remote_bytes(), 16);
         assert_eq!(agg.barriers, 1);
+    }
+
+    #[test]
+    fn mapped_table_counts_like_owned() {
+        // Two 128-byte blocks of zeroed atomic words standing in for an
+        // arena (atomics, so interior mutability through the view is sound).
+        let backing: Box<[AtomicU64]> = (0..2 * 16).map(|_| AtomicU64::new(0)).collect();
+        #[allow(unsafe_code)]
+        // SAFETY: `backing` outlives `t`, is zeroed, and 128 >= block size.
+        let t = unsafe { MetricsTable::from_raw(backing.as_ptr().cast(), 2, 128) };
+        assert_eq!(t.n_pes(), 2);
+        t.pe(0).count_get(true, 8);
+        t.pe(1).count_put(false, 8);
+        t.pe(1).count_barrier();
+        let agg = t.aggregate();
+        assert_eq!(agg.remote_gets, 1);
+        assert_eq!(agg.local_puts, 1);
+        assert_eq!(agg.barriers, 1);
+        // Writes land in the backing words, not a private copy.
+        assert!(backing.iter().any(|w| w.load(Ordering::Relaxed) != 0));
     }
 
     #[test]

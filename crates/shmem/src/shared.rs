@@ -6,13 +6,71 @@
 //! every word is a relaxed atomic: on mainstream ISAs a relaxed `load`/
 //! `store` compiles to a plain `mov`, so this costs nothing while keeping
 //! the behaviour defined.
+//!
+//! A buffer's words live in one of two places, invisible to every caller:
+//!
+//! - **Owned** — a heap allocation in this process (the thread-backed
+//!   world, where PEs are threads of one address space).
+//! - **Mapped** — a window into a `MAP_SHARED` arena (the process-backed
+//!   world of [`crate::proc`], where PEs are forked OS processes and the
+//!   symmetric heap is a `memfd` mapping every PE sees at the same bytes).
+//!
+//! All accessors are identical across the two, which is what lets the same
+//! SPMD body run on either backend.
 
+use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where a shared buffer's words live.
+enum Storage {
+    /// Process-private heap words (thread-backed world).
+    Owned(Box<[AtomicU64]>),
+    /// A window into an OS-shared mapping (process-backed world). The
+    /// keepalive pins the mapping for as long as any handle is alive, so
+    /// the raw pointer cannot dangle.
+    Mapped {
+        ptr: *const AtomicU64,
+        len: usize,
+        _keep: Arc<dyn Any + Send + Sync>,
+    },
+}
+
+// SAFETY: Owned is Send+Sync by construction (AtomicU64 words). Mapped
+// points into a MAP_SHARED region whose lifetime is pinned by `_keep`; all
+// access goes through atomics, so sharing across threads is sound.
+#[allow(unsafe_code)]
+unsafe impl Send for Storage {}
+#[allow(unsafe_code)]
+unsafe impl Sync for Storage {}
+
+impl Storage {
+    #[inline]
+    fn cells(&self) -> &[AtomicU64] {
+        match self {
+            Self::Owned(words) => words,
+            // SAFETY: `ptr` points at `len` initialized AtomicU64 words in
+            // a mapping that `_keep` holds alive; AtomicU64 has no padding
+            // or invalid bit patterns, and the arena zero-initializes.
+            #[allow(unsafe_code)]
+            Self::Mapped { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+impl std::fmt::Debug for Storage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Owned(w) => write!(f, "Owned({} words)", w.len()),
+            Self::Mapped { len, .. } => write!(f, "Mapped({len} words)"),
+        }
+    }
+}
 
 /// A fixed-length shared buffer of `f64` words with one-sided access.
 #[derive(Debug)]
 pub struct SharedF64Vec {
-    words: Box<[AtomicU64]>,
+    storage: Storage,
 }
 
 impl SharedF64Vec {
@@ -21,38 +79,65 @@ impl SharedF64Vec {
     pub fn new(len: usize, init: f64) -> Self {
         let bits = init.to_bits();
         Self {
-            words: (0..len).map(|_| AtomicU64::new(bits)).collect(),
+            storage: Storage::Owned((0..len).map(|_| AtomicU64::new(bits)).collect()),
         }
+    }
+
+    /// Wrap `len` words of an OS-shared mapping starting at `ptr`.
+    ///
+    /// # Safety
+    /// `ptr` must point at `len` readable+writable `u64` words that stay
+    /// mapped for as long as `keep` is alive, and the words must only ever
+    /// be accessed atomically (which every mapping produced by
+    /// [`crate::proc`] guarantees).
+    #[allow(unsafe_code)]
+    pub(crate) unsafe fn from_raw(
+        ptr: *const AtomicU64,
+        len: usize,
+        keep: Arc<dyn Any + Send + Sync>,
+    ) -> Self {
+        Self {
+            storage: Storage::Mapped {
+                ptr,
+                len,
+                _keep: keep,
+            },
+        }
+    }
+
+    #[inline]
+    fn cells(&self) -> &[AtomicU64] {
+        self.storage.cells()
     }
 
     /// Length in words.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.cells().len()
     }
 
     /// True if empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.cells().is_empty()
     }
 
     /// One-sided load (relaxed; `shmem_double_g` semantics).
     #[inline]
     #[must_use]
     pub fn load(&self, idx: usize) -> f64 {
-        f64::from_bits(self.words[idx].load(Ordering::Relaxed))
+        f64::from_bits(self.cells()[idx].load(Ordering::Relaxed))
     }
 
     /// One-sided store (relaxed; `shmem_double_p` semantics).
     #[inline]
     pub fn store(&self, idx: usize, v: f64) {
-        self.words[idx].store(v.to_bits(), Ordering::Relaxed);
+        self.cells()[idx].store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Atomic fetch-add via CAS loop (`shmem_double_atomic_fetch_add`).
     pub fn fetch_add(&self, idx: usize, delta: f64) -> f64 {
-        let cell = &self.words[idx];
+        let cell = &self.cells()[idx];
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
             let new = (f64::from_bits(cur) + delta).to_bits();
@@ -88,7 +173,7 @@ impl SharedF64Vec {
 /// access (flags, counters, classical bits).
 #[derive(Debug)]
 pub struct SharedU64Vec {
-    words: Box<[AtomicU64]>,
+    storage: Storage,
 }
 
 impl SharedU64Vec {
@@ -96,58 +181,78 @@ impl SharedU64Vec {
     #[must_use]
     pub fn new(len: usize, init: u64) -> Self {
         Self {
-            words: (0..len).map(|_| AtomicU64::new(init)).collect(),
+            storage: Storage::Owned((0..len).map(|_| AtomicU64::new(init)).collect()),
+        }
+    }
+
+    /// Wrap `len` words of an OS-shared mapping; see
+    /// [`SharedF64Vec::from_raw`] for the contract.
+    ///
+    /// # Safety
+    /// Same contract as [`SharedF64Vec::from_raw`].
+    #[allow(unsafe_code)]
+    pub(crate) unsafe fn from_raw(
+        ptr: *const AtomicU64,
+        len: usize,
+        keep: Arc<dyn Any + Send + Sync>,
+    ) -> Self {
+        Self {
+            storage: Storage::Mapped {
+                ptr,
+                len,
+                _keep: keep,
+            },
         }
     }
 
     /// Length in words.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.words().len()
     }
 
     /// True if empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.words().is_empty()
     }
 
     /// One-sided load (relaxed).
     #[inline]
     #[must_use]
     pub fn load(&self, idx: usize) -> u64 {
-        self.words[idx].load(Ordering::Relaxed)
+        self.words()[idx].load(Ordering::Relaxed)
     }
 
     /// One-sided store (relaxed).
     #[inline]
     pub fn store(&self, idx: usize, v: u64) {
-        self.words[idx].store(v, Ordering::Relaxed);
+        self.words()[idx].store(v, Ordering::Relaxed);
     }
 
     /// Atomic fetch-add (`shmem_uint64_atomic_fetch_add`).
     #[inline]
     pub fn fetch_add(&self, idx: usize, delta: u64) -> u64 {
-        self.words[idx].fetch_add(delta, Ordering::AcqRel)
+        self.words()[idx].fetch_add(delta, Ordering::AcqRel)
     }
 
     /// Raw word access for ordering-specific operations (see
     /// [`crate::signal`]).
     #[inline]
     pub(crate) fn words(&self) -> &[AtomicU64] {
-        &self.words
+        self.storage.cells()
     }
 
     /// Atomic unconditional swap; returns the previous value.
     #[inline]
     pub fn swap(&self, idx: usize, value: u64) -> u64 {
-        self.words[idx].swap(value, Ordering::AcqRel)
+        self.words()[idx].swap(value, Ordering::AcqRel)
     }
 
     /// Atomic compare-and-swap; returns the previous value.
     #[inline]
     pub fn compare_swap(&self, idx: usize, expected: u64, desired: u64) -> u64 {
-        match self.words[idx].compare_exchange(
+        match self.words()[idx].compare_exchange(
             expected,
             desired,
             Ordering::AcqRel,
@@ -225,5 +330,25 @@ mod tests {
     fn out_of_bounds_panics() {
         let v = SharedF64Vec::new(2, 0.0);
         let _ = v.load(2);
+    }
+
+    #[test]
+    fn mapped_storage_matches_owned_behaviour() {
+        // An owned buffer standing in for an arena: view its words through
+        // a Mapped handle and check every accessor agrees.
+        let backing: Arc<Box<[AtomicU64]>> = Arc::new((0..8).map(|_| AtomicU64::new(0)).collect());
+        let keep: Arc<dyn std::any::Any + Send + Sync> = Arc::clone(&backing) as _;
+        #[allow(unsafe_code)]
+        // SAFETY: `backing` outlives the view via the keepalive clone.
+        let v = unsafe { SharedF64Vec::from_raw(backing.as_ptr(), 8, keep) };
+        assert_eq!(v.len(), 8);
+        v.store(3, 2.5);
+        assert_eq!(v.load(3), 2.5);
+        assert_eq!(v.fetch_add(3, 1.0), 2.5);
+        assert_eq!(v.load(3), 3.5);
+        v.store_slice(0, &[1.0, 2.0]);
+        assert_eq!(v.to_vec()[..2], [1.0, 2.0]);
+        // The mapped view writes through to the backing words.
+        assert_eq!(f64::from_bits(backing[3].load(Ordering::Relaxed)), 3.5);
     }
 }

@@ -6,9 +6,10 @@
 //! PE), and remote partitions are reached with one-sided `put`/`get` exactly
 //! as in the paper's Listing 5.
 
-use crate::barrier::{BarrierToken, SenseBarrier};
+use crate::barrier::{BarrierPoisoned, BarrierToken, SenseBarrier};
 use crate::fault::{FaultAction, FaultPlan, PeFailure};
 use crate::metrics::{MetricsTable, PeCounters, TrafficSnapshot};
+use crate::proc::{ArenaFaults, ProcBarrier, ProcWorld};
 use crate::race::{RaceDetector, ShadowArray};
 use crate::shared::{SharedF64Vec, SharedU64Vec};
 use std::any::Any;
@@ -71,11 +72,56 @@ impl SymU64 {
     }
 }
 
+/// Which barrier implementation synchronizes this world's PEs: in-process
+/// atomics (thread-backed) or `MAP_SHARED` arena words (process-backed).
+/// Both run the same sense-reversing protocol with identical epoch and
+/// poison semantics, so `ShmemCtx` stays one non-generic type.
+#[derive(Debug)]
+enum WorldBarrier {
+    Sense(SenseBarrier),
+    Proc(ProcBarrier),
+}
+
+impl WorldBarrier {
+    fn try_wait(&self, token: &mut BarrierToken) -> Result<(), BarrierPoisoned> {
+        match self {
+            Self::Sense(b) => b.try_wait(token),
+            Self::Proc(b) => b.try_wait(token),
+        }
+    }
+
+    fn poison(&self) {
+        match self {
+            Self::Sense(b) => b.poison(),
+            Self::Proc(b) => b.poison(),
+        }
+    }
+}
+
+/// Where a world's injected-fault counters live: in the plan itself
+/// (thread-backed — every PE shares one `Arc`) or mirrored into the shared
+/// arena (process-backed — a forked child's plan copy would diverge from
+/// its siblings', so the one-shot words must be OS-shared).
+#[derive(Debug)]
+enum FaultSource {
+    Plan(Arc<FaultPlan>),
+    Arena(ArenaFaults),
+}
+
+impl FaultSource {
+    fn check(&self, pe: usize, op: PeOp) -> Option<FaultAction> {
+        match self {
+            Self::Plan(p) => p.check(pe, op),
+            Self::Arena(a) => a.check(pe, op),
+        }
+    }
+}
+
 /// Shared world state behind every PE's [`ShmemCtx`].
 #[derive(Debug)]
 pub struct World {
     n_pes: usize,
-    barrier: SenseBarrier,
+    barrier: WorldBarrier,
     metrics: MetricsTable,
     /// Symmetric-heap allocation log: handles published by PE 0, indexed by
     /// allocation sequence number.
@@ -88,10 +134,13 @@ pub struct World {
     coll: SharedF64Vec,
     coll_u: SharedU64Vec,
     /// Injected-fault schedule, if this world runs under fault injection.
-    faults: Option<Arc<FaultPlan>>,
+    faults: Option<FaultSource>,
     /// Dynamic race detector: when present, every symmetric allocation gets
     /// shadow state and every one-sided access is recorded against it.
     detector: Option<Arc<RaceDetector>>,
+    /// Process-backed state (arena handle + layout) when the PEs are forked
+    /// OS processes; `None` in the thread-backed world.
+    proc: Option<ProcWorld>,
 }
 
 impl World {
@@ -102,15 +151,68 @@ impl World {
     ) -> Self {
         Self {
             n_pes,
-            barrier: SenseBarrier::new(n_pes),
+            barrier: WorldBarrier::Sense(SenseBarrier::new(n_pes)),
             metrics: MetricsTable::new(n_pes),
             heap_f64: Mutex::new(Vec::new()),
             heap_u64: Mutex::new(Vec::new()),
             heap_misc: Mutex::new(Vec::new()),
             coll: SharedF64Vec::new(n_pes, 0.0),
             coll_u: SharedU64Vec::new(n_pes, 0),
-            faults,
+            faults: faults.map(FaultSource::Plan),
             detector,
+            proc: None,
+        }
+    }
+
+    /// World over a `MAP_SHARED` arena for the process backend: barrier,
+    /// metrics, collective scratch, and fault counters all live in the
+    /// arena; the heap mutexes stay empty (allocation goes through the
+    /// arena's table). Built by [`crate::proc::launch_process`] *before*
+    /// forking, so every child inherits the same world at the same
+    /// addresses.
+    pub(crate) fn new_process(n_pes: usize, pw: ProcWorld, plan: Option<&FaultPlan>) -> Self {
+        Self {
+            n_pes,
+            barrier: WorldBarrier::Proc(pw.barrier()),
+            metrics: pw.metrics_table(),
+            heap_f64: Mutex::new(Vec::new()),
+            heap_u64: Mutex::new(Vec::new()),
+            heap_misc: Mutex::new(Vec::new()),
+            coll: pw.coll_f64(),
+            coll_u: pw.coll_u64(),
+            faults: plan.map(|p| FaultSource::Arena(pw.arena_faults(p))),
+            detector: None,
+            proc: Some(pw),
+        }
+    }
+
+    /// The process-backed state, when this world runs on forked PEs.
+    pub(crate) fn proc(&self) -> Option<&ProcWorld> {
+        self.proc.as_ref()
+    }
+
+    /// Poison the world's barrier (whichever backend), releasing spinning
+    /// PEs into typed failures.
+    pub(crate) fn poison_barrier(&self) {
+        self.barrier.poison();
+    }
+
+    /// Per-PE traffic snapshots.
+    pub(crate) fn snapshot_traffic(&self) -> Vec<TrafficSnapshot> {
+        self.metrics.snapshot_all()
+    }
+
+    /// Build the per-PE execution context handed to the SPMD body.
+    pub(crate) fn make_ctx(&self, pe: usize) -> ShmemCtx<'_> {
+        ShmemCtx {
+            pe,
+            world: self,
+            token: Cell::new(BarrierToken::default()),
+            epoch: Cell::new(0),
+            alloc_seq_f64: Cell::new(0),
+            alloc_seq_u64: Cell::new(0),
+            alloc_seq_misc: Cell::new(0),
+            pending_drop: Cell::new(false),
         }
     }
 }
@@ -194,7 +296,13 @@ impl<'w> ShmemCtx<'w> {
         self.token.set(tok);
         match r {
             Ok(()) => {
-                self.epoch.set(self.epoch.get() + 1);
+                let epoch = self.epoch.get() + 1;
+                self.epoch.set(epoch);
+                if let Some(pw) = &self.world.proc {
+                    // Publish progress so the reaper can stamp
+                    // epoch-at-death on an abnormal exit.
+                    pw.set_epoch(self.pe, epoch);
+                }
                 Ok(())
             }
             Err(_) => Err(SvError::Shmem(format!(
@@ -208,7 +316,7 @@ impl<'w> ShmemCtx<'w> {
     /// dropped transfer, then consult the plan for barrier-triggered faults.
     #[cold]
     fn barrier_fault_points(&self) -> SvResult<()> {
-        let plan = self.world.faults.as_deref().expect("checked by caller");
+        let faults = self.world.faults.as_ref().expect("checked by caller");
         if self.pending_drop.get() {
             // A lost transfer is detected when delivery is acknowledged at
             // the synchronization point: fail the PE so the epoch whose
@@ -220,15 +328,27 @@ impl<'w> ShmemCtx<'w> {
                 op: PeOp::Put,
             });
         }
-        match plan.check(self.pe, PeOp::Barrier) {
+        match faults.check(self.pe, PeOp::Barrier) {
             None | Some(FaultAction::Drop) => Ok(()),
             Some(FaultAction::Delay(iters)) => {
                 stall(iters);
                 Ok(())
             }
             // A PE killed at a barrier never arrives, so it must poison on
-            // the way out or its peers would spin forever.
-            Some(FaultAction::Kill | FaultAction::Poison) => {
+            // the way out or its peers would spin forever. On the process
+            // backend "killed" is literal: the PE raises SIGKILL on itself
+            // and the launcher reaps a signal death (`PeOp::Term`).
+            Some(FaultAction::Kill) => {
+                self.world.barrier.poison();
+                if self.world.proc.is_some() {
+                    crate::proc::die_by_sigkill();
+                }
+                Err(SvError::PeFailed {
+                    pe: self.pe,
+                    op: PeOp::Barrier,
+                })
+            }
+            Some(FaultAction::Poison) => {
                 self.world.barrier.poison();
                 Err(SvError::PeFailed {
                     pe: self.pe,
@@ -244,13 +364,13 @@ impl<'w> ShmemCtx<'w> {
     fn transfer_fault(&self, op: PeOp) -> bool {
         match &self.world.faults {
             None => false,
-            Some(plan) => self.transfer_fault_slow(plan, op),
+            Some(faults) => self.transfer_fault_slow(faults, op),
         }
     }
 
     #[cold]
-    fn transfer_fault_slow(&self, plan: &FaultPlan, op: PeOp) -> bool {
-        match plan.check(self.pe, op) {
+    fn transfer_fault_slow(&self, faults: &FaultSource, op: PeOp) -> bool {
+        match faults.check(self.pe, op) {
             None => false,
             Some(FaultAction::Delay(iters)) => {
                 stall(iters);
@@ -261,7 +381,15 @@ impl<'w> ShmemCtx<'w> {
                 true
             }
             Some(FaultAction::Kill) => {
-                // `launch` poisons the barrier when it catches the panic.
+                // Process backend: die for real (the launcher reaps the
+                // SIGKILL); poison first so peers release promptly rather
+                // than waiting out the reaper.
+                if self.world.proc.is_some() {
+                    self.world.barrier.poison();
+                    crate::proc::die_by_sigkill();
+                }
+                // Thread backend: `launch` poisons the barrier when it
+                // catches the panic.
                 std::panic::panic_any(PeFailure { pe: self.pe, op });
             }
             Some(FaultAction::Poison) => {
@@ -354,6 +482,25 @@ impl<'w> ShmemCtx<'w> {
     pub fn malloc_f64(&self, len_per_pe: usize) -> SvResult<SymF64> {
         let seq = self.alloc_seq_f64.get();
         self.alloc_seq_f64.set(seq + 1);
+        if let Some(pw) = &self.world.proc {
+            // Process backend: PE 0 bump-allocates inside the shared arena
+            // and publishes {len, offset} in the allocation table; the
+            // barrier orders publication before every PE's lookup, exactly
+            // mirroring the thread path below.
+            let made = if self.pe == 0 {
+                pw.publish_alloc(true, seq, len_per_pe)
+            } else {
+                Ok(())
+            };
+            self.try_barrier_all()?;
+            made?;
+            let off = pw.lookup_alloc(self.pe, true, seq, len_per_pe)?;
+            return Ok(SymF64 {
+                bufs: Arc::new(pw.f64_partitions(off, len_per_pe)),
+                len_per_pe,
+                shadow: None,
+            });
+        }
         if self.pe == 0 {
             let handle = SymF64 {
                 bufs: Arc::new(
@@ -400,6 +547,21 @@ impl<'w> ShmemCtx<'w> {
     pub fn malloc_u64(&self, len_per_pe: usize) -> SvResult<SymU64> {
         let seq = self.alloc_seq_u64.get();
         self.alloc_seq_u64.set(seq + 1);
+        if let Some(pw) = &self.world.proc {
+            let made = if self.pe == 0 {
+                pw.publish_alloc(false, seq, len_per_pe)
+            } else {
+                Ok(())
+            };
+            self.try_barrier_all()?;
+            made?;
+            let off = pw.lookup_alloc(self.pe, false, seq, len_per_pe)?;
+            return Ok(SymU64 {
+                bufs: Arc::new(pw.u64_partitions(off, len_per_pe)),
+                len_per_pe,
+                shadow: None,
+            });
+        }
         if self.pe == 0 {
             let handle = SymU64 {
                 bufs: Arc::new(
@@ -448,12 +610,21 @@ impl<'w> ShmemCtx<'w> {
     /// # Errors
     /// [`SvError::Shmem`] when the heap lock or barrier was poisoned, when
     /// the publication order was violated (missing slot or type mismatch),
-    /// or when `make` failed on PE 0 (peers then see a missing slot).
+    /// when `make` failed on PE 0 (peers then see a missing slot), or on
+    /// the process backend (an `Arc` handle cannot cross a `fork`, so
+    /// publication is inherently single-address-space).
     pub fn collective_publish<T, F>(&self, make: F) -> SvResult<Arc<T>>
     where
         T: Send + Sync + 'static,
         F: FnOnce() -> SvResult<Arc<T>>,
     {
+        if self.world.proc.is_some() {
+            return Err(SvError::Shmem(format!(
+                "PE {}: collective_publish requires the thread backend \
+                 (Arc handles cannot cross process boundaries)",
+                self.pe
+            )));
+        }
         let seq = self.alloc_seq_misc.get();
         self.alloc_seq_misc.set(seq + 1);
         let mut made = Ok(());
@@ -747,8 +918,9 @@ impl<T> SpmdOutput<T> {
     }
 }
 
-/// Convert a caught PE panic payload into a typed error.
-fn classify_panic(pe: usize, payload: &(dyn std::any::Any + Send)) -> SvError {
+/// Convert a caught PE panic payload into a typed error (shared with the
+/// process backend's child-side harness).
+pub(crate) fn classify_panic(pe: usize, payload: &(dyn std::any::Any + Send)) -> SvError {
     fn from_msg(pe: usize, msg: &str) -> SvError {
         if msg.contains("barrier poisoned") {
             SvError::Shmem(format!("PE {pe}: barrier poisoned by a failed peer"))
@@ -860,16 +1032,7 @@ where
             .enumerate()
             .map(|(pe, slot)| {
                 scope.spawn(move || {
-                    let ctx = ShmemCtx {
-                        pe,
-                        world,
-                        token: Cell::new(BarrierToken::default()),
-                        epoch: Cell::new(0),
-                        alloc_seq_f64: Cell::new(0),
-                        alloc_seq_u64: Cell::new(0),
-                        alloc_seq_misc: Cell::new(0),
-                        pending_drop: Cell::new(false),
-                    };
+                    let ctx = world.make_ctx(pe);
                     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
                     *slot = Some(match r {
                         Ok(v) => Ok(v),

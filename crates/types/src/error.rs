@@ -19,6 +19,21 @@ pub enum PeOp {
     /// Engine-level job execution step (worker running a batched template),
     /// outside the SHMEM runtime proper.
     Exec,
+    /// Abnormal process termination of a process-backed PE, observed by the
+    /// launcher's reaper rather than by the PE itself: the child exited
+    /// without publishing a result (it was killed by a signal, aborted, or
+    /// exited nonzero). Carries the raw wait status and the barrier epoch
+    /// the PE had reached when it died, read back from the shared arena.
+    Term {
+        /// Terminating signal number (`SIGKILL` = 9, ...); `0` when the
+        /// child exited normally (with a nonzero code) instead.
+        signal: i32,
+        /// Exit code for a normal-but-failed exit; `0` when killed by a
+        /// signal.
+        code: i32,
+        /// Barrier epoch the PE had completed when it died.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for PeOp {
@@ -28,6 +43,20 @@ impl fmt::Display for PeOp {
             Self::Get => write!(f, "get"),
             Self::Barrier => write!(f, "barrier"),
             Self::Exec => write!(f, "exec"),
+            Self::Term {
+                signal,
+                code,
+                epoch,
+            } => {
+                if *signal != 0 {
+                    write!(f, "termination by signal {signal} at barrier epoch {epoch}")
+                } else {
+                    write!(
+                        f,
+                        "termination with exit code {code} at barrier epoch {epoch}"
+                    )
+                }
+            }
         }
     }
 }
@@ -148,6 +177,28 @@ mod tests {
         };
         assert_eq!(e.to_string(), "PE 2 failed during put");
         assert_eq!(PeOp::Barrier.to_string(), "barrier");
+    }
+
+    #[test]
+    fn term_display_names_signal_or_code() {
+        let killed = PeOp::Term {
+            signal: 9,
+            code: 0,
+            epoch: 41,
+        };
+        assert_eq!(
+            killed.to_string(),
+            "termination by signal 9 at barrier epoch 41"
+        );
+        let exited = PeOp::Term {
+            signal: 0,
+            code: 3,
+            epoch: 7,
+        };
+        assert_eq!(
+            exited.to_string(),
+            "termination with exit code 3 at barrier epoch 7"
+        );
     }
 
     #[test]

@@ -50,4 +50,22 @@ for seed in 7 23 101; do
   done
 done
 
+echo "== process-backed PEs (memfd world) =="
+# The forked-PE substrate end to end: quick integration tests (real
+# fork/SIGKILL machinery, engine quarantine + checkpoint recovery, the
+# /proc/self/fd memfd leak guard) plus the ignored full Table 4 gate —
+# every workload bit-identical between thread and process PEs at 2/4/8.
+cargo test --release --test proc_backend -- --include-ignored
+
+echo "== process-backend kill-fault smoke =="
+# One real-SIGKILL recovery per seed: the injected kill-pe fault on forked
+# PEs is a literal kill(2) of the child mid-put; the engine must retry from
+# the last checkpoint and match the fault-free checksums bit for bit.
+for seed in 7 23 101; do
+  echo "-- fault-bench --fault kill-pe --pe-mode process --seed $seed"
+  cargo run --release --quiet -- fault-bench \
+    --fault kill-pe --pes 4 --pe-mode process --every 2 --seed "$seed" \
+    --one-shots 2 --sweeps 2 --attempts 3
+done
+
 echo "ci: all gates passed"

@@ -1,8 +1,8 @@
 //! `sv-sim` — command-line front door to the simulator.
 //!
 //! ```text
-//! sv-sim run <file.qasm> [--backend single|up:N|out:N] [--shots N]
-//!                        [--seed S] [--generic] [--runtime-parse]
+//! sv-sim run <file.qasm> [--backend single|up:N|out:N] [--pe-mode thread|process]
+//!                        [--shots N] [--seed S] [--generic] [--runtime-parse]
 //!                        [--optimize] [--remap] [--amplitudes K] [--traffic]
 //! sv-sim stats <file.qasm>
 //! sv-sim estimate <file.qasm> --platform <name> [--workers N]
@@ -10,8 +10,8 @@
 //! sv-sim serve-bench [--workers N] [--sweeps N] [--one-shots N]
 //!                    [--batch N] [--seed S] [--reps N]
 //! sv-sim fault-bench [--fault kill-pe|drop-put|poison-barrier|exec]
-//!                    [--pes N] [--every K] [--seed S] [--one-shots N]
-//!                    [--sweeps N] [--attempts N]
+//!                    [--pes N] [--pe-mode thread|process] [--every K]
+//!                    [--seed S] [--one-shots N] [--sweeps N] [--attempts N]
 //! sv-sim analyze <file.qasm>|--suite [--pes N] [--detect]
 //!                [--merge-epochs I] [--max-qubits M] [--seed S]
 //! ```
@@ -23,14 +23,16 @@ use sv_sim::qasm::parse_circuit;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sv-sim run <file.qasm> [--backend single|up:N|out:N] [--shots N] \
+        "usage:\n  sv-sim run <file.qasm> [--backend single|up:N|out:N] \
+         [--pe-mode thread|process] [--shots N] \
          [--seed S] [--generic] [--runtime-parse] [--optimize] [--remap] [--amplitudes K] \
          [--traffic]\n  \
          sv-sim stats <file.qasm>\n  \
          sv-sim estimate <file.qasm> --platform <name> [--workers N]\n  \
          sv-sim platforms\n  \
          sv-sim serve-bench [--workers N] [--sweeps N] [--one-shots N] [--batch N] [--seed S] [--reps N]\n  \
-         sv-sim fault-bench [--fault kill-pe|drop-put|poison-barrier|exec] [--pes N] [--every K] \
+         sv-sim fault-bench [--fault kill-pe|drop-put|poison-barrier|exec] [--pes N] \
+         [--pe-mode thread|process] [--every K] \
          [--seed S] [--one-shots N] [--sweeps N] [--attempts N]\n  \
          sv-sim analyze <file.qasm>|--suite [--pes N] [--detect] [--remap] [--merge-epochs I] \
          [--max-qubits M] [--seed S]\n  \
@@ -141,6 +143,18 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             return Err("--remap applies to the scale-out backend (--backend out:N)".into());
         }
         config.remap = true;
+    }
+    match flag_value(args, "--pe-mode") {
+        None | Some("thread") => {}
+        Some("process") => {
+            if !matches!(backend, BackendKind::ScaleOut { .. }) {
+                return Err("--pe-mode process applies to the scale-out backend \
+                            (--backend out:N)"
+                    .into());
+            }
+            config.shmem_backend = sv_sim::core::ShmemBackend::Process;
+        }
+        Some(other) => return Err(format!("unknown PE mode `{other}` (thread|process)").into()),
     }
     if let Some(seed) = flag_value(args, "--seed") {
         config.seed = seed.parse()?;
@@ -509,6 +523,11 @@ fn cmd_fault_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let one_shots: usize = flag_value(args, "--one-shots").map_or(Ok(4), str::parse)?;
     let sweeps: usize = flag_value(args, "--sweeps").map_or(Ok(8), str::parse)?;
     let attempts: u32 = flag_value(args, "--attempts").map_or(Ok(4), str::parse)?;
+    let process_pes = match flag_value(args, "--pe-mode") {
+        None | Some("thread") => false,
+        Some("process") => true,
+        Some(other) => return Err(format!("unknown PE mode `{other}` (thread|process)").into()),
+    };
 
     // The fault schedule: `exec` targets the engine worker itself (rank 0,
     // since the bench pins one worker); the SHMEM kinds target whichever PE
@@ -544,12 +563,18 @@ fn cmd_fault_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let one_shot_jobs: Vec<(sv_sim::ir::Circuit, sv_sim::core::SimConfig)> = (0..one_shots)
         .map(|i| {
             let circuit = parse_circuit(&qasm_sources[i % qasm_sources.len()])?;
-            // Detector on: recovery must be both bit-identical AND
-            // protocol-clean (races_detected fails the bench below).
-            let config = sv_sim::core::SimConfig::scale_out(pes)
+            // Thread PEs run under the race detector: recovery must be both
+            // bit-identical AND protocol-clean (races_detected fails the
+            // bench below). Process PEs cannot host the in-process detector;
+            // they instead prove recovery across real fork/SIGKILL deaths.
+            let mut config = sv_sim::core::SimConfig::scale_out(pes)
                 .with_seed(seed ^ i as u64)
-                .with_checkpoint_every(every)
-                .with_race_detection();
+                .with_checkpoint_every(every);
+            if process_pes {
+                config = config.with_process_backend();
+            } else {
+                config = config.with_race_detection();
+            }
             Ok::<_, Box<dyn std::error::Error>>((circuit, config))
         })
         .collect::<Result<_, _>>()?;
@@ -671,8 +696,9 @@ fn cmd_fault_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let scheduled = plans.len();
     let fired: usize = plans.iter().map(|p| p.len() - p.armed_remaining()).sum();
     println!(
-        "fault-bench: fault={fault_kind} pes={pes} every={every} seed={seed:#x} \
-         ({one_shots} one-shots, {sweeps} sweep points)"
+        "fault-bench: fault={fault_kind} pes={pes} pe-mode={} every={every} seed={seed:#x} \
+         ({one_shots} one-shots, {sweeps} sweep points)",
+        if process_pes { "process" } else { "thread" },
     );
     println!("faults: {fired}/{scheduled} scheduled faults fired");
     println!("{metrics}");
