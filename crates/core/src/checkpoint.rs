@@ -11,8 +11,19 @@
 //! metadata, verified on [`Checkpoint::verify`] before a restore — a
 //! checkpoint corrupted in flight fails loudly instead of resuming into a
 //! silently wrong state.
+//!
+//! [`CheckpointStore`] persists checkpoints to disk crash-consistently:
+//! each save is a new *generation* written to a temporary file, `fsync`ed,
+//! then atomically renamed into place — a crash at any instant leaves
+//! either the complete new generation or the untouched previous one, never
+//! a half-written file under a valid name. Loads verify a whole-file
+//! checksum trailer plus the embedded generation number and fall back to
+//! the previous generation when the newest is corrupt (bit flip,
+//! truncation, torn write).
 
 use crate::state::StateVector;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use svsim_types::{SvError, SvResult, SvRng};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -138,6 +149,14 @@ impl Checkpoint {
         (self.re.len() + self.im.len()) as u64 * 8 + 3 * 8
     }
 
+    /// Number of amplitudes in the captured state (the state-vector
+    /// dimension `2^n`); dimension check before adopting a checkpoint into
+    /// a differently-partitioned simulator.
+    #[must_use]
+    pub fn n_amplitudes(&self) -> usize {
+        self.re.len()
+    }
+
     /// Recompute the checksum and compare with the stored one.
     ///
     /// # Errors
@@ -187,6 +206,254 @@ impl Checkpoint {
         if let Some(v) = self.re.first_mut() {
             *v += 1.0;
         }
+    }
+
+    /// Serialize into the on-disk generation format: little-endian 64-bit
+    /// words, self-describing, with a whole-file FNV-1a trailer appended
+    /// last so any torn prefix fails verification.
+    fn to_bytes(&self, generation: u64) -> Vec<u8> {
+        let (s, spare) = self.rng.state();
+        let mut buf = Vec::with_capacity((self.re.len() + self.im.len()) * 8 + 13 * 8);
+        let push = |buf: &mut Vec<u8>, w: u64| buf.extend_from_slice(&w.to_le_bytes());
+        push(&mut buf, STORE_MAGIC);
+        push(&mut buf, generation);
+        push(&mut buf, self.op_index as u64);
+        push(&mut buf, self.cbits);
+        for w in s {
+            push(&mut buf, w);
+        }
+        push(&mut buf, u64::from(spare.is_some()));
+        push(&mut buf, spare.unwrap_or(0.0).to_bits());
+        push(&mut buf, self.re.len() as u64);
+        for &v in &self.re {
+            push(&mut buf, v.to_bits());
+        }
+        for &v in &self.im {
+            push(&mut buf, v.to_bits());
+        }
+        push(&mut buf, self.checksum);
+        let mut h = Fnv1a::new();
+        for chunk in buf.chunks_exact(8) {
+            h.write_u64(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let trailer = h.finish();
+        buf.extend_from_slice(&trailer.to_le_bytes());
+        buf
+    }
+
+    /// Parse and fully verify a serialized generation: length, magic,
+    /// whole-file trailer, embedded generation number, and the in-memory
+    /// checkpoint digest must all hold.
+    fn from_bytes(bytes: &[u8], expect_generation: u64) -> SvResult<Self> {
+        let corrupt =
+            |what: &str| SvError::Checkpoint(format!("generation {expect_generation}: {what}"));
+        if !bytes.len().is_multiple_of(8) || bytes.len() < 14 * 8 {
+            return Err(corrupt("truncated (not a whole number of records)"));
+        }
+        let words: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        let mut h = Fnv1a::new();
+        for &w in &words[..words.len() - 1] {
+            h.write_u64(w);
+        }
+        if h.finish() != words[words.len() - 1] {
+            return Err(corrupt("file checksum mismatch (bit flip or torn write)"));
+        }
+        if words[0] != STORE_MAGIC {
+            return Err(corrupt("bad magic (not a checkpoint generation)"));
+        }
+        if words[1] != expect_generation {
+            return Err(corrupt(&format!(
+                "stale generation: file claims generation {}",
+                words[1]
+            )));
+        }
+        let op_index = usize::try_from(words[2])
+            .map_err(|_| corrupt("op index does not fit this platform"))?;
+        let cbits = words[3];
+        let s = [words[4], words[5], words[6], words[7]];
+        let spare = (words[8] != 0).then(|| f64::from_bits(words[9]));
+        let n = usize::try_from(words[10]).map_err(|_| corrupt("amplitude count overflow"))?;
+        let body = &words[11..words.len() - 2];
+        if body.len() != 2 * n {
+            return Err(corrupt("truncated amplitude payload"));
+        }
+        let re: Vec<f64> = body[..n].iter().map(|&w| f64::from_bits(w)).collect();
+        let im: Vec<f64> = body[n..].iter().map(|&w| f64::from_bits(w)).collect();
+        let cp = Self {
+            op_index,
+            cbits,
+            rng: SvRng::from_state(s, spare),
+            re,
+            im,
+            checksum: words[words.len() - 2],
+        };
+        cp.verify()
+            .map_err(|e| corrupt(&format!("payload digest mismatch: {e}")))?;
+        Ok(cp)
+    }
+}
+
+/// First word of every on-disk generation (`b"SVCKPT01"` little-endian).
+const STORE_MAGIC: u64 = u64::from_le_bytes(*b"SVCKPT01");
+
+/// Generations retained after a save: the newest plus its predecessor, so
+/// a corrupt newest generation always has a fallback.
+const KEEP_GENERATIONS: usize = 2;
+
+/// Crash-consistent on-disk checkpoint store.
+///
+/// Each [`save`](Self::save) writes a new numbered generation with the
+/// write-temp → `fsync` → atomic-rename protocol; loads are fully verified
+/// and [`load_latest`](Self::load_latest) falls back to the previous
+/// generation when the newest is corrupt.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    next_gen: u64,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a store rooted at `dir`, resuming the
+    /// generation counter after the newest file already present.
+    ///
+    /// # Errors
+    /// [`SvError::Checkpoint`] when the directory cannot be created or
+    /// scanned.
+    pub fn open(dir: impl Into<PathBuf>) -> SvResult<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            SvError::Checkpoint(format!("cannot create store at {}: {e}", dir.display()))
+        })?;
+        let mut store = Self { dir, next_gen: 0 };
+        store.next_gen = store.generations()?.last().map_or(0, |g| g + 1);
+        Ok(store)
+    }
+
+    /// Directory the store persists into.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn gen_path(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("gen-{generation:06}.ckpt"))
+    }
+
+    /// Generation numbers currently on disk, ascending (no validity check —
+    /// a listed generation may still fail to load).
+    ///
+    /// # Errors
+    /// [`SvError::Checkpoint`] when the directory cannot be read.
+    pub fn generations(&self) -> SvResult<Vec<u64>> {
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| SvError::Checkpoint(format!("cannot scan {}: {e}", self.dir.display())))?;
+        let mut gens: Vec<u64> = entries
+            .filter_map(Result::ok)
+            .filter_map(|e| {
+                let name = e.file_name();
+                let name = name.to_str()?;
+                let digits = name.strip_prefix("gen-")?.strip_suffix(".ckpt")?;
+                digits.parse().ok()
+            })
+            .collect();
+        gens.sort_unstable();
+        Ok(gens)
+    }
+
+    /// Persist `cp` as the next generation and prune old ones, returning
+    /// the generation number written.
+    ///
+    /// The bytes land in `gen-N.tmp` first, are `fsync`ed, then renamed to
+    /// `gen-N.ckpt` — the store never exposes a partially written file
+    /// under a valid generation name.
+    ///
+    /// # Errors
+    /// [`SvError::Checkpoint`] on any I/O failure (the store is left with
+    /// its previous generations intact).
+    pub fn save(&mut self, cp: &Checkpoint) -> SvResult<u64> {
+        let generation = self.next_gen;
+        let bytes = cp.to_bytes(generation);
+        let tmp = self.dir.join(format!("gen-{generation:06}.tmp"));
+        let io_err = |what: &str, e: std::io::Error| {
+            SvError::Checkpoint(format!("generation {generation}: {what}: {e}"))
+        };
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create temp", e))?;
+        f.write_all(&bytes).map_err(|e| io_err("write", e))?;
+        // The barrier that makes the rename atomic in the crash sense:
+        // the data must be durable before the name is.
+        f.sync_all().map_err(|e| io_err("fsync", e))?;
+        drop(f);
+        std::fs::rename(&tmp, self.gen_path(generation)).map_err(|e| io_err("rename", e))?;
+        self.next_gen = generation + 1;
+        self.prune();
+        Ok(generation)
+    }
+
+    /// Simulate a mid-write crash for fault injection
+    /// ([`svsim_shmem::FaultAction::TornCheckpoint`]): half the serialized
+    /// bytes are written *directly at the final generation name*, skipping
+    /// the temp + fsync + rename protocol — exactly the torn state that
+    /// protocol exists to prevent. The next [`load_latest`](Self::load_latest)
+    /// must reject this generation and fall back to its predecessor.
+    ///
+    /// # Errors
+    /// [`SvError::Checkpoint`] on I/O failure.
+    pub fn save_torn(&mut self, cp: &Checkpoint) -> SvResult<u64> {
+        let generation = self.next_gen;
+        let bytes = cp.to_bytes(generation);
+        std::fs::write(self.gen_path(generation), &bytes[..bytes.len() / 2]).map_err(|e| {
+            SvError::Checkpoint(format!("generation {generation}: torn write: {e}"))
+        })?;
+        self.next_gen = generation + 1;
+        Ok(generation)
+    }
+
+    /// Delete everything but the newest [`KEEP_GENERATIONS`] generations.
+    /// Best-effort: a file that cannot be deleted is simply retained.
+    fn prune(&self) {
+        if let Ok(gens) = self.generations() {
+            for &g in gens.iter().rev().skip(KEEP_GENERATIONS) {
+                let _ = std::fs::remove_file(self.gen_path(g));
+            }
+        }
+    }
+
+    /// Load and fully verify one specific generation.
+    ///
+    /// # Errors
+    /// [`SvError::Checkpoint`] when the file is missing, truncated, fails
+    /// the whole-file checksum, carries the wrong embedded generation
+    /// number (stale file under a renamed path), or fails the payload
+    /// digest.
+    pub fn load_generation(&self, generation: u64) -> SvResult<Checkpoint> {
+        let bytes = std::fs::read(self.gen_path(generation)).map_err(|e| {
+            SvError::Checkpoint(format!("generation {generation}: cannot read: {e}"))
+        })?;
+        Checkpoint::from_bytes(&bytes, generation)
+    }
+
+    /// Load the newest generation that verifies, falling back through older
+    /// ones — the crash-recovery entry point. Returns `Ok(None)` when the
+    /// store holds no generations at all.
+    ///
+    /// # Errors
+    /// [`SvError::Checkpoint`] when generations exist but none verifies.
+    pub fn load_latest(&self) -> SvResult<Option<(u64, Checkpoint)>> {
+        let gens = self.generations()?;
+        if gens.is_empty() {
+            return Ok(None);
+        }
+        let mut last_err = None;
+        for &g in gens.iter().rev() {
+            match self.load_generation(g) {
+                Ok(cp) => return Ok(Some((g, cp))),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| SvError::Checkpoint("no loadable generation".into())))
     }
 }
 
@@ -258,5 +525,151 @@ mod tests {
         let mut cbits = 0;
         let mut r = SvRng::seed_from_u64(2);
         assert!(cp.restore_into(&mut small, &mut cbits, &mut r).is_err());
+    }
+
+    /// Fresh scratch directory under the OS temp root; removed up front so
+    /// reruns start clean.
+    fn tmp_store(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("svsim-ckpt-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_checkpoint(op: usize, salt: u64) -> Checkpoint {
+        let mut state = StateVector::zero_state(3).unwrap();
+        {
+            let (re, im) = state.parts_mut();
+            re[1] = 0.5 + salt as f64;
+            im[6] = -0.25;
+        }
+        let mut rng = SvRng::seed_from_u64(salt);
+        let _ = rng.next_gaussian(); // cache a Box-Muller spare
+        Checkpoint::capture(op, salt, &rng, &state)
+    }
+
+    fn assert_same(a: &Checkpoint, b: &Checkpoint) {
+        assert_eq!(a.op_index, b.op_index);
+        assert_eq!(a.cbits, b.cbits);
+        assert_eq!(a.rng.state(), b.rng.state());
+        assert_eq!(a.re, b.re);
+        assert_eq!(a.im, b.im);
+        assert_eq!(a.checksum, b.checksum);
+    }
+
+    #[test]
+    fn store_save_load_roundtrip_including_rng_spare() {
+        let dir = tmp_store("roundtrip");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let cp = sample_checkpoint(4, 7);
+        let g = store.save(&cp).unwrap();
+        assert_eq!(g, 0);
+        let loaded = store.load_generation(0).unwrap();
+        assert_same(&cp, &loaded);
+        let (g2, latest) = store.load_latest().unwrap().expect("one generation");
+        assert_eq!(g2, 0);
+        assert_same(&cp, &latest);
+        // Reopening resumes the counter after the newest file.
+        let mut reopened = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(reopened.save(&sample_checkpoint(8, 9)).unwrap(), 1);
+    }
+
+    #[test]
+    fn store_prunes_to_two_generations() {
+        let dir = tmp_store("prune");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        for op in 0..5 {
+            store.save(&sample_checkpoint(op, op as u64)).unwrap();
+        }
+        assert_eq!(store.generations().unwrap(), vec![3, 4]);
+        assert_eq!(store.load_latest().unwrap().unwrap().0, 4);
+    }
+
+    #[test]
+    fn bit_flip_is_rejected_and_previous_generation_recovers() {
+        let dir = tmp_store("bitflip");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let good = sample_checkpoint(2, 1);
+        store.save(&good).unwrap();
+        store.save(&sample_checkpoint(6, 2)).unwrap();
+        // Flip one bit in the middle of the newest generation.
+        let path = store.gen_path(1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = store.load_generation(1).unwrap_err();
+        assert!(
+            matches!(&err, SvError::Checkpoint(m) if m.contains("checksum mismatch")),
+            "{err}"
+        );
+        let (g, cp) = store.load_latest().unwrap().expect("fallback");
+        assert_eq!(g, 0, "must fall back to the previous generation");
+        assert_same(&good, &cp);
+    }
+
+    #[test]
+    fn truncation_is_rejected_and_previous_generation_recovers() {
+        let dir = tmp_store("trunc");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let good = sample_checkpoint(2, 3);
+        store.save(&good).unwrap();
+        store.save(&sample_checkpoint(6, 4)).unwrap();
+        let path = store.gen_path(1);
+        let bytes = std::fs::read(&path).unwrap();
+        // Both torn shapes: mid-record (ragged) and record-aligned.
+        for cut in [bytes.len() / 2 + 3, bytes.len() - 8] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let err = store.load_generation(1).unwrap_err();
+            assert!(matches!(err, SvError::Checkpoint(_)), "{err}");
+            assert_eq!(store.load_latest().unwrap().unwrap().0, 0);
+        }
+    }
+
+    #[test]
+    fn stale_generation_under_a_renamed_path_is_rejected() {
+        let dir = tmp_store("stale");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let good = sample_checkpoint(2, 5);
+        store.save(&good).unwrap();
+        store.save(&sample_checkpoint(6, 6)).unwrap();
+        // An operator "restores" an old file under the newest name: the
+        // embedded generation number betrays it.
+        std::fs::copy(store.gen_path(0), store.gen_path(1)).unwrap();
+        let err = store.load_generation(1).unwrap_err();
+        assert!(
+            matches!(&err, SvError::Checkpoint(m) if m.contains("stale generation")),
+            "{err}"
+        );
+        let (g, cp) = store.load_latest().unwrap().expect("fallback");
+        assert_eq!(g, 0);
+        assert_same(&good, &cp);
+    }
+
+    #[test]
+    fn torn_save_is_rejected_and_previous_generation_recovers() {
+        let dir = tmp_store("torn");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let good = sample_checkpoint(2, 8);
+        store.save(&good).unwrap();
+        store.save_torn(&sample_checkpoint(6, 9)).unwrap();
+        assert!(store.load_generation(1).is_err());
+        let (g, cp) = store.load_latest().unwrap().expect("fallback");
+        assert_eq!(g, 0);
+        assert_same(&good, &cp);
+    }
+
+    #[test]
+    fn empty_store_and_all_corrupt_store_are_distinguished() {
+        let dir = tmp_store("empty");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        assert!(
+            store.load_latest().unwrap().is_none(),
+            "empty store is Ok(None)"
+        );
+        store.save_torn(&sample_checkpoint(1, 10)).unwrap();
+        assert!(
+            store.load_latest().is_err(),
+            "only-corrupt store is an error"
+        );
     }
 }

@@ -560,6 +560,18 @@ pub(crate) fn run_scaleup(
 /// same SPMD body runs on both; results are bit-identical. The dynamic
 /// race detector records accesses through in-process `Arc` shadow state,
 /// so `detect` requires the thread backend.
+///
+/// `respawn_max` and `hang_deadline_ms` configure the process backend's
+/// supervisor (in-place respawn budget and watchdog deadline); ignored on
+/// the thread backend. The fifth tuple element counts in-place respawns
+/// the supervisor performed (0 elsewhere). The body closure captures the
+/// segment-initial amplitudes, so a respawned (or re-run) PE reproduces
+/// its partition bit-identically.
+/// What one backend dispatch hands back: classical bits, per-PE traffic
+/// snapshots, dynamic race reports, relabeling-exchange count, and
+/// in-place respawn count.
+pub(crate) type LaunchOutput = (u64, Vec<TrafficSnapshot>, Vec<RaceReport>, usize, usize);
+
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_scaleout(
     state: &mut StateVector,
@@ -573,7 +585,9 @@ pub(crate) fn run_scaleout(
     detect: bool,
     remap: bool,
     backend: ShmemBackend,
-) -> SvResult<(u64, Vec<TrafficSnapshot>, Vec<RaceReport>, usize)> {
+    respawn_max: u32,
+    hang_deadline_ms: u32,
+) -> SvResult<LaunchOutput> {
     let n = state.n_qubits();
     check_workers(n_pes, n, "PE")?;
     if detect && backend == ShmemBackend::Process {
@@ -666,7 +680,11 @@ pub(crate) fn run_scaleout(
             // Symmetric heap: re + im (per_pe each) plus the optional pair
             // of half-partition exchange staging buffers; result slot: the
             // two returned partition vectors plus cbits/tag overhead.
-            let opts = ProcOptions::sized_for(3 * per_pe + 64, 2 * per_pe + 64);
+            let opts = ProcOptions {
+                respawn_max,
+                hang_deadline_ms: u64::from(hang_deadline_ms),
+                ..ProcOptions::sized_for(3 * per_pe + 64, 2 * per_pe + 64)
+            };
             svsim_shmem::launch_process(n_pes, &opts, faults, body)?
         }
         ShmemBackend::Thread => match &detector {
@@ -688,13 +706,15 @@ pub(crate) fn run_scaleout(
             Ok(Ok(_)) => None,
         })
         .min_by_key(|e| match e {
-            SvError::PeFailed { .. } => 0u8,
+            SvError::PeFailed { .. } | SvError::PeHung { .. } => 0u8,
             SvError::Shmem(msg) if msg.contains("poisoned") => 2,
+            SvError::BarrierTimeout { .. } => 2,
             _ => 1,
         });
     if let Some(e) = root {
         return Err(e.clone());
     }
+    let n_respawns = out.respawns.len();
     let mut cbits_out = 0u64;
     {
         let (re, im) = state.parts_mut();
@@ -715,5 +735,5 @@ pub(crate) fn run_scaleout(
         }
     }
     let races = detector.map_or_else(Vec::new, |d| d.take_reports());
-    Ok((cbits_out, out.traffic, races, n_swaps))
+    Ok((cbits_out, out.traffic, races, n_swaps, n_respawns))
 }

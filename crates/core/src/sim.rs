@@ -1,13 +1,13 @@
 //! The unified `Simulator` facade over all backends.
 
-use crate::checkpoint::Checkpoint;
-use crate::exec::{run_scaleout, run_scaleup, run_single, DispatchMode};
+use crate::checkpoint::{Checkpoint, CheckpointStore};
+use crate::exec::{run_scaleout, run_scaleup, run_single, DispatchMode, LaunchOutput};
 use crate::measure;
 use crate::state::StateVector;
 use crate::traffic::{circuit_traffic, GateTraffic};
 use std::sync::Arc;
 use svsim_ir::{Circuit, Op, PauliString};
-use svsim_shmem::{FaultPlan, RaceReport, ShmemBackend, TrafficSnapshot};
+use svsim_shmem::{FaultAction, FaultPlan, RaceReport, ShmemBackend, TrafficSnapshot};
 use svsim_types::{Complex64, SvError, SvResult, SvRng};
 
 /// Which execution backend runs the circuit.
@@ -61,6 +61,16 @@ pub struct SimConfig {
     /// bit-identical across the two; the race detector requires the thread
     /// backend. No effect on the other backends.
     pub shmem_backend: ShmemBackend,
+    /// In-place respawn budget for the process backend's supervisor: when a
+    /// PE dies or hangs, re-fork only that PE and re-run the round on the
+    /// surviving processes, up to this many recovery rounds (0 disables —
+    /// failures surface as typed errors immediately). No effect on the
+    /// thread backend.
+    pub respawn_max: u32,
+    /// Watchdog deadline for the process backend's supervisor: a PE whose
+    /// heartbeat words stall this long is killed and reported as
+    /// `SvError::PeHung`. No effect on the thread backend.
+    pub hang_deadline_ms: u32,
 }
 
 impl SimConfig {
@@ -76,6 +86,8 @@ impl SimConfig {
             detect_races: false,
             remap: false,
             shmem_backend: ShmemBackend::Thread,
+            respawn_max: 0,
+            hang_deadline_ms: 30_000,
         }
     }
 
@@ -157,6 +169,22 @@ impl SimConfig {
         self.shmem_backend = ShmemBackend::Process;
         self
     }
+
+    /// Set the process-backend in-place respawn budget (see
+    /// [`SimConfig::respawn_max`]).
+    #[must_use]
+    pub fn with_respawn(mut self, max: u32) -> Self {
+        self.respawn_max = max;
+        self
+    }
+
+    /// Set the process-backend watchdog deadline (see
+    /// [`SimConfig::hang_deadline_ms`]).
+    #[must_use]
+    pub fn with_hang_deadline_ms(mut self, ms: u32) -> Self {
+        self.hang_deadline_ms = ms;
+        self
+    }
 }
 
 /// Outcome summary of one circuit execution.
@@ -178,6 +206,10 @@ pub struct RunSummary {
     /// Relabeling exchange epochs executed (0 unless [`SimConfig::remap`]
     /// is set on the scale-out backend and the circuit crossed partitions).
     pub remap_swaps: usize,
+    /// In-place PE respawns the process backend's supervisor performed
+    /// during this run (0 elsewhere or when [`SimConfig::respawn_max`] is
+    /// 0).
+    pub respawns: usize,
 }
 
 impl RunSummary {
@@ -201,6 +233,11 @@ pub struct Simulator {
     fault_plan: Option<Arc<FaultPlan>>,
     /// Last good checkpoint of the current/most recent run.
     checkpoint: Option<Checkpoint>,
+    /// Crash-consistent on-disk store: when attached, every captured
+    /// checkpoint is also persisted as a new generation, and
+    /// [`Simulator::recover_checkpoint_from_store`] can reload after the
+    /// in-memory copy is lost.
+    store: Option<CheckpointStore>,
 }
 
 impl Simulator {
@@ -232,6 +269,7 @@ impl Simulator {
             cbits: 0,
             fault_plan: None,
             checkpoint: None,
+            store: None,
         })
     }
 
@@ -281,12 +319,9 @@ impl Simulator {
 
     /// One backend dispatch over an op slice. The third tuple element is
     /// the dynamic race reports (scale-out with detection armed only); the
-    /// fourth is the count of relabeling exchanges performed.
-    fn exec_ops(
-        &mut self,
-        ops: &[Op],
-        initial_cbits: u64,
-    ) -> SvResult<(u64, Vec<TrafficSnapshot>, Vec<RaceReport>, usize)> {
+    /// fourth is the count of relabeling exchanges performed; the fifth
+    /// counts in-place PE respawns (process backend only).
+    fn exec_ops(&mut self, ops: &[Op], initial_cbits: u64) -> SvResult<LaunchOutput> {
         match self.config.backend {
             BackendKind::SingleDevice => {
                 let cb = run_single(
@@ -297,7 +332,7 @@ impl Simulator {
                     &mut self.rng,
                     initial_cbits,
                 )?;
-                Ok((cb, Vec::new(), Vec::new(), 0))
+                Ok((cb, Vec::new(), Vec::new(), 0, 0))
             }
             BackendKind::ScaleUp { n_devices } => {
                 let (cb, traffic) = run_scaleup(
@@ -309,7 +344,7 @@ impl Simulator {
                     &mut self.rng,
                     initial_cbits,
                 )?;
-                Ok((cb, traffic, Vec::new(), 0))
+                Ok((cb, traffic, Vec::new(), 0, 0))
             }
             BackendKind::ScaleOut { n_pes } => run_scaleout(
                 &mut self.state,
@@ -323,6 +358,8 @@ impl Simulator {
                 self.config.detect_races,
                 self.config.remap,
                 self.config.shmem_backend,
+                self.config.respawn_max,
+                self.config.hang_deadline_ms,
             ),
         }
     }
@@ -343,7 +380,7 @@ impl Simulator {
         let k = self.config.checkpoint_every as usize;
         if k == 0 {
             self.checkpoint = None;
-            let (cbits, traffic, races, remap_swaps) =
+            let (cbits, traffic, races, remap_swaps, respawns) =
                 self.exec_ops(&ops[start_op..], initial_cbits)?;
             self.cbits = cbits;
             return Ok(RunSummary {
@@ -353,28 +390,34 @@ impl Simulator {
                 checkpoint_bytes: 0,
                 races,
                 remap_swaps,
+                respawns,
             });
         }
         let mut cbits = initial_cbits;
         let mut traffic: Vec<TrafficSnapshot> = Vec::new();
         let mut races: Vec<RaceReport> = Vec::new();
         let mut remap_swaps = 0usize;
+        let mut respawns = 0usize;
         let mut checkpoint_bytes = 0u64;
         let cp = Checkpoint::capture(start_op, cbits, &self.rng, &self.state);
         checkpoint_bytes += cp.bytes();
+        self.persist_checkpoint(&cp)?;
         self.checkpoint = Some(cp);
         let mut pos = start_op;
         while pos < ops.len() {
             // Align the segment end to the global checkpoint grid so resume
             // and uninterrupted runs segment identically.
             let end = usize::min(ops.len(), (pos / k + 1) * k);
-            let (cb, seg_traffic, seg_races, seg_swaps) = self.exec_ops(&ops[pos..end], cbits)?;
+            let (cb, seg_traffic, seg_races, seg_swaps, seg_respawns) =
+                self.exec_ops(&ops[pos..end], cbits)?;
             cbits = cb;
             merge_worker_traffic(&mut traffic, seg_traffic);
             races.extend(seg_races);
             remap_swaps += seg_swaps;
+            respawns += seg_respawns;
             let cp = Checkpoint::capture(end, cbits, &self.rng, &self.state);
             checkpoint_bytes += cp.bytes();
+            self.persist_checkpoint(&cp)?;
             self.checkpoint = Some(cp);
             pos = end;
         }
@@ -386,7 +429,37 @@ impl Simulator {
             checkpoint_bytes,
             races,
             remap_swaps,
+            respawns,
         })
+    }
+
+    /// Persist one captured checkpoint into the attached store (no-op when
+    /// no store is attached). An armed `PeOp::Checkpoint` +
+    /// [`FaultAction::TornCheckpoint`] spec in the fault plan makes the
+    /// write crash mid-rename — half the bytes land at the final path, the
+    /// in-memory checkpoint is dropped (the "process" died before it was
+    /// adopted), and the run surfaces a typed [`SvError::Checkpoint`] so
+    /// the engine exercises the store's previous-generation fallback.
+    fn persist_checkpoint(&mut self, cp: &Checkpoint) -> SvResult<()> {
+        let Some(store) = self.store.as_mut() else {
+            return Ok(());
+        };
+        let torn = matches!(
+            self.fault_plan
+                .as_ref()
+                .and_then(|p| p.check(0, svsim_types::PeOp::Checkpoint)),
+            Some(FaultAction::TornCheckpoint)
+        );
+        if torn {
+            store.save_torn(cp)?;
+            self.checkpoint = None;
+            return Err(SvError::Checkpoint(format!(
+                "torn write: crashed while persisting the generation at op {}",
+                cp.op_index()
+            )));
+        }
+        store.save(cp)?;
+        Ok(())
     }
 
     /// Rewind state, classical bits and RNG to the last good checkpoint
@@ -483,6 +556,7 @@ impl Simulator {
         self.rng = SvRng::seed_from_u64(self.config.seed);
         self.checkpoint = None;
         self.fault_plan = None;
+        self.store = None;
     }
 
     /// Attach (or clear) an injected-fault schedule; threaded into every
@@ -507,6 +581,96 @@ impl Simulator {
     #[must_use]
     pub fn checkpoint(&self) -> Option<&Checkpoint> {
         self.checkpoint.as_ref()
+    }
+
+    /// Attach (or detach) a crash-consistent on-disk checkpoint store.
+    /// While attached, every captured checkpoint is also written as a new
+    /// store generation (write-temp + fsync + atomic rename).
+    pub fn set_checkpoint_store(&mut self, store: Option<CheckpointStore>) {
+        self.store = store;
+    }
+
+    /// The attached checkpoint store, if any.
+    #[must_use]
+    pub fn checkpoint_store(&self) -> Option<&CheckpointStore> {
+        self.store.as_ref()
+    }
+
+    /// Detach and return the in-memory checkpoint (e.g. to transplant it
+    /// into a differently-partitioned simulator — checkpoints are full
+    /// global state and PE-count independent).
+    pub fn take_checkpoint(&mut self) -> Option<Checkpoint> {
+        self.checkpoint.take()
+    }
+
+    /// Adopt an externally produced checkpoint (verified first) as this
+    /// simulator's resume point. Used by the degradation path: a
+    /// checkpoint taken at `n` PEs resumes on a simulator partitioned at
+    /// `n/2`.
+    ///
+    /// # Errors
+    /// The checkpoint's payload digest does not verify, or its dimensions
+    /// disagree with this simulator's state vector.
+    pub fn adopt_checkpoint(&mut self, cp: Checkpoint) -> SvResult<()> {
+        cp.verify()?;
+        if cp.n_amplitudes() != self.state.dim() {
+            return Err(SvError::InvalidConfig(format!(
+                "checkpoint holds {} amplitudes but the simulator holds {}",
+                cp.n_amplitudes(),
+                self.state.dim()
+            )));
+        }
+        self.checkpoint = Some(cp);
+        Ok(())
+    }
+
+    /// Reload the newest loadable generation from the attached store into
+    /// the in-memory checkpoint slot, falling back over corrupt
+    /// generations. Returns `Ok(true)` when a checkpoint was recovered,
+    /// `Ok(false)` when no store is attached or the store is empty.
+    ///
+    /// # Errors
+    /// Generations exist but none loads cleanly, or the recovered
+    /// checkpoint's dimensions disagree with this simulator.
+    pub fn recover_checkpoint_from_store(&mut self) -> SvResult<bool> {
+        let Some(store) = self.store.as_ref() else {
+            return Ok(false);
+        };
+        match store.load_latest()? {
+            None => Ok(false),
+            Some((_generation, cp)) => {
+                if cp.n_amplitudes() != self.state.dim() {
+                    return Err(SvError::Checkpoint(format!(
+                        "recovered checkpoint holds {} amplitudes but the simulator holds {}",
+                        cp.n_amplitudes(),
+                        self.state.dim()
+                    )));
+                }
+                self.checkpoint = Some(cp);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Adjust the in-place respawn budget for the process backend (see
+    /// [`SimConfig::respawn_max`]). Pooled instances keep their
+    /// creation-time config, so the engine sets this per job.
+    pub fn set_respawn(&mut self, max: u32) {
+        self.config.respawn_max = max;
+    }
+
+    /// Adjust the supervisor's hang deadline in milliseconds (see
+    /// [`SimConfig::hang_deadline_ms`]).
+    pub fn set_hang_deadline_ms(&mut self, ms: u32) {
+        self.config.hang_deadline_ms = ms;
+    }
+
+    /// Adopt the SHMEM world substrate (see [`SimConfig::shmem_backend`]).
+    /// Like the other pooled knobs this is per-job, not part of the pool
+    /// key; the substrate is chosen fresh at each launch, so nothing else
+    /// needs resetting.
+    pub fn set_shmem_backend(&mut self, backend: ShmemBackend) {
+        self.config.shmem_backend = backend;
     }
 
     /// FNV-1a digest of the current amplitudes (bit-identity fingerprint).

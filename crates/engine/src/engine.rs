@@ -8,7 +8,7 @@ use crate::job::{
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::pool::InstancePool;
 use crate::queue::{JobQueue, QueuedJob, SubmitError};
-use crate::retry::retryable;
+use crate::retry::{retryable, DegradePolicy};
 use crate::templates::{TemplateId, TemplateInfo, TemplateRegistry, WorkerTemplates};
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -410,12 +410,15 @@ fn exec_fault_point(job: &QueuedJob, worker: usize) -> SvResult<()> {
             }
             Ok(())
         }
-        Some(FaultAction::Kill | FaultAction::Drop | FaultAction::Poison) => {
+        Some(FaultAction::Kill | FaultAction::Drop | FaultAction::Poison | FaultAction::Hang) => {
             Err(SvError::PeFailed {
                 pe: worker,
                 op: PeOp::Exec,
             })
         }
+        // Torn checkpoint writes are a storage-layer fault, consumed at
+        // the simulator's persistence points, not an executor failure.
+        Some(FaultAction::TornCheckpoint) => Ok(()),
     }
 }
 
@@ -433,10 +436,15 @@ fn publish(
     job.cell.finish(result);
 }
 
-/// Execute a one-shot job with retry-in-place: a transient failure
-/// (PE death, SHMEM breakdown, worker panic) backs off deterministically
-/// and re-attempts on the same simulator — resuming from its last good
-/// checkpoint when one exists, rerunning from scratch otherwise.
+/// Execute a one-shot job with retry-in-place and the self-healing
+/// ladder: a transient failure (PE death or hang, barrier expiry, SHMEM
+/// breakdown, torn checkpoint write, worker panic) backs off
+/// deterministically and re-attempts — resuming from the last good
+/// checkpoint when one exists (in memory or recovered from the job's
+/// on-disk store), rerunning from scratch otherwise. Under
+/// [`DegradePolicy::HalvePes`], repeated failures at one width
+/// re-partition the job at half the PEs and transplant the checkpoint
+/// into the narrower world.
 fn run_one_shot(shared: &Shared, job: QueuedJob, worker: usize) {
     let started = Instant::now();
     let JobSpec::OneShot {
@@ -450,12 +458,23 @@ fn run_one_shot(shared: &Shared, job: QueuedJob, worker: usize) {
     };
     let fp = fingerprint(&job.request.spec);
     let policy = job.request.retry;
+    let degrade = job.request.degrade;
+    // The width/supervision the job is *currently* running at; the
+    // degradation ladder narrows it without touching the submitted spec.
+    let mut effective = *config;
+    if let DegradePolicy::Respawn { max_respawns } = degrade {
+        effective.respawn_max = effective.respawn_max.max(max_respawns);
+    }
     let mut attempt: u32 = 1;
     let mut first_failure: Option<Instant> = None;
+    let mut rung_failures: u32 = 0;
+    // Checkpoint carried across a degradation step into the next
+    // (half-width) simulator.
+    let mut carried: Option<svsim_core::Checkpoint> = None;
     let mut sim = None;
     let result = loop {
         if sim.is_none() {
-            match shared.pool.checkout_sim(circuit.n_qubits(), config) {
+            match shared.pool.checkout_sim(circuit.n_qubits(), &effective) {
                 Ok(s) => sim = Some(s),
                 Err(e) => break Err(JobError::Failed(e)),
             }
@@ -463,9 +482,31 @@ fn run_one_shot(shared: &Shared, job: QueuedJob, worker: usize) {
         let s = sim.as_mut().expect("checked out above");
         // Rewind a retry that has nothing to resume from; a verified
         // checkpoint instead resumes mid-circuit.
-        let resumable = attempt > 1 && s.checkpoint().is_some_and(|cp| cp.verify().is_ok());
+        let mut resumable = attempt > 1 && s.checkpoint().is_some_and(|cp| cp.verify().is_ok());
+        if let Some(cp) = carried.take() {
+            // Checkpoints are full global state (PE-count independent), so
+            // the degraded world adopts the wider world's progress as-is.
+            match s.adopt_checkpoint(cp) {
+                Ok(()) => resumable = true,
+                Err(e) => break Err(JobError::Failed(e)),
+            }
+        }
         if attempt > 1 && !resumable {
             s.reset();
+        }
+        if let Some(dir) = &job.request.checkpoint_dir {
+            // (Re)open the store every attempt: `reset` detaches it, and
+            // `open` resumes the generation counter from the directory.
+            match svsim_core::CheckpointStore::open(dir.clone()) {
+                Ok(store) => s.set_checkpoint_store(Some(store)),
+                Err(e) => break Err(JobError::Failed(e)),
+            }
+            if attempt > 1 && !resumable {
+                // The in-memory checkpoint is gone (torn write, panic,
+                // degradation): fall back to the newest loadable on-disk
+                // generation. An unrecoverable store reruns from scratch.
+                resumable = s.recover_checkpoint_from_store().unwrap_or(false);
+            }
         }
         s.set_fault_plan(job.request.fault_plan.clone());
         let ran = catch_unwind(AssertUnwindSafe(|| {
@@ -498,6 +539,10 @@ fn run_one_shot(shared: &Shared, job: QueuedJob, worker: usize) {
                     .metrics
                     .races_detected
                     .fetch_add(summary.races.len() as u64, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .respawned
+                    .fetch_add(summary.respawns as u64, Ordering::Relaxed);
                 // Credit the communication the remap avoided: the analytic
                 // naive-plan cost minus what the remapped run measured.
                 if config.remap {
@@ -533,6 +578,7 @@ fn run_one_shot(shared: &Shared, job: QueuedJob, worker: usize) {
                 });
                 let state = return_state.then(|| s.state().clone());
                 s.set_fault_plan(None);
+                s.set_checkpoint_store(None);
                 shared.pool.checkin_sim(s);
                 break Ok(JobOutput::OneShot {
                     summary,
@@ -541,17 +587,58 @@ fn run_one_shot(shared: &Shared, job: QueuedJob, worker: usize) {
                 });
             }
             Err((transient, err)) => {
+                if matches!(&err, JobError::Failed(SvError::PeHung { .. })) {
+                    shared.metrics.hung.fetch_add(1, Ordering::Relaxed);
+                }
                 if transient && attempt < policy.max_attempts {
                     first_failure.get_or_insert_with(Instant::now);
                     shared.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                    // The degradation ladder: enough failures at this
+                    // width step the job down to half the PEs, carrying
+                    // its last good checkpoint into the narrower world
+                    // (8 → 4 → 2 → 1, floored at `min_pes`).
+                    if let DegradePolicy::HalvePes {
+                        failures_per_rung,
+                        min_pes,
+                    } = degrade
+                    {
+                        rung_failures += 1;
+                        if rung_failures >= failures_per_rung.max(1) {
+                            if let svsim_core::BackendKind::ScaleOut { n_pes } = effective.backend {
+                                let next = n_pes / 2;
+                                if next >= min_pes.max(1) {
+                                    carried = sim
+                                        .as_mut()
+                                        .and_then(svsim_core::Simulator::take_checkpoint)
+                                        .filter(|cp| cp.verify().is_ok());
+                                    effective.backend =
+                                        svsim_core::BackendKind::ScaleOut { n_pes: next };
+                                    sim = None;
+                                    rung_failures = 0;
+                                    shared.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
                     std::thread::sleep(policy.backoff(attempt));
                     attempt += 1;
                     continue;
                 }
                 // Final failure: drop the simulator (its state reflects
-                // the failed run) and extend the shape's failure streak.
+                // the failed run) and extend the shape's failure streak —
+                // recording the degraded shape too when the ladder was
+                // descended, so the narrowed fingerprint carries the
+                // strike as well.
                 sim = None;
                 shared.quarantine_mark_failure(fp);
+                if effective.backend != config.backend {
+                    shared.quarantine_mark_failure(fingerprint(&JobSpec::OneShot {
+                        circuit: Arc::clone(circuit),
+                        config: effective,
+                        shots,
+                        return_state,
+                    }));
+                }
                 break Err(err);
             }
         }

@@ -1,9 +1,10 @@
 //! Job model: what clients submit, what they get back, and the handle that
 //! connects the two across threads.
 
-use crate::retry::RetryPolicy;
+use crate::retry::{DegradePolicy, RetryPolicy};
 use crate::templates::TemplateId;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -93,6 +94,16 @@ pub struct JobRequest {
     /// launches and consulted for `Exec`-level faults. `None` in
     /// production; set by fault-injection tests and `sv-sim fault-bench`.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Recovery path beyond retry-in-place: in-place PE respawn or the
+    /// halve-PEs degradation ladder.
+    pub degrade: DegradePolicy,
+    /// Directory for a crash-consistent on-disk checkpoint store. When
+    /// set, every checkpoint the job captures is persisted as an atomic
+    /// generation, and a retry whose in-memory checkpoint was lost (torn
+    /// write, worker panic mid-mutation, degradation to a fresh simulator)
+    /// recovers the newest loadable generation instead of rerunning from
+    /// scratch.
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl JobRequest {
@@ -105,6 +116,8 @@ impl JobRequest {
             deadline: None,
             retry: RetryPolicy::default(),
             fault_plan: None,
+            degrade: DegradePolicy::None,
+            checkpoint_dir: None,
         }
     }
 
@@ -133,6 +146,21 @@ impl JobRequest {
     #[must_use]
     pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Select a recovery path beyond retry-in-place (see [`DegradePolicy`]).
+    #[must_use]
+    pub fn with_degrade(mut self, degrade: DegradePolicy) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// Persist checkpoints into (and recover them from) a crash-consistent
+    /// store rooted at `dir`.
+    #[must_use]
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
         self
     }
 }

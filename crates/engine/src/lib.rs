@@ -19,10 +19,13 @@
 //!   patch-and-execute loop over a single reused buffer;
 //! - **per-job deadlines and cancellation**, honored at dequeue *and*
 //!   re-checked mid-sweep before each batched execution;
-//! - **retry and degradation**: per-job [`RetryPolicy`] with exponential
+//! - **retry and self-healing**: per-job [`RetryPolicy`] with exponential
 //!   backoff and deterministic jitter, checkpoint-resuming re-execution of
-//!   jobs killed by injected or real PE faults, and a quarantine list that
-//!   refuses job shapes which keep failing;
+//!   jobs killed by injected or real PE faults, a per-job [`DegradePolicy`]
+//!   choosing between in-place PE respawn and the halve-PEs degradation
+//!   ladder (resume-from-checkpoint at half the width), an optional
+//!   crash-consistent on-disk checkpoint store per job, and a quarantine
+//!   list that refuses job shapes which keep failing;
 //! - **drain or hard shutdown**, and a [`MetricsSnapshot`] aggregating
 //!   counts, latency histograms, SHMEM traffic, and robustness counters
 //!   (retries, quarantined submissions, checkpoint bytes, recovery
@@ -65,5 +68,5 @@ pub use engine::{Engine, EngineConfig};
 pub use job::{JobError, JobHandle, JobId, JobOutput, JobRequest, JobSpec, Priority, SweepReturn};
 pub use metrics::{EngineMetrics, LatencyHistogram, LatencySnapshot, MetricsSnapshot};
 pub use queue::SubmitError;
-pub use retry::{retryable, RetryPolicy};
+pub use retry::{retryable, DegradePolicy, RetryPolicy};
 pub use templates::{TemplateId, TemplateInfo, TemplateRegistry};

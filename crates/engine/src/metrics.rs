@@ -145,6 +145,14 @@ pub struct EngineMetrics {
     pub(crate) retries: AtomicU64,
     /// Submissions refused because the job shape is quarantined.
     pub(crate) quarantined: AtomicU64,
+    /// PE hangs detected by the process-backend watchdog (stalled
+    /// heartbeat past the deadline, reported as `SvError::PeHung`).
+    pub(crate) hung: AtomicU64,
+    /// In-place PE respawns performed by the supervisor across all jobs.
+    pub(crate) respawned: AtomicU64,
+    /// Halve-PEs degradation steps taken (each halves one job's width and
+    /// resumes it from checkpoint).
+    pub(crate) degraded: AtomicU64,
     /// Bytes captured into state-vector checkpoints across all jobs.
     pub(crate) checkpoint_bytes: AtomicU64,
     /// SHMEM protocol races observed by the dynamic detector across all
@@ -189,6 +197,9 @@ impl EngineMetrics {
             pool_reused: self.pool_reused.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
+            hung: self.hung.load(Ordering::Relaxed),
+            respawned: self.respawned.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
             checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
             races_detected: self.races_detected.load(Ordering::Relaxed),
             remote_bytes_saved: self.remote_bytes_saved.load(Ordering::Relaxed),
@@ -229,6 +240,12 @@ pub struct MetricsSnapshot {
     pub retries: u64,
     /// Submissions refused because the job shape is quarantined.
     pub quarantined: u64,
+    /// PE hangs detected by the process-backend watchdog.
+    pub hung: u64,
+    /// In-place PE respawns performed by the supervisor.
+    pub respawned: u64,
+    /// Halve-PEs degradation steps taken.
+    pub degraded: u64,
     /// Bytes captured into state-vector checkpoints across all jobs.
     pub checkpoint_bytes: u64,
     /// SHMEM protocol races observed across all detector-on jobs.
@@ -313,6 +330,11 @@ impl std::fmt::Display for MetricsSnapshot {
             "robustness: retries={} quarantined={} checkpoint_bytes={} races_detected={}",
             self.retries, self.quarantined, self.checkpoint_bytes, self.races_detected
         )?;
+        writeln!(
+            f,
+            "self-healing: hung={} respawned={} degraded={}",
+            self.hung, self.respawned, self.degraded
+        )?;
         writeln!(f, "queue wait: {}", self.queue_wait)?;
         writeln!(f, "execution:  {}", self.execution)?;
         writeln!(f, "recovery:   {}", self.recovery)?;
@@ -368,9 +390,13 @@ mod tests {
         m.pool_reused.store(3, Ordering::Relaxed);
         m.races_detected.store(2, Ordering::Relaxed);
         m.remote_bytes_saved.store(4096, Ordering::Relaxed);
+        m.hung.store(1, Ordering::Relaxed);
+        m.respawned.store(3, Ordering::Relaxed);
+        m.degraded.store(2, Ordering::Relaxed);
         let s = m.snapshot();
         assert_eq!(s.races_detected, 2);
         assert_eq!(s.remote_bytes_saved, 4096);
+        assert_eq!((s.hung, s.respawned, s.degraded), (1, 3, 2));
         assert_eq!(s.finished(), 7);
         assert_eq!(s.in_flight(), 3);
         assert!((s.mean_batch_size() - 3.0).abs() < 1e-12);
@@ -380,5 +406,6 @@ mod tests {
         assert!(text.contains("submitted=10"));
         assert!(text.contains("races_detected=2"));
         assert!(text.contains("remote_bytes_saved=4096"));
+        assert!(text.contains("hung=1 respawned=3 degraded=2"));
     }
 }

@@ -79,6 +79,12 @@ impl InstancePool {
             // shelved instance serves remapped and naive jobs in turn, and
             // must not leak the previous job's setting into this one.
             sim.set_remap(config.remap);
+            // Supervision knobs are per-job too: the world substrate,
+            // respawn budget and hang deadline must reflect this job, not
+            // the previous tenant's.
+            sim.set_shmem_backend(config.shmem_backend);
+            sim.set_respawn(config.respawn_max);
+            sim.set_hang_deadline_ms(config.hang_deadline_ms);
             sim.reset();
             return Ok(sim);
         }

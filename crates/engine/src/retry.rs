@@ -84,12 +84,49 @@ impl RetryPolicy {
 }
 
 /// Whether a failure class is worth retrying: infrastructure faults (a PE
-/// died, a SHMEM-layer breakdown) are transient; everything else — config
-/// errors, numeric collapse failures — is deterministic and would fail
-/// identically again.
+/// died or hung, a barrier expired, a SHMEM-layer breakdown, a torn
+/// checkpoint write) are transient; everything else — config errors,
+/// numeric collapse failures — is deterministic and would fail identically
+/// again.
 #[must_use]
 pub fn retryable(e: &SvError) -> bool {
-    matches!(e, SvError::PeFailed { .. } | SvError::Shmem(_))
+    matches!(
+        e,
+        SvError::PeFailed { .. }
+            | SvError::PeHung { .. }
+            | SvError::BarrierTimeout { .. }
+            | SvError::Shmem(_)
+            | SvError::Checkpoint(_)
+    )
+}
+
+/// How the engine reacts to repeated infrastructure failures of one job,
+/// beyond plain retry-in-place: the self-healing ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradePolicy {
+    /// Retry-in-place only (the historical behavior).
+    #[default]
+    None,
+    /// Arm the process backend's in-place respawn: a dead or hung PE is
+    /// re-forked and the round re-runs on the surviving processes, up to
+    /// `max_respawns` recovery rounds per launch, without tearing the
+    /// world down. Only meaningful for scale-out jobs on the process
+    /// backend.
+    Respawn {
+        /// Recovery rounds the supervisor may perform per launch.
+        max_respawns: u32,
+    },
+    /// Graceful degradation: after `failures_per_rung` transient failures
+    /// at the current width, re-partition the job at half the PEs and
+    /// resume from the last good checkpoint (8 → 4 → 2 → 1), stopping at
+    /// `min_pes`. Checkpoints are full global state, so a checkpoint taken
+    /// at `n` PEs resumes bit-identically at `n/2`.
+    HalvePes {
+        /// Transient failures tolerated per rung before halving.
+        failures_per_rung: u32,
+        /// Floor of the ladder (clamped to at least 1 PE).
+        min_pes: usize,
+    },
 }
 
 #[cfg(test)]
@@ -130,6 +167,17 @@ mod tests {
             op: PeOp::Put
         }));
         assert!(retryable(&SvError::Shmem("poisoned".into())));
+        assert!(retryable(&SvError::PeHung {
+            pe: 2,
+            epoch: 3,
+            stalled_ms: 750
+        }));
+        assert!(retryable(&SvError::BarrierTimeout {
+            pe: 0,
+            epoch: 1,
+            waited_ms: 200
+        }));
+        assert!(retryable(&SvError::Checkpoint("torn write".into())));
         assert!(!retryable(&SvError::InvalidConfig("bad".into())));
         assert!(!retryable(&SvError::Numeric("collapse".into())));
     }

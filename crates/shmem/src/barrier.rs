@@ -49,6 +49,21 @@ impl std::fmt::Display for BarrierPoisoned {
 
 impl std::error::Error for BarrierPoisoned {}
 
+/// Why a barrier wait failed — distinguishes a peer-poisoned barrier from
+/// a bounded wait expiring with no poison observed (process backend only;
+/// the thread backend's [`SenseBarrier`] never times out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BarrierWaitError {
+    /// A peer poisoned the barrier (it failed, or its launcher reaped it).
+    Poisoned,
+    /// The bounded wait expired before the epoch released: the waiter saw
+    /// neither a release nor a poison within the timeout.
+    TimedOut {
+        /// How long the waiter waited before giving up.
+        waited: std::time::Duration,
+    },
+}
+
 impl SenseBarrier {
     /// Barrier over `n` participants.
     #[must_use]

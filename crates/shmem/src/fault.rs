@@ -31,6 +31,16 @@
 //!   run stays correct, only slower. Used to exercise timing robustness.
 //! - [`FaultAction::Poison`] — the barrier is poisoned directly and the PE
 //!   dies, releasing all spinning peers into their own clean failures.
+//! - [`FaultAction::Hang`] — the PE stops making progress at the operation
+//!   *without* dying: on the process backend it sleeps forever (heartbeat
+//!   words stop bumping, so the parent watchdog kills it and reports
+//!   [`SvError::PeHung`](svsim_types::SvError::PeHung)); on the thread
+//!   backend (no external supervisor can kill a thread) it degrades to
+//!   `Poison` semantics so tests stay bounded.
+//! - [`FaultAction::TornCheckpoint`] — a no-op at PE-side fault points;
+//!   consulted host-side (via [`svsim_types::PeOp::Checkpoint`]) by the
+//!   checkpoint store, which simulates a crash mid-write by leaving a
+//!   truncated generation file behind.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use svsim_types::{PeOp, SvRng};
@@ -46,6 +56,14 @@ pub enum FaultAction {
     Delay(u32),
     /// Poison the barrier and kill the PE.
     Poison,
+    /// Wedge the PE: it stops progressing (and stops bumping its heartbeat)
+    /// without dying. Process backend: detected by the parent watchdog and
+    /// reported as `PeHung`. Thread backend: degrades to `Poison`.
+    Hang,
+    /// Simulate a crash mid-checkpoint-write: the store leaves a truncated
+    /// generation file and reports a typed `Checkpoint` error. Ignored at
+    /// PE-side put/get/barrier fault points.
+    TornCheckpoint,
 }
 
 /// One scheduled fault: fires at the `at`-th matching operation of kind
@@ -270,6 +288,20 @@ mod tests {
         assert_eq!(plan.check(0, PeOp::Barrier), Some(FaultAction::Poison));
         // Fired once; later operations see nothing.
         assert_eq!(plan.check(1, PeOp::Barrier), None);
+    }
+
+    #[test]
+    fn hang_and_torn_checkpoint_arm_like_any_action() {
+        let plan = FaultPlan::new()
+            .with(0, PeOp::Put, 2, FaultAction::Hang)
+            .with(None, PeOp::Checkpoint, 1, FaultAction::TornCheckpoint);
+        assert_eq!(plan.check(0, PeOp::Put), None);
+        assert_eq!(plan.check(0, PeOp::Put), Some(FaultAction::Hang));
+        assert_eq!(
+            plan.check(0, PeOp::Checkpoint),
+            Some(FaultAction::TornCheckpoint)
+        );
+        assert_eq!(plan.armed_remaining(), 0);
     }
 
     #[test]

@@ -38,6 +38,11 @@
 //!   launcher reaps it into a typed `SvError::PeFailed` with a
 //!   [`svsim_types::PeOp::Term`] record (signal, exit code, barrier epoch
 //!   at death) while surviving PEs release through the poisoned barrier.
+//!   A parent-side supervisor additionally watches per-PE heartbeat words
+//!   (hang detection → `SvError::PeHung`), distinguishes a bounded-wait
+//!   barrier expiry (`SvError::BarrierTimeout`) from a peer death, and —
+//!   when a respawn budget is configured — re-forks only the dead/hung PE
+//!   and re-runs the round on the surviving processes ([`RespawnEvent`]).
 
 pub mod barrier;
 pub mod checked;
@@ -53,7 +58,7 @@ pub use barrier::{BarrierPoisoned, BarrierToken, SenseBarrier};
 pub use checked::{malloc_checked, malloc_checked_reporting, CheckedSym};
 pub use fault::{FaultAction, FaultPlan, FaultSpec, PeFailure};
 pub use metrics::{MetricsTable, PeCounters, TrafficSnapshot};
-pub use proc::{launch_process, ProcOptions, ShmemBackend, Wire};
+pub use proc::{launch_process, ProcOptions, RespawnEvent, ShmemBackend, Wire};
 pub use race::{ConflictKind, RaceAccess, RaceDetector, RaceReport, MAX_TRACKED_PES};
 pub use shared::{SharedF64Vec, SharedU64Vec};
 pub use signal::{signal, signal_add, wait_until, WaitCmp};

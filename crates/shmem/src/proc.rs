@@ -34,7 +34,21 @@
 //!   reaping, so cross-launch accumulation (checkpoint segments) and
 //!   global one-shot disarming behave exactly as in the thread world. An
 //!   injected [`FaultAction::Kill`] raises a *real* `SIGKILL` on the
-//!   child.
+//!   child; a [`FaultAction::Hang`] wedges it without dying.
+//! - **Supervision** — the parent runs a supervisor combining WNOHANG
+//!   reaping with a progress watchdog over per-PE heartbeat words (bumped
+//!   at every barrier epoch, inside barrier waits, at fault points, and in
+//!   the respawn park loop). A PE whose heartbeat stalls past
+//!   [`ProcOptions::hang_deadline_ms`] is killed and reported as the typed
+//!   [`SvError::PeHung`] — distinct from `PeFailed` (a reaped death) and
+//!   from [`SvError::BarrierTimeout`] (a bounded barrier wait expiring).
+//! - **In-place respawn** — with [`ProcOptions::respawn_max`] > 0, a death
+//!   or hang does not tear the world down: surviving PEs park at the
+//!   poisoned barrier, the parent resets the arena round state, re-forks
+//!   *only* the dead/hung PEs, and every PE re-runs the SPMD body from its
+//!   segment-initial state (the body closure captures it, so a re-run is
+//!   bit-identical). Fired fault counters stay disarmed across rounds, so
+//!   a one-shot fault cannot re-kill the respawned PE.
 //!
 //! Not supported here (thread-backend only, rejected with typed errors):
 //! the vector-clock race detector and `collective_publish` — both are
@@ -46,7 +60,7 @@
 // and the raw-window constructors it calls in `shared`/`metrics`.
 #![allow(unsafe_code)]
 
-use crate::barrier::{BarrierPoisoned, BarrierToken};
+use crate::barrier::{BarrierToken, BarrierWaitError};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::metrics::MetricsTable;
 use crate::shared::{SharedF64Vec, SharedU64Vec};
@@ -84,9 +98,24 @@ pub struct ProcOptions {
     /// peer can never hang the world even if the reaper is delayed.
     pub barrier_timeout_ms: u64,
     /// Optional per-PE CPU pinning: PE `i` is pinned to
-    /// `cpu_affinity[i % len]` right after the fork (best effort; pinning
-    /// failures are ignored). `None` leaves scheduling to the OS.
+    /// `cpu_affinity[i % len]` right after the fork. Best effort: a pin
+    /// failure is recorded as a launch warning
+    /// ([`SpmdOutput::warnings`]) instead of aborting the launch
+    /// (affinity is unavailable on many constrained runners). `None`
+    /// leaves scheduling to the OS.
     pub cpu_affinity: Option<Vec<usize>>,
+    /// Watchdog deadline: a PE whose heartbeat words stall for longer than
+    /// this is killed by the parent supervisor and reported as the typed
+    /// `SvError::PeHung`. Heartbeats bump at every barrier epoch and
+    /// inside barrier waits, so a PE legitimately blocked on a slow peer
+    /// never trips the watchdog — only a truly wedged one does.
+    pub hang_deadline_ms: u64,
+    /// In-place respawn budget: how many recovery rounds the supervisor
+    /// may run before giving up. `0` (the default) disables respawn — any
+    /// PE failure fails the launch exactly as before. Each round re-forks
+    /// only the dead/hung PEs and re-runs the SPMD body on every PE from
+    /// its segment-initial state, preserving surviving processes.
+    pub respawn_max: u32,
 }
 
 impl Default for ProcOptions {
@@ -96,6 +125,8 @@ impl Default for ProcOptions {
             result_bytes_per_pe: 1 << 16,
             barrier_timeout_ms: 30_000,
             cpu_affinity: None,
+            hang_deadline_ms: 30_000,
+            respawn_max: 0,
         }
     }
 }
@@ -267,13 +298,21 @@ mod sys {
         unsafe { _exit(code) }
     }
 
-    /// Best-effort pin of the calling process to one CPU.
-    pub fn pin_to_cpu(cpu: usize) {
+    /// Best-effort pin of the calling process to one CPU. `Err(errno)` on
+    /// failure (including a cpu index beyond the 1024-CPU mask, reported
+    /// as `EINVAL` just as the kernel would).
+    pub fn pin_to_cpu(cpu: usize) -> Result<(), i32> {
+        const EINVAL: i32 = 22;
         let mut mask = [0u64; 16]; // 1024-CPU cpu_set_t
-        if cpu < 1024 {
-            mask[cpu / 64] |= 1 << (cpu % 64);
-            // SAFETY: mask is a live 128-byte buffer, the cpu_set_t size.
-            let _ = unsafe { sched_setaffinity(0, 128, mask.as_ptr()) };
+        if cpu >= 1024 {
+            return Err(EINVAL);
+        }
+        mask[cpu / 64] |= 1 << (cpu % 64);
+        // SAFETY: mask is a live 128-byte buffer, the cpu_set_t size.
+        if unsafe { sched_setaffinity(0, 128, mask.as_ptr()) } == 0 {
+            Ok(())
+        } else {
+            Err(errno())
         }
     }
 }
@@ -358,6 +397,11 @@ struct ArenaLayout {
     w_u64_table: usize,
     w_epochs: usize,
     w_status: usize,
+    w_heartbeats: usize,
+    w_warn: usize,
+    w_round: usize,
+    w_abort: usize,
+    w_round_ack: usize,
     w_faults: usize,
     w_coll_f64: usize,
     w_coll_u64: usize,
@@ -390,6 +434,11 @@ impl ArenaLayout {
         let w_u64_table = take(&mut w, MAX_ALLOCS * 3);
         let w_epochs = take(&mut w, n_pes);
         let w_status = take(&mut w, n_pes * 2);
+        let w_heartbeats = take(&mut w, n_pes);
+        let w_warn = take(&mut w, n_pes);
+        let w_round = take(&mut w, 1);
+        let w_abort = take(&mut w, 1);
+        let w_round_ack = take(&mut w, n_pes);
         let w_faults = take(&mut w, MAX_FAULT_SPECS * 2);
         let w_coll_f64 = take(&mut w, n_pes);
         let w_coll_u64 = take(&mut w, n_pes);
@@ -411,6 +460,11 @@ impl ArenaLayout {
             w_u64_table,
             w_epochs,
             w_status,
+            w_heartbeats,
+            w_warn,
+            w_round,
+            w_abort,
+            w_round_ack,
             w_faults,
             w_coll_f64,
             w_coll_u64,
@@ -438,17 +492,24 @@ pub(crate) struct ProcBarrier {
     w_count: usize,
     w_sense: usize,
     w_poison: usize,
+    w_heartbeats: usize,
     n: u64,
     timeout: Duration,
 }
 
 impl ProcBarrier {
-    pub(crate) fn try_wait(&self, token: &mut BarrierToken) -> Result<(), BarrierPoisoned> {
+    pub(crate) fn try_wait(
+        &self,
+        token: &mut BarrierToken,
+        pe: usize,
+    ) -> Result<(), BarrierWaitError> {
         let count = self.arena.word(self.w_count);
         let sense = self.arena.word(self.w_sense);
         let poison = self.arena.word(self.w_poison);
+        let heartbeat = self.arena.word(self.w_heartbeats + pe);
+        heartbeat.fetch_add(1, Ordering::Relaxed);
         if poison.load(Ordering::Acquire) != 0 {
-            return Err(BarrierPoisoned);
+            return Err(BarrierWaitError::Poisoned);
         }
         let next = !token.sense();
         let next_w = u64::from(next);
@@ -458,7 +519,7 @@ impl ProcBarrier {
             sense.store(next_w, Ordering::Release);
         } else {
             let mut spins = 0u32;
-            let mut deadline: Option<Instant> = None;
+            let mut wait: Option<(Instant, Instant)> = None;
             while sense.load(Ordering::Acquire) != next_w {
                 if poison.load(Ordering::Acquire) != 0 {
                     // Released-epoch rule: a poison that landed after this
@@ -466,22 +527,32 @@ impl ProcBarrier {
                     if sense.load(Ordering::Acquire) == next_w {
                         break;
                     }
-                    return Err(BarrierPoisoned);
+                    return Err(BarrierWaitError::Poisoned);
                 }
                 spins += 1;
                 if spins < 64 {
                     std::hint::spin_loop();
                 } else {
                     // One core may host every PE process: yield or the
-                    // releasing PE never runs.
+                    // releasing PE never runs. Waiting here is progress —
+                    // keep the heartbeat alive so the parent watchdog only
+                    // ever flags a PE that is truly wedged, never one
+                    // legitimately blocked on a slow peer.
                     std::thread::yield_now();
-                    let d = *deadline.get_or_insert_with(|| Instant::now() + self.timeout);
+                    heartbeat.fetch_add(1, Ordering::Relaxed);
+                    let (started, d) = *wait.get_or_insert_with(|| {
+                        let now = Instant::now();
+                        (now, now + self.timeout)
+                    });
                     if Instant::now() > d {
                         // Bounded wait: a peer is gone and nobody told us.
                         // Poison so the whole world fails typed, us
-                        // included, instead of hanging.
+                        // included, instead of hanging — and report the
+                        // expiry as a *timeout*, not a peer death.
                         poison.store(1, Ordering::Release);
-                        return Err(BarrierPoisoned);
+                        return Err(BarrierWaitError::TimedOut {
+                            waited: started.elapsed(),
+                        });
                     }
                 }
             }
@@ -577,6 +648,7 @@ impl ProcWorld {
             w_count: self.layout.w_bar_count,
             w_sense: self.layout.w_bar_sense,
             w_poison: self.layout.w_bar_poison,
+            w_heartbeats: self.layout.w_heartbeats,
             n: self.layout.n_pes as u64,
             timeout: self.timeout,
         }
@@ -631,6 +703,115 @@ impl ProcWorld {
         self.arena
             .word(self.layout.w_epochs + pe)
             .load(Ordering::Relaxed)
+    }
+
+    /// Bump `pe`'s progress heartbeat — called at barrier epochs, inside
+    /// barrier waits, at fault points and in the respawn park loop, so the
+    /// parent watchdog only ever flags a PE that is truly wedged.
+    pub(crate) fn heartbeat(&self, pe: usize) {
+        self.arena
+            .word(self.layout.w_heartbeats + pe)
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn read_heartbeat(&self, pe: usize) -> u64 {
+        self.arena
+            .word(self.layout.w_heartbeats + pe)
+            .load(Ordering::Relaxed)
+    }
+
+    /// Record a non-fatal per-PE launch warning (an errno; `0` = none).
+    fn set_warn(&self, pe: usize, errno: i32) {
+        self.arena
+            .word(self.layout.w_warn + pe)
+            .store(errno as u64, Ordering::Release);
+    }
+
+    fn read_warn(&self, pe: usize) -> u64 {
+        self.arena
+            .word(self.layout.w_warn + pe)
+            .load(Ordering::Acquire)
+    }
+
+    fn barrier_poisoned(&self) -> bool {
+        self.arena
+            .word(self.layout.w_bar_poison)
+            .load(Ordering::Acquire)
+            != 0
+    }
+
+    /// Current respawn round (generation counter; bumped by the parent to
+    /// release parked survivors into a re-run).
+    fn round(&self) -> u64 {
+        self.arena.word(self.layout.w_round).load(Ordering::Acquire)
+    }
+
+    fn bump_round(&self) {
+        let r = self.round();
+        self.arena
+            .word(self.layout.w_round)
+            .store(r + 1, Ordering::Release);
+    }
+
+    fn set_abort(&self) {
+        self.arena
+            .word(self.layout.w_abort)
+            .store(1, Ordering::Release);
+    }
+
+    fn abort(&self) -> bool {
+        self.arena.word(self.layout.w_abort).load(Ordering::Acquire) != 0
+    }
+
+    /// A parked survivor acknowledges it is waiting for round `val`.
+    fn ack(&self, pe: usize, val: u64) {
+        self.arena
+            .word(self.layout.w_round_ack + pe)
+            .store(val, Ordering::Release);
+    }
+
+    fn read_ack(&self, pe: usize) -> u64 {
+        self.arena
+            .word(self.layout.w_round_ack + pe)
+            .load(Ordering::Acquire)
+    }
+
+    /// Reset the per-round arena state for an in-place respawn: barrier
+    /// words, the heap bump pointer, both allocation tables, epochs and
+    /// result slots all go back to launch-initial values so the re-run of
+    /// the SPMD body allocates and synchronizes exactly as the first run
+    /// did. Heartbeats, traffic counters, warnings, and fault mirrors are
+    /// deliberately *not* reset — they are monotonic across rounds (fired
+    /// faults stay disarmed, so a one-shot fault cannot re-fire).
+    ///
+    /// Only called while every surviving PE is parked (acknowledged) and
+    /// every dead PE is reaped, so nothing races these plain stores.
+    fn reset_for_round(&self) {
+        let l = &self.layout;
+        self.arena.word(l.w_bump).store(0, Ordering::Relaxed);
+        self.arena.word(l.w_bar_count).store(0, Ordering::Relaxed);
+        self.arena.word(l.w_bar_sense).store(0, Ordering::Relaxed);
+        self.arena.word(l.w_bar_poison).store(0, Ordering::Relaxed);
+        for t in [l.w_f64_table, l.w_u64_table] {
+            for i in 0..MAX_ALLOCS * 3 {
+                self.arena.word(t + i).store(0, Ordering::Relaxed);
+            }
+        }
+        for pe in 0..l.n_pes {
+            self.arena.word(l.w_epochs + pe).store(0, Ordering::Relaxed);
+            self.arena
+                .word(l.w_status + pe * 2)
+                .store(0, Ordering::Relaxed);
+            self.arena
+                .word(l.w_status + pe * 2 + 1)
+                .store(0, Ordering::Relaxed);
+            self.arena
+                .word(l.w_coll_f64 + pe)
+                .store(0, Ordering::Relaxed);
+            self.arena
+                .word(l.w_coll_u64 + pe)
+                .store(0, Ordering::Release);
+        }
     }
 
     fn table_base(&self, is_f64: bool) -> usize {
@@ -1019,6 +1200,7 @@ impl Wire for PeOp {
             Self::Get => out.push(1),
             Self::Barrier => out.push(2),
             Self::Exec => out.push(3),
+            Self::Checkpoint => out.push(5),
             Self::Term {
                 signal,
                 code,
@@ -1047,6 +1229,7 @@ impl Wire for PeOp {
                     epoch,
                 })
             }
+            5 => Some(Self::Checkpoint),
             _ => None,
         }
     }
@@ -1101,6 +1284,30 @@ impl Wire for SvError {
                 out.push(8);
                 msg.encode(out);
             }
+            Self::PeHung {
+                pe,
+                epoch,
+                stalled_ms,
+            } => {
+                out.push(9);
+                pe.encode(out);
+                epoch.encode(out);
+                stalled_ms.encode(out);
+            }
+            Self::BarrierTimeout {
+                pe,
+                epoch,
+                waited_ms,
+            } => {
+                out.push(10);
+                pe.encode(out);
+                epoch.encode(out);
+                waited_ms.encode(out);
+            }
+            Self::Checkpoint(msg) => {
+                out.push(11);
+                msg.encode(out);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Option<Self> {
@@ -1130,14 +1337,45 @@ impl Wire for SvError {
                 op: PeOp::decode(buf)?,
             }),
             8 => Some(Self::Numeric(String::decode(buf)?)),
+            9 => Some(Self::PeHung {
+                pe: usize::decode(buf)?,
+                epoch: u64::decode(buf)?,
+                stalled_ms: u64::decode(buf)?,
+            }),
+            10 => Some(Self::BarrierTimeout {
+                pe: usize::decode(buf)?,
+                epoch: u64::decode(buf)?,
+                waited_ms: u64::decode(buf)?,
+            }),
+            11 => Some(Self::Checkpoint(String::decode(buf)?)),
             _ => None,
         }
     }
 }
 
 // ---------------------------------------------------------------------------
-// Launch: fork, run, reap.
+// Launch: fork, run, supervise (reap + watchdog), respawn.
 // ---------------------------------------------------------------------------
+
+/// One in-place respawn performed by the supervisor: PE `pe` was re-forked
+/// (old process dead or hung, new process takes its rank) while every
+/// surviving PE kept its original process. Reported in
+/// [`SpmdOutput::respawns`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RespawnEvent {
+    /// Rank that was re-forked.
+    pub pe: usize,
+    /// Recovery round that re-forked it (1-based: the first respawn round
+    /// of a launch is round 1).
+    pub round: u64,
+    /// Pid of the dead/hung incarnation.
+    pub old_pid: i32,
+    /// Pid of the replacement incarnation.
+    pub new_pid: i32,
+    /// Why the old incarnation was replaced (`PeFailed` for a reaped
+    /// death, `PeHung` for a watchdog kill).
+    pub cause: SvError,
+}
 
 /// [`crate::launch_with_faults`] with OS processes as PEs over a shared
 /// `memfd` arena: forks one child per PE, runs the same closure-driven
@@ -1174,19 +1412,37 @@ where
         pw.seed_faults(plan)?;
     }
     let world = World::new_process(n_pes, pw, faults.as_deref());
+    let pw = world.proc().expect("process world");
     let affinity = opts.cpu_affinity.as_deref().unwrap_or(&[]);
+    let respawn_enabled = opts.respawn_max > 0;
 
-    let mut pids: Vec<sys::Pid> = vec![0; n_pes];
-    for pe in 0..n_pes {
+    // Fork one child for rank `pe`; the child never returns from this call.
+    let fork_pe = |pe: usize| -> Result<sys::Pid, String> {
         match sys::spawn() {
             Ok(0) => {
-                // CHILD: pin if asked, run the SPMD body, publish, _exit.
+                // CHILD: pin if asked (best effort — a pin failure is
+                // recorded as a launch warning, never fatal), run the SPMD
+                // body, publish, _exit.
                 if !affinity.is_empty() {
-                    sys::pin_to_cpu(affinity[pe % affinity.len()]);
+                    if let Err(errno) = sys::pin_to_cpu(affinity[pe % affinity.len()]) {
+                        pw.set_warn(pe, errno);
+                    }
                 }
-                child_run::<T, F>(&world, pe, &body);
+                child_run::<T, F>(&world, pe, &body, respawn_enabled);
             }
-            Ok(pid) => pids[pe] = pid,
+            Ok(pid) => Ok(pid),
+            Err(e) => Err(e),
+        }
+    };
+
+    let mut pids: Vec<sys::Pid> = vec![0; n_pes]; // running pid, 0 once reaped
+    let mut pid_of: Vec<i32> = vec![0; n_pes]; // current incarnation per rank
+    for pe in 0..n_pes {
+        match fork_pe(pe) {
+            Ok(pid) => {
+                pids[pe] = pid;
+                pid_of[pe] = pid;
+            }
             Err(e) => {
                 // Fork failed mid-flight: tear down what exists.
                 world.poison_barrier();
@@ -1201,12 +1457,32 @@ where
         }
     }
 
-    // PARENT: reap every child; an abnormal exit poisons the barrier so
-    // survivors release promptly, and synthesizes the typed death record.
+    // PARENT supervisor: WNOHANG reaping + heartbeat watchdog + recovery.
+    // An abnormal exit poisons the barrier so survivors release promptly
+    // and synthesizes the typed death record; a stalled heartbeat gets the
+    // PE killed and pre-recorded as PeHung; with respawn enabled, a
+    // poisoned round is retried in place instead of failing the launch.
+    let hang_deadline = Duration::from_millis(opts.hang_deadline_ms.max(1));
+    // A recovery round must outlast one bounded barrier wait (parked
+    // survivors drain through it) plus one watchdog deadline (a straggler
+    // may still need to be flagged) before the supervisor declares it stuck.
+    let recovery_deadline =
+        Duration::from_millis(opts.barrier_timeout_ms.max(1)) + 2 * hang_deadline;
     let mut deaths: Vec<Option<SvError>> = (0..n_pes).map(|_| None).collect();
+    let mut exited_ok = vec![false; n_pes];
     let mut live = n_pes;
+    let mut respawn_active = respawn_enabled;
+    let mut respawn_budget = opts.respawn_max;
+    let mut respawns: Vec<RespawnEvent> = Vec::new();
+    let mut round: u64 = 0;
+    let hb_now = Instant::now();
+    let mut hb_last: Vec<(u64, Instant)> = (0..n_pes)
+        .map(|pe| (pw.read_heartbeat(pe), hb_now))
+        .collect();
+    let mut recovery_started: Option<Instant> = None;
     while live > 0 {
         let mut progressed = false;
+        // Reap pass.
         for pe in 0..n_pes {
             if pids[pe] == 0 {
                 continue;
@@ -1220,19 +1496,123 @@ where
             progressed = true;
             match status {
                 sys::Wait::Running => unreachable!("filtered above"),
-                sys::Wait::Exited(0) => {}
+                sys::Wait::Exited(0) => {
+                    // The child published a result and left cleanly; a
+                    // stale hang verdict (decided just as it finished) is
+                    // overruled by the clean exit.
+                    deaths[pe] = None;
+                    exited_ok[pe] = true;
+                }
                 sys::Wait::Exited(code) => {
                     world.poison_barrier();
-                    deaths[pe] = Some(pe_death(&world, pe, 0, code));
+                    if deaths[pe].is_none() {
+                        deaths[pe] = Some(pe_death(&world, pe, 0, code));
+                    }
                 }
                 sys::Wait::Signaled(signal) => {
                     world.poison_barrier();
-                    deaths[pe] = Some(pe_death(&world, pe, signal, 0));
+                    if deaths[pe].is_none() {
+                        deaths[pe] = Some(pe_death(&world, pe, signal, 0));
+                    }
                 }
                 sys::Wait::Failed(errno) => {
-                    deaths[pe] = Some(SvError::Shmem(format!(
-                        "process world: waitpid(PE {pe}) failed (errno {errno})"
-                    )));
+                    if deaths[pe].is_none() {
+                        deaths[pe] = Some(SvError::Shmem(format!(
+                            "process world: waitpid(PE {pe}) failed (errno {errno})"
+                        )));
+                    }
+                }
+            }
+        }
+        // Watchdog pass: kill a PE whose heartbeat stalled past the
+        // deadline, recording the PeHung verdict *before* the SIGKILL so
+        // the subsequent reap keeps it instead of synthesizing PeFailed.
+        for pe in 0..n_pes {
+            if pids[pe] == 0 || deaths[pe].is_some() {
+                continue;
+            }
+            let hb = pw.read_heartbeat(pe);
+            if hb != hb_last[pe].0 {
+                hb_last[pe] = (hb, Instant::now());
+            } else if hb_last[pe].1.elapsed() >= hang_deadline {
+                let stalled_ms = hb_last[pe].1.elapsed().as_millis() as u64;
+                deaths[pe] = Some(SvError::PeHung {
+                    pe,
+                    epoch: pw.epoch(pe),
+                    stalled_ms,
+                });
+                world.poison_barrier();
+                sys::kill_process(pids[pe], sys::SIGKILL);
+                progressed = true;
+            }
+        }
+        // Recovery: once the barrier is poisoned, choose between an
+        // in-place respawn round and aborting into the plain error path.
+        if respawn_active && pw.barrier_poisoned() {
+            let started = *recovery_started.get_or_insert_with(Instant::now);
+            if exited_ok.iter().any(|&ok| ok)
+                || respawn_budget == 0
+                || started.elapsed() > recovery_deadline
+            {
+                // A PE already exited with this round's result (a re-run
+                // would fork its timeline), the budget ran dry, or the
+                // world never quiesced: give up on respawn and let the
+                // round's typed errors stand. The abort word releases
+                // parked survivors into publishing their results.
+                respawn_active = false;
+                pw.set_abort();
+            } else {
+                let victims: Vec<usize> = (0..n_pes)
+                    .filter(|&pe| pids[pe] == 0 && !exited_ok[pe])
+                    .collect();
+                let survivors_parked = (0..n_pes)
+                    .filter(|&pe| pids[pe] != 0)
+                    .all(|pe| pw.read_ack(pe) == round + 1);
+                if survivors_parked {
+                    // Every survivor is parked and every victim reaped:
+                    // reset the round state, release the survivors into a
+                    // re-run, and re-fork only the victims.
+                    respawn_budget -= 1;
+                    recovery_started = None;
+                    pw.reset_for_round();
+                    round += 1;
+                    pw.bump_round();
+                    let mut fork_failed = false;
+                    for &pe in &victims {
+                        let cause = deaths[pe].take().unwrap_or_else(|| {
+                            SvError::Shmem(format!(
+                                "process world: PE {pe} lost without a death record"
+                            ))
+                        });
+                        match fork_pe(pe) {
+                            Ok(pid) => {
+                                respawns.push(RespawnEvent {
+                                    pe,
+                                    round,
+                                    old_pid: pid_of[pe],
+                                    new_pid: pid,
+                                    cause,
+                                });
+                                pids[pe] = pid;
+                                pid_of[pe] = pid;
+                                live += 1;
+                            }
+                            Err(e) => {
+                                deaths[pe] = Some(SvError::Shmem(format!("process world: {e}")));
+                                fork_failed = true;
+                            }
+                        }
+                    }
+                    if fork_failed {
+                        world.poison_barrier();
+                        respawn_active = false;
+                        pw.set_abort();
+                    }
+                    let now = Instant::now();
+                    for (pe, slot) in hb_last.iter_mut().enumerate() {
+                        *slot = (pw.read_heartbeat(pe), now);
+                    }
+                    progressed = true;
                 }
             }
         }
@@ -1242,7 +1622,6 @@ where
     }
 
     // Results: synthesized deaths win; otherwise decode the arena slot.
-    let pw = world.proc().expect("process world");
     let results: Vec<SvResult<T>> = deaths
         .iter_mut()
         .enumerate()
@@ -1271,8 +1650,22 @@ where
     if let Some(plan) = &faults {
         pw.absorb_faults(plan);
     }
+    let warnings: Vec<String> = (0..n_pes)
+        .filter_map(|pe| {
+            let errno = pw.read_warn(pe);
+            (errno != 0).then(|| {
+                format!("PE {pe}: cpu affinity pin failed (errno {errno}); continuing unpinned")
+            })
+        })
+        .collect();
     let traffic = world.snapshot_traffic();
-    Ok(SpmdOutput { results, traffic })
+    Ok(SpmdOutput {
+        results,
+        traffic,
+        pids: pid_of,
+        respawns,
+        warnings,
+    })
 }
 
 /// Typed record of an abnormal child death, stamped with the barrier epoch
@@ -1292,7 +1685,14 @@ fn pe_death(world: &World, pe: usize, signal: i32, code: i32) -> SvError {
 /// The child side of a fork: run the body, convert panics into the same
 /// typed errors the thread backend produces, publish the encoded result,
 /// and `_exit` without unwinding into the inherited parent state.
-fn child_run<T, F>(world: &World, pe: usize, body: &F) -> !
+///
+/// With `respawn` enabled the body runs in *rounds*: when a round is
+/// wrecked (the barrier got poisoned), the child parks — acknowledging the
+/// round and keeping its heartbeat alive — until the supervisor either
+/// releases the next round (re-run the body against the reset arena) or
+/// aborts (publish this round's result as-is). The body closure captures
+/// its segment-initial inputs, so a re-run reproduces the segment exactly.
+fn child_run<T, F>(world: &World, pe: usize, body: &F, respawn: bool) -> !
 where
     T: Wire + Send,
     F: Fn(&ShmemCtx<'_>) -> T + Sync,
@@ -1301,22 +1701,45 @@ where
     // so expected failures (injected faults, poisoned barriers) do not
     // spam it. Process-local — the parent's hook is untouched.
     std::panic::set_hook(Box::new(|_| {}));
-    let ctx = world.make_ctx(pe);
-    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
-    let res: SvResult<T> = match r {
-        Ok(v) => Ok(v),
-        Err(payload) => {
-            // Poison first so peers spinning in the barrier fail fast.
-            world.poison_barrier();
-            Err(crate::world::classify_panic(pe, payload.as_ref()))
+    let pw = world.proc().expect("child of a process world");
+    pw.heartbeat(pe);
+    let mut parked_round = pw.round();
+    let res: SvResult<T> = loop {
+        let ctx = world.make_ctx(pe);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
+        let round_res: SvResult<T> = match r {
+            Ok(v) => Ok(v),
+            Err(payload) => {
+                // Poison first so peers spinning in the barrier fail fast.
+                world.poison_barrier();
+                Err(crate::world::classify_panic(pe, payload.as_ref()))
+            }
+        };
+        pw.set_epoch(pe, ctx.barrier_epoch());
+        if !(respawn && pw.barrier_poisoned() && !pw.abort()) {
+            break round_res;
+        }
+        // Park: the round is wrecked but the supervisor may retry it.
+        pw.ack(pe, parked_round + 1);
+        loop {
+            pw.heartbeat(pe);
+            let r = pw.round();
+            if r > parked_round {
+                parked_round = r;
+                break; // released: re-run the body
+            }
+            if pw.abort() {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        if pw.abort() && pw.round() == parked_round {
+            break round_res;
         }
     };
-    if let Some(pw) = world.proc() {
-        pw.set_epoch(pe, ctx.barrier_epoch());
-        let mut buf = Vec::new();
-        res.encode(&mut buf);
-        let _ = pw.write_result(pe, &buf);
-    }
+    let mut buf = Vec::new();
+    res.encode(&mut buf);
+    let _ = pw.write_result(pe, &buf);
     sys::exit_now(0)
 }
 
@@ -1332,6 +1755,8 @@ mod tests {
             result_bytes_per_pe: 1 << 12,
             barrier_timeout_ms: 20_000,
             cpu_affinity: None,
+            hang_deadline_ms: 30_000,
+            respawn_max: 0,
         }
     }
 
@@ -1365,6 +1790,18 @@ mod tests {
                 epoch: 17,
             },
         }));
+        rt(PeOp::Checkpoint);
+        rt(Err::<u64, SvError>(SvError::PeHung {
+            pe: 3,
+            epoch: 12,
+            stalled_ms: 1500,
+        }));
+        rt(Err::<u64, SvError>(SvError::BarrierTimeout {
+            pe: 1,
+            epoch: 4,
+            waited_ms: 250,
+        }));
+        rt(Err::<u64, SvError>(SvError::Checkpoint("torn".into())));
         rt(Ok::<SvResult<(u64, Vec<f64>, Vec<f64>)>, SvError>(Ok((
             5,
             vec![0.25; 3],
@@ -1396,6 +1833,14 @@ mod tests {
         let heap_end = (l.w_heap + 8 * 100) * 8;
         assert!(l.w_bar_count > l.w_bump);
         assert!(l.w_f64_table > l.w_bar_poison);
+        // Supervision words: heartbeats, warnings, round/abort/ack sit
+        // strictly between the status slots and the fault mirror.
+        assert!(l.w_heartbeats >= l.w_status + 8 * 2);
+        assert!(l.w_warn >= l.w_heartbeats + 8);
+        assert!(l.w_round >= l.w_warn + 8);
+        assert_eq!(l.w_abort, l.w_round + 1);
+        assert!(l.w_round_ack > l.w_abort);
+        assert!(l.w_faults >= l.w_round_ack + 8);
         assert!(l.w_heap > l.w_counters);
         assert!(l.b_results >= heap_end);
         assert!(l.total_bytes >= l.b_results + 8 * 256);
@@ -1596,11 +2041,12 @@ mod tests {
         let start = Instant::now();
         let out = launch_process(4, &opts(), Some(plan), |ctx| {
             for _ in 0..16 {
-                if ctx.try_barrier_all().is_err() {
-                    return ctx.barrier_epoch();
+                if let Err(e) = ctx.try_barrier_all() {
+                    let timed_out = matches!(e, SvError::BarrierTimeout { .. });
+                    return (ctx.barrier_epoch(), timed_out);
                 }
             }
-            u64::MAX
+            (u64::MAX, false)
         })
         .unwrap();
         assert!(
@@ -1618,9 +2064,223 @@ mod tests {
             other => panic!("expected PE 1 Term death, got {other:?}"),
         }
         for pe in [0usize, 2, 3] {
-            let epoch = out.results[pe].as_ref().expect("survivor reports");
+            let (epoch, timed_out) = out.results[pe].as_ref().expect("survivor reports");
             assert_eq!(*epoch, 4, "PE {pe} must stop in the poisoned epoch");
+            // A reaped peer death must surface as the poisoned release,
+            // never as the survivor's own bounded-wait timeout — the two
+            // are distinct typed conditions.
+            assert!(!timed_out, "PE {pe} misreported the death as a timeout");
         }
+    }
+
+    #[test]
+    fn slow_peer_surfaces_as_typed_barrier_timeout() {
+        // PE 0 dawdles for far longer than the barrier timeout: PE 1's
+        // bounded wait must expire as the typed BarrierTimeout (with the
+        // wait measured), not as a peer death or a generic poison report.
+        let o = ProcOptions {
+            barrier_timeout_ms: 200,
+            ..opts()
+        };
+        let out = launch_process(2, &o, None, |ctx| {
+            if ctx.my_pe() == 0 {
+                std::thread::sleep(Duration::from_millis(1200));
+            }
+            ctx.try_barrier_all()
+        })
+        .unwrap();
+        match &out.results[1] {
+            Ok(Err(SvError::BarrierTimeout {
+                pe: 1,
+                epoch: 0,
+                waited_ms,
+            })) => assert!(*waited_ms >= 200, "waited {waited_ms} ms"),
+            other => panic!("expected typed barrier timeout, got {other:?}"),
+        }
+        // The late PE observes the poison at entry — a poisoned-peer
+        // report, distinct from the timeout.
+        match &out.results[0] {
+            Ok(Err(SvError::Shmem(msg))) => assert!(msg.contains("poisoned"), "{msg}"),
+            other => panic!("expected poison report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hung_pe_is_killed_and_reported_within_deadline() {
+        // An injected Hang wedges PE 1 at its 2nd put (no heartbeat, no
+        // death): the parent watchdog must SIGKILL it and report the typed
+        // PeHung — with the stall measured and the epoch at the hang —
+        // well within the barrier timeout the survivors would otherwise
+        // burn.
+        let plan = Arc::new(FaultPlan::new().with(1, PeOp::Put, 2, FaultAction::Hang));
+        let o = ProcOptions {
+            hang_deadline_ms: 600,
+            barrier_timeout_ms: 15_000,
+            ..opts()
+        };
+        let start = Instant::now();
+        let out = launch_process(3, &o, Some(plan), |ctx| {
+            let sym = ctx.malloc_f64(2)?;
+            for i in 0..2 {
+                ctx.put_f64(&sym, (ctx.my_pe() + 1) % ctx.n_pes(), i, 1.0);
+            }
+            ctx.try_barrier_all()?;
+            Ok::<_, SvError>(ctx.my_pe())
+        })
+        .unwrap();
+        let elapsed = start.elapsed();
+        match out.results[1].as_ref().unwrap_err() {
+            SvError::PeHung {
+                pe: 1,
+                epoch: 1,
+                stalled_ms,
+            } => assert!(*stalled_ms >= 600, "stalled {stalled_ms} ms"),
+            other => panic!("expected PeHung, got {other:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "watchdog must fire within the deadline, took {elapsed:?}"
+        );
+        // Survivors observe the poisoned barrier, not their own timeout.
+        for pe in [0usize, 2] {
+            match &out.results[pe] {
+                Ok(Err(SvError::Shmem(msg))) => assert!(msg.contains("poisoned"), "{msg}"),
+                other => panic!("PE {pe}: expected poison report, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_respawn_preserves_survivors_by_pid() {
+        // Kill PE 1 at its 2nd barrier; with a respawn budget the
+        // supervisor re-forks only PE 1 and re-runs the round. Every PE
+        // returns its pid from the successful round: survivors must report
+        // the pid of their original fork (same process ran both rounds),
+        // and the victim the new pid of its respawn event.
+        let plan = Arc::new(FaultPlan::new().with(1, PeOp::Barrier, 2, FaultAction::Kill));
+        let o = ProcOptions {
+            respawn_max: 2,
+            barrier_timeout_ms: 15_000,
+            ..opts()
+        };
+        let out = launch_process(4, &o, Some(Arc::clone(&plan)), |ctx| {
+            let sym = ctx.malloc_f64(1)?;
+            ctx.put_f64(&sym, (ctx.my_pe() + 1) % ctx.n_pes(), 0, ctx.my_pe() as f64);
+            ctx.try_barrier_all()?;
+            Ok::<_, SvError>((
+                u64::from(std::process::id()),
+                ctx.get_f64(&sym, ctx.my_pe(), 0),
+            ))
+        })
+        .unwrap();
+        assert_eq!(out.respawns.len(), 1, "one respawn: {:?}", out.respawns);
+        let ev = &out.respawns[0];
+        assert_eq!((ev.pe, ev.round), (1, 1));
+        assert_ne!(ev.old_pid, ev.new_pid, "victim must get a fresh process");
+        assert!(
+            matches!(
+                ev.cause,
+                SvError::PeFailed {
+                    pe: 1,
+                    op: PeOp::Term { signal: 9, .. }
+                }
+            ),
+            "cause: {:?}",
+            ev.cause
+        );
+        for pe in 0..4 {
+            let &(pid, val) = out.results[pe]
+                .as_ref()
+                .expect("recovered round succeeds")
+                .as_ref()
+                .expect("SPMD body succeeds");
+            // Ring value from the re-run round proves the segment was
+            // reproduced, not resumed mid-wreck.
+            assert_eq!(val, ((pe + 3) % 4) as f64, "PE {pe} ring value");
+            assert_eq!(pid, out.pids[pe] as u64, "PE {pe} pid stability");
+        }
+        assert_eq!(
+            out.results[1].as_ref().unwrap().as_ref().unwrap().0,
+            ev.new_pid as u64
+        );
+        assert_eq!(
+            plan.armed_remaining(),
+            0,
+            "one-shot stayed disarmed across rounds"
+        );
+    }
+
+    #[test]
+    fn respawn_budget_exhaustion_falls_back_to_typed_errors() {
+        // Two kills but a budget of one: the first round respawns, the
+        // second aborts recovery and the launch reports the second death
+        // typed, exactly as a respawn-disabled launch would.
+        let plan = Arc::new(
+            FaultPlan::new()
+                .with(1, PeOp::Barrier, 2, FaultAction::Kill)
+                .with(2, PeOp::Barrier, 5, FaultAction::Kill),
+        );
+        let o = ProcOptions {
+            respawn_max: 1,
+            barrier_timeout_ms: 15_000,
+            ..opts()
+        };
+        let out = launch_process(4, &o, Some(plan), |ctx| {
+            for _ in 0..3 {
+                ctx.try_barrier_all()?;
+            }
+            Ok::<_, SvError>(ctx.my_pe())
+        })
+        .unwrap();
+        assert_eq!(out.respawns.len(), 1, "{:?}", out.respawns);
+        match out.first_failure() {
+            Some(SvError::PeFailed { pe: 2, .. }) => {}
+            other => panic!("expected PE 2 death after budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poison_fault_respawns_with_zero_victims() {
+        // A Poison wrecks the round without killing any process: recovery
+        // re-runs the body on the surviving (= all) PEs with no re-fork.
+        let plan = Arc::new(FaultPlan::new().with(0, PeOp::Barrier, 2, FaultAction::Poison));
+        let o = ProcOptions {
+            respawn_max: 1,
+            barrier_timeout_ms: 15_000,
+            ..opts()
+        };
+        let out = launch_process(2, &o, Some(plan), |ctx| {
+            for _ in 0..3 {
+                ctx.try_barrier_all()?;
+            }
+            Ok::<_, SvError>(ctx.my_pe())
+        })
+        .unwrap();
+        assert!(out.respawns.is_empty(), "no process was re-forked");
+        for (pe, r) in out.results.iter().enumerate() {
+            assert_eq!(
+                r.as_ref()
+                    .expect("no deaths")
+                    .as_ref()
+                    .expect("re-run succeeds"),
+                &pe
+            );
+        }
+    }
+
+    #[test]
+    fn affinity_failure_is_a_warning_not_fatal() {
+        // cpu 4096 is beyond any mask this runner has: the pin fails, the
+        // launch proceeds, and the failure lands in SpmdOutput::warnings.
+        let o = ProcOptions {
+            cpu_affinity: Some(vec![4096]),
+            ..opts()
+        };
+        let out = launch_process(2, &o, None, |ctx| ctx.my_pe()).unwrap();
+        assert_eq!(out.warnings.len(), 2, "{:?}", out.warnings);
+        assert!(out.warnings[0].contains("affinity"), "{:?}", out.warnings);
+        let vals = out.into_result().unwrap();
+        assert_eq!(vals.results, vec![0, 1]);
     }
 
     #[test]

@@ -6,10 +6,10 @@
 //! PE), and remote partitions are reached with one-sided `put`/`get` exactly
 //! as in the paper's Listing 5.
 
-use crate::barrier::{BarrierPoisoned, BarrierToken, SenseBarrier};
+use crate::barrier::{BarrierToken, BarrierWaitError, SenseBarrier};
 use crate::fault::{FaultAction, FaultPlan, PeFailure};
 use crate::metrics::{MetricsTable, PeCounters, TrafficSnapshot};
-use crate::proc::{ArenaFaults, ProcBarrier, ProcWorld};
+use crate::proc::{ArenaFaults, ProcBarrier, ProcWorld, RespawnEvent};
 use crate::race::{RaceDetector, ShadowArray};
 use crate::shared::{SharedF64Vec, SharedU64Vec};
 use std::any::Any;
@@ -83,10 +83,13 @@ enum WorldBarrier {
 }
 
 impl WorldBarrier {
-    fn try_wait(&self, token: &mut BarrierToken) -> Result<(), BarrierPoisoned> {
+    fn try_wait(&self, token: &mut BarrierToken, pe: usize) -> Result<(), BarrierWaitError> {
         match self {
-            Self::Sense(b) => b.try_wait(token),
-            Self::Proc(b) => b.try_wait(token),
+            // The thread barrier never times out (threads cannot vanish
+            // without unwinding, which poisons), so its only failure maps
+            // to the poisoned release.
+            Self::Sense(b) => b.try_wait(token).map_err(|_| BarrierWaitError::Poisoned),
+            Self::Proc(b) => b.try_wait(token, pe),
         }
     }
 
@@ -285,14 +288,22 @@ impl<'w> ShmemCtx<'w> {
     /// # Errors
     /// [`SvError::PeFailed`] when an injected fault fires on this PE here
     /// (the barrier is poisoned first so peers cannot deadlock);
-    /// [`SvError::Shmem`] when a peer poisoned the barrier.
+    /// [`SvError::Shmem`] when a peer poisoned the barrier;
+    /// [`SvError::BarrierTimeout`] when the process backend's bounded wait
+    /// expired with no poison observed (the barrier simply never released).
     pub fn try_barrier_all(&self) -> SvResult<()> {
         self.counters().count_barrier();
+        if let Some(pw) = &self.world.proc {
+            // Progress signal for the parent's watchdog: entering a barrier
+            // is a liveness event even if the wait then blocks for a while
+            // (the wait loop keeps bumping on its own).
+            pw.heartbeat(self.pe);
+        }
         if self.world.faults.is_some() {
             self.barrier_fault_points()?;
         }
         let mut tok = self.token.take();
-        let r = self.world.barrier.try_wait(&mut tok);
+        let r = self.world.barrier.try_wait(&mut tok, self.pe);
         self.token.set(tok);
         match r {
             Ok(()) => {
@@ -305,10 +316,15 @@ impl<'w> ShmemCtx<'w> {
                 }
                 Ok(())
             }
-            Err(_) => Err(SvError::Shmem(format!(
+            Err(BarrierWaitError::Poisoned) => Err(SvError::Shmem(format!(
                 "PE {}: barrier poisoned by a failed peer",
                 self.pe
             ))),
+            Err(BarrierWaitError::TimedOut { waited }) => Err(SvError::BarrierTimeout {
+                pe: self.pe,
+                epoch: self.epoch.get(),
+                waited_ms: u64::try_from(waited.as_millis()).unwrap_or(u64::MAX),
+            }),
         }
     }
 
@@ -329,10 +345,27 @@ impl<'w> ShmemCtx<'w> {
             });
         }
         match faults.check(self.pe, PeOp::Barrier) {
-            None | Some(FaultAction::Drop) => Ok(()),
+            None | Some(FaultAction::Drop) | Some(FaultAction::TornCheckpoint) => Ok(()),
             Some(FaultAction::Delay(iters)) => {
                 stall(iters);
                 Ok(())
+            }
+            // Wedge without dying. On the process backend the PE stops
+            // bumping its heartbeat and sleeps forever: only the parent's
+            // watchdog can end it (SIGKILL → `SvError::PeHung`). The thread
+            // backend has no supervisor to kill a thread, so Hang degrades
+            // to Poison semantics there.
+            Some(FaultAction::Hang) => {
+                if self.world.proc.is_some() {
+                    loop {
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                    }
+                }
+                self.world.barrier.poison();
+                Err(SvError::PeFailed {
+                    pe: self.pe,
+                    op: PeOp::Barrier,
+                })
             }
             // A PE killed at a barrier never arrives, so it must poison on
             // the way out or its peers would spin forever. On the process
@@ -371,10 +404,22 @@ impl<'w> ShmemCtx<'w> {
     #[cold]
     fn transfer_fault_slow(&self, faults: &FaultSource, op: PeOp) -> bool {
         match faults.check(self.pe, op) {
-            None => false,
+            None | Some(FaultAction::TornCheckpoint) => false,
             Some(FaultAction::Delay(iters)) => {
                 stall(iters);
                 false
+            }
+            // See `barrier_fault_points`: wedge forever on the process
+            // backend (the watchdog kills us), degrade to Poison on the
+            // thread backend.
+            Some(FaultAction::Hang) => {
+                if self.world.proc.is_some() {
+                    loop {
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                    }
+                }
+                self.world.barrier.poison();
+                std::panic::panic_any(PeFailure { pe: self.pe, op });
             }
             Some(FaultAction::Drop) => {
                 self.pending_drop.set(true);
@@ -864,15 +909,27 @@ pub struct SpmdOutput<T> {
     pub results: Vec<SvResult<T>>,
     /// Per-PE traffic, indexed by rank.
     pub traffic: Vec<TrafficSnapshot>,
+    /// Per-PE OS process ids on the process backend (the pid that produced
+    /// each PE's final result — a respawned PE reports its replacement's
+    /// pid, survivors their original fork's). Empty on the thread backend.
+    pub pids: Vec<i32>,
+    /// In-place respawns the supervisor performed, in order. Empty on the
+    /// thread backend or when respawn is disabled.
+    pub respawns: Vec<RespawnEvent>,
+    /// Non-fatal launch warnings (e.g. a failed CPU-affinity pin), one
+    /// human-readable line each.
+    pub warnings: Vec<String>,
 }
 
 /// How informative an error is when picking the root cause of a job
-/// failure: an injected/typed PE death beats a primary panic message,
-/// which beats a secondary "my peer poisoned the barrier" report.
+/// failure: an injected/typed PE death (or a watchdog-confirmed hang)
+/// beats a primary panic message, which beats a secondary "my peer
+/// poisoned the barrier" / bounded-wait-expired report.
 fn error_rank(e: &SvError) -> u8 {
     match e {
-        SvError::PeFailed { .. } => 0,
+        SvError::PeFailed { .. } | SvError::PeHung { .. } => 0,
         SvError::Shmem(msg) if msg.contains("poisoned") => 2,
+        SvError::BarrierTimeout { .. } => 2,
         _ => 1,
     }
 }
@@ -1058,6 +1115,9 @@ where
             .map(|s| s.expect("PE completed without result"))
             .collect(),
         traffic,
+        pids: Vec::new(),
+        respawns: Vec::new(),
+        warnings: Vec::new(),
     })
 }
 

@@ -19,6 +19,9 @@ pub enum PeOp {
     /// Engine-level job execution step (worker running a batched template),
     /// outside the SHMEM runtime proper.
     Exec,
+    /// Checkpoint persistence step — the host writing a generation to the
+    /// crash-consistent checkpoint store between execution segments.
+    Checkpoint,
     /// Abnormal process termination of a process-backed PE, observed by the
     /// launcher's reaper rather than by the PE itself: the child exited
     /// without publishing a result (it was killed by a signal, aborted, or
@@ -43,6 +46,7 @@ impl fmt::Display for PeOp {
             Self::Get => write!(f, "get"),
             Self::Barrier => write!(f, "barrier"),
             Self::Exec => write!(f, "exec"),
+            Self::Checkpoint => write!(f, "checkpoint"),
             Self::Term {
                 signal,
                 code,
@@ -112,6 +116,33 @@ pub enum SvError {
     },
     /// Numerical failure (e.g. renormalizing a zero-probability branch).
     Numeric(String),
+    /// A processing element stopped making progress: its heartbeat words
+    /// stalled past the supervisor's configured deadline and the watchdog
+    /// killed it. Distinct from [`SvError::PeFailed`] — the PE was alive but
+    /// wedged (e.g. an injected `Hang` fault, a livelock, a stuck syscall).
+    PeHung {
+        /// Rank of the hung PE.
+        pe: usize,
+        /// Barrier epoch the PE had completed when the watchdog fired.
+        epoch: u64,
+        /// How long the heartbeat had been stalled when the PE was killed.
+        stalled_ms: u64,
+    },
+    /// A bounded-wait barrier expired on this PE without a peer death being
+    /// observed: the barrier never released within the timeout. Distinct
+    /// from both [`SvError::PeFailed`] (a reaped child) and the poisoned
+    /// barrier shutdown peers report.
+    BarrierTimeout {
+        /// Rank of the PE whose wait expired.
+        pe: usize,
+        /// Barrier epoch that failed to release.
+        epoch: u64,
+        /// How long the PE waited before giving up.
+        waited_ms: u64,
+    },
+    /// The crash-consistent checkpoint store rejected or failed an operation
+    /// (corrupt generation, torn write, I/O failure).
+    Checkpoint(String),
 }
 
 impl fmt::Display for SvError {
@@ -141,6 +172,23 @@ impl fmt::Display for SvError {
                 write!(f, "PE {pe} failed during {op}")
             }
             Self::Numeric(msg) => write!(f, "numeric error: {msg}"),
+            Self::PeHung {
+                pe,
+                epoch,
+                stalled_ms,
+            } => write!(
+                f,
+                "PE {pe} hung at barrier epoch {epoch} (no progress for {stalled_ms} ms)"
+            ),
+            Self::BarrierTimeout {
+                pe,
+                epoch,
+                waited_ms,
+            } => write!(
+                f,
+                "PE {pe} barrier timeout at epoch {epoch} after {waited_ms} ms"
+            ),
+            Self::Checkpoint(msg) => write!(f, "checkpoint store error: {msg}"),
         }
     }
 }
@@ -199,6 +247,31 @@ mod tests {
             exited.to_string(),
             "termination with exit code 3 at barrier epoch 7"
         );
+    }
+
+    #[test]
+    fn supervision_display_messages() {
+        let hung = SvError::PeHung {
+            pe: 3,
+            epoch: 12,
+            stalled_ms: 500,
+        };
+        assert_eq!(
+            hung.to_string(),
+            "PE 3 hung at barrier epoch 12 (no progress for 500 ms)"
+        );
+        let to = SvError::BarrierTimeout {
+            pe: 1,
+            epoch: 4,
+            waited_ms: 250,
+        };
+        assert_eq!(
+            to.to_string(),
+            "PE 1 barrier timeout at epoch 4 after 250 ms"
+        );
+        let ck = SvError::Checkpoint("torn write".into());
+        assert_eq!(ck.to_string(), "checkpoint store error: torn write");
+        assert_eq!(PeOp::Checkpoint.to_string(), "checkpoint");
     }
 
     #[test]

@@ -68,4 +68,27 @@ for seed in 7 23 101; do
     --one-shots 2 --sweeps 2 --attempts 3
 done
 
+echo "== self-healing chaos smoke =="
+# The supervision layer end to end: hangs (watchdog + heartbeats), real
+# SIGKILLs, and torn checkpoint generations, each healed by both recovery
+# paths — in-place respawn and the halve-PEs degradation ladder. The bench
+# exits nonzero unless every job's final checksum is bit-identical to the
+# fault-free reference, so exit codes are the gate.
+for seed in 7 23 101; do
+  for fault in hang-pe kill-pe torn-checkpoint; do
+    for recovery in respawn degrade; do
+      echo "-- fault-bench --fault $fault --recovery $recovery --seed $seed"
+      cargo run --release --quiet -- fault-bench \
+        --fault "$fault" --pes 4 --pe-mode process --every 2 --seed "$seed" \
+        --hang-ms 1000 --one-shots 2 --sweeps 2 --attempts 3 \
+        --recovery "$recovery"
+    done
+  done
+  echo "-- fault-bench --chaos --recovery degrade --seed $seed"
+  cargo run --release --quiet -- fault-bench \
+    --chaos --pes 4 --pe-mode process --every 2 --seed "$seed" \
+    --hang-ms 1000 --one-shots 2 --sweeps 2 --attempts 3 \
+    --recovery degrade
+done
+
 echo "ci: all gates passed"

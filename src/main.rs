@@ -9,7 +9,8 @@
 //! sv-sim platforms
 //! sv-sim serve-bench [--workers N] [--sweeps N] [--one-shots N]
 //!                    [--batch N] [--seed S] [--reps N]
-//! sv-sim fault-bench [--fault kill-pe|drop-put|poison-barrier|exec]
+//! sv-sim fault-bench [--fault kill-pe|drop-put|poison-barrier|hang-pe|torn-checkpoint|exec]
+//!                    [--chaos] [--recovery retry|respawn|degrade] [--hang-ms MS]
 //!                    [--pes N] [--pe-mode thread|process] [--every K]
 //!                    [--seed S] [--one-shots N] [--sweeps N] [--attempts N]
 //! sv-sim analyze <file.qasm>|--suite [--pes N] [--detect]
@@ -31,7 +32,8 @@ fn usage() -> ExitCode {
          sv-sim estimate <file.qasm> --platform <name> [--workers N]\n  \
          sv-sim platforms\n  \
          sv-sim serve-bench [--workers N] [--sweeps N] [--one-shots N] [--batch N] [--seed S] [--reps N]\n  \
-         sv-sim fault-bench [--fault kill-pe|drop-put|poison-barrier|exec] [--pes N] \
+         sv-sim fault-bench [--fault kill-pe|drop-put|poison-barrier|hang-pe|torn-checkpoint|exec] \
+         [--chaos] [--recovery retry|respawn|degrade] [--hang-ms MS] [--pes N] \
          [--pe-mode thread|process] [--every K] \
          [--seed S] [--one-shots N] [--sweeps N] [--attempts N]\n  \
          sv-sim analyze <file.qasm>|--suite [--pes N] [--detect] [--remap] [--merge-epochs I] \
@@ -509,7 +511,8 @@ fn cmd_fault_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     use std::time::Duration;
     use sv_sim::core::state_checksum;
     use sv_sim::engine::{
-        Engine, EngineConfig, JobOutput, JobRequest, JobSpec, RetryPolicy, SweepReturn,
+        DegradePolicy, Engine, EngineConfig, JobOutput, JobRequest, JobSpec, RetryPolicy,
+        SweepReturn,
     };
     use sv_sim::shmem::{FaultAction, FaultPlan};
     use sv_sim::types::{PeOp, SvRng};
@@ -528,23 +531,59 @@ fn cmd_fault_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Some("process") => true,
         Some(other) => return Err(format!("unknown PE mode `{other}` (thread|process)").into()),
     };
+    let chaos = args.iter().any(|a| a == "--chaos");
+    let recovery = flag_value(args, "--recovery").unwrap_or("retry");
+    let hang_ms: u32 = flag_value(args, "--hang-ms").map_or(Ok(1500), str::parse)?;
+    let degrade = match recovery {
+        "retry" => DegradePolicy::None,
+        "respawn" => DegradePolicy::Respawn { max_respawns: 2 },
+        "degrade" => DegradePolicy::HalvePes {
+            failures_per_rung: 1,
+            min_pes: 1,
+        },
+        other => return Err(format!("unknown recovery `{other}` (retry|respawn|degrade)").into()),
+    };
 
     // The fault schedule: `exec` targets the engine worker itself (rank 0,
-    // since the bench pins one worker); the SHMEM kinds target whichever PE
-    // reaches a seeded trigger count first inside the scale-out launch, so
-    // short circuits still hit the fault.
+    // since the bench pins one worker); `torn-checkpoint` targets the
+    // host-side persistence points of the job's checkpoint store; the SHMEM
+    // kinds target whichever PE reaches a seeded trigger count first inside
+    // the scale-out launch, so short circuits still hit the fault.
     let (op, action) = match fault_kind {
         "kill-pe" => (PeOp::Put, FaultAction::Kill),
         "drop-put" => (PeOp::Put, FaultAction::Drop),
         "poison-barrier" => (PeOp::Barrier, FaultAction::Poison),
+        "hang-pe" => (PeOp::Put, FaultAction::Hang),
+        "torn-checkpoint" => (PeOp::Checkpoint, FaultAction::TornCheckpoint),
         "exec" => (PeOp::Exec, FaultAction::Kill),
         other => return Err(format!("unknown fault kind `{other}`").into()),
     };
-    let make_plan = |job_seed: u64| -> Arc<FaultPlan> {
+    // `--chaos` overrides the fixed kind per one-shot with a seeded pick
+    // from the self-healing trio: PE kill, PE hang, torn checkpoint write.
+    let job_fault = |i: usize| -> (PeOp, FaultAction) {
+        if !chaos {
+            return (op, action);
+        }
+        let mut rng = SvRng::seed_from_u64(
+            seed ^ 0x000C_4A05 ^ (i as u64).wrapping_mul(0x517C_C1B7_2722_0A95),
+        );
+        match (rng.next_f64() * 3.0) as usize {
+            0 => (PeOp::Put, FaultAction::Kill),
+            1 => (PeOp::Put, FaultAction::Hang),
+            _ => (PeOp::Checkpoint, FaultAction::TornCheckpoint),
+        }
+    };
+    let make_plan = |job_seed: u64, op: PeOp, action: FaultAction| -> Arc<FaultPlan> {
         if op == PeOp::Exec {
             return Arc::new(FaultPlan::new().with(0, PeOp::Exec, 1, action));
         }
         let mut rng = SvRng::seed_from_u64(job_seed);
+        if op == PeOp::Checkpoint {
+            // Tear a mid-run generation so at least one good one precedes
+            // it — the recovery path the store's fallback exists for.
+            let at = 2 + (rng.next_f64() * 2.0) as u64;
+            return Arc::new(FaultPlan::new().with(0, PeOp::Checkpoint, at, action));
+        }
         let at = 1 + (rng.next_f64() * 8.0) as u64;
         Arc::new(FaultPlan::new().with(None, op, at, action))
     };
@@ -569,7 +608,8 @@ fn cmd_fault_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             // they instead prove recovery across real fork/SIGKILL deaths.
             let mut config = sv_sim::core::SimConfig::scale_out(pes)
                 .with_seed(seed ^ i as u64)
-                .with_checkpoint_every(every);
+                .with_checkpoint_every(every)
+                .with_hang_deadline_ms(hang_ms);
             if process_pes {
                 config = config.with_process_backend();
             } else {
@@ -626,11 +666,22 @@ fn cmd_fault_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let qaoa_id = engine.register_template("qaoa_maxcut_n8", &qaoa)?;
     let mut plans = Vec::new();
 
+    // Every one-shot persists its checkpoints into a crash-consistent
+    // per-job store — the surface torn-write faults tear and lost
+    // in-memory checkpoints recover from.
+    let ckpt_root = std::env::temp_dir().join(format!("svsim-fault-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_root);
+
     let one_shot_handles: Vec<_> = one_shot_jobs
         .iter()
         .enumerate()
         .map(|(i, (circuit, config))| {
-            let plan = make_plan(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            let (job_op, job_action) = job_fault(i);
+            let plan = make_plan(
+                seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
+                job_op,
+                job_action,
+            );
             plans.push(Arc::clone(&plan));
             engine
                 .submit(
@@ -641,6 +692,8 @@ fn cmd_fault_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                         return_state: true,
                     })
                     .with_retry(retry)
+                    .with_degrade(degrade)
+                    .with_checkpoint_dir(ckpt_root.join(format!("job-{i}")))
                     .with_fault_plan(plan),
                 )
                 .map_err(|e| e.to_string())
@@ -658,8 +711,8 @@ fn cmd_fault_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             .with_retry(retry);
             // SHMEM-level faults have no trigger inside a single-device
             // template sweep; Exec faults target every other sweep point.
-            if op == PeOp::Exec && i % 2 == 0 {
-                let plan = make_plan(seed ^ (i as u64) << 7);
+            if !chaos && op == PeOp::Exec && i % 2 == 0 {
+                let plan = make_plan(seed ^ (i as u64) << 7, op, action);
                 plans.push(Arc::clone(&plan));
                 request = request.with_fault_plan(plan);
             }
@@ -693,11 +746,13 @@ fn cmd_fault_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     let metrics = engine.shutdown();
 
+    let _ = std::fs::remove_dir_all(&ckpt_root);
     let scheduled = plans.len();
     let fired: usize = plans.iter().map(|p| p.len() - p.armed_remaining()).sum();
     println!(
-        "fault-bench: fault={fault_kind} pes={pes} pe-mode={} every={every} seed={seed:#x} \
-         ({one_shots} one-shots, {sweeps} sweep points)",
+        "fault-bench: fault={} recovery={recovery} pes={pes} pe-mode={} every={every} \
+         seed={seed:#x} ({one_shots} one-shots, {sweeps} sweep points)",
+        if chaos { "chaos" } else { fault_kind },
         if process_pes { "process" } else { "thread" },
     );
     println!("faults: {fired}/{scheduled} scheduled faults fired");

@@ -9,9 +9,10 @@
 
 use std::sync::Arc;
 use std::time::Duration;
-use sv_sim::core::{state_checksum, ShmemBackend, SimConfig, Simulator};
+use sv_sim::core::{state_checksum, CheckpointStore, ShmemBackend, SimConfig, Simulator};
 use sv_sim::engine::{
-    Engine, EngineConfig, JobError, JobOutput, JobRequest, JobSpec, RetryPolicy, SubmitError,
+    DegradePolicy, Engine, EngineConfig, JobError, JobOutput, JobRequest, JobSpec, RetryPolicy,
+    SubmitError,
 };
 use sv_sim::ir::{Circuit, GateKind};
 use sv_sim::shmem::{FaultAction, FaultPlan};
@@ -253,6 +254,199 @@ fn repeated_sigkills_quarantine_the_job_shape() {
     let metrics = engine.shutdown();
     assert_eq!(metrics.quarantined, 1);
     assert_eq!(metrics.failed, 2);
+}
+
+/// A torn checkpoint write (injected host-side crash mid-persist) loses
+/// the in-memory checkpoint and leaves a half-written generation on disk;
+/// the store's previous good generation recovers the run bit-identically —
+/// on thread-backed AND process-backed PEs.
+#[test]
+fn torn_checkpoint_recovers_from_previous_generation_on_both_backends() {
+    use sv_sim::workloads::random::random_circuit;
+    let circuit = random_circuit(5, 24, 21);
+    for backend in [ShmemBackend::Thread, ShmemBackend::Process] {
+        let config = SimConfig::scale_out(2)
+            .with_seed(5)
+            .with_checkpoint_every(2)
+            .with_shmem_backend(backend);
+        let mut reference = Simulator::new(5, config).unwrap();
+        let ref_summary = reference.run(&circuit).unwrap();
+        let ref_checksum = state_checksum(reference.state());
+
+        let dir =
+            std::env::temp_dir().join(format!("svsim-torn-{}-{backend:?}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sim = Simulator::new(5, config).unwrap();
+        sim.set_checkpoint_store(Some(CheckpointStore::open(&dir).unwrap()));
+        // Generations 0 (op 0) and 1 (op 2) land cleanly; the third
+        // persist tears mid-write.
+        sim.set_fault_plan(Some(Arc::new(FaultPlan::new().with(
+            0,
+            PeOp::Checkpoint,
+            3,
+            FaultAction::TornCheckpoint,
+        ))));
+        match sim.run(&circuit) {
+            Err(SvError::Checkpoint(msg)) => {
+                assert!(msg.contains("torn write"), "typed torn-write error: {msg}");
+            }
+            other => panic!("expected a torn-checkpoint error, got {other:?}"),
+        }
+        assert!(
+            sim.checkpoint().is_none(),
+            "the in-memory checkpoint must be lost with the crash"
+        );
+        assert!(
+            sim.recover_checkpoint_from_store().unwrap(),
+            "the previous good generation must load ({backend:?})"
+        );
+        let summary = sim.resume(&circuit).unwrap();
+        assert_eq!(
+            state_checksum(sim.state()),
+            ref_checksum,
+            "recovered state diverged ({backend:?})"
+        );
+        assert_eq!(summary.cbits, ref_summary.cbits, "{backend:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// With a respawn budget armed, a real SIGKILL of a forked PE is healed
+/// *inside* the launch: the supervisor re-forks only the victim, surviving
+/// PEs keep their pids, and the job completes bit-identically with no
+/// engine-level retry at all.
+#[test]
+fn respawn_heals_a_sigkill_without_an_engine_retry() {
+    let circuit = Arc::new(ghz_with_measure(6));
+    let config = SimConfig::scale_out(4)
+        .with_seed(11)
+        .with_checkpoint_every(2)
+        .with_process_backend();
+    let mut reference = Simulator::new(6, config).unwrap();
+    reference.run(&circuit).unwrap();
+    let ref_checksum = state_checksum(reference.state());
+
+    let engine = Engine::start(EngineConfig::default().with_workers(1));
+    let plan = Arc::new(FaultPlan::new().with(1, PeOp::Barrier, 9, FaultAction::Kill));
+    let handle = engine
+        .submit(
+            JobRequest::new(JobSpec::OneShot {
+                circuit: Arc::clone(&circuit),
+                config,
+                shots: 0,
+                return_state: true,
+            })
+            .with_degrade(DegradePolicy::Respawn { max_respawns: 2 })
+            .with_fault_plan(Arc::clone(&plan)),
+        )
+        .unwrap();
+    let JobOutput::OneShot { summary, state, .. } =
+        handle.wait().expect("respawn must heal the launch")
+    else {
+        panic!("one-shot output expected");
+    };
+    assert_eq!(plan.armed_remaining(), 0, "the SIGKILL must actually fire");
+    assert_eq!(
+        state_checksum(&state.expect("state requested")),
+        ref_checksum
+    );
+    assert!(summary.respawns >= 1, "the supervisor respawned in place");
+    let metrics = engine.shutdown();
+    assert!(metrics.respawned >= 1, "respawns are visible in metrics");
+    assert_eq!(metrics.retries, 0, "no engine-level retry was needed");
+    assert_eq!(metrics.failed, 0);
+}
+
+/// A PE that stops making progress (injected infinite sleep) is detected
+/// by the parent watchdog within the configured deadline and surfaces as
+/// the typed `PeHung` — distinct from `PeFailed` — when no recovery path
+/// is armed.
+#[test]
+fn hung_pe_surfaces_as_typed_pe_hung_through_the_engine() {
+    let circuit = Arc::new(ghz_with_measure(5));
+    let config = SimConfig::scale_out(2)
+        .with_seed(3)
+        .with_process_backend()
+        .with_hang_deadline_ms(400);
+    let engine = Engine::start(EngineConfig::default().with_workers(1));
+    let started = std::time::Instant::now();
+    let handle = engine
+        .submit(
+            JobRequest::new(JobSpec::OneShot {
+                circuit,
+                config,
+                shots: 0,
+                return_state: false,
+            })
+            .with_fault_plan(Arc::new(FaultPlan::new().with(
+                1,
+                PeOp::Put,
+                2,
+                FaultAction::Hang,
+            ))),
+        )
+        .unwrap();
+    match handle.wait() {
+        Err(JobError::Failed(SvError::PeHung { pe, stalled_ms, .. })) => {
+            assert_eq!(pe, 1, "the hung rank is identified");
+            assert!(stalled_ms >= 400, "stall at least the deadline");
+        }
+        other => panic!("expected PeHung, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "the watchdog, not a barrier timeout, must catch the hang"
+    );
+    let metrics = engine.shutdown();
+    assert_eq!(metrics.hung, 1, "the hang is counted in engine metrics");
+}
+
+/// The degradation ladder: repeated transient failures re-partition the
+/// job at half the PEs and resume from the last good checkpoint, and the
+/// degraded run still matches the fault-free reference bit for bit.
+#[test]
+fn degradation_ladder_halves_pes_and_stays_bit_identical() {
+    let circuit = Arc::new(ghz_with_measure(6));
+    let config = SimConfig::scale_out(4)
+        .with_seed(19)
+        .with_checkpoint_every(2);
+    let mut reference = Simulator::new(6, config).unwrap();
+    reference.run(&circuit).unwrap();
+    let ref_checksum = state_checksum(reference.state());
+
+    let engine = Engine::start(EngineConfig::default().with_workers(1));
+    let plan = Arc::new(FaultPlan::new().with(None, PeOp::Put, 3, FaultAction::Kill));
+    let handle = engine
+        .submit(
+            JobRequest::new(JobSpec::OneShot {
+                circuit: Arc::clone(&circuit),
+                config,
+                shots: 0,
+                return_state: true,
+            })
+            .with_retry(RetryPolicy::attempts(4).with_base_backoff(Duration::from_millis(1)))
+            .with_degrade(DegradePolicy::HalvePes {
+                failures_per_rung: 1,
+                min_pes: 1,
+            })
+            .with_fault_plan(Arc::clone(&plan)),
+        )
+        .unwrap();
+    let JobOutput::OneShot { state, .. } = handle.wait().expect("degraded job must complete")
+    else {
+        panic!("one-shot output expected");
+    };
+    assert_eq!(plan.armed_remaining(), 0, "the kill must actually fire");
+    assert_eq!(
+        state_checksum(&state.expect("state requested")),
+        ref_checksum
+    );
+    let metrics = engine.shutdown();
+    assert!(
+        metrics.degraded >= 1,
+        "the halve-PEs step is visible in engine metrics"
+    );
+    assert_eq!(metrics.failed, 0);
 }
 
 /// The full Table 4 gate: every medium + large workload, thread vs process
