@@ -11,6 +11,7 @@ use crate::compile::{compile_gate, CompiledGate};
 use crate::dispatch::{resolve, KernelFn};
 use crate::kernels::worker_range;
 use crate::measure;
+use crate::plan::{build_segment, PlanSegment};
 use crate::state::StateVector;
 use crate::view::{LocalView, PeerView, ShmemView, StateView};
 use std::sync::Arc;
@@ -127,7 +128,8 @@ fn cond_holds(cbits: u64, lo: u32, len: u32, value: u64) -> bool {
 
 /// Run on a single device (sequential, full ranges). `initial_cbits`
 /// carries the classical register across checkpoint segments (0 for a
-/// whole-circuit run).
+/// whole-circuit run). `seg` supplies a precompiled lowering of `ops`
+/// (from a [`crate::CompiledPlan`]); `None` lowers on the fly.
 pub(crate) fn run_single(
     state: &mut StateVector,
     ops: &[Op],
@@ -135,10 +137,19 @@ pub(crate) fn run_single(
     dispatch: DispatchMode,
     rng: &mut SvRng,
     initial_cbits: u64,
+    seg: Option<&PlanSegment>,
 ) -> SvResult<u64> {
     let n = state.n_qubits();
     let half = (1u64 << n) / 2;
-    let (steps, queue, _) = build_steps(ops, n, specialized);
+    let owned;
+    let seg = match seg {
+        Some(s) => s,
+        None => {
+            owned = build_segment(ops, 0, ops.len(), n, specialized, 0);
+            &owned
+        }
+    };
+    let (steps, queue) = (&seg.steps, &seg.queue);
     let mut cbits = initial_cbits;
     let (re, im) = state.parts_mut();
     let view = LocalView::new(re, im);
@@ -165,7 +176,7 @@ pub(crate) fn run_single(
         crate::kernels::collapse_pairs(view, qubit, outcome, 1.0 / p.sqrt(), 0..half);
         Ok(outcome)
     };
-    for step in &steps {
+    for step in steps {
         match step {
             Step::Gate { raw, compiled } | Step::IfEq { raw, compiled, .. } => {
                 if let Step::IfEq {
@@ -419,6 +430,7 @@ fn walk_steps<V: StateView>(
 /// Scale-up execution: the state vector partitioned across `n_dev` device
 /// partitions in one process, accessed via the peer pointer table
 /// (§3.2.2). Returns the classical bits and the peer traffic profile.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_scaleup(
     state: &mut StateVector,
     ops: &[Op],
@@ -427,13 +439,22 @@ pub(crate) fn run_scaleup(
     dispatch: DispatchMode,
     rng: &mut SvRng,
     initial_cbits: u64,
+    seg: Option<&PlanSegment>,
 ) -> SvResult<(u64, Vec<TrafficSnapshot>)> {
     let n = state.n_qubits();
     check_workers(n_dev, n, "device")?;
     let dim = state.dim();
     let per_dev = dim / n_dev;
-    let (steps, queue, n_rand) = build_steps(ops, n, specialized);
-    let randoms: Vec<f64> = (0..n_rand).map(|_| rng.next_f64()).collect();
+    let owned;
+    let seg = match seg {
+        Some(s) => s,
+        None => {
+            owned = build_segment(ops, 0, ops.len(), n, specialized, 0);
+            &owned
+        }
+    };
+    let (steps, queue) = (&seg.steps, &seg.queue);
+    let randoms: Vec<f64> = (0..seg.n_rand).map(|_| rng.next_f64()).collect();
 
     // Partition the state (the host-to-devices transfer).
     let re_parts: Vec<SharedF64Vec> = (0..n_dev)
@@ -587,6 +608,7 @@ pub(crate) fn run_scaleout(
     backend: ShmemBackend,
     respawn_max: u32,
     hang_deadline_ms: u32,
+    seg: Option<&PlanSegment>,
 ) -> SvResult<LaunchOutput> {
     let n = state.n_qubits();
     check_workers(n_pes, n, "PE")?;
@@ -599,20 +621,22 @@ pub(crate) fn run_scaleout(
     }
     let dim = state.dim();
     let per_pe = dim / n_pes;
-    let plan = if remap && n_pes > 1 {
-        Some(crate::remap::plan_remap(ops, n, n_pes as u64))
-    } else {
-        None
+    let owned;
+    let seg = match seg {
+        Some(s) => s,
+        None => {
+            let remap_pes = if remap && n_pes > 1 { n_pes as u64 } else { 0 };
+            owned = build_segment(ops, 0, ops.len(), n, specialized, remap_pes);
+            &owned
+        }
     };
-    let (steps, queue, n_rand) = match &plan {
-        Some(p) => build_steps(&p.ops, n, specialized),
-        None => build_steps(ops, n, specialized),
-    };
-    let pre_swaps: &[Vec<(u32, u32)>] = plan.as_ref().map_or(&[], |p| &p.pre_swaps);
+    let plan = seg.remap.as_ref();
+    let (steps, queue) = (&seg.steps, &seg.queue);
+    let pre_swaps: &[Vec<(u32, u32)>] = plan.map_or(&[], |p| &p.pre_swaps);
     let measure_layouts: &[Option<crate::remap::QubitLayout>] =
-        plan.as_ref().map_or(&[], |p| &p.measure_layouts);
-    let n_swaps = plan.as_ref().map_or(0, |p| p.n_swaps);
-    let randoms: Vec<f64> = (0..n_rand).map(|_| rng.next_f64()).collect();
+        plan.map_or(&[], |p| &p.measure_layouts);
+    let n_swaps = plan.map_or(0, |p| p.n_swaps);
+    let randoms: Vec<f64> = (0..seg.n_rand).map(|_| rng.next_f64()).collect();
     let init_re = state.re().to_vec();
     let init_im = state.im().to_vec();
 
@@ -649,8 +673,8 @@ pub(crate) fn run_scaleout(
         let sync = || ctx.barrier_all();
         let reduce = |slot: usize, x: f64| ctx.sum_reduce_f64_at(slot, x);
         let cbits = walk_steps(
-            &steps,
-            &queue,
+            steps,
+            queue,
             &view,
             n,
             specialized,
@@ -730,7 +754,7 @@ pub(crate) fn run_scaleout(
         }
         // The remapped run left the state in the final physical layout;
         // restore logical order host-side (no fabric traffic).
-        if let Some(p) = &plan {
+        if let Some(p) = plan {
             crate::remap::unpermute_state(&p.final_layout, re, im);
         }
     }

@@ -12,6 +12,7 @@
 //! - [`measure`]: measurement, collapse, sampling, expectations.
 //! - [`traffic`]: exact analytic communication model.
 //! - [`remap`]: communication-avoiding qubit relabeling for scale-out.
+//! - [`plan`]: ahead-of-time compilation into a reusable `CompiledPlan`.
 //! - [`sim`]: the `Simulator` facade.
 
 pub mod batch;
@@ -23,6 +24,7 @@ pub mod kernels;
 pub mod measure;
 pub mod noise;
 pub mod par;
+pub mod plan;
 pub mod remap;
 pub mod sim;
 pub mod state;
@@ -34,6 +36,7 @@ pub use checkpoint::{state_checksum, Checkpoint, CheckpointStore, Fnv1a};
 pub use compile::{CompiledGate, KernelId};
 pub use exec::DispatchMode;
 pub use noise::{sample_noisy_circuit, trajectory_average, NoiseModel};
+pub use plan::CompiledPlan;
 pub use remap::{plan_remap, QubitLayout, RemapPlan};
 pub use sim::{BackendKind, RunSummary, SimConfig, Simulator};
 pub use state::StateVector;

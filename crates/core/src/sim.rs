@@ -3,6 +3,7 @@
 use crate::checkpoint::{Checkpoint, CheckpointStore};
 use crate::exec::{run_scaleout, run_scaleup, run_single, DispatchMode, LaunchOutput};
 use crate::measure;
+use crate::plan::{CompiledPlan, PlanSegment};
 use crate::state::StateVector;
 use crate::traffic::{circuit_traffic, GateTraffic};
 use std::sync::Arc;
@@ -314,14 +315,37 @@ impl Simulator {
     /// PE failure on the scale-out backend.
     pub fn run(&mut self, circuit: &Circuit) -> SvResult<RunSummary> {
         self.validate(circuit)?;
-        self.run_segments(circuit, 0, 0)
+        self.run_segments(circuit, 0, 0, None)
+    }
+
+    /// Execute a circuit from a precompiled [`CompiledPlan`], skipping the
+    /// per-run lowering (circuit elaboration, kernel specialization, remap
+    /// planning). Results are bit-identical to [`Self::run`] on the same
+    /// circuit; a plan whose shape does not [`CompiledPlan::matches`] this
+    /// simulator/config is ignored and the run falls back to on-the-fly
+    /// lowering — correctness never depends on the cache.
+    ///
+    /// # Errors
+    /// As [`Self::run`].
+    pub fn run_plan(&mut self, circuit: &Circuit, plan: &CompiledPlan) -> SvResult<RunSummary> {
+        self.validate(circuit)?;
+        let plan = plan
+            .matches(circuit, self.state.n_qubits(), &self.config)
+            .then_some(plan);
+        self.run_segments(circuit, 0, 0, plan)
     }
 
     /// One backend dispatch over an op slice. The third tuple element is
     /// the dynamic race reports (scale-out with detection armed only); the
     /// fourth is the count of relabeling exchanges performed; the fifth
-    /// counts in-place PE respawns (process backend only).
-    fn exec_ops(&mut self, ops: &[Op], initial_cbits: u64) -> SvResult<LaunchOutput> {
+    /// counts in-place PE respawns (process backend only). `seg` supplies
+    /// the precompiled lowering of exactly this slice, when available.
+    fn exec_ops(
+        &mut self,
+        ops: &[Op],
+        initial_cbits: u64,
+        seg: Option<&PlanSegment>,
+    ) -> SvResult<LaunchOutput> {
         match self.config.backend {
             BackendKind::SingleDevice => {
                 let cb = run_single(
@@ -331,6 +355,7 @@ impl Simulator {
                     self.config.dispatch,
                     &mut self.rng,
                     initial_cbits,
+                    seg,
                 )?;
                 Ok((cb, Vec::new(), Vec::new(), 0, 0))
             }
@@ -343,6 +368,7 @@ impl Simulator {
                     self.config.dispatch,
                     &mut self.rng,
                     initial_cbits,
+                    seg,
                 )?;
                 Ok((cb, traffic, Vec::new(), 0, 0))
             }
@@ -360,6 +386,7 @@ impl Simulator {
                 self.config.shmem_backend,
                 self.config.respawn_max,
                 self.config.hang_deadline_ms,
+                seg,
             ),
         }
     }
@@ -374,14 +401,16 @@ impl Simulator {
         circuit: &Circuit,
         start_op: usize,
         initial_cbits: u64,
+        plan: Option<&CompiledPlan>,
     ) -> SvResult<RunSummary> {
         let gates = circuit.gates().count();
         let ops = circuit.ops();
         let k = self.config.checkpoint_every as usize;
         if k == 0 {
             self.checkpoint = None;
+            let seg = plan.and_then(|p| p.segment(start_op, ops.len()));
             let (cbits, traffic, races, remap_swaps, respawns) =
-                self.exec_ops(&ops[start_op..], initial_cbits)?;
+                self.exec_ops(&ops[start_op..], initial_cbits, seg)?;
             self.cbits = cbits;
             return Ok(RunSummary {
                 gates,
@@ -408,8 +437,9 @@ impl Simulator {
             // Align the segment end to the global checkpoint grid so resume
             // and uninterrupted runs segment identically.
             let end = usize::min(ops.len(), (pos / k + 1) * k);
+            let seg = plan.and_then(|p| p.segment(pos, end));
             let (cb, seg_traffic, seg_races, seg_swaps, seg_respawns) =
-                self.exec_ops(&ops[pos..end], cbits)?;
+                self.exec_ops(&ops[pos..end], cbits, seg)?;
             cbits = cb;
             merge_worker_traffic(&mut traffic, seg_traffic);
             races.extend(seg_races);
@@ -501,7 +531,39 @@ impl Simulator {
             )));
         }
         let cbits = self.cbits;
-        self.run_segments(circuit, start_op, cbits)
+        self.run_segments(circuit, start_op, cbits, None)
+    }
+
+    /// [`Self::resume`] driven by a precompiled [`CompiledPlan`]. Because
+    /// plan segmentation follows the same fixed checkpoint grid as
+    /// execution, the remaining segments resolve directly from the plan; a
+    /// mismatched plan falls back to on-the-fly lowering, bit-identically.
+    ///
+    /// # Errors
+    /// As [`Self::resume`].
+    pub fn resume_plan(&mut self, circuit: &Circuit, plan: &CompiledPlan) -> SvResult<RunSummary> {
+        self.validate(circuit)?;
+        let start_op = self.restore()?;
+        if start_op > circuit.ops().len() {
+            return Err(SvError::InvalidConfig(format!(
+                "checkpoint at op {} lies beyond the {}-op circuit",
+                start_op,
+                circuit.ops().len()
+            )));
+        }
+        let cbits = self.cbits;
+        let plan = plan
+            .matches(circuit, self.state.n_qubits(), &self.config)
+            .then_some(plan);
+        self.run_segments(circuit, start_op, cbits, plan)
+    }
+
+    /// Compile `circuit` into a [`CompiledPlan`] for this simulator's
+    /// shape and configuration, executable later via [`Self::run_plan`] /
+    /// [`Self::resume_plan`] (and cacheable across runs).
+    #[must_use]
+    pub fn compile_plan(&self, circuit: &Circuit) -> CompiledPlan {
+        CompiledPlan::compile(circuit, self.state.n_qubits(), &self.config)
     }
 
     /// Predict the communication traffic of a circuit at this backend's
@@ -1331,6 +1393,99 @@ mod tests {
             assert_eq!(seg.state().re(), plain.state().re(), "k={k}");
             assert_eq!(seg.state().im(), plain.state().im(), "k={k}");
         }
+    }
+
+    #[test]
+    fn plan_driven_run_is_bit_identical_to_direct_run() {
+        // Measurement exercises the RNG stream, remap exercises the cached
+        // relabeling schedule, checkpointing exercises per-segment lookup.
+        let mut c = Circuit::with_cbits(4, 4);
+        c.extend(&deep_cross_circuit(4)).unwrap();
+        for q in 0..4 {
+            c.measure(q, q).unwrap();
+        }
+        for config in [
+            SimConfig::single_device().with_seed(31),
+            SimConfig::single_device()
+                .with_seed(31)
+                .with_checkpoint_every(3),
+            SimConfig::scale_up(2).with_seed(31),
+            SimConfig::scale_out(4).with_seed(31),
+            SimConfig::scale_out(4).with_seed(31).with_remap(),
+            SimConfig::scale_out(4)
+                .with_seed(31)
+                .with_remap()
+                .with_checkpoint_every(2),
+        ] {
+            let mut direct = Simulator::new(4, config).unwrap();
+            let direct_summary = direct.run(&c).unwrap();
+
+            let mut planned = Simulator::new(4, config).unwrap();
+            let plan = planned.compile_plan(&c);
+            let summary = planned.run_plan(&c, &plan).unwrap();
+            assert_eq!(summary.cbits, direct_summary.cbits, "{config:?}");
+            assert_eq!(
+                summary.remap_swaps, direct_summary.remap_swaps,
+                "{config:?}"
+            );
+            assert_eq!(planned.state().re(), direct.state().re(), "{config:?}");
+            assert_eq!(planned.state().im(), direct.state().im(), "{config:?}");
+
+            // Re-running the same plan from reset replays bit-identically
+            // (the engine's compile-cache reuse pattern).
+            planned.reset();
+            planned.run_plan(&c, &plan).unwrap();
+            assert_eq!(
+                planned.state().re(),
+                direct.state().re(),
+                "{config:?} rerun"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_plan_falls_back_bit_identically() {
+        let c = ghz(4);
+        let config = SimConfig::scale_out(2).with_seed(5);
+        let mut direct = Simulator::new(4, config).unwrap();
+        direct.run(&c).unwrap();
+        // Plan compiled for a different shape: silently ignored.
+        let stale = CompiledPlan::compile(&c, 4, &SimConfig::scale_out(2).with_remap());
+        let mut sim = Simulator::new(4, config).unwrap();
+        sim.run_plan(&c, &stale).unwrap();
+        assert_eq!(sim.state().re(), direct.state().re());
+        assert_eq!(sim.state().im(), direct.state().im());
+    }
+
+    #[test]
+    fn plan_driven_resume_recovers_bit_identically() {
+        use svsim_shmem::{FaultAction, FaultPlan};
+        use svsim_types::PeOp;
+
+        let mut c = Circuit::with_cbits(4, 4);
+        c.extend(&ghz(4)).unwrap();
+        for q in 0..4 {
+            c.measure(q, q).unwrap();
+        }
+        let config = SimConfig::scale_out(2)
+            .with_seed(11)
+            .with_checkpoint_every(2);
+        let mut reference = Simulator::new(4, config).unwrap();
+        reference.run(&c).unwrap();
+
+        let mut sim = Simulator::new(4, config).unwrap();
+        let plan = sim.compile_plan(&c);
+        sim.set_fault_plan(Some(Arc::new(FaultPlan::new().with(
+            1,
+            PeOp::Barrier,
+            9,
+            FaultAction::Kill,
+        ))));
+        sim.run_plan(&c, &plan).unwrap_err();
+        let summary = sim.resume_plan(&c, &plan).unwrap();
+        assert_eq!(summary.cbits, reference.cbits());
+        assert_eq!(sim.state().re(), reference.state().re());
+        assert_eq!(sim.state().im(), reference.state().im());
     }
 
     #[test]

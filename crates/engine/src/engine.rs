@@ -1,11 +1,13 @@
-//! The engine itself: a persistent worker pool executing jobs from the
-//! bounded queue, with template-aware micro-batching and pooled simulator
-//! instances.
+//! The engine facade: job admission, the execution substrate behind it
+//! (staged pipeline or legacy worker pool), and the shared execution
+//! machinery both substrates run on — retry, degradation ladders,
+//! checkpoint recovery, quarantine.
 
 use crate::job::{
     JobCell, JobError, JobHandle, JobId, JobOutput, JobRequest, JobSpec, SweepReturn,
 };
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use crate::pipeline::{AllocMode, ExecutionModel, JobPacket, Pipeline, SchedMode};
 use crate::pool::InstancePool;
 use crate::queue::{JobQueue, QueuedJob, SubmitError};
 use crate::retry::{retryable, DegradePolicy};
@@ -16,14 +18,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
-use svsim_core::{measure, Fnv1a, ParamCircuit};
+use svsim_core::{measure, Fnv1a, ParamCircuit, RunSummary, Simulator};
 use svsim_shmem::FaultAction;
 use svsim_types::{PeOp, SvError, SvResult};
 
 /// Engine sizing knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
-    /// Worker threads executing jobs.
+    /// Worker threads executing jobs (the pipeline's execute stage, or the
+    /// whole legacy pool).
     pub workers: usize,
     /// Queue capacity; submissions beyond it are rejected, not blocked.
     pub queue_capacity: usize,
@@ -35,6 +38,17 @@ pub struct EngineConfig {
     /// submissions of it are refused with [`SubmitError::Quarantined`]
     /// (0 disables quarantining).
     pub quarantine_threshold: u32,
+    /// Which execution substrate to run (staged pipeline by default).
+    pub model: ExecutionModel,
+    /// Capacity of each pipeline stage queue; 0 (the default) inherits
+    /// `queue_capacity`. Ignored by the legacy model.
+    pub stage_capacity: usize,
+    /// Dequeue order within a priority lane of the admit and execute
+    /// stages. Ignored by the legacy model.
+    pub sched: SchedMode,
+    /// In-flight allocation budget enforced at admission. Ignored by the
+    /// legacy model.
+    pub alloc: AllocMode,
 }
 
 impl Default for EngineConfig {
@@ -48,6 +62,10 @@ impl Default for EngineConfig {
             max_batch: 16,
             pool_max_per_key: workers,
             quarantine_threshold: 3,
+            model: ExecutionModel::default(),
+            stage_capacity: 0,
+            sched: SchedMode::default(),
+            alloc: AllocMode::default(),
         }
     }
 }
@@ -80,24 +98,52 @@ impl EngineConfig {
         self.quarantine_threshold = threshold;
         self
     }
+
+    /// Pick the execution substrate.
+    #[must_use]
+    pub fn with_model(mut self, model: ExecutionModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Override the per-stage queue capacity (0 inherits `queue_capacity`).
+    #[must_use]
+    pub fn with_stage_capacity(mut self, capacity: usize) -> Self {
+        self.stage_capacity = capacity;
+        self
+    }
+
+    /// Pick the within-lane scheduling mode for pipeline stages.
+    #[must_use]
+    pub fn with_sched(mut self, sched: SchedMode) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Pick the in-flight allocation budget enforced at admission.
+    #[must_use]
+    pub fn with_alloc(mut self, alloc: AllocMode) -> Self {
+        self.alloc = alloc;
+        self
+    }
 }
 
-/// State shared between the engine handle and its workers.
+/// State shared between the engine handle and its stage/worker threads.
 #[derive(Debug)]
-struct Shared {
-    queue: JobQueue,
-    metrics: EngineMetrics,
-    registry: TemplateRegistry,
-    pool: InstancePool,
+pub(crate) struct Shared {
+    pub(crate) queue: JobQueue,
+    pub(crate) metrics: EngineMetrics,
+    pub(crate) registry: TemplateRegistry,
+    pub(crate) pool: InstancePool,
     /// Consecutive final-failure counts keyed by job fingerprint; entries
     /// at or above `quarantine_threshold` block further submissions.
-    quarantine: Mutex<HashMap<u64, u32>>,
-    quarantine_threshold: u32,
+    pub(crate) quarantine: Mutex<HashMap<u64, u32>>,
+    pub(crate) quarantine_threshold: u32,
 }
 
 impl Shared {
     /// Record a final (post-retry) failure of this job shape.
-    fn quarantine_mark_failure(&self, fingerprint: u64) {
+    pub(crate) fn quarantine_mark_failure(&self, fingerprint: u64) {
         if self.quarantine_threshold == 0 {
             return;
         }
@@ -107,7 +153,7 @@ impl Shared {
 
     /// A success clears the shape's failure streak (quarantine is for
     /// *consecutively* failing jobs, not jobs that ever failed).
-    fn quarantine_clear(&self, fingerprint: u64) {
+    pub(crate) fn quarantine_clear(&self, fingerprint: u64) {
         if self.quarantine_threshold == 0 {
             return;
         }
@@ -118,7 +164,7 @@ impl Shared {
     }
 
     /// Failure streak recorded for a fingerprint, if any.
-    fn quarantine_failures(&self, fingerprint: u64) -> Option<u32> {
+    pub(crate) fn quarantine_failures(&self, fingerprint: u64) -> Option<u32> {
         self.quarantine
             .lock()
             .expect("quarantine lock")
@@ -130,7 +176,7 @@ impl Shared {
 /// Structural digest of a job's work, used as the quarantine key: two
 /// submissions of the same circuit/config (or template/params) collide,
 /// while any difference in the work separates them.
-fn fingerprint(spec: &JobSpec) -> u64 {
+pub(crate) fn fingerprint(spec: &JobSpec) -> u64 {
     fn absorb(h: &mut Fnv1a, text: &str) {
         for b in text.bytes() {
             h.write_u64(u64::from(b));
@@ -166,18 +212,27 @@ fn fingerprint(spec: &JobSpec) -> u64 {
     h.finish()
 }
 
+/// The execution substrate actually running behind the [`Engine`] facade.
+#[derive(Debug)]
+enum Backend {
+    /// The original single-queue worker pool.
+    Legacy { workers: Vec<JoinHandle<()>> },
+    /// The staged dataflow pipeline.
+    Pipeline(Pipeline),
+}
+
 /// A running engine. Submit jobs with [`Engine::submit`]; stop it with
 /// [`Engine::shutdown`] (drains) or [`Engine::shutdown_now`] (drops queued
 /// jobs). Dropping a running engine behaves like `shutdown_now`.
 #[derive(Debug)]
 pub struct Engine {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    backend: Backend,
     next_id: AtomicU64,
 }
 
 impl Engine {
-    /// Start the worker pool.
+    /// Start the execution substrate selected by [`EngineConfig::model`].
     #[must_use]
     pub fn start(config: EngineConfig) -> Self {
         let shared = Arc::new(Shared {
@@ -188,19 +243,25 @@ impl Engine {
             quarantine: Mutex::new(HashMap::new()),
             quarantine_threshold: config.quarantine_threshold,
         });
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let max_batch = config.max_batch.max(1);
-                std::thread::Builder::new()
-                    .name(format!("svsim-engine-{i}"))
-                    .spawn(move || worker_loop(&shared, max_batch, i))
-                    .expect("spawn engine worker")
-            })
-            .collect();
+        let backend = match config.model {
+            ExecutionModel::Pipeline => Backend::Pipeline(Pipeline::start(&shared, &config)),
+            ExecutionModel::Legacy => {
+                let workers = (0..config.workers.max(1))
+                    .map(|i| {
+                        let shared = Arc::clone(&shared);
+                        let max_batch = config.max_batch.max(1);
+                        std::thread::Builder::new()
+                            .name(format!("svsim-engine-{i}"))
+                            .spawn(move || worker_loop(&shared, max_batch, i))
+                            .expect("spawn engine worker")
+                    })
+                    .collect();
+                Backend::Legacy { workers }
+            }
+        };
         Self {
             shared,
-            workers,
+            backend,
             next_id: AtomicU64::new(0),
         }
     }
@@ -219,14 +280,15 @@ impl Engine {
         self.shared.registry.info(id)
     }
 
-    /// Submit a job. Never blocks: a full queue or a malformed sweep is
-    /// refused immediately.
+    /// Submit a job. Never blocks: a full admit queue, an exhausted
+    /// in-flight budget, or a malformed sweep is refused immediately —
+    /// this *is* the pipeline's admit stage.
     ///
     /// # Errors
     /// [`SubmitError`] describing why admission failed.
     pub fn submit(&self, request: JobRequest) -> Result<JobHandle, SubmitError> {
-        if self.shared.quarantine_threshold > 0 {
-            let fp = fingerprint(&request.spec);
+        let fp = (self.shared.quarantine_threshold > 0).then(|| fingerprint(&request.spec));
+        if let Some(fp) = fp {
             if let Some(failures) = self.shared.quarantine_failures(fp) {
                 if failures >= self.shared.quarantine_threshold {
                     self.shared
@@ -260,7 +322,11 @@ impl Engine {
             cell: Arc::clone(&cell),
             enqueued_at: Instant::now(),
         };
-        match self.shared.queue.push(queued) {
+        let admitted = match &self.backend {
+            Backend::Legacy { .. } => self.shared.queue.push(queued).map_err(|(e, _dropped)| e),
+            Backend::Pipeline(p) => p.admit(&self.shared, queued, fp),
+        };
+        match admitted {
             Ok(()) => {
                 self.shared
                     .metrics
@@ -268,17 +334,20 @@ impl Engine {
                     .fetch_add(1, Ordering::Relaxed);
                 Ok(JobHandle { id, cell })
             }
-            Err((e, _dropped)) => {
+            Err(e) => {
                 self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
         }
     }
 
-    /// Jobs waiting in the queue right now.
+    /// Jobs waiting at queue/stage boundaries right now (not executing).
     #[must_use]
     pub fn queued(&self) -> usize {
-        self.shared.queue.len()
+        match &self.backend {
+            Backend::Legacy { .. } => self.shared.queue.len(),
+            Backend::Pipeline(p) => p.depth(),
+        }
     }
 
     /// Job shapes currently quarantined (failure streak at or above the
@@ -303,56 +372,62 @@ impl Engine {
         let mut s = self.shared.metrics.snapshot();
         s.pool_created = self.shared.pool.created.load(Ordering::Relaxed);
         s.pool_reused = self.shared.pool.reused.load(Ordering::Relaxed);
+        if let Backend::Pipeline(p) = &self.backend {
+            s.stages = p.stage_snapshots();
+            s.mem_in_flight_bytes = p.budget.in_flight_bytes();
+            s.mem_high_water_bytes = p.budget.high_water_bytes();
+            s.mem_limit_bytes = p.budget.limit_bytes();
+        }
         s
     }
 
-    /// Stop accepting work, run every queued job to completion, join the
-    /// workers, and return the final metrics.
+    /// Stop accepting work, flush every stage in topological order so all
+    /// queued jobs run to completion, join the threads, and return the
+    /// final metrics.
     #[must_use = "final metrics summarize the engine's whole life"]
     pub fn shutdown(mut self) -> MetricsSnapshot {
-        let _ = self.shared.queue.close(true);
-        self.join_workers();
+        self.stop_backend(true);
         self.metrics()
     }
 
     /// Stop immediately: queued jobs fail with [`JobError::Shutdown`];
-    /// jobs already executing run to completion.
+    /// jobs already executing run to completion and still publish.
     #[must_use = "final metrics summarize the engine's whole life"]
     pub fn shutdown_now(mut self) -> MetricsSnapshot {
-        self.abort_queue();
-        self.join_workers();
+        self.stop_backend(false);
         self.metrics()
     }
 
-    fn abort_queue(&self) {
-        for job in self.shared.queue.close(false) {
-            self.shared
-                .metrics
-                .shutdown_dropped
-                .fetch_add(1, Ordering::Relaxed);
-            job.cell.finish(Err(JobError::Shutdown));
-        }
-    }
-
-    fn join_workers(&mut self) {
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+    /// Tear the substrate down (idempotent — `Drop` runs it again after an
+    /// explicit shutdown and finds nothing left to do).
+    fn stop_backend(&mut self, drain: bool) {
+        match &mut self.backend {
+            Backend::Legacy { workers } => {
+                for job in self.shared.queue.close(drain) {
+                    self.shared
+                        .metrics
+                        .shutdown_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                    job.cell.finish(Err(JobError::Shutdown));
+                }
+                for w in workers.drain(..) {
+                    let _ = w.join();
+                }
+            }
+            Backend::Pipeline(p) => p.stop(&self.shared, drain),
         }
     }
 }
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        if !self.workers.is_empty() {
-            self.abort_queue();
-            self.join_workers();
-        }
+        self.stop_backend(false);
     }
 }
 
-/// One worker: pop (possibly coalesced) work until the queue closes.
-/// `worker` is this thread's index — the "PE" rank that `Exec`-level
-/// injected faults key off.
+/// One legacy worker: pop (possibly coalesced) work until the queue
+/// closes, doing every pipeline stage itself. `worker` is this thread's
+/// index — the "PE" rank that `Exec`-level injected faults key off.
 fn worker_loop(shared: &Shared, max_batch: usize, worker: usize) {
     let mut templates = WorkerTemplates::default();
     while let Some(batch) = shared.queue.pop_batch(max_batch) {
@@ -378,10 +453,19 @@ fn worker_loop(shared: &Shared, max_batch: usize, worker: usize) {
             // One-shots never coalesce, so `live` holds at most one.
             JobSpec::OneShot { .. } => {
                 for job in live {
-                    run_one_shot(shared, job, worker);
+                    run_one_shot(shared, JobPacket::bare(job), worker);
                 }
             }
-            JobSpec::Sweep { .. } => run_sweep_batch(shared, &mut templates, live, worker),
+            JobSpec::Sweep { .. } => {
+                let pkts = live.into_iter().map(JobPacket::bare).collect();
+                run_sweep_batch(
+                    shared,
+                    &mut templates,
+                    pkts,
+                    worker,
+                    &mut |pkt, started, result| publish(shared, &pkt.job, started, result),
+                );
+            }
         }
     }
 }
@@ -422,7 +506,7 @@ fn exec_fault_point(job: &QueuedJob, worker: usize) -> SvResult<()> {
     }
 }
 
-fn publish(
+pub(crate) fn publish(
     shared: &Shared,
     job: &QueuedJob,
     started: Instant,
@@ -436,6 +520,20 @@ fn publish(
     job.cell.finish(result);
 }
 
+/// What the execute stage produced for a one-shot job.
+pub(crate) enum ExecOutcome {
+    /// Execution succeeded; readback still owes sampling, the optional
+    /// state clone, and returning the simulator to the pool.
+    Done {
+        /// The simulator holding the final state.
+        sim: Box<Simulator>,
+        /// The run summary execution produced.
+        summary: RunSummary,
+    },
+    /// Execution failed past every retry.
+    Fail(JobError),
+}
+
 /// Execute a one-shot job with retry-in-place and the self-healing
 /// ladder: a transient failure (PE death or hang, barrier expiry, SHMEM
 /// breakdown, torn checkpoint write, worker panic) backs off
@@ -445,20 +543,28 @@ fn publish(
 /// [`DegradePolicy::HalvePes`], repeated failures at one width
 /// re-partition the job at half the PEs and transplant the checkpoint
 /// into the narrower world.
-fn run_one_shot(shared: &Shared, job: QueuedJob, worker: usize) {
-    let started = Instant::now();
+///
+/// A compiled plan carried by the packet drives execution when its shape
+/// still matches; degradation or remapping that invalidates it falls back
+/// to on-the-fly lowering, bit-identically.
+pub(crate) fn execute_one_shot(shared: &Shared, pkt: &JobPacket, worker: usize) -> ExecOutcome {
     let JobSpec::OneShot {
         ref circuit,
         ref config,
         shots,
         return_state,
-    } = job.request.spec
+    } = pkt.job.request.spec
     else {
         unreachable!("dispatched as one-shot");
     };
-    let fp = fingerprint(&job.request.spec);
-    let policy = job.request.retry;
-    let degrade = job.request.degrade;
+    let fp = if shared.quarantine_threshold > 0 {
+        pkt.fp.unwrap_or_else(|| fingerprint(&pkt.job.request.spec))
+    } else {
+        0
+    };
+    let plan = pkt.plan.as_deref();
+    let policy = pkt.job.request.retry;
+    let degrade = pkt.job.request.degrade;
     // The width/supervision the job is *currently* running at; the
     // degradation ladder narrows it without touching the submitted spec.
     let mut effective = *config;
@@ -472,11 +578,11 @@ fn run_one_shot(shared: &Shared, job: QueuedJob, worker: usize) {
     // (half-width) simulator.
     let mut carried: Option<svsim_core::Checkpoint> = None;
     let mut sim = None;
-    let result = loop {
+    loop {
         if sim.is_none() {
             match shared.pool.checkout_sim(circuit.n_qubits(), &effective) {
                 Ok(s) => sim = Some(s),
-                Err(e) => break Err(JobError::Failed(e)),
+                Err(e) => return ExecOutcome::Fail(JobError::Failed(e)),
             }
         }
         let s = sim.as_mut().expect("checked out above");
@@ -488,18 +594,18 @@ fn run_one_shot(shared: &Shared, job: QueuedJob, worker: usize) {
             // the degraded world adopts the wider world's progress as-is.
             match s.adopt_checkpoint(cp) {
                 Ok(()) => resumable = true,
-                Err(e) => break Err(JobError::Failed(e)),
+                Err(e) => return ExecOutcome::Fail(JobError::Failed(e)),
             }
         }
         if attempt > 1 && !resumable {
             s.reset();
         }
-        if let Some(dir) = &job.request.checkpoint_dir {
+        if let Some(dir) = &pkt.job.request.checkpoint_dir {
             // (Re)open the store every attempt: `reset` detaches it, and
             // `open` resumes the generation counter from the directory.
             match svsim_core::CheckpointStore::open(dir.clone()) {
                 Ok(store) => s.set_checkpoint_store(Some(store)),
-                Err(e) => break Err(JobError::Failed(e)),
+                Err(e) => return ExecOutcome::Fail(JobError::Failed(e)),
             }
             if attempt > 1 && !resumable {
                 // The in-memory checkpoint is gone (torn write, panic,
@@ -508,13 +614,14 @@ fn run_one_shot(shared: &Shared, job: QueuedJob, worker: usize) {
                 resumable = s.recover_checkpoint_from_store().unwrap_or(false);
             }
         }
-        s.set_fault_plan(job.request.fault_plan.clone());
+        s.set_fault_plan(pkt.job.request.fault_plan.clone());
         let ran = catch_unwind(AssertUnwindSafe(|| {
-            exec_fault_point(&job, worker)?;
-            if resumable {
-                s.resume(circuit)
-            } else {
-                s.run(circuit)
+            exec_fault_point(&pkt.job, worker)?;
+            match (resumable, plan) {
+                (true, Some(p)) => s.resume_plan(circuit, p),
+                (true, None) => s.resume(circuit),
+                (false, Some(p)) => s.run_plan(circuit, p),
+                (false, None) => s.run(circuit),
             }
         }));
         let outcome = match ran {
@@ -568,23 +675,12 @@ fn run_one_shot(shared: &Shared, job: QueuedJob, worker: usize) {
                         }
                     }
                 }
-                let mut s = sim.take().expect("simulator ran");
-                let samples = (shots > 0).then(|| {
-                    let mut hist = BTreeMap::new();
-                    for outcome in s.sample(shots) {
-                        *hist.entry(outcome).or_insert(0) += 1;
-                    }
-                    hist
-                });
-                let state = return_state.then(|| s.state().clone());
-                s.set_fault_plan(None);
-                s.set_checkpoint_store(None);
-                shared.pool.checkin_sim(s);
-                break Ok(JobOutput::OneShot {
+                shared.quarantine_clear(fp);
+                let s = sim.take().expect("simulator ran");
+                return ExecOutcome::Done {
+                    sim: Box::new(s),
                     summary,
-                    state,
-                    samples,
-                });
+                };
             }
             Err((transient, err)) => {
                 if matches!(&err, JobError::Failed(SvError::PeHung { .. })) {
@@ -629,7 +725,7 @@ fn run_one_shot(shared: &Shared, job: QueuedJob, worker: usize) {
                 // recording the degraded shape too when the ladder was
                 // descended, so the narrowed fingerprint carries the
                 // strike as well.
-                sim = None;
+                drop(sim);
                 shared.quarantine_mark_failure(fp);
                 if effective.backend != config.backend {
                     shared.quarantine_mark_failure(fingerprint(&JobSpec::OneShot {
@@ -639,89 +735,141 @@ fn run_one_shot(shared: &Shared, job: QueuedJob, worker: usize) {
                         return_state,
                     }));
                 }
-                break Err(err);
+                return ExecOutcome::Fail(err);
             }
         }
-    };
-    if result.is_ok() {
-        shared.quarantine_clear(fp);
     }
-    drop(sim);
-    publish(shared, &job, started, result);
+}
+
+/// The readback stage body for a successful one-shot: sample, clone the
+/// requested state, detach the job's fault plan and checkpoint store, and
+/// return the simulator to the pool — *before* the caller publishes, so a
+/// submit-wait-submit client always finds the instance available.
+pub(crate) fn readback_one_shot(
+    shared: &Shared,
+    job: &QueuedJob,
+    mut sim: Box<Simulator>,
+    summary: RunSummary,
+) -> JobOutput {
+    let JobSpec::OneShot {
+        shots,
+        return_state,
+        ..
+    } = job.request.spec
+    else {
+        unreachable!("dispatched as one-shot");
+    };
+    let samples = (shots > 0).then(|| {
+        let mut hist = BTreeMap::new();
+        for outcome in sim.sample(shots) {
+            *hist.entry(outcome).or_insert(0) += 1;
+        }
+        hist
+    });
+    let state = return_state.then(|| sim.state().clone());
+    sim.set_fault_plan(None);
+    sim.set_checkpoint_store(None);
+    shared.pool.checkin_sim(*sim);
+    JobOutput::OneShot {
+        summary,
+        state,
+        samples,
+    }
+}
+
+/// Execute and publish a one-shot job in place — the legacy path, where
+/// one worker runs every stage itself.
+fn run_one_shot(shared: &Shared, pkt: JobPacket, worker: usize) {
+    let started = Instant::now();
+    match execute_one_shot(shared, &pkt, worker) {
+        ExecOutcome::Done { sim, summary } => {
+            let output = readback_one_shot(shared, &pkt.job, sim, summary);
+            publish(shared, &pkt.job, started, Ok(output));
+        }
+        ExecOutcome::Fail(e) => publish(shared, &pkt.job, started, Err(e)),
+    }
 }
 
 /// Execute a coalesced group of sweep jobs — all for the same template —
-/// against one worker-local template clone and one pooled state buffer.
+/// against one worker-local template clone and one pooled state buffer,
+/// handing each finished member to `sink` (the pipeline forwards to the
+/// readback stage; the legacy path publishes directly).
 ///
 /// Deadlines and cancellation are re-checked *per member* right before its
 /// execution, so a long batch cannot carry an already-dead job to a result
 /// nobody wants. Transient per-job failures retry under the job's policy
 /// (`run_into` resets the buffer, so re-running a trial is idempotent).
-fn run_sweep_batch(
+pub(crate) fn run_sweep_batch(
     shared: &Shared,
     templates: &mut WorkerTemplates,
-    jobs: Vec<QueuedJob>,
+    jobs: Vec<JobPacket>,
     worker: usize,
+    sink: &mut dyn FnMut(JobPacket, Instant, Result<JobOutput, JobError>),
 ) {
     shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
     shared
         .metrics
         .batched_jobs
         .fetch_add(jobs.len() as u64, Ordering::Relaxed);
-    let JobSpec::Sweep { template, .. } = jobs[0].request.spec else {
+    let JobSpec::Sweep { template, .. } = jobs[0].job.request.spec else {
         unreachable!("dispatched as sweep");
     };
 
-    let fail_all = |e: SvError| {
+    let mut fail_all = |jobs: Vec<JobPacket>, e: SvError| {
         let started = Instant::now();
-        for job in &jobs {
-            publish(shared, job, started, Err(JobError::Failed(e.clone())));
+        for pkt in jobs {
+            sink(pkt, started, Err(JobError::Failed(e.clone())));
         }
     };
     let Some(tpl) = templates.get_mut(template, &shared.registry) else {
-        fail_all(SvError::Undefined(format!(
-            "template {template} is not registered"
-        )));
+        fail_all(
+            jobs,
+            SvError::Undefined(format!("template {template} is not registered")),
+        );
         return;
     };
     let mut buf = match shared.pool.checkout_buffer(tpl.n_qubits()) {
         Ok(buf) => buf,
         Err(e) => {
-            fail_all(e);
+            fail_all(jobs, e);
             return;
         }
     };
 
-    for job in &jobs {
+    for pkt in jobs {
         let started = Instant::now();
         // Mid-sweep admission re-check: earlier members of this batch may
         // have run for a while — a job cancelled or expired since dequeue
         // must not execute.
-        if job.cell.cancelled.load(Ordering::Acquire) {
+        if pkt.job.cell.cancelled.load(Ordering::Acquire) {
             shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
-            job.cell.finish(Err(JobError::Cancelled));
+            pkt.job.cell.finish(Err(JobError::Cancelled));
             continue;
         }
-        if job.request.deadline.is_some_and(|d| started > d) {
+        if pkt.job.request.deadline.is_some_and(|d| started > d) {
             shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
-            job.cell.finish(Err(JobError::Expired));
+            pkt.job.cell.finish(Err(JobError::Expired));
             continue;
         }
         let JobSpec::Sweep {
             ref params,
             returning,
             ..
-        } = job.request.spec
+        } = pkt.job.request.spec
         else {
             unreachable!("coalesced batches are sweep-only");
         };
-        let fp = fingerprint(&job.request.spec);
-        let policy = job.request.retry;
+        let fp = if shared.quarantine_threshold > 0 {
+            pkt.fp.unwrap_or_else(|| fingerprint(&pkt.job.request.spec))
+        } else {
+            0
+        };
+        let policy = pkt.job.request.retry;
         let mut attempt: u32 = 1;
         let mut first_failure: Option<Instant> = None;
         let result = loop {
             let ran = catch_unwind(AssertUnwindSafe(|| -> SvResult<JobOutput> {
-                exec_fault_point(job, worker)?;
+                exec_fault_point(&pkt.job, worker)?;
                 tpl.run_into(params, &mut buf)?;
                 Ok(match returning {
                     SweepReturn::State => JobOutput::Sweep {
@@ -759,7 +907,7 @@ fn run_sweep_batch(
                 }
             }
         };
-        publish(shared, job, started, result);
+        sink(pkt, started, result);
     }
     shared.pool.checkin_buffer(buf);
 }

@@ -7,6 +7,11 @@
 //! optimizer, plus interactive one-shot requests. This crate adds the
 //! serving layer that makes those streams cheap:
 //!
+//! - a **typed dataflow pipeline** (the default [`ExecutionModel`]): jobs
+//!   flow as memory-accounted packets through bounded admit → compile →
+//!   execute → readback stages, each with its own queue, [`SchedMode`],
+//!   and occupancy metrics, with an [`AllocMode`] budget capping total
+//!   in-flight state-vector bytes at admission;
 //! - a **bounded, priority-aware queue** with reject-on-full admission
 //!   (backpressure is explicit, never a silent stall);
 //! - a **worker pool** of persistent threads so simulator setup cost is
@@ -59,6 +64,7 @@
 mod engine;
 mod job;
 mod metrics;
+mod pipeline;
 mod pool;
 mod queue;
 mod retry;
@@ -67,6 +73,7 @@ mod templates;
 pub use engine::{Engine, EngineConfig};
 pub use job::{JobError, JobHandle, JobId, JobOutput, JobRequest, JobSpec, Priority, SweepReturn};
 pub use metrics::{EngineMetrics, LatencyHistogram, LatencySnapshot, MetricsSnapshot};
+pub use pipeline::{AllocMode, ExecutionModel, SchedMode, StageSnapshot};
 pub use queue::SubmitError;
 pub use retry::{retryable, DegradePolicy, RetryPolicy};
 pub use templates::{TemplateId, TemplateInfo, TemplateRegistry};

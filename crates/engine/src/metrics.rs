@@ -1,6 +1,7 @@
 //! Engine observability: lock-free counters, log2-bucketed latency
 //! histograms, and aggregated SHMEM traffic from every job the engine ran.
 
+use crate::pipeline::StageSnapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -207,6 +208,10 @@ impl EngineMetrics {
             execution: self.execution.snapshot(),
             recovery: self.recovery.snapshot(),
             traffic: *self.traffic.lock().expect("traffic lock"),
+            stages: Vec::new(),
+            mem_in_flight_bytes: 0,
+            mem_high_water_bytes: 0,
+            mem_limit_bytes: None,
         }
     }
 }
@@ -261,6 +266,17 @@ pub struct MetricsSnapshot {
     pub recovery: LatencySnapshot,
     /// Aggregated SHMEM traffic over all distributed jobs.
     pub traffic: TrafficSnapshot,
+    /// Per-stage occupancy of the pipeline, in pipeline order (empty when
+    /// the engine runs the legacy worker pool).
+    pub stages: Vec<StageSnapshot>,
+    /// State-vector bytes pinned by in-flight packets right now
+    /// (pipeline model only).
+    pub mem_in_flight_bytes: u64,
+    /// Highest in-flight byte total ever reached (pipeline model only).
+    pub mem_high_water_bytes: u64,
+    /// The in-flight byte cap, when running under
+    /// [`crate::AllocMode::LimitMemory`].
+    pub mem_limit_bytes: Option<u64>,
 }
 
 impl MetricsSnapshot {
@@ -335,6 +351,24 @@ impl std::fmt::Display for MetricsSnapshot {
             "self-healing: hung={} respawned={} degraded={}",
             self.hung, self.respawned, self.degraded
         )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "stage {}: depth={} high_water={} pushed={} popped={} rejected={} blocked={}",
+                s.name, s.depth, s.high_water, s.pushed, s.popped, s.rejected, s.blocked
+            )?;
+        }
+        if !self.stages.is_empty() {
+            write!(
+                f,
+                "memory: in_flight_bytes={} high_water_bytes={}",
+                self.mem_in_flight_bytes, self.mem_high_water_bytes
+            )?;
+            match self.mem_limit_bytes {
+                Some(limit) => writeln!(f, " limit_bytes={limit}")?,
+                None => writeln!(f)?,
+            }
+        }
         writeln!(f, "queue wait: {}", self.queue_wait)?;
         writeln!(f, "execution:  {}", self.execution)?;
         writeln!(f, "recovery:   {}", self.recovery)?;

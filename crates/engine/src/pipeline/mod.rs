@@ -1,0 +1,387 @@
+//! The typed dataflow pipeline behind [`crate::Engine`].
+//!
+//! Jobs flow as pooled, memory-accounted packets through four stages:
+//!
+//! ```text
+//! admit/parse ──▶ compile/plan ──▶ execute ──▶ readback/measure
+//!   (caller)        (1 thread)    (N threads)     (1 thread)
+//! ```
+//!
+//! - **admit** runs on the submitting thread: quarantine and sweep
+//!   validation, the job fingerprint, and a [`MemoryBudget`] lease; then a
+//!   reject-on-full push into the admit queue (typed backpressure at the
+//!   edge).
+//! - **compile** pops admitted packets, re-checks cancellation/deadline at
+//!   the hop, and attaches a cached [`svsim_core::CompiledPlan`] to
+//!   one-shot jobs so repeated circuits skip op→kernel lowering entirely.
+//! - **execute** is the worker pool: template-coalesced batching, retry,
+//!   degradation ladders, and quarantine marking — the same machinery as
+//!   the legacy engine, now fed from a bounded stage queue with one more
+//!   cancel/deadline re-check at the hop.
+//! - **readback** samples, clones requested state, checks the simulator
+//!   back into the instance pool, and publishes — off the execute workers,
+//!   so a large job's measurement readout no longer blocks the next job's
+//!   execution.
+//!
+//! Interior hops use blocking pushes, so a slow stage fills its queue and
+//! stalls upstream stages until, at the edge, `submit` itself starts
+//! refusing work: backpressure propagates topologically rather than
+//! queueing without bound.
+
+mod packet;
+mod stage;
+
+pub use packet::AllocMode;
+pub use stage::{SchedMode, StageSnapshot};
+
+pub(crate) use packet::{packet_bytes, JobPacket, MemoryBudget, Readback};
+pub(crate) use stage::StageQueue;
+
+use crate::engine::{
+    execute_one_shot, publish, readback_one_shot, run_sweep_batch, EngineConfig, ExecOutcome,
+    Shared,
+};
+use crate::job::{JobError, JobSpec};
+use crate::queue::QueuedJob;
+use crate::templates::WorkerTemplates;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use svsim_core::{CompiledPlan, SimConfig};
+use svsim_ir::Circuit;
+
+/// Which execution substrate the engine runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionModel {
+    /// The staged dataflow pipeline (the default): compile/execute/readback
+    /// overlap, bounded stage queues, per-stage backpressure.
+    #[default]
+    Pipeline,
+    /// The original single-queue worker pool, kept as an honest baseline
+    /// for `serve-bench --model legacy` comparisons.
+    Legacy,
+}
+
+/// Compiled plans cached by the compile stage, keyed by circuit identity.
+///
+/// Keying on `Arc` pointer identity makes hits exact and free: a service
+/// resubmitting the same `Arc<Circuit>` reuses the plan, while equal-but-
+/// distinct circuits simply miss and recompile (correctness never depends
+/// on a hit). Holding the `Arc` in the entry keeps the allocation alive,
+/// so a pointer can never be recycled into a false hit.
+#[derive(Debug, Default)]
+struct PlanCache {
+    entries: std::collections::VecDeque<(Arc<Circuit>, Arc<CompiledPlan>)>,
+}
+
+/// Distinct circuits the compile stage remembers plans for.
+const PLAN_CACHE_CAP: usize = 32;
+
+impl PlanCache {
+    fn plan_for(&mut self, circuit: &Arc<Circuit>, config: &SimConfig) -> Arc<CompiledPlan> {
+        if let Some((_, plan)) = self.entries.iter().find(|(c, p)| {
+            Arc::ptr_eq(c, circuit) && p.matches(circuit, circuit.n_qubits(), config)
+        }) {
+            return Arc::clone(plan);
+        }
+        let plan = Arc::new(CompiledPlan::compile(circuit, circuit.n_qubits(), config));
+        if self.entries.len() >= PLAN_CACHE_CAP {
+            self.entries.pop_front();
+        }
+        self.entries
+            .push_back((Arc::clone(circuit), Arc::clone(&plan)));
+        plan
+    }
+}
+
+/// The running pipeline: stage queues, their threads, and the budget.
+#[derive(Debug)]
+pub(crate) struct Pipeline {
+    admit_q: Arc<StageQueue<JobPacket>>,
+    exec_q: Arc<StageQueue<JobPacket>>,
+    read_q: Arc<StageQueue<Readback>>,
+    pub(crate) budget: Arc<MemoryBudget>,
+    compiler: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl Pipeline {
+    pub(crate) fn start(shared: &Arc<Shared>, config: &EngineConfig) -> Self {
+        let cap = if config.stage_capacity == 0 {
+            config.queue_capacity
+        } else {
+            config.stage_capacity
+        }
+        .max(1);
+        let admit_q = Arc::new(StageQueue::new("admit", cap, config.sched));
+        let exec_q = Arc::new(StageQueue::new("execute", cap, config.sched));
+        // Readback publishes in completion order — always FIFO — and its
+        // queue is deliberately *shallow* regardless of `stage_capacity`:
+        // every parked item pins a checked-out simulator (and its budget
+        // lease), so deep buffering here only starves the instance pool
+        // and bloats in-flight memory. A few slots per worker absorb
+        // jitter; past that the executors block, which is exactly the
+        // flow control we want.
+        let read_cap = cap.min((2 * config.workers.max(1)).max(4));
+        let read_q = Arc::new(StageQueue::new("readback", read_cap, SchedMode::Fifo));
+        let budget = Arc::new(MemoryBudget::new(config.alloc));
+
+        let compiler = {
+            let shared = Arc::clone(shared);
+            let admit_q = Arc::clone(&admit_q);
+            let exec_q = Arc::clone(&exec_q);
+            std::thread::Builder::new()
+                .name("svsim-compile".into())
+                .spawn(move || compile_loop(&shared, &admit_q, &exec_q))
+                .expect("spawn compile stage")
+        };
+        let executors = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(shared);
+                let exec_q = Arc::clone(&exec_q);
+                let read_q = Arc::clone(&read_q);
+                let max_batch = config.max_batch.max(1);
+                std::thread::Builder::new()
+                    .name(format!("svsim-exec-{i}"))
+                    .spawn(move || execute_loop(&shared, &exec_q, &read_q, max_batch, i))
+                    .expect("spawn execute stage")
+            })
+            .collect();
+        let reader = {
+            let shared = Arc::clone(shared);
+            let read_q = Arc::clone(&read_q);
+            std::thread::Builder::new()
+                .name("svsim-readback".into())
+                .spawn(move || readback_loop(&shared, &read_q))
+                .expect("spawn readback stage")
+        };
+        Self {
+            admit_q,
+            exec_q,
+            read_q,
+            budget,
+            compiler: Some(compiler),
+            executors,
+            reader: Some(reader),
+        }
+    }
+
+    /// The admit stage: reserve budget, wrap the job into a packet, and
+    /// push it into the bounded admit queue (reject-on-full).
+    pub(crate) fn admit(
+        &self,
+        shared: &Shared,
+        job: QueuedJob,
+        fp: Option<u64>,
+    ) -> Result<(), crate::queue::SubmitError> {
+        let needed = packet_bytes(&job.request.spec, &shared.registry);
+        let lease = self.budget.try_admit(needed)?;
+        let pkt = JobPacket {
+            job,
+            fp,
+            plan: None,
+            lease: Some(lease),
+        };
+        self.admit_q.try_push(pkt).map_err(|(e, _pkt)| e)
+    }
+
+    /// Packets waiting at stage boundaries (not currently inside a stage).
+    pub(crate) fn depth(&self) -> usize {
+        self.admit_q.len() + self.exec_q.len() + self.read_q.len()
+    }
+
+    /// Per-stage occupancy snapshots, pipeline order.
+    pub(crate) fn stage_snapshots(&self) -> Vec<StageSnapshot> {
+        vec![
+            self.admit_q.snapshot(),
+            self.exec_q.snapshot(),
+            self.read_q.snapshot(),
+        ]
+    }
+
+    /// Stop the pipeline, flushing stages in topological order so no
+    /// packet is stranded at a boundary. With `drain`, every queued packet
+    /// flows through its remaining stages to a published result; without,
+    /// queued packets fail with [`JobError::Shutdown`] while packets
+    /// already executing still run to completion and publish.
+    pub(crate) fn stop(&mut self, shared: &Shared, drain: bool) {
+        let fail = |pkt: JobPacket| {
+            shared
+                .metrics
+                .shutdown_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            pkt.job.cell.finish(Err(JobError::Shutdown));
+        };
+        // 1. Close admission; the compile stage drains what was admitted.
+        for pkt in self.admit_q.close(drain) {
+            fail(pkt);
+        }
+        if let Some(h) = self.compiler.take() {
+            let _ = h.join();
+        }
+        // 2. With the compiler gone nothing feeds the execute queue; close
+        //    it and let the workers drain (or fail) what remains.
+        for pkt in self.exec_q.close(drain) {
+            fail(pkt);
+        }
+        for h in self.executors.drain(..) {
+            let _ = h.join();
+        }
+        // 3. Readback always drains: whatever finished executing must
+        //    still be published, even on a hard stop.
+        let _ = self.read_q.close(true);
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Compile stage: pop admitted packets, drop dead ones at the hop, attach
+/// a (cached) compiled plan to one-shots, and forward with backpressure.
+fn compile_loop(shared: &Shared, admit_q: &StageQueue<JobPacket>, exec_q: &StageQueue<JobPacket>) {
+    let mut cache = PlanCache::default();
+    while let Some(mut pkt) = admit_q.pop() {
+        let now = Instant::now();
+        shared
+            .metrics
+            .queue_wait
+            .record(now.saturating_duration_since(pkt.job.enqueued_at));
+        if pkt.job.cell.cancelled.load(Ordering::Acquire) {
+            shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+            pkt.job.cell.finish(Err(JobError::Cancelled));
+            continue;
+        }
+        if pkt.job.request.deadline.is_some_and(|d| now > d) {
+            shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
+            pkt.job.cell.finish(Err(JobError::Expired));
+            continue;
+        }
+        if let JobSpec::OneShot {
+            ref circuit,
+            ref config,
+            ..
+        } = pkt.job.request.spec
+        {
+            pkt.plan = Some(cache.plan_for(circuit, config));
+        }
+        if let Err(pkt) = exec_q.push_wait(pkt) {
+            // Hard shutdown closed the downstream queue under us.
+            shared
+                .metrics
+                .shutdown_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            pkt.job.cell.finish(Err(JobError::Shutdown));
+        }
+    }
+}
+
+/// Execute stage: the worker pool, fed from the bounded execute queue with
+/// a cancel/deadline re-check at the hop, forwarding finished work to
+/// readback instead of publishing inline.
+fn execute_loop(
+    shared: &Shared,
+    exec_q: &StageQueue<JobPacket>,
+    read_q: &StageQueue<Readback>,
+    max_batch: usize,
+    worker: usize,
+) {
+    let mut templates = WorkerTemplates::default();
+    while let Some(batch) = exec_q.pop_batch(max_batch) {
+        let dequeued = Instant::now();
+        let mut live = Vec::with_capacity(batch.len());
+        for pkt in batch {
+            if pkt.job.cell.cancelled.load(Ordering::Acquire) {
+                shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                pkt.job.cell.finish(Err(JobError::Cancelled));
+            } else if pkt.job.request.deadline.is_some_and(|d| dequeued > d) {
+                shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
+                pkt.job.cell.finish(Err(JobError::Expired));
+            } else {
+                live.push(pkt);
+            }
+        }
+        let Some(head) = live.first() else { continue };
+        match head.job.request.spec {
+            // One-shots never coalesce, so `live` holds at most one.
+            JobSpec::OneShot { .. } => {
+                for pkt in live {
+                    let started = Instant::now();
+                    let item = match execute_one_shot(shared, &pkt, worker) {
+                        ExecOutcome::Done { sim, summary } => Readback::OneShot {
+                            pkt,
+                            started,
+                            sim,
+                            summary,
+                        },
+                        ExecOutcome::Fail(e) => Readback::Ready {
+                            pkt,
+                            started,
+                            result: Err(e),
+                        },
+                    };
+                    forward(shared, read_q, item);
+                }
+            }
+            JobSpec::Sweep { .. } => {
+                run_sweep_batch(
+                    shared,
+                    &mut templates,
+                    live,
+                    worker,
+                    &mut |pkt, started, result| {
+                        forward(
+                            shared,
+                            read_q,
+                            Readback::Ready {
+                                pkt,
+                                started,
+                                result,
+                            },
+                        );
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Hand finished work to the readback stage; if a hard shutdown already
+/// closed it, publish inline — executed results are never dropped.
+fn forward(shared: &Shared, read_q: &StageQueue<Readback>, item: Readback) {
+    if let Err(item) = read_q.push_wait(item) {
+        complete(shared, item);
+    }
+}
+
+/// Readback stage body: sample, clone requested state, check the
+/// simulator back into the pool, then publish.
+fn complete(shared: &Shared, item: Readback) {
+    match item {
+        Readback::OneShot {
+            pkt,
+            started,
+            sim,
+            summary,
+        } => {
+            let output = readback_one_shot(shared, &pkt.job, sim, summary);
+            publish(shared, &pkt.job, started, Ok(output));
+        }
+        Readback::Ready {
+            pkt,
+            started,
+            result,
+        } => {
+            publish(shared, &pkt.job, started, result);
+        }
+    }
+    // The packet (and its budget lease) drops here: in-flight accounting
+    // releases only after publication.
+}
+
+fn readback_loop(shared: &Shared, read_q: &StageQueue<Readback>) {
+    while let Some(item) = read_q.pop() {
+        complete(shared, item);
+    }
+}

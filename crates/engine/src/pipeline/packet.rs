@@ -1,0 +1,240 @@
+//! Pipeline packets and the in-flight memory budget.
+//!
+//! A job travels the pipeline as a [`JobPacket`]: the queued job plus
+//! everything earlier stages computed for it (fingerprint, compiled plan)
+//! and the [`BudgetLease`] pinning its share of the engine's in-flight
+//! allocation budget. The lease is RAII — whatever path a packet takes
+//! (published, cancelled, expired, dropped at shutdown), dropping the
+//! packet releases its budget, so the accounting cannot leak.
+
+use crate::job::{JobError, JobOutput, JobSpec, Priority};
+use crate::queue::{QueuedJob, SubmitError};
+use crate::templates::{TemplateId, TemplateRegistry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use svsim_core::{CompiledPlan, RunSummary, Simulator};
+
+use super::stage::StageItem;
+
+/// How the engine bounds in-flight work (admitted but not yet published).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocMode {
+    /// At most this many packets in flight; the default is effectively
+    /// unbounded (`usize::MAX`), leaving the stage queues as the only
+    /// limit. Exhaustion refuses admission with
+    /// [`SubmitError::QueueFull`].
+    Fixed(usize),
+    /// Cap the total state-vector bytes pinned by in-flight packets
+    /// (16 bytes per amplitude: an f64 real and imaginary plane).
+    /// Exhaustion refuses admission with [`SubmitError::MemoryExceeded`].
+    LimitMemory(u64),
+}
+
+impl Default for AllocMode {
+    fn default() -> Self {
+        Self::Fixed(usize::MAX)
+    }
+}
+
+/// State-vector bytes a job pins while in flight: `16 * 2^n` for the
+/// register it executes on (one-shot width, or the sweep template's).
+pub(crate) fn packet_bytes(spec: &JobSpec, registry: &TemplateRegistry) -> u64 {
+    let n_qubits = match spec {
+        JobSpec::OneShot { circuit, .. } => circuit.n_qubits(),
+        JobSpec::Sweep { template, .. } => registry.info(*template).map_or(0, |info| info.n_qubits),
+    };
+    16u64.saturating_mul(1u64 << u64::from(n_qubits).min(59))
+}
+
+/// The engine-wide in-flight allocation budget.
+#[derive(Debug)]
+pub(crate) struct MemoryBudget {
+    mode: AllocMode,
+    packets: AtomicU64,
+    bytes: AtomicU64,
+    high_water_bytes: AtomicU64,
+}
+
+impl MemoryBudget {
+    pub(crate) fn new(mode: AllocMode) -> Self {
+        Self {
+            mode,
+            packets: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            high_water_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Reserve `needed` bytes (and one packet slot) for a job about to be
+    /// admitted, or refuse with the mode's typed error. The returned lease
+    /// releases the reservation when dropped.
+    pub(crate) fn try_admit(self: &Arc<Self>, needed: u64) -> Result<BudgetLease, SubmitError> {
+        match self.mode {
+            AllocMode::Fixed(max_packets) => {
+                let admitted =
+                    self.packets
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |p| {
+                            (p < max_packets as u64).then_some(p + 1)
+                        });
+                if admitted.is_err() {
+                    return Err(SubmitError::QueueFull);
+                }
+                self.bytes.fetch_add(needed, Ordering::Relaxed);
+            }
+            AllocMode::LimitMemory(limit) => {
+                let admitted = self
+                    .bytes
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                        b.checked_add(needed).filter(|&total| total <= limit)
+                    });
+                if admitted.is_err() {
+                    return Err(SubmitError::MemoryExceeded { needed, limit });
+                }
+                self.packets.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.high_water_bytes
+            .fetch_max(self.bytes.load(Ordering::Relaxed), Ordering::Relaxed);
+        Ok(BudgetLease {
+            budget: Arc::clone(self),
+            bytes: needed,
+        })
+    }
+
+    /// Bytes pinned by in-flight packets right now.
+    pub(crate) fn in_flight_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Highest in-flight byte total ever reached.
+    pub(crate) fn high_water_bytes(&self) -> u64 {
+        self.high_water_bytes.load(Ordering::Relaxed)
+    }
+
+    /// The byte cap, when running under [`AllocMode::LimitMemory`].
+    pub(crate) fn limit_bytes(&self) -> Option<u64> {
+        match self.mode {
+            AllocMode::Fixed(_) => None,
+            AllocMode::LimitMemory(limit) => Some(limit),
+        }
+    }
+}
+
+/// RAII reservation against the [`MemoryBudget`]; dropping it releases the
+/// packet's bytes and slot, whichever exit path the packet took.
+pub(crate) struct BudgetLease {
+    budget: Arc<MemoryBudget>,
+    bytes: u64,
+}
+
+impl Drop for BudgetLease {
+    fn drop(&mut self) {
+        self.budget.packets.fetch_sub(1, Ordering::Relaxed);
+        self.budget.bytes.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for BudgetLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BudgetLease")
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+/// A job in flight through the pipeline, with everything earlier stages
+/// computed for it.
+#[derive(Debug)]
+pub(crate) struct JobPacket {
+    /// The job itself (request, result cell, enqueue instant).
+    pub(crate) job: QueuedJob,
+    /// Fingerprint computed once at admission (quarantine key); `None`
+    /// when quarantining is off or on the legacy path.
+    pub(crate) fp: Option<u64>,
+    /// The compile stage's artifact for one-shot jobs; execution falls
+    /// back to on-the-fly lowering when absent (bit-identical either way).
+    pub(crate) plan: Option<Arc<CompiledPlan>>,
+    /// In-flight budget reservation; never read, held only so dropping
+    /// the packet releases it.
+    #[allow(dead_code)]
+    pub(crate) lease: Option<BudgetLease>,
+}
+
+impl JobPacket {
+    /// Wrap a queued job with no precomputed stage artifacts — the legacy
+    /// worker-pool path, where one worker does every stage itself.
+    pub(crate) fn bare(job: QueuedJob) -> Self {
+        Self {
+            job,
+            fp: None,
+            plan: None,
+            lease: None,
+        }
+    }
+}
+
+impl StageItem for JobPacket {
+    fn lane(&self) -> usize {
+        match self.job.request.priority {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    fn coalesce_key(&self) -> Option<TemplateId> {
+        self.job.template()
+    }
+}
+
+/// A finished execution on its way to the readback stage.
+#[derive(Debug)]
+pub(crate) enum Readback {
+    /// A successful one-shot: readback still owes sampling, the optional
+    /// state clone, and checking the simulator back into the pool.
+    OneShot {
+        /// The packet (carries the result cell and budget lease).
+        pkt: JobPacket,
+        /// When the execute stage picked the job up (execution latency
+        /// runs from here to publication).
+        started: Instant,
+        /// The simulator that ran the job, holding its final state.
+        sim: Box<Simulator>,
+        /// The run summary execution produced.
+        summary: RunSummary,
+    },
+    /// A result that needs no further work — sweep outputs and failures —
+    /// just publication in readback order.
+    Ready {
+        /// The packet (carries the result cell and budget lease).
+        pkt: JobPacket,
+        /// When the execute stage picked the job up.
+        started: Instant,
+        /// The finished result.
+        result: Result<JobOutput, JobError>,
+    },
+}
+
+impl StageItem for Readback {
+    /// Readback is shortest-expected-work-first across its lanes: results
+    /// owing nothing but publication (sweep values, failures) go first,
+    /// unsampled one-shots (a pool check-in and a publish) next, and
+    /// one-shots still owing a sampling pass or a state clone last — so a
+    /// stream of cheap results is never head-of-line blocked behind one
+    /// fat histogram build. Order *within* each lane stays completion
+    /// order (the readback queue is always FIFO).
+    fn lane(&self) -> usize {
+        match self {
+            Readback::OneShot { pkt, .. } => match &pkt.job.request.spec {
+                JobSpec::OneShot {
+                    shots,
+                    return_state,
+                    ..
+                } if *shots > 0 || *return_state => 2,
+                _ => 1,
+            },
+            Readback::Ready { .. } => 0,
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Bounded inter-stage queues for the dataflow pipeline.
+//!
+//! Every stage boundary is a [`StageQueue`]: three priority lanes,
+//! a hard capacity, and two admission disciplines — `try_push` for the
+//! pipeline's edge (reject-on-full, the engine's explicit-backpressure
+//! stance) and `push_wait` for interior hops (an upstream stage blocks
+//! until the downstream stage has drained a slot, which is what actually
+//! *propagates* backpressure from a slow stage toward admission). Each
+//! queue keeps its own occupancy statistics so operators can see where
+//! packets pile up.
+
+use crate::queue::SubmitError;
+use crate::templates::TemplateId;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Dequeue order within one priority lane of a pipeline stage.
+///
+/// Lanes themselves always dequeue high-before-low; the scheduling mode
+/// only decides the order *inside* a lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// First-in first-out: fair, oldest job first (the default).
+    #[default]
+    Fifo,
+    /// Last-in first-out: freshest job first. Favors latency of recent
+    /// submissions over fairness — useful when stale backlog has lost its
+    /// value (e.g. an optimizer that only cares about the newest points).
+    Lifo,
+}
+
+/// Behavior a packet type must expose to ride a [`StageQueue`].
+pub(crate) trait StageItem {
+    /// Priority lane index: 0 high, 1 normal, 2 low.
+    fn lane(&self) -> usize {
+        1
+    }
+    /// Coalescing key: queued items sharing the head's key may be popped
+    /// together by [`StageQueue::pop_batch`].
+    fn coalesce_key(&self) -> Option<TemplateId> {
+        None
+    }
+}
+
+/// Occupancy and backpressure counters for one stage queue.
+#[derive(Debug, Default)]
+pub(crate) struct StageStats {
+    pushed: AtomicU64,
+    popped: AtomicU64,
+    rejected: AtomicU64,
+    blocked: AtomicU64,
+    high_water: AtomicU64,
+}
+
+/// Point-in-time view of one stage queue, for [`crate::MetricsSnapshot`].
+#[derive(Debug, Clone, Copy)]
+pub struct StageSnapshot {
+    /// Stage name ("admit", "execute", "readback").
+    pub name: &'static str,
+    /// Packets queued at this boundary right now.
+    pub depth: usize,
+    /// Highest queue depth ever observed.
+    pub high_water: u64,
+    /// Packets accepted into the queue over the engine's life.
+    pub pushed: u64,
+    /// Packets dequeued by the downstream stage.
+    pub popped: u64,
+    /// Packets refused at the boundary because the queue was full.
+    pub rejected: u64,
+    /// Backpressure events: an upstream stage had to block because this
+    /// queue was full.
+    pub blocked: u64,
+}
+
+#[derive(Debug)]
+struct Lanes<T> {
+    lanes: [VecDeque<T>; 3],
+    closed: bool,
+}
+
+impl<T> Lanes<T> {
+    fn len(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// One bounded, priority-aware stage boundary.
+#[derive(Debug)]
+pub(crate) struct StageQueue<T> {
+    name: &'static str,
+    inner: Mutex<Lanes<T>>,
+    /// Signals consumers: work available or queue closed.
+    work: Condvar,
+    /// Signals blocked producers: a slot freed up or the queue closed.
+    space: Condvar,
+    capacity: usize,
+    lifo: bool,
+    stats: StageStats,
+}
+
+impl<T: StageItem> StageQueue<T> {
+    pub(crate) fn new(name: &'static str, capacity: usize, sched: SchedMode) -> Self {
+        Self {
+            name,
+            inner: Mutex::new(Lanes {
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                closed: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+            lifo: matches!(sched, SchedMode::Lifo),
+            stats: StageStats::default(),
+        }
+    }
+
+    fn insert(&self, lanes: &mut Lanes<T>, item: T) {
+        let lane = &mut lanes.lanes[item.lane().min(2)];
+        if self.lifo {
+            lane.push_front(item);
+        } else {
+            lane.push_back(item);
+        }
+        self.stats.pushed.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .high_water
+            .fetch_max(lanes.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Admit an item or refuse immediately — the pipeline's outer edge.
+    // Rejection hands the item back by value so the caller can fail its
+    // handle without an allocation on the admission path.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn try_push(&self, item: T) -> Result<(), (SubmitError, T)> {
+        let mut inner = self.inner.lock().expect("stage queue lock");
+        if inner.closed {
+            return Err((SubmitError::ShuttingDown, item));
+        }
+        if inner.len() >= self.capacity {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err((SubmitError::QueueFull, item));
+        }
+        self.insert(&mut inner, item);
+        drop(inner);
+        self.work.notify_one();
+        Ok(())
+    }
+
+    /// Block until a slot frees, then enqueue — interior stage hops, where
+    /// blocking the producer is exactly how backpressure propagates
+    /// upstream. Hands the item back if the queue closed first.
+    pub(crate) fn push_wait(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("stage queue lock");
+        let mut counted = false;
+        loop {
+            if inner.closed {
+                return Err(item);
+            }
+            if inner.len() < self.capacity {
+                self.insert(&mut inner, item);
+                drop(inner);
+                self.work.notify_one();
+                return Ok(());
+            }
+            if !counted {
+                self.stats.blocked.fetch_add(1, Ordering::Relaxed);
+                counted = true;
+            }
+            inner = self.space.wait(inner).expect("stage queue lock");
+        }
+    }
+
+    /// Items queued right now.
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("stage queue lock").len()
+    }
+
+    /// Block until an item is available, then pop the highest-priority one.
+    /// Returns `None` when the queue is closed and empty (stage shutdown).
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("stage queue lock");
+        loop {
+            if let Some(item) = inner
+                .lanes
+                .iter_mut()
+                .find_map(|l| (!l.is_empty()).then(|| l.pop_front().expect("non-empty lane")))
+            {
+                self.stats.popped.fetch_add(1, Ordering::Relaxed);
+                drop(inner);
+                self.space.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.work.wait(inner).expect("stage queue lock");
+        }
+    }
+
+    /// Like [`Self::pop`], but when the head item carries a coalescing key,
+    /// also pop up to `max_batch - 1` more items with the same key (from
+    /// any lane, preserving lane order) for one batched execution.
+    pub(crate) fn pop_batch(&self, max_batch: usize) -> Option<Vec<T>> {
+        let mut inner = self.inner.lock().expect("stage queue lock");
+        loop {
+            if let Some(head) = inner
+                .lanes
+                .iter_mut()
+                .find_map(|l| (!l.is_empty()).then(|| l.pop_front().expect("non-empty lane")))
+            {
+                let mut batch = vec![head];
+                if let Some(key) = batch[0].coalesce_key() {
+                    let want = max_batch.saturating_sub(1);
+                    for l in &mut inner.lanes {
+                        while batch.len() <= want {
+                            let Some(pos) = l.iter().position(|i| i.coalesce_key() == Some(key))
+                            else {
+                                break;
+                            };
+                            batch.push(l.remove(pos).expect("position just found"));
+                        }
+                    }
+                }
+                self.stats
+                    .popped
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                drop(inner);
+                self.space.notify_all();
+                return Some(batch);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.work.wait(inner).expect("stage queue lock");
+        }
+    }
+
+    /// Close the boundary. With `drain`, queued items stay and keep
+    /// flowing to the consumer; without, they are removed and returned so
+    /// the caller can fail their handles.
+    pub(crate) fn close(&self, drain: bool) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("stage queue lock");
+        inner.closed = true;
+        let orphans = if drain {
+            Vec::new()
+        } else {
+            inner.lanes.iter_mut().flat_map(std::mem::take).collect()
+        };
+        drop(inner);
+        self.work.notify_all();
+        self.space.notify_all();
+        orphans
+    }
+
+    /// Point-in-time occupancy view.
+    pub(crate) fn snapshot(&self) -> StageSnapshot {
+        StageSnapshot {
+            name: self.name,
+            depth: self.len(),
+            high_water: self.stats.high_water.load(Ordering::Relaxed),
+            pushed: self.stats.pushed.load(Ordering::Relaxed),
+            popped: self.stats.popped.load(Ordering::Relaxed),
+            rejected: self.stats.rejected.load(Ordering::Relaxed),
+            blocked: self.stats.blocked.load(Ordering::Relaxed),
+        }
+    }
+}

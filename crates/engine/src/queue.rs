@@ -34,6 +34,15 @@ pub enum SubmitError {
         /// Consecutive final failures recorded for this job shape.
         failures: u32,
     },
+    /// Admitting this job would push the engine's in-flight state-vector
+    /// bytes over the [`crate::AllocMode::LimitMemory`] cap; try again
+    /// once in-flight work drains.
+    MemoryExceeded {
+        /// Bytes this job would pin while in flight.
+        needed: u64,
+        /// The configured in-flight byte cap.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -51,6 +60,12 @@ impl std::fmt::Display for SubmitError {
             Self::Quarantined { failures } => {
                 write!(f, "job quarantined after {failures} repeated failures")
             }
+            Self::MemoryExceeded { needed, limit } => {
+                write!(
+                    f,
+                    "job needs {needed} in-flight bytes, over the {limit}-byte cap"
+                )
+            }
         }
     }
 }
@@ -67,7 +82,7 @@ pub(crate) struct QueuedJob {
 
 impl QueuedJob {
     /// The template id if this is a sweep job (the coalescing key).
-    fn template(&self) -> Option<TemplateId> {
+    pub(crate) fn template(&self) -> Option<TemplateId> {
         match &self.request.spec {
             crate::job::JobSpec::Sweep { template, .. } => Some(*template),
             crate::job::JobSpec::OneShot { .. } => None,

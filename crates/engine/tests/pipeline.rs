@@ -1,0 +1,376 @@
+//! Pipeline-model integration tests: topological drain, stage-boundary
+//! cancellation/deadline re-checks, bounded-stage backpressure, the
+//! in-flight memory budget, legacy-model parity, and LIFO scheduling.
+
+use std::sync::Arc;
+use std::time::Duration;
+use svsim_core::{ParamCircuit, ParamValue, SimConfig, Simulator};
+use svsim_engine::{
+    AllocMode, Engine, EngineConfig, ExecutionModel, JobError, JobOutput, JobRequest, JobSpec,
+    SchedMode, SubmitError, SweepReturn,
+};
+use svsim_ir::{Circuit, GateKind};
+
+fn ghz_with_measure(n: u32) -> Circuit {
+    let mut c = Circuit::with_cbits(n, 2);
+    c.apply(GateKind::H, &[0], &[]).unwrap();
+    for q in 1..n {
+        c.apply(GateKind::CX, &[q - 1, q], &[]).unwrap();
+    }
+    c.measure(0, 0).unwrap();
+    c.measure(n - 1, 1).unwrap();
+    c
+}
+
+fn ansatz(n: u32, layers: u32) -> ParamCircuit {
+    let mut t = ParamCircuit::new(n);
+    let mut var = 0usize;
+    for q in 0..n {
+        t.push_fixed(GateKind::H, &[q], &[]).unwrap();
+    }
+    for _ in 0..layers {
+        for q in 0..n {
+            t.push(GateKind::RY, &[q], &[ParamValue::Var(var)]).unwrap();
+            var += 1;
+        }
+        for q in 0..n {
+            t.push_fixed(GateKind::CX, &[q, (q + 1) % n], &[]).unwrap();
+        }
+    }
+    t
+}
+
+/// A wide, deep circuit whose execution takes long enough to park the
+/// single executor while victims stack up at the stage boundaries.
+fn deep_blocker() -> Circuit {
+    let mut c = Circuit::with_cbits(16, 1);
+    for q in 0..16 {
+        c.apply(GateKind::H, &[q], &[]).unwrap();
+    }
+    for layer in 0..12 {
+        for q in 0..16 {
+            c.apply(GateKind::RY, &[q], &[0.05 + 0.01 * f64::from(layer)])
+                .unwrap();
+        }
+    }
+    c.measure(0, 0).unwrap();
+    c
+}
+
+fn one_shot(circuit: &Arc<Circuit>, config: SimConfig) -> JobRequest {
+    JobRequest::new(JobSpec::OneShot {
+        circuit: Arc::clone(circuit),
+        config,
+        shots: 0,
+        return_state: false,
+    })
+}
+
+/// Draining shutdown must flush every stage in topological order: jobs
+/// parked in the admit queue (behind a blocked compile stage) and in the
+/// execute queue all run to completion — nothing is dropped.
+#[test]
+fn drain_flushes_jobs_parked_at_every_stage() {
+    // Tiny stages + one worker on a slow blocker: accepted jobs pile up
+    // across admit (2) + compile-in-hand (1) + execute (2) + executor (1).
+    let engine = Engine::start(
+        EngineConfig::default()
+            .with_workers(1)
+            .with_max_batch(1)
+            .with_stage_capacity(2),
+    );
+    let slow = Arc::new(ghz_with_measure(16));
+    let fast = Arc::new(ghz_with_measure(4));
+    let config = SimConfig::single_device();
+    let mut accepted = vec![engine.submit(one_shot(&slow, config)).unwrap()];
+    loop {
+        match engine.submit(one_shot(&fast, config)) {
+            Ok(h) => accepted.push(h),
+            Err(SubmitError::QueueFull) => break,
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+        assert!(accepted.len() < 64, "capacity-2 stages must backpressure");
+    }
+    assert!(
+        accepted.len() >= 3,
+        "the pipeline should hold several jobs in flight"
+    );
+    // Shut down while jobs sit mid-pipeline: all of them must complete.
+    let metrics = engine.shutdown();
+    assert_eq!(metrics.completed, accepted.len() as u64);
+    assert_eq!(metrics.shutdown_dropped, 0);
+    for h in accepted {
+        assert!(h.wait().is_ok(), "drained jobs must publish results");
+    }
+    let admit = metrics
+        .stages
+        .iter()
+        .find(|s| s.name == "admit")
+        .expect("admit stage snapshot");
+    assert_eq!(admit.pushed, metrics.completed, "every job passed admit");
+    assert_eq!(admit.popped, admit.pushed, "drain leaves admit empty");
+    assert_eq!(admit.depth, 0);
+}
+
+/// Cancellation and deadlines are re-checked at each stage boundary: a job
+/// cancelled while parked in the admit or execute queue is dropped at its
+/// next hop, and a deadline that lapses between compile and execute fails
+/// the job with `Expired` at the execute hop.
+#[test]
+fn cancellation_and_deadline_are_rechecked_at_stage_hops() {
+    // Capacity-1 stages pin each victim to a known boundary: v1 in the
+    // execute queue, v2 in the compile stage's blocked push, v3 in admit.
+    let engine = Engine::start(
+        EngineConfig::default()
+            .with_workers(1)
+            .with_max_batch(1)
+            .with_stage_capacity(1),
+    );
+    let slow = Arc::new(deep_blocker());
+    let fast = Arc::new(ghz_with_measure(4));
+    let config = SimConfig::single_device();
+    let blocker = engine.submit(one_shot(&slow, config)).unwrap();
+    // Let the blocker reach the executor before the victims arrive.
+    std::thread::sleep(Duration::from_millis(10));
+    let v1 = engine.submit(one_shot(&fast, config)).unwrap();
+    // Let each victim clear the capacity-1 admit queue before the next
+    // arrives: v1 ends parked in the execute queue, v2 in the compile
+    // stage's blocked push, v3 in the admit queue.
+    std::thread::sleep(Duration::from_millis(10));
+    let v2 = engine
+        .submit(one_shot(&fast, config).with_deadline_in(Duration::from_millis(1)))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(10));
+    let v3 = engine.submit(one_shot(&fast, config)).unwrap();
+    v1.cancel();
+    v3.cancel();
+    assert!(blocker.wait().is_ok());
+    assert!(matches!(v1.wait(), Err(JobError::Cancelled)));
+    assert!(matches!(v2.wait(), Err(JobError::Expired)));
+    assert!(matches!(v3.wait(), Err(JobError::Cancelled)));
+    let metrics = engine.shutdown();
+    assert_eq!(metrics.completed, 1);
+    assert_eq!(metrics.cancelled, 2);
+    assert_eq!(metrics.expired, 1);
+    assert_eq!(metrics.failed, 0, "dead jobs never reach execution");
+}
+
+/// A slow execute stage saturates its bounded queue; the backpressure
+/// propagates upstream until admission rejects with a typed error, and the
+/// per-stage metrics reflect both the rejection and the occupancy.
+#[test]
+fn saturated_execute_stage_rejects_at_admission() {
+    let engine = Engine::start(
+        EngineConfig::default()
+            .with_workers(1)
+            .with_max_batch(1)
+            .with_stage_capacity(2),
+    );
+    let slow = Arc::new(ghz_with_measure(16));
+    let config = SimConfig::single_device();
+    let mut accepted = Vec::new();
+    let mut rejected = 0u64;
+    while rejected == 0 {
+        match engine.submit(one_shot(&slow, config)) {
+            Ok(h) => accepted.push(h),
+            Err(SubmitError::QueueFull) => rejected += 1,
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+        assert!(
+            accepted.len() < 64,
+            "stage capacity 2 must reject under sustained load"
+        );
+    }
+    let mid = engine.metrics();
+    let admit = mid
+        .stages
+        .iter()
+        .find(|s| s.name == "admit")
+        .expect("admit stage snapshot");
+    assert!(
+        admit.rejected >= 1,
+        "the admit queue recorded the rejection"
+    );
+    assert!(
+        admit.high_water >= 1,
+        "queued depth must register in the high-water mark"
+    );
+    assert!(
+        mid.to_string().contains("stage admit:"),
+        "pipeline metrics must render per-stage lines"
+    );
+    for h in accepted {
+        assert!(h.wait().is_ok(), "accepted jobs still complete");
+    }
+    let metrics = engine.shutdown();
+    assert_eq!(metrics.rejected, rejected);
+    assert_eq!(metrics.failed, 0);
+    let exec = metrics
+        .stages
+        .iter()
+        .find(|s| s.name == "execute")
+        .expect("execute stage snapshot");
+    assert!(exec.high_water >= 1, "the execute queue actually filled");
+}
+
+/// Under `AllocMode::LimitMemory`, total in-flight state-vector bytes never
+/// exceed the cap across 100 mixed-size jobs, and a job too large for the
+/// cap on its own is refused outright with the typed error.
+#[test]
+fn limit_memory_caps_in_flight_bytes() {
+    const CAP: u64 = 64 * 1024; // exactly one 12-qubit register
+    let engine = Engine::start(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_alloc(AllocMode::LimitMemory(CAP)),
+    );
+    let config = SimConfig::single_device();
+    let circuits: Vec<Arc<Circuit>> = (6..=12).map(|n| Arc::new(ghz_with_measure(n))).collect();
+    let mut handles = Vec::new();
+    for i in 0..100usize {
+        let circuit = &circuits[i % circuits.len()];
+        let mut tries = 0u32;
+        let h = loop {
+            match engine.submit(one_shot(circuit, config)) {
+                Ok(h) => break h,
+                Err(SubmitError::MemoryExceeded { .. } | SubmitError::QueueFull) => {
+                    tries += 1;
+                    assert!(tries < 200_000, "admission starved under the byte cap");
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        };
+        handles.push(h);
+        if i % 10 == 0 {
+            let m = engine.metrics();
+            assert!(
+                m.mem_in_flight_bytes <= CAP,
+                "in-flight bytes {} over the {CAP}-byte cap",
+                m.mem_in_flight_bytes
+            );
+            assert!(m.mem_high_water_bytes <= CAP);
+        }
+    }
+    // A 13-qubit register (128 KiB) can never fit under the cap.
+    let oversized = Arc::new(ghz_with_measure(13));
+    match engine.submit(one_shot(&oversized, config)) {
+        Err(SubmitError::MemoryExceeded { needed, limit }) => {
+            assert_eq!(needed, 128 * 1024);
+            assert_eq!(limit, CAP);
+        }
+        other => panic!("oversized job must be refused, got {other:?}"),
+    }
+    for h in handles {
+        assert!(h.wait().is_ok(), "every capped job still completes");
+    }
+    let metrics = engine.shutdown();
+    assert_eq!(metrics.completed, 100);
+    assert_eq!(metrics.mem_in_flight_bytes, 0, "all leases released");
+    assert!(metrics.mem_high_water_bytes > 0);
+    assert!(metrics.mem_high_water_bytes <= CAP);
+    assert_eq!(metrics.mem_limit_bytes, Some(CAP));
+    assert!(metrics.to_string().contains("memory: in_flight_bytes=0"));
+}
+
+/// The legacy worker pool and the pipeline must produce bit-identical
+/// results for the same jobs — the pipeline is a scheduling change, never
+/// a numerical one.
+#[test]
+fn legacy_model_matches_pipeline_bit_for_bit() {
+    let circuit = Arc::new(ghz_with_measure(6));
+    let template = ansatz(5, 2);
+    let configs = [
+        SimConfig::single_device().with_seed(11),
+        SimConfig::scale_up(2).with_seed(22),
+        SimConfig::scale_out(4).with_seed(33),
+    ];
+    let run_model = |model: ExecutionModel| {
+        let engine = Engine::start(EngineConfig::default().with_workers(2).with_model(model));
+        let id = engine.register_template("ansatz", &template).unwrap();
+        let mut states = Vec::new();
+        for config in configs {
+            let h = engine
+                .submit(JobRequest::new(JobSpec::OneShot {
+                    circuit: Arc::clone(&circuit),
+                    config,
+                    shots: 32,
+                    return_state: true,
+                }))
+                .unwrap();
+            let JobOutput::OneShot {
+                summary,
+                state,
+                samples,
+            } = h.wait().unwrap()
+            else {
+                panic!("one-shot output expected");
+            };
+            states.push((summary.cbits, state.unwrap(), samples.unwrap()));
+        }
+        let mut sweeps = Vec::new();
+        for i in 0..8 {
+            let h = engine
+                .submit(JobRequest::new(JobSpec::Sweep {
+                    template: id,
+                    params: vec![0.1 * i as f64; template.n_vars()],
+                    returning: SweepReturn::State,
+                }))
+                .unwrap();
+            let JobOutput::Sweep { state, .. } = h.wait().unwrap() else {
+                panic!("sweep output expected");
+            };
+            sweeps.push(state.unwrap());
+        }
+        let _ = engine.shutdown();
+        (states, sweeps)
+    };
+    let (p_states, p_sweeps) = run_model(ExecutionModel::Pipeline);
+    let (l_states, l_sweeps) = run_model(ExecutionModel::Legacy);
+    for (i, ((pc, ps, ph), (lc, ls, lh))) in p_states.iter().zip(&l_states).enumerate() {
+        assert_eq!(pc, lc, "config {i}: classical bits");
+        assert_eq!(ps.re(), ls.re(), "config {i}: re");
+        assert_eq!(ps.im(), ls.im(), "config {i}: im");
+        assert_eq!(ph, lh, "config {i}: sample histogram");
+    }
+    for (i, (p, l)) in p_sweeps.iter().zip(&l_sweeps).enumerate() {
+        assert_eq!(p.re(), l.re(), "sweep {i}: re");
+        assert_eq!(p.im(), l.im(), "sweep {i}: im");
+    }
+    // And both match a directly driven simulator.
+    let mut direct = Simulator::new(6, configs[0]).unwrap();
+    let direct_summary = direct.run(&circuit).unwrap();
+    assert_eq!(p_states[0].0, direct_summary.cbits);
+    assert_eq!(p_states[0].1.re(), direct.state().re());
+}
+
+/// Under `SchedMode::Lifo`, the freshest same-priority submission runs
+/// first once a worker frees up.
+#[test]
+fn lifo_runs_freshest_submission_first() {
+    let engine = Engine::start(
+        EngineConfig::default()
+            .with_workers(1)
+            .with_max_batch(1)
+            .with_sched(SchedMode::Lifo),
+    );
+    let slow = Arc::new(deep_blocker());
+    let fast = Arc::new(ghz_with_measure(4));
+    let config = SimConfig::single_device();
+    let blocker = engine.submit(one_shot(&slow, config)).unwrap();
+    std::thread::sleep(Duration::from_millis(10));
+    let first = engine.submit(one_shot(&fast, config)).unwrap();
+    // Let `first` clear the compile stage before the fresher job arrives,
+    // so both sit in the execute queue in submission order.
+    std::thread::sleep(Duration::from_millis(10));
+    let fresh = engine.submit(one_shot(&fast, config)).unwrap();
+    assert!(blocker.wait().is_ok());
+    // LIFO: `fresh` executes before `first`, so once `first` resolves the
+    // fresher job's result must already be published.
+    assert!(first.wait().is_ok());
+    assert!(
+        fresh.try_take().is_some(),
+        "LIFO must run the freshest submission first"
+    );
+    let _ = engine.shutdown();
+}

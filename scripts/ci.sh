@@ -38,6 +38,16 @@ echo "== communication-avoiding remap gate =="
 # every deep circuit (>= 100 gates). Writes BENCH_5.json.
 cargo run --release --quiet -- remap-bench --pes 8 --assert-max-ratio 0.5
 
+echo "== pipeline serving gate =="
+# Legacy worker pool vs the staged dataflow pipeline on one mixed stream:
+# latency-sensitive small one-shots interleaved behind wide sampled
+# one-shots, over a background of QAOA/QNN sweep points. Repetitions
+# interleave legacy/pipeline so host noise lands on both models evenly.
+# Writes BENCH_8.json. Hard gates: bit-identical checksums across the two
+# execution models and pipeline throughput >= 1.0x legacy; small-job
+# p50/p99 latency is recorded alongside.
+cargo run --release --quiet -- serve-bench --compare --reps 7 --assert-min-ratio 1.0
+
 echo "== fault-injection smoke matrix =="
 # Seeded end-to-end recovery: every job checksum under injected faults
 # must match the fault-free reference bit for bit (nonzero exit if not).

@@ -9,6 +9,10 @@
 //! sv-sim platforms
 //! sv-sim serve-bench [--workers N] [--sweeps N] [--one-shots N]
 //!                    [--batch N] [--seed S] [--reps N]
+//!                    [--model pipeline|legacy] [--stage-capacity N]
+//!                    [--sched fifo|lifo] [--limit-memory-mb N]
+//!                    [--compare [--smalls N] [--shots N] [--out FILE]
+//!                               [--assert-min-ratio R]]
 //! sv-sim fault-bench [--fault kill-pe|drop-put|poison-barrier|hang-pe|torn-checkpoint|exec]
 //!                    [--chaos] [--recovery retry|respawn|degrade] [--hang-ms MS]
 //!                    [--pes N] [--pe-mode thread|process] [--every K]
@@ -31,7 +35,9 @@ fn usage() -> ExitCode {
          sv-sim stats <file.qasm>\n  \
          sv-sim estimate <file.qasm> --platform <name> [--workers N]\n  \
          sv-sim platforms\n  \
-         sv-sim serve-bench [--workers N] [--sweeps N] [--one-shots N] [--batch N] [--seed S] [--reps N]\n  \
+         sv-sim serve-bench [--workers N] [--sweeps N] [--one-shots N] [--batch N] [--seed S] [--reps N] \
+         [--model pipeline|legacy] [--stage-capacity N] [--sched fifo|lifo] [--limit-memory-mb N] \
+         [--compare [--smalls N] [--shots N] [--out FILE] [--assert-min-ratio R]]\n  \
          sv-sim fault-bench [--fault kill-pe|drop-put|poison-barrier|hang-pe|torn-checkpoint|exec] \
          [--chaos] [--recovery retry|respawn|degrade] [--hang-ms MS] [--pes N] \
          [--pe-mode thread|process] [--every K] \
@@ -289,10 +295,74 @@ fn cmd_estimate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Parse `--model pipeline|legacy` (pipeline — the engine default — when
+/// absent).
+fn parse_model(args: &[String]) -> Result<sv_sim::engine::ExecutionModel, String> {
+    use sv_sim::engine::ExecutionModel;
+    match flag_value(args, "--model") {
+        None | Some("pipeline") => Ok(ExecutionModel::Pipeline),
+        Some("legacy") => Ok(ExecutionModel::Legacy),
+        Some(other) => Err(format!("unknown --model {other} (pipeline|legacy)")),
+    }
+}
+
+/// Parse `--sched fifo|lifo` (FIFO when absent).
+fn parse_sched(args: &[String]) -> Result<sv_sim::engine::SchedMode, String> {
+    use sv_sim::engine::SchedMode;
+    match flag_value(args, "--sched") {
+        None | Some("fifo") => Ok(SchedMode::Fifo),
+        Some("lifo") => Ok(SchedMode::Lifo),
+        Some(other) => Err(format!("unknown --sched {other} (fifo|lifo)")),
+    }
+}
+
+/// Parse `--limit-memory-mb N` into the engine's allocation mode
+/// (unbounded packet count when absent).
+fn parse_alloc(args: &[String]) -> Result<sv_sim::engine::AllocMode, Box<dyn std::error::Error>> {
+    use sv_sim::engine::AllocMode;
+    Ok(match flag_value(args, "--limit-memory-mb") {
+        Some(mb) => AllocMode::LimitMemory(mb.parse::<u64>()?.saturating_mul(1024 * 1024)),
+        None => AllocMode::default(),
+    })
+}
+
+/// Submit treating backpressure as flow control: a rejected submission
+/// (`QueueFull`, or `MemoryExceeded` under `AllocMode::LimitMemory`) is
+/// the engine saying "later", so the bench client parks briefly and
+/// resubmits — exactly what a real front-end does with a 429. Any other
+/// refusal is a real error, and sustained rejection (~5 s) gives up.
+fn submit_flow_controlled(
+    engine: &sv_sim::engine::Engine,
+    request: &sv_sim::engine::JobRequest,
+) -> Result<sv_sim::engine::JobHandle, String> {
+    use sv_sim::engine::SubmitError;
+    for _ in 0..25_000 {
+        match engine.submit(request.clone()) {
+            Ok(handle) => return Ok(handle),
+            Err(SubmitError::QueueFull | SubmitError::MemoryExceeded { .. }) => {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Err("engine kept rejecting submissions for ~5s".into())
+}
+
+/// `p`-th percentile of an ascending-sorted latency sample (nearest-rank).
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
 /// Drive the serving engine with a synthetic request mix — Table 4 medium
 /// circuits arriving as OpenQASM one-shots plus QAOA/QNN parameter sweeps —
 /// then replay the identical work naively (fresh simulator, re-synthesized
-/// circuit per request) and compare wall-clock.
+/// circuit per request) and compare wall-clock. With `--compare`, instead
+/// race the legacy worker pool against the staged pipeline on one mixed
+/// stream (see [`serve_compare`]).
 fn cmd_serve_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     use std::sync::Arc;
     use std::time::Instant;
@@ -301,6 +371,10 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     use sv_sim::vqa::{qaoa_params, qaoa_template, qnn_params, qnn_template};
     use sv_sim::workloads::qaoa::Graph;
     use sv_sim::workloads::qnn::qnn_n_weights;
+
+    if args.iter().any(|a| a == "--compare") {
+        return serve_compare(args);
+    }
 
     // Default worker count follows EngineConfig::default() (available
     // parallelism): on a single-CPU host extra workers only add context
@@ -312,6 +386,10 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let max_batch: usize = flag_value(args, "--batch").map_or(Ok(16), str::parse)?;
     let seed: u64 = flag_value(args, "--seed").map_or(Ok(0x5EBE), str::parse)?;
     let reps: usize = flag_value(args, "--reps").map_or(Ok(3), str::parse)?.max(1);
+    let model = parse_model(args)?;
+    let stage_capacity: usize = flag_value(args, "--stage-capacity").map_or(Ok(0), str::parse)?;
+    let sched = parse_sched(args)?;
+    let alloc = parse_alloc(args)?;
 
     // --- Synthetic mix ----------------------------------------------------
     // One-shots cross the service boundary as OpenQASM text; parsing is
@@ -351,7 +429,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     println!(
-        "serve-bench: {} one-shots + {} sweep points ({} QAOA, {} QNN), {} workers, batch {}, best of {} reps",
+        "serve-bench [{model:?}]: {} one-shots + {} sweep points ({} QAOA, {} QNN), {} workers, batch {}, best of {} reps",
         one_shots,
         qaoa_points.len() + qnn_points.len(),
         qaoa_points.len(),
@@ -369,7 +447,11 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let engine = Engine::start(
         EngineConfig::default()
             .with_workers(workers)
-            .with_max_batch(max_batch),
+            .with_max_batch(max_batch)
+            .with_model(model)
+            .with_stage_capacity(stage_capacity)
+            .with_sched(sched)
+            .with_alloc(alloc),
     );
     let qaoa_id = engine.register_template("qaoa_maxcut_n8", &qaoa)?;
     let qnn_id = engine.register_template("qnn_grid_n8", &qnn)?;
@@ -394,7 +476,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 Priority::Normal
             });
-            handles.push(engine.submit(request).map_err(|e| e.to_string())?);
+            handles.push(submit_flow_controlled(&engine, &request)?);
         }
         // Interleave the two sweep families so coalescing has to pick same-
         // template neighbors out of a mixed queue.
@@ -413,7 +495,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                     returning: SweepReturn::ExpZ(qaoa_mask),
                 })
                 .with_priority(Priority::Low);
-                handles.push(engine.submit(request).map_err(|e| e.to_string())?);
+                handles.push(submit_flow_controlled(&engine, &request)?);
             }
             if let Some(p) = b {
                 let request = JobRequest::new(JobSpec::Sweep {
@@ -422,7 +504,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                     returning: SweepReturn::ExpZ(qnn_readout_mask),
                 })
                 .with_priority(Priority::Low);
-                handles.push(engine.submit(request).map_err(|e| e.to_string())?);
+                handles.push(submit_flow_controlled(&engine, &request)?);
             }
         }
         // Wait newest-first: one blocking wait covers most of the backlog and
@@ -498,6 +580,421 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "checksum mismatch: engine {engine_checksum} vs naive {naive_checksum}"
         )
         .into());
+    }
+    Ok(())
+}
+
+/// Race the legacy worker pool against the staged pipeline on one mixed
+/// request stream and write `BENCH_8.json`.
+///
+/// The stream is the head-of-line-blocking shape the pipeline exists for:
+/// latency-sensitive small one-shots interleaved behind wide one-shots
+/// that owe thousands of post-run samples (readback work the pipeline
+/// moves off the execute worker), over a background of QAOA/QNN sweep
+/// points. Both models receive the *same* `Arc<Circuit>`s — a front-end
+/// parse cache — so repeated submissions exercise the compile stage's
+/// plan cache. Gates: results must be bit-identical across models
+/// (checksums compared exactly), zero SHMEM races, and with
+/// `--assert-min-ratio R` the pipeline/legacy throughput ratio becomes a
+/// hard floor.
+fn serve_compare(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use std::fmt::Write as _;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use sv_sim::engine::{
+        Engine, EngineConfig, ExecutionModel, JobOutput, JobRequest, JobSpec, MetricsSnapshot,
+        Priority, SweepReturn,
+    };
+    use sv_sim::types::SvRng;
+    use sv_sim::vqa::{qaoa_params, qaoa_template, qnn_params, qnn_template};
+    use sv_sim::workloads::qaoa::Graph;
+    use sv_sim::workloads::qnn::qnn_n_weights;
+    use sv_sim::workloads::{algos::cat_state, states::w_state};
+
+    let default_workers = EngineConfig::default().workers;
+    let workers: usize = flag_value(args, "--workers").map_or(Ok(default_workers), str::parse)?;
+    let max_batch: usize = flag_value(args, "--batch").map_or(Ok(16), str::parse)?;
+    let seed: u64 = flag_value(args, "--seed").map_or(Ok(0x5EBE), str::parse)?;
+    let reps: usize = flag_value(args, "--reps").map_or(Ok(3), str::parse)?.max(1);
+    let smalls: usize = flag_value(args, "--smalls").map_or(Ok(48), str::parse)?;
+    let larges: usize = flag_value(args, "--one-shots").map_or(Ok(12), str::parse)?;
+    let sweeps: usize = flag_value(args, "--sweeps").map_or(Ok(64), str::parse)?;
+    let shots: usize = flag_value(args, "--shots").map_or(Ok(2048), str::parse)?;
+    let stage_capacity: usize = flag_value(args, "--stage-capacity").map_or(Ok(0), str::parse)?;
+    let sched = parse_sched(args)?;
+    let alloc = parse_alloc(args)?;
+    let out_path = flag_value(args, "--out").unwrap_or("BENCH_8.json");
+    let assert_min_ratio: Option<f64> = flag_value(args, "--assert-min-ratio")
+        .map(str::parse)
+        .transpose()?;
+
+    // One-shots cross the service boundary as OpenQASM text. Each source is
+    // parsed once and the `Arc<Circuit>` shared across requests — a service
+    // front-end holding a parse cache — so repeated submissions of one
+    // circuit are exactly the shape the compile stage's plan cache serves.
+    // Both models receive the identical `Arc`s. The small circuit is
+    // narrow but deep (a hardware-efficient ansatz shape): cheap on
+    // amplitudes, expensive to lower, so the cached plan is a real share
+    // of its cost.
+    const SMALL_QUBITS: u32 = 10;
+    const SMALL_LAYERS: u32 = 20;
+    const LARGE_QUBITS: u32 = 17;
+    let small_circuit = {
+        let mut c = sv_sim::ir::Circuit::with_cbits(SMALL_QUBITS, 0);
+        for q in 0..SMALL_QUBITS {
+            c.apply(sv_sim::ir::GateKind::H, &[q], &[])?;
+        }
+        for layer in 0..SMALL_LAYERS {
+            for q in 0..SMALL_QUBITS {
+                let theta = 0.1 * f64::from(layer + 1) + 0.01 * f64::from(q);
+                c.apply(sv_sim::ir::GateKind::RY, &[q], &[theta])?;
+            }
+            for q in 0..SMALL_QUBITS {
+                c.apply(sv_sim::ir::GateKind::CX, &[q, (q + 1) % SMALL_QUBITS], &[])?;
+            }
+        }
+        Arc::new(parse_circuit(&sv_sim::qasm::to_qasm(&c)?)?)
+    };
+    let large_circuits = [
+        Arc::new(parse_circuit(&sv_sim::qasm::to_qasm(&cat_state(
+            LARGE_QUBITS,
+        )?)?)?),
+        Arc::new(parse_circuit(&sv_sim::qasm::to_qasm(&w_state(
+            LARGE_QUBITS,
+        )?)?)?),
+    ];
+
+    let graph = Graph::random(8, 0.4, seed);
+    let qaoa = qaoa_template(&graph, 2)?;
+    let qnn = qnn_template(7, 2)?;
+    let n_weights = qnn_n_weights(7, 2);
+    let qnn_readout_mask = 1u64 << 7;
+    let qaoa_mask = (1u64 << 8) - 1;
+    let mut rng = SvRng::seed_from_u64(seed);
+    let qaoa_points: Vec<Vec<f64>> = (0..sweeps.div_ceil(2))
+        .map(|_| {
+            let gammas = [rng.range_f64(-2.0, 2.0), rng.range_f64(-2.0, 2.0)];
+            let betas = [rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)];
+            qaoa_params(&gammas, &betas)
+        })
+        .collect();
+    let qnn_points: Vec<Vec<f64>> = (0..sweeps / 2)
+        .map(|_| {
+            let features: Vec<f64> = (0..7).map(|_| rng.range_f64(0.0, 1.0)).collect();
+            let weights: Vec<f64> = (0..n_weights).map(|_| rng.range_f64(-1.5, 1.5)).collect();
+            qnn_params(&features, &weights)
+        })
+        .collect();
+
+    // Arrival order: each wide sampled one-shot immediately followed by a
+    // burst of small ones, so under FIFO the smalls queue *behind* the
+    // large job — the co-scheduling pattern whose tail latency the
+    // pipeline is supposed to fix by offloading the large job's sampling
+    // to the readback stage.
+    enum Shot {
+        Small(usize),
+        Large(usize),
+    }
+    let stride = (smalls / larges.max(1)).max(1);
+    let mut order: Vec<Shot> = Vec::with_capacity(smalls + larges);
+    {
+        let mut s = 0;
+        for l in 0..larges {
+            order.push(Shot::Large(l));
+            for _ in 0..stride {
+                if s < smalls {
+                    order.push(Shot::Small(s));
+                    s += 1;
+                }
+            }
+        }
+        while s < smalls {
+            order.push(Shot::Small(s));
+            s += 1;
+        }
+    }
+
+    fn output_checksum(out: &JobOutput) -> f64 {
+        match out {
+            JobOutput::OneShot {
+                summary, samples, ..
+            } => {
+                let mut c = summary.gates as f64;
+                if let Some(hist) = samples {
+                    for (&bits, &count) in hist {
+                        c += bits as f64 * count as f64;
+                    }
+                }
+                c
+            }
+            JobOutput::Sweep { value, .. } => value.unwrap_or(0.0),
+        }
+    }
+
+    struct ModelOutcome {
+        wall: Duration,
+        small_lat_ms: Vec<f64>,
+        checksum: f64,
+        metrics: MetricsSnapshot,
+    }
+
+    let start_engine = |model: ExecutionModel| -> Result<
+        (
+            Engine,
+            sv_sim::engine::TemplateId,
+            sv_sim::engine::TemplateId,
+        ),
+        Box<dyn std::error::Error>,
+    > {
+        let engine = Engine::start(
+            EngineConfig::default()
+                .with_workers(workers)
+                .with_max_batch(max_batch)
+                .with_model(model)
+                .with_stage_capacity(stage_capacity)
+                .with_sched(sched)
+                .with_alloc(alloc),
+        );
+        let qaoa_id = engine.register_template("qaoa_maxcut_n8", &qaoa)?;
+        let qnn_id = engine.register_template("qnn_grid_n8", &qnn)?;
+        Ok((engine, qaoa_id, qnn_id))
+    };
+
+    // One replay of the request stream against a running engine; returns
+    // (wall, per-small latencies in submission order, checksum).
+    let run_rep = |engine: &Engine,
+                   qaoa_id: sv_sim::engine::TemplateId,
+                   qnn_id: sv_sim::engine::TemplateId|
+     -> Result<(Duration, Vec<f64>, f64), Box<dyn std::error::Error>> {
+        {
+            let t0 = Instant::now();
+            let mut handles = Vec::with_capacity(order.len() + sweeps);
+            for shot in &order {
+                let (circuit, i, small) = match shot {
+                    Shot::Small(i) => (Arc::clone(&small_circuit), *i, true),
+                    Shot::Large(i) => (
+                        Arc::clone(&large_circuits[*i % large_circuits.len()]),
+                        *i,
+                        false,
+                    ),
+                };
+                let mut config = SimConfig::single_device();
+                config.seed = seed ^ ((i as u64) << 1) ^ u64::from(small);
+                let request = JobRequest::new(JobSpec::OneShot {
+                    circuit,
+                    config,
+                    shots: if small { 0 } else { shots },
+                    return_state: false,
+                });
+                let handle = submit_flow_controlled(engine, &request)?;
+                handles.push((Instant::now(), handle, small));
+            }
+            let mut qa = qaoa_points.iter();
+            let mut qn = qnn_points.iter();
+            loop {
+                let a = qa.next();
+                let b = qn.next();
+                if a.is_none() && b.is_none() {
+                    break;
+                }
+                if let Some(p) = a {
+                    let request = JobRequest::new(JobSpec::Sweep {
+                        template: qaoa_id,
+                        params: p.clone(),
+                        returning: SweepReturn::ExpZ(qaoa_mask),
+                    })
+                    .with_priority(Priority::Low);
+                    let handle = submit_flow_controlled(engine, &request)?;
+                    handles.push((Instant::now(), handle, false));
+                }
+                if let Some(p) = b {
+                    let request = JobRequest::new(JobSpec::Sweep {
+                        template: qnn_id,
+                        params: p.clone(),
+                        returning: SweepReturn::ExpZ(qnn_readout_mask),
+                    })
+                    .with_priority(Priority::Low);
+                    let handle = submit_flow_controlled(engine, &request)?;
+                    handles.push((Instant::now(), handle, false));
+                }
+            }
+            // Collect the smalls first (their completion is what's timed;
+            // blocking on a not-yet-done small never delays the engine),
+            // then the rest; checksum in submission order so the f64 sum
+            // is order-stable across models.
+            let mut outputs: Vec<Option<JobOutput>> = Vec::with_capacity(handles.len());
+            outputs.resize_with(handles.len(), || None);
+            let mut lats = Vec::with_capacity(smalls);
+            for (i, (submitted, handle, small)) in handles.iter().enumerate() {
+                if *small {
+                    outputs[i] = Some(handle.wait().map_err(|e| e.to_string())?);
+                    lats.push(submitted.elapsed().as_secs_f64() * 1e3);
+                }
+            }
+            for (i, (_, handle, small)) in handles.iter().enumerate() {
+                if !*small {
+                    outputs[i] = Some(handle.wait().map_err(|e| e.to_string())?);
+                }
+            }
+            let wall = t0.elapsed();
+            let checksum = outputs.iter().flatten().map(output_checksum).sum();
+            Ok((wall, lats, checksum))
+        }
+    };
+
+    let total_jobs = smalls + larges + qaoa_points.len() + qnn_points.len();
+    println!(
+        "serve-bench --compare: {smalls} small (n={SMALL_QUBITS}) + {larges} large (n={LARGE_QUBITS}, {shots} shots) one-shots + {} sweep points, {workers} workers, best of {reps} reps",
+        qaoa_points.len() + qnn_points.len(),
+    );
+
+    // Interleave repetitions legacy/pipeline/legacy/pipeline so host noise
+    // (this may be a shared single-CPU container) lands on both models
+    // evenly rather than biasing whichever ran last; keep each model's
+    // best repetition.
+    let (legacy_engine, lqaoa, lqnn) = start_engine(ExecutionModel::Legacy)?;
+    let (pipeline_engine, pqaoa, pqnn) = start_engine(ExecutionModel::Pipeline)?;
+    let mut best = [
+        (Duration::MAX, Vec::new(), 0.0f64),
+        (Duration::MAX, Vec::new(), 0.0f64),
+    ];
+    for _ in 0..reps {
+        for (slot, rep) in [
+            run_rep(&legacy_engine, lqaoa, lqnn)?,
+            run_rep(&pipeline_engine, pqaoa, pqnn)?,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            best[slot].2 = rep.2;
+            if rep.0 < best[slot].0 {
+                best[slot] = rep;
+            }
+        }
+    }
+    let outcome = |(wall, mut lat, checksum): (Duration, Vec<f64>, f64),
+                   metrics: MetricsSnapshot| {
+        lat.sort_by(f64::total_cmp);
+        ModelOutcome {
+            wall,
+            small_lat_ms: lat,
+            checksum,
+            metrics,
+        }
+    };
+    let [legacy_best, pipeline_best] = best;
+    let legacy = outcome(legacy_best, legacy_engine.shutdown());
+    let pipeline = outcome(pipeline_best, pipeline_engine.shutdown());
+
+    let jobs_per_s = |o: &ModelOutcome| total_jobs as f64 / o.wall.as_secs_f64();
+    let ratio = jobs_per_s(&pipeline) / jobs_per_s(&legacy);
+    let p50 = |o: &ModelOutcome| percentile(&o.small_lat_ms, 0.50);
+    let p99 = |o: &ModelOutcome| percentile(&o.small_lat_ms, 0.99);
+    println!();
+    for (name, o) in [("legacy", &legacy), ("pipeline", &pipeline)] {
+        println!(
+            "{name:>9}: {:>9.3} ms wall  {:>8.1} jobs/s  small p50 {:>8.3} ms  p99 {:>8.3} ms  (checksum {:+.9})",
+            o.wall.as_secs_f64() * 1e3,
+            jobs_per_s(o),
+            p50(o),
+            p99(o),
+            o.checksum,
+        );
+    }
+    println!(
+        "throughput ratio (pipeline/legacy): {ratio:.3}x   small p99 ratio: {:.3}x",
+        p99(&pipeline) / p99(&legacy).max(f64::MIN_POSITIVE),
+    );
+    if args.iter().any(|a| a == "--verbose") {
+        for (name, o) in [("legacy", &legacy), ("pipeline", &pipeline)] {
+            println!("\n-- {name} engine metrics --\n{}", o.metrics);
+        }
+    }
+
+    let mut json = String::new();
+    writeln!(json, "{{")?;
+    writeln!(json, "  \"bench\": \"pipeline_serve\",")?;
+    writeln!(json, "  \"seed\": {seed},")?;
+    writeln!(json, "  \"workers\": {workers},")?;
+    writeln!(json, "  \"reps\": {reps},")?;
+    writeln!(
+        json,
+        "  \"mix\": {{\"small_one_shots\": {smalls}, \"small_qubits\": {SMALL_QUBITS}, \
+         \"large_one_shots\": {larges}, \"large_qubits\": {LARGE_QUBITS}, \
+         \"large_shots\": {shots}, \"sweep_points\": {}}},",
+        qaoa_points.len() + qnn_points.len(),
+    )?;
+    for (name, o) in [("legacy", &legacy), ("pipeline", &pipeline)] {
+        writeln!(
+            json,
+            "  \"{name}\": {{\"wall_ms\": {:.3}, \"jobs_per_s\": {:.1}, \
+             \"small_p50_ms\": {:.3}, \"small_p99_ms\": {:.3}, \"checksum\": {:.9},",
+            o.wall.as_secs_f64() * 1e3,
+            jobs_per_s(o),
+            p50(o),
+            p99(o),
+            o.checksum,
+        )?;
+        writeln!(
+            json,
+            "    \"mem_high_water_bytes\": {},",
+            o.metrics.mem_high_water_bytes
+        )?;
+        writeln!(json, "    \"stages\": [")?;
+        for (i, s) in o.metrics.stages.iter().enumerate() {
+            writeln!(
+                json,
+                "      {{\"name\": \"{}\", \"high_water\": {}, \"pushed\": {}, \
+                 \"popped\": {}, \"rejected\": {}, \"blocked\": {}}}{}",
+                s.name,
+                s.high_water,
+                s.pushed,
+                s.popped,
+                s.rejected,
+                s.blocked,
+                if i + 1 < o.metrics.stages.len() {
+                    ","
+                } else {
+                    ""
+                },
+            )?;
+        }
+        writeln!(json, "    ]")?;
+        writeln!(json, "  }},")?;
+    }
+    writeln!(json, "  \"throughput_ratio\": {ratio:.3},")?;
+    writeln!(
+        json,
+        "  \"small_p99_ratio\": {:.3},",
+        p99(&pipeline) / p99(&legacy).max(f64::MIN_POSITIVE),
+    )?;
+    writeln!(
+        json,
+        "  \"checksums_match\": {}",
+        legacy.checksum.to_bits() == pipeline.checksum.to_bits(),
+    )?;
+    writeln!(json, "}}")?;
+    std::fs::write(out_path, &json)?;
+    println!("wrote {out_path}");
+
+    let races = legacy.metrics.races_detected + pipeline.metrics.races_detected;
+    if races > 0 {
+        return Err(format!("{races} SHMEM protocol races detected").into());
+    }
+    if legacy.checksum.to_bits() != pipeline.checksum.to_bits() {
+        return Err(format!(
+            "checksum mismatch: legacy {:?} vs pipeline {:?}",
+            legacy.checksum, pipeline.checksum
+        )
+        .into());
+    }
+    if let Some(min_ratio) = assert_min_ratio {
+        if ratio < min_ratio {
+            return Err(format!(
+                "pipeline throughput ratio {ratio:.3} below required minimum {min_ratio}"
+            )
+            .into());
+        }
     }
     Ok(())
 }
