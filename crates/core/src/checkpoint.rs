@@ -303,6 +303,20 @@ const STORE_MAGIC: u64 = u64::from_le_bytes(*b"SVCKPT01");
 /// a corrupt newest generation always has a fallback.
 const KEEP_GENERATIONS: usize = 2;
 
+/// Where a simulated crash interrupts the commit protocol — used by the
+/// `svsim-verify` crash-at-any-write checker, which drives the *same*
+/// commit code [`CheckpointStore::save`] runs in production.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitCrash {
+    /// Die right after creating the temp file (zero bytes written).
+    AfterCreate,
+    /// Die mid-write: only the first `n` bytes of the temp file land.
+    AfterTempBytes(usize),
+    /// Die after the full write and fsync, before the rename — the temp
+    /// file is durable but no generation name points at it.
+    BeforeRename,
+}
+
 /// Crash-consistent on-disk checkpoint store.
 ///
 /// Each [`save`](Self::save) writes a new numbered generation with the
@@ -374,6 +388,30 @@ impl CheckpointStore {
     /// [`SvError::Checkpoint`] on any I/O failure (the store is left with
     /// its previous generations intact).
     pub fn save(&mut self, cp: &Checkpoint) -> SvResult<u64> {
+        Ok(self
+            .commit(cp, None)?
+            .expect("commit without crash injection always completes"))
+    }
+
+    /// Run the *real* commit protocol but stop dead at `crash`, as if the
+    /// process died at that instant — the `svsim-verify` checker calls
+    /// this for every possible crash point and proves
+    /// [`load_latest`](Self::load_latest) never returns an uncommitted
+    /// generation. The store must be treated as lost afterwards (a real
+    /// crash kills the process); recovery reopens the directory with
+    /// [`open`](Self::open).
+    ///
+    /// # Errors
+    /// [`SvError::Checkpoint`] on I/O failure before the crash point.
+    pub fn save_crashed(&mut self, cp: &Checkpoint, crash: CommitCrash) -> SvResult<()> {
+        self.commit(cp, Some(crash)).map(|_| ())
+    }
+
+    /// The commit protocol: write `gen-N.tmp`, `fsync`, rename into
+    /// place. `crash` simulates dying at a protocol step (`None` on the
+    /// production path — [`save`](Self::save) is this code, so what the
+    /// checker crashes is exactly what ships).
+    fn commit(&mut self, cp: &Checkpoint, crash: Option<CommitCrash>) -> SvResult<Option<u64>> {
         let generation = self.next_gen;
         let bytes = cp.to_bytes(generation);
         let tmp = self.dir.join(format!("gen-{generation:06}.tmp"));
@@ -381,15 +419,26 @@ impl CheckpointStore {
             SvError::Checkpoint(format!("generation {generation}: {what}: {e}"))
         };
         let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create temp", e))?;
+        if crash == Some(CommitCrash::AfterCreate) {
+            return Ok(None);
+        }
+        if let Some(CommitCrash::AfterTempBytes(n)) = crash {
+            f.write_all(&bytes[..n.min(bytes.len())])
+                .map_err(|e| io_err("write", e))?;
+            return Ok(None);
+        }
         f.write_all(&bytes).map_err(|e| io_err("write", e))?;
         // The barrier that makes the rename atomic in the crash sense:
         // the data must be durable before the name is.
         f.sync_all().map_err(|e| io_err("fsync", e))?;
         drop(f);
+        if crash == Some(CommitCrash::BeforeRename) {
+            return Ok(None);
+        }
         std::fs::rename(&tmp, self.gen_path(generation)).map_err(|e| io_err("rename", e))?;
         self.next_gen = generation + 1;
         self.prune();
-        Ok(generation)
+        Ok(Some(generation))
     }
 
     /// Simulate a mid-write crash for fault injection

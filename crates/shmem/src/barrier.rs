@@ -4,16 +4,21 @@
 //! (one per gate, exactly as in the paper's Listing 5), so it is built
 //! directly on atomics rather than a mutex/condvar pair. A poison flag lets
 //! a panicking PE release the others instead of deadlocking the barrier.
+//!
+//! The protocol itself lives in [`crate::proto::bar`] as a pure state
+//! machine — the same code the process backend drives over arena words
+//! and the `svsim-verify` model checker drives over a model memory. This
+//! type supplies the thread backend's storage (three process-local
+//! atomic words) and waiting policy (spin then yield).
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::proto::bar::{Actor, BarrierSm, Step, BAR_POISON};
+use crate::proto::{AtomicWords, MemOrder, ProtoMem};
 
 /// Sense-reversing barrier over a fixed number of participants.
 #[derive(Debug)]
 pub struct SenseBarrier {
-    n: usize,
-    count: AtomicUsize,
-    sense: AtomicBool,
-    poisoned: AtomicBool,
+    sm: BarrierSm,
+    words: AtomicWords<3>,
 }
 
 /// Per-participant barrier state (each PE keeps its own flipping sense).
@@ -70,17 +75,19 @@ impl SenseBarrier {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "barrier needs at least one participant");
         Self {
-            n,
-            count: AtomicUsize::new(0),
-            sense: AtomicBool::new(false),
-            poisoned: AtomicBool::new(false),
+            sm: BarrierSm {
+                n: n as u64,
+                timeout_recheck: true,
+            },
+            words: AtomicWords::default(),
         }
     }
 
     /// Number of participants.
     #[must_use]
+    #[allow(clippy::cast_possible_truncation)]
     pub fn participants(&self) -> usize {
-        self.n
+        self.sm.n as usize
     }
 
     /// Block until all `n` participants arrive.
@@ -105,58 +112,49 @@ impl SenseBarrier {
     /// observes the poison in the same epoch: the first one that can no
     /// longer complete.
     pub fn try_wait(&self, token: &mut BarrierToken) -> Result<(), BarrierPoisoned> {
-        if self.poisoned.load(Ordering::Acquire) {
-            return Err(BarrierPoisoned);
-        }
-        let next = !token.sense;
-        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
-            // Last arriver: reset and release the epoch.
-            self.count.store(0, Ordering::Relaxed);
-            self.sense.store(next, Ordering::Release);
-        } else {
-            let mut spins = 0u32;
-            while self.sense.load(Ordering::Acquire) != next {
-                if self.poisoned.load(Ordering::Acquire) {
-                    // The poison may have landed after this epoch released
-                    // (a peer raced ahead and failed at the *next* barrier):
-                    // re-check the sense so a completed epoch stays
-                    // completed and the failure is charged to the epoch
-                    // that actually cannot finish.
-                    if self.sense.load(Ordering::Acquire) == next {
-                        break;
-                    }
-                    return Err(BarrierPoisoned);
+        let mut actor = Actor::new(token.sense);
+        let mut spins = 0u32;
+        loop {
+            match self.sm.step(&mut actor, &self.words) {
+                Step::Released => {
+                    token.sense = actor.sense();
+                    return Ok(());
                 }
-                spins += 1;
-                if spins < 64 {
-                    std::hint::spin_loop();
-                } else {
-                    // Oversubscribed cores (PEs > hardware threads) must
-                    // yield or the releasing PE never runs.
-                    std::thread::yield_now();
+                Step::Poisoned => return Err(BarrierPoisoned),
+                Step::TimedOut => unreachable!("thread barrier never requests a timeout"),
+                Step::Pending => {
+                    if actor.is_waiting() {
+                        spins += 1;
+                        if spins < 64 {
+                            std::hint::spin_loop();
+                        } else {
+                            // Oversubscribed cores (PEs > hardware
+                            // threads) must yield or the releasing PE
+                            // never runs.
+                            std::thread::yield_now();
+                        }
+                    }
                 }
             }
         }
-        token.sense = next;
-        Ok(())
     }
 
     /// Mark the barrier poisoned, releasing spinning waiters into a panic.
     pub fn poison(&self) {
-        self.poisoned.store(true, Ordering::Release);
+        self.words.store(BAR_POISON, 1, MemOrder::Release);
     }
 
     /// True once poisoned.
     #[must_use]
     pub fn is_poisoned(&self) -> bool {
-        self.poisoned.load(Ordering::Acquire)
+        self.words.load(BAR_POISON, MemOrder::Acquire) != 0
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     #[test]

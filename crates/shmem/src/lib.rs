@@ -49,6 +49,7 @@ pub mod checked;
 pub mod fault;
 pub mod metrics;
 pub mod proc;
+pub mod proto;
 pub mod race;
 pub mod shared;
 pub mod signal;
@@ -59,6 +60,7 @@ pub use checked::{malloc_checked, malloc_checked_reporting, CheckedSym};
 pub use fault::{FaultAction, FaultPlan, FaultSpec, PeFailure};
 pub use metrics::{MetricsTable, PeCounters, TrafficSnapshot};
 pub use proc::{launch_process, ProcOptions, RespawnEvent, ShmemBackend, Wire};
+pub use proto::{AtomicWords, MemOrder, ProtoMem};
 pub use race::{ConflictKind, RaceAccess, RaceDetector, RaceReport, MAX_TRACKED_PES};
 pub use shared::{SharedF64Vec, SharedU64Vec};
 pub use signal::{signal, signal_add, wait_until, WaitCmp};

@@ -63,6 +63,7 @@
 use crate::barrier::{BarrierToken, BarrierWaitError};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::metrics::MetricsTable;
+use crate::proto::{self, MemOrder, ProtoMem};
 use crate::shared::{SharedF64Vec, SharedU64Vec};
 use crate::world::{ShmemCtx, SpmdOutput, World};
 use std::any::Any;
@@ -477,6 +478,70 @@ impl ArenaLayout {
 }
 
 // ---------------------------------------------------------------------------
+// Protocol-slot views of the arena.
+// ---------------------------------------------------------------------------
+
+/// A [`ProtoMem`] window over the arena: logical protocol slot `i` maps
+/// to arena word `map[i]`. This is how the production process backend
+/// instantiates the pure state machines of [`crate::proto`] — the model
+/// checker instantiates the *same machines* over a model vector instead.
+#[derive(Debug)]
+struct ArenaWords<'a, const K: usize> {
+    arena: &'a ShmArena,
+    map: [usize; K],
+}
+
+/// As [`ArenaWords`], for protocols whose slot count depends on `n_pes`
+/// (the respawn round handshake carries one ack slot per PE).
+#[derive(Debug)]
+struct ArenaVecWords<'a> {
+    arena: &'a ShmArena,
+    map: Vec<usize>,
+}
+
+macro_rules! impl_arena_protomem {
+    ($({$($gen:tt)*})? $ty:ty) => {
+        impl $(<$($gen)*>)? ProtoMem for $ty {
+            #[inline]
+            fn load(&self, slot: usize, order: MemOrder) -> u64 {
+                self.arena.word(self.map[slot]).load(order.to_atomic())
+            }
+
+            #[inline]
+            fn store(&self, slot: usize, v: u64, order: MemOrder) {
+                self.arena.word(self.map[slot]).store(v, order.to_atomic());
+            }
+
+            #[inline]
+            fn fetch_add(&self, slot: usize, delta: u64, order: MemOrder) -> u64 {
+                self.arena
+                    .word(self.map[slot])
+                    .fetch_add(delta, order.to_atomic())
+            }
+
+            #[inline]
+            fn compare_exchange(
+                &self,
+                slot: usize,
+                current: u64,
+                new: u64,
+                order: MemOrder,
+            ) -> Result<u64, u64> {
+                self.arena.word(self.map[slot]).compare_exchange(
+                    current,
+                    new,
+                    order.to_atomic(),
+                    Ordering::Relaxed,
+                )
+            }
+        }
+    };
+}
+
+impl_arena_protomem!({const K: usize} ArenaWords<'_, K>);
+impl_arena_protomem!(ArenaVecWords<'_>);
+
+// ---------------------------------------------------------------------------
 // Barrier over arena words.
 // ---------------------------------------------------------------------------
 
@@ -503,62 +568,65 @@ impl ProcBarrier {
         token: &mut BarrierToken,
         pe: usize,
     ) -> Result<(), BarrierWaitError> {
-        let count = self.arena.word(self.w_count);
-        let sense = self.arena.word(self.w_sense);
-        let poison = self.arena.word(self.w_poison);
         let heartbeat = self.arena.word(self.w_heartbeats + pe);
         heartbeat.fetch_add(1, Ordering::Relaxed);
-        if poison.load(Ordering::Acquire) != 0 {
-            return Err(BarrierWaitError::Poisoned);
-        }
-        let next = !token.sense();
-        let next_w = u64::from(next);
-        if count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
-            // Last arriver: reset and release the epoch.
-            count.store(0, Ordering::Relaxed);
-            sense.store(next_w, Ordering::Release);
-        } else {
-            let mut spins = 0u32;
-            let mut wait: Option<(Instant, Instant)> = None;
-            while sense.load(Ordering::Acquire) != next_w {
-                if poison.load(Ordering::Acquire) != 0 {
-                    // Released-epoch rule: a poison that landed after this
-                    // epoch released must not fail it retroactively.
-                    if sense.load(Ordering::Acquire) == next_w {
-                        break;
-                    }
-                    return Err(BarrierWaitError::Poisoned);
+        let mem = ArenaWords {
+            arena: &self.arena,
+            map: [self.w_count, self.w_sense, self.w_poison],
+        };
+        let sm = proto::bar::BarrierSm {
+            n: self.n,
+            timeout_recheck: false,
+        };
+        let mut actor = proto::bar::Actor::new(token.sense());
+        let mut spins = 0u32;
+        let mut wait: Option<(Instant, Instant)> = None;
+        loop {
+            match sm.step(&mut actor, &mem) {
+                proto::bar::Step::Released => {
+                    token.set_sense(actor.sense());
+                    return Ok(());
                 }
-                spins += 1;
-                if spins < 64 {
-                    std::hint::spin_loop();
-                } else {
-                    // One core may host every PE process: yield or the
-                    // releasing PE never runs. Waiting here is progress —
-                    // keep the heartbeat alive so the parent watchdog only
-                    // ever flags a PE that is truly wedged, never one
-                    // legitimately blocked on a slow peer.
-                    std::thread::yield_now();
-                    heartbeat.fetch_add(1, Ordering::Relaxed);
-                    let (started, d) = *wait.get_or_insert_with(|| {
+                proto::bar::Step::Poisoned => return Err(BarrierWaitError::Poisoned),
+                proto::bar::Step::TimedOut => {
+                    // Bounded wait: a peer is gone and nobody told us. The
+                    // machine poisoned the barrier so the whole world fails
+                    // typed, us included, instead of hanging — and the
+                    // expiry is reported as a *timeout*, not a peer death.
+                    let (started, _) = wait.unwrap_or_else(|| {
                         let now = Instant::now();
-                        (now, now + self.timeout)
+                        (now, now)
                     });
-                    if Instant::now() > d {
-                        // Bounded wait: a peer is gone and nobody told us.
-                        // Poison so the whole world fails typed, us
-                        // included, instead of hanging — and report the
-                        // expiry as a *timeout*, not a peer death.
-                        poison.store(1, Ordering::Release);
-                        return Err(BarrierWaitError::TimedOut {
-                            waited: started.elapsed(),
+                    return Err(BarrierWaitError::TimedOut {
+                        waited: started.elapsed(),
+                    });
+                }
+                proto::bar::Step::Pending => {
+                    if !actor.is_waiting() {
+                        continue;
+                    }
+                    spins += 1;
+                    if spins < 64 {
+                        std::hint::spin_loop();
+                    } else {
+                        // One core may host every PE process: yield or the
+                        // releasing PE never runs. Waiting here is progress —
+                        // keep the heartbeat alive so the parent watchdog
+                        // only ever flags a PE that is truly wedged, never
+                        // one legitimately blocked on a slow peer.
+                        std::thread::yield_now();
+                        heartbeat.fetch_add(1, Ordering::Relaxed);
+                        let (_, d) = *wait.get_or_insert_with(|| {
+                            let now = Instant::now();
+                            (now, now + self.timeout)
                         });
+                        if Instant::now() > d {
+                            sm.request_timeout(&mut actor);
+                        }
                     }
                 }
             }
         }
-        token.set_sense(next);
-        Ok(())
     }
 
     pub(crate) fn poison(&self) {
@@ -581,28 +649,32 @@ pub(crate) struct ArenaFaults {
 }
 
 impl ArenaFaults {
-    /// Mirror of [`FaultPlan::check`] against the arena counters.
+    /// Mirror of [`FaultPlan::check`] against the arena counters, driving
+    /// the shared [`proto::fault`] machine per matching spec (the CAS
+    /// disarm is what makes a wildcard one-shot fire exactly once
+    /// world-wide; the model checker proves it under every interleaving).
     pub(crate) fn check(&self, pe: usize, op: PeOp) -> Option<FaultAction> {
         let mut fired = None;
         for (i, &(spec_pe, spec_op, at, action)) in self.specs.iter().enumerate() {
             if spec_op != op || spec_pe.is_some_and(|p| p != pe) {
                 continue;
             }
-            let armed = self.arena.word(self.base + 2 * i + 1);
-            if armed.load(Ordering::Acquire) == 0 {
-                continue;
-            }
-            let n = self
-                .arena
-                .word(self.base + 2 * i)
-                .fetch_add(1, Ordering::AcqRel)
-                + 1;
-            if n >= at
-                && armed
-                    .compare_exchange(1, 0, Ordering::AcqRel, Ordering::Relaxed)
-                    .is_ok()
-            {
-                fired.get_or_insert(action);
+            let mem = ArenaWords {
+                arena: &self.arena,
+                map: [self.base + 2 * i, self.base + 2 * i + 1],
+            };
+            let mut check = proto::fault::Check::new(at);
+            loop {
+                match check.step(&mem) {
+                    proto::fault::Step::Pending => {}
+                    proto::fault::Step::Fired => {
+                        fired.get_or_insert(action);
+                        break;
+                    }
+                    proto::fault::Step::Skip
+                    | proto::fault::Step::Counted
+                    | proto::fault::Step::Lost => break,
+                }
             }
         }
         fired
@@ -740,58 +812,55 @@ impl ProcWorld {
             != 0
     }
 
+    /// The [`ProtoMem`] window of the respawn round handshake: round and
+    /// abort words, the barrier triple the supervisor resets, then one
+    /// ack slot per PE — the slot order [`proto::round`] expects.
+    fn round_mem(&self) -> ArenaVecWords<'_> {
+        let l = &self.layout;
+        let mut map = vec![
+            l.w_round,
+            l.w_abort,
+            l.w_bar_count,
+            l.w_bar_sense,
+            l.w_bar_poison,
+        ];
+        map.extend((0..l.n_pes).map(|pe| l.w_round_ack + pe));
+        ArenaVecWords {
+            arena: &self.arena,
+            map,
+        }
+    }
+
     /// Current respawn round (generation counter; bumped by the parent to
     /// release parked survivors into a re-run).
     fn round(&self) -> u64 {
         self.arena.word(self.layout.w_round).load(Ordering::Acquire)
     }
 
-    fn bump_round(&self) {
-        let r = self.round();
-        self.arena
-            .word(self.layout.w_round)
-            .store(r + 1, Ordering::Release);
-    }
-
     fn set_abort(&self) {
-        self.arena
-            .word(self.layout.w_abort)
-            .store(1, Ordering::Release);
+        proto::round::post_abort(&self.round_mem());
     }
 
     fn abort(&self) -> bool {
         self.arena.word(self.layout.w_abort).load(Ordering::Acquire) != 0
     }
 
-    /// A parked survivor acknowledges it is waiting for round `val`.
-    fn ack(&self, pe: usize, val: u64) {
-        self.arena
-            .word(self.layout.w_round_ack + pe)
-            .store(val, Ordering::Release);
-    }
-
-    fn read_ack(&self, pe: usize) -> u64 {
-        self.arena
-            .word(self.layout.w_round_ack + pe)
-            .load(Ordering::Acquire)
-    }
-
-    /// Reset the per-round arena state for an in-place respawn: barrier
-    /// words, the heap bump pointer, both allocation tables, epochs and
-    /// result slots all go back to launch-initial values so the re-run of
-    /// the SPMD body allocates and synchronizes exactly as the first run
-    /// did. Heartbeats, traffic counters, warnings, and fault mirrors are
+    /// Reset the per-round arena state for an in-place respawn: the heap
+    /// bump pointer, both allocation tables, epochs and result slots all
+    /// go back to launch-initial values so the re-run of the SPMD body
+    /// allocates and synchronizes exactly as the first run did. The
+    /// barrier words are *not* reset here — that is the release
+    /// machine's job ([`proto::round::Release`]), which orders them
+    /// before the round bump that publishes everything to survivors.
+    /// Heartbeats, traffic counters, warnings, and fault mirrors are
     /// deliberately *not* reset — they are monotonic across rounds (fired
     /// faults stay disarmed, so a one-shot fault cannot re-fire).
     ///
     /// Only called while every surviving PE is parked (acknowledged) and
     /// every dead PE is reaped, so nothing races these plain stores.
-    fn reset_for_round(&self) {
+    fn reset_tables_for_round(&self) {
         let l = &self.layout;
         self.arena.word(l.w_bump).store(0, Ordering::Relaxed);
-        self.arena.word(l.w_bar_count).store(0, Ordering::Relaxed);
-        self.arena.word(l.w_bar_sense).store(0, Ordering::Relaxed);
-        self.arena.word(l.w_bar_poison).store(0, Ordering::Relaxed);
         for t in [l.w_f64_table, l.w_u64_table] {
             for i in 0..MAX_ALLOCS * 3 {
                 self.arena.word(t + i).store(0, Ordering::Relaxed);
@@ -822,8 +891,22 @@ impl ProcWorld {
         }
     }
 
+    /// The [`ProtoMem`] window of allocation entry `seq`: the shared bump
+    /// pointer plus the entry's `{len, off, ready}` table triple, in the
+    /// slot order [`proto::alloc`] expects.
+    fn alloc_mem(&self, is_f64: bool, seq: usize) -> ArenaWords<'_, 4> {
+        let entry = self.table_base(is_f64) + seq * 3;
+        ArenaWords {
+            arena: &self.arena,
+            map: [self.layout.w_bump, entry, entry + 1, entry + 2],
+        }
+    }
+
     /// PE 0 publishes collective allocation `seq`: bump-allocate
-    /// `n_pes * len_per_pe` words and expose `{len, offset}` in the table.
+    /// `n_pes * len_per_pe` words and expose `{len, offset}` in the
+    /// table, driving the shared [`proto::alloc::Publish`] machine (the
+    /// ready flag's release store is what makes a concurrent observer
+    /// see the entry fully published or not at all).
     pub(crate) fn publish_alloc(
         &self,
         is_f64: bool,
@@ -835,28 +918,30 @@ impl ProcWorld {
                 "process world: more than {MAX_ALLOCS} collective allocations"
             )));
         }
-        let bump = self.arena.word(self.layout.w_bump);
-        let used = bump.load(Ordering::Relaxed) as usize;
         let need = len_per_pe * self.layout.n_pes;
         let cap = self.layout.n_pes * self.layout.heap_words_per_pe;
-        if used + need > cap {
-            return Err(SvError::Shmem(format!(
-                "process world: symmetric heap exhausted ({used} + {need} > {cap} words)"
-            )));
+        let mem = self.alloc_mem(is_f64, seq);
+        let mut publish = proto::alloc::Publish::new(
+            need as u64,
+            cap as u64,
+            len_per_pe as u64,
+            self.layout.w_heap as u64,
+        );
+        loop {
+            match publish.step(&mem) {
+                proto::alloc::PublishStep::Pending => {}
+                proto::alloc::PublishStep::Published(_) => return Ok(()),
+                proto::alloc::PublishStep::Exhausted { used } => {
+                    return Err(SvError::Shmem(format!(
+                        "process world: symmetric heap exhausted ({used} + {need} > {cap} words)"
+                    )));
+                }
+            }
         }
-        bump.store((used + need) as u64, Ordering::Relaxed);
-        let entry = self.table_base(is_f64) + seq * 3;
-        self.arena
-            .word(entry)
-            .store(len_per_pe as u64, Ordering::Relaxed);
-        self.arena
-            .word(entry + 1)
-            .store((self.layout.w_heap + used) as u64, Ordering::Relaxed);
-        self.arena.word(entry + 2).store(1, Ordering::Release);
-        Ok(())
     }
 
-    /// Every PE resolves allocation `seq` after the collective barrier.
+    /// Every PE resolves allocation `seq` after the collective barrier,
+    /// driving the shared [`proto::alloc::Lookup`] machine.
     pub(crate) fn lookup_alloc(
         &self,
         pe: usize,
@@ -869,19 +954,27 @@ impl ProcWorld {
                 "process world: more than {MAX_ALLOCS} collective allocations"
             )));
         }
-        let entry = self.table_base(is_f64) + seq * 3;
-        if self.arena.word(entry + 2).load(Ordering::Acquire) != 1 {
-            return Err(SvError::Shmem(format!(
-                "PE {pe}: allocation #{seq} was never published (collective call order violated)"
-            )));
+        let mem = self.alloc_mem(is_f64, seq);
+        let mut lookup = proto::alloc::Lookup::new(len_per_pe as u64);
+        loop {
+            match lookup.step(&mem) {
+                proto::alloc::LookupStep::Pending => {}
+                #[allow(clippy::cast_possible_truncation)]
+                proto::alloc::LookupStep::Resolved(off) => return Ok(off as usize),
+                proto::alloc::LookupStep::NotPublished => {
+                    return Err(SvError::Shmem(format!(
+                        "PE {pe}: allocation #{seq} was never published \
+                         (collective call order violated)"
+                    )));
+                }
+                proto::alloc::LookupStep::Mismatch { .. } => {
+                    return Err(SvError::Shmem(format!(
+                        "PE {pe}: collective allocation #{seq} size mismatch \
+                         (collective call order violated)"
+                    )));
+                }
+            }
         }
-        let len = self.arena.word(entry).load(Ordering::Relaxed) as usize;
-        if len != len_per_pe {
-            return Err(SvError::Shmem(format!(
-                "PE {pe}: collective allocation #{seq} size mismatch (collective call order violated)"
-            )));
-        }
-        Ok(self.arena.word(entry + 1).load(Ordering::Relaxed) as usize)
     }
 
     /// Per-PE partition windows of an allocation resolved by
@@ -1565,18 +1658,35 @@ where
                 let victims: Vec<usize> = (0..n_pes)
                     .filter(|&pe| pids[pe] == 0 && !exited_ok[pe])
                     .collect();
-                let survivors_parked = (0..n_pes)
+                // One release attempt of the shared round machine: check
+                // every survivor's ack, and if all are parked, reset the
+                // barrier words and bump the round — with the
+                // non-protocol arena resets slotted between the ack check
+                // and the barrier reset, before anything is published.
+                let round_mem = pw.round_mem();
+                let survivor_acks: Vec<usize> = (0..n_pes)
                     .filter(|&pe| pids[pe] != 0)
-                    .all(|pe| pw.read_ack(pe) == round + 1);
-                if survivors_parked {
-                    // Every survivor is parked and every victim reaped:
-                    // reset the round state, release the survivors into a
-                    // re-run, and re-fork only the victims.
+                    .map(|pe| proto::round::ACK_BASE + pe)
+                    .collect();
+                let mut release = proto::round::Release::new(survivor_acks, round);
+                let released = loop {
+                    if release.phase() == proto::round::ReleasePhase::ResetCount {
+                        // Every survivor is parked and every victim
+                        // reaped: nothing races the table resets, and the
+                        // machine's round bump publishes them.
+                        pw.reset_tables_for_round();
+                    }
+                    match release.step(&round_mem) {
+                        proto::round::ReleaseStep::Pending => {}
+                        proto::round::ReleaseStep::NotParked => break false,
+                        proto::round::ReleaseStep::Released => break true,
+                    }
+                };
+                if released {
+                    // Survivors are re-running; re-fork only the victims.
                     respawn_budget -= 1;
                     recovery_started = None;
-                    pw.reset_for_round();
                     round += 1;
-                    pw.bump_round();
                     let mut fork_failed = false;
                     for &pe in &victims {
                         let cause = deaths[pe].take().unwrap_or_else(|| {
@@ -1720,21 +1830,30 @@ where
             break round_res;
         }
         // Park: the round is wrecked but the supervisor may retry it.
-        pw.ack(pe, parked_round + 1);
-        loop {
-            pw.heartbeat(pe);
-            let r = pw.round();
-            if r > parked_round {
-                parked_round = r;
-                break; // released: re-run the body
+        // Drive the shared survivor machine — ack the wrecked round, then
+        // poll for a release (re-run) or an abort (publish as-is); the
+        // heartbeat and sleep between polls are this driver's policy.
+        let round_mem = pw.round_mem();
+        let mut survivor = proto::round::Survivor::new(parked_round, pe);
+        let decision = loop {
+            match survivor.step(&round_mem) {
+                proto::round::SurvivorStep::Pending => {
+                    pw.heartbeat(pe);
+                    if survivor.is_waiting() {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+                decided => break decided,
             }
-            if pw.abort() {
-                break;
+        };
+        match decision {
+            proto::round::SurvivorStep::Released(r) => {
+                parked_round = r; // released: re-run the body
             }
-            std::thread::sleep(Duration::from_micros(200));
-        }
-        if pw.abort() && pw.round() == parked_round {
-            break round_res;
+            proto::round::SurvivorStep::Publish => break round_res,
+            // Abort raced a release we missed: re-run; the sticky
+            // poisoned barrier bounces the body straight back here.
+            proto::round::SurvivorStep::ReRunStale | proto::round::SurvivorStep::Pending => {}
         }
     };
     let mut buf = Vec::new();
