@@ -141,7 +141,7 @@ impl SenseBarrier {
 
     /// Mark the barrier poisoned, releasing spinning waiters into a panic.
     pub fn poison(&self) {
-        self.words.store(BAR_POISON, 1, MemOrder::Release);
+        crate::proto::bar::post_poison(&self.words);
     }
 
     /// True once poisoned.

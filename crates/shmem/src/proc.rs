@@ -630,7 +630,10 @@ impl ProcBarrier {
     }
 
     pub(crate) fn poison(&self) {
-        self.arena.word(self.w_poison).store(1, Ordering::Release);
+        proto::bar::post_poison(&ArenaWords {
+            arena: &self.arena,
+            map: [self.w_count, self.w_sense, self.w_poison],
+        });
     }
 }
 

@@ -200,7 +200,7 @@ pub mod bar {
     }
 
     /// Result of one protocol step.
-    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
     pub enum Step {
         /// Not done; step again (the driver may spin/yield/heartbeat
         /// when [`Actor::is_waiting`]).
@@ -348,6 +348,13 @@ pub mod bar {
             true
         }
     }
+
+    /// Poison the barrier from outside the protocol — the launcher's
+    /// reap path and a panicking PE's unwind both publish the failure
+    /// through this single helper.
+    pub fn post_poison(mem: &impl ProtoMem) {
+        mem.store(BAR_POISON, 1, MemOrder::Release);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -402,7 +409,7 @@ pub mod round {
     }
 
     /// Result of one survivor step.
-    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
     pub enum SurvivorStep {
         /// Not decided; step again (the driver sleeps and bumps its
         /// heartbeat while [`Survivor::is_waiting`]).
@@ -534,7 +541,7 @@ pub mod round {
     }
 
     /// Result of one supervisor release step.
-    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
     pub enum ReleaseStep {
         /// Not decided; step again.
         Pending,
@@ -667,7 +674,7 @@ pub mod alloc {
     }
 
     /// Result of one publish step.
-    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
     pub enum PublishStep {
         /// Not done; step again.
         Pending,
@@ -759,7 +766,7 @@ pub mod alloc {
     }
 
     /// Result of one lookup step.
-    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
     pub enum LookupStep {
         /// Not done; step again.
         Pending,
@@ -854,7 +861,7 @@ pub mod fault {
     }
 
     /// Result of one fault-check step.
-    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
     pub enum Step {
         /// Not done; step again.
         Pending,
@@ -906,10 +913,7 @@ pub mod fault {
                     // The CAS is what makes a wildcard fault fire exactly
                     // once: every PE at/past the threshold races it, one
                     // wins.
-                    if mem
-                        .compare_exchange(ARMED, 1, 0, MemOrder::AcqRel)
-                        .is_ok()
-                    {
+                    if mem.compare_exchange(ARMED, 1, 0, MemOrder::AcqRel).is_ok() {
                         Step::Fired
                     } else {
                         Step::Lost

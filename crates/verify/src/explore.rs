@@ -1,0 +1,312 @@
+//! The exhaustive interleaving explorer.
+//!
+//! Breadth-first search over the full state graph of a [`Model`], with
+//! state deduplication (a `HashMap` from state to id), parent pointers
+//! for counterexample traces, and a liveness pass: after the graph is
+//! fully explored, every state must be co-reachable to an accepting
+//! state, otherwise the model can livelock and the explorer reports the
+//! shortest path into the trap.
+//!
+//! The state cap is a hard bound: exceeding it is a *failure* (a
+//! truncated exploration proves nothing), never a silent truncation.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// A finite-state model of one protocol scenario.
+pub trait Model {
+    /// Global state: shared words plus every actor's private machine
+    /// state plus injection budgets.
+    type State: Clone + Eq + Hash + std::fmt::Debug;
+
+    /// Initial state(s).
+    fn init(&self) -> Vec<Self::State>;
+
+    /// Every state reachable in exactly one atomic step, labeled with
+    /// the action that takes it there (one shared-memory operation, or
+    /// one injected kill/reap/timeout).
+    fn successors(&self, s: &Self::State) -> Vec<(String, Self::State)>;
+
+    /// Safety property; checked at every reachable state.
+    ///
+    /// # Errors
+    /// A human-readable description of the violated property.
+    fn invariant(&self, s: &Self::State) -> Result<(), String>;
+
+    /// True for states that count as a correct outcome. Terminal states
+    /// must be accepting, and every state must be able to reach an
+    /// accepting state (liveness).
+    fn accepting(&self, s: &Self::State) -> bool;
+}
+
+/// Exhaustive-exploration summary: the proof bound.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions explored.
+    pub edges: usize,
+    /// How many visited states were accepting.
+    pub accepting: usize,
+}
+
+/// A property violation, with the interleaving that reaches it.
+#[derive(Debug)]
+pub struct Violation {
+    /// What went wrong.
+    pub message: String,
+    /// Action labels from an initial state to the violating state.
+    pub trace: Vec<String>,
+    /// Debug rendering of the violating state.
+    pub state: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.message)?;
+        writeln!(f, "state: {}", self.state)?;
+        writeln!(f, "trace ({} steps):", self.trace.len())?;
+        for (i, a) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:3}: {a}")?;
+        }
+        Ok(())
+    }
+}
+
+struct Graph<S> {
+    states: Vec<S>,
+    parent: Vec<Option<(usize, String)>>,
+    preds: Vec<Vec<usize>>,
+    accepting: Vec<bool>,
+}
+
+impl<S: std::fmt::Debug> Graph<S> {
+    fn violation(&self, id: usize, message: String) -> Box<Violation> {
+        let mut trace = Vec::new();
+        let mut at = id;
+        while let Some((p, label)) = &self.parent[at] {
+            trace.push(label.clone());
+            at = *p;
+        }
+        trace.reverse();
+        Box::new(Violation {
+            message,
+            trace,
+            state: format!("{:?}", self.states[id]),
+        })
+    }
+}
+
+/// Exhaustively explore `m`, proving its invariant over every reachable
+/// state, its terminal states accepting, and every state co-reachable to
+/// an accepting one.
+///
+/// # Errors
+/// The first [`Violation`] found; exceeding `max_states` is itself a
+/// violation (truncated exploration proves nothing).
+pub fn explore<M: Model>(m: &M, max_states: usize) -> Result<Report, Box<Violation>> {
+    let mut index: HashMap<M::State, usize> = HashMap::new();
+    let mut g: Graph<M::State> = Graph {
+        states: Vec::new(),
+        parent: Vec::new(),
+        preds: Vec::new(),
+        accepting: Vec::new(),
+    };
+    let mut queue = VecDeque::new();
+    let mut edges = 0usize;
+
+    let intern = |s: M::State,
+                  from: Option<(usize, String)>,
+                  index: &mut HashMap<M::State, usize>,
+                  g: &mut Graph<M::State>,
+                  queue: &mut VecDeque<usize>|
+     -> usize {
+        if let Some(&id) = index.get(&s) {
+            if let Some((p, _)) = from {
+                g.preds[id].push(p);
+            }
+            return id;
+        }
+        let id = g.states.len();
+        index.insert(s.clone(), id);
+        g.states.push(s);
+        g.preds.push(from.iter().map(|(p, _)| *p).collect());
+        g.parent.push(from);
+        g.accepting.push(false);
+        queue.push_back(id);
+        id
+    };
+
+    for s in m.init() {
+        intern(s, None, &mut index, &mut g, &mut queue);
+    }
+
+    while let Some(id) = queue.pop_front() {
+        if g.states.len() > max_states {
+            return Err(g.violation(
+                id,
+                format!(
+                    "state space exceeded the {max_states}-state cap: the run is truncated and \
+                     proves nothing — raise the cap or shrink the scenario"
+                ),
+            ));
+        }
+        let s = g.states[id].clone();
+        if let Err(msg) = m.invariant(&s) {
+            return Err(g.violation(id, msg));
+        }
+        g.accepting[id] = m.accepting(&s);
+        let succ = m.successors(&s);
+        if succ.is_empty() && !g.accepting[id] {
+            return Err(g.violation(id, "terminal state is not an accepted outcome".into()));
+        }
+        for (label, t) in succ {
+            edges += 1;
+            intern(t, Some((id, label)), &mut index, &mut g, &mut queue);
+        }
+    }
+
+    // Liveness: backward reachability from the accepting states. Any
+    // state that cannot reach one is a trap the protocol can never leave.
+    let n = g.states.len();
+    let mut coreach = vec![false; n];
+    let mut back: VecDeque<usize> = (0..n).filter(|&i| g.accepting[i]).collect();
+    for &i in &back {
+        coreach[i] = true;
+    }
+    while let Some(i) = back.pop_front() {
+        for &p in &g.preds[i] {
+            if !coreach[p] {
+                coreach[p] = true;
+                back.push_back(p);
+            }
+        }
+    }
+    if let Some(trapped) = (0..n).find(|&i| !coreach[i]) {
+        return Err(g.violation(
+            trapped,
+            "livelock: no accepting outcome is reachable from this state".into(),
+        ));
+    }
+
+    Ok(Report {
+        states: n,
+        edges,
+        accepting: g.accepting.iter().filter(|&&a| a).count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter that steps 0..=limit; even terminal = accepting.
+    struct Count {
+        limit: u8,
+        poison: Option<u8>,
+    }
+
+    impl Model for Count {
+        type State = u8;
+
+        fn init(&self) -> Vec<u8> {
+            vec![0]
+        }
+
+        fn successors(&self, s: &u8) -> Vec<(String, u8)> {
+            if *s >= self.limit {
+                vec![]
+            } else {
+                vec![(format!("inc:{s}"), s + 1)]
+            }
+        }
+
+        fn invariant(&self, s: &u8) -> Result<(), String> {
+            if Some(*s) == self.poison {
+                Err(format!("hit poison value {s}"))
+            } else {
+                Ok(())
+            }
+        }
+
+        fn accepting(&self, s: &u8) -> bool {
+            *s == self.limit
+        }
+    }
+
+    #[test]
+    fn explores_to_terminal() {
+        let r = explore(
+            &Count {
+                limit: 5,
+                poison: None,
+            },
+            100,
+        )
+        .unwrap();
+        assert_eq!(r.states, 6);
+        assert_eq!(r.edges, 5);
+        assert_eq!(r.accepting, 1);
+    }
+
+    #[test]
+    fn invariant_violation_carries_trace() {
+        let v = explore(
+            &Count {
+                limit: 5,
+                poison: Some(3),
+            },
+            100,
+        )
+        .unwrap_err();
+        assert!(v.message.contains("poison value 3"));
+        assert_eq!(v.trace, vec!["inc:0", "inc:1", "inc:2"]);
+    }
+
+    #[test]
+    fn cap_overflow_is_a_failure() {
+        let v = explore(
+            &Count {
+                limit: 50,
+                poison: None,
+            },
+            10,
+        )
+        .unwrap_err();
+        assert!(v.message.contains("cap"));
+    }
+
+    /// Two branches: one terminates accepting, one cycles forever.
+    struct Trap;
+
+    impl Model for Trap {
+        type State = u8;
+
+        fn init(&self) -> Vec<u8> {
+            vec![0]
+        }
+
+        fn successors(&self, s: &u8) -> Vec<(String, u8)> {
+            match s {
+                0 => vec![("finish".into(), 1), ("trap".into(), 2)],
+                2 => vec![("spin".into(), 3)],
+                3 => vec![("spin".into(), 2)],
+                _ => vec![],
+            }
+        }
+
+        fn invariant(&self, _: &u8) -> Result<(), String> {
+            Ok(())
+        }
+
+        fn accepting(&self, s: &u8) -> bool {
+            *s == 1
+        }
+    }
+
+    #[test]
+    fn livelock_detected() {
+        let v = explore(&Trap, 100).unwrap_err();
+        assert!(v.message.contains("livelock"), "{}", v.message);
+    }
+}

@@ -1,0 +1,285 @@
+//! Barrier harness: `n` PEs run `epochs` epochs of the production
+//! [`BarrierSm`], with a kill (and subsequent launcher reap, which posts
+//! the poison) and a bounded-wait expiry injectable before any step.
+//!
+//! Checked properties (ISSUE 9, property a):
+//! - the arrival counter never exceeds `n` and no epoch releases twice;
+//! - every PE that fails, fails in the *same* epoch, and no PE fails an
+//!   epoch that any PE completed (the released-epoch rule);
+//! - fault-free runs complete all epochs (terminal shape), and every
+//!   state can still reach an accepted outcome (no livelock).
+
+use crate::mem::ModelMem;
+use crate::Model;
+use svsim_shmem::proto::bar::{self, Actor, BarrierSm, Step};
+
+/// Scenario: `n` PEs x `epochs` epochs with injection budgets.
+#[derive(Debug, Clone)]
+pub struct BarrierModel {
+    /// The production machine under test (including its timeout knob).
+    pub sm: BarrierSm,
+    /// Participants.
+    pub n: usize,
+    /// Epochs each PE attempts.
+    pub epochs: u8,
+    /// How many PEs may be killed.
+    pub kills: u8,
+    /// How many bounded waits may expire.
+    pub timeouts: u8,
+}
+
+/// How one PE ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Completed every epoch.
+    Completed,
+    /// Observed a peer's poison.
+    Poisoned,
+    /// Its own bounded wait expired.
+    TimedOut,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Pe {
+    /// Executing `epoch` (epochs `0..epoch` completed).
+    Run { actor: Actor, epoch: u8 },
+    /// Finished: for `Completed`, `epoch` is the epoch count; for a
+    /// failure, the epoch it failed in.
+    Done { outcome: Outcome, epoch: u8 },
+    /// Killed mid-protocol (never observes anything again).
+    Killed,
+}
+
+/// Global model state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BarrierState {
+    mem: Vec<u64>,
+    pes: Vec<Pe>,
+    kills_left: u8,
+    timeouts_left: u8,
+    reaped: bool,
+    /// Release transitions per epoch (no-double-release check).
+    releases: Vec<u8>,
+}
+
+impl BarrierModel {
+    fn step_pe(
+        &self,
+        s: &BarrierState,
+        i: usize,
+        actor: Actor,
+        epoch: u8,
+    ) -> (String, BarrierState) {
+        let mut t = s.clone();
+        let mem = ModelMem::new(std::mem::take(&mut t.mem));
+        let mut a = actor;
+        let phase = a.phase();
+        let step = self.sm.step(&mut a, &mem);
+        t.mem = mem.into_words();
+        if phase == bar::Phase::ReleaseSense && step == Step::Released {
+            t.releases[epoch as usize] += 1;
+        }
+        t.pes[i] = match step {
+            Step::Pending => Pe::Run { actor: a, epoch },
+            Step::Released => {
+                let e = epoch + 1;
+                if e == self.epochs {
+                    Pe::Done {
+                        outcome: Outcome::Completed,
+                        epoch: e,
+                    }
+                } else {
+                    Pe::Run { actor: a, epoch: e }
+                }
+            }
+            Step::Poisoned => Pe::Done {
+                outcome: Outcome::Poisoned,
+                epoch,
+            },
+            Step::TimedOut => Pe::Done {
+                outcome: Outcome::TimedOut,
+                epoch,
+            },
+        };
+        (format!("pe{i}:{phase:?}"), t)
+    }
+}
+
+/// Epochs completed by this PE so far.
+fn completed(pe: &Pe) -> u8 {
+    match *pe {
+        Pe::Run { epoch, .. } => epoch,
+        Pe::Done {
+            outcome: Outcome::Completed,
+            epoch,
+        } => epoch,
+        // A failure in `epoch` means epochs `0..epoch` completed.
+        Pe::Done { epoch, .. } => epoch,
+        Pe::Killed => 0,
+    }
+}
+
+impl Model for BarrierModel {
+    type State = BarrierState;
+
+    fn init(&self) -> Vec<BarrierState> {
+        vec![BarrierState {
+            mem: vec![0; bar::BAR_WORDS],
+            pes: vec![
+                Pe::Run {
+                    actor: Actor::new(false),
+                    epoch: 0,
+                };
+                self.n
+            ],
+            kills_left: self.kills,
+            timeouts_left: self.timeouts,
+            reaped: false,
+            releases: vec![0; self.epochs as usize],
+        }]
+    }
+
+    fn successors(&self, s: &BarrierState) -> Vec<(String, BarrierState)> {
+        let mut out = Vec::new();
+        for (i, pe) in s.pes.iter().enumerate() {
+            if let Pe::Run { actor, epoch } = *pe {
+                out.push(self.step_pe(s, i, actor, epoch));
+            }
+        }
+        if s.kills_left > 0 {
+            for (i, pe) in s.pes.iter().enumerate() {
+                if matches!(pe, Pe::Run { .. }) {
+                    let mut t = s.clone();
+                    t.pes[i] = Pe::Killed;
+                    t.kills_left -= 1;
+                    out.push((format!("kill:pe{i}"), t));
+                }
+            }
+        }
+        // The launcher reaps the dead PE and poisons the barrier — an SC
+        // model of the single poison publication.
+        if !s.reaped && s.pes.iter().any(|p| matches!(p, Pe::Killed)) {
+            let mut t = s.clone();
+            let mem = ModelMem::new(std::mem::take(&mut t.mem));
+            bar::post_poison(&mem);
+            t.mem = mem.into_words();
+            t.reaped = true;
+            out.push(("reap:poison".into(), t));
+        }
+        if s.timeouts_left > 0 {
+            for (i, pe) in s.pes.iter().enumerate() {
+                if let Pe::Run { actor, epoch } = *pe {
+                    if actor.is_waiting() {
+                        let mut t = s.clone();
+                        let mut a = actor;
+                        self.sm.request_timeout(&mut a);
+                        t.pes[i] = Pe::Run { actor: a, epoch };
+                        t.timeouts_left -= 1;
+                        out.push((format!("timeout:pe{i}"), t));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn invariant(&self, s: &BarrierState) -> Result<(), String> {
+        if s.mem[bar::BAR_COUNT] > self.n as u64 {
+            return Err(format!(
+                "arrival counter {} exceeds {} participants",
+                s.mem[bar::BAR_COUNT],
+                self.n
+            ));
+        }
+        if let Some(e) = s.releases.iter().position(|&r| r > 1) {
+            return Err(format!("epoch {e} released twice"));
+        }
+        let fails: Vec<(usize, u8)> = s
+            .pes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| match p {
+                Pe::Done {
+                    outcome: Outcome::Poisoned | Outcome::TimedOut,
+                    epoch,
+                } => Some((i, *epoch)),
+                _ => None,
+            })
+            .collect();
+        if let Some(&(i0, f)) = fails.first() {
+            if let Some(&(i1, g)) = fails.iter().find(|&&(_, g)| g != f) {
+                return Err(format!(
+                    "split-epoch failure: pe{i0} failed in epoch {f} but pe{i1} failed in epoch {g}"
+                ));
+            }
+            if let Some((i1, done)) = s
+                .pes
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, completed(p)))
+                .find(|&(_, done)| done > f)
+            {
+                return Err(format!(
+                    "released-epoch rule broken: pe{i0} failed in epoch {f}, which pe{i1} \
+                     completed (pe{i1} is past epoch {})",
+                    done - 1
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn accepting(&self, s: &BarrierState) -> bool {
+        let all_done = s
+            .pes
+            .iter()
+            .all(|p| matches!(p, Pe::Done { .. } | Pe::Killed));
+        if !all_done {
+            return false;
+        }
+        let fault_free = s.kills_left == self.kills && s.timeouts_left == self.timeouts;
+        if fault_free {
+            // Nothing went wrong: every PE must have completed all epochs.
+            s.pes.iter().all(|p| {
+                matches!(
+                    p,
+                    Pe::Done {
+                        outcome: Outcome::Completed,
+                        ..
+                    }
+                )
+            })
+        } else {
+            true
+        }
+    }
+}
+
+/// The configurations `sv-sim verify` proves in CI.
+#[must_use]
+pub fn ci_models() -> Vec<BarrierModel> {
+    vec![
+        // 2 PEs, 2 epochs, fault-free: plain liveness + release counting.
+        BarrierModel {
+            sm: BarrierSm {
+                n: 2,
+                timeout_recheck: true,
+            },
+            n: 2,
+            epochs: 2,
+            kills: 0,
+            timeouts: 0,
+        },
+        // 3 PEs, 2 epochs, fault-free.
+        BarrierModel {
+            sm: BarrierSm {
+                n: 3,
+                timeout_recheck: true,
+            },
+            n: 3,
+            epochs: 2,
+            kills: 0,
+            timeouts: 0,
+        },
+    ]
+}

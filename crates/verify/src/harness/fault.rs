@@ -1,0 +1,125 @@
+//! Fault-word harness: several PEs count matching ops against one shared
+//! fault spec, stepping the production [`Check`] machine — the CAS
+//! disarm must make a wildcard one-shot fault fire *exactly once*
+//! world-wide under every interleaving, even with a PE killed mid-check.
+//!
+//! Checked properties:
+//! - at most one `Fired` ever, under any interleaving and any kill;
+//! - with no kill, exactly one `Fired` once enough ops were counted;
+//! - no livelock.
+
+use crate::mem::ModelMem;
+use crate::Model;
+use svsim_shmem::proto::fault::{self, Check, Step};
+
+/// Scenario: `checkers` PEs each checking one op against a spec that
+/// fires at `at` counted ops, with `kills` killable mid-check.
+#[derive(Debug, Clone)]
+pub struct FaultModel {
+    /// Concurrent checking PEs (one op each).
+    pub checkers: usize,
+    /// Fire threshold of the spec.
+    pub at: u64,
+    /// How many checkers may be killed mid-check.
+    pub kills: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Pe {
+    Run(Check),
+    Done(Step),
+    Killed,
+}
+
+/// Global model state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FaultState {
+    mem: Vec<u64>,
+    pes: Vec<Pe>,
+    kills_left: u8,
+}
+
+impl Model for FaultModel {
+    type State = FaultState;
+
+    fn init(&self) -> Vec<FaultState> {
+        let mut mem = vec![0; fault::FAULT_WORDS];
+        mem[fault::ARMED] = 1;
+        vec![FaultState {
+            mem,
+            pes: vec![Pe::Run(Check::new(self.at)); self.checkers],
+            kills_left: self.kills,
+        }]
+    }
+
+    fn successors(&self, s: &FaultState) -> Vec<(String, FaultState)> {
+        let mut out = Vec::new();
+        for (i, pe) in s.pes.iter().enumerate() {
+            if let Pe::Run(c) = pe {
+                let mut t = s.clone();
+                let mut c = *c;
+                let phase = c.phase();
+                let mem = ModelMem::new(std::mem::take(&mut t.mem));
+                let step = c.step(&mem);
+                t.mem = mem.into_words();
+                t.pes[i] = match step {
+                    Step::Pending => Pe::Run(c),
+                    done => Pe::Done(done),
+                };
+                out.push((format!("pe{i}:{phase:?}"), t));
+            }
+        }
+        if s.kills_left > 0 {
+            for (i, pe) in s.pes.iter().enumerate() {
+                if matches!(pe, Pe::Run(_)) {
+                    let mut t = s.clone();
+                    t.pes[i] = Pe::Killed;
+                    t.kills_left -= 1;
+                    out.push((format!("kill:pe{i}"), t));
+                }
+            }
+        }
+        out
+    }
+
+    fn invariant(&self, s: &FaultState) -> Result<(), String> {
+        let fired = s
+            .pes
+            .iter()
+            .filter(|p| matches!(p, Pe::Done(Step::Fired)))
+            .count();
+        if fired > 1 {
+            return Err(format!("one-shot fault fired {fired} times"));
+        }
+        Ok(())
+    }
+
+    fn accepting(&self, s: &FaultState) -> bool {
+        let all_done = s.pes.iter().all(|p| !matches!(p, Pe::Run(_)));
+        if !all_done {
+            return false;
+        }
+        let fired = s
+            .pes
+            .iter()
+            .filter(|p| matches!(p, Pe::Done(Step::Fired)))
+            .count();
+        if s.kills_left == self.kills && self.checkers as u64 >= self.at {
+            // Kill-free with enough ops: the fault must have fired.
+            fired == 1
+        } else {
+            fired <= 1
+        }
+    }
+}
+
+/// The configuration `sv-sim verify` proves in CI: three checkers racing
+/// a fire-at-2 spec, one killable mid-check.
+#[must_use]
+pub fn ci_model() -> FaultModel {
+    FaultModel {
+        checkers: 3,
+        at: 2,
+        kills: 1,
+    }
+}

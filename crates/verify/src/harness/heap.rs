@@ -1,0 +1,242 @@
+//! Heap-allocation harness: PE 0 publishes a symmetric allocation, both
+//! PEs cross the collective barrier, both resolve the entry — the
+//! production [`Publish`]/[`Lookup`]/[`BarrierSm`] machines laid out in
+//! one model memory exactly as the process backend lays them out in one
+//! arena, with the publisher killable at any step.
+//!
+//! Checked properties (ISSUE 9, property c):
+//! - no surviving PE ever resolves a half-published entry: every
+//!   `Resolved` carries the correct offset, and `NotPublished` /
+//!   `Mismatch` / `Exhausted` are unreachable;
+//! - a PE that cannot resolve fails *typed* at the barrier (poisoned by
+//!   the reap, or its own bounded wait) — never by reading garbage;
+//! - the scenario always terminates (no livelock).
+
+use crate::mem::{ModelMem, OffsetMem};
+use crate::Model;
+use svsim_shmem::proto::alloc::{self, Lookup, LookupStep, Publish, PublishStep};
+use svsim_shmem::proto::bar::{self, Actor, BarrierSm, Step};
+
+/// Word offset of the allocation-entry slots inside the model memory
+/// (barrier words sit at `0..BAR_WORDS`).
+const ALLOC_BASE: usize = bar::BAR_WORDS;
+
+/// Published entry: 2 words per PE at heap offset 0.
+const LEN_PER_PE: u64 = 2;
+/// Heap capacity in words.
+const CAP: u64 = 8;
+
+/// Scenario: publisher + one peer, with kill/timeout injection.
+#[derive(Debug, Clone)]
+pub struct HeapModel {
+    /// The barrier machine both PEs cross between publish and lookup.
+    pub sm: BarrierSm,
+    /// How many PEs may be killed.
+    pub kills: u8,
+    /// How many bounded barrier waits may expire.
+    pub timeouts: u8,
+}
+
+/// How one PE ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Resolved the entry at this word offset.
+    Resolved(u64),
+    /// Published the entry at this word offset (publisher only).
+    Published(u64),
+    /// Failed typed at the barrier.
+    Poisoned,
+    /// Its own bounded barrier wait expired.
+    TimedOut,
+    /// Saw an unpublished entry — always a violation here.
+    NotPublished,
+    /// Saw a mismatched entry — always a violation here.
+    Mismatch,
+    /// Heap reported exhausted — always a violation here.
+    Exhausted,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Pe {
+    Publishing(Publish),
+    AtBarrier(Actor),
+    Resolving(Lookup),
+    Done(Outcome),
+    Killed,
+}
+
+/// Global model state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HeapState {
+    mem: Vec<u64>,
+    pes: Vec<Pe>,
+    kills_left: u8,
+    timeouts_left: u8,
+    reaped: bool,
+}
+
+impl HeapModel {
+    fn step_pe(&self, s: &HeapState, i: usize, pe: Pe) -> (String, HeapState) {
+        let mut t = s.clone();
+        let mem = ModelMem::new(std::mem::take(&mut t.mem));
+        let (label, next) = match pe {
+            Pe::Publishing(mut p) => {
+                let phase = p.phase();
+                let next = match p.step(&OffsetMem::new(&mem, ALLOC_BASE)) {
+                    PublishStep::Pending => Pe::Publishing(p),
+                    // Published: on to the collective barrier, carrying
+                    // the offset to cross-check after resolution.
+                    PublishStep::Published(0) => Pe::AtBarrier(Actor::new(false)),
+                    PublishStep::Published(_) | PublishStep::Exhausted { .. } => {
+                        Pe::Done(Outcome::Exhausted)
+                    }
+                };
+                (format!("pe{i}:pub:{phase:?}"), next)
+            }
+            Pe::AtBarrier(mut a) => {
+                let phase = a.phase();
+                let next = match self.sm.step(&mut a, &mem) {
+                    Step::Pending => Pe::AtBarrier(a),
+                    Step::Released => Pe::Resolving(Lookup::new(LEN_PER_PE)),
+                    Step::Poisoned => Pe::Done(Outcome::Poisoned),
+                    Step::TimedOut => Pe::Done(Outcome::TimedOut),
+                };
+                (format!("pe{i}:bar:{phase:?}"), next)
+            }
+            Pe::Resolving(mut l) => {
+                let phase = l.phase();
+                let next = match l.step(&OffsetMem::new(&mem, ALLOC_BASE)) {
+                    LookupStep::Pending => Pe::Resolving(l),
+                    LookupStep::Resolved(off) => Pe::Done(Outcome::Resolved(off)),
+                    LookupStep::NotPublished => Pe::Done(Outcome::NotPublished),
+                    LookupStep::Mismatch { .. } => Pe::Done(Outcome::Mismatch),
+                };
+                (format!("pe{i}:look:{phase:?}"), next)
+            }
+            Pe::Done(_) | Pe::Killed => unreachable!("only running PEs are stepped"),
+        };
+        t.mem = mem.into_words();
+        t.pes[i] = next;
+        (label, t)
+    }
+}
+
+fn running(pe: &Pe) -> bool {
+    matches!(pe, Pe::Publishing(_) | Pe::AtBarrier(_) | Pe::Resolving(_))
+}
+
+impl Model for HeapModel {
+    type State = HeapState;
+
+    fn init(&self) -> Vec<HeapState> {
+        vec![HeapState {
+            mem: vec![0; ALLOC_BASE + alloc::ALLOC_WORDS],
+            pes: vec![
+                Pe::Publishing(Publish::new(2 * LEN_PER_PE, CAP, LEN_PER_PE, 0)),
+                Pe::AtBarrier(Actor::new(false)),
+            ],
+            kills_left: self.kills,
+            timeouts_left: self.timeouts,
+            reaped: false,
+        }]
+    }
+
+    fn successors(&self, s: &HeapState) -> Vec<(String, HeapState)> {
+        let mut out = Vec::new();
+        for (i, pe) in s.pes.iter().enumerate() {
+            if running(pe) {
+                out.push(self.step_pe(s, i, *pe));
+            }
+        }
+        if s.kills_left > 0 {
+            for (i, pe) in s.pes.iter().enumerate() {
+                if running(pe) {
+                    let mut t = s.clone();
+                    t.pes[i] = Pe::Killed;
+                    t.kills_left -= 1;
+                    out.push((format!("kill:pe{i}"), t));
+                }
+            }
+        }
+        if !s.reaped && s.pes.iter().any(|p| matches!(p, Pe::Killed)) {
+            let mut t = s.clone();
+            let mem = ModelMem::new(std::mem::take(&mut t.mem));
+            bar::post_poison(&mem);
+            t.mem = mem.into_words();
+            t.reaped = true;
+            out.push(("reap:poison".into(), t));
+        }
+        if s.timeouts_left > 0 {
+            for (i, pe) in s.pes.iter().enumerate() {
+                if let Pe::AtBarrier(a) = pe {
+                    if a.is_waiting() {
+                        let mut t = s.clone();
+                        let mut a = *a;
+                        self.sm.request_timeout(&mut a);
+                        t.pes[i] = Pe::AtBarrier(a);
+                        t.timeouts_left -= 1;
+                        out.push((format!("timeout:pe{i}"), t));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn invariant(&self, s: &HeapState) -> Result<(), String> {
+        for (i, pe) in s.pes.iter().enumerate() {
+            match pe {
+                Pe::Done(Outcome::Resolved(off)) if *off != 0 => {
+                    return Err(format!("pe{i} resolved the entry at offset {off}, not 0"));
+                }
+                Pe::Done(Outcome::NotPublished) => {
+                    return Err(format!(
+                        "pe{i} crossed the collective barrier yet saw an unpublished entry"
+                    ));
+                }
+                Pe::Done(Outcome::Mismatch) => {
+                    return Err(format!(
+                        "pe{i} crossed the collective barrier yet saw a half-published entry"
+                    ));
+                }
+                Pe::Done(Outcome::Exhausted) => {
+                    return Err(format!(
+                        "pe{i} saw heap exhaustion / a wrong offset on an empty heap"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn accepting(&self, s: &HeapState) -> bool {
+        let all_done = s.pes.iter().all(|p| !running(p));
+        if !all_done {
+            return false;
+        }
+        let fault_free = s.kills_left == self.kills && s.timeouts_left == self.timeouts;
+        if fault_free {
+            // Nothing went wrong: both PEs must have resolved offset 0.
+            s.pes
+                .iter()
+                .all(|p| matches!(p, Pe::Done(Outcome::Resolved(0))))
+        } else {
+            true
+        }
+    }
+}
+
+/// The configuration `sv-sim verify` proves in CI: publisher + peer with
+/// a kill and a bounded-wait expiry injectable anywhere.
+#[must_use]
+pub fn ci_model() -> HeapModel {
+    HeapModel {
+        sm: BarrierSm {
+            n: 2,
+            timeout_recheck: true,
+        },
+        kills: 1,
+        timeouts: 1,
+    }
+}

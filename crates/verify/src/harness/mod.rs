@@ -1,0 +1,7 @@
+//! Protocol harnesses: one [`crate::Model`] per shmem protocol, each
+//! stepping the production state machines from [`svsim_shmem::proto`].
+
+pub mod barrier;
+pub mod fault;
+pub mod heap;
+pub mod round;

@@ -1,0 +1,109 @@
+//! Model memories the checker instantiates [`ProtoMem`] over.
+
+use std::cell::RefCell;
+use svsim_shmem::{MemOrder, ProtoMem};
+
+/// A plain word vector behind a `RefCell`, implementing [`ProtoMem`].
+///
+/// Orderings are ignored: the checker explores sequentially-consistent
+/// interleavings, a superset of anything the release/acquire annotations
+/// allow, so every behavior it proves absent is absent under SC. (The
+/// argument from SC down to the production orderings is made per
+/// transition in [`svsim_shmem::proto`].)
+#[derive(Debug)]
+pub struct ModelMem {
+    words: RefCell<Vec<u64>>,
+}
+
+impl ModelMem {
+    /// Wrap a snapshot of the shared words.
+    #[must_use]
+    pub fn new(words: Vec<u64>) -> Self {
+        Self {
+            words: RefCell::new(words),
+        }
+    }
+
+    /// Unwrap the (possibly mutated) words.
+    #[must_use]
+    pub fn into_words(self) -> Vec<u64> {
+        self.words.into_inner()
+    }
+}
+
+impl ProtoMem for ModelMem {
+    fn load(&self, slot: usize, _order: MemOrder) -> u64 {
+        self.words.borrow()[slot]
+    }
+
+    fn store(&self, slot: usize, v: u64, _order: MemOrder) {
+        self.words.borrow_mut()[slot] = v;
+    }
+
+    fn fetch_add(&self, slot: usize, delta: u64, _order: MemOrder) -> u64 {
+        let mut w = self.words.borrow_mut();
+        let prev = w[slot];
+        w[slot] = prev.wrapping_add(delta);
+        prev
+    }
+
+    fn compare_exchange(
+        &self,
+        slot: usize,
+        current: u64,
+        new: u64,
+        _order: MemOrder,
+    ) -> Result<u64, u64> {
+        let mut w = self.words.borrow_mut();
+        let prev = w[slot];
+        if prev == current {
+            w[slot] = new;
+            Ok(prev)
+        } else {
+            Err(prev)
+        }
+    }
+}
+
+/// A base-offset view of another [`ProtoMem`]: slot `s` maps to
+/// `base + s`. Harnesses use it to lay several protocol instances out in
+/// one model memory, exactly as the process backend lays them out in one
+/// arena.
+#[derive(Debug)]
+pub struct OffsetMem<'a, M: ProtoMem> {
+    inner: &'a M,
+    base: usize,
+}
+
+impl<'a, M: ProtoMem> OffsetMem<'a, M> {
+    /// View of `inner` starting at word `base`.
+    #[must_use]
+    pub fn new(inner: &'a M, base: usize) -> Self {
+        Self { inner, base }
+    }
+}
+
+impl<M: ProtoMem> ProtoMem for OffsetMem<'_, M> {
+    fn load(&self, slot: usize, order: MemOrder) -> u64 {
+        self.inner.load(self.base + slot, order)
+    }
+
+    fn store(&self, slot: usize, v: u64, order: MemOrder) {
+        self.inner.store(self.base + slot, v, order);
+    }
+
+    fn fetch_add(&self, slot: usize, delta: u64, order: MemOrder) -> u64 {
+        self.inner.fetch_add(self.base + slot, delta, order)
+    }
+
+    fn compare_exchange(
+        &self,
+        slot: usize,
+        current: u64,
+        new: u64,
+        order: MemOrder,
+    ) -> Result<u64, u64> {
+        self.inner
+            .compare_exchange(self.base + slot, current, new, order)
+    }
+}

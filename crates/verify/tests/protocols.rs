@@ -1,0 +1,120 @@
+//! Exhaustive protocol checks: the CI property runs plus regression
+//! tests pinning the checker's findings against historical protocol
+//! configurations.
+
+use svsim_shmem::proto::bar::BarrierSm;
+use svsim_verify::harness::{barrier, fault, heap, round};
+use svsim_verify::{check_all, explore};
+
+const MAX_STATES: usize = 2_000_000;
+
+#[test]
+fn ci_property_suite_passes() {
+    let bounds = check_all(MAX_STATES).unwrap_or_else(|v| panic!("{v}"));
+    assert_eq!(bounds.len(), 5, "expected five proof bounds: {bounds:?}");
+    for b in &bounds {
+        assert!(b.states > 0 && b.edges > b.states / 2, "{b}");
+        println!("{b}");
+    }
+}
+
+#[test]
+fn barrier_fault_free_completes_all_epochs() {
+    for model in barrier::ci_models() {
+        let r = explore(&model, MAX_STATES).unwrap_or_else(|v| panic!("{v}"));
+        assert!(r.accepting > 0);
+    }
+}
+
+/// The checker's first finding: with the historical blind timeout
+/// (`timeout_recheck: false`, what `ProcBarrier` shipped), a bounded
+/// wait that expires while the releasing PE is mid-release poisons an
+/// epoch the peer already completed — a split-epoch failure.
+#[test]
+fn finds_blind_timeout_split_epoch() {
+    let model = barrier::BarrierModel {
+        sm: BarrierSm {
+            n: 2,
+            timeout_recheck: false,
+        },
+        n: 2,
+        epochs: 1,
+        kills: 0,
+        timeouts: 1,
+    };
+    let v = explore(&model, MAX_STATES).expect_err("blind timeout must split epochs");
+    assert!(
+        v.message.contains("released-epoch rule") || v.message.contains("split-epoch"),
+        "unexpected violation: {v}"
+    );
+    println!("finding reproduced:\n{v}");
+}
+
+/// The checker's second finding: the timeout *re-check* narrows the
+/// window but cannot close it — the sense re-check and the releasing
+/// PE's flip are two operations on two words, so the expiry can still
+/// poison an epoch whose release is already committed (all arrivals
+/// absorbed).
+#[test]
+fn finds_timeout_release_race_despite_recheck() {
+    let model = barrier::BarrierModel {
+        sm: BarrierSm {
+            n: 2,
+            timeout_recheck: true,
+        },
+        n: 2,
+        epochs: 1,
+        kills: 0,
+        timeouts: 1,
+    };
+    let v =
+        explore(&model, MAX_STATES).expect_err("two-word timeout recheck still races the release");
+    assert!(
+        v.message.contains("released-epoch rule") || v.message.contains("split-epoch"),
+        "unexpected violation: {v}"
+    );
+    println!("finding reproduced:\n{v}");
+}
+
+/// The checker's third finding: a PE that arrives and *then* dies lets
+/// the epoch release concurrently with the reaper's poison, so a waiter
+/// that saw the poison first fails an epoch a peer completes — poison
+/// and release live on different words, so nothing orders them.
+#[test]
+fn finds_reap_after_arrival_split_epoch() {
+    let model = barrier::BarrierModel {
+        sm: BarrierSm {
+            n: 3,
+            timeout_recheck: true,
+        },
+        n: 3,
+        epochs: 1,
+        kills: 1,
+        timeouts: 0,
+    };
+    let v = explore(&model, MAX_STATES)
+        .expect_err("reap poison races the release of an already-full epoch");
+    assert!(
+        v.message.contains("released-epoch rule") || v.message.contains("split-epoch"),
+        "unexpected violation: {v}"
+    );
+    println!("finding reproduced:\n{v}");
+}
+
+#[test]
+fn round_recovery_passes() {
+    let r = explore(&round::ci_model(), MAX_STATES).unwrap_or_else(|v| panic!("{v}"));
+    assert!(r.accepting > 0);
+}
+
+#[test]
+fn heap_alloc_kill_anywhere_passes() {
+    let r = explore(&heap::ci_model(), MAX_STATES).unwrap_or_else(|v| panic!("{v}"));
+    assert!(r.accepting > 0);
+}
+
+#[test]
+fn fault_oneshot_fires_exactly_once() {
+    let r = explore(&fault::ci_model(), MAX_STATES).unwrap_or_else(|v| panic!("{v}"));
+    assert!(r.accepting > 0);
+}

@@ -18,6 +18,7 @@
 //! | [`vqa`] | `svsim-vqa` | VQE and QNN training loops (Figs. 16-17, §5) |
 //! | [`engine`] | `svsim-engine` | persistent job-scheduling + batching service layer |
 //! | [`analyzer`] | `svsim-analyzer` | static + dynamic race analysis of the SHMEM protocol |
+//! | [`verify`] | `svsim-verify` | exhaustive interleaving checker for the SHMEM protocols |
 //!
 //! ## Quickstart
 //!
@@ -46,5 +47,6 @@ pub use svsim_perfmodel as perfmodel;
 pub use svsim_qasm as qasm;
 pub use svsim_shmem as shmem;
 pub use svsim_types as types;
+pub use svsim_verify as verify;
 pub use svsim_vqa as vqa;
 pub use svsim_workloads as workloads;

@@ -19,6 +19,7 @@
 //!                    [--seed S] [--one-shots N] [--sweeps N] [--attempts N]
 //! sv-sim analyze <file.qasm>|--suite [--pes N] [--detect]
 //!                [--merge-epochs I] [--max-qubits M] [--seed S]
+//! sv-sim verify [--max-states N]
 //! ```
 
 use std::process::ExitCode;
@@ -45,7 +46,8 @@ fn usage() -> ExitCode {
          sv-sim analyze <file.qasm>|--suite [--pes N] [--detect] [--remap] [--merge-epochs I] \
          [--max-qubits M] [--seed S]\n  \
          sv-sim remap-bench [--pes N] [--seed S] [--max-qubits M] [--min-gates G] \
-         [--out FILE] [--assert-max-ratio R]"
+         [--out FILE] [--assert-max-ratio R]\n  \
+         sv-sim verify [--max-states N]"
     );
     ExitCode::from(2)
 }
@@ -78,6 +80,7 @@ fn main() -> ExitCode {
         "fault-bench" => cmd_fault_bench(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
         "remap-bench" => cmd_remap_bench(&args[1..]),
+        "verify" => cmd_verify(&args[1..]),
         "platforms" => {
             println!("modeled platforms (see svsim-perfmodel):");
             for d in [
@@ -1569,4 +1572,20 @@ fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
     );
     Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let max_states: usize = flag_value(args, "--max-states").map_or(Ok(2_000_000), str::parse)?;
+
+    println!("exhaustive protocol check (state cap {max_states}):");
+    match sv_sim::verify::check_all(max_states) {
+        Ok(bounds) => {
+            for b in &bounds {
+                println!("  {b}");
+            }
+            println!("OK: {} properties proven exhaustively", bounds.len());
+            Ok(())
+        }
+        Err(violation) => Err(format!("protocol property violated\n{violation}").into()),
+    }
 }
