@@ -3,11 +3,11 @@
 //! in-flight memory budget, legacy-model parity, and LIFO scheduling.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use svsim_core::{ParamCircuit, ParamValue, SimConfig, Simulator};
 use svsim_engine::{
     AllocMode, Engine, EngineConfig, ExecutionModel, JobError, JobOutput, JobRequest, JobSpec,
-    SchedMode, SubmitError, SweepReturn,
+    MetricsSnapshot, SchedMode, SubmitError, SweepReturn,
 };
 use svsim_ir::{Circuit, GateKind};
 
@@ -40,21 +40,53 @@ fn ansatz(n: u32, layers: u32) -> ParamCircuit {
     t
 }
 
-/// A wide, deep circuit whose execution takes long enough to park the
-/// single executor while victims stack up at the stage boundaries.
+/// A wide, deep circuit whose execution parks the single executor for
+/// hundreds of milliseconds (22 qubits x ~280 gates, ~1.2e9 amplitude
+/// updates) — orders of magnitude longer than the microsecond-scale
+/// submissions and metric polls the tests perform while it runs.
 fn deep_blocker() -> Circuit {
-    let mut c = Circuit::with_cbits(16, 1);
-    for q in 0..16 {
+    let mut c = Circuit::with_cbits(22, 1);
+    for q in 0..22 {
         c.apply(GateKind::H, &[q], &[]).unwrap();
     }
     for layer in 0..12 {
-        for q in 0..16 {
+        for q in 0..22 {
             c.apply(GateKind::RY, &[q], &[0.05 + 0.01 * f64::from(layer)])
                 .unwrap();
         }
     }
     c.measure(0, 0).unwrap();
     c
+}
+
+/// Current depth of the named stage queue.
+fn depth(m: &MetricsSnapshot, name: &str) -> usize {
+    m.stages
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("no stage named {name}"))
+        .depth
+}
+
+/// Lifetime pop count of the named stage queue.
+fn popped(m: &MetricsSnapshot, name: &str) -> u64 {
+    m.stages
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("no stage named {name}"))
+        .popped
+}
+
+/// Spin (bounded) until the live metrics satisfy `pred`. The pipeline's
+/// movers are separate threads, so on a loaded machine a packet takes a
+/// few scheduler quanta to reach its boundary; polling the snapshot is
+/// the only race-free way to observe "job X is parked at stage Y".
+fn wait_for(engine: &Engine, what: &str, pred: impl Fn(&MetricsSnapshot) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !pred(&engine.metrics()) {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::yield_now();
+    }
 }
 
 fn one_shot(circuit: &Arc<Circuit>, config: SimConfig) -> JobRequest {
@@ -79,14 +111,33 @@ fn drain_flushes_jobs_parked_at_every_stage() {
             .with_max_batch(1)
             .with_stage_capacity(2),
     );
-    let slow = Arc::new(ghz_with_measure(16));
+    let slow = Arc::new(deep_blocker());
     let fast = Arc::new(ghz_with_measure(4));
     let config = SimConfig::single_device();
     let mut accepted = vec![engine.submit(one_shot(&slow, config)).unwrap()];
+    // Only once the executor holds the blocker do later submissions pile
+    // up behind it instead of draining straight through.
+    wait_for(&engine, "the executor to pick up the blocker", |m| {
+        popped(m, "execute") == 1
+    });
+    // Fill until truly saturated: QueueFull is only final once both
+    // bounded queues sit at capacity — earlier rejections just mean the
+    // admit->execute mover hasn't been scheduled yet to make room.
+    let deadline = Instant::now() + Duration::from_secs(10);
     loop {
         match engine.submit(one_shot(&fast, config)) {
             Ok(h) => accepted.push(h),
-            Err(SubmitError::QueueFull) => break,
+            Err(SubmitError::QueueFull) => {
+                let m = engine.metrics();
+                if depth(&m, "admit") == 2 && depth(&m, "execute") == 2 {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "pipeline never saturated: the blocker drained too early"
+                );
+                std::thread::yield_now();
+            }
             Err(e) => panic!("unexpected admission error: {e}"),
         }
         assert!(accepted.len() < 64, "capacity-2 stages must backpressure");
@@ -130,20 +181,31 @@ fn cancellation_and_deadline_are_rechecked_at_stage_hops() {
     let fast = Arc::new(ghz_with_measure(4));
     let config = SimConfig::single_device();
     let blocker = engine.submit(one_shot(&slow, config)).unwrap();
-    // Let the blocker reach the executor before the victims arrive.
-    std::thread::sleep(Duration::from_millis(10));
+    // The blocker must reach the executor before the victims arrive.
+    wait_for(&engine, "the executor to pick up the blocker", |m| {
+        popped(m, "execute") == 1
+    });
+    // Park each victim at its boundary before the next arrives: v1 in
+    // the execute queue, v2 in the mover's blocked push (popped from
+    // admit, refused by the full execute queue), v3 in the admit queue.
     let v1 = engine.submit(one_shot(&fast, config)).unwrap();
-    // Let each victim clear the capacity-1 admit queue before the next
-    // arrives: v1 ends parked in the execute queue, v2 in the compile
-    // stage's blocked push, v3 in the admit queue.
-    std::thread::sleep(Duration::from_millis(10));
+    wait_for(&engine, "v1 to park in the execute queue", |m| {
+        depth(m, "execute") == 1
+    });
     let v2 = engine
         .submit(one_shot(&fast, config).with_deadline_in(Duration::from_millis(1)))
         .unwrap();
-    std::thread::sleep(Duration::from_millis(10));
+    wait_for(&engine, "the mover to take v2 in hand", |m| {
+        popped(m, "admit") == 3
+    });
     let v3 = engine.submit(one_shot(&fast, config)).unwrap();
     v1.cancel();
     v3.cancel();
+    assert_eq!(
+        engine.metrics().completed,
+        0,
+        "the blocker must still be executing when the victims are cancelled"
+    );
     assert!(blocker.wait().is_ok());
     assert!(matches!(v1.wait(), Err(JobError::Cancelled)));
     assert!(matches!(v2.wait(), Err(JobError::Expired)));
