@@ -11,8 +11,8 @@
 //! type supplies the thread backend's storage (three process-local
 //! atomic words) and waiting policy (spin then yield).
 
-use crate::proto::bar::{Actor, BarrierSm, Step, BAR_POISON};
-use crate::proto::{AtomicWords, MemOrder, ProtoMem};
+use crate::proto::bar::{Actor, BarrierSm, Step};
+use crate::proto::AtomicWords;
 
 /// Sense-reversing barrier over a fixed number of participants.
 #[derive(Debug)]
@@ -147,7 +147,7 @@ impl SenseBarrier {
     /// True once poisoned.
     #[must_use]
     pub fn is_poisoned(&self) -> bool {
-        self.words.load(BAR_POISON, MemOrder::Acquire) != 0
+        crate::proto::bar::is_poisoned(&self.words)
     }
 }
 

@@ -574,9 +574,13 @@ impl ProcBarrier {
             arena: &self.arena,
             map: [self.w_count, self.w_sense, self.w_poison],
         };
+        // timeout_recheck: the expiry is one decisive compare-exchange,
+        // so a bounded wait that loses its race against the release
+        // reports the release — the model checker proved the old blind
+        // poison could fail an epoch a peer had already completed.
         let sm = proto::bar::BarrierSm {
             n: self.n,
-            timeout_recheck: false,
+            timeout_recheck: true,
         };
         let mut actor = proto::bar::Actor::new(token.sense());
         let mut spins = 0u32;
@@ -783,6 +787,16 @@ impl ProcWorld {
     /// Bump `pe`'s progress heartbeat — called at barrier epochs, inside
     /// barrier waits, at fault points and in the respawn park loop, so the
     /// parent watchdog only ever flags a PE that is truly wedged.
+    ///
+    /// Ordering audit (ISSUE 9): `Relaxed` is correct here. A heartbeat
+    /// word is a monotonic progress counter that only the owning PE
+    /// writes; the watchdog compares successive reads of the *same* word
+    /// for inequality and never infers anything about other memory from
+    /// the value, so no acquire/release edge is needed. Single-word RMW
+    /// atomicity (which `Relaxed` already guarantees) is the whole
+    /// contract. The false-positive direction (a bump the watchdog sees
+    /// "late") only delays the stall verdict by one poll interval — it
+    /// cannot kill a live PE, because the next poll re-reads the word.
     pub(crate) fn heartbeat(&self, pe: usize) {
         self.arena
             .word(self.layout.w_heartbeats + pe)
@@ -809,10 +823,14 @@ impl ProcWorld {
     }
 
     fn barrier_poisoned(&self) -> bool {
-        self.arena
-            .word(self.layout.w_bar_poison)
-            .load(Ordering::Acquire)
-            != 0
+        proto::bar::is_poisoned(&ArenaWords {
+            arena: &self.arena,
+            map: [
+                self.layout.w_bar_count,
+                self.layout.w_bar_sense,
+                self.layout.w_bar_poison,
+            ],
+        })
     }
 
     /// The [`ProtoMem`] window of the respawn round handshake: round and

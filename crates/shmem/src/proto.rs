@@ -66,6 +66,19 @@ pub trait ProtoMem {
         new: u64,
         order: MemOrder,
     ) -> Result<u64, u64>;
+
+    /// Atomic fetch-or; returns the previous value. The default is a
+    /// compare-exchange loop, which every host's single word supports;
+    /// hosts with a native or may override.
+    fn fetch_or(&self, slot: usize, bits: u64, order: MemOrder) -> u64 {
+        loop {
+            let cur = self.load(slot, MemOrder::Relaxed);
+            match self.compare_exchange(slot, cur, cur | bits, order) {
+                Ok(prev) => return prev,
+                Err(_) => continue,
+            }
+        }
+    }
 }
 
 /// A fixed-size bank of process-local atomic words implementing
@@ -138,17 +151,35 @@ impl<const K: usize> ProtoMem for AtomicWords<K> {
 
 /// The barrier protocol's state machine. Slot layout: [`BAR_COUNT`],
 /// [`BAR_SENSE`], [`BAR_POISON`].
+///
+/// The sense word carries *both* the epoch sense ([`SENSE_BIT`]) and the
+/// poison flag ([`POISON_BIT`]). Keeping them in one atomic word totally
+/// orders every release against every poison: a release is a
+/// compare-exchange that fails if poison landed first, a poison is a
+/// fetch-or that a released epoch survives, and a waiter's single load
+/// decides released-vs-poisoned with no window in between. The checker
+/// proved the previous two-word layout wrong three ways (split-epoch
+/// failures from blind timeouts, from the timeout re-check, and from a
+/// reap racing a full epoch's release); all three are impossible on one
+/// word.
 pub mod bar {
     use super::{MemOrder, ProtoMem};
 
     /// Arrival counter slot.
     pub const BAR_COUNT: usize = 0;
-    /// Release sense slot (0 or 1, flipping each epoch).
+    /// Combined sense + poison slot; see [`SENSE_BIT`] and [`POISON_BIT`].
     pub const BAR_SENSE: usize = 1;
-    /// Poison flag slot (non-zero once a peer failed).
+    /// Legacy poison slot. The machine no longer touches it (poison lives
+    /// in [`BAR_SENSE`]'s [`POISON_BIT`]); the slot is kept so arena
+    /// layouts and reset paths stay stable.
     pub const BAR_POISON: usize = 2;
     /// Number of slots the barrier protocol uses.
     pub const BAR_WORDS: usize = 3;
+
+    /// Epoch sense bit of the [`BAR_SENSE`] word (flips each epoch).
+    pub const SENSE_BIT: u64 = 1;
+    /// Poison bit of the [`BAR_SENSE`] word (set once a peer failed).
+    pub const POISON_BIT: u64 = 2;
 
     /// The barrier protocol over `n` participants.
     #[derive(Debug, Clone)]
@@ -157,38 +188,37 @@ pub mod bar {
         pub n: u64,
         /// Whether the timeout path re-checks the sense before poisoning.
         ///
-        /// `true` applies the released-epoch rule to timeouts too: a
-        /// bounded wait that expires *after* the epoch released reports
-        /// the release, not a timeout — so a completed epoch can never be
-        /// failed retroactively by a slow clock. `false` reproduces the
-        /// historical behavior (poison immediately on expiry), kept so
-        /// the model checker can demonstrate the race it fixes.
+        /// `true` makes the expiry a single decisive compare-exchange:
+        /// poison the epoch only if it is still unflipped and clean, and
+        /// otherwise report what actually happened (release or a peer's
+        /// poison) — so a completed epoch can never be failed
+        /// retroactively by a slow clock. `false` reproduces the
+        /// historical behavior (blind poison on expiry), kept so the
+        /// model checker can demonstrate the race it fixes.
         pub timeout_recheck: bool,
     }
 
     /// Where one participant is inside the current epoch.
     #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
     pub enum Phase {
-        /// About to load the poison flag (epoch entry).
+        /// About to load the sense word's poison bit (epoch entry).
         CheckPoison,
         /// About to fetch-add the arrival counter.
         Arrive,
         /// Last arriver: about to reset the counter.
         ResetCount,
-        /// Last arriver: about to flip the sense (the release).
+        /// Last arriver: about to flip the sense (the release) with a
+        /// compare-exchange that fails iff poison landed first.
         ReleaseSense,
-        /// Waiter: about to poll the sense.
+        /// Waiter: about to poll the sense word — one load decides
+        /// released vs poisoned vs still waiting.
         PollSense,
-        /// Waiter: sense not flipped yet; about to poll the poison flag.
-        PollPoison,
-        /// Waiter saw poison; about to re-check the sense (released-epoch
-        /// rule: a poison landing after the release must not fail the
-        /// epoch retroactively).
-        RecheckSense,
-        /// Driver-requested timeout; about to re-check the sense before
-        /// poisoning (only reachable with `timeout_recheck`).
+        /// Driver-requested timeout; about to decide the epoch's fate
+        /// with one compare-exchange (only reachable with
+        /// `timeout_recheck`).
         TimeoutRecheck,
-        /// About to store the poison flag and report the timeout.
+        /// About to blindly set the poison bit and report the timeout
+        /// (the historical `timeout_recheck: false` path).
         PoisonTimeout,
     }
 
@@ -236,23 +266,24 @@ pub mod bar {
             self.phase
         }
 
-        /// True while parked in the waiter poll loop — the only phases
+        /// True while parked in the waiter poll loop — the only phase
         /// where a driver may spin, yield, bump heartbeats, or request a
         /// timeout between steps.
         #[must_use]
         pub fn is_waiting(&self) -> bool {
-            matches!(self.phase, Phase::PollSense | Phase::PollPoison)
+            matches!(self.phase, Phase::PollSense)
         }
     }
 
     impl BarrierSm {
         /// Advance `a` by exactly one shared-memory operation.
         pub fn step(&self, a: &mut Actor, mem: &impl ProtoMem) -> Step {
+            let cur_w = u64::from(a.sense);
             let next_w = u64::from(!a.sense);
             match a.phase {
                 Phase::CheckPoison => {
-                    // Acquire pairs with the failing peer's release store.
-                    if mem.load(BAR_POISON, MemOrder::Acquire) != 0 {
+                    // Acquire pairs with the failing peer's poison or-in.
+                    if mem.load(BAR_SENSE, MemOrder::Acquire) & POISON_BIT != 0 {
                         return Step::Poisoned;
                     }
                     a.phase = Phase::Arrive;
@@ -269,7 +300,7 @@ pub mod bar {
                     Step::Pending
                 }
                 Phase::ResetCount => {
-                    // Relaxed is enough: the release store of the sense
+                    // Relaxed is enough: the release CAS of the sense
                     // below publishes this reset to every waiter (their
                     // next-epoch fetch_add is same-location ordered after
                     // their acquire of the sense).
@@ -278,56 +309,64 @@ pub mod bar {
                     Step::Pending
                 }
                 Phase::ReleaseSense => {
-                    mem.store(BAR_SENSE, next_w, MemOrder::Release);
-                    a.sense = !a.sense;
-                    a.phase = Phase::CheckPoison;
-                    Step::Released
+                    // Only the clean, unflipped word releases; the single
+                    // failure cause is poison landing first, in which case
+                    // this epoch failed before it completed — consistently
+                    // for every participant, because both outcomes are
+                    // writes to one location.
+                    match mem.compare_exchange(BAR_SENSE, cur_w, next_w, MemOrder::AcqRel) {
+                        Ok(_) => {
+                            a.sense = !a.sense;
+                            a.phase = Phase::CheckPoison;
+                            Step::Released
+                        }
+                        Err(_) => Step::Poisoned,
+                    }
                 }
                 Phase::PollSense => {
-                    if mem.load(BAR_SENSE, MemOrder::Acquire) == next_w {
+                    // One load decides. A flipped sense means the epoch
+                    // completed — even if poison arrived after the flip
+                    // (released-epoch rule; the next epoch's entry check
+                    // reports the failure instead).
+                    let w = mem.load(BAR_SENSE, MemOrder::Acquire);
+                    if w & SENSE_BIT == next_w {
                         a.sense = !a.sense;
                         a.phase = Phase::CheckPoison;
                         return Step::Released;
                     }
-                    a.phase = Phase::PollPoison;
-                    Step::Pending
-                }
-                Phase::PollPoison => {
-                    if mem.load(BAR_POISON, MemOrder::Acquire) == 0 {
-                        a.phase = Phase::PollSense;
-                        return Step::Pending;
+                    if w & POISON_BIT != 0 {
+                        return Step::Poisoned;
                     }
-                    a.phase = Phase::RecheckSense;
                     Step::Pending
-                }
-                Phase::RecheckSense => {
-                    // Released-epoch rule: a poison that landed after this
-                    // epoch released must not fail it retroactively, so
-                    // every participant observes the failure in the same
-                    // epoch — the first one that cannot finish.
-                    if mem.load(BAR_SENSE, MemOrder::Acquire) == next_w {
-                        a.sense = !a.sense;
-                        a.phase = Phase::CheckPoison;
-                        return Step::Released;
-                    }
-                    Step::Poisoned
                 }
                 Phase::TimeoutRecheck => {
-                    // Same rule applied to the bounded wait: if the epoch
-                    // released while our clock expired, report the release.
-                    if mem.load(BAR_SENSE, MemOrder::Acquire) == next_w {
-                        a.sense = !a.sense;
-                        a.phase = Phase::CheckPoison;
-                        return Step::Released;
+                    // The decisive expiry: poison the epoch only if it is
+                    // still unflipped and clean. A failed exchange tells
+                    // us what happened instead — the epoch released (report
+                    // the release, never fail a completed epoch) or a peer
+                    // poisoned it first.
+                    match mem.compare_exchange(
+                        BAR_SENSE,
+                        cur_w,
+                        cur_w | POISON_BIT,
+                        MemOrder::AcqRel,
+                    ) {
+                        Ok(_) => Step::TimedOut,
+                        Err(actual) if actual & SENSE_BIT == next_w => {
+                            a.sense = !a.sense;
+                            a.phase = Phase::CheckPoison;
+                            Step::Released
+                        }
+                        Err(_) => Step::Poisoned,
                     }
-                    a.phase = Phase::PoisonTimeout;
-                    Step::Pending
                 }
                 Phase::PoisonTimeout => {
-                    // Poison so the whole world fails typed instead of
-                    // hanging; the expiry is reported as a timeout, not a
-                    // peer death.
-                    mem.store(BAR_POISON, 1, MemOrder::Release);
+                    // Historical blind expiry: set the poison bit without
+                    // looking, so a release that already happened gets a
+                    // timeout reported against it anyway. Kept only so the
+                    // checker can reproduce the split-epoch race that
+                    // `timeout_recheck: true` closes.
+                    mem.fetch_or(BAR_SENSE, POISON_BIT, MemOrder::AcqRel);
                     Step::TimedOut
                 }
             }
@@ -351,9 +390,16 @@ pub mod bar {
 
     /// Poison the barrier from outside the protocol — the launcher's
     /// reap path and a panicking PE's unwind both publish the failure
-    /// through this single helper.
+    /// through this single helper. An or-in rather than a store: it
+    /// must not clobber a release it lost the race to (the flipped
+    /// sense survives, so the failure lands on the next epoch).
     pub fn post_poison(mem: &impl ProtoMem) {
-        mem.store(BAR_POISON, 1, MemOrder::Release);
+        mem.fetch_or(BAR_SENSE, POISON_BIT, MemOrder::AcqRel);
+    }
+
+    /// True once the barrier is poisoned (current or pending epoch).
+    pub fn is_poisoned(mem: &impl ProtoMem) -> bool {
+        mem.load(BAR_SENSE, MemOrder::Acquire) & POISON_BIT != 0
     }
 }
 
@@ -968,7 +1014,7 @@ mod tests {
             n: 2,
             timeout_recheck: true,
         };
-        mem.store(bar::BAR_POISON, 1, MemOrder::Release);
+        bar::post_poison(&mem);
         let mut a = Actor::new(false);
         assert_eq!(sm.step(&mut a, &mem), Step::Poisoned);
     }
@@ -992,7 +1038,7 @@ mod tests {
         // Now the waiter's bounded wait "expires".
         assert!(sm.request_timeout(&mut w));
         assert_eq!(sm.step(&mut w, &mem), Step::Released);
-        assert_eq!(mem.load(bar::BAR_POISON, MemOrder::Acquire), 0);
+        assert!(!bar::is_poisoned(&mem));
     }
 
     #[test]
@@ -1006,9 +1052,9 @@ mod tests {
         assert_eq!(sm.step(&mut w, &mem), Step::Pending);
         assert_eq!(sm.step(&mut w, &mem), Step::Pending);
         assert!(sm.request_timeout(&mut w));
-        assert_eq!(sm.step(&mut w, &mem), Step::Pending); // recheck: no release
+        // One decisive exchange: unflipped and clean, so poison + report.
         assert_eq!(sm.step(&mut w, &mem), Step::TimedOut);
-        assert_eq!(mem.load(bar::BAR_POISON, MemOrder::Acquire), 1);
+        assert!(bar::is_poisoned(&mem));
     }
 
     #[test]

@@ -256,10 +256,15 @@ impl Model for BarrierModel {
 }
 
 /// The configurations `sv-sim verify` proves in CI.
+///
+/// Both carry a kill *and* a timeout budget: since the sense and poison
+/// bits moved into one word, the full fault matrix passes — the fault-free
+/// subspace (no budget spent) still proves plain liveness, because
+/// acceptance demands every PE complete when no fault fired.
 #[must_use]
 pub fn ci_models() -> Vec<BarrierModel> {
     vec![
-        // 2 PEs, 2 epochs, fault-free: plain liveness + release counting.
+        // 2 PEs, 2 epochs, kill + timeout injectable anywhere.
         BarrierModel {
             sm: BarrierSm {
                 n: 2,
@@ -267,10 +272,10 @@ pub fn ci_models() -> Vec<BarrierModel> {
             },
             n: 2,
             epochs: 2,
-            kills: 0,
-            timeouts: 0,
+            kills: 1,
+            timeouts: 1,
         },
-        // 3 PEs, 2 epochs, fault-free.
+        // 3 PEs, 2 epochs, kill + timeout injectable anywhere.
         BarrierModel {
             sm: BarrierSm {
                 n: 3,
@@ -278,8 +283,8 @@ pub fn ci_models() -> Vec<BarrierModel> {
             },
             n: 3,
             epochs: 2,
-            kills: 0,
-            timeouts: 0,
+            kills: 1,
+            timeouts: 1,
         },
     ]
 }

@@ -19,7 +19,7 @@ fn ci_property_suite_passes() {
 }
 
 #[test]
-fn barrier_fault_free_completes_all_epochs() {
+fn barrier_survives_kill_and_timeout_anywhere() {
     for model in barrier::ci_models() {
         let r = explore(&model, MAX_STATES).unwrap_or_else(|v| panic!("{v}"));
         assert!(r.accepting > 0);
@@ -50,13 +50,13 @@ fn finds_blind_timeout_split_epoch() {
     println!("finding reproduced:\n{v}");
 }
 
-/// The checker's second finding: the timeout *re-check* narrows the
-/// window but cannot close it — the sense re-check and the releasing
-/// PE's flip are two operations on two words, so the expiry can still
-/// poison an epoch whose release is already committed (all arrivals
-/// absorbed).
+/// The checker's second finding, now closed: with sense and poison on
+/// *one* word, the timeout re-check is a decisive CAS — it either claims
+/// the poison or observes the committed flip, so an expiring wait can
+/// never fail an epoch whose release already committed. Exhaustively
+/// proven over every interleaving of a 2-PE epoch with a timeout.
 #[test]
-fn finds_timeout_release_race_despite_recheck() {
+fn timeout_recheck_race_is_closed() {
     let model = barrier::BarrierModel {
         sm: BarrierSm {
             n: 2,
@@ -67,21 +67,17 @@ fn finds_timeout_release_race_despite_recheck() {
         kills: 0,
         timeouts: 1,
     };
-    let v =
-        explore(&model, MAX_STATES).expect_err("two-word timeout recheck still races the release");
-    assert!(
-        v.message.contains("released-epoch rule") || v.message.contains("split-epoch"),
-        "unexpected violation: {v}"
-    );
-    println!("finding reproduced:\n{v}");
+    let r = explore(&model, MAX_STATES).unwrap_or_else(|v| panic!("{v}"));
+    assert!(r.accepting > 0);
 }
 
-/// The checker's third finding: a PE that arrives and *then* dies lets
-/// the epoch release concurrently with the reaper's poison, so a waiter
-/// that saw the poison first fails an epoch a peer completes — poison
-/// and release live on different words, so nothing orders them.
+/// The checker's third finding, now closed: the reaper's poison is a
+/// `fetch_or` into the sense word, so it totally orders against the
+/// release CAS — a poison that lands after the flip can no longer fail
+/// an epoch a peer completed. Exhaustively proven over every
+/// interleaving of a 3-PE epoch with a kill + reap.
 #[test]
-fn finds_reap_after_arrival_split_epoch() {
+fn reap_after_arrival_race_is_closed() {
     let model = barrier::BarrierModel {
         sm: BarrierSm {
             n: 3,
@@ -92,13 +88,8 @@ fn finds_reap_after_arrival_split_epoch() {
         kills: 1,
         timeouts: 0,
     };
-    let v = explore(&model, MAX_STATES)
-        .expect_err("reap poison races the release of an already-full epoch");
-    assert!(
-        v.message.contains("released-epoch rule") || v.message.contains("split-epoch"),
-        "unexpected violation: {v}"
-    );
-    println!("finding reproduced:\n{v}");
+    let r = explore(&model, MAX_STATES).unwrap_or_else(|v| panic!("{v}"));
+    assert!(r.accepting > 0);
 }
 
 #[test]
