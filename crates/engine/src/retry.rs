@@ -90,14 +90,24 @@ impl RetryPolicy {
 /// again.
 #[must_use]
 pub fn retryable(e: &SvError) -> bool {
-    matches!(
-        e,
+    // Deliberately exhaustive — no wildcard arm. Adding an `SvError`
+    // variant must force a retry-classification decision here (compile
+    // error otherwise), instead of silently defaulting a new failure
+    // class to non-retryable. `svsim-lint` cross-checks this.
+    match e {
         SvError::PeFailed { .. }
-            | SvError::PeHung { .. }
-            | SvError::BarrierTimeout { .. }
-            | SvError::Shmem(_)
-            | SvError::Checkpoint(_)
-    )
+        | SvError::PeHung { .. }
+        | SvError::BarrierTimeout { .. }
+        | SvError::Shmem(_)
+        | SvError::Checkpoint(_) => true,
+        SvError::QubitOutOfRange { .. }
+        | SvError::DuplicateQubit { .. }
+        | SvError::InvalidConfig(_)
+        | SvError::Parse { .. }
+        | SvError::Undefined(_)
+        | SvError::Arity { .. }
+        | SvError::Numeric(_) => false,
+    }
 }
 
 /// How the engine reacts to repeated infrastructure failures of one job,

@@ -1,0 +1,13 @@
+// Seeded lint violations for the `sv-sim lint` self-test (CI's lint leg
+// points the linter at this directory and expects a nonzero exit):
+// an `unsafe` block outside the substrate allowlist, with no SAFETY
+// justification, plus a raw FFI declaration outside proc.rs. This file
+// is not part of any crate — the workspace scan skips `fixtures/`.
+
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+extern "C" {
+    fn getpid() -> i32;
+}

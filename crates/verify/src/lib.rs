@@ -24,6 +24,7 @@
 
 pub mod explore;
 pub mod harness;
+pub mod lint;
 pub mod mem;
 
 pub use explore::{explore, Model, Report, Violation};

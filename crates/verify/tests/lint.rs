@@ -1,0 +1,68 @@
+//! The linter's own gates: the real workspace must scan clean (all five
+//! rules running), and the seeded fixture violation must be caught —
+//! proving the rules actually fire, not that the scanner is inert.
+
+use std::path::{Path, PathBuf};
+use svsim_verify::lint::{run, Severity};
+
+fn repo_root() -> PathBuf {
+    // crates/verify -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_scans_clean_with_all_rules() {
+    let report = run(&repo_root()).expect("lint scan");
+    for f in &report.findings {
+        eprintln!("{f}");
+    }
+    assert_eq!(report.errors(), 0, "workspace must lint clean");
+    assert_eq!(
+        report.warnings(),
+        0,
+        "workspace must lint clean under --deny-warnings"
+    );
+    for rule in [
+        "unsafe-confined",
+        "safety-comment",
+        "ffi-confined",
+        "accessor-manifest",
+        "retryable-exhaustive",
+    ] {
+        assert!(
+            report.rules_run.contains(&rule),
+            "rule {rule} did not run on the workspace"
+        );
+    }
+    assert!(
+        report.files_scanned > 40,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn seeded_fixture_violations_are_caught() {
+    let fixture = repo_root().join("crates/verify/fixtures/lint_violation");
+    let report = run(&fixture).expect("fixture scan");
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert!(
+        rules.contains(&"unsafe-confined"),
+        "fixture unsafe not flagged: {rules:?}"
+    );
+    assert!(
+        rules.contains(&"ffi-confined"),
+        "fixture extern \"C\" not flagged: {rules:?}"
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.severity == Severity::Error),
+        "fixture violations must be errors"
+    );
+}

@@ -16,6 +16,26 @@ cargo fmt --all --check
 echo "== clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== protocol model check (exhaustive, bounded) =="
+# Prove the control-plane protocols — sense-reversing barrier (with
+# kill + timeout injected before any step), respawn round handshake,
+# heap lock, checkpoint commit — exhaustively over every interleaving
+# at 2-3 PEs. Prints the proof bound (states/transitions) per property;
+# nonzero exit with a full interleaving trace on any violation.
+cargo run --release --quiet -- verify --max-states 2000000
+
+echo "== workspace invariant lint =="
+# Invariants the compiler can't enforce: unsafe/FFI confinement with
+# SAFETY justifications, the ShmemCtx accessor instrumentation
+# manifest, and retryable()'s exhaustive SvError classification.
+cargo run --release --quiet -- lint --deny-warnings
+# Self-test: the linter must fail on the seeded fixture violation, or
+# this leg is vacuous.
+if cargo run --release --quiet -- lint --root crates/verify/fixtures/lint_violation >/dev/null 2>&1; then
+  echo "lint self-test failed: seeded violation not caught" >&2
+  exit 1
+fi
+
 echo "== access-protocol analysis (static, full suite) =="
 # Prove every Table 4 schedule conflict-free symbolically — including the
 # 20- and 23-qubit plans, which must analyze without touching amplitudes.

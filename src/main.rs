@@ -20,6 +20,7 @@
 //! sv-sim analyze <file.qasm>|--suite [--pes N] [--detect]
 //!                [--merge-epochs I] [--max-qubits M] [--seed S]
 //! sv-sim verify [--max-states N]
+//! sv-sim lint [--root DIR] [--deny-warnings]
 //! ```
 
 use std::process::ExitCode;
@@ -47,7 +48,8 @@ fn usage() -> ExitCode {
          [--max-qubits M] [--seed S]\n  \
          sv-sim remap-bench [--pes N] [--seed S] [--max-qubits M] [--min-gates G] \
          [--out FILE] [--assert-max-ratio R]\n  \
-         sv-sim verify [--max-states N]"
+         sv-sim verify [--max-states N]\n  \
+         sv-sim lint [--root DIR] [--deny-warnings]"
     );
     ExitCode::from(2)
 }
@@ -81,6 +83,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&args[1..]),
         "remap-bench" => cmd_remap_bench(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
         "platforms" => {
             println!("modeled platforms (see svsim-perfmodel):");
             for d in [
@@ -1588,4 +1591,24 @@ fn cmd_verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
         Err(violation) => Err(format!("protocol property violated\n{violation}").into()),
     }
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    let root = flag_value(args, "--root").unwrap_or(".");
+    let report = sv_sim::verify::lint::run(std::path::Path::new(root))?;
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "lint: {} files scanned, rules [{}], {} error(s), {} warning(s)",
+        report.files_scanned,
+        report.rules_run.join(", "),
+        report.errors(),
+        report.warnings(),
+    );
+    if report.errors() > 0 || (deny_warnings && report.warnings() > 0) {
+        return Err("lint failed".into());
+    }
+    Ok(())
 }
