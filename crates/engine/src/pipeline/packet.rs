@@ -238,3 +238,44 @@ impl StageItem for Readback {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_lease_releases_on_panic_unwind() {
+        // A stage thread that panics mid-packet unwinds the packet — and
+        // with it the lease. The in-flight accounting must return to
+        // zero, or the engine slowly loses admission capacity to every
+        // quarantined job.
+        let budget = Arc::new(MemoryBudget::new(AllocMode::LimitMemory(1 << 20)));
+        let b2 = Arc::clone(&budget);
+        let unwound = std::panic::catch_unwind(move || {
+            let _lease = b2.try_admit(4096).expect("well under the limit");
+            panic!("stage thread dies holding a lease");
+        });
+        assert!(unwound.is_err());
+        assert_eq!(budget.in_flight_bytes(), 0, "lease leaked on unwind");
+        assert_eq!(budget.high_water_bytes(), 4096, "reservation was real");
+    }
+
+    #[test]
+    fn memory_budget_refuses_and_rolls_back_cleanly() {
+        let budget = Arc::new(MemoryBudget::new(AllocMode::LimitMemory(1000)));
+        let held = budget.try_admit(800).expect("fits");
+        let err = budget.try_admit(300).expect_err("would exceed the cap");
+        assert!(matches!(
+            err,
+            SubmitError::MemoryExceeded {
+                needed: 300,
+                limit: 1000
+            }
+        ));
+        // The refused admission must not have charged anything.
+        assert_eq!(budget.in_flight_bytes(), 800);
+        drop(held);
+        assert_eq!(budget.in_flight_bytes(), 0);
+        assert!(budget.try_admit(1000).is_ok(), "full cap free again");
+    }
+}

@@ -266,3 +266,120 @@ impl<T: StageItem> StageQueue<T> {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Item {
+        id: u32,
+        lane: usize,
+        key: Option<TemplateId>,
+    }
+
+    impl Item {
+        fn plain(id: u32, lane: usize) -> Self {
+            Self {
+                id,
+                lane,
+                key: None,
+            }
+        }
+
+        fn keyed(id: u32, lane: usize, key: u64) -> Self {
+            Self {
+                id,
+                lane,
+                key: Some(TemplateId(key)),
+            }
+        }
+    }
+
+    impl StageItem for Item {
+        fn lane(&self) -> usize {
+            self.lane
+        }
+        fn coalesce_key(&self) -> Option<TemplateId> {
+            self.key
+        }
+    }
+
+    fn drain_ids(q: &StageQueue<Item>) -> Vec<u32> {
+        let mut out = Vec::new();
+        while q.len() > 0 {
+            out.push(q.pop().expect("non-empty").id);
+        }
+        out
+    }
+
+    #[test]
+    fn lifo_reverses_within_a_lane_but_lanes_still_rank() {
+        // LIFO must only reorder *inside* each priority lane: the high
+        // lane drains before normal before low regardless of push order.
+        let q = StageQueue::new("test", 16, SchedMode::Lifo);
+        q.try_push(Item::plain(1, 2)).unwrap();
+        q.try_push(Item::plain(2, 0)).unwrap();
+        q.try_push(Item::plain(3, 2)).unwrap();
+        q.try_push(Item::plain(4, 0)).unwrap();
+        q.try_push(Item::plain(5, 1)).unwrap();
+        assert_eq!(drain_ids(&q), [4, 2, 5, 3, 1]);
+    }
+
+    #[test]
+    fn fifo_preserves_order_within_each_lane() {
+        let q = StageQueue::new("test", 16, SchedMode::Fifo);
+        q.try_push(Item::plain(1, 2)).unwrap();
+        q.try_push(Item::plain(2, 0)).unwrap();
+        q.try_push(Item::plain(3, 2)).unwrap();
+        q.try_push(Item::plain(4, 0)).unwrap();
+        assert_eq!(drain_ids(&q), [2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn pop_batch_coalesces_one_template_across_interleaved_lanes() {
+        // Sweep points of template 7 sit in all three lanes, interleaved
+        // with other traffic. One batch must collect exactly the
+        // template-7 points (lane order preserved) and leave the rest.
+        let q = StageQueue::new("test", 16, SchedMode::Fifo);
+        q.try_push(Item::keyed(1, 0, 7)).unwrap();
+        q.try_push(Item::plain(2, 0)).unwrap();
+        q.try_push(Item::keyed(3, 1, 7)).unwrap();
+        q.try_push(Item::keyed(4, 1, 9)).unwrap();
+        q.try_push(Item::keyed(5, 2, 7)).unwrap();
+
+        let batch = q.pop_batch(8).expect("items queued");
+        let ids: Vec<u32> = batch.iter().map(|i| i.id).collect();
+        assert_eq!(ids, [1, 3, 5], "template-7 points from every lane");
+
+        // The stragglers are untouched and still in priority order.
+        assert_eq!(drain_ids(&q), [2, 4]);
+    }
+
+    #[test]
+    fn pop_batch_respects_max_batch_and_uncoalescable_heads() {
+        let q = StageQueue::new("test", 16, SchedMode::Fifo);
+        for id in 1..=4 {
+            q.try_push(Item::keyed(id, 1, 3)).unwrap();
+        }
+        let first = q.pop_batch(2).expect("items queued");
+        assert_eq!(first.len(), 2, "batch capped at max_batch");
+
+        // A keyless head never coalesces, even with keyed items behind.
+        q.try_push(Item::plain(9, 0)).unwrap();
+        let solo = q.pop_batch(8).expect("items queued");
+        assert_eq!(solo.iter().map(|i| i.id).collect::<Vec<_>>(), [9]);
+        assert_eq!(drain_ids(&q), [3, 4]);
+    }
+
+    #[test]
+    fn rejection_and_occupancy_stats_track_the_edge() {
+        let q = StageQueue::new("test", 2, SchedMode::Fifo);
+        q.try_push(Item::plain(1, 1)).unwrap();
+        q.try_push(Item::plain(2, 1)).unwrap();
+        let err = q.try_push(Item::plain(3, 1)).unwrap_err();
+        assert!(matches!(err.0, SubmitError::QueueFull));
+        let s = q.snapshot();
+        assert_eq!((s.pushed, s.rejected, s.depth, s.high_water), (2, 1, 2, 2));
+    }
+}
