@@ -140,6 +140,100 @@ impl CommPlan {
         }
     }
 
+    /// Derive the plan the scale-out executor would follow for `c` when
+    /// the lowering fuses adjacent gates into ≤`window`-qubit dense sweeps
+    /// (`SimConfig::with_fusion`). Mirrors the plan lowering's break
+    /// rules: runs flush at measurement/reset collapses and at `IfEq`
+    /// steps, and the same greedy pass (`svsim_core::fuse_compiled`,
+    /// including its traffic-monotone `worth_fusing` cutoff) decides which
+    /// runs actually merge — so the checker and the perfmodel see exactly
+    /// the kernel stream the executor runs. A fused kernel's epoch claims
+    /// the full window (every bit combination over its sorted qubits) via
+    /// `kernel_access_patterns`, which keeps the per-epoch disjointness
+    /// argument unchanged: one kernel per epoch, injective item bits.
+    /// `window == 0` is exactly [`CommPlan::from_circuit`].
+    #[must_use]
+    pub fn from_circuit_fused(c: &Circuit, window: u8) -> Self {
+        if window == 0 {
+            return Self::from_circuit(c);
+        }
+        let n = c.n_qubits();
+        let mut gates = Vec::new();
+        let mut epochs = Vec::new();
+        // Pending unconditional kernel run: the compiled queue plus the
+        // source op of each entry, flushed through the fusion pass.
+        let mut run: Vec<CompiledGate> = Vec::new();
+        let mut run_ops: Vec<usize> = Vec::new();
+        fn flush(
+            run: &mut Vec<CompiledGate>,
+            run_ops: &mut Vec<usize>,
+            n: u32,
+            window: u8,
+            gates: &mut Vec<PlanGate>,
+            epochs: &mut Vec<Epoch>,
+        ) {
+            if run.is_empty() {
+                return;
+            }
+            let (fused, origin) = svsim_core::fuse_compiled(run, n, window);
+            for (cg, covers) in fused.into_iter().zip(origin) {
+                let gi = gates.len();
+                gates.push(PlanGate {
+                    source_op: run_ops[covers.start],
+                    kernel: cg.id,
+                    qubits: cg.args.sorted().to_vec(),
+                    conditional: false,
+                    cg,
+                });
+                epochs.push(Epoch {
+                    kind: EpochKind::Kernel,
+                    gates: vec![gi],
+                });
+            }
+            run.clear();
+            run_ops.clear();
+        }
+        for (i, op) in c.ops().iter().enumerate() {
+            match op {
+                Op::Gate(g) => {
+                    let mut compiled = Vec::new();
+                    compile_gate(g, n, true, &mut compiled);
+                    for cg in compiled {
+                        run.push(cg);
+                        run_ops.push(i);
+                    }
+                }
+                Op::IfEq { gate, .. } => {
+                    flush(&mut run, &mut run_ops, n, window, &mut gates, &mut epochs);
+                    push_gate_epochs(&mut gates, &mut epochs, gate, n, i, true);
+                }
+                Op::Measure { .. } => {
+                    flush(&mut run, &mut run_ops, n, window, &mut gates, &mut epochs);
+                    epochs.push(Epoch {
+                        kind: EpochKind::Collapse,
+                        gates: vec![],
+                    });
+                }
+                Op::Reset { qubit } => {
+                    flush(&mut run, &mut run_ops, n, window, &mut gates, &mut epochs);
+                    epochs.push(Epoch {
+                        kind: EpochKind::Collapse,
+                        gates: vec![],
+                    });
+                    let x = Gate::new(GateKind::X, &[*qubit], &[]).expect("X gate is valid");
+                    push_gate_epochs(&mut gates, &mut epochs, &x, n, i, true);
+                }
+                Op::Barrier(_) => {}
+            }
+        }
+        flush(&mut run, &mut run_ops, n, window, &mut gates, &mut epochs);
+        Self {
+            n_qubits: n,
+            gates,
+            epochs,
+        }
+    }
+
     /// Derive the plan the *remapped* scale-out executor would follow for
     /// `c` at `n_pes` partitions. The schedule comes from the same planner
     /// the executor and the traffic model use
@@ -306,6 +400,81 @@ mod tests {
         let remapped = CommPlan::from_circuit_remapped(&c, 1);
         assert_eq!(remapped.epochs.len(), plain.epochs.len());
         assert!(remapped.epochs.iter().all(|e| e.kind == EpochKind::Kernel));
+    }
+
+    #[test]
+    fn fused_plans_collapse_epochs_and_stay_proven_safe() {
+        // A deep rotation ladder on 3 qubits: every gate shares the same
+        // ≤3-qubit window, so the fused plan collapses the whole run into
+        // a handful of dense sweeps — and every epoch must still prove
+        // conflict-free (one kernel per epoch, injective item bits).
+        let mut c = Circuit::new(4);
+        for layer in 0..6 {
+            for q in 0..3 {
+                c.apply(GateKind::H, &[q], &[]).unwrap();
+                c.apply(GateKind::RZ, &[q], &[0.1 * f64::from(layer + 1)])
+                    .unwrap();
+            }
+            c.apply(GateKind::CX, &[0, 1], &[]).unwrap();
+            c.apply(GateKind::CX, &[1, 2], &[]).unwrap();
+        }
+        let plain = CommPlan::from_circuit(&c);
+        let fused = CommPlan::from_circuit_fused(&c, 3);
+        assert!(
+            fused.epochs.len() < plain.epochs.len() / 2,
+            "fusion must collapse the ladder: {} vs {}",
+            fused.epochs.len(),
+            plain.epochs.len()
+        );
+        // No source kernel lost or invented by the rewrite.
+        let queue: Vec<CompiledGate> = fused.gates.iter().map(|g| g.cg.clone()).collect();
+        assert_eq!(svsim_core::source_kernels(&queue), plain.gates.len());
+        let report = crate::check::check_plan(&fused, 8).unwrap();
+        assert!(report.is_proven_safe(), "fused epochs must prove clean");
+    }
+
+    #[test]
+    fn fused_runs_break_at_collapse_and_conditional_steps() {
+        // The measure collapses the pending run: gates before and after it
+        // may fuse among themselves but never across it, and the reset's
+        // outcome-dependent X stays an unfused conditional kernel.
+        let mut c = Circuit::with_cbits(3, 1);
+        for _ in 0..4 {
+            c.apply(GateKind::H, &[0], &[]).unwrap();
+            c.apply(GateKind::H, &[1], &[]).unwrap();
+        }
+        c.measure(0, 0).unwrap();
+        for _ in 0..4 {
+            c.apply(GateKind::H, &[0], &[]).unwrap();
+            c.apply(GateKind::H, &[1], &[]).unwrap();
+        }
+        c.reset(2).unwrap();
+        let fused = CommPlan::from_circuit_fused(&c, 2);
+        let kinds: Vec<EpochKind> = fused.epochs.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EpochKind::Kernel,   // fused pre-measure run
+                EpochKind::Collapse, // measure
+                EpochKind::Kernel,   // fused post-measure run
+                EpochKind::Collapse, // reset
+                EpochKind::Kernel,   // conditional X
+            ]
+        );
+        let last = fused.gates.last().unwrap();
+        assert!(last.conditional, "reset X is outcome-dependent");
+        assert!(last.cg.args.fused.is_empty(), "conditionals never fuse");
+    }
+
+    #[test]
+    fn fused_plan_at_window_zero_is_the_plain_plan() {
+        let mut c = Circuit::new(3);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.apply(GateKind::CX, &[0, 1], &[]).unwrap();
+        let plain = CommPlan::from_circuit(&c);
+        let fused = CommPlan::from_circuit_fused(&c, 0);
+        assert_eq!(fused.epochs.len(), plain.epochs.len());
+        assert_eq!(fused.gates.len(), plain.gates.len());
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub fn resolve<V: StateView>(id: KernelId) -> KernelFn<V> {
         KernelId::CSwap => kernels::k_cswap::<V>,
         KernelId::Rzz => kernels::k_rzz::<V>,
         KernelId::TwoQ => kernels::k_twoq::<V>,
+        KernelId::Fused1 => kernels::k_fused1::<V>,
+        KernelId::Fused2 => kernels::k_fused2::<V>,
+        KernelId::Fused3 => kernels::k_fused3::<V>,
     }
 }
 
@@ -161,6 +164,9 @@ mod tests {
             KernelId::CSwap,
             KernelId::Rzz,
             KernelId::TwoQ,
+            KernelId::Fused1,
+            KernelId::Fused2,
+            KernelId::Fused3,
         ] {
             // Distinct ids map to distinct functions, except where a kernel
             // is legitimately shared; here just ensure resolution succeeds.

@@ -56,6 +56,15 @@ pub(crate) enum Step {
         raw: Gate,
         compiled: std::ops::Range<usize>,
     },
+    /// A fused run of adjacent gates ([`crate::fuse`]): `compiled` is one
+    /// window-sweep kernel; `raws` keeps every constituent gate so the
+    /// runtime-parse mode can replay them gate-by-gate (bit-identical —
+    /// windows are disjoint, so per-window replay commutes with the
+    /// global order).
+    Fused {
+        raws: Vec<Gate>,
+        compiled: std::ops::Range<usize>,
+    },
 }
 
 /// Lower an op slice (a whole circuit or one checkpoint segment of it)
@@ -130,6 +139,7 @@ fn cond_holds(cbits: u64, lo: u32, len: u32, value: u64) -> bool {
 /// carries the classical register across checkpoint segments (0 for a
 /// whole-circuit run). `seg` supplies a precompiled lowering of `ops`
 /// (from a [`crate::CompiledPlan`]); `None` lowers on the fly.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_single(
     state: &mut StateVector,
     ops: &[Op],
@@ -137,6 +147,7 @@ pub(crate) fn run_single(
     dispatch: DispatchMode,
     rng: &mut SvRng,
     initial_cbits: u64,
+    fuse: u8,
     seg: Option<&PlanSegment>,
 ) -> SvResult<u64> {
     let n = state.n_qubits();
@@ -145,7 +156,7 @@ pub(crate) fn run_single(
     let seg = match seg {
         Some(s) => s,
         None => {
-            owned = build_segment(ops, 0, ops.len(), n, specialized, 0);
+            owned = build_segment(ops, 0, ops.len(), n, specialized, 0, fuse);
             &owned
         }
     };
@@ -206,6 +217,23 @@ pub(crate) fn run_single(
                     }
                 }
             }
+            Step::Fused { raws, compiled } => match dispatch {
+                DispatchMode::PreloadedFnPointer => {
+                    for k in compiled.clone() {
+                        let cg = &queue[k];
+                        uploaded[k](&view, &cg.args, 0..cg.args.work);
+                    }
+                }
+                DispatchMode::RuntimeParse => {
+                    for raw in raws {
+                        scratch.clear();
+                        compile_gate(raw, n, specialized, &mut scratch);
+                        for cg in &scratch {
+                            resolve::<LocalView>(cg.id)(&view, &cg.args, 0..cg.args.work);
+                        }
+                    }
+                }
+            },
             Step::Measure { qubit, cbit, .. } => {
                 let r = rng.next_f64();
                 let outcome = measure_into(&view, *qubit, r)?;
@@ -372,6 +400,37 @@ fn walk_steps<V: StateView>(
                     }
                 }
             }
+            Step::Fused { raws, compiled } => match dispatch {
+                // One fused kernel ⇒ one barrier for the whole run. Safe:
+                // windows are disjoint and each worker owns a disjoint
+                // window sub-range, so no cross-worker dataflow exists
+                // inside the sweep (same argument as any two-qubit kernel).
+                DispatchMode::PreloadedFnPointer => {
+                    for k in compiled.clone() {
+                        let cg = &queue[k];
+                        uploaded[k](
+                            view,
+                            &cg.args,
+                            worker_range(cg.args.work, n_workers, worker),
+                        );
+                        sync();
+                    }
+                }
+                DispatchMode::RuntimeParse => {
+                    for raw in raws {
+                        scratch.clear();
+                        compile_gate(raw, n_qubits, specialized, &mut scratch);
+                        for cg in &scratch {
+                            resolve::<V>(cg.id)(
+                                view,
+                                &cg.args,
+                                worker_range(cg.args.work, n_workers, worker),
+                            );
+                            sync();
+                        }
+                    }
+                }
+            },
             Step::Measure { qubit, cbit, r_idx } => {
                 let lay = measure_layouts.get(si).and_then(|o| o.as_ref());
                 let (partial, slot, phys_q) = measure_partial(
@@ -439,6 +498,7 @@ pub(crate) fn run_scaleup(
     dispatch: DispatchMode,
     rng: &mut SvRng,
     initial_cbits: u64,
+    fuse: u8,
     seg: Option<&PlanSegment>,
 ) -> SvResult<(u64, Vec<TrafficSnapshot>)> {
     let n = state.n_qubits();
@@ -449,7 +509,7 @@ pub(crate) fn run_scaleup(
     let seg = match seg {
         Some(s) => s,
         None => {
-            owned = build_segment(ops, 0, ops.len(), n, specialized, 0);
+            owned = build_segment(ops, 0, ops.len(), n, specialized, 0, fuse);
             &owned
         }
     };
@@ -608,6 +668,7 @@ pub(crate) fn run_scaleout(
     backend: ShmemBackend,
     respawn_max: u32,
     hang_deadline_ms: u32,
+    fuse: u8,
     seg: Option<&PlanSegment>,
 ) -> SvResult<LaunchOutput> {
     let n = state.n_qubits();
@@ -626,7 +687,7 @@ pub(crate) fn run_scaleout(
         Some(s) => s,
         None => {
             let remap_pes = if remap && n_pes > 1 { n_pes as u64 } else { 0 };
-            owned = build_segment(ops, 0, ops.len(), n, specialized, remap_pes);
+            owned = build_segment(ops, 0, ops.len(), n, specialized, remap_pes, fuse);
             &owned
         }
     };

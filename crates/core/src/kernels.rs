@@ -14,7 +14,9 @@
 //! PEs (one chunk per PE), exactly like the grid-strided loops of
 //! Listings 3-5.
 
-use crate::view::StateView;
+use crate::compile::CompiledGate;
+use crate::dispatch::KernelFn;
+use crate::view::{LocalView, StateView};
 use std::ops::Range;
 use svsim_types::bits::{insert_zero_bit, insert_zero_bits};
 use svsim_types::Complex64;
@@ -45,6 +47,13 @@ pub struct GateArgs {
     pub s1: f64,
     /// Number of work items for this kernel over the full state.
     pub work: u64,
+    /// Constituent micro-ops of a fused window kernel, rewritten to
+    /// window-local coordinates (empty for every ordinary kernel). The
+    /// fused kernels gather one `2^k` window, replay these through the
+    /// constituent kernels over a [`LocalView`] of the window, and scatter
+    /// back — so the per-amplitude arithmetic is the exact expression the
+    /// unfused gates would have evaluated, bit for bit.
+    pub fused: Vec<CompiledGate>,
 }
 
 impl GateArgs {
@@ -328,6 +337,75 @@ pub fn k_twoq<V: StateView>(v: &V, a: &GateArgs, r: Range<u64>) {
     }
 }
 
+/// Shared body of the fused window kernels: one pass over the `2^{n-k}`
+/// windows of the `k` qubits in `sorted`. Each window's `2^k` amplitudes
+/// are gathered into stack buffers, the constituent micro-ops in
+/// `a.fused` (already rewritten to window-local coordinates) are replayed
+/// through their own kernels over a [`LocalView`] of the window, and the
+/// result is scattered back. Because every constituent runs its exact
+/// per-amplitude arithmetic on the same values it would have seen running
+/// gate by gate (windows are disjoint, so there is no cross-window
+/// dataflow), the fused sweep is **bit-identical** to unfused execution —
+/// while touching each amplitude once instead of once per gate.
+#[inline]
+fn k_fused_body<V: StateView, const DIM: usize>(v: &V, a: &GateArgs, r: Range<u64>) {
+    let sorted = a.sorted();
+    debug_assert_eq!(1usize << sorted.len(), DIM);
+    // Local index j maps to the window offset with bit b of j at global
+    // position sorted[b].
+    let mut offs = [0u64; DIM];
+    for (j, o) in offs.iter_mut().enumerate() {
+        for (b, &q) in sorted.iter().enumerate() {
+            if j & (1 << b) != 0 {
+                *o |= 1 << q;
+            }
+        }
+    }
+    // One scratch window reused for every iteration, wrapped in a single
+    // `LocalView` whose `Cell` planes let the gather/replay/scatter all go
+    // through `&self` access. Resolving each micro-op's kernel once per
+    // sweep (not once per window) keeps the dispatch lookup off the
+    // 2^(n-k)-iteration hot loop.
+    let mut re = [0.0f64; DIM];
+    let mut im = [0.0f64; DIM];
+    let lv = LocalView::new(&mut re, &mut im);
+    type Micro<'q> = (KernelFn<LocalView<'q>>, &'q GateArgs);
+    let micros: Vec<Micro<'_>> = a
+        .fused
+        .iter()
+        .map(|cg| (crate::dispatch::resolve::<LocalView>(cg.id), &cg.args))
+        .collect();
+    for i in r {
+        let base = insert_zero_bits(i, sorted);
+        for (j, &o) in offs.iter().enumerate() {
+            let (r_, i_) = v.get(base | o);
+            lv.set(j as u64, r_, i_);
+        }
+        for (kernel, args) in &micros {
+            kernel(&lv, args, 0..args.work);
+        }
+        for (j, &o) in offs.iter().enumerate() {
+            let (r_, i_) = lv.get(j as u64);
+            v.set(base | o, r_, i_);
+        }
+    }
+}
+
+/// Fused 1-qubit window: a run of gates sharing one qubit, one sweep.
+pub fn k_fused1<V: StateView>(v: &V, a: &GateArgs, r: Range<u64>) {
+    k_fused_body::<V, 2>(v, a, r);
+}
+
+/// Fused 2-qubit window: a run of gates inside one 2-qubit window.
+pub fn k_fused2<V: StateView>(v: &V, a: &GateArgs, r: Range<u64>) {
+    k_fused_body::<V, 4>(v, a, r);
+}
+
+/// Fused 3-qubit window: a run of gates inside one 3-qubit window.
+pub fn k_fused3<V: StateView>(v: &V, a: &GateArgs, r: Range<u64>) {
+    k_fused_body::<V, 8>(v, a, r);
+}
+
 /// Partial sum of `|amp|^2` over amplitudes in `r` with bit `q` set
 /// (work-item space: `dim/2`), accumulated sequentially. The executors'
 /// measurement paths use the canonical-tree sums in `crate::measure`
@@ -382,6 +460,7 @@ mod tests {
             s0: 0.0,
             s1: 0.0,
             work: dim / 2,
+            fused: Vec::new(),
         }
     }
 
@@ -490,6 +569,7 @@ mod tests {
                 s0: 0.0,
                 s1: 0.0,
                 work: 1,
+                fused: Vec::new(),
             };
             k_cx(&v, &a, 0..1);
         }
@@ -514,6 +594,7 @@ mod tests {
                 s0: 0.0,
                 s1: 0.0,
                 work: 1,
+                fused: Vec::new(),
             };
             k_swap(&v, &a, 0..1);
         }

@@ -11,6 +11,7 @@
 //! - [`exec`]: the three backends (Listings 3-5).
 //! - [`measure`]: measurement, collapse, sampling, expectations.
 //! - [`traffic`]: exact analytic communication model.
+//! - [`fuse`]: gate fusion into dense window sweeps.
 //! - [`remap`]: communication-avoiding qubit relabeling for scale-out.
 //! - [`plan`]: ahead-of-time compilation into a reusable `CompiledPlan`.
 //! - [`sim`]: the `Simulator` facade.
@@ -20,6 +21,7 @@ pub mod checkpoint;
 pub mod compile;
 pub mod dispatch;
 pub mod exec;
+pub mod fuse;
 pub mod kernels;
 pub mod measure;
 pub mod noise;
@@ -35,9 +37,10 @@ pub use batch::{CompiledTemplate, ParamCircuit, ParamValue};
 pub use checkpoint::{state_checksum, Checkpoint, CheckpointStore, CommitCrash, Fnv1a};
 pub use compile::{CompiledGate, KernelId};
 pub use exec::DispatchMode;
+pub use fuse::{fuse_compiled, source_kernels};
 pub use noise::{sample_noisy_circuit, trajectory_average, NoiseModel};
 pub use plan::CompiledPlan;
-pub use remap::{plan_remap, QubitLayout, RemapPlan};
+pub use remap::{plan_remap, plan_remap_fused, QubitLayout, RemapPlan};
 pub use sim::{BackendKind, RunSummary, SimConfig, Simulator};
 pub use state::StateVector;
 pub use svsim_shmem::ShmemBackend;

@@ -20,7 +20,7 @@
 
 use crate::compile::CompiledGate;
 use crate::exec::{build_steps, Step};
-use crate::remap::{plan_remap, RemapPlan};
+use crate::remap::{plan_remap_fused, RemapPlan};
 use crate::sim::{BackendKind, SimConfig};
 use svsim_ir::{Circuit, Op};
 
@@ -44,10 +44,12 @@ pub(crate) struct PlanSegment {
 }
 
 /// Lower `ops[start..end]` into a segment: remap planning first (when
-/// `remap_pes > 1`), then step/kernel lowering over the stream the
-/// executor will actually walk. This is the single compile entry point —
-/// executors call it as their fallback when no precompiled segment is
-/// supplied, so plan-driven and plan-free execution share one lowering.
+/// `remap_pes > 1`, fusion-aware via [`plan_remap_fused`]), then
+/// step/kernel lowering over the stream the executor will actually walk,
+/// then the gate-fusion pass ([`crate::fuse::fuse_segment`], `fuse > 0`
+/// only). This is the single compile entry point — executors call it as
+/// their fallback when no precompiled segment is supplied, so plan-driven
+/// and plan-free execution share one lowering.
 pub(crate) fn build_segment(
     ops: &[Op],
     start: usize,
@@ -55,13 +57,18 @@ pub(crate) fn build_segment(
     n_qubits: u32,
     specialized: bool,
     remap_pes: u64,
+    fuse: u8,
 ) -> PlanSegment {
     let slice = &ops[start..end];
-    let remap = (remap_pes > 1).then(|| plan_remap(slice, n_qubits, remap_pes));
-    let (steps, queue, n_rand) = match &remap {
+    let remap = (remap_pes > 1).then(|| plan_remap_fused(slice, n_qubits, remap_pes, fuse));
+    let (mut steps, mut queue, n_rand) = match &remap {
         Some(p) => build_steps(&p.ops, n_qubits, specialized),
         None => build_steps(slice, n_qubits, specialized),
     };
+    let mut remap = remap;
+    if fuse > 0 {
+        crate::fuse::fuse_segment(&mut steps, &mut queue, &mut remap, n_qubits, fuse);
+    }
     PlanSegment {
         start,
         end,
@@ -88,6 +95,12 @@ pub struct CompiledPlan {
     checkpoint_every: u32,
     remap_pes: u64,
     n_ops: usize,
+    /// Fusion window the plan was compiled with (0 = unfused).
+    fuse: u8,
+    /// Source kernels before fusion, across all segments — the numerator
+    /// of the gates-per-amplitude-pass metric (`n_kernels()` is the
+    /// denominator).
+    n_source_kernels: usize,
     segments: Vec<PlanSegment>,
 }
 
@@ -113,6 +126,7 @@ impl CompiledPlan {
                 n_qubits,
                 config.specialized,
                 remap_pes,
+                config.fuse,
             ));
         } else {
             let mut pos = 0usize;
@@ -126,16 +140,23 @@ impl CompiledPlan {
                     n_qubits,
                     config.specialized,
                     remap_pes,
+                    config.fuse,
                 ));
                 pos = end;
             }
         }
+        let n_source_kernels = segments
+            .iter()
+            .map(|s| crate::fuse::source_kernels(&s.queue))
+            .sum();
         Self {
             n_qubits,
             specialized: config.specialized,
             checkpoint_every: config.checkpoint_every,
             remap_pes,
             n_ops: ops.len(),
+            fuse: config.fuse,
+            n_source_kernels,
             segments,
         }
     }
@@ -155,6 +176,7 @@ impl CompiledPlan {
             && self.specialized == config.specialized
             && self.checkpoint_every == config.checkpoint_every
             && self.remap_pes == remap_pes
+            && self.fuse == config.fuse
             && self.n_ops == circuit.ops().len()
     }
 
@@ -165,10 +187,25 @@ impl CompiledPlan {
     }
 
     /// Compiled kernels across all segments — the "device-resident circuit
-    /// buffer" footprint of the plan.
+    /// buffer" footprint of the plan, and the number of amplitude passes
+    /// its unitary portion performs.
     #[must_use]
     pub fn n_kernels(&self) -> usize {
         self.segments.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Source kernels before fusion (equals [`Self::n_kernels`] for an
+    /// unfused plan). `n_source_kernels() / n_kernels()` is the plan's
+    /// gates-per-amplitude-pass.
+    #[must_use]
+    pub fn n_source_kernels(&self) -> usize {
+        self.n_source_kernels
+    }
+
+    /// The fusion window the plan was compiled with (0 = unfused).
+    #[must_use]
+    pub fn fuse_window(&self) -> u8 {
+        self.fuse
     }
 
     /// The precompiled segment covering exactly `ops[start..end]`, if the

@@ -172,8 +172,35 @@ fn mapped_remote_bytes(
         .fold(0u64, u64::saturating_add)
 }
 
+/// Ascending union of a sorted qubit list with a gate's qubits; `true`
+/// when the union still fits a `fuse`-qubit window.
+fn window_extend(win: &mut Vec<u32>, qubits: &[u32], fuse: u8) -> bool {
+    let mut merged = win.clone();
+    for &q in qubits {
+        if let Err(pos) = merged.binary_search(&q) {
+            merged.insert(pos, q);
+        }
+    }
+    if merged.len() <= fuse as usize {
+        *win = merged;
+        true
+    } else {
+        *win = {
+            let mut w = qubits.to_vec();
+            w.sort_unstable();
+            w
+        };
+        false
+    }
+}
+
 /// Localize `g`'s partition-index qubits when amortization favors it;
-/// returns the exchanges emitted (and applied to `layout`).
+/// returns the exchanges emitted (and applied to `layout`). With `fuse`
+/// set, the forward benefit scan is fusion-aware: a scanned gate that
+/// rides the current fused window contributes no *additional* remote
+/// bytes (the fused sweep touches each amplitude once for the whole run),
+/// so the planner stops over-crediting relabelings that fusion already
+/// pays for.
 #[allow(clippy::too_many_arguments)]
 fn localize(
     g: &Gate,
@@ -186,6 +213,7 @@ fn localize(
     swap_cost: u64,
     uses: &[Vec<usize>],
     use_ptr: &[usize],
+    fuse: u8,
     scratch: &mut Vec<CompiledGate>,
 ) -> Vec<(u32, u32)> {
     let mut swaps = Vec::new();
@@ -208,6 +236,13 @@ fn localize(
         let mut benefit = mapped_remote_bytes(g, layout, n_qubits, n_pes, scratch);
         if benefit < swap_cost {
             let mut gap = 0usize;
+            // Current fused window of the scanned stream (logical qubits,
+            // ascending); starts at the gate being localized.
+            let mut fwin: Vec<u32> = {
+                let mut w = g.qubits().to_vec();
+                w.sort_unstable();
+                w
+            };
             for op in ops.iter().skip(at + 1).take(SCAN_WINDOW) {
                 let fg = match op {
                     Op::Gate(fg) if fg.kind() != GateKind::SWAP => Some(fg),
@@ -216,16 +251,26 @@ fn localize(
                     _ => continue, // barriers and absorbed swaps touch no data
                 };
                 match fg {
-                    Some(fg) if fg.qubits().contains(&q) => {
-                        gap = 0;
-                        benefit = benefit.saturating_add(mapped_remote_bytes(
-                            fg, layout, n_qubits, n_pes, scratch,
-                        ));
-                        if benefit >= swap_cost {
-                            break;
+                    Some(fg) => {
+                        let rides = fuse > 0 && window_extend(&mut fwin, fg.qubits(), fuse);
+                        if fg.qubits().contains(&q) {
+                            gap = 0;
+                            if !rides {
+                                benefit = benefit.saturating_add(mapped_remote_bytes(
+                                    fg, layout, n_qubits, n_pes, scratch,
+                                ));
+                                if benefit >= swap_cost {
+                                    break;
+                                }
+                            }
+                        } else {
+                            gap += 1;
+                            if gap > GAP_WINDOW {
+                                break;
+                            }
                         }
                     }
-                    _ => {
+                    None => {
                         gap += 1;
                         if gap > GAP_WINDOW {
                             break;
@@ -297,6 +342,20 @@ fn restore_home(layout: &mut QubitLayout, boundary: u32) -> Vec<(u32, u32)> {
 /// If `n_pes` is not a power of two or exceeds the state dimension.
 #[must_use]
 pub fn plan_remap(ops: &[Op], n_qubits: u32, n_pes: u64) -> RemapPlan {
+    plan_remap_fused(ops, n_qubits, n_pes, 0)
+}
+
+/// [`plan_remap`] with a fusion-aware cost model: `fuse` is the gate-fusion
+/// window the downstream lowering will apply ([`crate::fuse`]), so the
+/// amortization scan prices post-fusion traffic — gates riding an already
+/// fused window add no remote bytes of their own. `fuse == 0` is exactly
+/// [`plan_remap`]. Planning only; the emitted schedule is valid for fused
+/// and unfused execution alike.
+///
+/// # Panics
+/// As [`plan_remap`].
+#[must_use]
+pub fn plan_remap_fused(ops: &[Op], n_qubits: u32, n_pes: u64, fuse: u8) -> RemapPlan {
     assert!(n_pes.is_power_of_two(), "PE count must be a power of two");
     let k = n_pes.trailing_zeros();
     assert!(k <= n_qubits);
@@ -362,6 +421,7 @@ pub fn plan_remap(ops: &[Op], n_qubits: u32, n_pes: u64) -> RemapPlan {
                     swap_cost,
                     &uses,
                     &use_ptr,
+                    fuse,
                     &mut scratch,
                 );
                 out_ops.push(Op::Gate(map_gate(g, &layout)));
@@ -388,6 +448,7 @@ pub fn plan_remap(ops: &[Op], n_qubits: u32, n_pes: u64) -> RemapPlan {
                     swap_cost,
                     &uses,
                     &use_ptr,
+                    fuse,
                     &mut scratch,
                 );
                 out_ops.push(Op::IfEq {

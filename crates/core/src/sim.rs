@@ -72,6 +72,12 @@ pub struct SimConfig {
     /// heartbeat words stall this long is killed and reported as
     /// `SvError::PeHung`. No effect on the thread backend.
     pub hang_deadline_ms: u32,
+    /// Gate-fusion window in qubits (0 disables, the default; clamped to
+    /// [`crate::fuse::MAX_WINDOW`]). Runs of adjacent gates whose combined
+    /// footprint fits the window execute as one sweep over the amplitudes
+    /// ([`crate::fuse`]); results stay bit-identical to the unfused
+    /// schedule on every backend and dispatch mode.
+    pub fuse: u8,
 }
 
 impl SimConfig {
@@ -89,6 +95,7 @@ impl SimConfig {
             shmem_backend: ShmemBackend::Thread,
             respawn_max: 0,
             hang_deadline_ms: 30_000,
+            fuse: 0,
         }
     }
 
@@ -184,6 +191,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_hang_deadline_ms(mut self, ms: u32) -> Self {
         self.hang_deadline_ms = ms;
+        self
+    }
+
+    /// Set the gate-fusion window in qubits (see [`SimConfig::fuse`];
+    /// 0 disables, values past [`crate::fuse::MAX_WINDOW`] are clamped).
+    #[must_use]
+    pub fn with_fusion(mut self, window: u8) -> Self {
+        self.fuse = window.min(crate::fuse::MAX_WINDOW);
         self
     }
 }
@@ -355,6 +370,7 @@ impl Simulator {
                     self.config.dispatch,
                     &mut self.rng,
                     initial_cbits,
+                    self.config.fuse,
                     seg,
                 )?;
                 Ok((cb, Vec::new(), Vec::new(), 0, 0))
@@ -368,6 +384,7 @@ impl Simulator {
                     self.config.dispatch,
                     &mut self.rng,
                     initial_cbits,
+                    self.config.fuse,
                     seg,
                 )?;
                 Ok((cb, traffic, Vec::new(), 0, 0))
@@ -386,6 +403,7 @@ impl Simulator {
                 self.config.shmem_backend,
                 self.config.respawn_max,
                 self.config.hang_deadline_ms,
+                self.config.fuse,
                 seg,
             ),
         }

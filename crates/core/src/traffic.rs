@@ -91,6 +91,32 @@ pub fn kernel_access_patterns(cg: &CompiledGate) -> (Vec<u64>, u64) {
         KernelId::CSwap => (vec![cm | t, cm | x], 0),
         KernelId::Rzz => (vec![0, t, x, t | x], 24),
         KernelId::TwoQ => (vec![0, t, x, t | x], 112),
+        KernelId::Fused1 | KernelId::Fused2 | KernelId::Fused3 => {
+            // One item gathers/scatters the full 2^k window: every bit
+            // combination over the window's sorted qubit positions. Flops
+            // per item replay every constituent micro-op over its local
+            // work range (micro ops are never themselves fused, so the
+            // recursion is one level deep).
+            let sorted = a.sorted();
+            let k = sorted.len();
+            let patterns = (0..1u64 << k)
+                .map(|j| {
+                    let mut o = 0u64;
+                    for (b, &q) in sorted.iter().enumerate() {
+                        if j & (1 << b) != 0 {
+                            o |= 1 << q;
+                        }
+                    }
+                    o
+                })
+                .collect();
+            let flops = a
+                .fused
+                .iter()
+                .map(|m| kernel_access_patterns(m).1.saturating_mul(m.args.work))
+                .fold(0u64, u64::saturating_add);
+            (patterns, flops)
+        }
     }
 }
 

@@ -274,6 +274,21 @@ impl Engine {
         self.shared.registry.register(name, circuit)
     }
 
+    /// Compile, pre-fuse (dense `window`-qubit sweep kernels, symbolic
+    /// angle slots preserved), and register a template for sweep jobs.
+    /// `window == 0` is identical to [`Engine::register_template`].
+    ///
+    /// # Errors
+    /// Propagates template compilation errors.
+    pub fn register_template_fused(
+        &self,
+        name: &str,
+        circuit: &ParamCircuit,
+        window: u8,
+    ) -> SvResult<TemplateId> {
+        self.shared.registry.register_fused(name, circuit, window)
+    }
+
     /// Metadata for a registered template.
     #[must_use]
     pub fn template_info(&self, id: TemplateId) -> Option<TemplateInfo> {

@@ -164,6 +164,12 @@ pub struct EngineMetrics {
     /// remapped scale-out jobs: the analytic naive-plan cost minus the
     /// measured remapped traffic, saturating at zero per job.
     pub(crate) remote_bytes_saved: AtomicU64,
+    /// One-shot jobs whose compiled plan was served from the compile
+    /// stage's structural plan cache (op→kernel lowering skipped).
+    pub(crate) plan_cache_hits: AtomicU64,
+    /// One-shot jobs that compiled a fresh plan (cold circuit, evicted
+    /// entry, or a config/shape mismatch).
+    pub(crate) plan_cache_misses: AtomicU64,
     /// Time from submit to dequeue.
     pub(crate) queue_wait: LatencyHistogram,
     /// Time from dequeue to result publication.
@@ -204,6 +210,8 @@ impl EngineMetrics {
             checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
             races_detected: self.races_detected.load(Ordering::Relaxed),
             remote_bytes_saved: self.remote_bytes_saved.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
             queue_wait: self.queue_wait.snapshot(),
             execution: self.execution.snapshot(),
             recovery: self.recovery.snapshot(),
@@ -258,6 +266,10 @@ pub struct MetricsSnapshot {
     /// Remote bytes avoided by qubit remapping across all remapped jobs
     /// (analytic naive cost minus measured remapped traffic).
     pub remote_bytes_saved: u64,
+    /// One-shot plans served from the compile stage's structural cache.
+    pub plan_cache_hits: u64,
+    /// One-shot plans compiled fresh (cold, evicted, or shape mismatch).
+    pub plan_cache_misses: u64,
     /// Submit-to-dequeue latency distribution.
     pub queue_wait: LatencySnapshot,
     /// Dequeue-to-result latency distribution.
@@ -343,6 +355,11 @@ impl std::fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
+            "plans: cache_hits={} cache_misses={}",
+            self.plan_cache_hits, self.plan_cache_misses
+        )?;
+        writeln!(
+            f,
             "robustness: retries={} quarantined={} checkpoint_bytes={} races_detected={}",
             self.retries, self.quarantined, self.checkpoint_bytes, self.races_detected
         )?;
@@ -424,12 +441,15 @@ mod tests {
         m.pool_reused.store(3, Ordering::Relaxed);
         m.races_detected.store(2, Ordering::Relaxed);
         m.remote_bytes_saved.store(4096, Ordering::Relaxed);
+        m.plan_cache_hits.store(5, Ordering::Relaxed);
+        m.plan_cache_misses.store(2, Ordering::Relaxed);
         m.hung.store(1, Ordering::Relaxed);
         m.respawned.store(3, Ordering::Relaxed);
         m.degraded.store(2, Ordering::Relaxed);
         let s = m.snapshot();
         assert_eq!(s.races_detected, 2);
         assert_eq!(s.remote_bytes_saved, 4096);
+        assert_eq!((s.plan_cache_hits, s.plan_cache_misses), (5, 2));
         assert_eq!((s.hung, s.respawned, s.degraded), (1, 3, 2));
         assert_eq!(s.finished(), 7);
         assert_eq!(s.in_flight(), 3);
@@ -440,6 +460,7 @@ mod tests {
         assert!(text.contains("submitted=10"));
         assert!(text.contains("races_detected=2"));
         assert!(text.contains("remote_bytes_saved=4096"));
+        assert!(text.contains("cache_hits=5 cache_misses=2"));
         assert!(text.contains("hung=1 respawned=3 degraded=2"));
     }
 }

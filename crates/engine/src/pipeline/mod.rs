@@ -63,34 +63,62 @@ pub enum ExecutionModel {
     Legacy,
 }
 
-/// Compiled plans cached by the compile stage, keyed by circuit identity.
+/// Compiled plans cached by the compile stage, keyed by a structural
+/// circuit fingerprint.
 ///
-/// Keying on `Arc` pointer identity makes hits exact and free: a service
-/// resubmitting the same `Arc<Circuit>` reuses the plan, while equal-but-
-/// distinct circuits simply miss and recompile (correctness never depends
-/// on a hit). Holding the `Arc` in the entry keeps the allocation alive,
-/// so a pointer can never be recycled into a false hit.
+/// The cache originally keyed on `Arc` pointer identity, which silently
+/// defeated it for the common service shape: a caller that re-parses the
+/// same QASM per request submits equal-but-distinct `Arc<Circuit>`s, so
+/// every job missed and recompiled. The key is now an FNV-1a hash over the
+/// circuit's full structural rendering; `Arc::ptr_eq` survives only as a
+/// cheap fast path that skips hashing when the caller *does* resubmit the
+/// same allocation. Every fingerprint hit is confirmed by full structural
+/// equality (`Circuit: PartialEq`) plus [`CompiledPlan::matches`] on the
+/// config shape, so a hash collision degrades to a recompile, never to a
+/// wrong plan. Holding the `Arc` in the entry keeps the
+/// allocation alive, so the pointer fast path can never alias a recycled
+/// allocation.
 #[derive(Debug, Default)]
 struct PlanCache {
-    entries: std::collections::VecDeque<(Arc<Circuit>, Arc<CompiledPlan>)>,
+    entries: std::collections::VecDeque<(u64, Arc<Circuit>, Arc<CompiledPlan>)>,
 }
 
 /// Distinct circuits the compile stage remembers plans for.
 const PLAN_CACHE_CAP: usize = 32;
 
+/// Structural identity of a circuit: an FNV-1a hash of its complete debug
+/// rendering (ops, qubit/cbit counts, every gate argument). Two
+/// independent parses of the same source agree; any one-gate edit differs.
+fn circuit_fingerprint(circuit: &Circuit) -> u64 {
+    let mut h = svsim_core::Fnv1a::new();
+    for b in format!("{circuit:?}").bytes() {
+        h.write_u64(u64::from(b));
+    }
+    h.finish()
+}
+
 impl PlanCache {
-    fn plan_for(&mut self, circuit: &Arc<Circuit>, config: &SimConfig) -> Arc<CompiledPlan> {
-        if let Some((_, plan)) = self.entries.iter().find(|(c, p)| {
-            Arc::ptr_eq(c, circuit) && p.matches(circuit, circuit.n_qubits(), config)
+    fn plan_for(
+        &mut self,
+        circuit: &Arc<Circuit>,
+        config: &SimConfig,
+        metrics: &crate::metrics::EngineMetrics,
+    ) -> Arc<CompiledPlan> {
+        let fp = circuit_fingerprint(circuit);
+        if let Some((_, _, plan)) = self.entries.iter().find(|(efp, c, p)| {
+            (Arc::ptr_eq(c, circuit) || (*efp == fp && c.as_ref() == circuit.as_ref()))
+                && p.matches(circuit, circuit.n_qubits(), config)
         }) {
+            metrics.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(plan);
         }
+        metrics.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(CompiledPlan::compile(circuit, circuit.n_qubits(), config));
         if self.entries.len() >= PLAN_CACHE_CAP {
             self.entries.pop_front();
         }
         self.entries
-            .push_back((Arc::clone(circuit), Arc::clone(&plan)));
+            .push_back((fp, Arc::clone(circuit), Arc::clone(&plan)));
         plan
     }
 }
@@ -264,7 +292,7 @@ fn compile_loop(shared: &Shared, admit_q: &StageQueue<JobPacket>, exec_q: &Stage
             ..
         } = pkt.job.request.spec
         {
-            pkt.plan = Some(cache.plan_for(circuit, config));
+            pkt.plan = Some(cache.plan_for(circuit, config, &shared.metrics));
         }
         if let Err(pkt) = exec_q.push_wait(pkt) {
             // Hard shutdown closed the downstream queue under us.
@@ -383,5 +411,90 @@ fn complete(shared: &Shared, item: Readback) {
 fn readback_loop(shared: &Shared, read_q: &StageQueue<Readback>) {
     while let Some(item) = read_q.pop() {
         complete(shared, item);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::EngineMetrics;
+    use svsim_ir::GateKind;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.apply(GateKind::H, &[0], &[]).unwrap();
+        c.apply(GateKind::CX, &[0, 1], &[]).unwrap();
+        c.apply(GateKind::RZ, &[2], &[0.25]).unwrap();
+        c
+    }
+
+    fn counts(m: &EngineMetrics) -> (u64, u64) {
+        let s = m.snapshot();
+        (s.plan_cache_hits, s.plan_cache_misses)
+    }
+
+    #[test]
+    fn structurally_equal_circuits_hit_across_distinct_arcs() {
+        let mut cache = PlanCache::default();
+        let metrics = EngineMetrics::default();
+        let config = SimConfig::single_device();
+        let a = Arc::new(sample_circuit());
+        let b = Arc::new(sample_circuit()); // equal structure, distinct allocation
+        assert!(!Arc::ptr_eq(&a, &b));
+        let plan_a = cache.plan_for(&a, &config, &metrics);
+        let plan_b = cache.plan_for(&b, &config, &metrics);
+        assert!(
+            Arc::ptr_eq(&plan_a, &plan_b),
+            "re-parsed circuit must reuse the cached plan"
+        );
+        assert_eq!(counts(&metrics), (1, 1));
+    }
+
+    #[test]
+    fn one_gate_edit_misses() {
+        let mut cache = PlanCache::default();
+        let metrics = EngineMetrics::default();
+        let config = SimConfig::single_device();
+        let a = Arc::new(sample_circuit());
+        let mut edited = sample_circuit();
+        edited.apply(GateKind::X, &[1], &[]).unwrap();
+        let b = Arc::new(edited);
+        let plan_a = cache.plan_for(&a, &config, &metrics);
+        let plan_b = cache.plan_for(&b, &config, &metrics);
+        assert!(!Arc::ptr_eq(&plan_a, &plan_b));
+        assert_eq!(counts(&metrics), (0, 2));
+    }
+
+    #[test]
+    fn config_shape_change_misses_despite_equal_circuit() {
+        let mut cache = PlanCache::default();
+        let metrics = EngineMetrics::default();
+        let a = Arc::new(sample_circuit());
+        let plain = cache.plan_for(&a, &SimConfig::single_device(), &metrics);
+        let fused = cache.plan_for(&a, &SimConfig::single_device().with_fusion(2), &metrics);
+        assert!(
+            !Arc::ptr_eq(&plain, &fused),
+            "a fusion-window change must recompile"
+        );
+        assert_eq!(counts(&metrics), (0, 2));
+        // And the fused plan is itself cached for the fused config.
+        let again = cache.plan_for(&a, &SimConfig::single_device().with_fusion(2), &metrics);
+        assert!(Arc::ptr_eq(&fused, &again));
+        assert_eq!(counts(&metrics), (1, 2));
+    }
+
+    #[test]
+    fn eviction_keeps_the_cache_bounded() {
+        let mut cache = PlanCache::default();
+        let metrics = EngineMetrics::default();
+        let config = SimConfig::single_device();
+        for i in 0..(PLAN_CACHE_CAP + 4) {
+            let mut c = Circuit::new(3);
+            for _ in 0..=i {
+                c.apply(GateKind::H, &[0], &[]).unwrap();
+            }
+            cache.plan_for(&Arc::new(c), &config, &metrics);
+        }
+        assert!(cache.entries.len() <= PLAN_CACHE_CAP);
     }
 }

@@ -218,12 +218,16 @@ pub(crate) enum Readback {
 
 impl StageItem for Readback {
     /// Readback is shortest-expected-work-first across its lanes: results
-    /// owing nothing but publication (sweep values, failures) go first,
-    /// unsampled one-shots (a pool check-in and a publish) next, and
-    /// one-shots still owing a sampling pass or a state clone last — so a
-    /// stream of cheap results is never head-of-line blocked behind one
-    /// fat histogram build. Order *within* each lane stays completion
-    /// order (the readback queue is always FIFO).
+    /// owing nothing but publication go first, one-shots still owing a
+    /// sampling pass or a state clone last — so a stream of cheap results
+    /// is never head-of-line blocked behind one fat histogram build.
+    ///
+    /// An *unsampled* one-shot (no shots, no state clone) owes only a pool
+    /// check-in and a publish — as cheap as a `Ready` — so it shares the
+    /// fast lane. It previously sat in a middle lane, where a burst of
+    /// sweep values in the fast lane could overtake an earlier-finished
+    /// small one-shot and stretch its p99. Order *within* each lane stays
+    /// completion order (the readback queue is always FIFO).
     fn lane(&self) -> usize {
         match self {
             Readback::OneShot { pkt, .. } => match &pkt.job.request.spec {
@@ -231,8 +235,8 @@ impl StageItem for Readback {
                     shots,
                     return_state,
                     ..
-                } if *shots > 0 || *return_state => 2,
-                _ => 1,
+                } if *shots > 0 || *return_state => 1,
+                _ => 0,
             },
             Readback::Ready { .. } => 0,
         }

@@ -199,8 +199,18 @@ impl<T: StageItem> StageQueue<T> {
     }
 
     /// Like [`Self::pop`], but when the head item carries a coalescing key,
-    /// also pop up to `max_batch - 1` more items with the same key (from
-    /// any lane, preserving lane order) for one batched execution.
+    /// also pop up to `max_batch - 1` more items with the same key for one
+    /// batched execution, scanning the head's lane and lower-priority
+    /// lanes in order.
+    ///
+    /// Coalescing may skip over *other* keyed items (sweep points of a
+    /// different template — they are batch workloads and will coalesce on
+    /// a later pop), but a keyless item is a **barrier**: a one-shot
+    /// queued ahead of later sweep points is never leapfrogged, so its
+    /// latency can't be inflated by batches assembled from work submitted
+    /// after it. (The earlier any-position scan did exactly that, and it
+    /// showed up as small-job p99 tail inflation in `serve-bench
+    /// --compare`.)
     pub(crate) fn pop_batch(&self, max_batch: usize) -> Option<Vec<T>> {
         let mut inner = self.inner.lock().expect("stage queue lock");
         loop {
@@ -211,14 +221,18 @@ impl<T: StageItem> StageQueue<T> {
             {
                 let mut batch = vec![head];
                 if let Some(key) = batch[0].coalesce_key() {
+                    let head_lane = batch[0].lane().min(2);
                     let want = max_batch.saturating_sub(1);
-                    for l in &mut inner.lanes {
-                        while batch.len() <= want {
-                            let Some(pos) = l.iter().position(|i| i.coalesce_key() == Some(key))
-                            else {
-                                break;
-                            };
-                            batch.push(l.remove(pos).expect("position just found"));
+                    for l in &mut inner.lanes[head_lane..] {
+                        let mut pos = 0;
+                        while batch.len() <= want && pos < l.len() {
+                            match l[pos].coalesce_key() {
+                                None => break,
+                                Some(k) if k == key => {
+                                    batch.push(l.remove(pos).expect("position in bounds"));
+                                }
+                                Some(_) => pos += 1,
+                            }
                         }
                     }
                 }
@@ -354,6 +368,24 @@ mod tests {
 
         // The stragglers are untouched and still in priority order.
         assert_eq!(drain_ids(&q), [2, 4]);
+    }
+
+    #[test]
+    fn pop_batch_never_leapfrogs_a_one_shot() {
+        // A keyless one-shot queued between sweep points is a barrier:
+        // coalescing must not assemble a batch from points submitted
+        // after it (that inflates the one-shot's tail latency). Points of
+        // a *different* template may be skipped over — they batch later.
+        let q = StageQueue::new("test", 16, SchedMode::Fifo);
+        q.try_push(Item::keyed(1, 1, 7)).unwrap();
+        q.try_push(Item::keyed(2, 1, 9)).unwrap();
+        q.try_push(Item::plain(3, 1)).unwrap();
+        q.try_push(Item::keyed(4, 1, 7)).unwrap();
+
+        let batch = q.pop_batch(8).expect("items queued");
+        let ids: Vec<u32> = batch.iter().map(|i| i.id).collect();
+        assert_eq!(ids, [1], "the one-shot at position 3 blocks item 4");
+        assert_eq!(drain_ids(&q), [2, 3, 4]);
     }
 
     #[test]

@@ -43,6 +43,21 @@ pub fn compile_for_estimate(circuit: &Circuit) -> Vec<CompiledGate> {
     compile_gates(gates.iter(), circuit.n_qubits(), true)
 }
 
+/// Compile a circuit for estimation with the lowering's gate-fusion pass
+/// applied (`SimConfig::with_fusion(window)`): runs of adjacent gates whose
+/// combined footprint fits a ≤`window`-qubit window collapse into dense
+/// fused sweeps, exactly as `CompiledPlan::compile` would emit them. Every
+/// estimator path prices the result unchanged — `gate_traffic` knows the
+/// fused access patterns (one full-window gather/scatter per item, with
+/// the constituent micro-ops' flops replayed) — so a fused plan's roofline
+/// reflects its reduced amplitude-pass count. `window == 0` is exactly
+/// [`compile_for_estimate`].
+#[must_use]
+pub fn compile_for_estimate_fused(circuit: &Circuit, window: u8) -> Vec<CompiledGate> {
+    let queue = compile_for_estimate(circuit);
+    svsim_core::fuse_compiled(&queue, circuit.n_qubits(), window).0
+}
+
 /// Single-device latency (Fig. 6).
 #[must_use]
 pub fn single_device(
@@ -595,6 +610,63 @@ mod tests {
             "and win end to end: {:.3e}s vs {:.3e}s",
             remapped.total(),
             naive.total()
+        );
+    }
+
+    /// Gate fusion's modeled payoff: a deep rotation ladder confined to a
+    /// 3-qubit window prices far cheaper fused — the memory-bound roofline
+    /// term scales with amplitude passes, and fusion collapses the pass
+    /// count — while the fused queue still accounts for every source
+    /// kernel (nothing priced away by the rewrite).
+    #[test]
+    fn fused_plans_price_cheaper_on_deep_ladders() {
+        use svsim_ir::GateKind;
+        let n = 22u32;
+        let mut c = Circuit::new(n);
+        for layer in 0..24 {
+            for q in 0..3 {
+                c.apply(GateKind::H, &[q], &[]).unwrap();
+                c.apply(GateKind::RZ, &[q], &[0.05 * f64::from(layer + 1)])
+                    .unwrap();
+            }
+            c.apply(GateKind::CX, &[0, 1], &[]).unwrap();
+            c.apply(GateKind::CX, &[1, 2], &[]).unwrap();
+        }
+        let plain = compile_for_estimate(&c);
+        let fused = compile_for_estimate_fused(&c, 3);
+        assert!(fused.len() < plain.len() / 2, "the ladder must collapse");
+        assert_eq!(svsim_core::source_kernels(&fused), plain.len());
+        let t_plain = single_device(&devices::V100, &plain, n);
+        let t_fused = single_device(&devices::V100, &fused, n);
+        assert!(
+            t_fused.total() * 2.0 < t_plain.total(),
+            "fused plan must price ≥2x cheaper: {:.3e}s vs {:.3e}s",
+            t_fused.total(),
+            t_plain.total()
+        );
+        // The fused stream prices on the scale-out path too, and its
+        // savings survive partitioning (the ladder is partition-local).
+        let so_plain = scale_out(
+            &devices::V100,
+            &interconnects::SUMMIT_IB,
+            &plain,
+            n,
+            64,
+            4,
+            130.0,
+        );
+        let so_fused = scale_out(
+            &devices::V100,
+            &interconnects::SUMMIT_IB,
+            &fused,
+            n,
+            64,
+            4,
+            130.0,
+        );
+        assert!(
+            so_fused.total() < so_plain.total(),
+            "fusion must also win on the modeled scale-out path"
         );
     }
 

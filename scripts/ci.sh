@@ -43,6 +43,9 @@ echo "== access-protocol analysis (static, full suite) =="
 # just as clean as the naive ones.
 cargo run --release --quiet -- analyze --suite --pes 8
 cargo run --release --quiet -- analyze --suite --pes 8 --remap
+# The fused kernel schedule must prove conflict-free too: same per-epoch
+# disjointness argument, one (now denser) kernel per epoch.
+cargo run --release --quiet -- analyze --suite --pes 8 --fuse 3
 
 echo "== access-protocol analysis (dynamic cross-validation) =="
 # Execute the smaller workloads under the runtime race detector and check
@@ -58,6 +61,17 @@ echo "== communication-avoiding remap gate =="
 # every deep circuit (>= 100 gates). Writes BENCH_5.json.
 cargo run --release --quiet -- remap-bench --pes 8 --assert-max-ratio 0.5
 
+echo "== gate fusion gate =="
+# Fuse runs of adjacent gates sharing a <=3-qubit window into single
+# dense sweeps and prove it on the deep workloads: every fused run must
+# stay bit-identical to the unfused reference, and the mean
+# gates-per-amplitude-pass must collapse by >= 2x. Writes BENCH_10.json.
+cargo run --release --quiet -- fuse-bench --max-qubits 18 \
+  --assert-min-gates-per-pass 2.0 --out BENCH_10.json
+# The full-suite identity matrix: 16 workloads x thread/process backends
+# x remap on/off, fused window 3 vs unfused, checksum + cbits equal.
+cargo test --release --test fusion_identity -- --include-ignored
+
 echo "== pipeline serving gate =="
 # Legacy worker pool vs the staged dataflow pipeline on one mixed stream:
 # latency-sensitive small one-shots interleaved behind wide sampled
@@ -65,8 +79,11 @@ echo "== pipeline serving gate =="
 # interleave legacy/pipeline so host noise lands on both models evenly.
 # Writes BENCH_8.json. Hard gates: bit-identical checksums across the two
 # execution models and pipeline throughput >= 1.0x legacy; small-job
-# p50/p99 latency is recorded alongside.
-cargo run --release --quiet -- serve-bench --compare --reps 7 --assert-min-ratio 1.0
+# p50/p99 latency is recorded alongside, and the pipeline's small-job
+# p99 may not regress past ~1.05x legacy (the readback-lane ordering and
+# pop_batch barrier rule exist to keep this bounded; measured 0.90x).
+cargo run --release --quiet -- serve-bench --compare --reps 7 \
+  --assert-min-ratio 1.0 --assert-max-p99-ratio 1.05
 
 echo "== fault-injection smoke matrix =="
 # Seeded end-to-end recovery: every job checksum under injected faults

@@ -3,7 +3,7 @@
 //! ```text
 //! sv-sim run <file.qasm> [--backend single|up:N|out:N] [--pe-mode thread|process]
 //!                        [--shots N] [--seed S] [--generic] [--runtime-parse]
-//!                        [--optimize] [--remap] [--amplitudes K] [--traffic]
+//!                        [--optimize] [--remap] [--fuse W] [--amplitudes K] [--traffic]
 //! sv-sim stats <file.qasm>
 //! sv-sim estimate <file.qasm> --platform <name> [--workers N]
 //! sv-sim platforms
@@ -11,8 +11,11 @@
 //!                    [--batch N] [--seed S] [--reps N]
 //!                    [--model pipeline|legacy] [--stage-capacity N]
 //!                    [--sched fifo|lifo] [--limit-memory-mb N]
+//!                    [--fuse W]
 //!                    [--compare [--smalls N] [--shots N] [--out FILE]
-//!                               [--assert-min-ratio R]]
+//!                               [--assert-min-ratio R] [--assert-max-p99-ratio R]]
+//! sv-sim fuse-bench [--window W] [--seed S] [--reps N] [--min-gates G]
+//!                   [--max-qubits M] [--out FILE] [--assert-min-gates-per-pass R]
 //! sv-sim fault-bench [--fault kill-pe|drop-put|poison-barrier|hang-pe|torn-checkpoint|exec]
 //!                    [--chaos] [--recovery retry|respawn|degrade] [--hang-ms MS]
 //!                    [--pes N] [--pe-mode thread|process] [--every K]
@@ -32,14 +35,17 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sv-sim run <file.qasm> [--backend single|up:N|out:N] \
          [--pe-mode thread|process] [--shots N] \
-         [--seed S] [--generic] [--runtime-parse] [--optimize] [--remap] [--amplitudes K] \
-         [--traffic]\n  \
+         [--seed S] [--generic] [--runtime-parse] [--optimize] [--remap] [--fuse W] \
+         [--amplitudes K] [--traffic]\n  \
          sv-sim stats <file.qasm>\n  \
          sv-sim estimate <file.qasm> --platform <name> [--workers N]\n  \
          sv-sim platforms\n  \
          sv-sim serve-bench [--workers N] [--sweeps N] [--one-shots N] [--batch N] [--seed S] [--reps N] \
          [--model pipeline|legacy] [--stage-capacity N] [--sched fifo|lifo] [--limit-memory-mb N] \
-         [--compare [--smalls N] [--shots N] [--out FILE] [--assert-min-ratio R]]\n  \
+         [--fuse W] [--compare [--smalls N] [--shots N] [--out FILE] [--assert-min-ratio R] \
+         [--assert-max-p99-ratio R]]\n  \
+         sv-sim fuse-bench [--window W] [--seed S] [--reps N] [--min-gates G] [--max-qubits M] \
+         [--out FILE] [--assert-min-gates-per-pass R]\n  \
          sv-sim fault-bench [--fault kill-pe|drop-put|poison-barrier|hang-pe|torn-checkpoint|exec] \
          [--chaos] [--recovery retry|respawn|degrade] [--hang-ms MS] [--pes N] \
          [--pe-mode thread|process] [--every K] \
@@ -82,6 +88,7 @@ fn main() -> ExitCode {
         "fault-bench" => cmd_fault_bench(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
         "remap-bench" => cmd_remap_bench(&args[1..]),
+        "fuse-bench" => cmd_fuse_bench(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "platforms" => {
@@ -173,6 +180,9 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(seed) = flag_value(args, "--seed") {
         config.seed = seed.parse()?;
     }
+    if let Some(window) = flag_value(args, "--fuse") {
+        config = config.with_fusion(window.parse()?);
+    }
     let shots: usize = flag_value(args, "--shots").map_or(Ok(1024), str::parse)?;
 
     let circuit = if args.iter().any(|a| a == "--optimize") {
@@ -197,6 +207,16 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         elapsed.as_secs_f64() * 1e3,
         config.backend,
     );
+    if config.fuse > 0 {
+        let plan = sv_sim::core::CompiledPlan::compile(&circuit, circuit.n_qubits(), &config);
+        println!(
+            "fusion: window {} collapsed {} kernels into {} amplitude passes ({:.2} gates/pass)",
+            plan.fuse_window(),
+            plan.n_source_kernels(),
+            plan.n_kernels(),
+            plan.n_source_kernels() as f64 / plan.n_kernels().max(1) as f64,
+        );
+    }
     if circuit.n_cbits() > 0 {
         println!(
             "classical register: {:0width$b}",
@@ -633,6 +653,10 @@ fn serve_compare(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let assert_min_ratio: Option<f64> = flag_value(args, "--assert-min-ratio")
         .map(str::parse)
         .transpose()?;
+    let assert_max_p99_ratio: Option<f64> = flag_value(args, "--assert-max-p99-ratio")
+        .map(str::parse)
+        .transpose()?;
+    let fuse: u8 = flag_value(args, "--fuse").map_or(Ok(0), str::parse)?;
 
     // One-shots cross the service boundary as OpenQASM text. Each source is
     // parsed once and the `Arc<Circuit>` shared across requests — a service
@@ -761,8 +785,8 @@ fn serve_compare(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 .with_sched(sched)
                 .with_alloc(alloc),
         );
-        let qaoa_id = engine.register_template("qaoa_maxcut_n8", &qaoa)?;
-        let qnn_id = engine.register_template("qnn_grid_n8", &qnn)?;
+        let qaoa_id = engine.register_template_fused("qaoa_maxcut_n8", &qaoa, fuse)?;
+        let qnn_id = engine.register_template_fused("qnn_grid_n8", &qnn, fuse)?;
         Ok((engine, qaoa_id, qnn_id))
     };
 
@@ -784,7 +808,7 @@ fn serve_compare(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                         false,
                     ),
                 };
-                let mut config = SimConfig::single_device();
+                let mut config = SimConfig::single_device().with_fusion(fuse);
                 config.seed = seed ^ ((i as u64) << 1) ^ u64::from(small);
                 let request = JobRequest::new(JobSpec::OneShot {
                     circuit,
@@ -896,6 +920,7 @@ fn serve_compare(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let ratio = jobs_per_s(&pipeline) / jobs_per_s(&legacy);
     let p50 = |o: &ModelOutcome| percentile(&o.small_lat_ms, 0.50);
     let p99 = |o: &ModelOutcome| percentile(&o.small_lat_ms, 0.99);
+    let p99_ratio = p99(&pipeline) / p99(&legacy).max(f64::MIN_POSITIVE);
     println!();
     for (name, o) in [("legacy", &legacy), ("pipeline", &pipeline)] {
         println!(
@@ -907,10 +932,7 @@ fn serve_compare(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             o.checksum,
         );
     }
-    println!(
-        "throughput ratio (pipeline/legacy): {ratio:.3}x   small p99 ratio: {:.3}x",
-        p99(&pipeline) / p99(&legacy).max(f64::MIN_POSITIVE),
-    );
+    println!("throughput ratio (pipeline/legacy): {ratio:.3}x   small p99 ratio: {p99_ratio:.3}x");
     if args.iter().any(|a| a == "--verbose") {
         for (name, o) in [("legacy", &legacy), ("pipeline", &pipeline)] {
             println!("\n-- {name} engine metrics --\n{}", o.metrics);
@@ -969,11 +991,7 @@ fn serve_compare(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         writeln!(json, "  }},")?;
     }
     writeln!(json, "  \"throughput_ratio\": {ratio:.3},")?;
-    writeln!(
-        json,
-        "  \"small_p99_ratio\": {:.3},",
-        p99(&pipeline) / p99(&legacy).max(f64::MIN_POSITIVE),
-    )?;
+    writeln!(json, "  \"small_p99_ratio\": {p99_ratio:.3},")?;
     writeln!(
         json,
         "  \"checksums_match\": {}",
@@ -998,6 +1016,14 @@ fn serve_compare(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         if ratio < min_ratio {
             return Err(format!(
                 "pipeline throughput ratio {ratio:.3} below required minimum {min_ratio}"
+            )
+            .into());
+        }
+    }
+    if let Some(max_p99) = assert_max_p99_ratio {
+        if p99_ratio > max_p99 {
+            return Err(format!(
+                "small-job p99 ratio {p99_ratio:.3} above required maximum {max_p99}"
             )
             .into());
         }
@@ -1485,6 +1511,165 @@ fn cmd_remap_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// `fuse-bench`: gate-fusion efficacy over the deep Table 4 workloads.
+///
+/// For every suite circuit deep enough to be bandwidth-bound
+/// (`--min-gates`), compiles an unfused and a fused plan, reports the
+/// collapse in amplitude passes (gates-per-pass) and wall-clock, and
+/// checks the fused run bit-identical to the unfused one. With
+/// `--assert-min-gates-per-pass R` the mean gates-per-pass over the deep
+/// set becomes a hard floor (unfused plans are exactly 1.0 by
+/// construction, so R = 2 asserts a >=2x pass collapse).
+fn cmd_fuse_bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use std::fmt::Write as _;
+    use std::time::Instant;
+    use sv_sim::core::CompiledPlan;
+
+    let window: u8 = flag_value(args, "--window").map_or(Ok(3), str::parse)?;
+    let seed: u64 = flag_value(args, "--seed").map_or(Ok(0xF05E), str::parse)?;
+    let reps: usize = flag_value(args, "--reps").map_or(Ok(3), str::parse)?.max(1);
+    let min_gates: usize = flag_value(args, "--min-gates").map_or(Ok(300), str::parse)?;
+    let max_qubits: u32 = flag_value(args, "--max-qubits").map_or(Ok(u32::MAX), str::parse)?;
+    let out_path = flag_value(args, "--out").unwrap_or("BENCH_10.json");
+    let assert_gpp: Option<f64> = flag_value(args, "--assert-min-gates-per-pass")
+        .map(str::parse)
+        .transpose()?;
+    if window == 0 {
+        return Err("--window must be 1..=3".into());
+    }
+
+    struct Row {
+        name: String,
+        n_qubits: u32,
+        source_kernels: usize,
+        passes_unfused: usize,
+        passes_fused: usize,
+        gates_per_pass: f64,
+        wall_unfused_ms: f64,
+        wall_fused_ms: f64,
+        bit_identical: bool,
+    }
+
+    // Best-of-reps wall clock: fusion's win is fewer passes over the
+    // state, so the minimum is the least-noisy estimator on shared hosts.
+    let timed_run = |circuit: &sv_sim::ir::Circuit,
+                     config: SimConfig|
+     -> Result<(f64, u64, u64), Box<dyn std::error::Error>> {
+        let mut best = f64::MAX;
+        let mut checksum = 0u64;
+        let mut cbits = 0u64;
+        for _ in 0..reps {
+            let mut sim = Simulator::new(circuit.n_qubits(), config)?;
+            let t0 = Instant::now();
+            let summary = sim.run(circuit)?;
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            checksum = sim.state_checksum();
+            cbits = summary.cbits;
+        }
+        Ok((best, checksum, cbits))
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for spec in sv_sim::workloads::medium_suite()
+        .into_iter()
+        .chain(sv_sim::workloads::large_suite())
+    {
+        let circuit = spec.circuit()?;
+        if circuit.n_qubits() > max_qubits || circuit.stats().gates < min_gates {
+            continue;
+        }
+        let n = circuit.n_qubits();
+        let base = SimConfig::single_device().with_seed(seed);
+        let fused_cfg = base.with_fusion(window);
+        let unfused_plan = CompiledPlan::compile(&circuit, n, &base);
+        let fused_plan = CompiledPlan::compile(&circuit, n, &fused_cfg);
+        let (wall_unfused_ms, ref_sum, ref_cbits) = timed_run(&circuit, base)?;
+        let (wall_fused_ms, fused_sum, fused_cbits) = timed_run(&circuit, fused_cfg)?;
+        let gates_per_pass =
+            fused_plan.n_source_kernels() as f64 / fused_plan.n_kernels().max(1) as f64;
+        let bit_identical = fused_sum == ref_sum && fused_cbits == ref_cbits;
+        println!(
+            "{:<16} n={:<2} kernels={:<5} passes {:>5} -> {:<5} ({gates_per_pass:.2} gates/pass)  \
+             wall {wall_unfused_ms:>8.3} -> {wall_fused_ms:>8.3} ms  {}",
+            spec.name,
+            n,
+            fused_plan.n_source_kernels(),
+            unfused_plan.n_kernels(),
+            fused_plan.n_kernels(),
+            if bit_identical { "ok" } else { "DIVERGED" },
+        );
+        rows.push(Row {
+            name: spec.name.to_string(),
+            n_qubits: n,
+            source_kernels: fused_plan.n_source_kernels(),
+            passes_unfused: unfused_plan.n_kernels(),
+            passes_fused: fused_plan.n_kernels(),
+            gates_per_pass,
+            wall_unfused_ms,
+            wall_fused_ms,
+            bit_identical,
+        });
+    }
+    if rows.is_empty() {
+        return Err("no workload passed the --min-gates/--max-qubits filters".into());
+    }
+    let mean_gpp = rows.iter().map(|r| r.gates_per_pass).sum::<f64>() / rows.len() as f64;
+
+    let mut json = String::new();
+    writeln!(json, "{{")?;
+    writeln!(json, "  \"bench\": \"fuse\",")?;
+    writeln!(json, "  \"window\": {window},")?;
+    writeln!(json, "  \"seed\": {seed},")?;
+    writeln!(json, "  \"reps\": {reps},")?;
+    writeln!(json, "  \"min_gates\": {min_gates},")?;
+    writeln!(json, "  \"mean_gates_per_pass\": {mean_gpp:.3},")?;
+    writeln!(json, "  \"workloads\": [")?;
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"n_qubits\": {}, \"source_kernels\": {}, \
+             \"passes_unfused\": {}, \"passes_fused\": {}, \"gates_per_pass\": {:.3}, \
+             \"wall_unfused_ms\": {:.3}, \"wall_fused_ms\": {:.3}, \
+             \"bit_identical\": {}}}{comma}",
+            r.name,
+            r.n_qubits,
+            r.source_kernels,
+            r.passes_unfused,
+            r.passes_fused,
+            r.gates_per_pass,
+            r.wall_unfused_ms,
+            r.wall_fused_ms,
+            r.bit_identical,
+        )?;
+    }
+    writeln!(json, "  ]")?;
+    writeln!(json, "}}")?;
+    std::fs::write(out_path, &json)?;
+    println!(
+        "wrote {out_path} ({} deep workloads, window {window}, mean {mean_gpp:.2} gates/pass)",
+        rows.len()
+    );
+
+    if let Some(diverged) = rows.iter().find(|r| !r.bit_identical) {
+        return Err(format!(
+            "{} fused run diverged from the unfused reference",
+            diverged.name
+        )
+        .into());
+    }
+    if let Some(min_gpp) = assert_gpp {
+        if mean_gpp < min_gpp {
+            return Err(format!(
+                "mean gates-per-pass {mean_gpp:.3} below required minimum {min_gpp}"
+            )
+            .into());
+        }
+        println!("OK: mean gates-per-pass {mean_gpp:.2} >= {min_gpp}");
+    }
+    Ok(())
+}
+
 fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     use sv_sim::analyzer::{
         analyze_circuit, analyze_circuit_remapped, check_plan, cross_validate,
@@ -1494,6 +1679,12 @@ fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let pes: u64 = flag_value(args, "--pes").map_or(Ok(8), str::parse)?;
     let detect = args.iter().any(|a| a == "--detect");
     let remap = args.iter().any(|a| a == "--remap");
+    let fuse: u8 = flag_value(args, "--fuse").map_or(Ok(0), str::parse)?;
+    if fuse > 0 && (remap || detect) {
+        return Err("--fuse models the fused kernel schedule statically; \
+                    combine it with neither --remap nor --detect"
+            .into());
+    }
     let seed: u64 = flag_value(args, "--seed").map_or(Ok(0xACE5), str::parse)?;
     let merge: Option<usize> = flag_value(args, "--merge-epochs")
         .map(str::parse)
@@ -1530,6 +1721,8 @@ fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             check_plan(&plan, pes)?
         } else if remap {
             analyze_circuit_remapped(circuit, pes)?
+        } else if fuse > 0 {
+            check_plan(&CommPlan::from_circuit_fused(circuit, fuse), pes)?
         } else {
             analyze_circuit(circuit, pes)?
         };

@@ -1,0 +1,127 @@
+//! Fused-vs-unfused differential tests over the Table 4 workload suite.
+//!
+//! Gate fusion replays the original micro-ops inside each dense window
+//! sweep instead of premultiplying matrices, so a fused run must be
+//! *bit-identical* — not merely close — to the unfused run on every
+//! backend, dispatch mode, and remap setting. These tests hold that line
+//! with `state_checksum` (a checksum over the exact f64 bit patterns).
+
+use sv_sim::core::{
+    state_checksum, CompiledPlan, DispatchMode, ShmemBackend, SimConfig, Simulator,
+};
+use sv_sim::workloads::{large_suite, medium_suite};
+
+fn checksum_run(circuit: &sv_sim::ir::Circuit, config: SimConfig) -> (u64, u64) {
+    let mut sim = Simulator::new(circuit.n_qubits(), config).unwrap();
+    let summary = sim.run(circuit).unwrap();
+    (state_checksum(sim.state()), summary.cbits)
+}
+
+/// Every medium workload, fused at windows 1..=3, across single-device,
+/// runtime-parse, scale-up, and thread scale-out with remap on and off:
+/// all bit-identical to the unfused single-device reference.
+#[test]
+fn medium_suite_fused_is_bit_identical_everywhere() {
+    for spec in medium_suite() {
+        let circuit = spec.circuit().unwrap();
+        let (ref_sum, ref_cbits) = checksum_run(&circuit, SimConfig::single_device().with_seed(7));
+        for window in 1..=3u8 {
+            let configs = [
+                SimConfig::single_device().with_seed(7).with_fusion(window),
+                SimConfig::single_device()
+                    .with_seed(7)
+                    .with_dispatch(DispatchMode::RuntimeParse)
+                    .with_fusion(window),
+                SimConfig::scale_up(4).with_seed(7).with_fusion(window),
+                SimConfig::scale_out(4).with_seed(7).with_fusion(window),
+                SimConfig::scale_out(4)
+                    .with_seed(7)
+                    .with_remap()
+                    .with_fusion(window),
+            ];
+            for config in configs {
+                let (sum, cbits) = checksum_run(&circuit, config);
+                assert_eq!(
+                    sum, ref_sum,
+                    "{} state diverged (window {window}, {config:?})",
+                    spec.name
+                );
+                assert_eq!(
+                    cbits, ref_cbits,
+                    "{} cbits diverged (window {window}, {config:?})",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+/// Fusion must actually collapse amplitude passes on gate-dense workloads,
+/// while never growing the queue on any workload (traffic monotonicity).
+#[test]
+fn fusion_collapses_passes_without_inflating_any_workload() {
+    let mut collapsed = 0usize;
+    for spec in medium_suite() {
+        let circuit = spec.circuit().unwrap();
+        let n = circuit.n_qubits();
+        let unfused = CompiledPlan::compile(&circuit, n, &SimConfig::single_device());
+        let fused = CompiledPlan::compile(&circuit, n, &SimConfig::single_device().with_fusion(3));
+        assert_eq!(
+            fused.n_source_kernels(),
+            unfused.n_kernels(),
+            "{}: fusion must preserve every source kernel",
+            spec.name
+        );
+        assert!(
+            fused.n_kernels() <= unfused.n_kernels(),
+            "{}: fusion grew the queue {} -> {}",
+            spec.name,
+            unfused.n_kernels(),
+            fused.n_kernels()
+        );
+        if fused.n_kernels() < unfused.n_kernels() {
+            collapsed += 1;
+        }
+    }
+    assert!(
+        collapsed >= 6,
+        "fusion collapsed passes on only {collapsed}/8 medium workloads"
+    );
+}
+
+/// The full Table 4 gate for fusion: every medium + large workload, thread
+/// vs process PEs, remap on and off, fused at window 3, compared by
+/// amplitude checksum and classical bits against the unfused single-device
+/// reference. Release-mode CI leg (`scripts/ci.sh`).
+#[test]
+#[ignore = "release-mode CI leg: runs via scripts/ci.sh (cargo test --release -- --include-ignored)"]
+fn full_suite_fused_bit_identity_thread_vs_process() {
+    let suite: Vec<_> = medium_suite().into_iter().chain(large_suite()).collect();
+    assert_eq!(suite.len(), 16, "the full Table 4 suite");
+    for spec in suite {
+        let circuit = spec.circuit().unwrap();
+        let (ref_sum, ref_cbits) = checksum_run(&circuit, SimConfig::single_device().with_seed(11));
+        for backend in [ShmemBackend::Thread, ShmemBackend::Process] {
+            for remap in [false, true] {
+                let mut config = SimConfig::scale_out(4)
+                    .with_seed(11)
+                    .with_shmem_backend(backend)
+                    .with_fusion(3);
+                if remap {
+                    config = config.with_remap();
+                }
+                let (sum, cbits) = checksum_run(&circuit, config);
+                assert_eq!(
+                    sum, ref_sum,
+                    "{} state diverged ({backend:?}, remap={remap})",
+                    spec.name
+                );
+                assert_eq!(
+                    cbits, ref_cbits,
+                    "{} cbits diverged ({backend:?}, remap={remap})",
+                    spec.name
+                );
+            }
+        }
+    }
+}

@@ -100,3 +100,50 @@ fn parse_errors_carry_locations() {
     let msg = err.to_string();
     assert!(msg.contains("frobnicate"), "got: {msg}");
 }
+
+#[test]
+fn replayed_qasm_parse_hits_the_engine_plan_cache() {
+    // A service that re-parses the same QASM source per request submits
+    // equal-but-distinct Arc<Circuit>s. The compile stage's plan cache
+    // keys structurally, so the second parse must HIT; a one-gate edit
+    // must MISS and recompile.
+    use std::sync::Arc;
+    use sv_sim::engine::{Engine, EngineConfig, JobOutput, JobRequest, JobSpec};
+
+    let src = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0]; cx q[0], q[1]; t q[2]; cx q[2], q[3]; h q[3];
+"#;
+    let engine = Engine::start(EngineConfig::default().with_workers(1));
+    let config = SimConfig::single_device().with_seed(5);
+    let run = |source: &str| {
+        let circuit = Arc::new(parse_circuit(source).unwrap());
+        let handle = engine
+            .submit(JobRequest::new(JobSpec::OneShot {
+                circuit,
+                config,
+                shots: 0,
+                return_state: true,
+            }))
+            .unwrap();
+        match handle.wait().unwrap() {
+            JobOutput::OneShot { state, .. } => state.expect("state requested"),
+            other => panic!("one-shot output expected, got {other:?}"),
+        }
+    };
+
+    let first = run(src);
+    let second = run(src); // independent parse, same source
+    assert_eq!(first.re(), second.re());
+    assert_eq!(first.im(), second.im());
+    let edited = src.replace("t q[2];", "s q[2];");
+    let _ = run(&edited); // one-gate edit
+    let metrics = engine.shutdown();
+    assert_eq!(
+        (metrics.plan_cache_hits, metrics.plan_cache_misses),
+        (1, 2),
+        "re-parsed QASM must hit; the one-gate edit must miss"
+    );
+}
